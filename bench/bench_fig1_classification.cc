@@ -1,0 +1,173 @@
+// EXP-F1: regenerates Figure 1 (the tractability classification matrix).
+//
+// For a corpus of query families we measure the width parameters
+// (treewidth, hypertreewidth bound, fractional hypertreewidth, adaptive
+// width bounds) of H(phi) and print the verdict per the paper's
+// classification:
+//   bounded arity:   FPTRAS for ECQ iff tw bounded (Thm 5 / Obs 9);
+//                    no FPRAS once disequalities appear (Obs 10).
+//   unbounded arity: FPTRAS for DCQ iff aw bounded (Thm 13 / Obs 15);
+//                    FPRAS for CQ if fhw bounded (Thm 16).
+#include <string>
+#include <vector>
+
+#include "app/graph_gen.h"
+#include "app/lihom.h"
+#include "bench_util.h"
+#include "decomposition/width_measures.h"
+#include "query/parser.h"
+#include "query/query.h"
+
+namespace cqcount {
+namespace {
+
+struct Entry {
+  std::string name;
+  Query query;
+};
+
+Query MustParse(const std::string& text) {
+  auto q = ParseQuery(text);
+  if (!q.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", q.status().ToString().c_str());
+    std::abort();
+  }
+  return *q;
+}
+
+Query HamiltonQuery(int n) {
+  Query q;
+  for (int i = 0; i < n; ++i) q.AddVariable("x" + std::to_string(i));
+  q.SetNumFree(n);
+  for (int i = 0; i + 1 < n; ++i) q.AddAtom({"E", {i, i + 1}, false});
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) q.AddDisequality(i, j);
+  }
+  return q;
+}
+
+Query GridCq(int k) {
+  // One binary atom per grid edge; all variables existential except one.
+  SimpleGraph grid = GridGraph(k, k);
+  Query q;
+  for (int v = 0; v < grid.num_vertices; ++v) {
+    q.AddVariable("g" + std::to_string(v));
+  }
+  q.SetNumFree(1);
+  for (const auto& [u, v] : grid.edges) q.AddAtom({"E", {u, v}, false});
+  return q;
+}
+
+Query WideAcyclic(int arity) {
+  // Two overlapping wide atoms: hyperpath of arity `arity`, fhw = aw <= 2.
+  Query q;
+  std::vector<int> first;
+  std::vector<int> second;
+  for (int i = 0; i < arity; ++i) {
+    first.push_back(q.AddVariable("a" + std::to_string(i)));
+  }
+  second.push_back(first.back());
+  for (int i = 1; i < arity; ++i) {
+    second.push_back(q.AddVariable("b" + std::to_string(i)));
+  }
+  q.SetNumFree(2);
+  q.AddAtom({"R", first, false});
+  q.AddAtom({"S", second, false});
+  q.AddDisequality(0, 1);
+  return q;
+}
+
+const char* KindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kCq:
+      return "CQ";
+    case QueryKind::kDcq:
+      return "DCQ";
+    case QueryKind::kEcq:
+      return "ECQ";
+  }
+  return "?";
+}
+
+// The Figure 1 verdict for a measured query.
+std::string Verdict(const Query& q, double tw, double fhw, double aw_ub) {
+  const bool bounded_arity_small = q.BuildHypergraph().Arity() <= 3;
+  const bool has_diseq = !q.disequalities().empty();
+  std::string v;
+  if (tw <= 3) {
+    v = "FPTRAS (Thm 5)";
+    if (!has_diseq && q.Kind() == QueryKind::kCq) {
+      v += " + FPRAS (Thm 16)";
+    } else {
+      v += "; no FPRAS (Obs 10)";
+    }
+    return v;
+  }
+  if (!bounded_arity_small && aw_ub <= 3 && q.Kind() != QueryKind::kEcq) {
+    v = "FPTRAS (Thm 13)";
+    if (q.Kind() == QueryKind::kCq && fhw <= 3) v += " + FPRAS (Thm 16)";
+    return v;
+  }
+  return "no FPTRAS for unbounded width (Obs 9/15, rETH)";
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("EXP-F1",
+                "Figure 1: width measures and tractability verdicts");
+  std::vector<Entry> corpus;
+  corpus.push_back({"friends (eq. 1)",
+                    MustParse("ans(x) :- F(x, y), F(x, z), y != z.")});
+  corpus.push_back({"2-path CQ",
+                    MustParse("ans(x, z) :- E(x, y), E(y, z).")});
+  corpus.push_back(
+      {"AGM triangle CQ",
+       MustParse("ans(a, b, c) :- R(a, b), S(b, c), T(a, c).")});
+  corpus.push_back(
+      {"non-friend ECQ",
+       MustParse("ans(x) :- F(x, y), F(x, z), !F(y, z), y != z.")});
+  corpus.push_back({"hamilton-5 DCQ (Obs 10)", HamiltonQuery(5)});
+  corpus.push_back({"hamilton-7 DCQ (Obs 10)", HamiltonQuery(7)});
+  {
+    auto lihom = lihom::BuildLihomQuery(BinaryTreeGraph(7));
+    corpus.push_back({"LIHom binary-tree-7 (Cor 6)", *lihom});
+  }
+  corpus.push_back({"grid 3x3 CQ (Obs 9 family)", GridCq(3)});
+  corpus.push_back({"wide hyperpath arity 6 DCQ (Thm 13)", WideAcyclic(6)});
+  corpus.push_back({"wide hyperpath arity 9 DCQ (Thm 13)", WideAcyclic(9)});
+
+  bench::Row("%-36s %-4s %5s %5s %6s %7s %7s  %s", "query family", "kind",
+             "arity", "tw", "fhw", "aw_lb", "aw_ub", "verdict");
+  for (const Entry& entry : corpus) {
+    const Query& q = entry.query;
+    Hypergraph h = q.BuildHypergraph();
+    const int arity = h.Arity();
+    // Exact search when small; heuristic (min-fill) upper bounds above.
+    FWidthResult tw_bound =
+        ComputeDecomposition(h, WidthObjective::kTreewidth, 16);
+    FWidthResult fhw_bound =
+        ComputeDecomposition(h, WidthObjective::kFractionalHypertreewidth,
+                             13);
+    auto aw_lb = AdaptiveWidthLowerBound(h, 13);
+    const double tw_v = tw_bound.width;
+    const double fhw_v = fhw_bound.width;
+    const double aw_ub_v = fhw_v;  // aw <= fhw always.
+    bench::Row("%-36s %-4s %5d %5.0f %6.2f %7.2f %7.2f  %s",
+               entry.name.c_str(), KindName(q.Kind()), arity, tw_v, fhw_v,
+               aw_lb.ok() ? *aw_lb : -1.0, aw_ub_v,
+               Verdict(q, tw_v, fhw_v, aw_ub_v).c_str());
+  }
+  bench::Row("%s", "");
+  bench::Row("%s",
+             "paper shape: bounded tw => FPTRAS for all ECQs; disequalities "
+             "forbid an FPRAS even at tw 1;");
+  bench::Row("%s",
+             "unbounded arity: bounded aw => FPTRAS for DCQs; bounded fhw "
+             "=> FPRAS for pure CQs.");
+  return 0;
+}
+
+}  // namespace cqcount
+
+int main() { return cqcount::main(); }

@@ -1,0 +1,119 @@
+// EXP-SUB: google-benchmark micro-benchmarks for the substrates: generic
+// join, decomposition search, fractional cover LPs, the colour-coding
+// oracle and the DLM estimator loop.
+#include <benchmark/benchmark.h>
+
+#include "app/graph_gen.h"
+#include "app/workload.h"
+#include "counting/colour_coding.h"
+#include "counting/dlm_counter.h"
+#include "decomposition/exact_treewidth.h"
+#include "decomposition/nice_decomposition.h"
+#include "decomposition/width_measures.h"
+#include "hom/bag_solutions.h"
+#include "hom/hom_oracle.h"
+#include "query/parser.h"
+
+namespace cqcount {
+namespace {
+
+void BM_GenericJoinTriangle(benchmark::State& state) {
+  auto q = ParseQuery("ans(a, b, c) :- R(a, b), S(b, c), T(a, c).");
+  Rng rng(1);
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Database db = RandomDatabase(
+      n, {{"R", 2, 4 * n}, {"S", 2, 4 * n}, {"T", 2, 4 * n}}, rng);
+  for (auto _ : state) {
+    Relation out = ComputeBagSolutions(*q, db, {0, 1, 2}, nullptr);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 12 * n);
+}
+BENCHMARK(BM_GenericJoinTriangle)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ExactTreewidthGrid(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Hypergraph h = GraphToHypergraph(GridGraph(k, k));
+  for (auto _ : state) {
+    auto result = ExactTreewidth(h, 16);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_ExactTreewidthGrid)->Arg(2)->Arg(3);
+
+void BM_FractionalCoverClique(benchmark::State& state) {
+  Hypergraph h = GraphToHypergraph(CliqueGraph(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FractionalCoverNumber(h));
+  }
+}
+BENCHMARK(BM_FractionalCoverClique)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_NiceDecompositionConversion(benchmark::State& state) {
+  Rng rng(3);
+  SimpleGraph g = ErdosRenyi(static_cast<int>(state.range(0)), 0.2, rng);
+  Hypergraph h = GraphToHypergraph(g);
+  FWidthResult width = ComputeDecomposition(h, WidthObjective::kTreewidth, 0);
+  for (auto _ : state) {
+    auto nice =
+        NiceTreeDecomposition::FromTreeDecomposition(h, width.decomposition);
+    benchmark::DoNotOptimize(nice.num_nodes());
+  }
+}
+BENCHMARK(BM_NiceDecompositionConversion)->Arg(16)->Arg(32);
+
+void BM_HomOracleDecide(benchmark::State& state) {
+  auto q = ParseQuery("ans(x) :- F(x, y), F(x, z), y != z.");
+  Rng rng(5);
+  Database db =
+      SocialNetworkDb(static_cast<uint32_t>(state.range(0)), 5.0, 0.5, rng);
+  Hypergraph h = q->BuildHypergraph();
+  FWidthResult width = ComputeDecomposition(h, WidthObjective::kTreewidth);
+  DecompositionHomOracle oracle(*q, db, width.decomposition);
+  VarDomains domains;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.Decide(domains));
+  }
+}
+BENCHMARK(BM_HomOracleDecide)->Arg(100)->Arg(400);
+
+void BM_EdgeFreeOracleCall(benchmark::State& state) {
+  auto q = ParseQuery("ans(x) :- F(x, y), F(x, z), y != z.");
+  Rng rng(7);
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Database db = SocialNetworkDb(n, 5.0, 0.5, rng);
+  Hypergraph h = q->BuildHypergraph();
+  FWidthResult width = ComputeDecomposition(h, WidthObjective::kTreewidth);
+  DecompositionHomOracle hom(*q, db, width.decomposition);
+  ColourCodingOptions cc;
+  cc.per_call_failure = 1e-3;
+  ColourCodingEdgeFreeOracle oracle(*q, &hom, n, cc);
+  PartiteSubset parts;
+  parts.parts = {std::vector<bool>(n, true)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.IsEdgeFree(parts));
+  }
+}
+BENCHMARK(BM_EdgeFreeOracleCall)->Arg(100)->Arg(400);
+
+void BM_DlmEndToEnd(benchmark::State& state) {
+  auto q = ParseQuery("ans(x, y) :- E(x, y).");
+  Rng rng(9);
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Database db = GraphToDatabase(ErdosRenyi(n, 8.0 / n, rng));
+  for (auto _ : state) {
+    BruteForceEdgeFreeOracle oracle(*q, db);
+    DlmOptions opts;
+    opts.exact_enumeration_budget = 16;
+    opts.epsilon = 0.25;
+    opts.delta = 0.25;
+    auto result = DlmCountEdges({n, n}, oracle, opts);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_DlmEndToEnd)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace cqcount
+
+BENCHMARK_MAIN();

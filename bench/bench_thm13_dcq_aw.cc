@@ -1,0 +1,118 @@
+// EXP-T13: Theorem 13 — FPTRAS for #DCQ with bounded adaptive width,
+// unbounded arity.
+//
+// Workload: hyperpath DCQs R(a_1..a_k), S(a_k, b_2..b_k) with a
+// disequality, for arity k in {2,4,6,8}. Every member has fhw <= 2 and
+// aw <= 2 even though the arity (and hence treewidth: the atoms are
+// cliques in the primal graph) grows. The fhw-guided oracle keeps the
+// runtime polynomial in ||D|| at every arity.
+#include "app/workload.h"
+#include "bench_util.h"
+#include "counting/exact_count.h"
+#include "counting/fptras.h"
+#include "decomposition/width_measures.h"
+#include "query/query.h"
+#include "util/timer.h"
+
+namespace cqcount {
+namespace {
+
+Query HyperPath(int arity) {
+  Query q;
+  std::vector<int> first;
+  for (int i = 0; i < arity; ++i) {
+    first.push_back(q.AddVariable("a" + std::to_string(i)));
+  }
+  std::vector<int> second = {first.back()};
+  for (int i = 1; i < arity; ++i) {
+    second.push_back(q.AddVariable("b" + std::to_string(i)));
+  }
+  q.SetNumFree(2);  // a0 and a1 free.
+  q.AddAtom({"R", first, false});
+  q.AddAtom({"S", second, false});
+  q.AddDisequality(0, 1);
+  return q;
+}
+
+Database MakeDb(const Query& q, uint32_t n, uint64_t tuples, uint64_t seed) {
+  Rng rng(seed);
+  Database db(n);
+  for (const Atom& atom : q.atoms()) {
+    AddRandomTuples(&db, atom.relation, static_cast<int>(atom.vars.size()),
+                    tuples, rng);
+  }
+  return db;
+}
+
+}  // namespace
+
+int Run() {
+  bench::Header("EXP-T13",
+                "Theorem 13: unbounded arity, bounded adaptive width");
+  bench::Row("(a) widths grow apart: tw ~ arity, fhw/aw stay <= 2");
+  bench::Row("%8s %6s %8s %8s", "arity", "tw", "fhw", "aw_ub");
+  for (int arity : {2, 4, 6}) {
+    Query q = HyperPath(arity);
+    Hypergraph h = q.BuildHypergraph();
+    auto tw = ExactTreewidth(h, 14);
+    auto fhw = ExactFhw(h, 12);
+    auto aw = AdaptiveWidthUpperBound(h, 12);
+    bench::Row("%8d %6.0f %8.2f %8.2f", arity, tw.ok() ? tw->width : -1,
+               fhw.ok() ? fhw->width : -1, aw.ok() ? *aw : -1);
+  }
+
+  bench::Row("\n(b) accuracy vs brute force (small, arity sweep)");
+  bench::Row("%8s %12s %12s %10s", "arity", "exact", "estimate", "rel.err");
+  for (int arity : {2, 4, 6, 8}) {
+    Query q = HyperPath(arity);
+    Database db = MakeDb(q, 5, 40, arity);
+    const double exact =
+        static_cast<double>(ExactCountAnswersBruteForce(q, db));
+    ApproxOptions opts;
+    opts.epsilon = 0.15;
+    opts.delta = 0.2;
+    opts.seed = 21;
+    opts.objective = WidthObjective::kFractionalHypertreewidth;
+    opts.exact_decomposition_limit = 12;
+    opts.per_call_failure_override = 0.02;
+    auto approx = ApproxCountAnswers(q, db, opts);
+    if (!approx.ok()) {
+      bench::Row("%8d error: %s", arity,
+                 approx.status().ToString().c_str());
+      continue;
+    }
+    bench::Row("%8d %12.0f %12.1f %10.4f", arity, exact, approx->estimate,
+               bench::RelativeError(approx->estimate, exact));
+  }
+
+  bench::Row("\n(c) poly scaling in ||D|| at arity 6 (eps=0.35)");
+  bench::Row("%8s %10s %12s %12s", "N", "tuples", "estimate", "ms");
+  Query q6 = HyperPath(6);
+  for (uint32_t n : {16u, 32u, 48u}) {
+    Database db = MakeDb(q6, n, 10 * n, 900 + n);
+    ApproxOptions opts;
+    opts.epsilon = 0.35;
+    opts.delta = 0.3;
+    opts.seed = 23;
+    opts.objective = WidthObjective::kFractionalHypertreewidth;
+    opts.exact_decomposition_limit = 12;
+    opts.per_call_failure_override = 0.02;
+    opts.dlm.max_frontier = 1024;
+    opts.dlm.initial_samples_per_box = 2;
+    opts.dlm.max_refinement_rounds = 8;
+    WallTimer timer;
+    auto approx = ApproxCountAnswers(q6, db, opts);
+    const double ms = timer.Millis();
+    bench::Row("%8u %10u %12.1f %12.2f", n, 10 * n,
+               approx.ok() ? approx->estimate : -1.0, ms);
+  }
+  bench::Row("%s",
+             "\npaper shape: treewidth grows linearly with the arity yet "
+             "the FPTRAS stays feasible -- the adaptive/fractional width "
+             "is the right parameter in the unbounded-arity regime.");
+  return 0;
+}
+
+}  // namespace cqcount
+
+int main() { return cqcount::Run(); }

@@ -1,0 +1,40 @@
+// Shared table-printing helpers for the experiment harnesses.
+//
+// Each bench binary regenerates one artefact of the paper (EXPERIMENTS.md
+// records paper-vs-measured). The binaries print self-contained tables so
+// `for b in build/bench/*; do $b; done` reproduces the whole evaluation.
+#ifndef CQCOUNT_BENCH_BENCH_UTIL_H_
+#define CQCOUNT_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace cqcount {
+namespace bench {
+
+inline void Header(const std::string& id, const std::string& title) {
+  std::printf("\n==========================================================\n");
+  std::printf("%s  %s\n", id.c_str(), title.c_str());
+  std::printf("==========================================================\n");
+}
+
+inline void Row(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  std::vprintf(format, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+/// Relative error |estimate - exact| / exact (0 when both are zero).
+inline double RelativeError(double estimate, double exact) {
+  if (exact == 0.0) return estimate == 0.0 ? 0.0 : 1.0;
+  return std::abs(estimate - exact) / exact;
+}
+
+}  // namespace bench
+}  // namespace cqcount
+
+#endif  // CQCOUNT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,150 @@
+// cqcount command-line interface.
+//
+// Usage:
+//   cli count    <query> <database-file> [epsilon] [delta]
+//   cli exact    <query> <database-file>
+//   cli fpras    <query> <database-file> [epsilon]
+//   cli sample   <query> <database-file> [count]
+//   cli classify <query>
+//
+// <query> is a Datalog-style string such as
+//   'ans(x) :- F(x, y), F(x, z), y != z.'
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "automata/fpras.h"
+#include "counting/exact_count.h"
+#include "counting/fptras.h"
+#include "counting/sampler.h"
+#include "decomposition/width_measures.h"
+#include "query/parser.h"
+#include "relational/database_io.h"
+
+using namespace cqcount;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  cli count    <query> <db-file> [epsilon] [delta]   FPTRAS "
+      "(Thm 5/13)\n"
+      "  cli exact    <query> <db-file>                     brute force\n"
+      "  cli fpras    <query> <db-file> [epsilon]           FPRAS "
+      "(Thm 16, pure CQ)\n"
+      "  cli sample   <query> <db-file> [count]             answer "
+      "samples\n"
+      "  cli classify <query>                               Figure 1 "
+      "verdict\n");
+  return 2;
+}
+
+StatusOr<Query> LoadQuery(const char* text) { return ParseQuery(text); }
+
+StatusOr<Database> LoadDb(const char* path) {
+  return ReadDatabaseFile(path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+
+  auto query = LoadQuery(argv[2]);
+  if (!query.ok()) {
+    std::fprintf(stderr, "query error: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+
+  if (command == "classify") {
+    Hypergraph h = query->BuildHypergraph();
+    FWidthResult tw =
+        ComputeDecomposition(h, WidthObjective::kTreewidth, 16);
+    FWidthResult fhw = ComputeDecomposition(
+        h, WidthObjective::kFractionalHypertreewidth, 13);
+    const char* kind = query->Kind() == QueryKind::kCq    ? "CQ"
+                       : query->Kind() == QueryKind::kDcq ? "DCQ"
+                                                          : "ECQ";
+    std::printf("kind=%s arity=%d tw<=%.0f fhw<=%.2f ||phi||=%llu\n", kind,
+                h.Arity(), tw.width, fhw.width,
+                static_cast<unsigned long long>(query->PhiSize()));
+    if (tw.width <= 4) {
+      std::printf("Theorem 5 FPTRAS applies%s\n",
+                  query->Kind() == QueryKind::kCq
+                      ? "; Theorem 16 FPRAS applies"
+                      : "; no FPRAS unless NP=RP (Obs 10)");
+    } else if (fhw.width <= 4 && query->Kind() != QueryKind::kEcq) {
+      std::printf("Theorem 13 FPTRAS applies (unbounded-arity regime)\n");
+    } else {
+      std::printf("widths look unbounded: Observations 9/15 wall\n");
+    }
+    return 0;
+  }
+
+  if (argc < 4) return Usage();
+  auto db = LoadDb(argv[3]);
+  if (!db.ok()) {
+    std::fprintf(stderr, "database error: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+
+  if (command == "exact") {
+    const uint64_t count = ExactCountAnswersBruteForce(*query, *db);
+    std::printf("%llu\n", static_cast<unsigned long long>(count));
+    return 0;
+  }
+  if (command == "count") {
+    ApproxOptions opts;
+    opts.epsilon = argc > 4 ? std::atof(argv[4]) : 0.1;
+    opts.delta = argc > 5 ? std::atof(argv[5]) : 0.1;
+    auto result = ApproxCountAnswers(*query, *db, opts);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%.2f%s\n", result->estimate,
+                result->exact ? " (exact)" : "");
+    return 0;
+  }
+  if (command == "fpras") {
+    FprasOptions opts;
+    opts.acjr.epsilon = argc > 4 ? std::atof(argv[4]) : 0.15;
+    auto result = FprasCountCq(*query, *db, opts);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%.2f (fhw %.2f)\n", result->estimate, result->fhw);
+    return 0;
+  }
+  if (command == "sample") {
+    const int count = argc > 4 ? std::atoi(argv[4]) : 5;
+    SamplerOptions opts;
+    auto sampler = AnswerSampler::Create(*query, *db, opts);
+    if (!sampler.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   sampler.status().ToString().c_str());
+      return 1;
+    }
+    auto samples = (*sampler)->Sample(count);
+    if (!samples.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   samples.status().ToString().c_str());
+      return 1;
+    }
+    for (const Tuple& t : *samples) {
+      for (size_t i = 0; i < t.size(); ++i) {
+        std::printf(i + 1 == t.size() ? "%u\n" : "%u ", t[i]);
+      }
+    }
+    return 0;
+  }
+  return Usage();
+}

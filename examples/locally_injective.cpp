@@ -1,0 +1,56 @@
+// Corollary 6 in action: counting locally injective homomorphisms.
+//
+// Locally injective homomorphisms model interference-free frequency
+// assignments: mapping a pattern network G into a host G' such that
+// no two neighbours of any pattern node collide. The paper encodes
+// these as answers of a DCQ whose hypergraph ignores the disequalities,
+// so bounded-treewidth patterns stay tractable (Corollary 6).
+#include <cstdio>
+
+#include "app/graph_gen.h"
+#include "app/lihom.h"
+
+using namespace cqcount;
+
+static void Report(const char* name, const SimpleGraph& pattern,
+                   const SimpleGraph& host) {
+  auto query = lihom::BuildLihomQuery(pattern);
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s: %s\n", name,
+                 query.status().ToString().c_str());
+    return;
+  }
+  ApproxOptions opts;
+  opts.epsilon = 0.15;
+  opts.delta = 0.15;
+  opts.seed = 99;
+  auto approx = lihom::ApproxCountLocallyInjectiveHoms(pattern, host, opts);
+  auto exact = lihom::ExactCountLocallyInjectiveHoms(pattern, host);
+  std::printf("%-28s |V(G)|=%d |cn(G)|=%zu", name, pattern.num_vertices,
+              lihom::CommonNeighbourPairs(pattern).size());
+  if (approx.ok()) std::printf("  estimate=%.1f", approx->estimate);
+  if (exact.ok()) {
+    std::printf("  exact=%llu", static_cast<unsigned long long>(*exact));
+  }
+  std::printf("\n");
+}
+
+int main() {
+  std::printf("locally injective homomorphism counting (Corollary 6)\n\n");
+  Rng rng(5);
+  SimpleGraph host = ErdosRenyi(12, 0.4, rng);
+  std::printf("host: Erdos-Renyi, %d vertices, %d edges\n\n",
+              host.num_vertices, host.num_edges());
+
+  Report("path P3", PathGraph(3), host);
+  Report("path P4", PathGraph(4), host);
+  Report("star S3 (claw)", StarGraph(3), host);
+  Report("binary tree (7 nodes)", BinaryTreeGraph(7), host);
+  Report("triangle C3", CycleGraph(3), host);
+
+  std::printf(
+      "\nAll patterns have treewidth 1-2, so Theorem 5 applies even\n"
+      "though the disequality count |cn(G)| grows: the disequalities\n"
+      "do not enter the query hypergraph (Definition 3).\n");
+  return 0;
+}

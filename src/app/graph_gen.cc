@@ -1,0 +1,123 @@
+#include "app/graph_gen.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cqcount {
+
+void SimpleGraph::AddEdge(int u, int v) {
+  if (u == v) return;
+  if (u > v) std::swap(u, v);
+  assert(u >= 0 && v < num_vertices);
+  const std::pair<int, int> e{u, v};
+  if (std::find(edges.begin(), edges.end(), e) == edges.end()) {
+    edges.push_back(e);
+  }
+}
+
+std::vector<std::vector<int>> SimpleGraph::AdjacencyLists() const {
+  std::vector<std::vector<int>> adj(num_vertices);
+  for (const auto& [u, v] : edges) {
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  }
+  for (auto& list : adj) std::sort(list.begin(), list.end());
+  return adj;
+}
+
+SimpleGraph PathGraph(int n) {
+  SimpleGraph g;
+  g.num_vertices = n;
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+SimpleGraph CycleGraph(int n) {
+  assert(n >= 3);
+  SimpleGraph g = PathGraph(n);
+  g.AddEdge(n - 1, 0);
+  return g;
+}
+
+SimpleGraph CliqueGraph(int n) {
+  SimpleGraph g;
+  g.num_vertices = n;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) g.AddEdge(i, j);
+  }
+  return g;
+}
+
+SimpleGraph StarGraph(int leaves) {
+  SimpleGraph g;
+  g.num_vertices = leaves + 1;
+  for (int i = 1; i <= leaves; ++i) g.AddEdge(0, i);
+  return g;
+}
+
+SimpleGraph GridGraph(int rows, int cols) {
+  SimpleGraph g;
+  g.num_vertices = rows * cols;
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.AddEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+SimpleGraph BinaryTreeGraph(int n) {
+  SimpleGraph g;
+  g.num_vertices = n;
+  for (int i = 1; i < n; ++i) g.AddEdge(i, (i - 1) / 2);
+  return g;
+}
+
+SimpleGraph ErdosRenyi(int n, double p, Rng& rng) {
+  SimpleGraph g;
+  g.num_vertices = n;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(p)) g.edges.push_back({i, j});
+    }
+  }
+  return g;
+}
+
+SimpleGraph RandomGraphWithEdges(int n, int m, Rng& rng) {
+  SimpleGraph g;
+  g.num_vertices = n;
+  const long max_edges = static_cast<long>(n) * (n - 1) / 2;
+  assert(m <= max_edges);
+  (void)max_edges;
+  while (g.num_edges() < m) {
+    const int u = static_cast<int>(rng.UniformInt(n));
+    const int v = static_cast<int>(rng.UniformInt(n));
+    g.AddEdge(u, v);
+  }
+  return g;
+}
+
+Database GraphToDatabase(const SimpleGraph& g, const std::string& relation) {
+  Database db(static_cast<uint32_t>(g.num_vertices));
+  Status s = db.DeclareRelation(relation, 2);
+  assert(s.ok());
+  for (const auto& [u, v] : g.edges) {
+    s = db.AddFact(relation, {static_cast<Value>(u), static_cast<Value>(v)});
+    assert(s.ok());
+    s = db.AddFact(relation, {static_cast<Value>(v), static_cast<Value>(u)});
+    assert(s.ok());
+  }
+  (void)s;
+  return db;
+}
+
+Hypergraph GraphToHypergraph(const SimpleGraph& g) {
+  Hypergraph h(g.num_vertices);
+  for (const auto& [u, v] : g.edges) h.AddEdge({u, v});
+  return h;
+}
+
+}  // namespace cqcount

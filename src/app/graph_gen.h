@@ -1,0 +1,57 @@
+// Simple undirected graphs and generators for examples, tests and benches.
+#ifndef CQCOUNT_APP_GRAPH_GEN_H_
+#define CQCOUNT_APP_GRAPH_GEN_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "relational/structure.h"
+#include "util/random.h"
+
+namespace cqcount {
+
+/// An undirected simple graph with dense vertex ids.
+struct SimpleGraph {
+  int num_vertices = 0;
+  /// Normalised edges (u < v), duplicate-free.
+  std::vector<std::pair<int, int>> edges;
+
+  /// Adds {u, v}; ignores loops and duplicates.
+  void AddEdge(int u, int v);
+
+  /// Sorted adjacency lists.
+  std::vector<std::vector<int>> AdjacencyLists() const;
+
+  int num_edges() const { return static_cast<int>(edges.size()); }
+};
+
+/// P_n: path on n vertices.
+SimpleGraph PathGraph(int n);
+/// C_n: cycle on n vertices (n >= 3).
+SimpleGraph CycleGraph(int n);
+/// K_n: complete graph.
+SimpleGraph CliqueGraph(int n);
+/// Star with `leaves` leaves (centre = vertex 0).
+SimpleGraph StarGraph(int leaves);
+/// rows x cols grid.
+SimpleGraph GridGraph(int rows, int cols);
+/// Complete binary tree with n vertices (heap indexing).
+SimpleGraph BinaryTreeGraph(int n);
+/// G(n, p) Erdos-Renyi.
+SimpleGraph ErdosRenyi(int n, double p, Rng& rng);
+/// Uniform graph with exactly m distinct edges (m <= n(n-1)/2).
+SimpleGraph RandomGraphWithEdges(int n, int m, Rng& rng);
+
+/// Encodes `g` as a database with a symmetric binary relation `relation`
+/// (both directions stored) over universe {0..n-1}.
+Database GraphToDatabase(const SimpleGraph& g,
+                         const std::string& relation = "E");
+
+/// The graph viewed as a 2-uniform hypergraph.
+Hypergraph GraphToHypergraph(const SimpleGraph& g);
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_APP_GRAPH_GEN_H_

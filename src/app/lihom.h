@@ -1,0 +1,44 @@
+// Locally injective homomorphisms (the paper's flagship application,
+// Corollary 6).
+//
+// A homomorphism h : G -> G' is locally injective when it is injective on
+// every neighbourhood N_G(v). The paper encodes these as answers of the
+// ECQ phi(G) = AND_{edges} E(x_i, x_j) AND AND_{cn(G)} x_i != x_j over the
+// database D(G'), where cn(G) is the set of pairs with a common
+// neighbour — so Theorem 5 gives an FPTRAS whenever tw(G) is bounded
+// (Corollary 6); note the disequalities do NOT enter H(phi).
+#ifndef CQCOUNT_APP_LIHOM_H_
+#define CQCOUNT_APP_LIHOM_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "app/graph_gen.h"
+#include "counting/fptras.h"
+#include "query/query.h"
+#include "util/status.h"
+
+namespace cqcount {
+namespace lihom {
+
+/// Pairs of distinct pattern vertices that share a common neighbour.
+std::vector<std::pair<int, int>> CommonNeighbourPairs(const SimpleGraph& g);
+
+/// The DCQ phi(G) from Corollary 6's construction; every variable is
+/// free. Requires a pattern without isolated vertices.
+StatusOr<Query> BuildLihomQuery(const SimpleGraph& pattern);
+
+/// Exact count by brute force (exponential in |V(pattern)|).
+StatusOr<uint64_t> ExactCountLocallyInjectiveHoms(const SimpleGraph& pattern,
+                                                  const SimpleGraph& host);
+
+/// FPTRAS count (Theorem 5 / Corollary 6).
+StatusOr<ApproxCountResult> ApproxCountLocallyInjectiveHoms(
+    const SimpleGraph& pattern, const SimpleGraph& host,
+    const ApproxOptions& opts);
+
+}  // namespace lihom
+}  // namespace cqcount
+
+#endif  // CQCOUNT_APP_LIHOM_H_

@@ -1,0 +1,67 @@
+#include "app/workload.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cqcount {
+
+void AddRandomTuples(Database* db, const std::string& name, int arity,
+                     uint64_t count, Rng& rng) {
+  Status s = db->DeclareRelation(name, arity);
+  assert(s.ok());
+  const uint32_t n = db->universe_size();
+  assert(n > 0);
+  Relation* rel = db->mutable_relation(name);
+  // Distinct tuples via retry; callers keep count well below n^arity.
+  uint64_t added = 0;
+  uint64_t attempts = 0;
+  while (added < count && attempts < 20 * count + 1000) {
+    ++attempts;
+    Tuple t(arity);
+    for (int i = 0; i < arity; ++i) {
+      t[i] = static_cast<Value>(rng.UniformInt(n));
+    }
+    const size_t before = rel->tuples().size();
+    rel->Add(std::move(t));
+    if (rel->tuples().size() > before) ++added;
+  }
+  (void)s;
+}
+
+Database RandomDatabase(uint32_t universe,
+                        const std::vector<RelationSpec>& specs, Rng& rng) {
+  Database db(universe);
+  for (const RelationSpec& spec : specs) {
+    AddRandomTuples(&db, spec.name, spec.arity, spec.tuples, rng);
+  }
+  return db;
+}
+
+Database SocialNetworkDb(uint32_t num_people, double avg_friends,
+                         double adult_fraction, Rng& rng) {
+  Database db(num_people);
+  Status s = db.DeclareRelation("F", 2);
+  assert(s.ok());
+  s = db.DeclareRelation("Adult", 1);
+  assert(s.ok());
+  const double p =
+      num_people > 1 ? avg_friends / static_cast<double>(num_people - 1) : 0;
+  for (uint32_t u = 0; u < num_people; ++u) {
+    for (uint32_t v = u + 1; v < num_people; ++v) {
+      if (rng.Bernoulli(p)) {
+        s = db.AddFact("F", {u, v});
+        assert(s.ok());
+        s = db.AddFact("F", {v, u});
+        assert(s.ok());
+      }
+    }
+    if (rng.Bernoulli(adult_fraction)) {
+      s = db.AddFact("Adult", {u});
+      assert(s.ok());
+    }
+  }
+  (void)s;
+  return db;
+}
+
+}  // namespace cqcount

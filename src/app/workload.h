@@ -1,0 +1,36 @@
+// Synthetic database workloads for the experiment suite.
+#ifndef CQCOUNT_APP_WORKLOAD_H_
+#define CQCOUNT_APP_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/structure.h"
+#include "util/random.h"
+
+namespace cqcount {
+
+/// Adds `count` random distinct tuples to relation `name` (declared on
+/// demand with the given arity).
+void AddRandomTuples(Database* db, const std::string& name, int arity,
+                     uint64_t count, Rng& rng);
+
+/// A database with the given relations, each filled with random tuples.
+struct RelationSpec {
+  std::string name;
+  int arity = 2;
+  uint64_t tuples = 0;
+};
+Database RandomDatabase(uint32_t universe, const std::vector<RelationSpec>& specs,
+                        Rng& rng);
+
+/// The intro's running example: people with a symmetric friendship
+/// relation F (Erdos-Renyi with expected degree `avg_friends`) plus a
+/// unary relation Adult marking roughly `adult_fraction` of the people.
+Database SocialNetworkDb(uint32_t num_people, double avg_friends,
+                         double adult_fraction, Rng& rng);
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_APP_WORKLOAD_H_

@@ -1,0 +1,459 @@
+#include "automata/acjr_estimator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+#include "hom/bag_solutions.h"
+#include "util/hash.h"
+#include "util/math_util.h"
+#include "util/random.h"
+
+namespace cqcount {
+namespace {
+
+using TupleIndex = std::unordered_map<Tuple, int, VectorHash<Value>>;
+
+std::vector<int> PositionsOf(const std::vector<int>& bag,
+                             const std::vector<int>& subset) {
+  std::vector<int> positions;
+  size_t j = 0;
+  for (size_t i = 0; i < bag.size(); ++i) {
+    while (j < subset.size() && subset[j] < bag[i]) ++j;
+    if (j < subset.size() && subset[j] == bag[i]) {
+      positions.push_back(static_cast<int>(i));
+    }
+  }
+  return positions;
+}
+
+Tuple ProjectTuple(const Tuple& t, const std::vector<int>& positions) {
+  Tuple out;
+  out.reserve(positions.size());
+  for (int p : positions) out.push_back(t[p]);
+  return out;
+}
+
+std::vector<int> SortedUnion(const std::vector<int>& a,
+                             const std::vector<int>& b) {
+  std::vector<int> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+class AcjrEngine {
+ public:
+  AcjrEngine(const Query& q, const Database& db,
+             const NiceTreeDecomposition& ntd, const AcjrOptions& opts)
+      : query_(q), db_(db), ntd_(ntd), opts_(opts), rng_(opts.seed) {}
+
+  StatusOr<AcjrResult> Run() {
+    const int num_nodes = ntd_.num_nodes();
+    sols_.resize(num_nodes);
+    sol_index_.resize(num_nodes);
+    free_bag_positions_.resize(num_nodes);
+    free_vars_.resize(num_nodes);
+    estimates_.resize(num_nodes);
+    sketches_.resize(num_nodes);
+    intro_child_.resize(num_nodes);
+    join_children_.resize(num_nodes);
+    forget_candidates_.resize(num_nodes);
+
+    // Bag solutions + index maps, and a census of union states for the
+    // per-union error budget.
+    uint64_t union_states = 0;
+    for (int t = 0; t < num_nodes; ++t) {
+      const auto& node = ntd_.node(t);
+      sols_[t] = ComputeBagSolutions(query_, db_, node.bag, nullptr);
+      for (size_t i = 0; i < sols_[t].size(); ++i) {
+        sol_index_[t].emplace(sols_[t].tuples()[i], static_cast<int>(i));
+      }
+      for (size_t p = 0; p < node.bag.size(); ++p) {
+        if (node.bag[p] < query_.num_free()) {
+          free_bag_positions_[t].push_back(static_cast<int>(p));
+        }
+      }
+      if (node.kind == NiceNodeKind::kForget &&
+          node.var >= query_.num_free()) {
+        union_states += sols_[t].size();
+      }
+    }
+    result_.union_estimates = 0;
+    result_.exact = union_states == 0;
+    // Per-union error budget: relative errors of union estimates compound
+    // (roughly additively) along the estimate DAG; one union per
+    // existential variable exists on any root-leaf path.
+    const int k_exist = std::max(1, query_.num_existential());
+    epsilon_node_ = opts_.epsilon / (2.0 * static_cast<double>(k_exist));
+    const double delta_node =
+        opts_.delta / std::max<uint64_t>(1, union_states);
+    z_node_ = std::min(std::sqrt(1.0 / delta_node), 6.0);
+
+    // Bottom-up (children have larger indices).
+    for (int t = num_nodes - 1; t >= 0; --t) {
+      ProcessNode(t);
+    }
+
+    // Root: empty bag; a single state when satisfiable.
+    if (sols_[0].empty()) {
+      result_.estimate = 0.0;
+      result_.exact = true;
+      return result_;
+    }
+    result_.estimate = estimates_[0].empty() ? 0.0 : estimates_[0][0];
+    if (result_.estimate == 0.0) result_.exact = true;
+    return result_;
+  }
+
+ private:
+  void ProcessNode(int t) {
+    const auto& node = ntd_.node(t);
+    const size_t states = sols_[t].size();
+    estimates_[t].assign(states, 0.0);
+    sketches_[t].assign(states, {});
+    switch (node.kind) {
+      case NiceNodeKind::kLeaf: {
+        free_vars_[t] = {};
+        for (size_t i = 0; i < states; ++i) {
+          estimates_[t][i] = 1.0;
+          sketches_[t][i] = {Tuple{}};
+        }
+        break;
+      }
+      case NiceNodeKind::kIntroduce:
+        ProcessIntroduce(t);
+        break;
+      case NiceNodeKind::kForget:
+        ProcessForget(t);
+        break;
+      case NiceNodeKind::kJoin:
+        ProcessJoin(t);
+        break;
+    }
+  }
+
+  void ProcessIntroduce(int t) {
+    const auto& node = ntd_.node(t);
+    const int c = node.children[0];
+    const bool var_free = node.var < query_.num_free();
+    free_vars_[t] = var_free ? SortedUnion(free_vars_[c], {node.var})
+                             : free_vars_[c];
+    const std::vector<int> child_positions =
+        PositionsOf(node.bag, ntd_.node(c).bag);
+    // Insert position of the introduced variable within free_vars_[t].
+    int insert_at = -1;
+    if (var_free) {
+      insert_at = static_cast<int>(
+          std::lower_bound(free_vars_[t].begin(), free_vars_[t].end(),
+                           node.var) -
+          free_vars_[t].begin());
+    }
+    // Position of the introduced variable inside the bag.
+    const int var_pos = static_cast<int>(
+        std::lower_bound(node.bag.begin(), node.bag.end(), node.var) -
+        node.bag.begin());
+
+    intro_child_[t].assign(sols_[t].size(), -1);
+    for (size_t i = 0; i < sols_[t].size(); ++i) {
+      const Tuple& alpha = sols_[t].tuples()[i];
+      auto it = sol_index_[c].find(ProjectTuple(alpha, child_positions));
+      if (it == sol_index_[c].end()) continue;  // Dead state.
+      const int j = it->second;
+      intro_child_[t][i] = j;
+      if (estimates_[c][j] <= 0.0) continue;
+      estimates_[t][i] = estimates_[c][j];
+      if (var_free) {
+        sketches_[t][i].reserve(sketches_[c][j].size());
+        for (const Tuple& x : sketches_[c][j]) {
+          Tuple extended = x;
+          extended.insert(extended.begin() + insert_at, alpha[var_pos]);
+          sketches_[t][i].push_back(std::move(extended));
+        }
+      } else {
+        sketches_[t][i] = sketches_[c][j];
+      }
+    }
+  }
+
+  void ProcessForget(int t) {
+    const auto& node = ntd_.node(t);
+    const int c = node.children[0];
+    free_vars_[t] = free_vars_[c];
+    const bool var_free = node.var < query_.num_free();
+    const std::vector<int> parent_positions =
+        PositionsOf(ntd_.node(c).bag, node.bag);
+
+    // Group child states by their projection onto B_t.
+    forget_candidates_[t].assign(sols_[t].size(), {});
+    const auto& child_tuples = sols_[c].tuples();
+    for (size_t j = 0; j < child_tuples.size(); ++j) {
+      if (estimates_[c][j] <= 0.0) continue;
+      auto it = sol_index_[t].find(ProjectTuple(child_tuples[j],
+                                                parent_positions));
+      if (it == sol_index_[t].end()) continue;
+      forget_candidates_[t][it->second].push_back(static_cast<int>(j));
+    }
+
+    for (size_t i = 0; i < sols_[t].size(); ++i) {
+      const auto& candidates = forget_candidates_[t][i];
+      if (candidates.empty()) continue;  // Dead state.
+      if (var_free || candidates.size() == 1) {
+        // Disjoint union (distinct values of a free variable), or a
+        // trivial single-branch union: exact sum + mixture sampling.
+        double total = 0.0;
+        for (int j : candidates) total += estimates_[c][j];
+        estimates_[t][i] = total;
+        sketches_[t][i] = SampleMixture(c, candidates, total);
+      } else {
+        // Overlapping union over an existential variable: Karp-Luby.
+        EstimateUnion(t, i, c, candidates);
+      }
+    }
+  }
+
+  void ProcessJoin(int t) {
+    const auto& node = ntd_.node(t);
+    const int c1 = node.children[0];
+    const int c2 = node.children[1];
+    free_vars_[t] = SortedUnion(free_vars_[c1], free_vars_[c2]);
+    join_children_[t].assign(sols_[t].size(), {-1, -1});
+    // Positions of each child's free vars within the union.
+    std::vector<int> from1(free_vars_[c1].size());
+    std::vector<int> from2(free_vars_[c2].size());
+    for (size_t k = 0; k < free_vars_[c1].size(); ++k) {
+      from1[k] = static_cast<int>(
+          std::lower_bound(free_vars_[t].begin(), free_vars_[t].end(),
+                           free_vars_[c1][k]) -
+          free_vars_[t].begin());
+    }
+    for (size_t k = 0; k < free_vars_[c2].size(); ++k) {
+      from2[k] = static_cast<int>(
+          std::lower_bound(free_vars_[t].begin(), free_vars_[t].end(),
+                           free_vars_[c2][k]) -
+          free_vars_[t].begin());
+    }
+
+    for (size_t i = 0; i < sols_[t].size(); ++i) {
+      const Tuple& alpha = sols_[t].tuples()[i];
+      auto it1 = sol_index_[c1].find(alpha);
+      auto it2 = sol_index_[c2].find(alpha);
+      if (it1 == sol_index_[c1].end() || it2 == sol_index_[c2].end()) {
+        continue;
+      }
+      const int j1 = it1->second;
+      const int j2 = it2->second;
+      join_children_[t][i] = {j1, j2};
+      if (estimates_[c1][j1] <= 0.0 || estimates_[c2][j2] <= 0.0) continue;
+      estimates_[t][i] = estimates_[c1][j1] * estimates_[c2][j2];
+      // Product sampling: independent child samples merged over the
+      // union of free variables (overlaps agree: both children pin their
+      // bag's free variables to alpha).
+      const auto& sk1 = sketches_[c1][j1];
+      const auto& sk2 = sketches_[c2][j2];
+      const int wanted = opts_.sketch_size;
+      sketches_[t][i].reserve(wanted);
+      for (int s = 0; s < wanted; ++s) {
+        const Tuple& x1 = sk1[rng_.UniformInt(sk1.size())];
+        const Tuple& x2 = sk2[rng_.UniformInt(sk2.size())];
+        Tuple merged(free_vars_[t].size(), 0);
+        for (size_t k = 0; k < from2.size(); ++k) merged[from2[k]] = x2[k];
+        for (size_t k = 0; k < from1.size(); ++k) merged[from1[k]] = x1[k];
+        sketches_[t][i].push_back(std::move(merged));
+      }
+    }
+  }
+
+  // Draws `sketch_size` samples from the disjoint mixture of candidate
+  // child languages (weights = child estimates).
+  std::vector<Tuple> SampleMixture(int c, const std::vector<int>& candidates,
+                                   double total) {
+    std::vector<Tuple> sketch;
+    sketch.reserve(opts_.sketch_size);
+    for (int s = 0; s < opts_.sketch_size; ++s) {
+      double r = rng_.UniformDouble() * total;
+      int chosen = candidates.back();
+      for (int j : candidates) {
+        if (r < estimates_[c][j]) {
+          chosen = j;
+          break;
+        }
+        r -= estimates_[c][j];
+      }
+      const auto& sk = sketches_[c][chosen];
+      sketch.push_back(sk[rng_.UniformInt(sk.size())]);
+    }
+    return sketch;
+  }
+
+  // Karp-Luby estimate of |union_j L(c, candidate_j)| for the union state
+  // (t, i), plus a rejection-corrected union sketch.
+  void EstimateUnion(int t, int i, int c, const std::vector<int>& candidates) {
+    ++result_.union_estimates;
+    double total = 0.0;
+    for (int j : candidates) total += estimates_[c][j];
+
+    // Draw (j ~ estimates, x ~ sketch_j), weight by 1 / c(x).
+    auto draw = [&](int* out_j) -> const Tuple& {
+      double r = rng_.UniformDouble() * total;
+      int chosen = candidates.back();
+      for (int j : candidates) {
+        if (r < estimates_[c][j]) {
+          chosen = j;
+          break;
+        }
+        r -= estimates_[c][j];
+      }
+      *out_j = chosen;
+      const auto& sk = sketches_[c][chosen];
+      return sk[rng_.UniformInt(sk.size())];
+    };
+
+    MeanVarAccumulator acc;
+    const int min_samples = 16;
+    for (int s = 0; s < opts_.max_union_samples; ++s) {
+      int j = -1;
+      const Tuple& x = draw(&j);
+      const int count = CountContaining(c, candidates, x);
+      assert(count >= 1);
+      acc.Add(1.0 / static_cast<double>(count));
+      if (s + 1 >= min_samples) {
+        const double half_width = z_node_ * std::sqrt(acc.mean_variance());
+        if (half_width <= epsilon_node_ * std::max(acc.mean(), 1e-12)) break;
+      }
+      if (s + 1 == opts_.max_union_samples) result_.converged = false;
+    }
+    estimates_[t][i] = total * acc.mean();
+
+    // Union sketch by rejection (accept x with probability 1/c(x)).
+    std::vector<Tuple> sketch;
+    sketch.reserve(opts_.sketch_size);
+    for (int s = 0; s < opts_.sketch_size; ++s) {
+      const Tuple* accepted = nullptr;
+      for (int retry = 0; retry < opts_.max_rejection_retries; ++retry) {
+        int j = -1;
+        const Tuple& x = draw(&j);
+        const int count = CountContaining(c, candidates, x);
+        if (count == 1 || rng_.UniformDouble() < 1.0 / count) {
+          accepted = &x;
+          break;
+        }
+      }
+      if (accepted == nullptr) {
+        int j = -1;
+        accepted = &draw(&j);  // Accept the next draw (bounded bias).
+      }
+      sketch.push_back(*accepted);
+    }
+    sketches_[t][i] = std::move(sketch);
+  }
+
+  // c(x) = number of candidate child states whose language contains x.
+  int CountContaining(int c, const std::vector<int>& candidates,
+                      const Tuple& x) {
+    // Pin the free variables of the child subtree to x.
+    pinned_value_.assign(query_.num_free(), 0);
+    pinned_set_.assign(query_.num_free(), false);
+    const auto& fv = free_vars_[c];
+    assert(fv.size() == x.size());
+    for (size_t k = 0; k < fv.size(); ++k) {
+      pinned_value_[fv[k]] = x[k];
+      pinned_set_[fv[k]] = true;
+    }
+    memo_.clear();
+    int count = 0;
+    for (int j : candidates) {
+      if (Feasible(c, j)) ++count;
+    }
+    return count;
+  }
+
+  // Top-down feasibility: does some consistent family below (t, state j)
+  // produce labels matching the pinned assignment?
+  bool Feasible(int t, int j) {
+    ++result_.membership_tests;
+    const int64_t key = (static_cast<int64_t>(t) << 32) | j;
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    bool ok = FeasibleUncached(t, j);
+    memo_.emplace(key, ok);
+    return ok;
+  }
+
+  bool FeasibleUncached(int t, int j) {
+    if (estimates_[t][j] <= 0.0) return false;  // Dead state.
+    const auto& node = ntd_.node(t);
+    const Tuple& alpha = sols_[t].tuples()[j];
+    // The state's own label must match the pinned free values.
+    for (int p : free_bag_positions_[t]) {
+      const int var = node.bag[p];
+      if (pinned_set_[var] && alpha[p] != pinned_value_[var]) return false;
+    }
+    switch (node.kind) {
+      case NiceNodeKind::kLeaf:
+        return true;
+      case NiceNodeKind::kIntroduce: {
+        const int cj = intro_child_[t][j];
+        return cj >= 0 && Feasible(node.children[0], cj);
+      }
+      case NiceNodeKind::kForget: {
+        for (int cj : forget_candidates_[t][j]) {
+          if (Feasible(node.children[0], cj)) return true;
+        }
+        return false;
+      }
+      case NiceNodeKind::kJoin: {
+        const auto [j1, j2] = join_children_[t][j];
+        return j1 >= 0 && j2 >= 0 && Feasible(node.children[0], j1) &&
+               Feasible(node.children[1], j2);
+      }
+    }
+    return false;
+  }
+
+  const Query& query_;
+  const Database& db_;
+  const NiceTreeDecomposition& ntd_;
+  AcjrOptions opts_;
+  Rng rng_;
+  AcjrResult result_;
+
+  double epsilon_node_ = 0.1;
+  double z_node_ = 2.0;
+
+  std::vector<Relation> sols_;
+  std::vector<TupleIndex> sol_index_;
+  std::vector<std::vector<int>> free_bag_positions_;
+  std::vector<std::vector<int>> free_vars_;
+  std::vector<std::vector<double>> estimates_;
+  std::vector<std::vector<std::vector<Tuple>>> sketches_;
+  std::vector<std::vector<int>> intro_child_;
+  std::vector<std::vector<std::pair<int, int>>> join_children_;
+  std::vector<std::vector<std::vector<int>>> forget_candidates_;
+
+  // Membership-query scratch.
+  std::vector<Value> pinned_value_;
+  std::vector<bool> pinned_set_;
+  std::unordered_map<int64_t, bool> memo_;
+};
+
+}  // namespace
+
+StatusOr<AcjrResult> AcjrCountAnswers(const Query& q, const Database& db,
+                                      const NiceTreeDecomposition& ntd,
+                                      const AcjrOptions& opts) {
+  if (q.Kind() != QueryKind::kCq) {
+    return Status::InvalidArgument(
+        "Theorem 16 applies to pure conjunctive queries");
+  }
+  Status s = q.CheckAgainstDatabase(db);
+  if (!s.ok()) return s;
+  if (opts.sketch_size < 1) {
+    return Status::InvalidArgument("sketch_size must be positive");
+  }
+  AcjrEngine engine(q, db, ntd, opts);
+  return engine.Run();
+}
+
+}  // namespace cqcount

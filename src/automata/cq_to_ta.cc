@@ -1,0 +1,179 @@
+#include "automata/cq_to_ta.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "hom/bag_solutions.h"
+#include "util/hash.h"
+
+namespace cqcount {
+namespace {
+
+// Positions (indices into `bag`) of elements also present in `subset`;
+// both sorted.
+std::vector<int> PositionsOf(const std::vector<int>& bag,
+                             const std::vector<int>& subset) {
+  std::vector<int> positions;
+  size_t j = 0;
+  for (size_t i = 0; i < bag.size(); ++i) {
+    while (j < subset.size() && subset[j] < bag[i]) ++j;
+    if (j < subset.size() && subset[j] == bag[i]) {
+      positions.push_back(static_cast<int>(i));
+    }
+  }
+  return positions;
+}
+
+Tuple ProjectTuple(const Tuple& t, const std::vector<int>& positions) {
+  Tuple out;
+  out.reserve(positions.size());
+  for (int p : positions) out.push_back(t[p]);
+  return out;
+}
+
+using TupleIndex = std::unordered_map<Tuple, int, VectorHash<Value>>;
+
+}  // namespace
+
+StatusOr<CqAutomaton> BuildCountingAutomaton(
+    const Query& q, const Database& db, const NiceTreeDecomposition& ntd) {
+  if (q.Kind() != QueryKind::kCq) {
+    return Status::InvalidArgument(
+        "Lemma 52 applies to pure conjunctive queries");
+  }
+  Status s = q.CheckAgainstDatabase(db);
+  if (!s.ok()) return s;
+
+  const int num_nodes = ntd.num_nodes();
+  const int num_free = q.num_free();
+
+  // Per node: bag solutions, their free projections, and index maps.
+  std::vector<Relation> sols(num_nodes);
+  std::vector<TupleIndex> sol_index(num_nodes);
+  std::vector<std::vector<int>> free_positions(num_nodes);
+  std::vector<TupleIndex> label_index(num_nodes);  // projection -> label id.
+  std::vector<int> state_offset(num_nodes, 0);
+
+  bool trivially_zero = false;
+  int num_states = 0;
+  int num_labels = 0;
+  std::vector<int> state_node;
+  std::vector<int> label_node;
+  for (int t = 0; t < num_nodes; ++t) {
+    const auto& bag = ntd.node(t).bag;
+    sols[t] = ComputeBagSolutions(q, db, bag, nullptr);
+    if (sols[t].empty()) trivially_zero = true;
+    state_offset[t] = num_states;
+    num_states += static_cast<int>(sols[t].size());
+    for (size_t i = 0; i < sols[t].size(); ++i) {
+      sol_index[t].emplace(sols[t].tuples()[i], static_cast<int>(i));
+      state_node.push_back(t);
+    }
+    // Free-variable positions inside the bag.
+    for (size_t p = 0; p < bag.size(); ++p) {
+      if (bag[p] < num_free) {
+        free_positions[t].push_back(static_cast<int>(p));
+      }
+    }
+    for (const Tuple& alpha : sols[t].tuples()) {
+      Tuple beta = ProjectTuple(alpha, free_positions[t]);
+      auto [it, inserted] = label_index[t].emplace(std::move(beta), num_labels);
+      if (inserted) {
+        label_node.push_back(t);
+        ++num_labels;
+      }
+    }
+  }
+  if (num_states == 0 || num_labels == 0) {
+    // Degenerate: no solutions anywhere. Produce a one-state automaton
+    // with no transitions.
+    CqAutomaton result{TreeAutomaton(1, 1, 0), LabeledTree{}, num_nodes,
+                       true, {0}, {0}};
+    result.tree_shape.nodes.resize(num_nodes);
+    for (int t = 0; t < num_nodes; ++t) {
+      result.tree_shape.nodes[t].children = ntd.node(t).children;
+    }
+    return result;
+  }
+
+  TreeAutomaton automaton(num_states, num_labels, state_offset[0]);
+  auto state_id = [&](int t, int sol) { return state_offset[t] + sol; };
+  auto label_of = [&](int t, int sol) {
+    Tuple beta = ProjectTuple(sols[t].tuples()[sol], free_positions[t]);
+    return label_index[t].at(beta);
+  };
+
+  for (int t = 0; t < num_nodes; ++t) {
+    const auto& node = ntd.node(t);
+    const auto& tuples = sols[t].tuples();
+    switch (node.kind) {
+      case NiceNodeKind::kLeaf: {
+        // Sol_t = {empty assignment} unless globally infeasible.
+        for (size_t i = 0; i < tuples.size(); ++i) {
+          automaton.AddLeafTransition(state_id(t, static_cast<int>(i)),
+                                      label_of(t, static_cast<int>(i)));
+        }
+        break;
+      }
+      case NiceNodeKind::kJoin: {
+        const int c1 = node.children[0];
+        const int c2 = node.children[1];
+        for (size_t i = 0; i < tuples.size(); ++i) {
+          auto it1 = sol_index[c1].find(tuples[i]);
+          auto it2 = sol_index[c2].find(tuples[i]);
+          if (it1 == sol_index[c1].end() || it2 == sol_index[c2].end()) {
+            continue;  // Dead state.
+          }
+          automaton.AddBinaryTransition(
+              state_id(t, static_cast<int>(i)),
+              label_of(t, static_cast<int>(i)),
+              state_id(c1, it1->second), state_id(c2, it2->second));
+        }
+        break;
+      }
+      case NiceNodeKind::kIntroduce: {
+        // B_t = B_c + {v}: child state is the projection of alpha.
+        const int c = node.children[0];
+        const std::vector<int> child_positions =
+            PositionsOf(node.bag, ntd.node(c).bag);
+        for (size_t i = 0; i < tuples.size(); ++i) {
+          Tuple proj = ProjectTuple(tuples[i], child_positions);
+          auto it = sol_index[c].find(proj);
+          if (it == sol_index[c].end()) continue;
+          automaton.AddUnaryTransition(state_id(t, static_cast<int>(i)),
+                                       label_of(t, static_cast<int>(i)),
+                                       state_id(c, it->second));
+        }
+        break;
+      }
+      case NiceNodeKind::kForget: {
+        // B_c = B_t + {v}: one transition per consistent child solution.
+        const int c = node.children[0];
+        const std::vector<int> parent_positions =
+            PositionsOf(ntd.node(c).bag, node.bag);
+        const auto& child_tuples = sols[c].tuples();
+        for (size_t j = 0; j < child_tuples.size(); ++j) {
+          Tuple proj = ProjectTuple(child_tuples[j], parent_positions);
+          auto it = sol_index[t].find(proj);
+          if (it == sol_index[t].end()) continue;
+          automaton.AddUnaryTransition(state_id(t, it->second),
+                                       label_of(t, it->second),
+                                       state_id(c, static_cast<int>(j)));
+        }
+        break;
+      }
+    }
+  }
+
+  CqAutomaton result{std::move(automaton), LabeledTree{}, num_nodes,
+                     trivially_zero, std::move(state_node),
+                     std::move(label_node)};
+  result.tree_shape.nodes.resize(num_nodes);
+  for (int t = 0; t < num_nodes; ++t) {
+    result.tree_shape.nodes[t].children = ntd.node(t).children;
+  }
+  result.tree_shape.root = 0;
+  return result;
+}
+
+}  // namespace cqcount

@@ -1,0 +1,48 @@
+// The Lemma 52 reduction: #CQ -> #TA, parsimoniously.
+//
+// Given a CQ phi, a database D and a nice tree decomposition (T, B) of
+// H(phi), builds the tree automaton A whose N-slice L_N(A) (N = |V(T)|)
+// is in bijection with Ans(phi, D):
+//   states  = {(t, alpha) : alpha in Sol(phi, D, B_t)},
+//   labels  = {(t, beta)  : beta  in proj(Sol_t, free(phi))},
+//   transitions as in the proof of Lemma 52 (join / introduce / forget /
+//   leaf), initial state (root, empty assignment).
+#ifndef CQCOUNT_AUTOMATA_CQ_TO_TA_H_
+#define CQCOUNT_AUTOMATA_CQ_TO_TA_H_
+
+#include <vector>
+
+#include "automata/tree_automaton.h"
+#include "decomposition/nice_decomposition.h"
+#include "query/query.h"
+#include "relational/structure.h"
+#include "util/status.h"
+
+namespace cqcount {
+
+/// Output of the Lemma 52 construction.
+struct CqAutomaton {
+  TreeAutomaton automaton;
+  /// The decomposition tree shape (labels default-initialised); every
+  /// accepted input has exactly this shape.
+  LabeledTree tree_shape;
+  /// |V(T)|: the slice whose count equals |Ans(phi, D)|.
+  int n = 0;
+  /// True when some Sol_t is empty, i.e. |Ans| = 0 and the automaton has
+  /// no accepting run (the initial state may then be a dummy).
+  bool trivially_zero = false;
+  /// Bookkeeping: state -> decomposition node, label -> node.
+  std::vector<int> state_node;
+  std::vector<int> label_node;
+};
+
+/// Builds the counting automaton. The query must be a pure CQ (Theorem 16
+/// scope: no disequalities, no negated atoms) valid for `db`, and `ntd`
+/// must be a valid nice tree decomposition of H(phi).
+StatusOr<CqAutomaton> BuildCountingAutomaton(const Query& q,
+                                             const Database& db,
+                                             const NiceTreeDecomposition& ntd);
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_AUTOMATA_CQ_TO_TA_H_

@@ -1,0 +1,41 @@
+#include "automata/fpras.h"
+
+#include "decomposition/nice_decomposition.h"
+#include "util/logging.h"
+
+namespace cqcount {
+
+StatusOr<FprasResult> FprasCountCq(const Query& q, const Database& db,
+                                   const FprasOptions& opts) {
+  Status s = q.Validate();
+  if (!s.ok()) return s;
+  if (q.Kind() != QueryKind::kCq) {
+    return Status::InvalidArgument(
+        "FprasCountCq requires a pure CQ (no disequalities or negations); "
+        "use ApproxCountAnswers for DCQs/ECQs");
+  }
+  s = q.CheckAgainstDatabase(db);
+  if (!s.ok()) return s;
+
+  Hypergraph h = q.BuildHypergraph();
+  FWidthResult width =
+      ComputeDecomposition(h, opts.objective, opts.exact_decomposition_limit);
+  NiceTreeDecomposition nice =
+      NiceTreeDecomposition::FromTreeDecomposition(h, width.decomposition);
+
+  FprasResult result;
+  result.fhw = FhwOfDecomposition(h, nice.ToTreeDecomposition());
+  result.decomposition_nodes = nice.num_nodes();
+  CQLOG(kInfo) << "FPRAS: nice decomposition with " << nice.num_nodes()
+               << " nodes, fhw " << result.fhw;
+
+  auto estimate = AcjrCountAnswers(q, db, nice, opts.acjr);
+  if (!estimate.ok()) return estimate.status();
+  result.estimate = estimate->estimate;
+  result.exact = estimate->exact;
+  result.converged = estimate->converged;
+  result.membership_tests = estimate->membership_tests;
+  return result;
+}
+
+}  // namespace cqcount

@@ -1,0 +1,186 @@
+#include "automata/ta_exact_count.h"
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace cqcount {
+
+double CountRunsDp(const TreeAutomaton& ta, int n) {
+  const int num_states = ta.num_states();
+  const int num_labels = ta.num_labels();
+  // runs[m][q] = number of accepted (tree, labelling, run) triples for a
+  // subtree of m nodes whose root is assigned state q.
+  std::vector<std::vector<double>> runs(
+      n + 1, std::vector<double>(num_states, 0.0));
+  for (int m = 1; m <= n; ++m) {
+    for (int q = 0; q < num_states; ++q) {
+      double total = 0.0;
+      for (int a = 0; a < num_labels; ++a) {
+        if (m == 1 && ta.HasLeafTransition(q, a)) total += 1.0;
+        if (m >= 2) {
+          for (int child : ta.UnaryTargets(q, a)) {
+            total += runs[m - 1][child];
+          }
+        }
+        if (m >= 3) {
+          for (const auto& [left, right] : ta.BinaryTargets(q, a)) {
+            for (int m1 = 1; m1 <= m - 2; ++m1) {
+              total += runs[m1][left] * runs[m - 1 - m1][right];
+            }
+          }
+        }
+      }
+      runs[m][q] = total;
+    }
+  }
+  return runs[n][ta.initial_state()];
+}
+
+StatusOr<double> CountAcceptedBySubsets(const TreeAutomaton& ta, int n,
+                                        int max_states) {
+  const int num_states = ta.num_states();
+  const int num_labels = ta.num_labels();
+  if (num_states > max_states || num_states > 30) {
+    return Status::ResourceExhausted(
+        "too many states for the subset-construction DP");
+  }
+  using Mask = uint32_t;
+  using Level = std::unordered_map<Mask, double>;
+
+  // level[m][S] = number of (tree, labelling) pairs with m nodes whose
+  // bottom-up possible-state set at the root is exactly S (empty sets are
+  // pruned: they can never become accepting).
+  std::vector<Level> level(n + 1);
+  for (int a = 0; a < num_labels; ++a) {
+    Mask mask = 0;
+    for (int q = 0; q < num_states; ++q) {
+      if (ta.HasLeafTransition(q, a)) mask |= Mask{1} << q;
+    }
+    if (mask != 0) level[1][mask] += 1.0;
+  }
+  for (int m = 2; m <= n; ++m) {
+    for (int a = 0; a < num_labels; ++a) {
+      // Unary parent over child sets of size m-1.
+      for (const auto& [child_mask, count] : level[m - 1]) {
+        Mask mask = 0;
+        for (int q = 0; q < num_states; ++q) {
+          for (int target : ta.UnaryTargets(q, a)) {
+            if (child_mask & (Mask{1} << target)) {
+              mask |= Mask{1} << q;
+              break;
+            }
+          }
+        }
+        if (mask != 0) level[m][mask] += count;
+      }
+      // Binary parent over (m1, m-1-m1) splits.
+      for (int m1 = 1; m1 <= m - 2; ++m1) {
+        for (const auto& [left_mask, left_count] : level[m1]) {
+          for (const auto& [right_mask, right_count] : level[m - 1 - m1]) {
+            Mask mask = 0;
+            for (int q = 0; q < num_states; ++q) {
+              for (const auto& [left, right] : ta.BinaryTargets(q, a)) {
+                if ((left_mask & (Mask{1} << left)) &&
+                    (right_mask & (Mask{1} << right))) {
+                  mask |= Mask{1} << q;
+                  break;
+                }
+              }
+            }
+            if (mask != 0) level[m][mask] += left_count * right_count;
+          }
+        }
+      }
+    }
+  }
+  double accepted = 0.0;
+  const Mask initial = Mask{1} << ta.initial_state();
+  for (const auto& [mask, count] : level[n]) {
+    if (mask & initial) accepted += count;
+  }
+  return accepted;
+}
+
+StatusOr<uint64_t> CountAcceptedByEnumeration(const TreeAutomaton& ta, int n,
+                                              uint64_t max_inputs) {
+  // Enumerate all tree shapes of n nodes (each node 0/1/2 ordered
+  // children), then all labellings, and test acceptance.
+  std::vector<LabeledTree> shapes;
+  std::function<std::vector<LabeledTree>(int)> build =
+      [&](int m) -> std::vector<LabeledTree> {
+    std::vector<LabeledTree> result;
+    if (m == 0) return result;
+    if (m == 1) {
+      LabeledTree t;
+      t.nodes.resize(1);
+      result.push_back(std::move(t));
+      return result;
+    }
+    // Root with one child.
+    for (LabeledTree sub : build(m - 1)) {
+      LabeledTree t;
+      t.nodes.resize(1);
+      const int offset = 1;
+      for (const auto& node : sub.nodes) {
+        LabeledTree::Node copy = node;
+        for (int& c : copy.children) c += offset;
+        t.nodes.push_back(copy);
+      }
+      t.nodes[0].children = {offset + sub.root};
+      result.push_back(std::move(t));
+    }
+    // Root with two children.
+    for (int m1 = 1; m1 <= m - 2; ++m1) {
+      for (const LabeledTree& left : build(m1)) {
+        for (const LabeledTree& right : build(m - 1 - m1)) {
+          LabeledTree t;
+          t.nodes.resize(1);
+          const int left_offset = 1;
+          for (const auto& node : left.nodes) {
+            LabeledTree::Node copy = node;
+            for (int& c : copy.children) c += left_offset;
+            t.nodes.push_back(copy);
+          }
+          const int right_offset = 1 + left.size();
+          for (const auto& node : right.nodes) {
+            LabeledTree::Node copy = node;
+            for (int& c : copy.children) c += right_offset;
+            t.nodes.push_back(copy);
+          }
+          t.nodes[0].children = {left_offset + left.root,
+                                 right_offset + right.root};
+          result.push_back(std::move(t));
+        }
+      }
+    }
+    return result;
+  };
+  shapes = build(n);
+
+  // Estimate the total input count up front.
+  double labellings = 1.0;
+  for (int i = 0; i < n; ++i) labellings *= ta.num_labels();
+  if (static_cast<double>(shapes.size()) * labellings >
+      static_cast<double>(max_inputs)) {
+    return Status::ResourceExhausted("too many inputs to enumerate");
+  }
+
+  uint64_t accepted = 0;
+  for (LabeledTree& tree : shapes) {
+    std::function<void(int)> assign = [&](int index) {
+      if (index == n) {
+        if (ta.Accepts(tree)) ++accepted;
+        return;
+      }
+      for (int a = 0; a < ta.num_labels(); ++a) {
+        tree.nodes[index].label = a;
+        assign(index + 1);
+      }
+    };
+    assign(0);
+  }
+  return accepted;
+}
+
+}  // namespace cqcount

@@ -1,0 +1,36 @@
+// Exact counting for tree automata (#TA ground truths).
+//
+// Exact #TA is #P-hard in general (that is why ACJR's FPRAS exists), but
+// two exponential/special-case exact counters are invaluable for testing:
+//  - CountRunsDp: counts accepted (tree, labelling, run) triples, which
+//    equals |L_N(A)| exactly when the automaton is unambiguous.
+//  - CountAcceptedBySubsets: counts accepted (tree, labelling) pairs via
+//    the subset construction (exponential in |S|).
+//  - CountAcceptedByEnumeration: brute-force over all of Trees2[Sigma]
+//    (tiny N and Sigma only).
+#ifndef CQCOUNT_AUTOMATA_TA_EXACT_COUNT_H_
+#define CQCOUNT_AUTOMATA_TA_EXACT_COUNT_H_
+
+#include <cstdint>
+
+#include "automata/tree_automaton.h"
+#include "util/status.h"
+
+namespace cqcount {
+
+/// Number of accepted (tree, labelling, run) triples with |V(T)| = n.
+double CountRunsDp(const TreeAutomaton& ta, int n);
+
+/// |L_n(A)| exactly via the subset construction; exponential in the state
+/// count, so it refuses automata with more than `max_states` states.
+StatusOr<double> CountAcceptedBySubsets(const TreeAutomaton& ta, int n,
+                                        int max_states = 24);
+
+/// |L_n(A)| by enumerating every tree shape and labelling; requires
+/// Catalan(n) * |Sigma|^n to stay under `max_inputs`.
+StatusOr<uint64_t> CountAcceptedByEnumeration(const TreeAutomaton& ta, int n,
+                                              uint64_t max_inputs = 5000000);
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_AUTOMATA_TA_EXACT_COUNT_H_

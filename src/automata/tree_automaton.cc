@@ -1,0 +1,91 @@
+#include "automata/tree_automaton.h"
+
+#include <algorithm>
+
+namespace cqcount {
+
+Status LabeledTree::Validate() const {
+  const int n = size();
+  if (n == 0) return Status::InvalidArgument("empty tree");
+  if (root < 0 || root >= n) return Status::InvalidArgument("bad root");
+  std::vector<int> indegree(n, 0);
+  for (const Node& node : nodes) {
+    if (node.children.size() > 2) {
+      return Status::InvalidArgument("node with more than two children");
+    }
+    for (int c : node.children) {
+      if (c < 0 || c >= n) return Status::InvalidArgument("bad child index");
+      ++indegree[c];
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    if (indegree[i] != (i == root ? 0 : 1)) {
+      return Status::InvalidArgument("not a tree");
+    }
+  }
+  return Status::Ok();
+}
+
+uint64_t TreeAutomaton::NumTransitions() const {
+  uint64_t count = 0;
+  for (const auto& row : leaf_) {
+    count += static_cast<uint64_t>(std::count(row.begin(), row.end(), true));
+  }
+  for (const auto& targets : unary_) count += targets.size();
+  for (const auto& targets : binary_) count += targets.size();
+  return count;
+}
+
+std::vector<bool> TreeAutomaton::RootStates(const LabeledTree& tree) const {
+  const int n = tree.size();
+  std::vector<std::vector<bool>> states(n);
+  // Post-order: children before parents.
+  std::vector<int> order;
+  order.reserve(n);
+  std::vector<int> stack = {tree.root};
+  while (!stack.empty()) {
+    int node = stack.back();
+    stack.pop_back();
+    order.push_back(node);
+    for (int c : tree.nodes[node].children) stack.push_back(c);
+  }
+  std::reverse(order.begin(), order.end());
+
+  for (int node : order) {
+    const auto& children = tree.nodes[node].children;
+    const int label = tree.nodes[node].label;
+    std::vector<bool> possible(num_states_, false);
+    if (children.empty()) {
+      for (int q = 0; q < num_states_; ++q) possible[q] = leaf_[q][label];
+    } else if (children.size() == 1) {
+      const auto& child_states = states[children[0]];
+      for (int q = 0; q < num_states_; ++q) {
+        for (int target : UnaryTargets(q, label)) {
+          if (child_states[target]) {
+            possible[q] = true;
+            break;
+          }
+        }
+      }
+    } else {
+      const auto& left_states = states[children[0]];
+      const auto& right_states = states[children[1]];
+      for (int q = 0; q < num_states_; ++q) {
+        for (const auto& [left, right] : BinaryTargets(q, label)) {
+          if (left_states[left] && right_states[right]) {
+            possible[q] = true;
+            break;
+          }
+        }
+      }
+    }
+    states[node] = std::move(possible);
+  }
+  return states[tree.root];
+}
+
+bool TreeAutomaton::Accepts(const LabeledTree& tree) const {
+  return RootStates(tree)[initial_state_];
+}
+
+}  // namespace cqcount

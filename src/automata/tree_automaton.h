@@ -1,0 +1,98 @@
+// Tree automata over binary labelled trees (Definitions 49 and 50).
+//
+// A (nondeterministic, top-down) tree automaton A = (S, Sigma, Delta, s0)
+// runs over pairs (T, psi) where T is a rooted tree with at most two
+// (ordered) children per node and psi labels each node. A accepts when
+// some run assigns s0 to the root and a Delta-consistent state everywhere.
+#ifndef CQCOUNT_AUTOMATA_TREE_AUTOMATON_H_
+#define CQCOUNT_AUTOMATA_TREE_AUTOMATON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cqcount {
+
+/// A labelled binary tree (an element of Trees2[Sigma], Definition 49).
+struct LabeledTree {
+  struct Node {
+    /// 0, 1 or 2 children (ordered left-to-right).
+    std::vector<int> children;
+    /// Label id in [0, num_labels).
+    int label = 0;
+  };
+  std::vector<Node> nodes;
+  int root = 0;
+
+  int size() const { return static_cast<int>(nodes.size()); }
+
+  /// Tree well-formedness (<= 2 children, single root, connectivity).
+  Status Validate() const;
+};
+
+/// A nondeterministic tree automaton with dense state and label ids.
+class TreeAutomaton {
+ public:
+  TreeAutomaton(int num_states, int num_labels, int initial_state)
+      : num_states_(num_states),
+        num_labels_(num_labels),
+        initial_state_(initial_state),
+        leaf_(num_states, std::vector<bool>(num_labels, false)),
+        unary_(num_states * num_labels),
+        binary_(num_states * num_labels) {}
+
+  int num_states() const { return num_states_; }
+  int num_labels() const { return num_labels_; }
+  int initial_state() const { return initial_state_; }
+
+  /// Adds (state, label) -> {} to Delta.
+  void AddLeafTransition(int state, int label) {
+    leaf_[state][label] = true;
+  }
+  /// Adds (state, label) -> child to Delta.
+  void AddUnaryTransition(int state, int label, int child) {
+    unary_[Key(state, label)].push_back(child);
+  }
+  /// Adds (state, label) -> (left, right) to Delta.
+  void AddBinaryTransition(int state, int label, int left, int right) {
+    binary_[Key(state, label)].push_back({left, right});
+  }
+
+  bool HasLeafTransition(int state, int label) const {
+    return leaf_[state][label];
+  }
+  const std::vector<int>& UnaryTargets(int state, int label) const {
+    return unary_[Key(state, label)];
+  }
+  const std::vector<std::pair<int, int>>& BinaryTargets(int state,
+                                                        int label) const {
+    return binary_[Key(state, label)];
+  }
+
+  /// Total number of transitions.
+  uint64_t NumTransitions() const;
+
+  /// Acceptance (Definition 50) by the bottom-up possible-state DP.
+  bool Accepts(const LabeledTree& tree) const;
+
+  /// The set of states q such that a run of the subtree exists with the
+  /// root mapped to q (the root entry of the bottom-up DP).
+  std::vector<bool> RootStates(const LabeledTree& tree) const;
+
+ private:
+  size_t Key(int state, int label) const {
+    return static_cast<size_t>(state) * num_labels_ + label;
+  }
+
+  int num_states_;
+  int num_labels_;
+  int initial_state_;
+  std::vector<std::vector<bool>> leaf_;
+  std::vector<std::vector<int>> unary_;
+  std::vector<std::vector<std::pair<int, int>>> binary_;
+};
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_AUTOMATA_TREE_AUTOMATON_H_

@@ -1,0 +1,109 @@
+#include "counting/colour_coding.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cqcount {
+namespace {
+
+// Q = ceil(ln(1/delta')) * 4^{|Delta|}, clamped to at least one trial.
+uint64_t NumTrials(size_t num_disequalities, double per_call_failure) {
+  const double log_term = std::ceil(std::log(1.0 / per_call_failure));
+  double trials = std::max(1.0, log_term);
+  for (size_t i = 0; i < num_disequalities; ++i) trials *= 4.0;
+  // Clamp to something addressable; ||phi|| is a parameter, so this is the
+  // paper's exp(O(||phi||^2)) factor showing up in practice.
+  return static_cast<uint64_t>(std::min(trials, 1e15));
+}
+
+// Intersects `domain` (resizing an unrestricted mask on demand) with the
+// colour class of `value_is_red` for one endpoint of a disequality.
+void RestrictToColour(std::vector<bool>& domain,
+                      const std::vector<bool>& colouring, bool want_red,
+                      uint32_t universe) {
+  if (domain.empty()) domain.assign(universe, true);
+  for (uint32_t w = 0; w < universe; ++w) {
+    if (domain[w] && colouring[w] != want_red) domain[w] = false;
+  }
+}
+
+}  // namespace
+
+ColourCodingEdgeFreeOracle::ColourCodingEdgeFreeOracle(
+    const Query& q, HomOracle* hom, uint32_t universe_size,
+    const ColourCodingOptions& opts)
+    : query_(q),
+      hom_(hom),
+      universe_(universe_size),
+      trials_per_call_(
+          NumTrials(q.disequalities().size(), opts.per_call_failure)),
+      rng_(opts.seed) {}
+
+bool ColourCodingEdgeFreeOracle::IsEdgeFree(const PartiteSubset& parts) {
+  ++num_calls_;
+  assert(static_cast<int>(parts.parts.size()) == query_.num_free());
+
+  // Base domains: free variable i restricted to V_i, existentials free.
+  VarDomains base;
+  base.allowed.resize(query_.num_vars());
+  for (int i = 0; i < query_.num_free(); ++i) {
+    base.allowed[i] = parts.parts[i];
+    base.allowed[i].resize(universe_, false);
+  }
+  // Fast path: an empty V_i admits no edge.
+  for (int i = 0; i < query_.num_free(); ++i) {
+    bool any = false;
+    for (bool b : base.allowed[i]) {
+      if (b) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return true;
+  }
+
+  const auto& disequalities = query_.disequalities();
+  if (disequalities.empty()) {
+    return !hom_->Decide(base);
+  }
+
+  for (uint64_t trial = 0; trial < trials_per_call_; ++trial) {
+    VarDomains domains = base;
+    for (const Disequality& d : disequalities) {
+      // f_eta : U(D) -> {r, b} uniformly at random; the smaller endpoint
+      // must land red, the larger blue (Definition 26's R_eta / B_eta).
+      std::vector<bool> colouring = rng_.RandomMask(universe_, 0.5);
+      RestrictToColour(domains.allowed[d.lhs], colouring, /*want_red=*/true,
+                       universe_);
+      RestrictToColour(domains.allowed[d.rhs], colouring, /*want_red=*/false,
+                       universe_);
+    }
+    if (hom_->Decide(domains)) return false;  // Witness found: has an edge.
+  }
+  return true;
+}
+
+bool DecideAnySolution(const Query& q, HomOracle* hom, uint32_t universe_size,
+                       const VarDomains& base_domains, double delta,
+                       Rng& rng) {
+  const auto& disequalities = q.disequalities();
+  if (disequalities.empty()) {
+    return hom->Decide(base_domains);
+  }
+  const uint64_t trials = NumTrials(disequalities.size(), delta);
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    VarDomains domains = base_domains;
+    if (domains.allowed.empty()) domains.allowed.resize(q.num_vars());
+    for (const Disequality& d : disequalities) {
+      std::vector<bool> colouring = rng.RandomMask(universe_size, 0.5);
+      RestrictToColour(domains.allowed[d.lhs], colouring, true,
+                       universe_size);
+      RestrictToColour(domains.allowed[d.rhs], colouring, false,
+                       universe_size);
+    }
+    if (hom->Decide(domains)) return true;
+  }
+  return false;
+}
+
+}  // namespace cqcount

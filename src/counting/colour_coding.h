@@ -1,0 +1,67 @@
+// Colour-coding simulation of the EdgeFree oracle (Lemma 30 + Lemma 22).
+//
+// EdgeFree(H(phi,D)[V_1..V_l]) holds iff NO collection f of per-disequality
+// colourings f_eta : U(D) -> {r,b} admits a homomorphism from A-hat(phi) to
+// B-hat(phi,D,V_1..V_l,f). The simulation samples
+// Q = ceil(ln(1/delta')) * 4^{|Delta|} colourings uniformly; each gives one
+// Hom query. A homomorphism respecting a colouring yields an edge
+// (sound); a present edge is missed with probability at most delta'
+// (each trial succeeds with probability >= 4^{-|Delta|}, Lemma 22).
+//
+// The Hom instances are passed to the oracle virtually: all of A-hat's
+// additions are unary, so the instance is exactly "phi's positive/negated
+// atoms + per-variable domain restrictions" (cross-validated against the
+// materialised Definitions 26/28 in tests).
+#ifndef CQCOUNT_COUNTING_COLOUR_CODING_H_
+#define CQCOUNT_COUNTING_COLOUR_CODING_H_
+
+#include <cstdint>
+
+#include "counting/partite_hypergraph.h"
+#include "hom/hom_oracle.h"
+#include "query/query.h"
+#include "util/random.h"
+
+namespace cqcount {
+
+/// Tuning for the colour-coding simulation.
+struct ColourCodingOptions {
+  /// Per-IsEdgeFree-call failure probability delta' (one-sided: only
+  /// "edge-free" answers can be wrong).
+  double per_call_failure = 1e-4;
+  /// Deterministic seed for the colouring sampler.
+  uint64_t seed = 0x5EEDC01DULL;
+};
+
+/// EdgeFree oracle implemented by colour-coded Hom queries (Lemma 22).
+class ColourCodingEdgeFreeOracle : public EdgeFreeOracle {
+ public:
+  /// `hom` must outlive the oracle; `universe_size` = |U(D)|.
+  ColourCodingEdgeFreeOracle(const Query& q, HomOracle* hom,
+                             uint32_t universe_size,
+                             const ColourCodingOptions& opts);
+
+  bool IsEdgeFree(const PartiteSubset& parts) override;
+
+  /// Number of colouring trials used per oracle call (Q).
+  uint64_t trials_per_call() const { return trials_per_call_; }
+  /// Total Hom queries issued.
+  uint64_t hom_queries() const { return hom_->num_calls(); }
+
+ private:
+  const Query& query_;
+  HomOracle* hom_;
+  uint32_t universe_;
+  uint64_t trials_per_call_;
+  Rng rng_;
+};
+
+/// Amplified decision "does (phi, D) have any solution?" via colour-coded
+/// Hom queries; wrong (false negative) with probability <= delta. Used for
+/// the l = 0 case and for answer-membership tests.
+bool DecideAnySolution(const Query& q, HomOracle* hom, uint32_t universe_size,
+                       const VarDomains& base_domains, double delta, Rng& rng);
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_COUNTING_COLOUR_CODING_H_

@@ -1,0 +1,366 @@
+#include "counting/dlm_counter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <tuple>
+
+#include "util/math_util.h"
+#include "util/random.h"
+
+namespace cqcount {
+namespace {
+
+// A product of per-part index ranges [lo, hi).
+struct Box {
+  std::vector<std::pair<uint32_t, uint32_t>> ranges;
+
+  double LogVolume() const {
+    double lv = 0.0;
+    for (const auto& [lo, hi] : ranges) lv += std::log2(double(hi - lo));
+    return lv;
+  }
+  bool IsSingleton() const {
+    for (const auto& [lo, hi] : ranges) {
+      if (hi - lo != 1) return false;
+    }
+    return true;
+  }
+  // Index of the widest part.
+  int WidestPart() const {
+    int best = 0;
+    uint32_t width = 0;
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      const uint32_t w = ranges[i].second - ranges[i].first;
+      if (w > width) {
+        width = w;
+        best = static_cast<int>(i);
+      }
+    }
+    return best;
+  }
+};
+
+PartiteSubset ToSubset(const Box& box,
+                       const std::vector<uint32_t>& part_sizes) {
+  PartiteSubset subset;
+  subset.parts.resize(box.ranges.size());
+  for (size_t i = 0; i < box.ranges.size(); ++i) {
+    subset.parts[i].assign(part_sizes[i], false);
+    for (uint32_t v = box.ranges[i].first; v < box.ranges[i].second; ++v) {
+      subset.parts[i][v] = true;
+    }
+  }
+  return subset;
+}
+
+class Estimator {
+ public:
+  Estimator(const std::vector<uint32_t>& part_sizes, EdgeFreeOracle& oracle,
+            const DlmOptions& opts)
+      : part_sizes_(part_sizes),
+        oracle_(oracle),
+        opts_(opts),
+        calls_base_(oracle.num_calls()) {}
+
+  StatusOr<DlmResult> Run() {
+    Box full;
+    for (uint32_t size : part_sizes_) {
+      if (size == 0) return DlmResult{0.0, true, true, 0, 0};
+      full.ranges.push_back({0, size});
+    }
+    if (IsEdgeFree(full)) {
+      return DlmResult{0.0, true, true, oracle_.num_calls() - calls_base_, 0};
+    }
+
+    // Phase 1: exact enumeration within budget.
+    uint64_t exact_count = 0;
+    if (EnumerateExact(full, &exact_count)) {
+      DlmResult result;
+      result.estimate = static_cast<double>(exact_count);
+      result.exact = true;
+      result.oracle_calls = Calls();
+      return result;
+    }
+
+    // Phase 2: breadth-first expansion into a frontier of non-empty boxes.
+    auto cmp = [](const Box& a, const Box& b) {
+      return a.LogVolume() < b.LogVolume();
+    };
+    std::priority_queue<Box, std::vector<Box>, decltype(cmp)> queue(cmp);
+    queue.push(full);
+    std::vector<Box> frontier;
+    uint64_t singleton_edges = 0;
+    while (!queue.empty() &&
+           static_cast<int>(frontier.size()) + static_cast<int>(queue.size()) <
+               opts_.max_frontier &&
+           !OverBudget()) {
+      Box box = queue.top();
+      queue.pop();
+      if (box.IsSingleton()) {
+        ++singleton_edges;
+        continue;
+      }
+      auto [left, right] = Split(box);
+      const bool left_nonempty = !IsEdgeFree(left);
+      // The parent box is non-empty, so if the left half is empty the
+      // right half cannot be (one call saved).
+      const bool right_nonempty =
+          !left_nonempty ? true : !IsEdgeFree(right);
+      if (left_nonempty) queue.push(std::move(left));
+      if (right_nonempty) queue.push(std::move(right));
+    }
+    while (!queue.empty()) {
+      Box box = queue.top();
+      queue.pop();
+      if (box.IsSingleton()) {
+        ++singleton_edges;
+      } else {
+        frontier.push_back(std::move(box));
+      }
+    }
+    if (frontier.empty()) {
+      // Everything resolved into singletons after all: exact.
+      DlmResult result;
+      result.estimate = static_cast<double>(singleton_edges);
+      result.exact = true;
+      result.oracle_calls = Calls();
+      return result;
+    }
+
+    // Phase 3: median over independent adaptive sampling runs.
+    const int runs = NumRuns();
+    std::vector<double> estimates;
+    int worst_rounds = 0;
+    bool converged = true;
+    Rng rng(opts_.seed);
+    for (int run = 0; run < runs; ++run) {
+      Rng run_rng = rng.Split();
+      auto [estimate, rounds, run_converged] =
+          AdaptiveRun(frontier, singleton_edges, run_rng);
+      estimates.push_back(estimate);
+      worst_rounds = std::max(worst_rounds, rounds);
+      converged = converged && run_converged;
+      if (OverBudget()) {
+        converged = false;
+        break;
+      }
+    }
+    DlmResult result;
+    result.estimate = Median(estimates);
+    result.exact = false;
+    result.converged = converged;
+    result.oracle_calls = Calls();
+    result.refinement_rounds = worst_rounds;
+    return result;
+  }
+
+ private:
+  uint64_t Calls() const { return oracle_.num_calls() - calls_base_; }
+  bool OverBudget() const { return Calls() > opts_.max_oracle_calls; }
+
+  bool IsEdgeFree(const Box& box) {
+    return oracle_.IsEdgeFree(ToSubset(box, part_sizes_));
+  }
+
+  std::pair<Box, Box> Split(const Box& box) const {
+    const int d = box.WidestPart();
+    const auto [lo, hi] = box.ranges[d];
+    const uint32_t mid = lo + (hi - lo) / 2;
+    Box left = box;
+    Box right = box;
+    left.ranges[d] = {lo, mid};
+    right.ranges[d] = {mid, hi};
+    return {std::move(left), std::move(right)};
+  }
+
+  // Depth-first full bisection; returns false (abandoning the attempt) as
+  // soon as the running count exceeds the exact budget.
+  bool EnumerateExact(const Box& root, uint64_t* count) {
+    std::vector<Box> stack = {root};  // Invariant: boxes are non-empty.
+    while (!stack.empty()) {
+      if (OverBudget()) return false;
+      Box box = std::move(stack.back());
+      stack.pop_back();
+      if (box.IsSingleton()) {
+        if (++(*count) > opts_.exact_enumeration_budget) return false;
+        continue;
+      }
+      auto [left, right] = Split(box);
+      const bool left_nonempty = !IsEdgeFree(left);
+      const bool right_nonempty =
+          !left_nonempty ? true : !IsEdgeFree(right);
+      if (left_nonempty) stack.push_back(std::move(left));
+      if (right_nonempty) stack.push_back(std::move(right));
+    }
+    return true;
+  }
+
+  // Unbiased pruned-Knuth estimate of the number of edges inside `box`
+  // (which must be non-empty): descend by halving; the weight doubles only
+  // when both halves are non-empty.
+  double KnuthSample(Box box, Rng& rng) {
+    double weight = 1.0;
+    while (!box.IsSingleton()) {
+      auto [left, right] = Split(box);
+      const bool left_nonempty = !IsEdgeFree(left);
+      if (!left_nonempty) {
+        box = std::move(right);
+        continue;
+      }
+      const bool right_nonempty = !IsEdgeFree(right);
+      if (!right_nonempty) {
+        box = std::move(left);
+        continue;
+      }
+      weight *= 2.0;
+      box = rng.Bernoulli(0.5) ? std::move(left) : std::move(right);
+    }
+    return weight;
+  }
+
+  // Number of independent runs for the outer median (each run's adaptive
+  // 2-sigma stopping rule gives >= 3/4 per-run confidence; the median of r
+  // runs fails with probability <= exp(-r/8)).
+  int NumRuns() const {
+    if (opts_.delta >= 0.25) return 1;
+    const int runs =
+        static_cast<int>(std::ceil(8.0 * std::log(1.0 / opts_.delta)));
+    return std::min(runs | 1, 41);  // Odd, capped.
+  }
+
+  // One adaptive sampling run: returns (estimate, rounds, converged).
+  // Two variance-reduction levers per round: re-sample the boxes with the
+  // highest variance-of-mean contribution, and *split* the worst of them
+  // (stratification beats brute sampling for the Knuth estimator, whose
+  // variance is driven by box depth).
+  std::tuple<double, int, bool> AdaptiveRun(
+      const std::vector<Box>& initial_frontier, uint64_t singleton_edges,
+      Rng& rng) {
+    struct Stratum {
+      Box box;
+      MeanVarAccumulator acc;
+    };
+    std::vector<Stratum> strata;
+    strata.reserve(initial_frontier.size());
+    for (const Box& box : initial_frontier) strata.push_back({box, {}});
+    double exact_mass = static_cast<double>(singleton_edges);
+
+    auto current = [&]() {
+      double estimate = exact_mass;
+      double pooled_variance = 0.0;
+      for (const auto& s : strata) {
+        estimate += s.acc.mean();
+        pooled_variance += s.acc.mean_variance();
+      }
+      return std::make_pair(estimate, pooled_variance);
+    };
+
+    int samples_next_round = opts_.initial_samples_per_box;
+    int rounds = 0;
+    for (; rounds < opts_.max_refinement_rounds; ++rounds) {
+      // Sample targets: everything in round 0, the worse half afterwards.
+      // Unsampled strata (fresh splits) come first: an unsampled stratum
+      // would otherwise contribute a spurious zero mean.
+      std::vector<size_t> order(strata.size());
+      for (size_t i = 0; i < strata.size(); ++i) order[i] = i;
+      auto priority = [&](size_t i) {
+        return strata[i].acc.count() == 0
+                   ? std::numeric_limits<double>::infinity()
+                   : strata[i].acc.mean_variance();
+      };
+      std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+        return priority(x) > priority(y);
+      });
+      const size_t targets =
+          rounds == 0 ? strata.size() : (strata.size() + 1) / 2;
+      for (size_t idx = 0; idx < targets; ++idx) {
+        Stratum& s = strata[order[idx]];
+        for (int k = 0; k < samples_next_round; ++k) {
+          if (OverBudget()) break;
+          s.acc.Add(KnuthSample(s.box, rng));
+        }
+      }
+      samples_next_round += samples_next_round / 2 + 1;
+
+      auto [estimate, pooled_variance] = current();
+      const double half_width = 2.0 * std::sqrt(pooled_variance);
+      if (half_width <= opts_.epsilon * std::max(estimate, 1.0)) {
+        return {estimate, rounds + 1, true};
+      }
+      if (OverBudget()) break;
+
+      // Stratify: split the worst boxes (fresh accumulators for the
+      // non-empty halves; singleton halves become exact mass). Splitting
+      // cuts Knuth variance roughly in half per level at a cost of ~2
+      // oracle calls, which beats extra sampling until boxes are small.
+      if (!opts_.enable_stratified_splits) continue;
+      const size_t splits = std::max<size_t>(1, strata.size() / 4);
+      std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+        return strata[x].acc.mean_variance() >
+               strata[y].acc.mean_variance();
+      });
+      std::vector<Stratum> added;
+      for (size_t idx = 0; idx < splits && idx < order.size(); ++idx) {
+        Stratum& s = strata[order[idx]];
+        if (s.box.IsSingleton() || OverBudget()) continue;
+        auto [left, right] = Split(s.box);
+        const bool left_nonempty = !IsEdgeFree(left);
+        const bool right_nonempty =
+            !left_nonempty ? true : !IsEdgeFree(right);
+        std::vector<Box> halves;
+        if (left_nonempty) halves.push_back(std::move(left));
+        if (right_nonempty) halves.push_back(std::move(right));
+        bool first = true;
+        for (Box& half : halves) {
+          if (half.IsSingleton()) {
+            exact_mass += 1.0;
+            continue;
+          }
+          if (first) {
+            s.box = std::move(half);
+            s.acc = MeanVarAccumulator();
+            first = false;
+          } else {
+            added.push_back({std::move(half), {}});
+          }
+        }
+        if (first) {
+          // Both halves were singletons; retire the stratum.
+          s.box.ranges.assign(1, {0, 1});
+          s.acc = MeanVarAccumulator();
+          s.acc.Add(0.0);  // Contributes 0 with 0 variance.
+        }
+      }
+      for (Stratum& s : added) strata.push_back(std::move(s));
+    }
+    auto [estimate, pooled_variance] = current();
+    (void)pooled_variance;
+    return {estimate, rounds, false};
+  }
+
+  const std::vector<uint32_t>& part_sizes_;
+  EdgeFreeOracle& oracle_;
+  const DlmOptions& opts_;
+  uint64_t calls_base_ = 0;
+};
+
+}  // namespace
+
+StatusOr<DlmResult> DlmCountEdges(const std::vector<uint32_t>& part_sizes,
+                                  EdgeFreeOracle& oracle,
+                                  const DlmOptions& opts) {
+  if (part_sizes.empty()) {
+    return Status::InvalidArgument("DlmCountEdges requires l >= 1 parts");
+  }
+  if (opts.epsilon <= 0.0 || opts.epsilon >= 1.0 || opts.delta <= 0.0 ||
+      opts.delta >= 1.0) {
+    return Status::InvalidArgument("epsilon and delta must lie in (0, 1)");
+  }
+  Estimator estimator(part_sizes, oracle, opts);
+  return estimator.Run();
+}
+
+}  // namespace cqcount

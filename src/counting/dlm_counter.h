@@ -1,0 +1,75 @@
+// Approximate edge counting with an EdgeFree oracle (the Theorem 17
+// interface of Dell-Lapinskas-Meeks [15]).
+//
+// Internals (DESIGN.md section 4.1): the l-partite product space is
+// recursively bisected into "boxes" (products of per-part index ranges).
+//  1. Exact phase: full bisection enumerates edges one by one
+//     (O(sum_i log|V_i|) oracle calls each); if the count stays within
+//     `exact_enumeration_budget` the answer is exact.
+//  2. Otherwise, a breadth-first expansion partitions the edge set into at
+//     most `max_frontier` non-empty boxes, and each box is estimated by an
+//     unbiased pruned Knuth descent (query both halves; the weight doubles
+//     only when both are non-empty). Adaptive sampling drives the pooled
+//     2-sigma confidence interval below epsilon; an outer median over
+//     O(log 1/delta) runs amplifies the confidence.
+// All oracle access uses position-aligned parts, exactly the access
+// pattern Lemma 22 provides.
+#ifndef CQCOUNT_COUNTING_DLM_COUNTER_H_
+#define CQCOUNT_COUNTING_DLM_COUNTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "counting/partite_hypergraph.h"
+#include "util/status.h"
+
+namespace cqcount {
+
+/// Tuning for the DLM-style estimator.
+struct DlmOptions {
+  /// Target relative error.
+  double epsilon = 0.1;
+  /// Target failure probability.
+  double delta = 0.1;
+  /// Switch from exact enumeration to estimation past this many edges.
+  uint64_t exact_enumeration_budget = 1024;
+  /// Maximum number of boxes the edge set is partitioned into.
+  int max_frontier = 2048;
+  /// Knuth-descent samples per box in the first adaptive round.
+  int initial_samples_per_box = 8;
+  /// Cap on adaptive sampling rounds per run (samples double each round).
+  int max_refinement_rounds = 16;
+  /// Stratified splitting of high-variance boxes between rounds (the
+  /// design choice ablated in bench_ablation): disabling falls back to
+  /// sample-doubling only.
+  bool enable_stratified_splits = true;
+  /// Hard cap on oracle calls (safety valve; hitting it is reported via
+  /// `converged = false`).
+  uint64_t max_oracle_calls = 20'000'000;
+  /// Seed for the samplers.
+  uint64_t seed = 0xD1CEULL;
+};
+
+/// Estimation result.
+struct DlmResult {
+  /// The (epsilon, delta)-estimate of |E(H)| = |Ans(phi, D)|.
+  double estimate = 0.0;
+  /// True when the exact phase completed (the estimate is exact).
+  bool exact = false;
+  /// False when sampling hit a cap before reaching the target interval.
+  bool converged = true;
+  /// Oracle calls consumed.
+  uint64_t oracle_calls = 0;
+  /// Adaptive rounds used by the slowest run.
+  int refinement_rounds = 0;
+};
+
+/// Counts edges of the implicit l-partite hypergraph whose part i has
+/// `part_sizes[i]` vertices, using only `oracle`. Requires l >= 1.
+StatusOr<DlmResult> DlmCountEdges(const std::vector<uint32_t>& part_sizes,
+                                  EdgeFreeOracle& oracle,
+                                  const DlmOptions& opts);
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_COUNTING_DLM_COUNTER_H_

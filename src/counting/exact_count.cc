@@ -1,0 +1,68 @@
+#include "counting/exact_count.h"
+
+#include <functional>
+
+#include "decomposition/width_measures.h"
+#include "hom/backtracking.h"
+#include "hom/decomposition_solver.h"
+
+namespace cqcount {
+
+uint64_t ExactCountAnswersBruteForce(const Query& q, const Database& db) {
+  return CountAnswersBrute(q, db);
+}
+
+StatusOr<uint64_t> ExactCountAnswersExtension(const Query& q,
+                                              const Database& db) {
+  if (!q.disequalities().empty()) {
+    return Status::InvalidArgument(
+        "extension-based counting requires a disequality-free query");
+  }
+  Status s = q.CheckAgainstDatabase(db);
+  if (!s.ok()) return s;
+
+  Hypergraph h = q.BuildHypergraph();
+  FWidthResult width = ComputeDecomposition(h, WidthObjective::kTreewidth);
+  DecompositionSolver solver(q, db, std::move(width.decomposition));
+
+  const int num_free = q.num_free();
+  const uint32_t n = db.universe_size();
+  VarDomains domains;
+  domains.allowed.resize(q.num_vars());
+
+  uint64_t count = 0;
+  // DFS over free-variable prefixes; a prefix is expanded only if it is
+  // extendable to a full solution, so the work is output-sensitive.
+  std::function<void(int)> dfs = [&](int depth) {
+    if (depth == num_free) {
+      ++count;
+      return;
+    }
+    for (Value w = 0; w < n; ++w) {
+      domains.allowed[depth].assign(n, false);
+      domains.allowed[depth][w] = true;
+      if (solver.Decide(&domains)) dfs(depth + 1);
+    }
+    domains.allowed[depth].clear();
+  };
+  if (num_free == 0) {
+    return static_cast<uint64_t>(solver.Decide(nullptr) ? 1 : 0);
+  }
+  dfs(0);
+  return count;
+}
+
+StatusOr<double> ExactCountSolutionsDp(const Query& q, const Database& db) {
+  if (!q.disequalities().empty()) {
+    return Status::InvalidArgument(
+        "the counting DP requires a disequality-free query");
+  }
+  Status s = q.CheckAgainstDatabase(db);
+  if (!s.ok()) return s;
+  Hypergraph h = q.BuildHypergraph();
+  FWidthResult width = ComputeDecomposition(h, WidthObjective::kTreewidth);
+  DecompositionSolver solver(q, db, std::move(width.decomposition));
+  return solver.CountSolutions(nullptr);
+}
+
+}  // namespace cqcount

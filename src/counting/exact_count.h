@@ -1,0 +1,37 @@
+// Exact baselines for |Ans(phi, D)| and |Sol(phi, D)|.
+//
+// These are the ground truths the approximation schemes are validated
+// against, and the "intractable side" of the paper's dichotomies in the
+// benches: exact answer counting is #W[1]-hard already for very simple
+// query classes (Dell-Roth-Wellnitz), so everything here is exponential in
+// the query size in general.
+#ifndef CQCOUNT_COUNTING_EXACT_COUNT_H_
+#define CQCOUNT_COUNTING_EXACT_COUNT_H_
+
+#include <cstdint>
+
+#include "decomposition/tree_decomposition.h"
+#include "query/query.h"
+#include "relational/structure.h"
+#include "util/status.h"
+
+namespace cqcount {
+
+/// |Ans(phi, D)| by enumerating all solutions and deduplicating their
+/// projections. Works for every ECQ; exponential in general.
+uint64_t ExactCountAnswersBruteForce(const Query& q, const Database& db);
+
+/// |Ans(phi, D)| with polynomial delay per answer: depth-first search over
+/// free-variable prefixes, pruned by a tree-decomposition extendability
+/// check. Cost ~ O(|Ans| * l * |U(D)| * poly(||D||)). Requires a
+/// disequality-free query (disequalities break the extendability oracle).
+StatusOr<uint64_t> ExactCountAnswersExtension(const Query& q,
+                                              const Database& db);
+
+/// |Sol(phi, D)| exactly via the tree-decomposition counting DP
+/// (polynomial for bounded-width H(phi)). Requires no disequalities.
+StatusOr<double> ExactCountSolutionsDp(const Query& q, const Database& db);
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_COUNTING_EXACT_COUNT_H_

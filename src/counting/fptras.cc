@@ -1,0 +1,89 @@
+#include "counting/fptras.h"
+
+#include <cmath>
+#include <memory>
+
+#include "counting/colour_coding.h"
+#include "counting/partite_hypergraph.h"
+#include "hom/hom_oracle.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace cqcount {
+
+StatusOr<ApproxCountResult> ApproxCountAnswers(const Query& q,
+                                               const Database& db,
+                                               const ApproxOptions& opts) {
+  Status valid = q.Validate();
+  if (!valid.ok()) return valid;
+  valid = q.CheckAgainstDatabase(db);
+  if (!valid.ok()) return valid;
+  if (opts.epsilon <= 0.0 || opts.epsilon >= 1.0 || opts.delta <= 0.0 ||
+      opts.delta >= 1.0) {
+    return Status::InvalidArgument("epsilon and delta must lie in (0, 1)");
+  }
+  if (db.universe_size() == 0) {
+    ApproxCountResult r;
+    r.exact = true;
+    return r;
+  }
+
+  // Decomposition of H(phi) (= H(A-hat) up to harmless singleton edges,
+  // proof of Theorem 5).
+  Hypergraph h = q.BuildHypergraph();
+  FWidthResult width =
+      ComputeDecomposition(h, opts.objective, opts.exact_decomposition_limit);
+  CQLOG(kInfo) << "FPTRAS: decomposition width " << width.width << " over "
+               << h.num_vertices() << " variables";
+
+  DecompositionHomOracle hom(q, db, width.decomposition);
+
+  // Split delta between the estimator and the oracle simulation
+  // (Lemma 22's union bound): per-call failure delta/(2 * max calls).
+  const double delta_estimator = opts.delta / 2.0;
+  ColourCodingOptions cc;
+  cc.per_call_failure =
+      opts.per_call_failure_override > 0.0
+          ? opts.per_call_failure_override
+          : opts.delta /
+                (2.0 * static_cast<double>(opts.dlm.max_oracle_calls));
+  cc.seed = opts.seed ^ 0x9E3779B97F4A7C15ULL;
+
+  ApproxCountResult result;
+  result.width = width.width;
+
+  if (q.num_free() == 0) {
+    // |Ans| is 0 or 1 (the empty assignment): amplified decision.
+    Rng rng(cc.seed);
+    VarDomains unrestricted;
+    const bool any = DecideAnySolution(q, &hom, db.universe_size(),
+                                       unrestricted, opts.delta, rng);
+    result.estimate = any ? 1.0 : 0.0;
+    result.exact = q.disequalities().empty();
+    result.hom_queries = hom.num_calls();
+    return result;
+  }
+
+  ColourCodingEdgeFreeOracle oracle(q, &hom, db.universe_size(), cc);
+  result.colouring_trials_per_call = oracle.trials_per_call();
+
+  DlmOptions dlm = opts.dlm;
+  dlm.epsilon = opts.epsilon;
+  dlm.delta = delta_estimator;
+  dlm.seed = opts.seed;
+  std::vector<uint32_t> part_sizes(q.num_free(), db.universe_size());
+  auto dlm_result = DlmCountEdges(part_sizes, oracle, dlm);
+  if (!dlm_result.ok()) return dlm_result.status();
+
+  result.estimate = dlm_result->estimate;
+  // "Exact" from the enumeration phase is still subject to the one-sided
+  // colour-coding failure when disequalities are present; keep the flag,
+  // since the failure probability is covered by delta.
+  result.exact = dlm_result->exact && q.disequalities().empty();
+  result.converged = dlm_result->converged;
+  result.edgefree_calls = dlm_result->oracle_calls;
+  result.hom_queries = hom.num_calls();
+  return result;
+}
+
+}  // namespace cqcount

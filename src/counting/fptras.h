@@ -1,0 +1,75 @@
+// FPTRAS front end for #ECQ / #DCQ (Theorems 5 and 13).
+//
+// Pipeline (Section 3 + Section 4 of the paper):
+//   answers of (phi, D)
+//     = hyperedges of H(phi, D)              (Observation 25)
+//     ~ DLM edge estimation                   (Theorem 17 interface)
+//     -> EdgeFree oracle via colour coding    (Lemmas 30 and 22)
+//     -> Hom oracle via tree-decomposition DP (Theorem 31 engine; the same
+//        engine over an fhw-optimised decomposition serves Theorem 13).
+#ifndef CQCOUNT_COUNTING_FPTRAS_H_
+#define CQCOUNT_COUNTING_FPTRAS_H_
+
+#include <cstdint>
+
+#include "counting/dlm_counter.h"
+#include "decomposition/width_measures.h"
+#include "query/query.h"
+#include "relational/structure.h"
+#include "util/status.h"
+
+namespace cqcount {
+
+/// Options for ApproxCountAnswers.
+struct ApproxOptions {
+  /// Target relative error (epsilon of the (epsilon, delta) guarantee).
+  double epsilon = 0.1;
+  /// Target failure probability.
+  double delta = 0.1;
+  /// Seed controlling all randomness (colourings, sampling).
+  uint64_t seed = 0xC0FFEEULL;
+  /// Decomposition objective: kTreewidth for the bounded-arity Theorem 5
+  /// regime, kFractionalHypertreewidth for the unbounded-arity Theorem 13
+  /// regime (DESIGN.md section 4.2).
+  WidthObjective objective = WidthObjective::kTreewidth;
+  /// Exact-width search is used for hypergraphs up to this many variables.
+  int exact_decomposition_limit = 14;
+  /// Per-EdgeFree-call failure probability for the colour-coding layer.
+  /// 0 = automatic (delta split over the estimator's oracle-call budget,
+  /// the paper's union bound). Benches use a fixed small value to trade a
+  /// negligible extra failure mass for far fewer colouring trials.
+  double per_call_failure_override = 0.0;
+  /// Estimator tuning (its epsilon/delta/seed fields are overridden).
+  DlmOptions dlm;
+};
+
+/// Result of an approximate answer count.
+struct ApproxCountResult {
+  /// The (epsilon, delta)-approximation of |Ans(phi, D)|.
+  double estimate = 0.0;
+  /// True when the estimator's exact phase finished (exact answer).
+  bool exact = false;
+  /// False when a sampling cap was hit before the target interval.
+  bool converged = true;
+  /// EdgeFree oracle calls made by the estimator.
+  uint64_t edgefree_calls = 0;
+  /// Hom queries issued by the colour-coding layer.
+  uint64_t hom_queries = 0;
+  /// Colouring trials per EdgeFree call (the 4^{|Delta|} log factor).
+  uint64_t colouring_trials_per_call = 0;
+  /// Width of the decomposition the Hom oracle ran on.
+  double width = 0.0;
+};
+
+/// (epsilon, delta)-approximates |Ans(phi, D)| for an ECQ (Theorem 5 with
+/// the default treewidth objective; Theorem 13 regime with
+/// kFractionalHypertreewidth). The guarantee is meaningful when the
+/// query's hypergraph has bounded width; the algorithm itself is correct
+/// for every input (only its running time degrades).
+StatusOr<ApproxCountResult> ApproxCountAnswers(const Query& q,
+                                               const Database& db,
+                                               const ApproxOptions& opts);
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_COUNTING_FPTRAS_H_

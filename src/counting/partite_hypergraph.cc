@@ -1,0 +1,70 @@
+#include "counting/partite_hypergraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <unordered_set>
+
+#include "hom/backtracking.h"
+#include "util/hash.h"
+
+namespace cqcount {
+
+BruteForceEdgeFreeOracle::BruteForceEdgeFreeOracle(const Query& q,
+                                                   const Database& db) {
+  std::unordered_set<Tuple, VectorHash<Value>> distinct;
+  const int num_free = q.num_free();
+  EnumerateSolutions(q, db, [&](const Tuple& solution) {
+    Tuple answer(solution.begin(), solution.begin() + num_free);
+    distinct.insert(std::move(answer));
+    return true;
+  });
+  answers_.assign(distinct.begin(), distinct.end());
+  std::sort(answers_.begin(), answers_.end());
+}
+
+bool BruteForceEdgeFreeOracle::IsEdgeFree(const PartiteSubset& parts) {
+  ++num_calls_;
+  for (const Tuple& answer : answers_) {
+    bool inside = true;
+    for (size_t i = 0; i < answer.size(); ++i) {
+      const auto& mask = parts.parts[i];
+      if (answer[i] >= mask.size() || !mask[answer[i]]) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) return false;
+  }
+  return true;
+}
+
+bool GeneralEdgeFreeAdapter::IsEdgeFree(const GeneralPartiteSubset& parts) {
+  assert(static_cast<int>(parts.parts.size()) == num_free_);
+  std::vector<int> permutation(num_free_);
+  std::iota(permutation.begin(), permutation.end(), 0);
+  do {
+    // V'_i = W_i cap U_{pi(i)}(D); then V_j = V'_{pi^{-1}(j)}.
+    PartiteSubset aligned;
+    aligned.parts.assign(num_free_, std::vector<bool>(universe_, false));
+    bool any_empty = false;
+    for (int i = 0; i < num_free_ && !any_empty; ++i) {
+      const int position = permutation[i];
+      bool nonempty = false;
+      for (uint64_t encoded : parts.parts[i]) {
+        const int pos = static_cast<int>(encoded / universe_);
+        const Value value = static_cast<Value>(encoded % universe_);
+        if (pos == position) {
+          aligned.parts[position][value] = true;
+          nonempty = true;
+        }
+      }
+      any_empty = !nonempty;
+    }
+    if (any_empty) continue;
+    if (!aligned_->IsEdgeFree(aligned)) return false;
+  } while (std::next_permutation(permutation.begin(), permutation.end()));
+  return true;
+}
+
+}  // namespace cqcount

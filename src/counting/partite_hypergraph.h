@@ -1,0 +1,83 @@
+// The answer hypergraph H(phi, D) of Definition 24, as an implicit view.
+//
+// H(phi,D) is l-partite and l-uniform: part i is U(D) x {i} and the
+// hyperedges are exactly the answers of (phi, D) (Observation 25). The
+// estimators never materialise it; all access goes through the EdgeFree
+// oracle below, which is the oracle of Theorem 17 restricted to
+// position-aligned parts V_i subseteq U_i(D). (Lemma 22 reduces arbitrary
+// l-partite subsets to at most l! aligned calls; see
+// GeneralEdgeFreeAdapter.)
+#ifndef CQCOUNT_COUNTING_PARTITE_HYPERGRAPH_H_
+#define CQCOUNT_COUNTING_PARTITE_HYPERGRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+#include "relational/structure.h"
+
+namespace cqcount {
+
+/// Position-aligned l-partite subset: parts[i] is a membership mask over
+/// U(D) describing V_i subseteq U_i(D).
+struct PartiteSubset {
+  std::vector<std::vector<bool>> parts;
+};
+
+/// Oracle for the predicate EdgeFree(H(phi,D)[V_1..V_l]) (Theorem 17).
+class EdgeFreeOracle {
+ public:
+  virtual ~EdgeFreeOracle() = default;
+
+  /// True iff no answer tau has tau(x_i) in V_i for every free variable i.
+  virtual bool IsEdgeFree(const PartiteSubset& parts) = 0;
+
+  uint64_t num_calls() const { return num_calls_; }
+
+ protected:
+  uint64_t num_calls_ = 0;
+};
+
+/// Ground-truth oracle that enumerates Ans(phi, D) once by brute force and
+/// answers queries by scanning it. Exponential set-up; tests only.
+class BruteForceEdgeFreeOracle : public EdgeFreeOracle {
+ public:
+  BruteForceEdgeFreeOracle(const Query& q, const Database& db);
+
+  bool IsEdgeFree(const PartiteSubset& parts) override;
+
+  /// The materialised answer set (free-variable tuples).
+  const std::vector<Tuple>& answers() const { return answers_; }
+
+ private:
+  std::vector<Tuple> answers_;
+};
+
+/// Unaligned l-partite subset over V(H(phi,D)): members are encoded as
+/// position * |U(D)| + value.
+struct GeneralPartiteSubset {
+  std::vector<std::vector<uint64_t>> parts;
+};
+
+/// The Lemma 22 permutation trick: evaluates EdgeFree for arbitrary
+/// l-partite subsets (W_1..W_l) using at most l! aligned oracle calls
+/// (H[W_1..W_l] has an edge iff some permutation pi makes
+/// H[W_1 cap U_pi(1), ..] have one).
+class GeneralEdgeFreeAdapter {
+ public:
+  GeneralEdgeFreeAdapter(EdgeFreeOracle* aligned, int num_free,
+                         uint32_t universe_size)
+      : aligned_(aligned), num_free_(num_free), universe_(universe_size) {}
+
+  /// EdgeFree over an arbitrary l-partite subset.
+  bool IsEdgeFree(const GeneralPartiteSubset& parts);
+
+ private:
+  EdgeFreeOracle* aligned_;
+  int num_free_;
+  uint32_t universe_;
+};
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_COUNTING_PARTITE_HYPERGRAPH_H_

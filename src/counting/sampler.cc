@@ -1,0 +1,168 @@
+#include "counting/sampler.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cqcount {
+namespace {
+
+// EdgeFree oracle restricted to a box: local part i indexes the global
+// range [lo_i, lo_i + size_i).
+class BoxRestrictedOracle : public EdgeFreeOracle {
+ public:
+  BoxRestrictedOracle(EdgeFreeOracle* base, uint32_t universe,
+                      const std::vector<std::pair<uint32_t, uint32_t>>& box)
+      : base_(base), universe_(universe), box_(box) {}
+
+  bool IsEdgeFree(const PartiteSubset& parts) override {
+    ++num_calls_;
+    PartiteSubset global;
+    global.parts.resize(parts.parts.size());
+    for (size_t i = 0; i < parts.parts.size(); ++i) {
+      global.parts[i].assign(universe_, false);
+      for (size_t local = 0; local < parts.parts[i].size(); ++local) {
+        if (parts.parts[i][local]) {
+          global.parts[i][box_[i].first + local] = true;
+        }
+      }
+    }
+    return base_->IsEdgeFree(global);
+  }
+
+ private:
+  EdgeFreeOracle* base_;
+  uint32_t universe_;
+  const std::vector<std::pair<uint32_t, uint32_t>>& box_;
+};
+
+}  // namespace
+
+AnswerSampler::AnswerSampler(const Query& q, const Database& db,
+                             const SamplerOptions& opts)
+    : query_(q), db_(db), opts_(opts), rng_(opts.approx.seed ^ 0x5A5A5A5AULL) {
+  Hypergraph h = q.BuildHypergraph();
+  FWidthResult width =
+      ComputeDecomposition(h, opts.approx.objective,
+                           opts.approx.exact_decomposition_limit);
+  width_ = width.width;
+  hom_ = std::make_unique<DecompositionHomOracle>(q, db,
+                                                  width.decomposition);
+  ColourCodingOptions cc;
+  cc.per_call_failure =
+      opts.approx.per_call_failure_override > 0.0
+          ? opts.approx.per_call_failure_override
+          : opts.approx.delta /
+                (2.0 *
+                 static_cast<double>(opts.approx.dlm.max_oracle_calls));
+  cc.seed = opts.approx.seed ^ 0x1234567ULL;
+  oracle_ = std::make_unique<ColourCodingEdgeFreeOracle>(
+      q, hom_.get(), db.universe_size(), cc);
+}
+
+StatusOr<std::unique_ptr<AnswerSampler>> AnswerSampler::Create(
+    const Query& q, const Database& db, const SamplerOptions& opts) {
+  Status s = q.Validate();
+  if (!s.ok()) return s;
+  s = q.CheckAgainstDatabase(db);
+  if (!s.ok()) return s;
+  if (q.num_free() < 1) {
+    return Status::InvalidArgument("sampling requires >= 1 free variable");
+  }
+  if (db.universe_size() == 0) {
+    return Status::InvalidArgument("empty universe");
+  }
+  return std::unique_ptr<AnswerSampler>(new AnswerSampler(q, db, opts));
+}
+
+StatusOr<Tuple> AnswerSampler::SampleOne() {
+  const int l = query_.num_free();
+  const uint32_t n = db_.universe_size();
+  std::vector<std::pair<uint32_t, uint32_t>> box(l, {0u, n});
+
+  // Count the answers inside `box` (exact when small).
+  auto count_box = [&](const std::vector<std::pair<uint32_t, uint32_t>>& b)
+      -> StatusOr<double> {
+    BoxRestrictedOracle restricted(oracle_.get(), n, b);
+    std::vector<uint32_t> sizes;
+    sizes.reserve(b.size());
+    for (const auto& [lo, hi] : b) sizes.push_back(hi - lo);
+    DlmOptions dlm = opts_.approx.dlm;
+    dlm.epsilon = opts_.descent_epsilon;
+    dlm.delta = opts_.descent_delta;
+    dlm.seed = rng_.Next();
+    auto result = DlmCountEdges(sizes, restricted, dlm);
+    if (!result.ok()) return result.status();
+    return result->estimate;
+  };
+
+  auto total = count_box(box);
+  if (!total.ok()) return total.status();
+  if (*total <= 0.0) return Status::NotFound("answer set is empty");
+
+  for (;;) {
+    // Locate the widest dimension; stop when the box is a single cell.
+    int widest = -1;
+    uint32_t width = 1;
+    for (int i = 0; i < l; ++i) {
+      const uint32_t w = box[i].second - box[i].first;
+      if (w > width) {
+        width = w;
+        widest = i;
+      }
+    }
+    if (widest < 0) break;
+    const auto [lo, hi] = box[widest];
+    const uint32_t mid = lo + (hi - lo) / 2;
+
+    auto left = box;
+    left[widest] = {lo, mid};
+    auto right = box;
+    right[widest] = {mid, hi};
+    auto m_left = count_box(left);
+    if (!m_left.ok()) return m_left.status();
+    auto m_right = count_box(right);
+    if (!m_right.ok()) return m_right.status();
+    const double total_mass = *m_left + *m_right;
+    if (total_mass <= 0.0) {
+      return Status::Internal("sampler descended into an empty box");
+    }
+    box = rng_.UniformDouble() * total_mass < *m_left ? left : right;
+  }
+
+  Tuple answer(l);
+  for (int i = 0; i < l; ++i) answer[i] = box[i].first;
+  return answer;
+}
+
+StatusOr<std::vector<Tuple>> AnswerSampler::Sample(int count) {
+  std::vector<Tuple> samples;
+  samples.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    auto one = SampleOne();
+    if (!one.ok()) return one.status();
+    samples.push_back(*std::move(one));
+  }
+  return samples;
+}
+
+bool AnswerSampler::Member(const Tuple& answer, double delta) {
+  assert(static_cast<int>(answer.size()) == query_.num_free());
+  const uint32_t n = db_.universe_size();
+  VarDomains domains;
+  domains.allowed.resize(query_.num_vars());
+  for (int i = 0; i < query_.num_free(); ++i) {
+    domains.allowed[i].assign(n, false);
+    if (answer[i] < n) domains.allowed[i][answer[i]] = true;
+  }
+  return DecideAnySolution(query_, hom_.get(), n, domains, delta, rng_);
+}
+
+StatusOr<ApproxCountResult> AnswerSampler::EstimateCount(double epsilon,
+                                                         double delta) {
+  ApproxOptions opts = opts_.approx;
+  opts.epsilon = epsilon;
+  opts.delta = delta;
+  return ApproxCountAnswers(query_, db_, opts);
+}
+
+}  // namespace cqcount

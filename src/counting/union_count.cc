@@ -1,0 +1,106 @@
+#include "counting/union_count.h"
+
+#include <cmath>
+#include <memory>
+#include <unordered_set>
+
+#include "counting/sampler.h"
+#include "hom/backtracking.h"
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace cqcount {
+
+StatusOr<UnionCountResult> ApproxCountUnion(const std::vector<Query>& queries,
+                                            const Database& db,
+                                            const UnionOptions& opts) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("union of zero queries");
+  }
+  const int l = queries.front().num_free();
+  for (const Query& q : queries) {
+    if (q.num_free() != l) {
+      return Status::InvalidArgument(
+          "all queries in a union must have the same free arity");
+    }
+  }
+  if (l < 1) {
+    return Status::InvalidArgument("union counting requires l >= 1");
+  }
+  const size_t k = queries.size();
+
+  // Per-query counts and samplers.
+  UnionCountResult result;
+  result.per_query.resize(k, 0.0);
+  std::vector<std::unique_ptr<AnswerSampler>> samplers(k);
+  double total = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    SamplerOptions sopts;
+    sopts.approx = opts.approx;
+    sopts.approx.seed = opts.approx.seed + 7919 * (i + 1);
+    auto sampler = AnswerSampler::Create(queries[i], db, sopts);
+    if (!sampler.ok()) return sampler.status();
+    samplers[i] = std::move(sampler).value();
+    ApproxOptions per_query = opts.approx;
+    per_query.epsilon = opts.approx.epsilon / 3.0;
+    per_query.delta = opts.approx.delta / (3.0 * static_cast<double>(k));
+    auto count = ApproxCountAnswers(queries[i], db, per_query);
+    if (!count.ok()) return count.status();
+    result.per_query[i] = count->estimate;
+    total += count->estimate;
+  }
+  if (total <= 0.0) {
+    result.estimate = 0.0;
+    return result;
+  }
+
+  // Karp-Luby sampling.
+  const int wanted = static_cast<int>(std::ceil(
+      4.0 * static_cast<double>(k) * std::log(6.0 / opts.approx.delta) /
+      (opts.approx.epsilon * opts.approx.epsilon)));
+  const int samples = std::min(wanted, opts.max_samples);
+  Rng rng(opts.approx.seed ^ 0xFEEDFACEULL);
+  const double member_delta =
+      opts.approx.delta /
+      (3.0 * static_cast<double>(samples) * static_cast<double>(k));
+
+  double hits = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    // Choose a query proportional to its count.
+    double r = rng.UniformDouble() * total;
+    size_t chosen = 0;
+    for (; chosen + 1 < k; ++chosen) {
+      if (r < result.per_query[chosen]) break;
+      r -= result.per_query[chosen];
+    }
+    auto tau = samplers[chosen]->SampleOne();
+    if (!tau.ok()) return tau.status();
+    // Is `chosen` the first query containing tau?
+    bool is_first = true;
+    for (size_t j = 0; j < chosen; ++j) {
+      if (samplers[j]->Member(*tau, member_delta)) {
+        is_first = false;
+        break;
+      }
+    }
+    if (is_first) hits += 1.0;
+  }
+  result.samples = samples;
+  result.estimate = total * hits / static_cast<double>(samples);
+  return result;
+}
+
+uint64_t ExactCountUnionBruteForce(const std::vector<Query>& queries,
+                                   const Database& db) {
+  std::unordered_set<Tuple, VectorHash<Value>> answers;
+  for (const Query& q : queries) {
+    const int num_free = q.num_free();
+    EnumerateSolutions(q, db, [&](const Tuple& solution) {
+      answers.insert(Tuple(solution.begin(), solution.begin() + num_free));
+      return true;
+    });
+  }
+  return answers.size();
+}
+
+}  // namespace cqcount

@@ -1,0 +1,50 @@
+// Approximate counting for unions of (extended) conjunctive queries
+// (Section 6, via the Karp-Luby union technique [30]).
+//
+// |Ans(phi_1) u .. u Ans(phi_k)| is estimated from per-query approximate
+// counts c_i, approximate uniform samples from each Ans(phi_i), and
+// membership tests: sample i proportional to c_i, draw tau from
+// Ans(phi_i), and average the indicator [i = min{j : tau in Ans(phi_j)}]
+// scaled by sum_i c_i.
+#ifndef CQCOUNT_COUNTING_UNION_COUNT_H_
+#define CQCOUNT_COUNTING_UNION_COUNT_H_
+
+#include <vector>
+
+#include "counting/fptras.h"
+#include "query/query.h"
+#include "relational/structure.h"
+#include "util/status.h"
+
+namespace cqcount {
+
+/// Tuning for ApproxCountUnion.
+struct UnionOptions {
+  ApproxOptions approx;
+  /// Cap on Karp-Luby samples (the theoretical requirement is
+  /// O(k log(1/delta) / epsilon^2)).
+  int max_samples = 20000;
+};
+
+/// Result of a union count.
+struct UnionCountResult {
+  double estimate = 0.0;
+  /// Per-query approximate counts.
+  std::vector<double> per_query;
+  /// Karp-Luby samples actually used.
+  int samples = 0;
+};
+
+/// Approximates |union_i Ans(phi_i, D)|. All queries must share the same
+/// number of free variables (answers are compared positionally).
+StatusOr<UnionCountResult> ApproxCountUnion(const std::vector<Query>& queries,
+                                            const Database& db,
+                                            const UnionOptions& opts);
+
+/// Exact union count by brute force (baseline for tests and benches).
+uint64_t ExactCountUnionBruteForce(const std::vector<Query>& queries,
+                                   const Database& db);
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_COUNTING_UNION_COUNT_H_

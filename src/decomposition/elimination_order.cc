@@ -1,0 +1,126 @@
+#include "decomposition/elimination_order.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "hypergraph/primal_graph.h"
+
+namespace cqcount {
+namespace {
+
+std::vector<Vertex> GreedyOrder(const Hypergraph& h, bool by_fill) {
+  PrimalGraph g(h);
+  const int n = h.num_vertices();
+  std::vector<Vertex> order;
+  order.reserve(n);
+  for (int step = 0; step < n; ++step) {
+    Vertex best = -1;
+    long best_score = std::numeric_limits<long>::max();
+    for (Vertex v = 0; v < n; ++v) {
+      if (g.IsEliminated(v)) continue;
+      long score = by_fill ? g.FillIn(v) : g.Degree(v);
+      if (score < best_score) {
+        best_score = score;
+        best = v;
+      }
+    }
+    assert(best >= 0);
+    g.Eliminate(best);
+    order.push_back(best);
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<Vertex> MinFillOrder(const Hypergraph& h) {
+  return GreedyOrder(h, /*by_fill=*/true);
+}
+
+std::vector<Vertex> MinDegreeOrder(const Hypergraph& h) {
+  return GreedyOrder(h, /*by_fill=*/false);
+}
+
+TreeDecomposition DecompositionFromOrder(const Hypergraph& h,
+                                         const std::vector<Vertex>& order) {
+  const int n = h.num_vertices();
+  assert(static_cast<int>(order.size()) == n);
+  PrimalGraph g(h);
+  // position[v] = index of v in the elimination order.
+  std::vector<int> position(n, -1);
+  for (int i = 0; i < n; ++i) {
+    assert(order[i] >= 0 && order[i] < n && position[order[i]] == -1);
+    position[order[i]] = i;
+  }
+
+  TreeDecomposition td;
+  td.bags.resize(n);
+  td.parent.assign(n, -1);
+  // Node i corresponds to order[i]; bag = {v} + neighbours at elimination.
+  // Parent of node i = node of the earliest-eliminated bag member after v.
+  for (int i = 0; i < n; ++i) {
+    const Vertex v = order[i];
+    std::vector<Vertex> bag = g.Eliminate(v);
+    int next = n;  // Elimination position of the successor.
+    for (Vertex w : bag) {
+      if (w != v) next = std::min(next, position[w]);
+    }
+    td.bags[i] = std::move(bag);
+    if (next < n) {
+      td.parent[i] = next;
+    }
+  }
+  // All parent-less nodes except the last become children of the last node
+  // (this links disconnected components into a single tree; bag overlap is
+  // empty so condition (ii) is unaffected).
+  td.root = n - 1;
+  if (n == 0) {
+    td.bags.push_back({});
+    td.parent.push_back(-1);
+    td.root = 0;
+    return td;
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    if (td.parent[i] == -1) td.parent[i] = td.root;
+  }
+  td.parent[td.root] = -1;
+  return td;
+}
+
+int Degeneracy(const Hypergraph& h) {
+  // Repeatedly delete (plain deletion, no fill) a minimum-degree vertex;
+  // the largest degree seen at deletion time is the degeneracy.
+  const int n = h.num_vertices();
+  std::vector<std::vector<bool>> adj(n, std::vector<bool>(n, false));
+  std::vector<int> deg(n, 0);
+  PrimalGraph g(h);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v : g.Neighbours(u)) {
+      if (!adj[u][v]) {
+        adj[u][v] = true;
+        ++deg[u];
+      }
+    }
+  }
+  std::vector<bool> removed(n, false);
+  int degeneracy = 0;
+  for (int step = 0; step < n; ++step) {
+    Vertex best = -1;
+    int best_deg = std::numeric_limits<int>::max();
+    for (Vertex v = 0; v < n; ++v) {
+      if (!removed[v] && deg[v] < best_deg) {
+        best_deg = deg[v];
+        best = v;
+      }
+    }
+    degeneracy = std::max(degeneracy, best_deg);
+    removed[best] = true;
+    for (Vertex w = 0; w < n; ++w) {
+      if (adj[best][w] && !removed[w]) --deg[w];
+    }
+  }
+  return degeneracy;
+}
+
+}  // namespace cqcount

@@ -1,0 +1,35 @@
+// Elimination orders and the decompositions they induce.
+//
+// Eliminating vertices of the primal graph in some order yields a tree
+// decomposition whose bags are {v} + N(v) at elimination time. Min-fill and
+// min-degree are the standard heuristics; exact searches live in
+// exact_treewidth.h / width_measures.h.
+#ifndef CQCOUNT_DECOMPOSITION_ELIMINATION_ORDER_H_
+#define CQCOUNT_DECOMPOSITION_ELIMINATION_ORDER_H_
+
+#include <vector>
+
+#include "decomposition/tree_decomposition.h"
+#include "hypergraph/hypergraph.h"
+
+namespace cqcount {
+
+/// Min-fill elimination order of the primal graph of `h` (deterministic:
+/// ties broken by smallest vertex id).
+std::vector<Vertex> MinFillOrder(const Hypergraph& h);
+
+/// Min-degree elimination order (deterministic tie-breaking).
+std::vector<Vertex> MinDegreeOrder(const Hypergraph& h);
+
+/// Builds the tree decomposition induced by eliminating the vertices of the
+/// primal graph of `h` in `order` (which must be a permutation of V(h)).
+/// The result always satisfies conditions (i) and (ii) of Definition 4.
+TreeDecomposition DecompositionFromOrder(const Hypergraph& h,
+                                         const std::vector<Vertex>& order);
+
+/// Degeneracy of the primal graph (a treewidth lower bound).
+int Degeneracy(const Hypergraph& h);
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_DECOMPOSITION_ELIMINATION_ORDER_H_

@@ -1,0 +1,145 @@
+#include "decomposition/exact_treewidth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "decomposition/elimination_order.h"
+#include "hypergraph/primal_graph.h"
+#include "util/hash.h"
+
+namespace cqcount {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Elimination-order DP state: `eliminated` is the mask of vertices already
+// removed; f(eliminated) = best achievable max-cost for removing exactly
+// that set first.
+class FWidthSolver {
+ public:
+  FWidthSolver(const Hypergraph& h, const BagCostFn& cost)
+      : n_(h.num_vertices()), cost_(cost), graph_(h) {}
+
+  double Solve(uint32_t mask) {
+    if (mask == 0) return kNegInf;
+    auto it = memo_.find(mask);
+    if (it != memo_.end()) return it->second;
+    double best = std::numeric_limits<double>::infinity();
+    for (int v = 0; v < n_; ++v) {
+      if (!(mask & (1u << v))) continue;
+      const uint32_t rest = mask & ~(1u << v);
+      const double bag_cost = cost_(Bag(rest, v));
+      // max(f(rest), bag_cost), short-circuit if already worse.
+      if (bag_cost >= best) continue;
+      const double sub = Solve(rest);
+      best = std::min(best, std::max(sub, bag_cost));
+    }
+    memo_[mask] = best;
+    return best;
+  }
+
+  // Bag produced by eliminating v when `eliminated` was removed before:
+  // {v} + all w not eliminated, w != v, reachable from v through
+  // eliminated vertices.
+  std::vector<Vertex> Bag(uint32_t eliminated, int v) const {
+    std::vector<Vertex> bag;
+    std::vector<bool> visited(n_, false);
+    std::vector<int> stack = {v};
+    visited[v] = true;
+    std::vector<bool> in_bag(n_, false);
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      for (Vertex w : graph_.Neighbours(u)) {
+        if (visited[w]) continue;
+        if (eliminated & (1u << w)) {
+          visited[w] = true;
+          stack.push_back(w);
+        } else if (w != v && !in_bag[w]) {
+          in_bag[w] = true;
+        }
+      }
+    }
+    for (int w = 0; w < n_; ++w) {
+      if (in_bag[w]) bag.push_back(w);
+    }
+    bag.push_back(v);
+    std::sort(bag.begin(), bag.end());
+    return bag;
+  }
+
+  // Recovers an optimal elimination order from the memo table.
+  std::vector<Vertex> RecoverOrder() {
+    std::vector<Vertex> reversed;
+    uint32_t mask = (n_ == 32) ? ~0u : ((1u << n_) - 1);
+    while (mask != 0) {
+      const double target = Solve(mask);
+      int chosen = -1;
+      for (int v = 0; v < n_ && chosen < 0; ++v) {
+        if (!(mask & (1u << v))) continue;
+        const uint32_t rest = mask & ~(1u << v);
+        const double bag_cost = cost_(Bag(rest, v));
+        const double value = std::max(Solve(rest), bag_cost);
+        if (value <= target + 1e-9) chosen = v;
+      }
+      reversed.push_back(chosen);
+      mask &= ~(1u << chosen);
+    }
+    std::reverse(reversed.begin(), reversed.end());
+    return reversed;
+  }
+
+ private:
+  int n_;
+  const BagCostFn& cost_;
+  PrimalGraph graph_;
+  std::unordered_map<uint32_t, double> memo_;
+};
+
+}  // namespace
+
+StatusOr<FWidthResult> ExactFWidth(const Hypergraph& h, const BagCostFn& cost,
+                                   int max_vertices) {
+  const int n = h.num_vertices();
+  if (n > max_vertices || n > 25) {
+    return Status::ResourceExhausted(
+        "hypergraph too large for exact f-width DP");
+  }
+  FWidthResult result;
+  if (n == 0) {
+    result.width = kNegInf;
+    result.decomposition.bags.push_back({});
+    result.decomposition.parent.push_back(-1);
+    result.decomposition.root = 0;
+    return result;
+  }
+  // Memoise the (possibly expensive, e.g. LP-based) bag cost.
+  std::unordered_map<std::vector<Vertex>, double, VectorHash<Vertex>>
+      cost_cache;
+  BagCostFn cached_cost = [&](const std::vector<Vertex>& bag) {
+    auto it = cost_cache.find(bag);
+    if (it != cost_cache.end()) return it->second;
+    const double c = cost(bag);
+    cost_cache.emplace(bag, c);
+    return c;
+  };
+  FWidthSolver solver(h, cached_cost);
+  const uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1);
+  result.width = solver.Solve(full);
+  result.order = solver.RecoverOrder();
+  result.decomposition = DecompositionFromOrder(h, result.order);
+  return result;
+}
+
+StatusOr<FWidthResult> ExactTreewidth(const Hypergraph& h, int max_vertices) {
+  return ExactFWidth(
+      h,
+      [](const std::vector<Vertex>& bag) {
+        return static_cast<double>(bag.size()) - 1.0;
+      },
+      max_vertices);
+}
+
+}  // namespace cqcount

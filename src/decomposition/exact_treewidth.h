@@ -1,0 +1,50 @@
+// Exact width computations via elimination-order dynamic programming.
+//
+// For a monotone bag-cost function f (f(X) <= f(Y) whenever X subseteq Y),
+// the minimum over all tree decompositions of max_t f(B_t) equals the
+// minimum over elimination orders of the maximum f over the order's bags
+// (bags of a decomposition form a chordal completion; monotonicity lets us
+// restrict to maximal cliques). This gives exact treewidth (f = |X|-1),
+// exact fractional hypertreewidth (f = fcn(H[X]), monotone by
+// Observation 40), and exact mu-width for a fractional independent set mu
+// (Definition 32/33).
+//
+// Complexity is O(2^n poly(n) * cost-eval), so callers bound n.
+#ifndef CQCOUNT_DECOMPOSITION_EXACT_TREEWIDTH_H_
+#define CQCOUNT_DECOMPOSITION_EXACT_TREEWIDTH_H_
+
+#include <functional>
+#include <vector>
+
+#include "decomposition/tree_decomposition.h"
+#include "hypergraph/hypergraph.h"
+#include "util/status.h"
+
+namespace cqcount {
+
+/// Cost assigned to a (sorted) candidate bag.
+using BagCostFn = std::function<double(const std::vector<Vertex>&)>;
+
+/// Result of an exact f-width computation.
+struct FWidthResult {
+  /// The exact f-width of the hypergraph.
+  double width = 0.0;
+  /// An elimination order achieving it.
+  std::vector<Vertex> order;
+  /// The induced tree decomposition (bags from the elimination).
+  TreeDecomposition decomposition;
+};
+
+/// Exact f-width by subset DP; `cost` must be monotone under set inclusion.
+/// Fails with kResourceExhausted when h has more than `max_vertices`
+/// vertices (the DP is exponential).
+StatusOr<FWidthResult> ExactFWidth(const Hypergraph& h, const BagCostFn& cost,
+                                   int max_vertices = 22);
+
+/// Exact treewidth (Definition 4) with witness decomposition.
+StatusOr<FWidthResult> ExactTreewidth(const Hypergraph& h,
+                                      int max_vertices = 22);
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_DECOMPOSITION_EXACT_TREEWIDTH_H_

@@ -1,0 +1,215 @@
+#include "decomposition/hypertree_decomposition.h"
+
+#include <algorithm>
+#include <set>
+
+#include "decomposition/elimination_order.h"
+
+namespace cqcount {
+namespace {
+
+// Greedy set cover of `bag` by hyperedges of `h`; returns edge indices or
+// an empty optional when some vertex is uncoverable.
+StatusOr<std::vector<int>> GreedyGuard(const Hypergraph& h,
+                                       const std::vector<Vertex>& bag) {
+  std::vector<int> guard;
+  std::set<Vertex> uncovered(bag.begin(), bag.end());
+  while (!uncovered.empty()) {
+    int best = -1;
+    size_t best_gain = 0;
+    for (int e = 0; e < h.num_edges(); ++e) {
+      size_t gain = 0;
+      for (Vertex v : h.edge(e)) {
+        if (uncovered.count(v)) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = e;
+      }
+    }
+    if (best < 0) {
+      return Status::InvalidArgument(
+          "bag vertex lies in no hyperedge; no guard exists");
+    }
+    guard.push_back(best);
+    for (Vertex v : h.edge(best)) uncovered.erase(v);
+  }
+  std::sort(guard.begin(), guard.end());
+  return guard;
+}
+
+}  // namespace
+
+int HypertreeDecomposition::Width() const {
+  size_t width = 0;
+  for (const auto& guard : guards) width = std::max(width, guard.size());
+  return static_cast<int>(width);
+}
+
+Status HypertreeDecomposition::Validate(const Hypergraph& h) const {
+  Status s = base.Validate(h);
+  if (!s.ok()) return s;
+  if (guards.size() != base.bags.size()) {
+    return Status::InvalidArgument("guard count mismatch");
+  }
+  // Subtree vertex sets (union of descendant bags), bottom-up.
+  const auto children = base.Children();
+  const int n = base.num_nodes();
+  std::vector<std::set<Vertex>> below(n);
+  // Process children before parents: repeatedly scan (n is small).
+  std::vector<int> order;
+  std::vector<int> stack = {base.root};
+  while (!stack.empty()) {
+    int t = stack.back();
+    stack.pop_back();
+    order.push_back(t);
+    for (int c : children[t]) stack.push_back(c);
+  }
+  std::reverse(order.begin(), order.end());
+  for (int t : order) {
+    below[t].insert(base.bags[t].begin(), base.bags[t].end());
+    for (int c : children[t]) {
+      below[t].insert(below[c].begin(), below[c].end());
+    }
+  }
+
+  for (int t = 0; t < n; ++t) {
+    // (iii) bag covered by guard.
+    std::set<Vertex> guarded;
+    for (int e : guards[t]) {
+      if (e < 0 || e >= h.num_edges()) {
+        return Status::InvalidArgument("guard edge index out of range");
+      }
+      guarded.insert(h.edge(e).begin(), h.edge(e).end());
+    }
+    for (Vertex v : base.bags[t]) {
+      if (!guarded.count(v)) {
+        return Status::InvalidArgument("bag vertex not covered by guard");
+      }
+    }
+    // (iv) guard vertices reappearing below t must be in B_t.
+    for (Vertex v : guarded) {
+      if (below[t].count(v) &&
+          !std::binary_search(base.bags[t].begin(), base.bags[t].end(), v)) {
+        return Status::InvalidArgument(
+            "guard vertex occurs below the node but not in its bag "
+            "(condition (iv))");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<HypertreeDecomposition> BuildHypertreeDecomposition(
+    const Hypergraph& h, const TreeDecomposition& td) {
+  HypertreeDecomposition htd;
+  htd.base = td;
+  const auto children = htd.base.Children();
+  const int n = htd.base.num_nodes();
+
+  // Fixed point: guards may force bag growth (condition (iv)); grown
+  // bags may need new guards and connectivity repair. Bags only grow,
+  // so the loop terminates.
+  for (int round = 0; round < 2 * n + 4; ++round) {
+    // Guards for the current bags (condition (iii)).
+    htd.guards.assign(n, {});
+    for (int t = 0; t < n; ++t) {
+      auto guard = GreedyGuard(h, htd.base.bags[t]);
+      if (!guard.ok()) return guard.status();
+      htd.guards[t] = *std::move(guard);
+    }
+    Status valid = htd.Validate(h);
+    if (valid.ok()) return htd;
+
+    // Enforce (iv): guard vertices occurring below a node join its bag.
+    std::vector<std::set<Vertex>> below(n);
+    std::vector<int> order;
+    std::vector<int> stack = {htd.base.root};
+    while (!stack.empty()) {
+      int t = stack.back();
+      stack.pop_back();
+      order.push_back(t);
+      for (int c : children[t]) stack.push_back(c);
+    }
+    std::reverse(order.begin(), order.end());
+    for (int t : order) {
+      below[t].insert(htd.base.bags[t].begin(), htd.base.bags[t].end());
+      for (int c : children[t]) {
+        below[t].insert(below[c].begin(), below[c].end());
+      }
+    }
+    for (int t = 0; t < n; ++t) {
+      std::set<Vertex> bag(htd.base.bags[t].begin(),
+                           htd.base.bags[t].end());
+      for (int e : htd.guards[t]) {
+        for (Vertex v : h.edge(e)) {
+          if (below[t].count(v)) bag.insert(v);
+        }
+      }
+      htd.base.bags[t].assign(bag.begin(), bag.end());
+    }
+
+    // Repair connectivity (condition (ii)): connect all occurrences of a
+    // vertex through the root (conservative but always sound).
+    for (Vertex v = 0; v < h.num_vertices(); ++v) {
+      std::vector<int> holding;
+      for (int t = 0; t < n; ++t) {
+        if (std::binary_search(htd.base.bags[t].begin(),
+                               htd.base.bags[t].end(), v)) {
+          holding.push_back(t);
+        }
+      }
+      if (holding.size() <= 1) continue;
+      // Already connected? Check cheaply: all occurrences reach the
+      // topmost one through held nodes.
+      std::set<int> holds(holding.begin(), holding.end());
+      auto depth = [&](int node) {
+        int d = 0;
+        while (node != htd.base.root) {
+          node = htd.base.parent[node];
+          ++d;
+        }
+        return d;
+      };
+      int top = holding[0];
+      for (int t : holding) {
+        if (depth(t) < depth(top)) top = t;
+      }
+      bool connected = true;
+      for (int t : holding) {
+        int cur = t;
+        while (cur != top && connected) {
+          cur = htd.base.parent[cur];
+          if (cur == -1 || !holds.count(cur)) connected = false;
+        }
+      }
+      if (connected) continue;
+      // Fill v along every occurrence's path to the root.
+      for (int t : holding) {
+        int cur = t;
+        while (cur != -1) {
+          auto& bag = htd.base.bags[cur];
+          if (!std::binary_search(bag.begin(), bag.end(), v)) {
+            bag.insert(std::upper_bound(bag.begin(), bag.end(), v), v);
+          }
+          cur = htd.base.parent[cur];
+        }
+      }
+    }
+  }
+  Status valid = htd.Validate(h);
+  if (!valid.ok()) {
+    return Status::Internal("hypertree construction failed validation: " +
+                            valid.message());
+  }
+  return htd;
+}
+
+StatusOr<int> HypertreewidthGreedyBound(const Hypergraph& h) {
+  TreeDecomposition td = DecompositionFromOrder(h, MinFillOrder(h));
+  auto htd = BuildHypertreeDecomposition(h, td);
+  if (!htd.ok()) return htd.status();
+  return htd->Width();
+}
+
+}  // namespace cqcount

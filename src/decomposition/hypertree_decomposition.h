@@ -1,0 +1,52 @@
+// Hypertree decompositions with explicit guards (Definition 37).
+//
+// A hypertree decomposition (T, B, Gamma) extends a tree decomposition
+// with a guard Gamma_t (a set of hyperedges) per node such that
+//   (iii) B_t is covered by the union of its guard edges, and
+//   (iv)  (union of Gamma_t) intersected with the union of the bags in
+//         the subtree below t is contained in B_t ("descendant
+//         condition").
+// The hypertreewidth of the decomposition is the maximum guard size.
+// Exact hw is NP-hard; this module provides validated decompositions,
+// a greedy guard construction over any tree decomposition, and the
+// induced upper bound hw(H) <= width, completing the width family
+// tw >= hw >= fhw >= aw used by the paper's Figure 1 (Lemma 12).
+#ifndef CQCOUNT_DECOMPOSITION_HYPERTREE_DECOMPOSITION_H_
+#define CQCOUNT_DECOMPOSITION_HYPERTREE_DECOMPOSITION_H_
+
+#include <vector>
+
+#include "decomposition/tree_decomposition.h"
+#include "hypergraph/hypergraph.h"
+#include "util/status.h"
+
+namespace cqcount {
+
+/// A hypertree decomposition: a tree decomposition plus guards.
+struct HypertreeDecomposition {
+  TreeDecomposition base;
+  /// guards[t] = indices of hyperedges of H guarding bag t.
+  std::vector<std::vector<int>> guards;
+
+  /// Hypertreewidth of this decomposition: max guard cardinality.
+  int Width() const;
+
+  /// Checks Definition 37: base validity plus conditions (iii) and (iv).
+  Status Validate(const Hypergraph& h) const;
+};
+
+/// Builds a hypertree decomposition over `td` by greedily covering each
+/// bag with hyperedges (condition (iii)). Condition (iv) is then enforced
+/// by *expanding bags*: any vertex of a guard edge that reappears below
+/// the node is added to the bag (which keeps (i)/(ii)/(iii) intact and
+/// can only grow guards of ancestors, handled by iterating to a fixed
+/// point). Returns an error if some bag vertex lies in no hyperedge.
+StatusOr<HypertreeDecomposition> BuildHypertreeDecomposition(
+    const Hypergraph& h, const TreeDecomposition& td);
+
+/// Convenience: hw upper bound via the min-fill tree decomposition.
+StatusOr<int> HypertreewidthGreedyBound(const Hypergraph& h);
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_DECOMPOSITION_HYPERTREE_DECOMPOSITION_H_

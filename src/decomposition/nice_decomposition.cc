@@ -1,0 +1,249 @@
+#include "decomposition/nice_decomposition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace cqcount {
+namespace {
+
+// Set difference a \ b for sorted vectors.
+std::vector<Vertex> Minus(const std::vector<Vertex>& a,
+                          const std::vector<Vertex>& b) {
+  std::vector<Vertex> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+std::vector<Vertex> Without(std::vector<Vertex> bag, Vertex v) {
+  bag.erase(std::remove(bag.begin(), bag.end(), v), bag.end());
+  return bag;
+}
+
+std::vector<Vertex> With(std::vector<Vertex> bag, Vertex v) {
+  bag.insert(std::upper_bound(bag.begin(), bag.end(), v), v);
+  return bag;
+}
+
+}  // namespace
+
+int NiceTreeDecomposition::AddNode(NiceNodeKind kind, std::vector<Vertex> bag,
+                                   Vertex var) {
+  Node node;
+  node.kind = kind;
+  node.bag = std::move(bag);
+  node.var = var;
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+NiceTreeDecomposition NiceTreeDecomposition::FromTreeDecomposition(
+    const Hypergraph& h, const TreeDecomposition& td) {
+  NiceTreeDecomposition nice;
+  const auto children = td.Children();
+
+  // Creates the chain of unary nodes strictly below a node whose bag is
+  // `from`, transitioning to bag `to` (Lemma 43: first drop from\to one by
+  // one, then add to\from one by one). Returns {top, bottom} node ids, or
+  // {-1, -1} when from == to.
+  auto build_chain = [&](const std::vector<Vertex>& from,
+                         const std::vector<Vertex>& to) -> std::pair<int, int> {
+    std::vector<Vertex> current = from;
+    int top = -1;
+    int prev = -1;
+    auto link = [&](int node) {
+      if (prev >= 0) nice.nodes_[prev].children.push_back(node);
+      if (top < 0) top = node;
+      prev = node;
+    };
+    for (Vertex v : Minus(from, to)) {
+      current = Without(current, v);
+      link(nice.AddNode(NiceNodeKind::kLeaf, current, -1));
+    }
+    for (Vertex v : Minus(to, from)) {
+      current = With(current, v);
+      link(nice.AddNode(NiceNodeKind::kLeaf, current, -1));
+    }
+    return {top, prev};
+  };
+
+  // expand(nice_id, t): nice_id is a childless nice node whose bag equals
+  // B_t; attaches the expansion of td-subtree rooted at t below nice_id.
+  std::function<void(int, int)> expand;
+
+  // descend(nice_id, c): attaches the transition from nice_id's bag to
+  // td-node c's bag below nice_id, then expands c.
+  auto descend = [&](int nice_id, int c) {
+    // Copy: build_chain appends to nodes_, which may reallocate and would
+    // invalidate a reference into it.
+    const std::vector<Vertex> from = nice.nodes_[nice_id].bag;
+    if (from == td.bags[c]) {
+      expand(nice_id, c);
+      return;
+    }
+    auto [top, bottom] = build_chain(from, td.bags[c]);
+    nice.nodes_[nice_id].children.push_back(top);
+    expand(bottom, c);
+  };
+
+  expand = [&](int nice_id, int t) {
+    const std::vector<int>& kids = children[t];
+    const std::vector<Vertex> bag = td.bags[t];
+    if (kids.empty()) {
+      // Chain down to the empty bag; if the bag is already empty the node
+      // remains a leaf.
+      if (!bag.empty()) {
+        auto [top, bottom] = build_chain(bag, {});
+        nice.nodes_[nice_id].children.push_back(top);
+        (void)bottom;
+      }
+      return;
+    }
+    if (kids.size() == 1) {
+      descend(nice_id, kids[0]);
+      return;
+    }
+    // k >= 2 children: nice_id becomes the top of a left-leaning comb of
+    // join nodes, all with bag B_t.
+    std::function<void(int, size_t)> attach = [&](int join_id, size_t index) {
+      int left = nice.AddNode(NiceNodeKind::kLeaf, bag, -1);
+      int right = nice.AddNode(NiceNodeKind::kLeaf, bag, -1);
+      nice.nodes_[join_id].children = {left, right};
+      descend(left, kids[index]);
+      if (index + 2 == kids.size()) {
+        descend(right, kids[index + 1]);
+      } else {
+        attach(right, index + 1);
+      }
+    };
+    attach(nice_id, 0);
+  };
+
+  // Root: empty bag; transition into the td root's bag, then expand.
+  int root = nice.AddNode(NiceNodeKind::kLeaf, {}, -1);
+  assert(root == 0);
+  (void)root;
+  if (td.bags[td.root].empty()) {
+    expand(0, td.root);
+  } else {
+    auto [top, bottom] = build_chain({}, td.bags[td.root]);
+    nice.nodes_[0].children.push_back(top);
+    expand(bottom, td.root);
+  }
+
+  // Final pass: derive kinds from each node's relation to its children.
+  for (auto& node : nice.nodes_) {
+    if (node.children.empty()) {
+      node.kind = NiceNodeKind::kLeaf;
+      node.var = -1;
+      assert(node.bag.empty() && "leaf with non-empty bag");
+      continue;
+    }
+    if (node.children.size() == 2) {
+      node.kind = NiceNodeKind::kJoin;
+      node.var = -1;
+      continue;
+    }
+    const auto& child_bag = nice.nodes_[node.children[0]].bag;
+    std::vector<Vertex> gained = Minus(node.bag, child_bag);
+    std::vector<Vertex> lost = Minus(child_bag, node.bag);
+    assert(gained.size() + lost.size() == 1 &&
+           "unary nice node must differ from child in exactly one vertex");
+    if (gained.size() == 1) {
+      node.kind = NiceNodeKind::kIntroduce;
+      node.var = gained[0];
+    } else {
+      node.kind = NiceNodeKind::kForget;
+      node.var = lost[0];
+    }
+  }
+  (void)h;
+  return nice;
+}
+
+int NiceTreeDecomposition::Height() const {
+  std::vector<int> height(nodes_.size(), 0);
+  for (int t = num_nodes() - 1; t >= 0; --t) {
+    for (int c : nodes_[t].children) {
+      height[t] = std::max(height[t], height[c] + 1);
+    }
+  }
+  return nodes_.empty() ? 0 : height[0];
+}
+
+Status NiceTreeDecomposition::Validate(const Hypergraph& h) const {
+  if (nodes_.empty()) return Status::InvalidArgument("empty decomposition");
+  if (!nodes_[0].bag.empty()) {
+    return Status::InvalidArgument("root bag not empty");
+  }
+  for (int t = 0; t < num_nodes(); ++t) {
+    const Node& node = nodes_[t];
+    for (int c : node.children) {
+      if (c <= t || c >= num_nodes()) {
+        return Status::InvalidArgument("child index not below parent");
+      }
+    }
+    switch (node.kind) {
+      case NiceNodeKind::kLeaf:
+        if (!node.children.empty() || !node.bag.empty()) {
+          return Status::InvalidArgument("malformed leaf node");
+        }
+        break;
+      case NiceNodeKind::kJoin: {
+        if (node.children.size() != 2) {
+          return Status::InvalidArgument("join node without two children");
+        }
+        for (int c : node.children) {
+          if (nodes_[c].bag != node.bag) {
+            return Status::InvalidArgument("join child bag differs");
+          }
+        }
+        break;
+      }
+      case NiceNodeKind::kIntroduce: {
+        if (node.children.size() != 1) {
+          return Status::InvalidArgument("introduce node arity");
+        }
+        if (With(nodes_[node.children[0]].bag, node.var) != node.bag) {
+          return Status::InvalidArgument("introduce bag mismatch");
+        }
+        break;
+      }
+      case NiceNodeKind::kForget: {
+        if (node.children.size() != 1) {
+          return Status::InvalidArgument("forget node arity");
+        }
+        if (Without(nodes_[node.children[0]].bag, node.var) != node.bag) {
+          return Status::InvalidArgument("forget bag mismatch");
+        }
+        break;
+      }
+    }
+  }
+  // Each node except the root must be the child of exactly one node.
+  std::vector<int> indegree(num_nodes(), 0);
+  for (const Node& node : nodes_) {
+    for (int c : node.children) ++indegree[c];
+  }
+  for (int t = 0; t < num_nodes(); ++t) {
+    if (indegree[t] != (t == 0 ? 0 : 1)) {
+      return Status::InvalidArgument("not a tree");
+    }
+  }
+  return ToTreeDecomposition().Validate(h);
+}
+
+TreeDecomposition NiceTreeDecomposition::ToTreeDecomposition() const {
+  TreeDecomposition td;
+  td.bags.reserve(nodes_.size());
+  td.parent.assign(nodes_.size(), -1);
+  for (const Node& node : nodes_) td.bags.push_back(node.bag);
+  for (int t = 0; t < num_nodes(); ++t) {
+    for (int c : nodes_[t].children) td.parent[c] = t;
+  }
+  td.root = 0;
+  return td;
+}
+
+}  // namespace cqcount

@@ -1,0 +1,70 @@
+// Nice tree decompositions (Definition 42) and the Lemma 43 conversion.
+//
+// A nice tree decomposition has: empty bags at the root and leaves, at most
+// two children per node, join nodes (two children) with both child bags
+// equal to the node's bag, and unary nodes whose bag differs from the
+// child's bag in exactly one element. The Lemma 52 automaton construction
+// and the Theorem 16 FPRAS are driven off this structure.
+#ifndef CQCOUNT_DECOMPOSITION_NICE_DECOMPOSITION_H_
+#define CQCOUNT_DECOMPOSITION_NICE_DECOMPOSITION_H_
+
+#include <vector>
+
+#include "decomposition/tree_decomposition.h"
+#include "hypergraph/hypergraph.h"
+#include "util/status.h"
+
+namespace cqcount {
+
+/// Node kinds of a nice tree decomposition (relative to the child):
+/// - kLeaf: no children, empty bag.
+/// - kIntroduce: one child, B_t = B_child + {var}.
+/// - kForget: one child, B_t = B_child - {var}.
+/// - kJoin: two children, both bags equal to B_t.
+enum class NiceNodeKind { kLeaf, kIntroduce, kForget, kJoin };
+
+/// A nice tree decomposition; nodes are stored in a flat array with the
+/// guarantee that children have larger indices than their parent (so a
+/// reverse scan is a valid bottom-up order).
+class NiceTreeDecomposition {
+ public:
+  struct Node {
+    NiceNodeKind kind = NiceNodeKind::kLeaf;
+    /// Sorted bag.
+    std::vector<Vertex> bag;
+    /// Child node ids (0, 1 or 2 entries).
+    std::vector<int> children;
+    /// For kIntroduce / kForget: the vertex added/removed vs the child.
+    Vertex var = -1;
+  };
+
+  /// Converts an arbitrary tree decomposition of `h` into a nice one
+  /// (Lemma 43 construction). Every bag of the result is a subset of some
+  /// input bag, so all monotone width measures are preserved or improved.
+  static NiceTreeDecomposition FromTreeDecomposition(
+      const Hypergraph& h, const TreeDecomposition& td);
+
+  int root() const { return 0; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(int t) const { return nodes_[t]; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Height of the tree (edges on the longest root-to-leaf path).
+  int Height() const;
+
+  /// Checks Definition 42 plus tree-decomposition validity for `h`.
+  Status Validate(const Hypergraph& h) const;
+
+  /// View as a plain TreeDecomposition (for width computations).
+  TreeDecomposition ToTreeDecomposition() const;
+
+ private:
+  // Appends a node and returns its id.
+  int AddNode(NiceNodeKind kind, std::vector<Vertex> bag, Vertex var);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_DECOMPOSITION_NICE_DECOMPOSITION_H_

@@ -1,0 +1,135 @@
+#include "decomposition/tree_decomposition.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace cqcount {
+
+int TreeDecomposition::Width() const {
+  int width = -1;
+  for (const auto& bag : bags) {
+    width = std::max(width, static_cast<int>(bag.size()) - 1);
+  }
+  return width;
+}
+
+std::vector<std::vector<int>> TreeDecomposition::Children() const {
+  std::vector<std::vector<int>> children(num_nodes());
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (parent[i] >= 0) children[parent[i]].push_back(i);
+  }
+  return children;
+}
+
+Status TreeDecomposition::Validate(const Hypergraph& h) const {
+  const int n = num_nodes();
+  if (n == 0) return Status::InvalidArgument("decomposition has no nodes");
+  if (static_cast<int>(parent.size()) != n) {
+    return Status::InvalidArgument("parent array size mismatch");
+  }
+  if (root < 0 || root >= n || parent[root] != -1) {
+    return Status::InvalidArgument("invalid root");
+  }
+  // Tree well-formedness: exactly one root, every node reaches the root.
+  for (int i = 0; i < n; ++i) {
+    if (i != root && parent[i] == -1) {
+      return Status::InvalidArgument("multiple roots");
+    }
+    int steps = 0;
+    int cur = i;
+    while (cur != root) {
+      cur = parent[cur];
+      if (cur < 0 || cur >= n || ++steps > n) {
+        return Status::InvalidArgument("parent pointers do not form a tree");
+      }
+    }
+  }
+  // Bags sorted/deduped and in range.
+  for (const auto& bag : bags) {
+    for (size_t j = 0; j < bag.size(); ++j) {
+      if (bag[j] < 0 || bag[j] >= h.num_vertices()) {
+        return Status::InvalidArgument("bag vertex out of range");
+      }
+      if (j > 0 && bag[j] <= bag[j - 1]) {
+        return Status::InvalidArgument("bag not sorted/deduplicated");
+      }
+    }
+  }
+  // Condition (i): every hyperedge inside some bag.
+  for (const auto& e : h.edges()) {
+    bool covered = false;
+    for (const auto& bag : bags) {
+      if (std::includes(bag.begin(), bag.end(), e.begin(), e.end())) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      return Status::InvalidArgument("hyperedge not covered by any bag");
+    }
+  }
+  // Every vertex appears in some bag (needed so condition (ii) is
+  // meaningful and by our convention each variable occurs in an atom).
+  // Condition (ii): occurrences of each vertex form a connected subtree.
+  for (Vertex v = 0; v < h.num_vertices(); ++v) {
+    std::vector<int> holding;
+    for (int i = 0; i < n; ++i) {
+      if (std::binary_search(bags[i].begin(), bags[i].end(), v)) {
+        holding.push_back(i);
+      }
+    }
+    if (holding.empty()) {
+      return Status::InvalidArgument("vertex missing from all bags");
+    }
+    // Connectivity: from every holding node, walking to the root must stay
+    // inside `holding` until reaching the topmost holding node.
+    std::vector<bool> holds(n, false);
+    for (int i : holding) holds[i] = true;
+    // The topmost holding node is the one all others must reach.
+    int top = holding[0];
+    {
+      // Find the holding node of minimum depth.
+      auto depth = [&](int node) {
+        int d = 0;
+        while (node != root) {
+          node = parent[node];
+          ++d;
+        }
+        return d;
+      };
+      int best_depth = depth(top);
+      for (int i : holding) {
+        int d = depth(i);
+        if (d < best_depth) {
+          best_depth = d;
+          top = i;
+        }
+      }
+    }
+    for (int i : holding) {
+      int cur = i;
+      while (cur != top) {
+        cur = parent[cur];
+        if (cur == -1 || !holds[cur]) {
+          std::ostringstream msg;
+          msg << "vertex " << v << " occurrences not connected";
+          return Status::InvalidArgument(msg.str());
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+TreeDecomposition TreeDecomposition::Trivial(const Hypergraph& h) {
+  TreeDecomposition td;
+  std::vector<Vertex> all(h.num_vertices());
+  std::iota(all.begin(), all.end(), 0);
+  td.bags.push_back(std::move(all));
+  td.parent.push_back(-1);
+  td.root = 0;
+  return td;
+}
+
+}  // namespace cqcount

@@ -1,0 +1,44 @@
+// Tree decompositions (Definition 4).
+//
+// A tree decomposition of a hypergraph H is a rooted tree whose nodes carry
+// bags B_t subseteq V(H) such that (i) every hyperedge is contained in some
+// bag and (ii) the nodes containing any fixed vertex form a connected
+// subtree. Width = max bag size - 1.
+#ifndef CQCOUNT_DECOMPOSITION_TREE_DECOMPOSITION_H_
+#define CQCOUNT_DECOMPOSITION_TREE_DECOMPOSITION_H_
+
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "util/status.h"
+
+namespace cqcount {
+
+/// A rooted tree decomposition. Bags are sorted vertex lists.
+struct TreeDecomposition {
+  /// bags[i] is the bag of node i (sorted, duplicate-free).
+  std::vector<std::vector<Vertex>> bags;
+  /// parent[i] is the parent node of i, or -1 for the root.
+  std::vector<int> parent;
+  /// Index of the root node.
+  int root = 0;
+
+  int num_nodes() const { return static_cast<int>(bags.size()); }
+
+  /// Width of the decomposition: max bag size - 1 (-1 if all bags empty).
+  int Width() const;
+
+  /// children[i] = list of child node indices, derived from `parent`.
+  std::vector<std::vector<int>> Children() const;
+
+  /// Checks tree-decomposition validity for `h`: well-formed rooted tree,
+  /// every hyperedge inside some bag, and vertex-connectivity of bags.
+  Status Validate(const Hypergraph& h) const;
+
+  /// A single-node decomposition whose bag is all of V(H).
+  static TreeDecomposition Trivial(const Hypergraph& h);
+};
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_DECOMPOSITION_TREE_DECOMPOSITION_H_

@@ -1,0 +1,207 @@
+#include "decomposition/width_measures.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "decomposition/elimination_order.h"
+#include "lp/simplex.h"
+
+namespace cqcount {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+double FractionalCoverNumber(const Hypergraph& h) {
+  const int n = h.num_vertices();
+  const int m = h.num_edges();
+  if (n == 0) return 0.0;
+  for (Vertex v = 0; v < n; ++v) {
+    if (h.incident_edges(v).empty()) return kInf;
+  }
+  // min sum gamma_e  s.t.  for each v: sum_{e contains v} gamma_e >= 1.
+  std::vector<double> c(m, 1.0);
+  std::vector<std::vector<double>> a(n, std::vector<double>(m, 0.0));
+  std::vector<double> b(n, 1.0);
+  for (Vertex v = 0; v < n; ++v) {
+    for (int e : h.incident_edges(v)) a[v][e] = 1.0;
+  }
+  LpResult r = SolveCoveringLpMin(c, a, b);
+  assert(r.status == LpStatus::kOptimal);
+  return r.objective;
+}
+
+double FractionalCoverNumberOfSubset(const Hypergraph& h,
+                                     const std::vector<Vertex>& bag) {
+  if (bag.empty()) return 0.0;
+  return FractionalCoverNumber(h.Induced(bag));
+}
+
+double MaxFractionalIndependentSet(const Hypergraph& h,
+                                   std::vector<double>* mu) {
+  const int n = h.num_vertices();
+  const int m = h.num_edges();
+  if (n == 0) {
+    if (mu) mu->clear();
+    return 0.0;
+  }
+  // max sum mu_v  s.t.  for each edge e: sum_{v in e} mu_v <= 1, mu <= 1.
+  // (mu_v <= 1 keeps isolated vertices bounded; for covered vertices the
+  // edge constraints already imply mu_v <= 1.)
+  std::vector<double> c(n, 1.0);
+  std::vector<std::vector<double>> a;
+  std::vector<double> b;
+  for (int e = 0; e < m; ++e) {
+    std::vector<double> row(n, 0.0);
+    for (Vertex v : h.edge(e)) row[v] = 1.0;
+    a.push_back(std::move(row));
+    b.push_back(1.0);
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    std::vector<double> row(n, 0.0);
+    row[v] = 1.0;
+    a.push_back(std::move(row));
+    b.push_back(1.0);
+  }
+  LpResult r = SolveLpMax(c, a, b);
+  assert(r.status == LpStatus::kOptimal);
+  if (mu) *mu = r.x;
+  return r.objective;
+}
+
+double FhwOfDecomposition(const Hypergraph& h, const TreeDecomposition& td) {
+  double width = 0.0;
+  for (const auto& bag : td.bags) {
+    width = std::max(width, FractionalCoverNumberOfSubset(h, bag));
+  }
+  return width;
+}
+
+double MuWidthOfDecomposition(const std::vector<double>& mu,
+                              const TreeDecomposition& td) {
+  double width = 0.0;
+  for (const auto& bag : td.bags) {
+    double total = 0.0;
+    for (Vertex v : bag) total += mu[v];
+    width = std::max(width, total);
+  }
+  return width;
+}
+
+StatusOr<FWidthResult> ExactFhw(const Hypergraph& h, int max_vertices) {
+  return ExactFWidth(
+      h,
+      [&h](const std::vector<Vertex>& bag) {
+        return FractionalCoverNumberOfSubset(h, bag);
+      },
+      max_vertices);
+}
+
+StatusOr<FWidthResult> ExactMuWidth(const Hypergraph& h,
+                                    const std::vector<double>& mu,
+                                    int max_vertices) {
+  assert(static_cast<int>(mu.size()) == h.num_vertices());
+  return ExactFWidth(
+      h,
+      [&mu](const std::vector<Vertex>& bag) {
+        double total = 0.0;
+        for (Vertex v : bag) total += mu[v];
+        return total;
+      },
+      max_vertices);
+}
+
+StatusOr<double> AdaptiveWidthLowerBound(const Hypergraph& h,
+                                         int max_vertices) {
+  const int n = h.num_vertices();
+  if (n == 0) return 0.0;
+  std::vector<std::vector<double>> candidates;
+  // Uniform 1/arity (Observation 34's witness).
+  const int arity = h.Arity();
+  if (arity > 0) {
+    candidates.emplace_back(n, 1.0 / static_cast<double>(arity));
+  }
+  // LP-optimal fractional independent set.
+  std::vector<double> opt_mu;
+  MaxFractionalIndependentSet(h, &opt_mu);
+  candidates.push_back(std::move(opt_mu));
+
+  double best = 0.0;
+  for (const auto& mu : candidates) {
+    auto result = ExactMuWidth(h, mu, max_vertices);
+    if (!result.ok()) return result.status();
+    best = std::max(best, result->width);
+  }
+  return best;
+}
+
+StatusOr<double> AdaptiveWidthUpperBound(const Hypergraph& h,
+                                         int max_vertices) {
+  auto fhw = ExactFhw(h, max_vertices);
+  if (!fhw.ok()) return fhw.status();
+  return fhw->width;
+}
+
+int HypertreewidthUpperBound(const Hypergraph& h,
+                             const TreeDecomposition& td) {
+  int width = 0;
+  for (const auto& bag : td.bags) {
+    // Greedy set cover of `bag` by hyperedges.
+    std::vector<bool> covered(bag.size(), false);
+    int guards = 0;
+    size_t remaining = bag.size();
+    while (remaining > 0) {
+      int best_edge = -1;
+      size_t best_gain = 0;
+      for (int e = 0; e < h.num_edges(); ++e) {
+        size_t gain = 0;
+        for (size_t i = 0; i < bag.size(); ++i) {
+          if (covered[i]) continue;
+          const auto& edge = h.edge(e);
+          if (std::binary_search(edge.begin(), edge.end(), bag[i])) ++gain;
+        }
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_edge = e;
+        }
+      }
+      if (best_edge < 0) break;  // Uncoverable vertex (no incident edge).
+      ++guards;
+      const auto& edge = h.edge(best_edge);
+      for (size_t i = 0; i < bag.size(); ++i) {
+        if (!covered[i] &&
+            std::binary_search(edge.begin(), edge.end(), bag[i])) {
+          covered[i] = true;
+          --remaining;
+        }
+      }
+    }
+    width = std::max(width, guards);
+  }
+  return width;
+}
+
+FWidthResult ComputeDecomposition(const Hypergraph& h,
+                                  WidthObjective objective,
+                                  int exact_limit) {
+  if (h.num_vertices() <= exact_limit) {
+    StatusOr<FWidthResult> exact =
+        objective == WidthObjective::kTreewidth
+            ? ExactTreewidth(h, exact_limit)
+            : ExactFhw(h, exact_limit);
+    if (exact.ok()) return *std::move(exact);
+  }
+  FWidthResult result;
+  result.order = MinFillOrder(h);
+  result.decomposition = DecompositionFromOrder(h, result.order);
+  result.width =
+      objective == WidthObjective::kTreewidth
+          ? static_cast<double>(result.decomposition.Width())
+          : FhwOfDecomposition(h, result.decomposition);
+  return result;
+}
+
+}  // namespace cqcount

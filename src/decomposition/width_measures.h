@@ -1,0 +1,73 @@
+// Hypergraph width measures used by the paper's classification:
+// treewidth (Definition 4), fractional edge covers / fcn (Definition 39),
+// fractional hypertreewidth (Definition 41), adaptive width
+// (Definition 33), and a hypertreewidth upper bound (Definition 37).
+#ifndef CQCOUNT_DECOMPOSITION_WIDTH_MEASURES_H_
+#define CQCOUNT_DECOMPOSITION_WIDTH_MEASURES_H_
+
+#include <vector>
+
+#include "decomposition/exact_treewidth.h"
+#include "decomposition/tree_decomposition.h"
+#include "hypergraph/hypergraph.h"
+#include "util/status.h"
+
+namespace cqcount {
+
+/// Fractional edge cover number fcn(H) (Definition 39) via LP. Returns
+/// +infinity when some vertex lies in no hyperedge (no cover exists).
+double FractionalCoverNumber(const Hypergraph& h);
+
+/// fcn(H[bag]) for a subset of vertices (Definition 39 induced hypergraph).
+double FractionalCoverNumberOfSubset(const Hypergraph& h,
+                                     const std::vector<Vertex>& bag);
+
+/// A maximum fractional independent set of H (Definition 33) via LP;
+/// `mu` receives the optimal weights; returns its total weight (equals
+/// fcn(H) by LP duality when H has no isolated vertices).
+double MaxFractionalIndependentSet(const Hypergraph& h,
+                                   std::vector<double>* mu);
+
+/// Fractional hypertreewidth of a given decomposition: max_t fcn(H[B_t]).
+double FhwOfDecomposition(const Hypergraph& h, const TreeDecomposition& td);
+
+/// mu(X) = sum of mu over X; the mu-width of `td` is max_t mu(B_t).
+double MuWidthOfDecomposition(const std::vector<double>& mu,
+                              const TreeDecomposition& td);
+
+/// Exact fractional hypertreewidth (Definition 41) with witness
+/// decomposition; exponential in |V(H)|, so bounded by `max_vertices`.
+StatusOr<FWidthResult> ExactFhw(const Hypergraph& h, int max_vertices = 18);
+
+/// Exact mu-width (Definition 32) of H for the given vertex weights.
+StatusOr<FWidthResult> ExactMuWidth(const Hypergraph& h,
+                                    const std::vector<double>& mu,
+                                    int max_vertices = 20);
+
+/// A lower bound on adaptive width aw(H) (Definition 33): the exact
+/// mu-width of candidate fractional independent sets (uniform 1/arity and
+/// the LP-optimal one). aw is a supremum over all mu, so this is a bound.
+StatusOr<double> AdaptiveWidthLowerBound(const Hypergraph& h,
+                                         int max_vertices = 20);
+
+/// An upper bound on aw(H): aw <= fhw (weak LP duality per bag).
+StatusOr<double> AdaptiveWidthUpperBound(const Hypergraph& h,
+                                         int max_vertices = 18);
+
+/// Hypertreewidth upper bound of a decomposition: per bag, a greedy
+/// integral edge cover (guards, Definition 37); returns the max guard size.
+int HypertreewidthUpperBound(const Hypergraph& h, const TreeDecomposition& td);
+
+/// Objective for ComputeDecomposition.
+enum class WidthObjective { kTreewidth, kFractionalHypertreewidth };
+
+/// Computes a good tree decomposition: exact search when
+/// |V(H)| <= exact_limit, otherwise the min-fill heuristic.
+/// Always returns a decomposition valid for `h`.
+FWidthResult ComputeDecomposition(const Hypergraph& h,
+                                  WidthObjective objective,
+                                  int exact_limit = 14);
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_DECOMPOSITION_WIDTH_MEASURES_H_

@@ -1,0 +1,65 @@
+#include "hom/backtracking.h"
+
+#include <numeric>
+#include <unordered_set>
+
+#include "decomposition/elimination_order.h"
+#include "hom/join.h"
+#include "util/hash.h"
+
+namespace cqcount {
+namespace {
+
+// A good static order: min-fill over H(phi), which keeps the join's
+// constraint propagation tight.
+std::vector<int> SearchOrder(const Query& q) {
+  return MinFillOrder(q.BuildHypergraph());
+}
+
+}  // namespace
+
+bool EnumerateSolutions(const Query& q, const Database& db,
+                        const std::function<bool(const Tuple&)>& callback) {
+  const std::vector<int> order = SearchOrder(q);
+  BagJoiner::Options opts;
+  opts.enforce_negated = true;
+  opts.enforce_disequalities = true;
+  BagJoiner joiner(q, db, order, opts);
+  // Re-index from search order back to variable ids.
+  Tuple by_var(q.num_vars(), 0);
+  return joiner.Enumerate(nullptr, [&](const Tuple& t) {
+    for (size_t d = 0; d < order.size(); ++d) by_var[order[d]] = t[d];
+    return callback(by_var);
+  });
+}
+
+uint64_t CountSolutionsBrute(const Query& q, const Database& db) {
+  uint64_t count = 0;
+  EnumerateSolutions(q, db, [&count](const Tuple&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+uint64_t CountAnswersBrute(const Query& q, const Database& db) {
+  std::unordered_set<Tuple, VectorHash<Value>> answers;
+  const int num_free = q.num_free();
+  EnumerateSolutions(q, db, [&](const Tuple& solution) {
+    Tuple answer(solution.begin(), solution.begin() + num_free);
+    answers.insert(std::move(answer));
+    return true;
+  });
+  return answers.size();
+}
+
+bool DecideSolutionBrute(const Query& q, const Database& db) {
+  bool found = false;
+  EnumerateSolutions(q, db, [&found](const Tuple&) {
+    found = true;
+    return false;  // Stop at the first solution.
+  });
+  return found;
+}
+
+}  // namespace cqcount

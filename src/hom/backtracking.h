@@ -1,0 +1,35 @@
+// Brute-force baselines over full variable sets.
+//
+// These enumerate Sol(phi, D) directly (all atoms, negated atoms AND
+// disequalities enforced) and are exponential in the query size. They are
+// the ground truth that the approximation schemes are validated against.
+#ifndef CQCOUNT_HOM_BACKTRACKING_H_
+#define CQCOUNT_HOM_BACKTRACKING_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "query/query.h"
+#include "relational/structure.h"
+
+namespace cqcount {
+
+/// Enumerates full solutions alpha in Sol(phi, D) (Definition 1); the
+/// callback receives values indexed by variable id and returns false to
+/// stop. Returns false iff stopped early.
+bool EnumerateSolutions(const Query& q, const Database& db,
+                        const std::function<bool(const Tuple&)>& callback);
+
+/// |Sol(phi, D)| by enumeration.
+uint64_t CountSolutionsBrute(const Query& q, const Database& db);
+
+/// |Ans(phi, D)| (Definition 2) by enumerating solutions and collecting
+/// distinct projections onto the free variables.
+uint64_t CountAnswersBrute(const Query& q, const Database& db);
+
+/// True iff Sol(phi, D) is non-empty.
+bool DecideSolutionBrute(const Query& q, const Database& db);
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_HOM_BACKTRACKING_H_

@@ -1,0 +1,15 @@
+#include "hom/bag_solutions.h"
+
+namespace cqcount {
+
+Relation ComputeBagSolutions(const Query& q, const Database& db,
+                             const std::vector<int>& bag,
+                             const VarDomains* domains) {
+  BagJoiner::Options opts;
+  opts.enforce_negated = true;
+  opts.enforce_disequalities = false;
+  BagJoiner joiner(q, db, bag, opts);
+  return joiner.Materialise(domains);
+}
+
+}  // namespace cqcount

@@ -1,0 +1,29 @@
+// Sol(phi, D, B) — bag solutions (Definition 47, Lemma 48).
+//
+// A solution of (phi, D, B) is an assignment alpha : B -> U(D) such that
+// every atom of phi can be satisfied by some extension of alpha (per atom
+// independently). For bags of bounded fcn(H[B]) the result has at most
+// ||D||^fcn(H[B]) tuples and is computed in polynomial time (Grohe-Marx),
+// which is what the generic join in BagJoiner delivers.
+#ifndef CQCOUNT_HOM_BAG_SOLUTIONS_H_
+#define CQCOUNT_HOM_BAG_SOLUTIONS_H_
+
+#include <vector>
+
+#include "hom/join.h"
+#include "query/query.h"
+#include "relational/relation.h"
+#include "relational/structure.h"
+
+namespace cqcount {
+
+/// Computes Sol(phi, D, B) as a relation whose columns follow the (sorted)
+/// `bag` order. Negated atoms fully contained in the bag are enforced;
+/// `domains` (optional) restricts per-variable values.
+Relation ComputeBagSolutions(const Query& q, const Database& db,
+                             const std::vector<int>& bag,
+                             const VarDomains* domains);
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_HOM_BAG_SOLUTIONS_H_

@@ -1,0 +1,148 @@
+#include "hom/decomposition_solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "hom/bag_solutions.h"
+#include "util/hash.h"
+
+namespace cqcount {
+namespace {
+
+// Positions (indices into `bag`) of the elements also present in `other`;
+// both inputs sorted.
+std::vector<int> SharedPositions(const std::vector<int>& bag,
+                                 const std::vector<int>& other) {
+  std::vector<int> positions;
+  size_t j = 0;
+  for (size_t i = 0; i < bag.size(); ++i) {
+    while (j < other.size() && other[j] < bag[i]) ++j;
+    if (j < other.size() && other[j] == bag[i]) {
+      positions.push_back(static_cast<int>(i));
+    }
+  }
+  return positions;
+}
+
+Tuple ProjectTuple(const Tuple& t, const std::vector<int>& positions) {
+  Tuple out;
+  out.reserve(positions.size());
+  for (int p : positions) out.push_back(t[p]);
+  return out;
+}
+
+}  // namespace
+
+DecompositionSolver::DecompositionSolver(const Query& q, const Database& db,
+                                         TreeDecomposition td)
+    : query_(q), db_(db), td_(std::move(td)) {
+  children_ = td_.Children();
+  // Post-order via iterative DFS.
+  std::vector<int> stack = {td_.root};
+  std::vector<int> order;
+  while (!stack.empty()) {
+    int node = stack.back();
+    stack.pop_back();
+    order.push_back(node);
+    for (int c : children_[node]) stack.push_back(c);
+  }
+  post_order_.assign(order.rbegin(), order.rend());
+
+  BagJoiner::Options opts;
+  opts.enforce_negated = true;
+  opts.enforce_disequalities = false;
+  joiners_.reserve(td_.num_nodes());
+  for (int t = 0; t < td_.num_nodes(); ++t) {
+    joiners_.emplace_back(query_, db_, td_.bags[t], opts);
+  }
+}
+
+bool DecompositionSolver::RunDp(const VarDomains* domains,
+                                double* total) const {
+  const int num_nodes = td_.num_nodes();
+  // Surviving bag tuples and (optionally) their extension weights.
+  std::vector<std::vector<Tuple>> surviving(num_nodes);
+  std::vector<std::vector<double>> weights(num_nodes);
+
+  for (int t : post_order_) {
+    const std::vector<int>& bag = td_.bags[t];
+    Relation sols = joiners_[t].Materialise(domains);
+    // Per-child lookup tables: projection onto shared vars -> sum of child
+    // weights (or mere existence for the decision variant).
+    struct ChildTable {
+      std::vector<int> parent_positions;
+      std::unordered_map<Tuple, double, VectorHash<Value>> sums;
+    };
+    std::vector<ChildTable> tables;
+    tables.reserve(children_[t].size());
+    for (int c : children_[t]) {
+      ChildTable table;
+      table.parent_positions = SharedPositions(bag, td_.bags[c]);
+      const std::vector<int> child_positions =
+          SharedPositions(td_.bags[c], bag);
+      for (size_t i = 0; i < surviving[c].size(); ++i) {
+        Tuple key = ProjectTuple(surviving[c][i], child_positions);
+        const double w = total ? weights[c][i] : 1.0;
+        auto [it, inserted] = table.sums.emplace(std::move(key), w);
+        if (!inserted) {
+          if (total) {
+            it->second += w;
+          }
+          // Decision variant: existence only, keep 1.0.
+        }
+      }
+      tables.push_back(std::move(table));
+    }
+
+    for (const Tuple& alpha : sols.tuples()) {
+      double w = 1.0;
+      bool alive = true;
+      for (const ChildTable& table : tables) {
+        Tuple key = ProjectTuple(alpha, table.parent_positions);
+        auto it = table.sums.find(key);
+        if (it == table.sums.end()) {
+          alive = false;
+          break;
+        }
+        if (total) w *= it->second;
+      }
+      if (!alive) continue;
+      surviving[t].push_back(alpha);
+      if (total) weights[t].push_back(w);
+    }
+    if (surviving[t].empty()) {
+      if (total) *total = 0.0;
+      return false;
+    }
+    // Free memory of fully-consumed children.
+    for (int c : children_[t]) {
+      surviving[c].clear();
+      surviving[c].shrink_to_fit();
+      weights[c].clear();
+      weights[c].shrink_to_fit();
+    }
+  }
+
+  if (total) {
+    double sum = 0.0;
+    for (double w : weights[td_.root]) sum += w;
+    *total = sum;
+    return sum > 0.0;
+  }
+  return true;
+}
+
+bool DecompositionSolver::Decide(const VarDomains* domains) const {
+  return RunDp(domains, nullptr);
+}
+
+double DecompositionSolver::CountSolutions(const VarDomains* domains) const {
+  assert(query_.disequalities().empty() &&
+         "CountSolutions does not support disequalities");
+  double total = 0.0;
+  RunDp(domains, &total);
+  return total;
+}
+
+}  // namespace cqcount

@@ -1,0 +1,60 @@
+// Tree-decomposition-based homomorphism solving (the engine behind
+// Theorem 31 / Theorem 36 oracle calls).
+//
+// Given a query, a database and a tree decomposition of H(phi), the solver
+// decides solution existence (and counts full solutions exactly) by the
+// classic bag-relation + semijoin dynamic program. Negated atoms are
+// enforced inside the bag that contains them (every negated atom's
+// variable set is a hyperedge of H(phi), Definition 3, hence inside some
+// bag). Disequalities are NOT handled here: the paper's colour-coding
+// layer (Lemma 30) turns them into the per-variable domain restrictions
+// this solver accepts.
+#ifndef CQCOUNT_HOM_DECOMPOSITION_SOLVER_H_
+#define CQCOUNT_HOM_DECOMPOSITION_SOLVER_H_
+
+#include <vector>
+
+#include "decomposition/tree_decomposition.h"
+#include "hom/join.h"
+#include "query/query.h"
+#include "relational/structure.h"
+
+namespace cqcount {
+
+/// Decision / exact-counting DP over a tree decomposition.
+class DecompositionSolver {
+ public:
+  /// `td` must be a valid decomposition of H(q); the query and database
+  /// must outlive the solver.
+  DecompositionSolver(const Query& q, const Database& db,
+                      TreeDecomposition td);
+
+  /// True iff (phi, D) has a solution (ignoring disequalities) whose values
+  /// respect `domains` (may be null).
+  bool Decide(const VarDomains* domains) const;
+
+  /// Exact number of solutions (ignoring disequalities) respecting
+  /// `domains`. Returned as double: counts can exceed 2^64 for large
+  /// databases; all tests use exactly-representable ranges.
+  double CountSolutions(const VarDomains* domains) const;
+
+  const TreeDecomposition& decomposition() const { return td_; }
+
+ private:
+  // Shared bottom-up pass. If `weights` is null, performs the decision
+  // variant with early exit; otherwise computes per-tuple extension counts.
+  bool RunDp(const VarDomains* domains, double* total) const;
+
+  const Query& query_;
+  const Database& db_;
+  TreeDecomposition td_;
+  std::vector<std::vector<int>> children_;
+  std::vector<int> post_order_;
+  // Pre-projected per-bag joiners: Decide is called once per colouring
+  // trial, so the (domain-independent) projection work is hoisted here.
+  std::vector<BagJoiner> joiners_;
+};
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_HOM_DECOMPOSITION_SOLVER_H_

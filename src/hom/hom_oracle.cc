@@ -1,0 +1,43 @@
+#include "hom/hom_oracle.h"
+
+#include <numeric>
+
+#include "decomposition/width_measures.h"
+#include "query/query_structures.h"
+
+namespace cqcount {
+
+bool BacktrackingHomOracle::Decide(const VarDomains& domains) {
+  ++num_calls_;
+  BagJoiner::Options opts;
+  opts.enforce_negated = true;
+  opts.enforce_disequalities = false;
+  std::vector<int> order(query_.num_vars());
+  std::iota(order.begin(), order.end(), 0);
+  BagJoiner joiner(query_, db_, order, opts);
+  bool found = false;
+  joiner.Enumerate(&domains, [&found](const Tuple&) {
+    found = true;
+    return false;
+  });
+  return found;
+}
+
+bool DecideStructureHom(const Structure& a, const Structure& b) {
+  // sig(a) must be contained in sig(b); a missing or smaller-arity symbol
+  // makes a homomorphism impossible only through ill-formed input, so we
+  // treat it as "no".
+  for (const std::string& name : a.RelationNames()) {
+    if (b.Arity(name) != a.relation(name).arity()) return false;
+  }
+  Query canonical = CanonicalQuery(a);
+  if (canonical.num_vars() == 0) return true;  // Empty universe: trivial.
+  Hypergraph h = canonical.BuildHypergraph();
+  FWidthResult decomposition =
+      ComputeDecomposition(h, WidthObjective::kTreewidth);
+  DecompositionSolver solver(canonical, b,
+                             std::move(decomposition.decomposition));
+  return solver.Decide(nullptr);
+}
+
+}  // namespace cqcount

@@ -1,0 +1,75 @@
+// Hom decision oracles (the black box of Lemma 22).
+//
+// The FPTRAS only interacts with the homomorphism problem through this
+// interface. Colour-coded instances Hom(A-hat, B-hat) are passed virtually
+// as per-variable domain restrictions — observationally equivalent to the
+// materialised structures of Definitions 26/28 (every added relation is
+// unary), which tests cross-validate via DecideStructureHom.
+#ifndef CQCOUNT_HOM_HOM_ORACLE_H_
+#define CQCOUNT_HOM_HOM_ORACLE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "decomposition/tree_decomposition.h"
+#include "hom/decomposition_solver.h"
+#include "hom/join.h"
+#include "query/query.h"
+#include "relational/structure.h"
+
+namespace cqcount {
+
+/// Decides colour-coded homomorphism instances for a fixed (phi, D).
+class HomOracle {
+ public:
+  virtual ~HomOracle() = default;
+
+  /// True iff a solution (ignoring disequalities) exists under `domains`.
+  virtual bool Decide(const VarDomains& domains) = 0;
+
+  /// Number of Decide calls served so far.
+  uint64_t num_calls() const { return num_calls_; }
+
+ protected:
+  uint64_t num_calls_ = 0;
+};
+
+/// Polynomial-time oracle via tree-decomposition DP (Theorem 31 engine; the
+/// same engine serves the unbounded-arity case over an fhw-optimised
+/// decomposition, standing in for Theorem 36 — see DESIGN.md section 4.2).
+class DecompositionHomOracle : public HomOracle {
+ public:
+  DecompositionHomOracle(const Query& q, const Database& db,
+                         TreeDecomposition td)
+      : solver_(q, db, std::move(td)) {}
+
+  bool Decide(const VarDomains& domains) override {
+    ++num_calls_;
+    return solver_.Decide(&domains);
+  }
+
+ private:
+  DecompositionSolver solver_;
+};
+
+/// Exponential-time oracle via plain backtracking (cross-validation).
+class BacktrackingHomOracle : public HomOracle {
+ public:
+  BacktrackingHomOracle(const Query& q, const Database& db)
+      : query_(q), db_(db) {}
+
+  bool Decide(const VarDomains& domains) override;
+
+ private:
+  const Query& query_;
+  const Database& db_;
+};
+
+/// Decides whether a homomorphism from structure `a` to structure `b`
+/// exists (sig(a) must be contained in sig(b)); used to cross-validate the
+/// virtual oracle against materialised A-hat / B-hat instances.
+bool DecideStructureHom(const Structure& a, const Structure& b);
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_HOM_HOM_ORACLE_H_

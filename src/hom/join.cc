@@ -1,0 +1,235 @@
+#include "hom/join.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace cqcount {
+namespace {
+
+// Narrows [lo, hi) of `tuples` (which share a common prefix of length k)
+// to the subrange whose column k equals `v`.
+std::pair<size_t, size_t> NarrowRange(const std::vector<Tuple>& tuples,
+                                      size_t lo, size_t hi, size_t k,
+                                      Value v) {
+  auto first = std::lower_bound(
+      tuples.begin() + lo, tuples.begin() + hi, v,
+      [k](const Tuple& t, Value value) { return t[k] < value; });
+  auto last = std::upper_bound(
+      first, tuples.begin() + hi, v,
+      [k](Value value, const Tuple& t) { return value < t[k]; });
+  return {static_cast<size_t>(first - tuples.begin()),
+          static_cast<size_t>(last - tuples.begin())};
+}
+
+}  // namespace
+
+BagJoiner::BagJoiner(const Query& q, const Database& db,
+                     std::vector<int> vars, Options opts)
+    : query_(q), db_(db), vars_(std::move(vars)), opts_(opts) {
+  const int depth = static_cast<int>(vars_.size());
+  std::vector<int> level_of(q.num_vars(), -1);
+  for (int d = 0; d < depth; ++d) {
+    assert(level_of[vars_[d]] == -1 && "duplicate variable in join order");
+    level_of[vars_[d]] = d;
+  }
+  active_.resize(depth);
+  negated_at_.resize(depth);
+  diseq_at_.resize(depth);
+
+  for (const Atom& atom : q.atoms()) {
+    const Relation& rel = db.relation(atom.relation);
+    if (!atom.negated) {
+      if (rel.empty()) {
+        infeasible_ = true;
+        continue;
+      }
+      // Distinct involved variables, ordered by level.
+      std::map<int, int> level_to_var;  // level -> variable id.
+      for (int v : atom.vars) {
+        if (level_of[v] >= 0) level_to_var[level_of[v]] = v;
+      }
+      if (level_to_var.empty()) continue;
+      // First predicate-position of each involved variable.
+      std::vector<int> first_pos;
+      std::vector<int> levels;
+      for (const auto& [level, var] : level_to_var) {
+        int pos = -1;
+        for (size_t p = 0; p < atom.vars.size(); ++p) {
+          if (atom.vars[p] == var) {
+            pos = static_cast<int>(p);
+            break;
+          }
+        }
+        first_pos.push_back(pos);
+        levels.push_back(level);
+      }
+      // Project, filtering facts that assign repeated variables unequally.
+      Relation projection(static_cast<int>(levels.size()));
+      for (const Tuple& t : rel.tuples()) {
+        bool consistent = true;
+        // Repeated variables (involved or not) must agree across positions.
+        for (size_t p = 0; p < atom.vars.size() && consistent; ++p) {
+          for (size_t p2 = p + 1; p2 < atom.vars.size() && consistent; ++p2) {
+            if (atom.vars[p] == atom.vars[p2] && t[p] != t[p2]) {
+              consistent = false;
+            }
+          }
+        }
+        if (!consistent) continue;
+        Tuple proj;
+        proj.reserve(first_pos.size());
+        for (int pos : first_pos) proj.push_back(t[pos]);
+        projection.Add(std::move(proj));
+      }
+      if (projection.empty()) {
+        infeasible_ = true;
+        continue;
+      }
+      const int ci = static_cast<int>(constraints_.size());
+      for (size_t k = 0; k < levels.size(); ++k) {
+        active_[levels[k]].push_back({ci, static_cast<int>(k)});
+      }
+      constraints_.push_back({std::move(projection), std::move(levels)});
+    } else if (opts_.enforce_negated) {
+      // Enforce only when all variables of the atom are assigned here.
+      int trigger = -1;
+      bool all_in = true;
+      for (int v : atom.vars) {
+        if (level_of[v] < 0) {
+          all_in = false;
+          break;
+        }
+        trigger = std::max(trigger, level_of[v]);
+      }
+      if (!all_in) continue;
+      negated_at_[trigger].push_back(
+          NegatedCheck{&rel, atom.vars, trigger});
+    }
+  }
+
+  if (opts_.enforce_disequalities) {
+    for (const Disequality& d : q.disequalities()) {
+      if (level_of[d.lhs] < 0 || level_of[d.rhs] < 0) continue;
+      const int a = level_of[d.lhs];
+      const int b = level_of[d.rhs];
+      diseq_at_[std::max(a, b)].push_back(
+          DisequalityCheck{std::min(a, b), std::max(a, b)});
+    }
+  }
+}
+
+bool BagJoiner::Enumerate(
+    const VarDomains* domains,
+    const std::function<bool(const Tuple&)>& callback) const {
+  if (infeasible_) return true;
+  const int depth = static_cast<int>(vars_.size());
+  const Value n = static_cast<Value>(db_.universe_size());
+
+  // Per-constraint range stacks; ranges[c].back() is the live range.
+  std::vector<std::vector<std::pair<size_t, size_t>>> ranges(
+      constraints_.size());
+  for (size_t c = 0; c < constraints_.size(); ++c) {
+    ranges[c].push_back({0, constraints_[c].projection.size()});
+  }
+  Tuple assignment(depth, 0);
+  // assignment_by_var lets negated-atom checks read values by variable id.
+  std::vector<Value> value_of(query_.num_vars(), 0);
+
+  // Returns false if the callback requested a stop.
+  std::function<bool(int)> descend = [&](int d) -> bool {
+    if (d == depth) return callback(assignment);
+
+    // Checks triggered once vars_[d] is assigned.
+    auto passes_checks = [&](Value w) {
+      value_of[vars_[d]] = w;
+      for (const NegatedCheck& check : negated_at_[d]) {
+        Tuple t;
+        t.reserve(check.atom_vars.size());
+        for (int v : check.atom_vars) t.push_back(value_of[v]);
+        if (check.relation->Contains(t)) return false;
+      }
+      for (const DisequalityCheck& check : diseq_at_[d]) {
+        if (assignment[check.lhs_level] == w) return false;
+      }
+      return true;
+    };
+
+    const auto& active = active_[d];
+    if (active.empty()) {
+      // Unconstrained level: scan the whole (domain-restricted) universe.
+      for (Value w = 0; w < n; ++w) {
+        if (domains && !domains->Allows(vars_[d], w)) continue;
+        if (!passes_checks(w)) continue;
+        assignment[d] = w;
+        if (!descend(d + 1)) return false;
+      }
+      return true;
+    }
+
+    // Pivot: the active constraint with the smallest live range.
+    int pivot = -1;
+    size_t pivot_width = SIZE_MAX;
+    for (const auto& [c, k] : active) {
+      const auto [lo, hi] = ranges[c].back();
+      if (hi - lo < pivot_width) {
+        pivot_width = hi - lo;
+        pivot = c;
+      }
+    }
+    int pivot_col = -1;
+    for (const auto& [c, k] : active) {
+      if (c == pivot) pivot_col = k;
+    }
+    const auto& pivot_tuples = constraints_[pivot].projection.tuples();
+    auto [plo, phi] = ranges[pivot].back();
+
+    size_t pos = plo;
+    while (pos < phi) {
+      const Value w = pivot_tuples[pos][pivot_col];
+      const auto [wlo, whi] =
+          NarrowRange(pivot_tuples, pos, phi, pivot_col, w);
+      pos = whi;
+      if (domains && !domains->Allows(vars_[d], w)) continue;
+      // Narrow every active constraint; all must stay non-empty.
+      bool ok = true;
+      size_t pushed = 0;
+      for (const auto& [c, k] : active) {
+        const auto [lo, hi] = ranges[c].back();
+        const auto narrowed =
+            c == pivot
+                ? std::make_pair(wlo, whi)
+                : NarrowRange(constraints_[c].projection.tuples(), lo, hi,
+                              static_cast<size_t>(k), w);
+        if (narrowed.first == narrowed.second) {
+          ok = false;
+          break;
+        }
+        ranges[c].push_back(narrowed);
+        ++pushed;
+      }
+      if (ok && passes_checks(w)) {
+        assignment[d] = w;
+        if (!descend(d + 1)) {
+          for (size_t i = 0; i < pushed; ++i) ranges[active[i].first].pop_back();
+          return false;
+        }
+      }
+      for (size_t i = 0; i < pushed; ++i) ranges[active[i].first].pop_back();
+    }
+    return true;
+  };
+
+  return descend(0);
+}
+
+Relation BagJoiner::Materialise(const VarDomains* domains) const {
+  Relation out(static_cast<int>(vars_.size()));
+  Enumerate(domains, [&out](const Tuple& t) {
+    out.Add(t);
+    return true;
+  });
+  return out;
+}
+
+}  // namespace cqcount

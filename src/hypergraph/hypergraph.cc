@@ -1,0 +1,115 @@
+#include "hypergraph/hypergraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+namespace cqcount {
+
+Hypergraph::Hypergraph(int num_vertices) { EnsureVertex(num_vertices - 1); }
+
+Vertex Hypergraph::EnsureVertex(Vertex v) {
+  if (v >= num_vertices_) {
+    num_vertices_ = v + 1;
+    incidence_.resize(num_vertices_);
+  }
+  return v;
+}
+
+int Hypergraph::AddEdge(std::vector<Vertex> vertices) {
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                 vertices.end());
+  if (vertices.empty()) return -1;
+  assert(vertices.front() >= 0);
+  EnsureVertex(vertices.back());
+  for (const auto& existing : edges_) {
+    if (existing == vertices) return -1;
+  }
+  const int index = static_cast<int>(edges_.size());
+  for (Vertex v : vertices) incidence_[v].push_back(index);
+  edges_.push_back(std::move(vertices));
+  return index;
+}
+
+int Hypergraph::Arity() const {
+  size_t arity = 0;
+  for (const auto& e : edges_) arity = std::max(arity, e.size());
+  return static_cast<int>(arity);
+}
+
+bool Hypergraph::HasNoIsolatedVertices() const {
+  for (Vertex v = 0; v < num_vertices_; ++v) {
+    if (incidence_[v].empty()) return false;
+  }
+  return true;
+}
+
+Hypergraph Hypergraph::Induced(const std::vector<Vertex>& x) const {
+  Hypergraph result(static_cast<int>(x.size()));
+  std::vector<int> position(num_vertices_, -1);
+  for (size_t i = 0; i < x.size(); ++i) {
+    assert(x[i] >= 0 && x[i] < num_vertices_);
+    assert(position[x[i]] == -1 && "duplicate vertex in induced set");
+    position[x[i]] = static_cast<int>(i);
+  }
+  for (const auto& e : edges_) {
+    std::vector<Vertex> restricted;
+    for (Vertex v : e) {
+      if (position[v] >= 0) restricted.push_back(position[v]);
+    }
+    if (!restricted.empty()) result.AddEdge(std::move(restricted));
+  }
+  return result;
+}
+
+bool Hypergraph::IsConnected() const {
+  return ConnectedComponents().size() <= 1;
+}
+
+std::vector<std::vector<Vertex>> Hypergraph::ConnectedComponents() const {
+  std::vector<int> component(num_vertices_, -1);
+  std::vector<std::vector<Vertex>> components;
+  std::vector<Vertex> stack;
+  for (Vertex start = 0; start < num_vertices_; ++start) {
+    if (component[start] >= 0) continue;
+    const int id = static_cast<int>(components.size());
+    components.emplace_back();
+    stack.push_back(start);
+    component[start] = id;
+    while (!stack.empty()) {
+      Vertex v = stack.back();
+      stack.pop_back();
+      components[id].push_back(v);
+      for (int e : incidence_[v]) {
+        for (Vertex w : edges_[e]) {
+          if (component[w] < 0) {
+            component[w] = id;
+            stack.push_back(w);
+          }
+        }
+      }
+    }
+    std::sort(components[id].begin(), components[id].end());
+  }
+  return components;
+}
+
+std::string Hypergraph::ToString() const {
+  std::ostringstream out;
+  out << "Hypergraph(n=" << num_vertices_ << ", edges={";
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "{";
+    for (size_t j = 0; j < edges_[i].size(); ++j) {
+      if (j > 0) out << ",";
+      out << edges_[i][j];
+    }
+    out << "}";
+  }
+  out << "})";
+  return out.str();
+}
+
+}  // namespace cqcount

@@ -1,0 +1,79 @@
+// Hypergraphs (Section 1.2 of the paper).
+//
+// A hypergraph H has vertices V(H) = {0, .., n-1} and a set of non-empty
+// hyperedges E(H) over V(H). Query hypergraphs H(phi) (Definition 3) and
+// structure hypergraphs H(A) are built on top of this type.
+#ifndef CQCOUNT_HYPERGRAPH_HYPERGRAPH_H_
+#define CQCOUNT_HYPERGRAPH_HYPERGRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cqcount {
+
+/// Vertex identifier within a hypergraph (dense, 0-based).
+using Vertex = int;
+
+/// A finite hypergraph with dense vertex ids.
+///
+/// Hyperedges are stored as sorted, duplicate-free vertex lists; duplicate
+/// hyperedges are kept out so that E(H) is a set, matching the paper.
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+  /// Creates a hypergraph with `num_vertices` isolated vertices.
+  explicit Hypergraph(int num_vertices);
+
+  /// Adds vertices so that `v` is valid; returns `v`.
+  Vertex EnsureVertex(Vertex v);
+
+  /// Adds a hyperedge (vertices are sorted and deduplicated). Empty edges
+  /// and duplicates of existing edges are ignored. Returns the edge index,
+  /// or -1 if the edge was ignored.
+  int AddEdge(std::vector<Vertex> vertices);
+
+  int num_vertices() const { return num_vertices_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  /// The (sorted) vertex list of edge `e`.
+  const std::vector<Vertex>& edge(int e) const { return edges_[e]; }
+  const std::vector<std::vector<Vertex>>& edges() const { return edges_; }
+
+  /// Indices of edges containing `v`.
+  const std::vector<int>& incident_edges(Vertex v) const {
+    return incidence_[v];
+  }
+
+  /// Maximum hyperedge cardinality ("arity"); 0 when edgeless.
+  int Arity() const;
+
+  /// True if every vertex lies in at least one hyperedge.
+  bool HasNoIsolatedVertices() const;
+
+  /// The induced hypergraph H[X] (Definition 39): vertex set X (re-indexed
+  /// densely in the order given), edges {e cap X : e in E(H)} \ {empty},
+  /// deduplicated. `X` must contain valid distinct vertices.
+  Hypergraph Induced(const std::vector<Vertex>& x) const;
+
+  /// True if the hypergraph is connected (isolated vertices count as
+  /// their own components). Edgeless single-vertex graphs are connected.
+  bool IsConnected() const;
+
+  /// Connected components as vertex lists (each sorted).
+  std::vector<std::vector<Vertex>> ConnectedComponents() const;
+
+  /// Human-readable rendering for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const Hypergraph& other) const = default;
+
+ private:
+  int num_vertices_ = 0;
+  std::vector<std::vector<Vertex>> edges_;
+  std::vector<std::vector<int>> incidence_;
+};
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_HYPERGRAPH_HYPERGRAPH_H_

@@ -1,0 +1,75 @@
+#include "hypergraph/primal_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cqcount {
+
+PrimalGraph::PrimalGraph(int num_vertices)
+    : num_vertices_(num_vertices),
+      adj_(num_vertices, std::vector<bool>(num_vertices, false)),
+      degree_(num_vertices, 0),
+      eliminated_(num_vertices, false) {}
+
+PrimalGraph::PrimalGraph(const Hypergraph& h)
+    : PrimalGraph(h.num_vertices()) {
+  for (const auto& e : h.edges()) {
+    for (size_t i = 0; i < e.size(); ++i) {
+      for (size_t j = i + 1; j < e.size(); ++j) {
+        AddEdge(e[i], e[j]);
+      }
+    }
+  }
+}
+
+void PrimalGraph::AddEdge(Vertex u, Vertex v) {
+  assert(u >= 0 && u < num_vertices_ && v >= 0 && v < num_vertices_);
+  if (u == v || adj_[u][v]) return;
+  adj_[u][v] = adj_[v][u] = true;
+  ++degree_[u];
+  ++degree_[v];
+}
+
+std::vector<Vertex> PrimalGraph::Neighbours(Vertex v) const {
+  std::vector<Vertex> result;
+  result.reserve(degree_[v]);
+  for (Vertex w = 0; w < num_vertices_; ++w) {
+    if (adj_[v][w]) result.push_back(w);
+  }
+  return result;
+}
+
+int PrimalGraph::FillIn(Vertex v) const {
+  const std::vector<Vertex> nbrs = Neighbours(v);
+  int fill = 0;
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    for (size_t j = i + 1; j < nbrs.size(); ++j) {
+      if (!adj_[nbrs[i]][nbrs[j]]) ++fill;
+    }
+  }
+  return fill;
+}
+
+std::vector<Vertex> PrimalGraph::Eliminate(Vertex v) {
+  assert(!eliminated_[v]);
+  const std::vector<Vertex> nbrs = Neighbours(v);
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    for (size_t j = i + 1; j < nbrs.size(); ++j) {
+      AddEdge(nbrs[i], nbrs[j]);
+    }
+  }
+  // Remove v.
+  for (Vertex w : nbrs) {
+    adj_[v][w] = adj_[w][v] = false;
+    --degree_[w];
+  }
+  degree_[v] = 0;
+  eliminated_[v] = true;
+
+  std::vector<Vertex> bag = nbrs;
+  bag.push_back(v);
+  std::sort(bag.begin(), bag.end());
+  return bag;
+}
+
+}  // namespace cqcount

@@ -1,0 +1,57 @@
+// Primal (Gaifman) graph of a hypergraph.
+//
+// Two vertices are adjacent iff they share a hyperedge. Treewidth of a
+// hypergraph (Definition 4) equals the treewidth of its primal graph, so
+// the elimination-order machinery operates on this type.
+#ifndef CQCOUNT_HYPERGRAPH_PRIMAL_GRAPH_H_
+#define CQCOUNT_HYPERGRAPH_PRIMAL_GRAPH_H_
+
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace cqcount {
+
+/// Simple undirected graph with dense vertex ids and adjacency matrices.
+class PrimalGraph {
+ public:
+  PrimalGraph() = default;
+  /// Creates an edgeless graph on `num_vertices` vertices.
+  explicit PrimalGraph(int num_vertices);
+  /// Builds the Gaifman graph of `h`.
+  explicit PrimalGraph(const Hypergraph& h);
+
+  int num_vertices() const { return num_vertices_; }
+
+  /// Adds the undirected edge {u, v} (no-op if present or u == v).
+  void AddEdge(Vertex u, Vertex v);
+
+  bool HasEdge(Vertex u, Vertex v) const { return adj_[u][v]; }
+
+  /// Sorted neighbour list of `v`.
+  std::vector<Vertex> Neighbours(Vertex v) const;
+
+  /// Degree of `v`.
+  int Degree(Vertex v) const { return degree_[v]; }
+
+  /// Number of fill edges created by eliminating `v` right now (the number
+  /// of non-adjacent neighbour pairs).
+  int FillIn(Vertex v) const;
+
+  /// Connects all neighbours of `v` pairwise and removes `v` from the graph
+  /// (elimination step). Returns the bag {v} + former neighbours.
+  std::vector<Vertex> Eliminate(Vertex v);
+
+  /// True if `v` was already eliminated.
+  bool IsEliminated(Vertex v) const { return eliminated_[v]; }
+
+ private:
+  int num_vertices_ = 0;
+  std::vector<std::vector<bool>> adj_;
+  std::vector<int> degree_;
+  std::vector<bool> eliminated_;
+};
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_HYPERGRAPH_PRIMAL_GRAPH_H_

@@ -1,0 +1,226 @@
+#include "lp/simplex.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace cqcount {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Dense simplex tableau over variables [0, num_cols). Row `i` of `rows`
+// encodes a constraint in equality form with basic variable basis_[i];
+// `rhs` holds the constant column. One objective row is kept separately.
+class Tableau {
+ public:
+  Tableau(int num_rows, int num_cols)
+      : num_rows_(num_rows),
+        num_cols_(num_cols),
+        rows_(num_rows, std::vector<double>(num_cols, 0.0)),
+        rhs_(num_rows, 0.0),
+        obj_(num_cols, 0.0),
+        basis_(num_rows, -1) {}
+
+  std::vector<std::vector<double>>& rows() { return rows_; }
+  std::vector<double>& rhs() { return rhs_; }
+  std::vector<double>& obj() { return obj_; }
+  std::vector<int>& basis() { return basis_; }
+  double obj_value() const { return obj_value_; }
+  void set_obj_value(double v) { obj_value_ = v; }
+
+  // Runs primal simplex (maximisation; obj row holds reduced costs so that
+  // a positive entry means "entering improves"). Returns false on
+  // unboundedness. Uses Bland's rule: smallest eligible indices.
+  bool Maximise() {
+    for (;;) {
+      int entering = -1;
+      for (int j = 0; j < num_cols_; ++j) {
+        if (obj_[j] > kEps) {
+          entering = j;
+          break;
+        }
+      }
+      if (entering < 0) return true;  // Optimal.
+
+      int leaving = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < num_rows_; ++i) {
+        if (rows_[i][entering] > kEps) {
+          double ratio = rhs_[i] / rows_[i][entering];
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps &&
+               (leaving < 0 || basis_[i] < basis_[leaving]))) {
+            best_ratio = ratio;
+            leaving = i;
+          }
+        }
+      }
+      if (leaving < 0) return false;  // Unbounded.
+      Pivot(leaving, entering);
+    }
+  }
+
+  void Pivot(int row, int col) {
+    const double pivot = rows_[row][col];
+    assert(std::fabs(pivot) > kEps);
+    for (int j = 0; j < num_cols_; ++j) rows_[row][j] /= pivot;
+    rhs_[row] /= pivot;
+    rows_[row][col] = 1.0;  // Avoid drift.
+    for (int i = 0; i < num_rows_; ++i) {
+      if (i == row) continue;
+      const double factor = rows_[i][col];
+      if (std::fabs(factor) < kEps) continue;
+      for (int j = 0; j < num_cols_; ++j) {
+        rows_[i][j] -= factor * rows_[row][j];
+      }
+      rows_[i][col] = 0.0;
+      rhs_[i] -= factor * rhs_[row];
+    }
+    const double ofactor = obj_[col];
+    if (std::fabs(ofactor) > kEps) {
+      for (int j = 0; j < num_cols_; ++j) obj_[j] -= ofactor * rows_[row][j];
+      obj_[col] = 0.0;
+      // The entering variable takes value rhs_[row]; the objective gains
+      // its reduced cost times that value.
+      obj_value_ += ofactor * rhs_[row];
+    }
+    basis_[row] = col;
+  }
+
+ private:
+  int num_rows_;
+  int num_cols_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<double> rhs_;
+  std::vector<double> obj_;
+  std::vector<int> basis_;
+  double obj_value_ = 0.0;
+};
+
+}  // namespace
+
+LpResult SolveLpMax(const std::vector<double>& c,
+                    const std::vector<std::vector<double>>& a,
+                    const std::vector<double>& b) {
+  const int n = static_cast<int>(c.size());
+  const int m = static_cast<int>(a.size());
+  assert(b.size() == a.size());
+
+  // Column layout: [structural 0..n) | slack n..n+m) | artificial ...].
+  // Row i: a_i . x + s_i = b_i, with the row negated first when b_i < 0
+  // (which makes the slack coefficient -1 and requires an artificial).
+  std::vector<int> needs_artificial;
+  for (int i = 0; i < m; ++i) {
+    if (b[i] < -kEps) needs_artificial.push_back(i);
+  }
+  const int num_art = static_cast<int>(needs_artificial.size());
+  const int total_cols = n + m + num_art;
+
+  Tableau tab(m, total_cols);
+  {
+    int art = 0;
+    for (int i = 0; i < m; ++i) {
+      assert(static_cast<int>(a[i].size()) == n);
+      const bool flip = b[i] < -kEps;
+      const double sign = flip ? -1.0 : 1.0;
+      for (int j = 0; j < n; ++j) tab.rows()[i][j] = sign * a[i][j];
+      tab.rhs()[i] = sign * b[i];
+      tab.rows()[i][n + i] = sign;  // Slack.
+      if (flip) {
+        tab.rows()[i][n + m + art] = 1.0;
+        tab.basis()[i] = n + m + art;
+        ++art;
+      } else {
+        tab.basis()[i] = n + i;
+      }
+    }
+  }
+
+  if (num_art > 0) {
+    // Phase 1: maximise -(sum of artificials).
+    for (int k = 0; k < num_art; ++k) tab.obj()[n + m + k] = -1.0;
+    // Price out the artificial basics: the phase-1 objective value at the
+    // initial basis is -(sum of artificial values).
+    for (int i = 0; i < m; ++i) {
+      if (tab.basis()[i] >= n + m) {
+        for (int j = 0; j < total_cols; ++j) {
+          tab.obj()[j] += tab.rows()[i][j];
+        }
+        tab.obj()[tab.basis()[i]] = 0.0;
+        tab.set_obj_value(tab.obj_value() - tab.rhs()[i]);
+      }
+    }
+    bool bounded = tab.Maximise();
+    assert(bounded);
+    (void)bounded;
+    if (tab.obj_value() < -kEps) {
+      return LpResult{LpStatus::kInfeasible, 0.0, {}};
+    }
+    // Drive any residual artificial basics out of the basis.
+    for (int i = 0; i < m; ++i) {
+      if (tab.basis()[i] >= n + m) {
+        int col = -1;
+        for (int j = 0; j < n + m; ++j) {
+          if (std::fabs(tab.rows()[i][j]) > kEps) {
+            col = j;
+            break;
+          }
+        }
+        if (col >= 0) tab.Pivot(i, col);
+        // Otherwise the row is redundant (all-zero); leave it.
+      }
+    }
+  }
+
+  // Phase 2 objective: c over structural columns, priced out over the basis.
+  std::vector<double> obj(total_cols, 0.0);
+  for (int j = 0; j < n; ++j) obj[j] = c[j];
+  for (int k = 0; k < num_art; ++k) obj[n + m + k] = -1e30;  // Forbid re-entry.
+  tab.obj() = obj;
+  tab.set_obj_value(0.0);
+  for (int i = 0; i < m; ++i) {
+    const int bj = tab.basis()[i];
+    const double coeff = tab.obj()[bj];
+    if (std::fabs(coeff) > kEps) {
+      for (int j = 0; j < total_cols; ++j) {
+        tab.obj()[j] -= coeff * tab.rows()[i][j];
+      }
+      tab.obj()[bj] = 0.0;
+      tab.set_obj_value(tab.obj_value() + coeff * tab.rhs()[i]);
+    }
+  }
+  if (!tab.Maximise()) {
+    return LpResult{LpStatus::kUnbounded, 0.0, {}};
+  }
+
+  LpResult result;
+  result.status = LpStatus::kOptimal;
+  result.objective = tab.obj_value();
+  result.x.assign(n, 0.0);
+  for (int i = 0; i < m; ++i) {
+    if (tab.basis()[i] < n) result.x[tab.basis()[i]] = tab.rhs()[i];
+  }
+  return result;
+}
+
+LpResult SolveCoveringLpMin(const std::vector<double>& c,
+                            const std::vector<std::vector<double>>& a,
+                            const std::vector<double>& b) {
+  // min c.x s.t. A x >= b, x >= 0  <=>  max (-c).x s.t. (-A) x <= -b.
+  std::vector<double> neg_c(c.size());
+  for (size_t j = 0; j < c.size(); ++j) neg_c[j] = -c[j];
+  std::vector<std::vector<double>> neg_a(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    neg_a[i].resize(a[i].size());
+    for (size_t j = 0; j < a[i].size(); ++j) neg_a[i][j] = -a[i][j];
+  }
+  std::vector<double> neg_b(b.size());
+  for (size_t i = 0; i < b.size(); ++i) neg_b[i] = -b[i];
+
+  LpResult r = SolveLpMax(neg_c, neg_a, neg_b);
+  if (r.status == LpStatus::kOptimal) r.objective = -r.objective;
+  return r;
+}
+
+}  // namespace cqcount

@@ -1,0 +1,42 @@
+// Dense two-phase simplex solver.
+//
+// This is the substrate for the fractional width measures of the paper:
+// fractional edge covers (Definition 39, used by fhw / Lemma 48) and
+// fractional independent sets (Definition 33, used by adaptive width).
+// Problems are tiny (variables = hyperedges of a query hypergraph), so a
+// dense tableau with Bland's anti-cycling rule is appropriate.
+#ifndef CQCOUNT_LP_SIMPLEX_H_
+#define CQCOUNT_LP_SIMPLEX_H_
+
+#include <vector>
+
+namespace cqcount {
+
+/// Outcome of an LP solve.
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+/// Solution of a linear program.
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  /// Objective value at the optimum (only meaningful when kOptimal).
+  double objective = 0.0;
+  /// Primal solution (only meaningful when kOptimal).
+  std::vector<double> x;
+};
+
+/// Maximises c.x subject to A x <= b and x >= 0.
+///
+/// `a` has one row per constraint; all rows must have size c.size().
+/// Negative entries of `b` are allowed (phase 1 introduces artificials).
+LpResult SolveLpMax(const std::vector<double>& c,
+                    const std::vector<std::vector<double>>& a,
+                    const std::vector<double>& b);
+
+/// Minimises c.x subject to A x >= b and x >= 0 (covering LP).
+LpResult SolveCoveringLpMin(const std::vector<double>& c,
+                            const std::vector<std::vector<double>>& a,
+                            const std::vector<double>& b);
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_LP_SIMPLEX_H_

@@ -1,0 +1,323 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <map>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+namespace cqcount {
+namespace {
+
+struct Token {
+  enum Kind { kIdent, kLParen, kRParen, kComma, kBang, kNeq, kEq, kTurnstile,
+              kPeriod, kEnd } kind;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  StatusOr<std::vector<Token>> Tokenise() {
+    std::vector<Token> tokens;
+    size_t i = 0;
+    while (i < text_.size()) {
+      const char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[j])) ||
+                text_[j] == '_' || text_[j] == '\'')) {
+          ++j;
+        }
+        tokens.push_back({Token::kIdent, text_.substr(i, j - i)});
+        i = j;
+        continue;
+      }
+      switch (c) {
+        case '(':
+          tokens.push_back({Token::kLParen, "("});
+          ++i;
+          break;
+        case ')':
+          tokens.push_back({Token::kRParen, ")"});
+          ++i;
+          break;
+        case ',':
+          tokens.push_back({Token::kComma, ","});
+          ++i;
+          break;
+        case '.':
+          tokens.push_back({Token::kPeriod, "."});
+          ++i;
+          break;
+        case '!':
+          if (i + 1 < text_.size() && text_[i + 1] == '=') {
+            tokens.push_back({Token::kNeq, "!="});
+            i += 2;
+          } else {
+            tokens.push_back({Token::kBang, "!"});
+            ++i;
+          }
+          break;
+        case '=':
+          tokens.push_back({Token::kEq, "="});
+          ++i;
+          break;
+        case ':':
+          if (i + 1 < text_.size() && text_[i + 1] == '-') {
+            tokens.push_back({Token::kTurnstile, ":-"});
+            i += 2;
+          } else {
+            return Status::InvalidArgument("expected ':-'");
+          }
+          break;
+        default: {
+          std::ostringstream msg;
+          msg << "unexpected character '" << c << "' at offset " << i;
+          return Status::InvalidArgument(msg.str());
+        }
+      }
+    }
+    tokens.push_back({Token::kEnd, ""});
+    return tokens;
+  }
+
+ private:
+  const std::string& text_;
+};
+
+// Raw parse results before equality elimination.
+struct RawAtom {
+  std::string relation;
+  std::vector<std::string> vars;
+  bool negated = false;
+};
+struct RawPair {
+  std::string lhs, rhs;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Status Run() {
+    // Head.
+    if (!ConsumeIdent(&head_name_)) return Error("expected head predicate");
+    if (!Consume(Token::kLParen)) return Error("expected '(' after head");
+    if (!Check(Token::kRParen)) {
+      for (;;) {
+        std::string var;
+        if (!ConsumeIdent(&var)) return Error("expected head variable");
+        head_vars_.push_back(var);
+        if (Consume(Token::kComma)) continue;
+        break;
+      }
+    }
+    if (!Consume(Token::kRParen)) return Error("expected ')' after head");
+    if (!Consume(Token::kTurnstile)) return Error("expected ':-'");
+
+    // Body: comma-separated atoms.
+    for (;;) {
+      Status s = ParseBodyAtom();
+      if (!s.ok()) return s;
+      if (Consume(Token::kComma)) continue;
+      break;
+    }
+    Consume(Token::kPeriod);  // Optional trailing period.
+    if (!Check(Token::kEnd)) return Error("trailing input after query");
+    return Status::Ok();
+  }
+
+  const std::vector<std::string>& head_vars() const { return head_vars_; }
+  const std::vector<RawAtom>& atoms() const { return atoms_; }
+  const std::vector<RawPair>& disequalities() const { return disequalities_; }
+  const std::vector<RawPair>& equalities() const { return equalities_; }
+
+ private:
+  Status ParseBodyAtom() {
+    bool negated = Consume(Token::kBang);
+    std::string first;
+    if (!ConsumeIdent(&first)) return Error("expected atom");
+    if (Check(Token::kLParen)) {
+      // Predicate.
+      Consume(Token::kLParen);
+      RawAtom atom;
+      atom.relation = first;
+      atom.negated = negated;
+      for (;;) {
+        std::string var;
+        if (!ConsumeIdent(&var)) return Error("expected predicate argument");
+        atom.vars.push_back(var);
+        if (Consume(Token::kComma)) continue;
+        break;
+      }
+      if (!Consume(Token::kRParen)) return Error("expected ')'");
+      atoms_.push_back(std::move(atom));
+      return Status::Ok();
+    }
+    if (negated) return Error("'!' must precede a predicate");
+    if (Consume(Token::kNeq)) {
+      std::string rhs;
+      if (!ConsumeIdent(&rhs)) return Error("expected variable after '!='");
+      disequalities_.push_back({first, rhs});
+      return Status::Ok();
+    }
+    if (Consume(Token::kEq)) {
+      std::string rhs;
+      if (!ConsumeIdent(&rhs)) return Error("expected variable after '='");
+      equalities_.push_back({first, rhs});
+      return Status::Ok();
+    }
+    return Error("expected '(', '!=' or '=' after identifier");
+  }
+
+  bool Check(Token::Kind kind) const { return tokens_[pos_].kind == kind; }
+  bool Consume(Token::Kind kind) {
+    if (!Check(kind)) return false;
+    ++pos_;
+    return true;
+  }
+  bool ConsumeIdent(std::string* out) {
+    if (!Check(Token::kIdent)) return false;
+    *out = tokens_[pos_].text;
+    ++pos_;
+    return true;
+  }
+  Status Error(const std::string& message) const {
+    std::ostringstream msg;
+    msg << message << " (near token " << pos_ << ": '" << tokens_[pos_].text
+        << "')";
+    return Status::InvalidArgument(msg.str());
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::string head_name_;
+  std::vector<std::string> head_vars_;
+  std::vector<RawAtom> atoms_;
+  std::vector<RawPair> disequalities_;
+  std::vector<RawPair> equalities_;
+};
+
+// Union-find for equality elimination.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+StatusOr<Query> ParseQuery(const std::string& text) {
+  Lexer lexer(text);
+  auto tokens = lexer.Tokenise();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(*std::move(tokens));
+  Status s = parser.Run();
+  if (!s.ok()) return s;
+
+  // Collect variable names: head variables first (they are free), then
+  // body-only variables in order of appearance.
+  std::map<std::string, int> index;
+  std::vector<std::string> names;
+  auto intern = [&](const std::string& name) {
+    auto [it, inserted] = index.emplace(name, names.size());
+    if (inserted) names.push_back(name);
+    return it->second;
+  };
+  for (const std::string& v : parser.head_vars()) {
+    if (index.count(v) > 0) {
+      return Status::InvalidArgument("duplicate head variable: " + v);
+    }
+    intern(v);
+  }
+  const int raw_num_free = static_cast<int>(names.size());
+  for (const RawAtom& atom : parser.atoms()) {
+    for (const std::string& v : atom.vars) intern(v);
+  }
+  for (const RawPair& d : parser.disequalities()) {
+    intern(d.lhs);
+    intern(d.rhs);
+  }
+  for (const RawPair& e : parser.equalities()) {
+    intern(e.lhs);
+    intern(e.rhs);
+  }
+  const int raw_n = static_cast<int>(names.size());
+
+  // Equality elimination: merge variables; a class containing any free
+  // variable is represented by its smallest free member, otherwise by its
+  // smallest member.
+  UnionFind uf(raw_n);
+  for (const RawPair& e : parser.equalities()) {
+    uf.Union(index[e.lhs], index[e.rhs]);
+  }
+  std::vector<int> representative(raw_n, -1);
+  for (int v = 0; v < raw_n; ++v) {
+    const int root = uf.Find(v);
+    if (representative[root] == -1 || v < representative[root]) {
+      // Variables are numbered free-first, so the smallest member of a
+      // class is free whenever the class contains a free variable.
+      representative[root] = std::min(
+          representative[root] == -1 ? v : representative[root], v);
+    }
+  }
+  // Dense renumbering of representatives, free first.
+  std::vector<int> dense(raw_n, -1);
+  Query query;
+  for (int v = 0; v < raw_n; ++v) {
+    const int rep = representative[uf.Find(v)];
+    if (rep == v) dense[v] = query.AddVariable(names[v]);
+  }
+  int num_free = 0;
+  for (int v = 0; v < raw_num_free; ++v) {
+    if (representative[uf.Find(v)] == v) ++num_free;
+  }
+  // Representatives were added in increasing raw order and free raw
+  // variables come first, so free representatives occupy a prefix.
+  query.SetNumFree(num_free);
+  auto mapped = [&](const std::string& name) {
+    return dense[representative[uf.Find(index[name])]];
+  };
+
+  for (const RawAtom& raw : parser.atoms()) {
+    Atom atom;
+    atom.relation = raw.relation;
+    atom.negated = raw.negated;
+    for (const std::string& v : raw.vars) atom.vars.push_back(mapped(v));
+    query.AddAtom(std::move(atom));
+  }
+  for (const RawPair& d : parser.disequalities()) {
+    const int a = mapped(d.lhs);
+    const int b = mapped(d.rhs);
+    if (a == b) {
+      return Status::InvalidArgument(
+          "contradictory query: x != x after equality elimination");
+    }
+    query.AddDisequality(a, b);
+  }
+
+  Status valid = query.Validate();
+  if (!valid.ok()) return valid;
+  return query;
+}
+
+}  // namespace cqcount

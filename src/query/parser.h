@@ -1,0 +1,23 @@
+// Text parser for extended conjunctive queries.
+//
+// Syntax (Datalog-ish):
+//   ans(x, y) :- R(x, z), S(z, y), !T(x, y), x != y.
+// The head lists the free variables; every other variable is existential.
+// Equalities ("x = y") are eliminated by merging variables, as the paper
+// assumes (Section 1.1).
+#ifndef CQCOUNT_QUERY_PARSER_H_
+#define CQCOUNT_QUERY_PARSER_H_
+
+#include <string>
+
+#include "query/query.h"
+#include "util/status.h"
+
+namespace cqcount {
+
+/// Parses an ECQ; the result is validated (Query::Validate).
+StatusOr<Query> ParseQuery(const std::string& text);
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_QUERY_PARSER_H_

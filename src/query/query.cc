@@ -1,0 +1,135 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace cqcount {
+
+int Query::AddVariable(const std::string& name) {
+  var_names_.push_back(name);
+  return static_cast<int>(var_names_.size()) - 1;
+}
+
+void Query::AddDisequality(int a, int b) {
+  if (a == b) return;
+  Disequality d{std::min(a, b), std::max(a, b)};
+  if (std::find(disequalities_.begin(), disequalities_.end(), d) ==
+      disequalities_.end()) {
+    disequalities_.push_back(d);
+  }
+}
+
+int Query::NumNegatedAtoms() const {
+  int count = 0;
+  for (const Atom& atom : atoms_) {
+    if (atom.negated) ++count;
+  }
+  return count;
+}
+
+QueryKind Query::Kind() const {
+  if (NumNegatedAtoms() > 0) return QueryKind::kEcq;
+  if (!disequalities_.empty()) return QueryKind::kDcq;
+  return QueryKind::kCq;
+}
+
+uint64_t Query::PhiSize() const {
+  uint64_t size = num_vars();
+  for (const Atom& atom : atoms_) size += atom.vars.size();
+  size += 2 * disequalities_.size();
+  return size;
+}
+
+Hypergraph Query::BuildHypergraph() const {
+  Hypergraph h(num_vars());
+  for (const Atom& atom : atoms_) {
+    std::vector<Vertex> edge(atom.vars.begin(), atom.vars.end());
+    h.AddEdge(std::move(edge));
+  }
+  return h;
+}
+
+Status Query::Validate() const {
+  if (num_free_ < 0 || num_free_ > num_vars()) {
+    return Status::InvalidArgument("free variable count out of range");
+  }
+  std::vector<bool> used(num_vars(), false);
+  std::map<std::string, size_t> arities;
+  for (const Atom& atom : atoms_) {
+    if (atom.vars.empty()) {
+      return Status::InvalidArgument("atom with no arguments: " +
+                                     atom.relation);
+    }
+    auto [it, inserted] = arities.emplace(atom.relation, atom.vars.size());
+    if (!inserted && it->second != atom.vars.size()) {
+      return Status::InvalidArgument("inconsistent arity for relation " +
+                                     atom.relation);
+    }
+    for (int v : atom.vars) {
+      if (v < 0 || v >= num_vars()) {
+        return Status::InvalidArgument("atom variable out of range");
+      }
+      used[v] = true;
+    }
+  }
+  for (const Disequality& d : disequalities_) {
+    if (d.lhs < 0 || d.rhs >= num_vars() || d.lhs >= d.rhs) {
+      return Status::InvalidArgument("malformed disequality");
+    }
+    used[d.lhs] = used[d.rhs] = true;
+  }
+  for (int v = 0; v < num_vars(); ++v) {
+    if (!used[v]) {
+      return Status::InvalidArgument("variable not used in any atom: " +
+                                     var_names_[v]);
+    }
+  }
+  return Status::Ok();
+}
+
+Status Query::CheckAgainstDatabase(const Database& db) const {
+  for (const Atom& atom : atoms_) {
+    const int arity = db.Arity(atom.relation);
+    if (arity < 0) {
+      return Status::InvalidArgument("database missing relation " +
+                                     atom.relation);
+    }
+    if (arity != static_cast<int>(atom.vars.size())) {
+      return Status::InvalidArgument("database arity mismatch for " +
+                                     atom.relation);
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Query::ToString() const {
+  std::ostringstream out;
+  out << "ans(";
+  for (int v = 0; v < num_free_; ++v) {
+    if (v > 0) out << ", ";
+    out << var_names_[v];
+  }
+  out << ") :- ";
+  bool first = true;
+  for (const Atom& atom : atoms_) {
+    if (!first) out << ", ";
+    first = false;
+    if (atom.negated) out << "!";
+    out << atom.relation << "(";
+    for (size_t i = 0; i < atom.vars.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << var_names_[atom.vars[i]];
+    }
+    out << ")";
+  }
+  for (const Disequality& d : disequalities_) {
+    if (!first) out << ", ";
+    first = false;
+    out << var_names_[d.lhs] << " != " << var_names_[d.rhs];
+  }
+  out << ".";
+  return out.str();
+}
+
+}  // namespace cqcount

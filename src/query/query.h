@@ -1,0 +1,107 @@
+// Extended conjunctive queries (Section 1.1).
+//
+// An ECQ phi(x_1..x_l) = exists x_{l+1}.. : psi where psi is a conjunction
+// of predicates R(y..), negated predicates !R(y..) and disequalities
+// y_i != y_j. Variables are dense indices; the free (output) variables are
+// exactly the indices [0, num_free). Equalities are assumed to have been
+// eliminated by variable merging (the parser does this).
+#ifndef CQCOUNT_QUERY_QUERY_H_
+#define CQCOUNT_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "relational/structure.h"
+#include "util/status.h"
+
+namespace cqcount {
+
+/// A (possibly negated) predicate atom R(y_1, .., y_j).
+struct Atom {
+  std::string relation;
+  /// Variable indices, in predicate-argument order (repeats allowed).
+  std::vector<int> vars;
+  bool negated = false;
+};
+
+/// A disequality atom x_lhs != x_rhs with lhs < rhs.
+struct Disequality {
+  int lhs = 0;
+  int rhs = 0;
+
+  bool operator==(const Disequality&) const = default;
+};
+
+/// Syntactic class of a query (Section 1.1).
+enum class QueryKind {
+  kCq,   ///< Conjunctive query: predicates only.
+  kDcq,  ///< CQ plus disequalities.
+  kEcq,  ///< CQ plus disequalities and negated predicates.
+};
+
+/// An extended conjunctive query over named variables.
+class Query {
+ public:
+  /// Adds a variable and returns its index. Free variables must be added
+  /// first (indices [0, num_free)); call SetNumFree afterwards.
+  int AddVariable(const std::string& name);
+
+  /// Declares that the first `num_free` variables are the free variables.
+  void SetNumFree(int num_free) { num_free_ = num_free; }
+
+  /// Adds a (possibly negated) predicate atom.
+  void AddAtom(Atom atom) { atoms_.push_back(std::move(atom)); }
+
+  /// Adds the disequality x_a != x_b (order-normalised; duplicates and
+  /// trivial a == b pairs are ignored).
+  void AddDisequality(int a, int b);
+
+  int num_vars() const { return static_cast<int>(var_names_.size()); }
+  int num_free() const { return num_free_; }
+  int num_existential() const { return num_vars() - num_free_; }
+
+  const std::string& var_name(int v) const { return var_names_[v]; }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  const std::vector<Disequality>& disequalities() const {
+    return disequalities_;
+  }
+
+  /// Number of negated predicates (the paper's nu).
+  int NumNegatedAtoms() const;
+
+  /// The query's syntactic class.
+  QueryKind Kind() const;
+
+  /// ||phi||: |vars(phi)| plus the sum of the arities of all atoms
+  /// (predicates, negated predicates, and disequalities at arity 2).
+  uint64_t PhiSize() const;
+
+  /// The query hypergraph H(phi) of Definition 3: one vertex per variable,
+  /// one hyperedge per predicate and per negated predicate. Disequalities
+  /// contribute NO hyperedges.
+  Hypergraph BuildHypergraph() const;
+
+  /// Signature sanity: every variable occurs in at least one atom
+  /// (predicate, negated predicate, or disequality), arities are
+  /// consistent across atoms, free count is in range.
+  Status Validate() const;
+
+  /// Checks that `db` declares every relation symbol of the query with a
+  /// matching arity (sig(phi) subseteq sig(D)).
+  Status CheckAgainstDatabase(const Database& db) const;
+
+  /// Renders the query in parser syntax.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> var_names_;
+  int num_free_ = 0;
+  std::vector<Atom> atoms_;
+  std::vector<Disequality> disequalities_;
+};
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_QUERY_QUERY_H_

@@ -1,0 +1,67 @@
+// The paper's structure constructions:
+//  - A(phi)  (Definition 18): the query as a relational structure.
+//  - B(phi,D) (Definition 20): the database with complements for negated
+//    symbols, so that solutions = disequality-respecting homomorphisms.
+//  - A-hat(phi) (Definition 26): A(phi) plus unary position relations P_i
+//    and per-disequality colour relations R_eta / B_eta.
+//  - B-hat(phi,D,V_1..V_l,f) (Definition 28): the position-annotated,
+//    colour-coded database.
+//
+// These materialised forms are used for cross-validation and small cases;
+// the production oracle path evaluates the same instances virtually via
+// per-variable domain restrictions (see hom/hom_oracle.h), which is
+// observationally equivalent (Lemma 30) and avoids the |vars|^a blow-up.
+#ifndef CQCOUNT_QUERY_QUERY_STRUCTURES_H_
+#define CQCOUNT_QUERY_QUERY_STRUCTURES_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "relational/structure.h"
+#include "util/status.h"
+
+namespace cqcount {
+
+/// Name used for the complement symbol of a negated relation R.
+std::string NegatedRelationName(const std::string& relation);
+
+/// A(phi) (Definition 18). Universe = vars(phi); R^A collects the positive
+/// predicates, ~R^A the negated ones.
+Structure BuildStructureA(const Query& q);
+
+/// B(phi,D) (Definition 20). Universe = U(D); negated symbols map to
+/// complements U(D)^ar \ R^D. Fails when a complement would exceed
+/// `max_complement_tuples` (the virtual path has no such limit).
+StatusOr<Structure> BuildStructureB(const Query& q, const Database& db,
+                                    uint64_t max_complement_tuples = 1 << 22);
+
+/// Per-disequality colouring functions f_eta : U(D) -> {r, b}
+/// (true = red). Indexed parallel to Query::disequalities().
+using ColouringFamily = std::vector<std::vector<bool>>;
+
+/// Per-free-variable vertex sets V_i (each a subset of U(D), given as a
+/// membership mask). Indexed by free-variable index.
+using PartiteParts = std::vector<std::vector<bool>>;
+
+/// A-hat(phi) (Definition 26): adds unary P_i = {x_i} for every variable
+/// and unary Rneq_k = {lhs}, Bneq_k = {rhs} for the k-th disequality.
+Structure BuildStructureAHat(const Query& q);
+
+/// B-hat(phi, D, V_1..V_l, f) (Definition 28). The universe is
+/// vars(phi) x U(D) encoded as i * |U(D)| + w for position i and value w;
+/// only elements of some S_i (S_i = V_i for free i, U(D) for existential)
+/// belong to relations. Sizes grow as |vars|^arity; intended for tests.
+StatusOr<Structure> BuildStructureBHat(const Query& q, const Database& db,
+                                       const PartiteParts& parts,
+                                       const ColouringFamily& colouring,
+                                       uint64_t max_tuples = 1 << 24);
+
+/// The canonical (full, positive) conjunctive query of a structure A:
+/// one free variable per universe element, one atom per fact. Homomorphisms
+/// A -> B are exactly the solutions of (canonical query, B).
+Query CanonicalQuery(const Structure& a);
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_QUERY_QUERY_STRUCTURES_H_

@@ -1,0 +1,107 @@
+#include "relational/database_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace cqcount {
+
+StatusOr<Database> ParseDatabase(const std::string& text) {
+  Database db;
+  std::istringstream in(text);
+  std::string line;
+  std::string current_relation;
+  int current_arity = 0;
+  bool saw_universe = false;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream tokens(line);
+    std::string first;
+    if (!(tokens >> first)) continue;  // Blank line.
+
+    auto fail = [&](const std::string& message) {
+      std::ostringstream msg;
+      msg << "line " << line_no << ": " << message;
+      return Status::InvalidArgument(msg.str());
+    };
+
+    if (first == "universe") {
+      uint64_t n = 0;
+      if (!(tokens >> n)) return fail("expected universe size");
+      db.set_universe_size(static_cast<uint32_t>(n));
+      saw_universe = true;
+    } else if (first == "relation") {
+      if (!current_relation.empty()) {
+        return fail("nested relation block (missing 'end'?)");
+      }
+      std::string name;
+      int arity = 0;
+      if (!(tokens >> name >> arity)) return fail("expected name and arity");
+      if (!saw_universe) return fail("'universe' must precede relations");
+      Status s = db.DeclareRelation(name, arity);
+      if (!s.ok()) return fail(s.message());
+      current_relation = name;
+      current_arity = arity;
+    } else if (first == "end") {
+      if (current_relation.empty()) return fail("'end' outside relation");
+      current_relation.clear();
+    } else {
+      if (current_relation.empty()) {
+        return fail("unexpected token: " + first);
+      }
+      Tuple t;
+      t.reserve(current_arity);
+      std::istringstream row(line);
+      uint64_t v = 0;
+      while (row >> v) t.push_back(static_cast<Value>(v));
+      if (static_cast<int>(t.size()) != current_arity) {
+        return fail("tuple arity mismatch");
+      }
+      Status s = db.AddFact(current_relation, std::move(t));
+      if (!s.ok()) return fail(s.message());
+    }
+  }
+  if (!current_relation.empty()) {
+    return Status::InvalidArgument("unterminated relation block: " +
+                                   current_relation);
+  }
+  return db;
+}
+
+StatusOr<Database> ReadDatabaseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseDatabase(buffer.str());
+}
+
+std::string FormatDatabase(const Database& db) {
+  std::ostringstream out;
+  out << "universe " << db.universe_size() << "\n";
+  for (const std::string& name : db.RelationNames()) {
+    const Relation& rel = db.relation(name);
+    out << "relation " << name << " " << rel.arity() << "\n";
+    for (const Tuple& t : rel.tuples()) {
+      for (size_t i = 0; i < t.size(); ++i) {
+        if (i > 0) out << " ";
+        out << t[i];
+      }
+      out << "\n";
+    }
+    out << "end\n";
+  }
+  return out.str();
+}
+
+Status WriteDatabaseFile(const Database& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot write file: " + path);
+  out << FormatDatabase(db);
+  return Status::Ok();
+}
+
+}  // namespace cqcount

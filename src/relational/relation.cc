@@ -1,0 +1,78 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cqcount {
+
+void Relation::Add(Tuple t) {
+  assert(static_cast<int>(t.size()) == arity_);
+  tuples_.push_back(std::move(t));
+  sorted_ = false;
+}
+
+void Relation::EnsureSorted() const {
+  if (sorted_) return;
+  std::sort(tuples_.begin(), tuples_.end());
+  tuples_.erase(std::unique(tuples_.begin(), tuples_.end()), tuples_.end());
+  sorted_ = true;
+}
+
+bool Relation::Contains(const Tuple& t) const {
+  EnsureSorted();
+  return std::binary_search(tuples_.begin(), tuples_.end(), t);
+}
+
+const std::vector<Tuple>& Relation::tuples() const {
+  EnsureSorted();
+  return tuples_;
+}
+
+std::pair<size_t, size_t> Relation::PrefixRange(const Tuple& prefix,
+                                                size_t from, size_t to) const {
+  EnsureSorted();
+  auto begin = tuples_.begin() + from;
+  auto end = tuples_.begin() + to;
+  auto cmp_lo = [&](const Tuple& t, const Tuple& p) {
+    return std::lexicographical_compare(t.begin(),
+                                        t.begin() + std::min(t.size(),
+                                                             p.size()),
+                                        p.begin(), p.end());
+  };
+  auto lo = std::lower_bound(begin, end, prefix, cmp_lo);
+  auto cmp_hi = [&](const Tuple& p, const Tuple& t) {
+    return std::lexicographical_compare(p.begin(), p.end(), t.begin(),
+                                        t.begin() + std::min(t.size(),
+                                                             p.size()));
+  };
+  auto hi = std::upper_bound(lo, end, prefix, cmp_hi);
+  return {static_cast<size_t>(lo - tuples_.begin()),
+          static_cast<size_t>(hi - tuples_.begin())};
+}
+
+Relation Relation::Project(const std::vector<int>& positions) const {
+  Relation out(static_cast<int>(positions.size()));
+  for (const Tuple& t : tuples()) {
+    Tuple p;
+    p.reserve(positions.size());
+    for (int pos : positions) {
+      assert(pos >= 0 && pos < arity_);
+      p.push_back(t[pos]);
+    }
+    out.Add(std::move(p));
+  }
+  out.EnsureSorted();
+  return out;
+}
+
+Relation Relation::Reorder(const std::vector<int>& order) const {
+  assert(static_cast<int>(order.size()) == arity_);
+  return Project(order);
+}
+
+bool Relation::operator==(const Relation& other) const {
+  if (arity_ != other.arity_) return false;
+  return tuples() == other.tuples();
+}
+
+}  // namespace cqcount

@@ -1,0 +1,73 @@
+// Relations: sets of tuples over a universe of dense 32-bit values.
+//
+// Storage is a sorted, duplicate-free tuple vector, which doubles as a
+// lexicographic trie for the join algorithms (prefix ranges are contiguous).
+#ifndef CQCOUNT_RELATIONAL_RELATION_H_
+#define CQCOUNT_RELATIONAL_RELATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cqcount {
+
+/// A universe element. Universes are dense: {0, .., N-1}.
+using Value = uint32_t;
+
+/// A tuple of universe elements.
+using Tuple = std::vector<Value>;
+
+/// A finite relation of fixed arity.
+class Relation {
+ public:
+  Relation() = default;
+  /// Creates an empty relation of the given arity (arity >= 1).
+  explicit Relation(int arity) : arity_(arity) {}
+
+  int arity() const { return arity_; }
+  /// Number of distinct tuples (canonicalises lazily added duplicates).
+  size_t size() const {
+    EnsureSorted();
+    return tuples_.size();
+  }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Adds a tuple (must have the relation's arity). Duplicates are removed
+  /// lazily on the next Contains/sorted access.
+  void Add(Tuple t);
+
+  /// True if `t` is a member.
+  bool Contains(const Tuple& t) const;
+
+  /// The tuples in lexicographic order, duplicate-free.
+  const std::vector<Tuple>& tuples() const;
+
+  /// The half-open index range [lo, hi) of tuples whose first
+  /// prefix.size() entries equal `prefix` within [from, to). Used by the
+  /// trie-style join. Requires the relation to be sorted (tuples() call).
+  std::pair<size_t, size_t> PrefixRange(const Tuple& prefix, size_t from,
+                                        size_t to) const;
+
+  /// Projects onto the given column positions (in the given order),
+  /// deduplicating the result.
+  Relation Project(const std::vector<int>& positions) const;
+
+  /// Returns the same tuple set with columns permuted: column i of the
+  /// result is column `order[i]` of this relation.
+  Relation Reorder(const std::vector<int>& order) const;
+
+  bool operator==(const Relation& other) const;
+
+ private:
+  void EnsureSorted() const;  // Sorts and deduplicates (lazily, const).
+
+  int arity_ = 0;
+  // Mutable: sorting is a lazily applied canonicalisation.
+  mutable std::vector<Tuple> tuples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_RELATIONAL_RELATION_H_

@@ -1,0 +1,35 @@
+// Hashing helpers for composite keys (tuples, assignments).
+#ifndef CQCOUNT_UTIL_HASH_H_
+#define CQCOUNT_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace cqcount {
+
+/// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
+inline void HashCombine(size_t& seed, size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+}
+
+/// Hashes a sequence of integral values.
+template <typename Container>
+size_t HashRange(const Container& values) {
+  size_t seed = 0x2545f4914f6cdd1dULL;
+  for (const auto& v : values) {
+    HashCombine(seed, std::hash<typename Container::value_type>{}(v));
+  }
+  return seed;
+}
+
+/// std::hash adaptor for std::vector of integral values.
+template <typename T>
+struct VectorHash {
+  size_t operator()(const std::vector<T>& v) const { return HashRange(v); }
+};
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_UTIL_HASH_H_

@@ -1,0 +1,47 @@
+// Minimal leveled logging to stderr.
+//
+// Usage: CQLOG(kInfo) << "built decomposition of width " << w;
+// The default threshold is kWarning; benchmarks and examples raise it.
+#ifndef CQCOUNT_UTIL_LOGGING_H_
+#define CQCOUNT_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace cqcount {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+/// Returns the global minimum emitted level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log statement and flushes it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace cqcount
+
+#define CQLOG(level)                                                     \
+  ::cqcount::internal::LogMessage(::cqcount::LogLevel::level, __FILE__, \
+                                  __LINE__)
+
+#endif  // CQCOUNT_UTIL_LOGGING_H_

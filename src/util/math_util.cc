@@ -1,0 +1,55 @@
+#include "util/math_util.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cqcount {
+
+int Log2Ceil(uint64_t x) {
+  if (x <= 1) return 0;
+  return 64 - __builtin_clzll(x - 1);
+}
+
+int Log2Floor(uint64_t x) {
+  assert(x >= 1);
+  return 63 - __builtin_clzll(x);
+}
+
+double Median(std::vector<double>& values) {
+  assert(!values.empty());
+  const size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double hi = values[mid];
+  if (values.size() % 2 == 1) return hi;
+  double lo = *std::max_element(values.begin(), values.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+void MeanVarAccumulator::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double MeanVarAccumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double MeanVarAccumulator::mean_variance() const {
+  if (count_ == 0) return 0.0;
+  return variance() / static_cast<double>(count_);
+}
+
+double BinomialDouble(int n, int k) {
+  if (k < 0 || k > n) return 0.0;
+  k = std::min(k, n - k);
+  double result = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    result *= static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return result;
+}
+
+}  // namespace cqcount

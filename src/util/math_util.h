@@ -1,0 +1,44 @@
+// Small numeric helpers shared by the estimators and width computations.
+#ifndef CQCOUNT_UTIL_MATH_UTIL_H_
+#define CQCOUNT_UTIL_MATH_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cqcount {
+
+/// ceil(log2(x)) for x >= 1; 0 for x in {0, 1}.
+int Log2Ceil(uint64_t x);
+
+/// floor(log2(x)) for x >= 1. Requires x >= 1.
+int Log2Floor(uint64_t x);
+
+/// Returns the median of `values` (averaging the middle pair for even sizes).
+/// Requires non-empty input; `values` is reordered.
+double Median(std::vector<double>& values);
+
+/// Streaming mean / variance (Welford). Used by the adaptive estimators.
+class MeanVarAccumulator {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const;
+  /// Variance of the sample mean (variance / count); 0 if count == 0.
+  double mean_variance() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// n choose k as double (safe for the small parameters used here).
+double BinomialDouble(int n, int k);
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_UTIL_MATH_UTIL_H_

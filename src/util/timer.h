@@ -1,0 +1,32 @@
+// Wall-clock timing helper for benches and adaptive algorithms.
+#ifndef CQCOUNT_UTIL_TIMER_H_
+#define CQCOUNT_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace cqcount {
+
+/// Measures elapsed wall-clock time since construction or Reset().
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since start.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since start.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_UTIL_TIMER_H_

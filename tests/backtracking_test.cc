@@ -1,0 +1,76 @@
+#include "hom/backtracking.h"
+
+#include <gtest/gtest.h>
+
+#include "app/graph_gen.h"
+#include "query/parser.h"
+
+namespace cqcount {
+namespace {
+
+Query Parse(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *q;
+}
+
+TEST(BacktrackingTest, CountsEdgeSolutions) {
+  Query q = Parse("ans(x, y) :- E(x, y).");
+  Database db = GraphToDatabase(PathGraph(3));  // Edges {0,1},{1,2} both ways.
+  EXPECT_EQ(CountSolutionsBrute(q, db), 4u);
+  EXPECT_EQ(CountAnswersBrute(q, db), 4u);
+  EXPECT_TRUE(DecideSolutionBrute(q, db));
+}
+
+TEST(BacktrackingTest, ProjectionDeduplicates) {
+  // ans(x) over E(x,y) on the path: 3 distinct x values.
+  Query q = Parse("ans(x) :- E(x, y).");
+  Database db = GraphToDatabase(PathGraph(3));
+  EXPECT_EQ(CountSolutionsBrute(q, db), 4u);
+  EXPECT_EQ(CountAnswersBrute(q, db), 3u);
+}
+
+TEST(BacktrackingTest, DisequalityFiltersSolutions) {
+  // Friends query: people with two distinct neighbours on a path of 3:
+  // only the middle vertex.
+  Query q = Parse("ans(x) :- E(x, y), E(x, z), y != z.");
+  Database db = GraphToDatabase(PathGraph(3));
+  EXPECT_EQ(CountAnswersBrute(q, db), 1u);
+}
+
+TEST(BacktrackingTest, HamiltonPathCount) {
+  // Observation 10 encoding: Hamiltonian paths of K3 = 3! = 6 directed
+  // labellings; on the 3-path graph there are exactly 2.
+  Query q = Parse(
+      "ans(a, b, c) :- E(a, b), E(b, c), a != b, a != c, b != c.");
+  EXPECT_EQ(CountAnswersBrute(q, GraphToDatabase(CliqueGraph(3))), 6u);
+  EXPECT_EQ(CountAnswersBrute(q, GraphToDatabase(PathGraph(3))), 2u);
+}
+
+TEST(BacktrackingTest, NegatedAtomCountsNonEdges) {
+  // Ordered non-adjacent distinct pairs in P3: pairs (0,2),(2,0) plus
+  // loops excluded via disequality.
+  Query q = Parse("ans(x, y) :- V(x), V(y), !E(x, y), x != y.");
+  Database db = GraphToDatabase(PathGraph(3));
+  ASSERT_TRUE(db.DeclareRelation("V", 1).ok());
+  for (Value v = 0; v < 3; ++v) ASSERT_TRUE(db.AddFact("V", {v}).ok());
+  EXPECT_EQ(CountAnswersBrute(q, db), 2u);
+}
+
+TEST(BacktrackingTest, EarlyStopOnDecision) {
+  Query q = Parse("ans(x, y) :- E(x, y).");
+  Database db = GraphToDatabase(CliqueGraph(6));
+  EXPECT_TRUE(DecideSolutionBrute(q, db));
+}
+
+TEST(BacktrackingTest, ExistentialWitnessRequired) {
+  Query q = Parse("ans(x) :- E(x, y), F(y).");
+  Database db = GraphToDatabase(PathGraph(3));
+  ASSERT_TRUE(db.DeclareRelation("F", 1).ok());
+  ASSERT_TRUE(db.AddFact("F", {2}).ok());
+  // x must have a neighbour in F = {2}: only x = 1.
+  EXPECT_EQ(CountAnswersBrute(q, db), 1u);
+}
+
+}  // namespace
+}  // namespace cqcount

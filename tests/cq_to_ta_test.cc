@@ -1,0 +1,121 @@
+#include "automata/cq_to_ta.h"
+
+#include <gtest/gtest.h>
+
+#include "app/graph_gen.h"
+#include "automata/ta_exact_count.h"
+#include "counting/exact_count.h"
+#include "decomposition/elimination_order.h"
+#include "query/parser.h"
+#include "test_util.h"
+
+namespace cqcount {
+namespace {
+
+using testing_util::RandomDatabaseFor;
+using testing_util::RandomQuery;
+using testing_util::RandomQueryOptions;
+
+Query Parse(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *q;
+}
+
+NiceTreeDecomposition MakeNice(const Query& q) {
+  Hypergraph h = q.BuildHypergraph();
+  TreeDecomposition td = DecompositionFromOrder(h, MinFillOrder(h));
+  return NiceTreeDecomposition::FromTreeDecomposition(h, td);
+}
+
+// The Lemma 52 parsimony test: |L_N(A)| (by the exact subset DP) must
+// equal |Ans(phi, D)| (by brute force).
+void CheckParsimony(const Query& q, const Database& db) {
+  NiceTreeDecomposition nice = MakeNice(q);
+  ASSERT_TRUE(nice.Validate(q.BuildHypergraph()).ok());
+  auto built = BuildCountingAutomaton(q, db, nice);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const uint64_t expected = ExactCountAnswersBruteForce(q, db);
+  if (built->trivially_zero) {
+    EXPECT_EQ(expected, 0u);
+    return;
+  }
+  auto slice = CountAcceptedBySubsets(built->automaton, built->n,
+                                      /*max_states=*/24);
+  if (!slice.ok()) return;  // Automaton too large for the exact DP.
+  EXPECT_DOUBLE_EQ(*slice, static_cast<double>(expected)) << q.ToString();
+}
+
+TEST(CqToTaTest, SingleAtomQuery) {
+  Query q = Parse("ans(x) :- E(x, y).");
+  Database db(3);
+  ASSERT_TRUE(db.DeclareRelation("E", 2).ok());
+  ASSERT_TRUE(db.AddFact("E", {0, 1}).ok());
+  ASSERT_TRUE(db.AddFact("E", {2, 1}).ok());
+  CheckParsimony(q, db);
+}
+
+TEST(CqToTaTest, PathQueryWithExistential) {
+  Query q = Parse("ans(x, z) :- E(x, y), E(y, z).");
+  Database db(3);
+  ASSERT_TRUE(db.DeclareRelation("E", 2).ok());
+  ASSERT_TRUE(db.AddFact("E", {0, 1}).ok());
+  ASSERT_TRUE(db.AddFact("E", {1, 2}).ok());
+  ASSERT_TRUE(db.AddFact("E", {1, 0}).ok());
+  CheckParsimony(q, db);
+}
+
+TEST(CqToTaTest, EmptyDatabaseIsTriviallyZero) {
+  Query q = Parse("ans(x) :- E(x, y).");
+  Database db(3);
+  ASSERT_TRUE(db.DeclareRelation("E", 2).ok());
+  NiceTreeDecomposition nice = MakeNice(q);
+  auto built = BuildCountingAutomaton(q, db, nice);
+  ASSERT_TRUE(built.ok());
+  EXPECT_TRUE(built->trivially_zero);
+}
+
+TEST(CqToTaTest, RejectsNonCqQueries) {
+  Query q = Parse("ans(x) :- E(x, y), x != y.");
+  Database db = GraphToDatabase(PathGraph(3));
+  NiceTreeDecomposition nice = MakeNice(q);
+  EXPECT_FALSE(BuildCountingAutomaton(q, db, nice).ok());
+}
+
+TEST(CqToTaTest, TreeShapeMatchesDecomposition) {
+  Query q = Parse("ans(x) :- E(x, y).");
+  Database db = GraphToDatabase(PathGraph(3));
+  NiceTreeDecomposition nice = MakeNice(q);
+  auto built = BuildCountingAutomaton(q, db, nice);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->n, nice.num_nodes());
+  EXPECT_TRUE(built->tree_shape.Validate().ok());
+  // Only trees of the decomposition's shape are accepted: the automaton
+  // rejects a bare single-node tree unless the decomposition is one node.
+  if (nice.num_nodes() > 1) {
+    LabeledTree tiny;
+    tiny.nodes.resize(1);
+    EXPECT_FALSE(built->automaton.Accepts(tiny));
+  }
+}
+
+// Property: parsimony on random small CQs.
+class ParsimonyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParsimonyPropertyTest, SliceCountEqualsAnswerCount) {
+  Rng rng(GetParam() * 211 + 3);
+  RandomQueryOptions qopts;
+  qopts.min_vars = 2;
+  qopts.max_vars = 3;
+  qopts.max_atoms = 2;
+  qopts.max_arity = 2;
+  Query q = RandomQuery(rng, qopts);
+  Database db = RandomDatabaseFor(q, 2, 0.6, rng);
+  CheckParsimony(q, db);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParsimonyPropertyTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace cqcount

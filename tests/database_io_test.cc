@@ -1,0 +1,76 @@
+#include "relational/database_io.h"
+
+#include <gtest/gtest.h>
+
+namespace cqcount {
+namespace {
+
+TEST(DatabaseIoTest, ParseSimpleDatabase) {
+  auto db = ParseDatabase(R"(
+# A small database
+universe 10
+relation E 2
+0 1
+1 2
+end
+relation Name 1
+3
+end
+)");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->universe_size(), 10u);
+  EXPECT_EQ(db->relation("E").size(), 2u);
+  EXPECT_TRUE(db->relation("E").Contains({0, 1}));
+  EXPECT_EQ(db->relation("Name").size(), 1u);
+}
+
+TEST(DatabaseIoTest, RoundTrip) {
+  Database db(5);
+  ASSERT_TRUE(db.DeclareRelation("R", 2).ok());
+  ASSERT_TRUE(db.AddFact("R", {4, 0}).ok());
+  ASSERT_TRUE(db.AddFact("R", {1, 3}).ok());
+  auto parsed = ParseDatabase(FormatDatabase(db));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->universe_size(), 5u);
+  EXPECT_EQ(parsed->relation("R"), db.relation("R"));
+}
+
+TEST(DatabaseIoTest, RejectsMissingUniverse) {
+  auto db = ParseDatabase("relation R 1\n0\nend\n");
+  EXPECT_FALSE(db.ok());
+}
+
+TEST(DatabaseIoTest, RejectsArityMismatch) {
+  auto db = ParseDatabase("universe 4\nrelation R 2\n0 1 2\nend\n");
+  EXPECT_FALSE(db.ok());
+}
+
+TEST(DatabaseIoTest, RejectsValueOutsideUniverse) {
+  auto db = ParseDatabase("universe 2\nrelation R 1\n5\nend\n");
+  EXPECT_FALSE(db.ok());
+}
+
+TEST(DatabaseIoTest, RejectsUnterminatedBlock) {
+  auto db = ParseDatabase("universe 2\nrelation R 1\n0\n");
+  EXPECT_FALSE(db.ok());
+}
+
+TEST(DatabaseIoTest, FileRoundTrip) {
+  Database db(3);
+  ASSERT_TRUE(db.DeclareRelation("T", 3).ok());
+  ASSERT_TRUE(db.AddFact("T", {0, 1, 2}).ok());
+  const std::string path = ::testing::TempDir() + "/cqcount_io_test.db";
+  ASSERT_TRUE(WriteDatabaseFile(db, path).ok());
+  auto loaded = ReadDatabaseFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->relation("T").Contains({0, 1, 2}));
+}
+
+TEST(DatabaseIoTest, MissingFileReported) {
+  auto db = ReadDatabaseFile("/nonexistent/path/to.db");
+  EXPECT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace cqcount

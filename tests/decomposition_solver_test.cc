@@ -1,0 +1,123 @@
+#include "hom/decomposition_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "decomposition/elimination_order.h"
+#include "hom/backtracking.h"
+#include "query/parser.h"
+#include "test_util.h"
+
+namespace cqcount {
+namespace {
+
+using testing_util::RandomDatabaseFor;
+using testing_util::RandomQuery;
+using testing_util::RandomQueryOptions;
+
+Query Parse(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *q;
+}
+
+DecompositionSolver MakeSolver(const Query& q, const Database& db) {
+  Hypergraph h = q.BuildHypergraph();
+  return DecompositionSolver(q, db, DecompositionFromOrder(h, MinFillOrder(h)));
+}
+
+TEST(DecompositionSolverTest, DecidesPathQuery) {
+  Query q = Parse("ans() :- E(x, y), E(y, z).");
+  Database db(3);
+  ASSERT_TRUE(db.DeclareRelation("E", 2).ok());
+  ASSERT_TRUE(db.AddFact("E", {0, 1}).ok());
+  ASSERT_TRUE(db.AddFact("E", {1, 2}).ok());
+  DecompositionSolver solver = MakeSolver(q, db);
+  EXPECT_TRUE(solver.Decide(nullptr));
+}
+
+TEST(DecompositionSolverTest, DetectsUnsatisfiable) {
+  Query q = Parse("ans() :- E(x, y), E(y, x).");
+  Database db(3);
+  ASSERT_TRUE(db.DeclareRelation("E", 2).ok());
+  ASSERT_TRUE(db.AddFact("E", {0, 1}).ok());  // No back edge.
+  DecompositionSolver solver = MakeSolver(q, db);
+  EXPECT_FALSE(solver.Decide(nullptr));
+}
+
+TEST(DecompositionSolverTest, CountsPathSolutions) {
+  // Solutions of E(x,y) over a directed 3-cycle: 3.
+  Query q = Parse("ans(x, y) :- E(x, y).");
+  Database db(3);
+  ASSERT_TRUE(db.DeclareRelation("E", 2).ok());
+  ASSERT_TRUE(db.AddFact("E", {0, 1}).ok());
+  ASSERT_TRUE(db.AddFact("E", {1, 2}).ok());
+  ASSERT_TRUE(db.AddFact("E", {2, 0}).ok());
+  DecompositionSolver solver = MakeSolver(q, db);
+  EXPECT_DOUBLE_EQ(solver.CountSolutions(nullptr), 3.0);
+}
+
+TEST(DecompositionSolverTest, DomainsRestrictDecision) {
+  Query q = Parse("ans(x) :- R(x).");
+  Database db(3);
+  ASSERT_TRUE(db.DeclareRelation("R", 1).ok());
+  ASSERT_TRUE(db.AddFact("R", {1}).ok());
+  DecompositionSolver solver = MakeSolver(q, db);
+  VarDomains domains;
+  domains.allowed.resize(1);
+  domains.allowed[0] = {true, false, false};
+  EXPECT_FALSE(solver.Decide(&domains));
+  domains.allowed[0] = {false, true, false};
+  EXPECT_TRUE(solver.Decide(&domains));
+}
+
+TEST(DecompositionSolverTest, NegatedAtomsHonoured) {
+  Query q = Parse("ans() :- R(x, y), !S(x, y).");
+  Database db(2);
+  ASSERT_TRUE(db.DeclareRelation("R", 2).ok());
+  ASSERT_TRUE(db.DeclareRelation("S", 2).ok());
+  ASSERT_TRUE(db.AddFact("R", {0, 1}).ok());
+  ASSERT_TRUE(db.AddFact("S", {0, 1}).ok());
+  DecompositionSolver solver = MakeSolver(q, db);
+  EXPECT_FALSE(solver.Decide(nullptr));
+  ASSERT_TRUE(db.AddFact("R", {1, 1}).ok());
+  DecompositionSolver solver2 = MakeSolver(q, db);
+  EXPECT_TRUE(solver2.Decide(nullptr));
+}
+
+// Properties: decision and counting agree with brute force on random
+// queries (negations allowed; no disequalities for the counting DP).
+class SolverDecisionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverDecisionPropertyTest, DecisionMatchesBruteForce) {
+  Rng rng(GetParam() * 31 + 7);
+  RandomQueryOptions qopts;
+  qopts.negated_probability = 0.3;
+  Query q = RandomQuery(rng, qopts);
+  Database db = RandomDatabaseFor(q, 4, 0.4, rng);
+  DecompositionSolver solver = MakeSolver(q, db);
+  EXPECT_EQ(solver.Decide(nullptr), DecideSolutionBrute(q, db))
+      << q.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverDecisionPropertyTest,
+                         ::testing::Range(0, 50));
+
+class SolverCountPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverCountPropertyTest, CountMatchesBruteForce) {
+  Rng rng(GetParam() * 131 + 9);
+  RandomQueryOptions qopts;
+  qopts.negated_probability = 0.25;
+  Query q = RandomQuery(rng, qopts);
+  Database db = RandomDatabaseFor(q, 4, 0.45, rng);
+  DecompositionSolver solver = MakeSolver(q, db);
+  EXPECT_DOUBLE_EQ(solver.CountSolutions(nullptr),
+                   static_cast<double>(CountSolutionsBrute(q, db)))
+      << q.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverCountPropertyTest,
+                         ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace cqcount

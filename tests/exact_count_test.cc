@@ -1,0 +1,83 @@
+#include "counting/exact_count.h"
+
+#include <gtest/gtest.h>
+
+#include "app/graph_gen.h"
+#include "hom/backtracking.h"
+#include "query/parser.h"
+#include "test_util.h"
+
+namespace cqcount {
+namespace {
+
+using testing_util::RandomDatabaseFor;
+using testing_util::RandomQuery;
+using testing_util::RandomQueryOptions;
+
+Query Parse(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *q;
+}
+
+TEST(ExactCountTest, ExtensionMatchesBruteForceOnCq) {
+  Query q = Parse("ans(x) :- E(x, y), E(y, z).");
+  Database db = GraphToDatabase(PathGraph(4));
+  auto ext = ExactCountAnswersExtension(q, db);
+  ASSERT_TRUE(ext.ok());
+  EXPECT_EQ(*ext, ExactCountAnswersBruteForce(q, db));
+}
+
+TEST(ExactCountTest, ExtensionRejectsDisequalities) {
+  Query q = Parse("ans(x) :- E(x, y), x != y.");
+  Database db = GraphToDatabase(PathGraph(3));
+  EXPECT_FALSE(ExactCountAnswersExtension(q, db).ok());
+}
+
+TEST(ExactCountTest, ExtensionHandlesBooleanQueries) {
+  Query q = Parse("ans() :- E(x, y).");
+  Database db = GraphToDatabase(PathGraph(2));
+  auto count = ExactCountAnswersExtension(q, db);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 1u);
+  Database empty(3);
+  ASSERT_TRUE(empty.DeclareRelation("E", 2).ok());
+  auto zero = ExactCountAnswersExtension(q, empty);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(*zero, 0u);
+}
+
+TEST(ExactCountTest, SolutionsDpMatchesBruteForce) {
+  Query q = Parse("ans(x, y) :- E(x, y), E(y, z).");
+  Database db = GraphToDatabase(CycleGraph(5));
+  auto dp = ExactCountSolutionsDp(q, db);
+  ASSERT_TRUE(dp.ok());
+  EXPECT_DOUBLE_EQ(*dp, static_cast<double>(CountSolutionsBrute(q, db)));
+}
+
+TEST(ExactCountTest, SolutionsDpRejectsDisequalities) {
+  Query q = Parse("ans(x, y) :- E(x, y), x != y.");
+  Database db = GraphToDatabase(PathGraph(3));
+  EXPECT_FALSE(ExactCountSolutionsDp(q, db).ok());
+}
+
+// Property: the extension counter equals brute force on random CQs with
+// negations (still no disequalities).
+class ExtensionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExtensionPropertyTest, MatchesBruteForce) {
+  Rng rng(GetParam() * 61 + 11);
+  RandomQueryOptions qopts;
+  qopts.negated_probability = 0.25;
+  Query q = RandomQuery(rng, qopts);
+  Database db = RandomDatabaseFor(q, 5, 0.45, rng);
+  auto ext = ExactCountAnswersExtension(q, db);
+  ASSERT_TRUE(ext.ok());
+  EXPECT_EQ(*ext, ExactCountAnswersBruteForce(q, db)) << q.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtensionPropertyTest,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace cqcount

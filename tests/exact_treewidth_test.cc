@@ -1,0 +1,82 @@
+#include "decomposition/exact_treewidth.h"
+
+#include <gtest/gtest.h>
+
+#include "app/graph_gen.h"
+#include "decomposition/elimination_order.h"
+#include "util/random.h"
+
+namespace cqcount {
+namespace {
+
+int Exact(const Hypergraph& h) {
+  auto result = ExactTreewidth(h);
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result->decomposition.Validate(h).ok());
+  EXPECT_EQ(result->decomposition.Width(),
+            static_cast<int>(result->width));
+  return static_cast<int>(result->width);
+}
+
+TEST(ExactTreewidthTest, KnownGraphs) {
+  EXPECT_EQ(Exact(GraphToHypergraph(PathGraph(6))), 1);
+  EXPECT_EQ(Exact(GraphToHypergraph(StarGraph(5))), 1);
+  EXPECT_EQ(Exact(GraphToHypergraph(BinaryTreeGraph(7))), 1);
+  EXPECT_EQ(Exact(GraphToHypergraph(CycleGraph(5))), 2);
+  EXPECT_EQ(Exact(GraphToHypergraph(CliqueGraph(4))), 3);
+  EXPECT_EQ(Exact(GraphToHypergraph(CliqueGraph(6))), 5);
+  EXPECT_EQ(Exact(GraphToHypergraph(GridGraph(2, 4))), 2);
+  EXPECT_EQ(Exact(GraphToHypergraph(GridGraph(3, 3))), 3);
+}
+
+TEST(ExactTreewidthTest, SingleVertexAndEdgeless) {
+  Hypergraph one(1);
+  EXPECT_EQ(Exact(one), 0);  // Lone bag {v}: width 0.
+  Hypergraph h;
+  auto result = ExactTreewidth(h);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->decomposition.num_nodes(), 1);
+}
+
+TEST(ExactTreewidthTest, HyperedgeForcesArityMinusOne) {
+  Hypergraph h(5);
+  h.AddEdge({0, 1, 2, 3});
+  h.AddEdge({3, 4});
+  EXPECT_EQ(Exact(h), 3);
+}
+
+TEST(ExactTreewidthTest, RefusesLargeInputs) {
+  Hypergraph h = GraphToHypergraph(CliqueGraph(30));
+  auto result = ExactTreewidth(h, /*max_vertices=*/10);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+// Property: exact treewidth is never above the min-fill heuristic width
+// and never below the degeneracy lower bound.
+class TreewidthBoundsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreewidthBoundsTest, SandwichedByBounds) {
+  Rng rng(GetParam() * 77 + 5);
+  SimpleGraph g = ErdosRenyi(9, 0.35, rng);
+  Hypergraph h = GraphToHypergraph(g);
+  const int exact = Exact(h);
+  TreeDecomposition heuristic = DecompositionFromOrder(h, MinFillOrder(h));
+  EXPECT_LE(exact, heuristic.Width());
+  EXPECT_GE(exact, Degeneracy(h));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreewidthBoundsTest, ::testing::Range(0, 20));
+
+TEST(ExactFWidthTest, CustomCostFunction) {
+  // Cost = |bag| (not |bag|-1): path should give 2.
+  Hypergraph h = GraphToHypergraph(PathGraph(5));
+  auto result = ExactFWidth(h, [](const std::vector<Vertex>& bag) {
+    return static_cast<double>(bag.size());
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->width, 2.0);
+}
+
+}  // namespace
+}  // namespace cqcount

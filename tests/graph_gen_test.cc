@@ -1,0 +1,69 @@
+#include "app/graph_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace cqcount {
+namespace {
+
+TEST(GraphGenTest, CanonicalGraphSizes) {
+  EXPECT_EQ(PathGraph(5).num_edges(), 4);
+  EXPECT_EQ(CycleGraph(5).num_edges(), 5);
+  EXPECT_EQ(CliqueGraph(5).num_edges(), 10);
+  EXPECT_EQ(StarGraph(6).num_edges(), 6);
+  EXPECT_EQ(GridGraph(3, 4).num_edges(), 3 * 3 + 2 * 4);
+  EXPECT_EQ(BinaryTreeGraph(7).num_edges(), 6);
+}
+
+TEST(GraphGenTest, AddEdgeNormalises) {
+  SimpleGraph g;
+  g.num_vertices = 3;
+  g.AddEdge(2, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 1);
+  ASSERT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.edges[0], (std::pair<int, int>{1, 2}));
+}
+
+TEST(GraphGenTest, AdjacencyListsAreSymmetric) {
+  SimpleGraph g = CycleGraph(4);
+  auto adj = g.AdjacencyLists();
+  for (int u = 0; u < 4; ++u) {
+    EXPECT_EQ(adj[u].size(), 2u);
+    for (int v : adj[u]) {
+      EXPECT_TRUE(std::find(adj[v].begin(), adj[v].end(), u) !=
+                  adj[v].end());
+    }
+  }
+}
+
+TEST(GraphGenTest, ErdosRenyiDensity) {
+  Rng rng(3);
+  SimpleGraph g = ErdosRenyi(60, 0.2, rng);
+  const double expected = 0.2 * 60 * 59 / 2;
+  EXPECT_NEAR(g.num_edges(), expected, expected * 0.35);
+}
+
+TEST(GraphGenTest, RandomGraphWithEdgesExactCount) {
+  Rng rng(5);
+  SimpleGraph g = RandomGraphWithEdges(10, 17, rng);
+  EXPECT_EQ(g.num_edges(), 17);
+}
+
+TEST(GraphGenTest, GraphToDatabaseIsSymmetric) {
+  SimpleGraph g = PathGraph(3);
+  Database db = GraphToDatabase(g);
+  EXPECT_EQ(db.universe_size(), 3u);
+  EXPECT_EQ(db.relation("E").size(), 4u);  // 2 edges x 2 directions.
+  EXPECT_TRUE(db.relation("E").Contains({0, 1}));
+  EXPECT_TRUE(db.relation("E").Contains({1, 0}));
+}
+
+TEST(GraphGenTest, GraphToHypergraph) {
+  Hypergraph h = GraphToHypergraph(CycleGraph(4));
+  EXPECT_EQ(h.num_vertices(), 4);
+  EXPECT_EQ(h.num_edges(), 4);
+  EXPECT_EQ(h.Arity(), 2);
+}
+
+}  // namespace
+}  // namespace cqcount

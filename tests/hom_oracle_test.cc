@@ -1,0 +1,108 @@
+#include "hom/hom_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "app/graph_gen.h"
+#include "decomposition/elimination_order.h"
+#include "query/parser.h"
+#include "query/query_structures.h"
+#include "test_util.h"
+
+namespace cqcount {
+namespace {
+
+using testing_util::RandomDatabaseFor;
+using testing_util::RandomQuery;
+using testing_util::RandomQueryOptions;
+
+Query Parse(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *q;
+}
+
+TEST(StructureHomTest, GraphColouringIntuition) {
+  // Hom(C5 -> K3) exists (5-cycle is 3-colourable); Hom(K3 -> P2-path
+  // structure) does not.
+  Structure c5 = GraphToDatabase(CycleGraph(5));
+  Structure k3 = GraphToDatabase(CliqueGraph(3));
+  Structure p2 = GraphToDatabase(PathGraph(2));
+  EXPECT_TRUE(DecideStructureHom(c5, k3));
+  EXPECT_FALSE(DecideStructureHom(k3, p2));
+  // Anything maps into itself.
+  EXPECT_TRUE(DecideStructureHom(k3, k3));
+}
+
+TEST(StructureHomTest, OddCycleIntoBipartiteFails) {
+  Structure c5 = GraphToDatabase(CycleGraph(5));
+  Structure c4 = GraphToDatabase(CycleGraph(4));
+  EXPECT_FALSE(DecideStructureHom(c5, c4));
+  EXPECT_TRUE(DecideStructureHom(c4, c4));
+}
+
+TEST(StructureHomTest, MissingSignatureSymbolIsNo) {
+  Structure a(1);
+  ASSERT_TRUE(a.DeclareRelation("R", 1).ok());
+  ASSERT_TRUE(a.AddFact("R", {0}).ok());
+  Structure b(1);
+  EXPECT_FALSE(DecideStructureHom(a, b));
+}
+
+TEST(HomOracleTest, DecompositionMatchesBacktrackingOnRandomInstances) {
+  for (int seed = 0; seed < 30; ++seed) {
+    Rng rng(seed * 41 + 3);
+    RandomQueryOptions qopts;
+    qopts.negated_probability = 0.3;
+    Query q = RandomQuery(rng, qopts);
+    Database db = RandomDatabaseFor(q, 4, 0.4, rng);
+    Hypergraph h = q.BuildHypergraph();
+    DecompositionHomOracle fast(q, db,
+                                DecompositionFromOrder(h, MinFillOrder(h)));
+    BacktrackingHomOracle slow(q, db);
+    VarDomains domains;
+    domains.allowed.resize(q.num_vars());
+    for (int v = 0; v < q.num_vars(); ++v) {
+      if (rng.Bernoulli(0.6)) domains.allowed[v] = rng.RandomMask(4, 0.7);
+    }
+    EXPECT_EQ(fast.Decide(domains), slow.Decide(domains)) << q.ToString();
+    EXPECT_EQ(fast.num_calls(), 1u);
+  }
+}
+
+// Lemma 30 cross-validation: the virtual colour-coded instance (domain
+// restrictions) is equivalent to the materialised Hom(A-hat, B-hat).
+TEST(HomOracleTest, VirtualMatchesMaterialisedAHatBHat) {
+  Query q = Parse("ans(x) :- F(x, y), F(x, z), y != z.");
+  for (int seed = 0; seed < 12; ++seed) {
+    Rng rng(seed + 100);
+    Database db = RandomDatabaseFor(q, 4, 0.5, rng);
+    // Random V_0 and random colouring of the single disequality.
+    PartiteParts parts = {rng.RandomMask(4, 0.6)};
+    ColouringFamily colouring = {rng.RandomMask(4, 0.5)};
+
+    // Materialised path.
+    Structure a_hat = BuildStructureAHat(q);
+    auto b_hat = BuildStructureBHat(q, db, parts, colouring);
+    ASSERT_TRUE(b_hat.ok());
+    const bool materialised = DecideStructureHom(a_hat, *b_hat);
+
+    // Virtual path: domains encode P_i, V_i and the colour classes.
+    VarDomains domains;
+    domains.allowed.resize(q.num_vars());
+    domains.allowed[0] = parts[0];
+    // y (index 1) must be red, z (index 2) must be blue.
+    domains.allowed[1].assign(4, false);
+    domains.allowed[2].assign(4, false);
+    for (Value w = 0; w < 4; ++w) {
+      domains.allowed[1][w] = colouring[0][w];
+      domains.allowed[2][w] = !colouring[0][w];
+    }
+    Hypergraph h = q.BuildHypergraph();
+    DecompositionHomOracle oracle(q, db,
+                                  DecompositionFromOrder(h, MinFillOrder(h)));
+    EXPECT_EQ(oracle.Decide(domains), materialised) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace cqcount

@@ -1,0 +1,108 @@
+#include "hypergraph/hypergraph.h"
+
+#include <gtest/gtest.h>
+
+namespace cqcount {
+namespace {
+
+TEST(HypergraphTest, BasicConstruction) {
+  Hypergraph h(4);
+  EXPECT_EQ(h.num_vertices(), 4);
+  EXPECT_EQ(h.num_edges(), 0);
+  EXPECT_EQ(h.Arity(), 0);
+  h.AddEdge({0, 1, 2});
+  h.AddEdge({2, 3});
+  EXPECT_EQ(h.num_edges(), 2);
+  EXPECT_EQ(h.Arity(), 3);
+}
+
+TEST(HypergraphTest, EdgesAreSortedAndDeduplicated) {
+  Hypergraph h(3);
+  const int e = h.AddEdge({2, 0, 2, 1});
+  ASSERT_GE(e, 0);
+  EXPECT_EQ(h.edge(e), (std::vector<Vertex>{0, 1, 2}));
+  // Same vertex set again: ignored.
+  EXPECT_EQ(h.AddEdge({1, 2, 0}), -1);
+  EXPECT_EQ(h.num_edges(), 1);
+}
+
+TEST(HypergraphTest, EmptyEdgeIgnored) {
+  Hypergraph h(2);
+  EXPECT_EQ(h.AddEdge({}), -1);
+  EXPECT_EQ(h.num_edges(), 0);
+}
+
+TEST(HypergraphTest, EnsureVertexGrows) {
+  Hypergraph h;
+  h.AddEdge({5});
+  EXPECT_EQ(h.num_vertices(), 6);
+}
+
+TEST(HypergraphTest, IncidenceLists) {
+  Hypergraph h(4);
+  const int e0 = h.AddEdge({0, 1});
+  const int e1 = h.AddEdge({1, 2, 3});
+  EXPECT_EQ(h.incident_edges(1), (std::vector<int>{e0, e1}));
+  EXPECT_EQ(h.incident_edges(0), (std::vector<int>{e0}));
+  EXPECT_TRUE(h.HasNoIsolatedVertices());
+  Hypergraph g(3);
+  g.AddEdge({0, 1});
+  EXPECT_FALSE(g.HasNoIsolatedVertices());
+}
+
+TEST(HypergraphTest, InducedSubhypergraph) {
+  Hypergraph h(5);
+  h.AddEdge({0, 1, 2});
+  h.AddEdge({2, 3});
+  h.AddEdge({3, 4});
+  // Induce on {1, 2, 3}: per Definition 39 the edges are the non-empty
+  // restrictions {1,2}, {2,3} and {3} (local ids {0,1}, {1,2}, {2}).
+  Hypergraph induced = h.Induced({1, 2, 3});
+  EXPECT_EQ(induced.num_vertices(), 3);
+  EXPECT_EQ(induced.num_edges(), 3);
+  EXPECT_EQ(induced.edge(0), (std::vector<Vertex>{0, 1}));
+  EXPECT_EQ(induced.edge(1), (std::vector<Vertex>{1, 2}));
+  EXPECT_EQ(induced.edge(2), (std::vector<Vertex>{2}));
+}
+
+TEST(HypergraphTest, InducedDeduplicatesRestrictions) {
+  Hypergraph h(4);
+  h.AddEdge({0, 1, 2});
+  h.AddEdge({0, 1, 3});
+  // Restricted to {0, 1} both edges collapse to the same restriction.
+  Hypergraph induced = h.Induced({0, 1});
+  EXPECT_EQ(induced.num_edges(), 1);
+}
+
+TEST(HypergraphTest, ConnectedComponents) {
+  Hypergraph h(6);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  h.AddEdge({3, 4});
+  auto components = h.ConnectedComponents();
+  // {0,1,2}, {3,4}, {5} (isolated).
+  ASSERT_EQ(components.size(), 3u);
+  EXPECT_EQ(components[0], (std::vector<Vertex>{0, 1, 2}));
+  EXPECT_EQ(components[1], (std::vector<Vertex>{3, 4}));
+  EXPECT_EQ(components[2], (std::vector<Vertex>{5}));
+  EXPECT_FALSE(h.IsConnected());
+}
+
+TEST(HypergraphTest, HyperedgeConnectsAllItsVertices) {
+  Hypergraph h(4);
+  h.AddEdge({0, 1, 2, 3});
+  EXPECT_TRUE(h.IsConnected());
+}
+
+TEST(HypergraphTest, EqualityOperator) {
+  Hypergraph a(2);
+  a.AddEdge({0, 1});
+  Hypergraph b(2);
+  b.AddEdge({1, 0});
+  EXPECT_EQ(a, b);
+  Hypergraph c(2);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace cqcount

@@ -1,0 +1,120 @@
+#include "decomposition/hypertree_decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include "app/graph_gen.h"
+#include "decomposition/elimination_order.h"
+#include "decomposition/width_measures.h"
+#include "util/random.h"
+
+namespace cqcount {
+namespace {
+
+HypertreeDecomposition Build(const Hypergraph& h) {
+  TreeDecomposition td = DecompositionFromOrder(h, MinFillOrder(h));
+  auto htd = BuildHypertreeDecomposition(h, td);
+  EXPECT_TRUE(htd.ok()) << htd.status().ToString();
+  return *htd;
+}
+
+TEST(HypertreeTest, SingleWideEdgeHasWidthOne) {
+  Hypergraph h(4);
+  h.AddEdge({0, 1, 2, 3});
+  HypertreeDecomposition htd = Build(h);
+  EXPECT_TRUE(htd.Validate(h).ok());
+  EXPECT_EQ(htd.Width(), 1);
+}
+
+TEST(HypertreeTest, PathHasWidthAtMostTwo) {
+  Hypergraph h = GraphToHypergraph(PathGraph(6));
+  HypertreeDecomposition htd = Build(h);
+  EXPECT_TRUE(htd.Validate(h).ok());
+  // hw(path) = 1, greedy may use 2; either way bounded.
+  EXPECT_LE(htd.Width(), 2);
+  EXPECT_GE(htd.Width(), 1);
+}
+
+TEST(HypertreeTest, GuardsCoverBags) {
+  Hypergraph h = GraphToHypergraph(CycleGraph(5));
+  HypertreeDecomposition htd = Build(h);
+  ASSERT_TRUE(htd.Validate(h).ok());
+  for (int t = 0; t < htd.base.num_nodes(); ++t) {
+    std::set<Vertex> guarded;
+    for (int e : htd.guards[t]) {
+      guarded.insert(h.edge(e).begin(), h.edge(e).end());
+    }
+    for (Vertex v : htd.base.bags[t]) {
+      EXPECT_TRUE(guarded.count(v) > 0);
+    }
+  }
+}
+
+TEST(HypertreeTest, ValidateRejectsBadGuards) {
+  Hypergraph h = GraphToHypergraph(PathGraph(3));
+  HypertreeDecomposition htd = Build(h);
+  ASSERT_TRUE(htd.Validate(h).ok());
+  // Remove all guards from a node with a non-empty bag.
+  for (int t = 0; t < htd.base.num_nodes(); ++t) {
+    if (!htd.base.bags[t].empty()) {
+      htd.guards[t].clear();
+      break;
+    }
+  }
+  EXPECT_FALSE(htd.Validate(h).ok());
+}
+
+TEST(HypertreeTest, UncoverableVertexReported) {
+  Hypergraph h(2);
+  h.AddEdge({0});  // Vertex 1 in no edge.
+  TreeDecomposition td = TreeDecomposition::Trivial(h);
+  EXPECT_FALSE(BuildHypertreeDecomposition(h, td).ok());
+}
+
+TEST(HypertreeTest, WidthDominatesFractionalCover) {
+  // hw >= fhw on the same structure (integral vs fractional covers).
+  for (auto graph : {CycleGraph(6), CliqueGraph(4), GridGraph(2, 3)}) {
+    Hypergraph h = GraphToHypergraph(graph);
+    HypertreeDecomposition htd = Build(h);
+    ASSERT_TRUE(htd.Validate(h).ok());
+    const double fhw = FhwOfDecomposition(h, htd.base);
+    EXPECT_GE(static_cast<double>(htd.Width()), fhw - 1e-9);
+  }
+}
+
+TEST(HypertreeTest, GreedyBoundIsPositive) {
+  auto bound = HypertreewidthGreedyBound(GraphToHypergraph(CycleGraph(7)));
+  ASSERT_TRUE(bound.ok());
+  EXPECT_GE(*bound, 1);
+  EXPECT_LE(*bound, 4);
+}
+
+// Property: construction validates on random hypergraphs with mixed
+// arities (the regime where guards differ from bags).
+class HypertreePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HypertreePropertyTest, ConstructionValidates) {
+  Rng rng(GetParam() * 733 + 19);
+  Hypergraph h(8);
+  const int edges = 3 + static_cast<int>(rng.UniformInt(5));
+  for (int e = 0; e < edges; ++e) {
+    std::vector<Vertex> edge;
+    const int size = 1 + static_cast<int>(rng.UniformInt(4));
+    for (int i = 0; i < size; ++i) {
+      edge.push_back(static_cast<Vertex>(rng.UniformInt(8)));
+    }
+    h.AddEdge(std::move(edge));
+  }
+  // Cover isolated vertices so guards exist.
+  for (Vertex v = 0; v < 8; ++v) {
+    if (h.incident_edges(v).empty()) h.AddEdge({v});
+  }
+  HypertreeDecomposition htd = Build(h);
+  EXPECT_TRUE(htd.Validate(h).ok());
+  EXPECT_GE(htd.Width(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HypertreePropertyTest,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace cqcount

@@ -1,0 +1,136 @@
+// Cross-module integration tests tying the paper's storyline together:
+// the FPTRAS (Theorem 5), the FPRAS (Theorem 16), the Hamilton-path
+// encoding (Observation 10) and the intro's running example all agree
+// with ground truth and with each other.
+#include <gtest/gtest.h>
+
+#include "app/graph_gen.h"
+#include "app/workload.h"
+#include "automata/fpras.h"
+#include "counting/exact_count.h"
+#include "counting/fptras.h"
+#include "counting/sampler.h"
+#include "query/parser.h"
+
+namespace cqcount {
+namespace {
+
+Query Parse(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *q;
+}
+
+TEST(IntegrationTest, FptrasAndFprasAgreeOnPureCq) {
+  Query q = Parse("ans(x, z) :- E(x, y), E(y, z).");
+  Rng rng(3);
+  Database db = GraphToDatabase(ErdosRenyi(12, 0.3, rng));
+  const double exact =
+      static_cast<double>(ExactCountAnswersBruteForce(q, db));
+
+  ApproxOptions fptras_opts;
+  fptras_opts.epsilon = 0.15;
+  fptras_opts.seed = 5;
+  auto fptras = ApproxCountAnswers(q, db, fptras_opts);
+  ASSERT_TRUE(fptras.ok());
+
+  FprasOptions fpras_opts;
+  fpras_opts.acjr.epsilon = 0.15;
+  fpras_opts.acjr.seed = 5;
+  auto fpras = FprasCountCq(q, db, fpras_opts);
+  ASSERT_TRUE(fpras.ok());
+
+  if (exact > 0) {
+    EXPECT_NEAR(fptras->estimate, exact, 0.3 * exact);
+    EXPECT_NEAR(fpras->estimate, exact, 0.3 * exact);
+  } else {
+    EXPECT_DOUBLE_EQ(fptras->estimate, 0.0);
+    EXPECT_DOUBLE_EQ(fpras->estimate, 0.0);
+  }
+}
+
+TEST(IntegrationTest, Observation10HamiltonPaths) {
+  // The DCQ whose answers are Hamiltonian paths (treewidth 1, arity 2!).
+  // K4 has 4!/... : each Hamiltonian path counted once per direction and
+  // labelling: K4 has 24 ordered Hamiltonian vertex sequences.
+  Query q = Parse(
+      "ans(a, b, c, d) :- E(a, b), E(b, c), E(c, d), "
+      "a != b, a != c, a != d, b != c, b != d, c != d.");
+  // H(phi) is the path a-b-c-d: treewidth 1.
+  EXPECT_EQ(q.BuildHypergraph().num_edges(), 3);
+  Database k4 = GraphToDatabase(CliqueGraph(4));
+  EXPECT_EQ(ExactCountAnswersBruteForce(q, k4), 24u);
+
+  // C4 has 8 (4 starting points x 2 directions... minus chords): the
+  // 4-cycle has exactly 8 Hamiltonian paths as ordered sequences.
+  Database c4 = GraphToDatabase(CycleGraph(4));
+  EXPECT_EQ(ExactCountAnswersBruteForce(q, c4), 8u);
+
+  // And the FPTRAS reproduces the count (small => exact phase).
+  ApproxOptions opts;
+  opts.seed = 17;
+  auto approx = ApproxCountAnswers(q, k4, opts);
+  ASSERT_TRUE(approx.ok());
+  EXPECT_NEAR(approx->estimate, 24.0, 3.0);
+}
+
+TEST(IntegrationTest, IntroFriendsExampleOnSocialNetwork) {
+  // "People with at least two friends" (equation (1)).
+  Query q = Parse("ans(x) :- F(x, y), F(x, z), y != z.");
+  Rng rng(11);
+  Database db = SocialNetworkDb(30, 3.0, 0.5, rng);
+  const double exact =
+      static_cast<double>(ExactCountAnswersBruteForce(q, db));
+  ApproxOptions opts;
+  opts.epsilon = 0.15;
+  opts.seed = 19;
+  auto approx = ApproxCountAnswers(q, db, opts);
+  ASSERT_TRUE(approx.ok());
+  if (exact > 0) {
+    EXPECT_NEAR(approx->estimate, exact, 0.3 * exact);
+  } else {
+    EXPECT_DOUBLE_EQ(approx->estimate, 0.0);
+  }
+}
+
+TEST(IntegrationTest, SamplerFrequenciesTrackCounts) {
+  Query q = Parse("ans(x) :- F(x, y), F(x, z), y != z.");
+  Rng rng(13);
+  Database db = SocialNetworkDb(15, 3.0, 0.5, rng);
+  const uint64_t exact = ExactCountAnswersBruteForce(q, db);
+  if (exact == 0) GTEST_SKIP() << "degenerate network";
+  SamplerOptions sopts;
+  sopts.approx.seed = 23;
+  auto sampler = AnswerSampler::Create(q, db, sopts);
+  ASSERT_TRUE(sampler.ok());
+  auto samples = (*sampler)->Sample(30);
+  ASSERT_TRUE(samples.ok());
+  for (const Tuple& t : *samples) {
+    EXPECT_TRUE((*sampler)->Member(t, 1e-6));
+  }
+}
+
+TEST(IntegrationTest, EcqPipelineEndToEnd) {
+  // An ECQ with all three features: positive atoms, a negated atom and a
+  // disequality, over the social network: adults with two distinct
+  // friends who are NOT friends with each other.
+  Query q = Parse(
+      "ans(x) :- Adult(x), F(x, y), F(x, z), !F(y, z), y != z.");
+  Rng rng(29);
+  Database db = SocialNetworkDb(14, 3.0, 0.6, rng);
+  const double exact =
+      static_cast<double>(ExactCountAnswersBruteForce(q, db));
+  ApproxOptions opts;
+  opts.epsilon = 0.15;
+  opts.seed = 31;
+  auto approx = ApproxCountAnswers(q, db, opts);
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+  if (exact > 0) {
+    EXPECT_NEAR(approx->estimate, exact, 0.3 * exact + 0.5);
+  } else {
+    EXPECT_DOUBLE_EQ(approx->estimate, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace cqcount

@@ -1,0 +1,123 @@
+#include "app/lihom.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "decomposition/exact_treewidth.h"
+
+namespace cqcount {
+namespace {
+
+// Independent reference implementation: enumerate all maps V(G) -> V(G'),
+// check edge preservation and local injectivity directly.
+uint64_t ReferenceCount(const SimpleGraph& pattern, const SimpleGraph& host) {
+  const auto pattern_adj = pattern.AdjacencyLists();
+  const auto host_adj = host.AdjacencyLists();
+  auto host_has_edge = [&](int u, int v) {
+    return std::find(host_adj[u].begin(), host_adj[u].end(), v) !=
+           host_adj[u].end();
+  };
+  uint64_t count = 0;
+  std::vector<int> image(pattern.num_vertices, 0);
+  std::function<void(int)> rec = [&](int v) {
+    if (v == pattern.num_vertices) {
+      // Homomorphism?
+      for (const auto& [a, b] : pattern.edges) {
+        if (!host_has_edge(image[a], image[b])) return;
+      }
+      // Locally injective?
+      for (int centre = 0; centre < pattern.num_vertices; ++centre) {
+        const auto& nbrs = pattern_adj[centre];
+        for (size_t i = 0; i < nbrs.size(); ++i) {
+          for (size_t j = i + 1; j < nbrs.size(); ++j) {
+            if (image[nbrs[i]] == image[nbrs[j]]) return;
+          }
+        }
+      }
+      ++count;
+      return;
+    }
+    for (int w = 0; w < host.num_vertices; ++w) {
+      image[v] = w;
+      rec(v + 1);
+    }
+  };
+  rec(0);
+  return count;
+}
+
+TEST(LihomTest, CommonNeighbourPairs) {
+  // In a path 0-1-2, vertices 0 and 2 share neighbour 1.
+  auto pairs = lihom::CommonNeighbourPairs(PathGraph(3));
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (std::pair<int, int>{0, 2}));
+  // In a star all leaves pairwise share the centre.
+  EXPECT_EQ(lihom::CommonNeighbourPairs(StarGraph(4)).size(), 6u);
+}
+
+TEST(LihomTest, QueryConstructionMatchesPaper) {
+  SimpleGraph pattern = PathGraph(3);
+  auto q = lihom::BuildLihomQuery(pattern);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_free(), 3);          // No existential variables.
+  EXPECT_EQ(q->atoms().size(), 2u);     // One atom per edge.
+  EXPECT_EQ(q->disequalities().size(), 1u);  // cn(G) pairs.
+  // H(phi) = the pattern (disequalities excluded): treewidth 1.
+  auto tw = ExactTreewidth(q->BuildHypergraph());
+  ASSERT_TRUE(tw.ok());
+  EXPECT_DOUBLE_EQ(tw->width, 1.0);
+}
+
+TEST(LihomTest, RejectsEdgelessPattern) {
+  SimpleGraph isolated;
+  isolated.num_vertices = 2;
+  EXPECT_FALSE(lihom::BuildLihomQuery(isolated).ok());
+}
+
+TEST(LihomTest, ExactMatchesReference) {
+  const SimpleGraph patterns[] = {PathGraph(2), PathGraph(3), StarGraph(3),
+                                  CycleGraph(3)};
+  const SimpleGraph hosts[] = {CliqueGraph(3), CliqueGraph(4), CycleGraph(5),
+                               StarGraph(4)};
+  for (const auto& pattern : patterns) {
+    for (const auto& host : hosts) {
+      auto exact = lihom::ExactCountLocallyInjectiveHoms(pattern, host);
+      ASSERT_TRUE(exact.ok());
+      EXPECT_EQ(*exact, ReferenceCount(pattern, host));
+    }
+  }
+}
+
+TEST(LihomTest, ApproxMatchesExact) {
+  SimpleGraph pattern = PathGraph(3);
+  Rng rng(23);
+  SimpleGraph host = ErdosRenyi(8, 0.5, rng);
+  auto exact = lihom::ExactCountLocallyInjectiveHoms(pattern, host);
+  ASSERT_TRUE(exact.ok());
+  ApproxOptions opts;
+  opts.epsilon = 0.15;
+  opts.delta = 0.15;
+  opts.seed = 71;
+  auto approx = lihom::ApproxCountLocallyInjectiveHoms(pattern, host, opts);
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+  if (*exact == 0) {
+    EXPECT_DOUBLE_EQ(approx->estimate, 0.0);
+  } else {
+    EXPECT_NEAR(approx->estimate, static_cast<double>(*exact),
+                0.3 * static_cast<double>(*exact) + 0.5);
+  }
+}
+
+TEST(LihomTest, InjectiveOnStarNeighbourhoods) {
+  // Locally injective maps of a 3-star into K4 must send the three
+  // leaves to distinct vertices: 4 choices of centre image x 3! leaf
+  // arrangements = 24.
+  auto exact = lihom::ExactCountLocallyInjectiveHoms(StarGraph(3),
+                                                     CliqueGraph(4));
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(*exact, 24u);
+}
+
+}  // namespace
+}  // namespace cqcount

@@ -1,0 +1,70 @@
+#include "util/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace cqcount {
+namespace {
+
+TEST(Log2Test, CeilValues) {
+  EXPECT_EQ(Log2Ceil(0), 0);
+  EXPECT_EQ(Log2Ceil(1), 0);
+  EXPECT_EQ(Log2Ceil(2), 1);
+  EXPECT_EQ(Log2Ceil(3), 2);
+  EXPECT_EQ(Log2Ceil(4), 2);
+  EXPECT_EQ(Log2Ceil(5), 3);
+  EXPECT_EQ(Log2Ceil(1024), 10);
+  EXPECT_EQ(Log2Ceil(1025), 11);
+}
+
+TEST(Log2Test, FloorValues) {
+  EXPECT_EQ(Log2Floor(1), 0);
+  EXPECT_EQ(Log2Floor(2), 1);
+  EXPECT_EQ(Log2Floor(3), 1);
+  EXPECT_EQ(Log2Floor(4), 2);
+  EXPECT_EQ(Log2Floor(1023), 9);
+  EXPECT_EQ(Log2Floor(1024), 10);
+}
+
+TEST(MedianTest, OddAndEven) {
+  std::vector<double> odd = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Median(odd), 3.0);
+  std::vector<double> even = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Median(even), 2.5);
+  std::vector<double> single = {7.0};
+  EXPECT_DOUBLE_EQ(Median(single), 7.0);
+}
+
+TEST(MeanVarTest, ConstantSequenceHasZeroVariance) {
+  MeanVarAccumulator acc;
+  for (int i = 0; i < 10; ++i) acc.Add(4.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.count(), 10);
+}
+
+TEST(MeanVarTest, KnownVariance) {
+  MeanVarAccumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance of the classic example is 32/7.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(acc.mean_variance(), 32.0 / 56.0, 1e-12);
+}
+
+TEST(MeanVarTest, EmptyAccumulator) {
+  MeanVarAccumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.mean_variance(), 0.0);
+}
+
+TEST(BinomialTest, SmallValues) {
+  EXPECT_DOUBLE_EQ(BinomialDouble(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialDouble(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(BinomialDouble(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialDouble(5, 6), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialDouble(10, 5), 252.0);
+}
+
+}  // namespace
+}  // namespace cqcount

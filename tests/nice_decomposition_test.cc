@@ -1,0 +1,98 @@
+#include "decomposition/nice_decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include "app/graph_gen.h"
+#include "decomposition/elimination_order.h"
+#include "decomposition/width_measures.h"
+#include "util/random.h"
+
+namespace cqcount {
+namespace {
+
+NiceTreeDecomposition MakeNice(const Hypergraph& h) {
+  TreeDecomposition td = DecompositionFromOrder(h, MinFillOrder(h));
+  return NiceTreeDecomposition::FromTreeDecomposition(h, td);
+}
+
+TEST(NiceDecompositionTest, PathConversionValidates) {
+  Hypergraph h = GraphToHypergraph(PathGraph(5));
+  NiceTreeDecomposition nice = MakeNice(h);
+  EXPECT_TRUE(nice.Validate(h).ok());
+  EXPECT_TRUE(nice.node(nice.root()).bag.empty());
+}
+
+TEST(NiceDecompositionTest, SingleVertexGraph) {
+  Hypergraph h(1);
+  h.AddEdge({0});
+  NiceTreeDecomposition nice = MakeNice(h);
+  EXPECT_TRUE(nice.Validate(h).ok());
+}
+
+TEST(NiceDecompositionTest, JoinNodesHaveEqualChildBags) {
+  Hypergraph h = GraphToHypergraph(StarGraph(5));
+  NiceTreeDecomposition nice = MakeNice(h);
+  ASSERT_TRUE(nice.Validate(h).ok());
+  bool saw_join = false;
+  for (const auto& node : nice.nodes()) {
+    if (node.kind == NiceNodeKind::kJoin) {
+      saw_join = true;
+      EXPECT_EQ(nice.node(node.children[0]).bag, node.bag);
+      EXPECT_EQ(nice.node(node.children[1]).bag, node.bag);
+    }
+  }
+  // A star's decomposition has several bags sharing the centre, so the
+  // conversion should introduce joins.
+  EXPECT_TRUE(saw_join);
+}
+
+TEST(NiceDecompositionTest, BagsAreSubsetsOfOriginal) {
+  // Lemma 43: every nice bag is a subset of some original bag, so all
+  // monotone widths are preserved.
+  Hypergraph h = GraphToHypergraph(GridGraph(2, 3));
+  TreeDecomposition td = DecompositionFromOrder(h, MinFillOrder(h));
+  NiceTreeDecomposition nice =
+      NiceTreeDecomposition::FromTreeDecomposition(h, td);
+  ASSERT_TRUE(nice.Validate(h).ok());
+  for (const auto& node : nice.nodes()) {
+    bool contained = false;
+    for (const auto& bag : td.bags) {
+      if (std::includes(bag.begin(), bag.end(), node.bag.begin(),
+                        node.bag.end())) {
+        contained = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contained);
+  }
+  EXPECT_LE(FhwOfDecomposition(h, nice.ToTreeDecomposition()),
+            FhwOfDecomposition(h, td) + 1e-9);
+}
+
+TEST(NiceDecompositionTest, HeightIsPositive) {
+  Hypergraph h = GraphToHypergraph(CycleGraph(5));
+  NiceTreeDecomposition nice = MakeNice(h);
+  EXPECT_GT(nice.Height(), 0);
+  EXPECT_GE(nice.num_nodes(), h.num_vertices());
+}
+
+// Property: conversion of random decompositions validates, and every
+// unary step changes exactly one vertex (checked by Validate).
+class RandomNiceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomNiceTest, ConversionValidates) {
+  Rng rng(GetParam() * 13 + 1);
+  SimpleGraph g = ErdosRenyi(9, 0.3, rng);
+  for (int v = 1; v < g.num_vertices; ++v) {
+    if (rng.Bernoulli(0.5)) g.AddEdge(v - 1, v);
+  }
+  Hypergraph h = GraphToHypergraph(g);
+  if (h.num_edges() == 0) h.AddEdge({0, 1});
+  NiceTreeDecomposition nice = MakeNice(h);
+  EXPECT_TRUE(nice.Validate(h).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNiceTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace cqcount

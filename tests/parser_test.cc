@@ -1,0 +1,115 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace cqcount {
+namespace {
+
+TEST(ParserTest, ParsesFriendsQuery) {
+  auto q = ParseQuery("ans(x) :- F(x, y), F(x, z), y != z.");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_free(), 1);
+  EXPECT_EQ(q->num_vars(), 3);
+  EXPECT_EQ(q->atoms().size(), 2u);
+  EXPECT_EQ(q->disequalities().size(), 1u);
+  EXPECT_EQ(q->Kind(), QueryKind::kDcq);
+}
+
+TEST(ParserTest, ParsesNegatedAtoms) {
+  auto q = ParseQuery("ans(x, y) :- R(x, y), !S(y, x).");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->Kind(), QueryKind::kEcq);
+  EXPECT_EQ(q->NumNegatedAtoms(), 1);
+}
+
+TEST(ParserTest, BooleanQueryHasNoFreeVariables) {
+  auto q = ParseQuery("ans() :- R(x, y).");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_free(), 0);
+  EXPECT_EQ(q->num_vars(), 2);
+}
+
+TEST(ParserTest, TrailingPeriodOptional) {
+  EXPECT_TRUE(ParseQuery("ans(x) :- R(x)").ok());
+}
+
+TEST(ParserTest, FreeVariablesComeFirst) {
+  auto q = ParseQuery("ans(a, b) :- R(z, a), S(b, z).");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->var_name(0), "a");
+  EXPECT_EQ(q->var_name(1), "b");
+  EXPECT_EQ(q->var_name(2), "z");
+}
+
+TEST(ParserTest, EqualityMergesVariables) {
+  // x = z merges the two; the query becomes R(x, y), S(x).
+  auto q = ParseQuery("ans(x) :- R(x, y), S(z), x = z.");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_vars(), 2);
+  EXPECT_EQ(q->num_free(), 1);
+  // Both atoms now reference variable 0.
+  EXPECT_EQ(q->atoms()[1].vars[0], 0);
+}
+
+TEST(ParserTest, EqualityChainMerges) {
+  auto q = ParseQuery("ans() :- R(a, b), a = b, b = c, R(b, c).");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_vars(), 1);
+}
+
+TEST(ParserTest, MergedFreeVariableStaysFree) {
+  auto q = ParseQuery("ans(x) :- R(y), x = y.");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_free(), 1);
+  EXPECT_EQ(q->num_vars(), 1);
+  EXPECT_EQ(q->var_name(0), "x");
+}
+
+TEST(ParserTest, ContradictionAfterMergeRejected) {
+  auto q = ParseQuery("ans() :- R(x, y), x = y, x != y.");
+  EXPECT_FALSE(q.ok());
+}
+
+TEST(ParserTest, RejectsDuplicateHeadVariable) {
+  EXPECT_FALSE(ParseQuery("ans(x, x) :- R(x).").ok());
+}
+
+TEST(ParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseQuery("ans(x)").ok());
+  EXPECT_FALSE(ParseQuery("ans(x) :- ").ok());
+  EXPECT_FALSE(ParseQuery("ans(x) :- R(x), !y != z.").ok());
+  EXPECT_FALSE(ParseQuery("ans(x) :- R(x,).").ok());
+  EXPECT_FALSE(ParseQuery("ans(x) :- R(x)) .").ok());
+  EXPECT_FALSE(ParseQuery("ans(x) : R(x).").ok());
+}
+
+TEST(ParserTest, RejectsHeadVariableMissingFromBody) {
+  EXPECT_FALSE(ParseQuery("ans(w) :- R(x, y).").ok());
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  const std::string text = "ans(x) :- F(x, y), F(x, z), !B(y, z), y != z.";
+  auto q = ParseQuery(text);
+  ASSERT_TRUE(q.ok());
+  auto q2 = ParseQuery(q->ToString());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->ToString(), q->ToString());
+  EXPECT_EQ(q2->num_vars(), q->num_vars());
+  EXPECT_EQ(q2->PhiSize(), q->PhiSize());
+}
+
+TEST(ParserTest, RepeatedVariableInsideAtom) {
+  auto q = ParseQuery("ans(x) :- E(x, x).");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_vars(), 1);
+  EXPECT_EQ(q->atoms()[0].vars, (std::vector<int>{0, 0}));
+}
+
+TEST(ParserTest, PrimedIdentifiersAllowed) {
+  auto q = ParseQuery("ans(x') :- R(x', y_1).");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->var_name(0), "x'");
+}
+
+}  // namespace
+}  // namespace cqcount

@@ -1,0 +1,60 @@
+#include "hypergraph/primal_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace cqcount {
+namespace {
+
+TEST(PrimalGraphTest, HyperedgeBecomesClique) {
+  Hypergraph h(4);
+  h.AddEdge({0, 1, 2});
+  PrimalGraph g(h);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+  EXPECT_EQ(g.Degree(0), 2);
+  EXPECT_EQ(g.Degree(3), 0);
+}
+
+TEST(PrimalGraphTest, AddEdgeIgnoresLoopsAndDuplicates) {
+  PrimalGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(1, 1);
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(g.Degree(1), 1);
+}
+
+TEST(PrimalGraphTest, FillInCountsMissingPairs) {
+  // Star centre 0 with 3 leaves: eliminating 0 creates 3 fill edges.
+  PrimalGraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  EXPECT_EQ(g.FillIn(0), 3);
+  EXPECT_EQ(g.FillIn(1), 0);
+}
+
+TEST(PrimalGraphTest, EliminationConnectsNeighbours) {
+  PrimalGraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  std::vector<Vertex> bag = g.Eliminate(0);
+  EXPECT_EQ(bag, (std::vector<Vertex>{0, 1, 2}));
+  EXPECT_TRUE(g.HasEdge(1, 2));  // Fill edge.
+  EXPECT_TRUE(g.IsEliminated(0));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.Degree(0), 0);
+}
+
+TEST(PrimalGraphTest, NeighboursSorted) {
+  PrimalGraph g(5);
+  g.AddEdge(3, 1);
+  g.AddEdge(3, 4);
+  g.AddEdge(3, 0);
+  EXPECT_EQ(g.Neighbours(3), (std::vector<Vertex>{0, 1, 4}));
+}
+
+}  // namespace
+}  // namespace cqcount

@@ -1,0 +1,111 @@
+#include "query/query_structures.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace cqcount {
+namespace {
+
+Query Parse(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *q;
+}
+
+TEST(StructureATest, UniverseIsVariables) {
+  Query q = Parse("ans(x) :- R(x, y), !S(y).");
+  Structure a = BuildStructureA(q);
+  EXPECT_EQ(a.universe_size(), 2u);
+  EXPECT_TRUE(a.HasRelation("R"));
+  EXPECT_TRUE(a.HasRelation(NegatedRelationName("S")));
+  EXPECT_TRUE(a.relation("R").Contains({0, 1}));
+  EXPECT_TRUE(a.relation("~S").Contains({1}));
+}
+
+TEST(StructureATest, Observation19SizeBound) {
+  // ||A(phi)|| <= 3 ||phi||.
+  Query q = Parse("ans(x, y) :- R(x, z), S(z, y), !T(x, y), x != y.");
+  Structure a = BuildStructureA(q);
+  EXPECT_LE(a.Size(), 3 * q.PhiSize());
+}
+
+TEST(StructureBTest, PositiveRelationsCopied) {
+  Query q = Parse("ans(x) :- R(x, y).");
+  Database db(3);
+  ASSERT_TRUE(db.DeclareRelation("R", 2).ok());
+  ASSERT_TRUE(db.AddFact("R", {0, 1}).ok());
+  auto b = BuildStructureB(q, db);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->relation("R").size(), 1u);
+}
+
+TEST(StructureBTest, NegatedRelationIsComplement) {
+  Query q = Parse("ans(x) :- R(x), !S(x, y).");
+  Database db(3);
+  ASSERT_TRUE(db.DeclareRelation("R", 1).ok());
+  ASSERT_TRUE(db.DeclareRelation("S", 2).ok());
+  ASSERT_TRUE(db.AddFact("R", {0}).ok());
+  ASSERT_TRUE(db.AddFact("S", {1, 2}).ok());
+  auto b = BuildStructureB(q, db);
+  ASSERT_TRUE(b.ok());
+  // |~S| = 3^2 - 1.
+  EXPECT_EQ(b->relation("~S").size(), 8u);
+  EXPECT_FALSE(b->relation("~S").Contains({1, 2}));
+  EXPECT_TRUE(b->relation("~S").Contains({2, 1}));
+}
+
+TEST(StructureBTest, RefusesHugeComplements) {
+  Query q = Parse("ans(x) :- !R(x, y, z).");
+  Database db(1000);
+  ASSERT_TRUE(db.DeclareRelation("R", 3).ok());
+  auto b = BuildStructureB(q, db, /*max_complement_tuples=*/1000);
+  EXPECT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(StructureAHatTest, AddsUnaryRelations) {
+  // Observation 27: A-hat adds |vars| + 2|Delta| unary singleton
+  // relations and stays within 5 ||phi||^2.
+  Query q = Parse("ans(x) :- F(x, y), F(x, z), y != z.");
+  Structure a_hat = BuildStructureAHat(q);
+  EXPECT_TRUE(a_hat.HasRelation("P_0"));
+  EXPECT_TRUE(a_hat.HasRelation("P_2"));
+  EXPECT_TRUE(a_hat.HasRelation("Rneq_0"));
+  EXPECT_TRUE(a_hat.HasRelation("Bneq_0"));
+  EXPECT_EQ(a_hat.relation("P_1").size(), 1u);
+  EXPECT_LE(a_hat.Size(), 5 * q.PhiSize() * q.PhiSize());
+}
+
+TEST(StructureBHatTest, RespectsPartsAndColouring) {
+  Query q = Parse("ans(x) :- F(x, y), x != y.");
+  Database db(2);
+  ASSERT_TRUE(db.DeclareRelation("F", 2).ok());
+  ASSERT_TRUE(db.AddFact("F", {0, 1}).ok());
+  PartiteParts parts = {{true, false}};     // V_0 = {0}.
+  ColouringFamily colouring = {{true, false}};  // f: 0 -> r, 1 -> b.
+  auto b_hat = BuildStructureBHat(q, db, parts, colouring);
+  ASSERT_TRUE(b_hat.ok());
+  // P_0 = V_0 x {0} = {(0,0)} encoded as 0*2+0; P_1 = U x {1}.
+  EXPECT_EQ(b_hat->relation("P_0").size(), 1u);
+  EXPECT_TRUE(b_hat->relation("P_0").Contains({0}));
+  EXPECT_EQ(b_hat->relation("P_1").size(), 2u);
+  // Colours: red elements are those with value 0.
+  EXPECT_TRUE(b_hat->relation("Rneq_0").Contains({0}));      // (0, pos 0)
+  EXPECT_TRUE(b_hat->relation("Bneq_0").Contains({2 + 1}));  // (1, pos 1)
+}
+
+TEST(CanonicalQueryTest, FactsBecomeAtoms) {
+  Structure a(3);
+  ASSERT_TRUE(a.DeclareRelation("E", 2).ok());
+  ASSERT_TRUE(a.AddFact("E", {0, 1}).ok());
+  ASSERT_TRUE(a.AddFact("E", {1, 2}).ok());
+  Query q = CanonicalQuery(a);
+  EXPECT_EQ(q.num_vars(), 3);
+  EXPECT_EQ(q.num_free(), 3);
+  EXPECT_EQ(q.atoms().size(), 2u);
+  EXPECT_EQ(q.Kind(), QueryKind::kCq);
+}
+
+}  // namespace
+}  // namespace cqcount

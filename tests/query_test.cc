@@ -1,0 +1,132 @@
+#include "query/query.h"
+
+#include <gtest/gtest.h>
+
+namespace cqcount {
+namespace {
+
+Query FriendsQuery() {
+  // phi(x) = exists y, z : F(x,y) and F(x,z) and y != z   (intro, eq. (1)).
+  Query q;
+  q.AddVariable("x");
+  q.AddVariable("y");
+  q.AddVariable("z");
+  q.SetNumFree(1);
+  q.AddAtom({"F", {0, 1}, false});
+  q.AddAtom({"F", {0, 2}, false});
+  q.AddDisequality(1, 2);
+  return q;
+}
+
+TEST(QueryTest, BasicAccessors) {
+  Query q = FriendsQuery();
+  EXPECT_EQ(q.num_vars(), 3);
+  EXPECT_EQ(q.num_free(), 1);
+  EXPECT_EQ(q.num_existential(), 2);
+  EXPECT_EQ(q.atoms().size(), 2u);
+  EXPECT_EQ(q.disequalities().size(), 1u);
+  EXPECT_TRUE(q.Validate().ok());
+}
+
+TEST(QueryTest, KindClassification) {
+  Query q = FriendsQuery();
+  EXPECT_EQ(q.Kind(), QueryKind::kDcq);
+
+  Query cq;
+  cq.AddVariable("x");
+  cq.SetNumFree(1);
+  cq.AddAtom({"R", {0}, false});
+  EXPECT_EQ(cq.Kind(), QueryKind::kCq);
+
+  Query ecq = FriendsQuery();
+  ecq.AddAtom({"Blocked", {0, 1}, true});
+  EXPECT_EQ(ecq.Kind(), QueryKind::kEcq);
+  EXPECT_EQ(ecq.NumNegatedAtoms(), 1);
+}
+
+TEST(QueryTest, PhiSizeCountsVarsAndArities) {
+  // ||phi|| = |vars| + sum of atom arities (disequalities count 2).
+  Query q = FriendsQuery();
+  EXPECT_EQ(q.PhiSize(), 3u + 2u + 2u + 2u);
+}
+
+TEST(QueryTest, HypergraphExcludesDisequalities) {
+  // Definition 3: disequalities contribute no hyperedges.
+  Query q = FriendsQuery();
+  Hypergraph h = q.BuildHypergraph();
+  EXPECT_EQ(h.num_vertices(), 3);
+  EXPECT_EQ(h.num_edges(), 2);  // {x,y} and {x,z}; nothing for y != z.
+  for (const auto& e : h.edges()) {
+    EXPECT_NE(e, (std::vector<Vertex>{1, 2}));
+  }
+}
+
+TEST(QueryTest, HypergraphIncludesNegatedAtoms) {
+  Query q = FriendsQuery();
+  q.AddAtom({"B", {1, 2}, true});
+  Hypergraph h = q.BuildHypergraph();
+  EXPECT_EQ(h.num_edges(), 3);
+}
+
+TEST(QueryTest, DisequalitiesNormalisedAndDeduplicated) {
+  Query q;
+  q.AddVariable("a");
+  q.AddVariable("b");
+  q.SetNumFree(2);
+  q.AddAtom({"R", {0, 1}, false});
+  q.AddDisequality(1, 0);
+  q.AddDisequality(0, 1);
+  q.AddDisequality(0, 0);  // Ignored.
+  ASSERT_EQ(q.disequalities().size(), 1u);
+  EXPECT_EQ(q.disequalities()[0].lhs, 0);
+  EXPECT_EQ(q.disequalities()[0].rhs, 1);
+}
+
+TEST(QueryTest, ValidateRejectsUnusedVariable) {
+  Query q;
+  q.AddVariable("x");
+  q.AddVariable("y");
+  q.SetNumFree(2);
+  q.AddAtom({"R", {0}, false});
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST(QueryTest, VariableOnlyInDisequalityIsAllowed) {
+  // ECQs may constrain a variable only through a disequality.
+  Query q;
+  q.AddVariable("x");
+  q.AddVariable("y");
+  q.SetNumFree(2);
+  q.AddAtom({"R", {0}, false});
+  q.AddDisequality(0, 1);
+  EXPECT_TRUE(q.Validate().ok());
+}
+
+TEST(QueryTest, ValidateRejectsInconsistentArity) {
+  Query q;
+  q.AddVariable("x");
+  q.SetNumFree(1);
+  q.AddAtom({"R", {0}, false});
+  q.AddAtom({"R", {0, 0}, false});
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST(QueryTest, CheckAgainstDatabase) {
+  Query q = FriendsQuery();
+  Database db(4);
+  ASSERT_TRUE(db.DeclareRelation("F", 2).ok());
+  EXPECT_TRUE(q.CheckAgainstDatabase(db).ok());
+  Database wrong(4);
+  ASSERT_TRUE(wrong.DeclareRelation("F", 3).ok());
+  EXPECT_FALSE(q.CheckAgainstDatabase(wrong).ok());
+  Database missing(4);
+  EXPECT_FALSE(q.CheckAgainstDatabase(missing).ok());
+}
+
+TEST(QueryTest, ToStringRendersParserSyntax) {
+  Query q = FriendsQuery();
+  EXPECT_EQ(q.ToString(), "ans(x) :- F(x, y), F(x, z), y != z.");
+}
+
+}  // namespace
+}  // namespace cqcount

@@ -1,0 +1,97 @@
+#include "relational/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace cqcount {
+namespace {
+
+TEST(RelationTest, AddAndContains) {
+  Relation r(2);
+  r.Add({1, 2});
+  r.Add({0, 5});
+  EXPECT_TRUE(r.Contains({1, 2}));
+  EXPECT_TRUE(r.Contains({0, 5}));
+  EXPECT_FALSE(r.Contains({2, 1}));
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(RelationTest, DuplicatesRemoved) {
+  Relation r(1);
+  r.Add({3});
+  r.Add({3});
+  r.Add({1});
+  EXPECT_EQ(r.tuples().size(), 2u);
+  EXPECT_EQ(r.tuples()[0], (Tuple{1}));
+  EXPECT_EQ(r.tuples()[1], (Tuple{3}));
+}
+
+TEST(RelationTest, TuplesSortedLexicographically) {
+  Relation r(2);
+  r.Add({2, 0});
+  r.Add({0, 9});
+  r.Add({2, 1});
+  r.Add({0, 1});
+  const auto& t = r.tuples();
+  EXPECT_EQ(t[0], (Tuple{0, 1}));
+  EXPECT_EQ(t[1], (Tuple{0, 9}));
+  EXPECT_EQ(t[2], (Tuple{2, 0}));
+  EXPECT_EQ(t[3], (Tuple{2, 1}));
+}
+
+TEST(RelationTest, PrefixRange) {
+  Relation r(2);
+  for (Value a : {0u, 1u, 1u, 2u}) {
+    static Value b = 0;
+    r.Add({a, b++});
+  }
+  r.Add({1, 7});
+  (void)r.tuples();
+  auto [lo, hi] = r.PrefixRange({1}, 0, r.size());
+  // Tuples with first component 1.
+  for (size_t i = lo; i < hi; ++i) {
+    EXPECT_EQ(r.tuples()[i][0], 1u);
+  }
+  EXPECT_EQ(hi - lo, 3u);
+  auto [lo2, hi2] = r.PrefixRange({9}, 0, r.size());
+  EXPECT_EQ(lo2, hi2);
+}
+
+TEST(RelationTest, ProjectDeduplicates) {
+  Relation r(2);
+  r.Add({1, 5});
+  r.Add({1, 6});
+  r.Add({2, 5});
+  Relation p = r.Project({0});
+  EXPECT_EQ(p.arity(), 1);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_TRUE(p.Contains({1}));
+  EXPECT_TRUE(p.Contains({2}));
+}
+
+TEST(RelationTest, ProjectReordersColumns) {
+  Relation r(3);
+  r.Add({1, 2, 3});
+  Relation p = r.Project({2, 0});
+  EXPECT_TRUE(p.Contains({3, 1}));
+}
+
+TEST(RelationTest, ReorderIsFullPermutation) {
+  Relation r(2);
+  r.Add({1, 9});
+  Relation swapped = r.Reorder({1, 0});
+  EXPECT_TRUE(swapped.Contains({9, 1}));
+}
+
+TEST(RelationTest, Equality) {
+  Relation a(1);
+  a.Add({1});
+  a.Add({2});
+  Relation b(1);
+  b.Add({2});
+  b.Add({1});
+  b.Add({1});
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace cqcount

@@ -1,0 +1,107 @@
+#include "counting/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "app/graph_gen.h"
+#include "counting/partite_hypergraph.h"
+#include "query/parser.h"
+
+namespace cqcount {
+namespace {
+
+Query Parse(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *q;
+}
+
+SamplerOptions TestOptions(uint64_t seed) {
+  SamplerOptions opts;
+  opts.approx.seed = seed;
+  opts.approx.epsilon = 0.2;
+  opts.approx.delta = 0.2;
+  return opts;
+}
+
+TEST(SamplerTest, SamplesAreAnswers) {
+  Query q = Parse("ans(x, y) :- E(x, y).");
+  Database db = GraphToDatabase(CycleGraph(5));
+  auto sampler = AnswerSampler::Create(q, db, TestOptions(1));
+  ASSERT_TRUE(sampler.ok());
+  BruteForceEdgeFreeOracle truth(q, db);
+  std::set<Tuple> answers(truth.answers().begin(), truth.answers().end());
+  auto samples = (*sampler)->Sample(20);
+  ASSERT_TRUE(samples.ok());
+  for (const Tuple& t : *samples) {
+    EXPECT_TRUE(answers.count(t) > 0);
+  }
+}
+
+TEST(SamplerTest, EmptyAnswerSetReported) {
+  Query q = Parse("ans(x) :- R(x).");
+  Database db(4);
+  ASSERT_TRUE(db.DeclareRelation("R", 1).ok());
+  auto sampler = AnswerSampler::Create(q, db, TestOptions(2));
+  ASSERT_TRUE(sampler.ok());
+  auto sample = (*sampler)->SampleOne();
+  EXPECT_FALSE(sample.ok());
+  EXPECT_EQ(sample.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SamplerTest, RequiresFreeVariables) {
+  Query q = Parse("ans() :- R(x).");
+  Database db(2);
+  ASSERT_TRUE(db.DeclareRelation("R", 1).ok());
+  EXPECT_FALSE(AnswerSampler::Create(q, db, TestOptions(3)).ok());
+}
+
+TEST(SamplerTest, RoughUniformityOverSmallAnswerSet) {
+  // 6 answers (directed edges of a triangle); 300 samples should hit each
+  // answer a healthy number of times.
+  Query q = Parse("ans(x, y) :- E(x, y).");
+  Database db = GraphToDatabase(CliqueGraph(3));
+  auto sampler = AnswerSampler::Create(q, db, TestOptions(4));
+  ASSERT_TRUE(sampler.ok());
+  std::map<Tuple, int> counts;
+  const int total = 300;
+  for (int i = 0; i < total; ++i) {
+    auto s = (*sampler)->SampleOne();
+    ASSERT_TRUE(s.ok());
+    counts[*s]++;
+  }
+  EXPECT_EQ(counts.size(), 6u);
+  for (const auto& [tuple, count] : counts) {
+    // Expected 50 each; allow generous slack.
+    EXPECT_GT(count, 20);
+    EXPECT_LT(count, 100);
+  }
+}
+
+TEST(SamplerTest, MembershipAgreesWithGroundTruth) {
+  Query q = Parse("ans(x) :- E(x, y), E(x, z), y != z.");
+  Database db = GraphToDatabase(PathGraph(4));
+  auto sampler = AnswerSampler::Create(q, db, TestOptions(5));
+  ASSERT_TRUE(sampler.ok());
+  // Interior vertices 1, 2 have two distinct neighbours; 0 and 3 do not.
+  EXPECT_TRUE((*sampler)->Member({1}, 1e-6));
+  EXPECT_TRUE((*sampler)->Member({2}, 1e-6));
+  EXPECT_FALSE((*sampler)->Member({0}, 1e-6));
+  EXPECT_FALSE((*sampler)->Member({3}, 1e-6));
+}
+
+TEST(SamplerTest, DisequalityQuerySamplesRespectConstraints) {
+  Query q = Parse("ans(x, y) :- E(x, y), E(y, x), x != y.");
+  Database db = GraphToDatabase(CliqueGraph(4));
+  auto sampler = AnswerSampler::Create(q, db, TestOptions(6));
+  ASSERT_TRUE(sampler.ok());
+  auto samples = (*sampler)->Sample(10);
+  ASSERT_TRUE(samples.ok());
+  for (const Tuple& t : *samples) {
+    EXPECT_NE(t[0], t[1]);
+  }
+}
+
+}  // namespace
+}  // namespace cqcount

@@ -1,0 +1,108 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+namespace cqcount {
+namespace {
+
+TEST(SimplexTest, SimpleMaximisation) {
+  // max x + y  s.t.  x <= 2, y <= 3, x + y <= 4.
+  LpResult r = SolveLpMax({1, 1}, {{1, 0}, {0, 1}, {1, 1}}, {2, 3, 4});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 4.0, 1e-9);
+}
+
+TEST(SimplexTest, UnboundedProblem) {
+  // max x with no constraints binding x from above.
+  LpResult r = SolveLpMax({1, 0}, {{0, 1}}, {5});
+  EXPECT_EQ(r.status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, InfeasibleProblem) {
+  // x <= -1 with x >= 0 is infeasible.
+  LpResult r = SolveLpMax({1}, {{1}}, {-1});
+  EXPECT_EQ(r.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, NegativeRhsFeasible) {
+  // max x  s.t.  -x <= -2 (i.e. x >= 2), x <= 5.
+  LpResult r = SolveLpMax({1}, {{-1}, {1}}, {-2, 5});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 5.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateVertices) {
+  // Multiple constraints through the optimum; Bland's rule must not cycle.
+  LpResult r = SolveLpMax({1, 1}, {{1, 0}, {1, 0}, {0, 1}, {1, 1}},
+                          {1, 1, 1, 2});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-9);
+}
+
+TEST(SimplexTest, SolutionVectorIsReturned) {
+  LpResult r = SolveLpMax({3, 2}, {{1, 0}, {0, 1}}, {4, 7});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  ASSERT_EQ(r.x.size(), 2u);
+  EXPECT_NEAR(r.x[0], 4.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 7.0, 1e-9);
+}
+
+TEST(CoveringTest, TriangleFractionalCover) {
+  // Vertices {0,1,2}, edges {0,1}, {1,2}, {0,2}; the optimal fractional
+  // edge cover puts 1/2 on each edge: value 3/2.
+  std::vector<std::vector<double>> a = {
+      {1, 0, 1},  // vertex 0 covered by edges 0 and 2
+      {1, 1, 0},  // vertex 1
+      {0, 1, 1},  // vertex 2
+  };
+  LpResult r = SolveCoveringLpMin({1, 1, 1}, a, {1, 1, 1});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 1.5, 1e-9);
+}
+
+TEST(CoveringTest, SingleEdgeCoversAll) {
+  // One edge containing both vertices: cover number 1.
+  LpResult r = SolveCoveringLpMin({1}, {{1}, {1}}, {1, 1});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 1.0, 1e-9);
+}
+
+TEST(CoveringTest, WeightedCover) {
+  // min 2x + y  s.t.  x + y >= 1, x >= 0.25.
+  LpResult r = SolveCoveringLpMin({2, 1}, {{1, 1}, {1, 0}}, {1, 0.25});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 2 * 0.25 + 0.75, 1e-9);
+}
+
+// Property sweep: covering LPs on k-cliques have value k/2 for the edge
+// set of all pairs (perfect fractional matching duality).
+class CliqueCoverTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CliqueCoverTest, CliqueFractionalEdgeCover) {
+  const int k = GetParam();
+  std::vector<std::vector<double>> a(k);
+  std::vector<double> c;
+  int e = 0;
+  for (int i = 0; i < k; ++i) a[i] = {};
+  std::vector<std::vector<double>> rows(k);
+  // Build incidence: edges are all pairs.
+  const int num_edges = k * (k - 1) / 2;
+  for (int i = 0; i < k; ++i) rows[i].assign(num_edges, 0.0);
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      rows[i][e] = 1.0;
+      rows[j][e] = 1.0;
+      ++e;
+    }
+  }
+  c.assign(num_edges, 1.0);
+  LpResult r = SolveCoveringLpMin(c, rows, std::vector<double>(k, 1.0));
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, k / 2.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cliques, CliqueCoverTest,
+                         ::testing::Values(3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace cqcount

@@ -1,0 +1,59 @@
+#include "relational/structure.h"
+
+#include <gtest/gtest.h>
+
+namespace cqcount {
+namespace {
+
+TEST(StructureTest, DeclareAndAdd) {
+  Structure s(10);
+  EXPECT_TRUE(s.DeclareRelation("R", 2).ok());
+  EXPECT_TRUE(s.AddFact("R", {1, 2}).ok());
+  EXPECT_TRUE(s.HasRelation("R"));
+  EXPECT_EQ(s.Arity("R"), 2);
+  EXPECT_EQ(s.relation("R").size(), 1u);
+}
+
+TEST(StructureTest, RedeclareSameArityIsIdempotent) {
+  Structure s(5);
+  EXPECT_TRUE(s.DeclareRelation("R", 2).ok());
+  EXPECT_TRUE(s.DeclareRelation("R", 2).ok());
+  EXPECT_FALSE(s.DeclareRelation("R", 3).ok());
+}
+
+TEST(StructureTest, RejectsZeroArity) {
+  Structure s(5);
+  EXPECT_FALSE(s.DeclareRelation("R", 0).ok());
+}
+
+TEST(StructureTest, AddFactValidation) {
+  Structure s(3);
+  ASSERT_TRUE(s.DeclareRelation("R", 2).ok());
+  EXPECT_FALSE(s.AddFact("S", {0, 1}).ok());       // Undeclared.
+  EXPECT_FALSE(s.AddFact("R", {0}).ok());          // Wrong arity.
+  EXPECT_FALSE(s.AddFact("R", {0, 3}).ok());       // Outside universe.
+  EXPECT_TRUE(s.AddFact("R", {0, 2}).ok());
+}
+
+TEST(StructureTest, SizeFormula) {
+  // ||A|| = |sig| + |U| + sum |R| * ar(R)  (Section 2.2).
+  Structure s(7);
+  ASSERT_TRUE(s.DeclareRelation("R", 2).ok());
+  ASSERT_TRUE(s.DeclareRelation("S", 3).ok());
+  ASSERT_TRUE(s.AddFact("R", {0, 1}).ok());
+  ASSERT_TRUE(s.AddFact("R", {1, 2}).ok());
+  ASSERT_TRUE(s.AddFact("S", {0, 1, 2}).ok());
+  EXPECT_EQ(s.Size(), 2u + 7u + 2u * 2u + 1u * 3u);
+  EXPECT_EQ(s.NumFacts(), 3u);
+}
+
+TEST(StructureTest, RelationNamesSorted) {
+  Structure s(2);
+  ASSERT_TRUE(s.DeclareRelation("Zeta", 1).ok());
+  ASSERT_TRUE(s.DeclareRelation("Alpha", 1).ok());
+  EXPECT_EQ(s.RelationNames(),
+            (std::vector<std::string>{"Alpha", "Zeta"}));
+}
+
+}  // namespace
+}  // namespace cqcount

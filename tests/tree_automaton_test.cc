@@ -1,0 +1,138 @@
+#include "automata/tree_automaton.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/ta_exact_count.h"
+#include "util/random.h"
+
+namespace cqcount {
+namespace {
+
+// An automaton over unary "lists": accepts label-0 chains of odd length.
+// State 0 (initial): expects label 0 at an odd-position node.
+TreeAutomaton OddChainAutomaton() {
+  TreeAutomaton ta(2, 1, 0);
+  ta.AddLeafTransition(0, 0);       // Odd chain of length 1.
+  ta.AddUnaryTransition(0, 0, 1);   // Odd -> even below.
+  ta.AddUnaryTransition(1, 0, 0);   // Even -> odd below.
+  return ta;
+}
+
+LabeledTree Chain(int n, int label = 0) {
+  LabeledTree t;
+  t.nodes.resize(n);
+  for (int i = 0; i < n; ++i) {
+    t.nodes[i].label = label;
+    if (i + 1 < n) t.nodes[i].children = {i + 1};
+  }
+  t.root = 0;
+  return t;
+}
+
+TEST(LabeledTreeTest, ValidationCatchesMalformedTrees) {
+  LabeledTree t = Chain(3);
+  EXPECT_TRUE(t.Validate().ok());
+  t.nodes[2].children = {0};  // Cycle.
+  EXPECT_FALSE(t.Validate().ok());
+  LabeledTree three;
+  three.nodes.resize(4);
+  three.nodes[0].children = {1, 2, 3};
+  EXPECT_FALSE(three.Validate().ok());
+}
+
+TEST(TreeAutomatonTest, OddChainsAccepted) {
+  TreeAutomaton ta = OddChainAutomaton();
+  EXPECT_TRUE(ta.Accepts(Chain(1)));
+  EXPECT_FALSE(ta.Accepts(Chain(2)));
+  EXPECT_TRUE(ta.Accepts(Chain(3)));
+  EXPECT_FALSE(ta.Accepts(Chain(4)));
+  EXPECT_TRUE(ta.Accepts(Chain(5)));
+}
+
+TEST(TreeAutomatonTest, RunStatesExposeAllRoots) {
+  TreeAutomaton ta = OddChainAutomaton();
+  std::vector<bool> states = ta.RootStates(Chain(2));
+  EXPECT_FALSE(states[0]);
+  EXPECT_TRUE(states[1]);  // A run rooted at state 1 exists.
+}
+
+TEST(TreeAutomatonTest, BinaryTransitionsAreOrdered) {
+  // Accepts exactly the two-leaf tree with left label 0, right label 1.
+  TreeAutomaton ta(2, 2, 0);
+  ta.AddLeafTransition(1, 0);
+  ta.AddLeafTransition(0, 1);
+  ta.AddBinaryTransition(0, 0, 1, 0);  // (left state 1, right state 0).
+  LabeledTree t;
+  t.nodes.resize(3);
+  t.nodes[0].children = {1, 2};
+  t.nodes[0].label = 0;
+  t.nodes[1].label = 0;
+  t.nodes[2].label = 1;
+  EXPECT_TRUE(ta.Accepts(t));
+  std::swap(t.nodes[1].label, t.nodes[2].label);
+  EXPECT_FALSE(ta.Accepts(t));
+}
+
+TEST(TaExactCountTest, OddChainSliceCounts) {
+  TreeAutomaton ta = OddChainAutomaton();
+  // |L_n| = 1 for odd n (the single chain), 0 for even n.
+  auto subsets = CountAcceptedBySubsets(ta, 3);
+  ASSERT_TRUE(subsets.ok());
+  EXPECT_DOUBLE_EQ(*subsets, 1.0);
+  subsets = CountAcceptedBySubsets(ta, 4);
+  ASSERT_TRUE(subsets.ok());
+  EXPECT_DOUBLE_EQ(*subsets, 0.0);
+  EXPECT_DOUBLE_EQ(CountRunsDp(ta, 5), 1.0);
+}
+
+TEST(TaExactCountTest, RunsOvercountAmbiguity) {
+  // Two distinct runs accept the same single-leaf input.
+  TreeAutomaton ta(2, 1, 0);
+  ta.AddLeafTransition(1, 0);
+  ta.AddUnaryTransition(0, 0, 1);
+  // Add a second unary path to the same acceptance.
+  ta.AddUnaryTransition(0, 0, 1);
+  EXPECT_DOUBLE_EQ(CountRunsDp(ta, 2), 2.0);
+  auto distinct = CountAcceptedBySubsets(ta, 2);
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_DOUBLE_EQ(*distinct, 1.0);
+}
+
+TEST(TaExactCountTest, EnumerationMatchesSubsetsOnRandomAutomata) {
+  Rng rng(99);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int states = 2 + static_cast<int>(rng.UniformInt(2));
+    const int labels = 1 + static_cast<int>(rng.UniformInt(2));
+    TreeAutomaton ta(states, labels, 0);
+    for (int q = 0; q < states; ++q) {
+      for (int a = 0; a < labels; ++a) {
+        if (rng.Bernoulli(0.4)) ta.AddLeafTransition(q, a);
+        if (rng.Bernoulli(0.4)) {
+          ta.AddUnaryTransition(q, a,
+                                static_cast<int>(rng.UniformInt(states)));
+        }
+        if (rng.Bernoulli(0.3)) {
+          ta.AddBinaryTransition(q, a,
+                                 static_cast<int>(rng.UniformInt(states)),
+                                 static_cast<int>(rng.UniformInt(states)));
+        }
+      }
+    }
+    for (int n = 1; n <= 5; ++n) {
+      auto by_subsets = CountAcceptedBySubsets(ta, n);
+      auto by_enum = CountAcceptedByEnumeration(ta, n);
+      ASSERT_TRUE(by_subsets.ok());
+      ASSERT_TRUE(by_enum.ok());
+      EXPECT_DOUBLE_EQ(*by_subsets, static_cast<double>(*by_enum))
+          << "trial " << trial << " n " << n;
+    }
+  }
+}
+
+TEST(TaExactCountTest, SubsetDpRefusesHugeAutomata) {
+  TreeAutomaton ta(31, 1, 0);
+  EXPECT_FALSE(CountAcceptedBySubsets(ta, 3).ok());
+}
+
+}  // namespace
+}  // namespace cqcount

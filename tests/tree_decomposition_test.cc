@@ -1,0 +1,125 @@
+#include "decomposition/tree_decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include "app/graph_gen.h"
+#include "decomposition/elimination_order.h"
+#include "util/random.h"
+
+namespace cqcount {
+namespace {
+
+Hypergraph Triangle() {
+  Hypergraph h(3);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  h.AddEdge({0, 2});
+  return h;
+}
+
+TEST(TreeDecompositionTest, TrivialDecompositionIsValid) {
+  Hypergraph h = Triangle();
+  TreeDecomposition td = TreeDecomposition::Trivial(h);
+  EXPECT_TRUE(td.Validate(h).ok());
+  EXPECT_EQ(td.Width(), 2);
+}
+
+TEST(TreeDecompositionTest, RejectsUncoveredEdge) {
+  Hypergraph h = Triangle();
+  TreeDecomposition td;
+  td.bags = {{0, 1}, {1, 2}};
+  td.parent = {-1, 0};
+  td.root = 0;
+  // Edge {0,2} is in no bag.
+  EXPECT_FALSE(td.Validate(h).ok());
+}
+
+TEST(TreeDecompositionTest, RejectsDisconnectedOccurrences) {
+  Hypergraph h(3);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  TreeDecomposition td;
+  // Vertex 0 appears in bags 0 and 2 but not in the middle bag.
+  td.bags = {{0, 1}, {1, 2}, {0, 2}};
+  td.parent = {-1, 0, 1};
+  td.root = 0;
+  EXPECT_FALSE(td.Validate(h).ok());
+}
+
+TEST(TreeDecompositionTest, RejectsMalformedTree) {
+  Hypergraph h(2);
+  h.AddEdge({0, 1});
+  TreeDecomposition td;
+  td.bags = {{0, 1}, {0, 1}};
+  td.parent = {1, 0};  // Cycle.
+  td.root = 0;
+  EXPECT_FALSE(td.Validate(h).ok());
+}
+
+TEST(TreeDecompositionTest, ChildrenDerivedFromParents) {
+  TreeDecomposition td;
+  td.bags = {{0}, {0}, {0}};
+  td.parent = {-1, 0, 0};
+  td.root = 0;
+  auto children = td.Children();
+  EXPECT_EQ(children[0], (std::vector<int>{1, 2}));
+  EXPECT_TRUE(children[1].empty());
+}
+
+TEST(EliminationOrderTest, PathDecompositionHasWidthOne) {
+  SimpleGraph path = PathGraph(6);
+  Hypergraph h = GraphToHypergraph(path);
+  TreeDecomposition td = DecompositionFromOrder(h, MinFillOrder(h));
+  EXPECT_TRUE(td.Validate(h).ok());
+  EXPECT_EQ(td.Width(), 1);
+}
+
+TEST(EliminationOrderTest, CliqueDecompositionHasFullWidth) {
+  Hypergraph h = GraphToHypergraph(CliqueGraph(5));
+  TreeDecomposition td = DecompositionFromOrder(h, MinFillOrder(h));
+  EXPECT_TRUE(td.Validate(h).ok());
+  EXPECT_EQ(td.Width(), 4);
+}
+
+TEST(EliminationOrderTest, HandlesDisconnectedHypergraphs) {
+  Hypergraph h(5);
+  h.AddEdge({0, 1});
+  h.AddEdge({3, 4});  // Vertex 2 isolated.
+  TreeDecomposition td = DecompositionFromOrder(h, MinDegreeOrder(h));
+  EXPECT_TRUE(td.Validate(h).ok());
+}
+
+TEST(EliminationOrderTest, DegeneracyOfKnownGraphs) {
+  EXPECT_EQ(Degeneracy(GraphToHypergraph(PathGraph(5))), 1);
+  EXPECT_EQ(Degeneracy(GraphToHypergraph(CycleGraph(5))), 2);
+  EXPECT_EQ(Degeneracy(GraphToHypergraph(CliqueGraph(4))), 3);
+  EXPECT_EQ(Degeneracy(GraphToHypergraph(StarGraph(6))), 1);
+}
+
+// Property: decompositions from both heuristics validate on random
+// hypergraphs.
+class RandomDecompositionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDecompositionTest, HeuristicDecompositionsAreValid) {
+  Rng rng(GetParam());
+  Hypergraph h(8);
+  const int edges = 3 + static_cast<int>(rng.UniformInt(6));
+  for (int e = 0; e < edges; ++e) {
+    std::vector<Vertex> edge;
+    const int size = 1 + static_cast<int>(rng.UniformInt(3));
+    for (int i = 0; i < size; ++i) {
+      edge.push_back(static_cast<Vertex>(rng.UniformInt(8)));
+    }
+    h.AddEdge(std::move(edge));
+  }
+  TreeDecomposition fill = DecompositionFromOrder(h, MinFillOrder(h));
+  TreeDecomposition degree = DecompositionFromOrder(h, MinDegreeOrder(h));
+  EXPECT_TRUE(fill.Validate(h).ok()) << h.ToString();
+  EXPECT_TRUE(degree.Validate(h).ok()) << h.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDecompositionTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace cqcount

@@ -1,0 +1,104 @@
+#include "counting/union_count.h"
+
+#include <gtest/gtest.h>
+
+#include "app/graph_gen.h"
+#include "query/parser.h"
+
+namespace cqcount {
+namespace {
+
+Query Parse(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *q;
+}
+
+UnionOptions TestOptions(uint64_t seed) {
+  UnionOptions opts;
+  opts.approx.seed = seed;
+  opts.approx.epsilon = 0.15;
+  opts.approx.delta = 0.2;
+  opts.max_samples = 2000;
+  return opts;
+}
+
+TEST(UnionCountTest, ExactBruteForceBaseline) {
+  // Out-neighbours of something union in-neighbours of something on a
+  // directed path 0->1->2: {0,1} u {1,2} = 3 answers.
+  Query out = Parse("ans(x) :- E(x, y).");
+  Query in = Parse("ans(x) :- E(y, x).");
+  Database db(3);
+  ASSERT_TRUE(db.DeclareRelation("E", 2).ok());
+  ASSERT_TRUE(db.AddFact("E", {0, 1}).ok());
+  ASSERT_TRUE(db.AddFact("E", {1, 2}).ok());
+  EXPECT_EQ(ExactCountUnionBruteForce({out, in}, db), 3u);
+}
+
+TEST(UnionCountTest, ApproxMatchesExactOnOverlappingUnion) {
+  Query out = Parse("ans(x) :- E(x, y).");
+  Query in = Parse("ans(x) :- E(y, x).");
+  Database db = GraphToDatabase(CycleGraph(6));
+  const double exact =
+      static_cast<double>(ExactCountUnionBruteForce({out, in}, db));
+  auto result = ApproxCountUnion({out, in}, db, TestOptions(1));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->estimate, exact, 0.3 * exact + 0.5);
+  EXPECT_EQ(result->per_query.size(), 2u);
+}
+
+TEST(UnionCountTest, DisjointUnionAddsUp) {
+  Query red = Parse("ans(x) :- R(x).");
+  Query blue = Parse("ans(x) :- B(x).");
+  Database db(10);
+  ASSERT_TRUE(db.DeclareRelation("R", 1).ok());
+  ASSERT_TRUE(db.DeclareRelation("B", 1).ok());
+  for (Value v = 0; v < 4; ++v) ASSERT_TRUE(db.AddFact("R", {v}).ok());
+  for (Value v = 6; v < 9; ++v) ASSERT_TRUE(db.AddFact("B", {v}).ok());
+  auto result = ApproxCountUnion({red, blue}, db, TestOptions(2));
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->estimate, 7.0, 1.5);
+}
+
+TEST(UnionCountTest, IdenticalQueriesDoNotDoubleCount) {
+  Query q = Parse("ans(x) :- R(x).");
+  Database db(8);
+  ASSERT_TRUE(db.DeclareRelation("R", 1).ok());
+  for (Value v = 0; v < 5; ++v) ASSERT_TRUE(db.AddFact("R", {v}).ok());
+  auto result = ApproxCountUnion({q, q, q}, db, TestOptions(3));
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->estimate, 5.0, 1.5);
+}
+
+TEST(UnionCountTest, EmptyUnion) {
+  Query q = Parse("ans(x) :- R(x).");
+  Database db(4);
+  ASSERT_TRUE(db.DeclareRelation("R", 1).ok());
+  auto result = ApproxCountUnion({q}, db, TestOptions(4));
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->estimate, 0.0);
+}
+
+TEST(UnionCountTest, RejectsMixedArities) {
+  Query one = Parse("ans(x) :- R(x).");
+  Query two = Parse("ans(x, y) :- S(x, y).");
+  Database db(4);
+  ASSERT_TRUE(db.DeclareRelation("R", 1).ok());
+  ASSERT_TRUE(db.DeclareRelation("S", 2).ok());
+  EXPECT_FALSE(ApproxCountUnion({one, two}, db, TestOptions(5)).ok());
+  EXPECT_FALSE(ApproxCountUnion({}, db, TestOptions(6)).ok());
+}
+
+TEST(UnionCountTest, DcqUnionWithDisequalities) {
+  Query p1 = Parse("ans(x, y) :- E(x, y), x != y.");
+  Query p2 = Parse("ans(x, y) :- E(y, x), x != y.");
+  Database db = GraphToDatabase(PathGraph(4));
+  const double exact =
+      static_cast<double>(ExactCountUnionBruteForce({p1, p2}, db));
+  auto result = ApproxCountUnion({p1, p2}, db, TestOptions(7));
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->estimate, exact, 0.3 * exact + 0.5);
+}
+
+}  // namespace
+}  // namespace cqcount

@@ -1,0 +1,164 @@
+#include "decomposition/width_measures.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "app/graph_gen.h"
+#include "decomposition/elimination_order.h"
+#include "decomposition/exact_treewidth.h"
+#include "util/random.h"
+
+namespace cqcount {
+namespace {
+
+TEST(FcnTest, TriangleIsThreeHalves) {
+  Hypergraph h = GraphToHypergraph(CliqueGraph(3));
+  EXPECT_NEAR(FractionalCoverNumber(h), 1.5, 1e-8);
+}
+
+TEST(FcnTest, SingleCoveringEdge) {
+  Hypergraph h(4);
+  h.AddEdge({0, 1, 2, 3});
+  EXPECT_NEAR(FractionalCoverNumber(h), 1.0, 1e-8);
+}
+
+TEST(FcnTest, IsolatedVertexGivesInfinity) {
+  Hypergraph h(2);
+  h.AddEdge({0});
+  EXPECT_TRUE(std::isinf(FractionalCoverNumber(h)));
+}
+
+TEST(FcnTest, SubsetMonotonicity) {
+  // Observation 40: fcn(H[B]) <= fcn(H[B']) for B subseteq B'.
+  Hypergraph h = GraphToHypergraph(CycleGraph(6));
+  const double small = FractionalCoverNumberOfSubset(h, {0, 1, 2});
+  const double large = FractionalCoverNumberOfSubset(h, {0, 1, 2, 3, 4});
+  EXPECT_LE(small, large + 1e-9);
+}
+
+TEST(FcnTest, EmptyBagIsZero) {
+  Hypergraph h = GraphToHypergraph(PathGraph(3));
+  EXPECT_DOUBLE_EQ(FractionalCoverNumberOfSubset(h, {}), 0.0);
+}
+
+TEST(FractionalIndependentSetTest, DualityWithFcn) {
+  // LP duality: max fractional independent set = min fractional edge
+  // cover (no isolated vertices).
+  for (auto graph : {CycleGraph(5), CliqueGraph(4), PathGraph(6)}) {
+    Hypergraph h = GraphToHypergraph(graph);
+    std::vector<double> mu;
+    const double independent = MaxFractionalIndependentSet(h, &mu);
+    EXPECT_NEAR(independent, FractionalCoverNumber(h), 1e-7);
+    // mu is a valid fractional independent set.
+    for (const auto& e : h.edges()) {
+      double total = 0.0;
+      for (Vertex v : e) total += mu[v];
+      EXPECT_LE(total, 1.0 + 1e-8);
+    }
+  }
+}
+
+TEST(FhwTest, PathHasFhwOne) {
+  Hypergraph h = GraphToHypergraph(PathGraph(5));
+  auto result = ExactFhw(h);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->width, 1.0, 1e-8);
+}
+
+TEST(FhwTest, TriangleHypergraphWithBigEdgeHasFhwOne) {
+  // Adding a covering hyperedge drops fhw to 1 even though tw is 2.
+  Hypergraph h(3);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  h.AddEdge({0, 2});
+  h.AddEdge({0, 1, 2});
+  auto fhw = ExactFhw(h);
+  ASSERT_TRUE(fhw.ok());
+  EXPECT_NEAR(fhw->width, 1.0, 1e-8);
+  auto tw = ExactTreewidth(h);
+  ASSERT_TRUE(tw.ok());
+  EXPECT_DOUBLE_EQ(tw->width, 2.0);
+}
+
+TEST(FhwTest, CliqueFhwIsHalfSize) {
+  // fhw(K_n as 2-uniform) = n/2 (single bag, fractional matching).
+  Hypergraph h = GraphToHypergraph(CliqueGraph(6));
+  auto result = ExactFhw(h, /*max_vertices=*/8);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->width, 3.0, 1e-7);
+}
+
+TEST(MuWidthTest, UniformMuRecoversObservation34) {
+  // With mu = 1/arity, the exact mu-width equals (tw+1)/arity, which is
+  // exactly the witness behind Observation 34: tw <= a * aw - 1.
+  for (auto graph : {PathGraph(5), CycleGraph(5), CliqueGraph(4)}) {
+    Hypergraph h = GraphToHypergraph(graph);
+    const int a = h.Arity();
+    std::vector<double> mu(h.num_vertices(), 1.0 / a);
+    auto mu_width = ExactMuWidth(h, mu);
+    ASSERT_TRUE(mu_width.ok());
+    auto tw = ExactTreewidth(h);
+    ASSERT_TRUE(tw.ok());
+    EXPECT_NEAR(mu_width->width, (tw->width + 1.0) / a, 1e-8);
+  }
+}
+
+TEST(AdaptiveWidthTest, BoundsAreOrdered) {
+  for (auto graph : {PathGraph(6), CycleGraph(6), CliqueGraph(4),
+                     GridGraph(2, 3)}) {
+    Hypergraph h = GraphToHypergraph(graph);
+    auto lower = AdaptiveWidthLowerBound(h);
+    auto upper = AdaptiveWidthUpperBound(h);
+    ASSERT_TRUE(lower.ok());
+    ASSERT_TRUE(upper.ok());
+    EXPECT_LE(*lower, *upper + 1e-7);
+  }
+}
+
+TEST(HypertreewidthTest, GuardBoundsAreSane) {
+  // hw upper bound >= fhw of the same decomposition (integral vs
+  // fractional covers).
+  Hypergraph h = GraphToHypergraph(CycleGraph(7));
+  TreeDecomposition td = DecompositionFromOrder(h, MinFillOrder(h));
+  const int hw = HypertreewidthUpperBound(h, td);
+  const double fhw = FhwOfDecomposition(h, td);
+  EXPECT_GE(static_cast<double>(hw), fhw - 1e-9);
+  EXPECT_GE(hw, 1);
+}
+
+TEST(ComputeDecompositionTest, FallsBackToHeuristic) {
+  Hypergraph h = GraphToHypergraph(CycleGraph(20));
+  FWidthResult r =
+      ComputeDecomposition(h, WidthObjective::kTreewidth, /*exact_limit=*/8);
+  EXPECT_TRUE(r.decomposition.Validate(h).ok());
+  EXPECT_GE(r.width, 2.0);
+}
+
+TEST(ComputeDecompositionTest, ExactWhenSmall) {
+  Hypergraph h = GraphToHypergraph(CycleGraph(6));
+  FWidthResult r = ComputeDecomposition(h, WidthObjective::kTreewidth);
+  EXPECT_DOUBLE_EQ(r.width, 2.0);
+}
+
+// Lemma 12 sandwich on random graphs: fhw <= tw + 1 and aw-lower <= fhw.
+class WidthRelationsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WidthRelationsTest, RelationsHold) {
+  Rng rng(1000 + GetParam());
+  SimpleGraph g = ErdosRenyi(8, 0.3, rng);
+  // Ensure no isolated vertices (fcn finite) by linking stragglers.
+  for (int v = 1; v < g.num_vertices; ++v) g.AddEdge(v - 1, v);
+  Hypergraph h = GraphToHypergraph(g);
+  auto tw = ExactTreewidth(h);
+  auto fhw = ExactFhw(h, 10);
+  auto aw_low = AdaptiveWidthLowerBound(h, 10);
+  ASSERT_TRUE(tw.ok() && fhw.ok() && aw_low.ok());
+  EXPECT_LE(fhw->width, tw->width + 1.0 + 1e-7);
+  EXPECT_LE(*aw_low, fhw->width + 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WidthRelationsTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace cqcount

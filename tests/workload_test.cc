@@ -1,0 +1,51 @@
+#include "app/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace cqcount {
+namespace {
+
+TEST(WorkloadTest, AddRandomTuplesProducesDistinctTuples) {
+  Database db(50);
+  Rng rng(1);
+  AddRandomTuples(&db, "R", 2, 100, rng);
+  EXPECT_EQ(db.relation("R").size(), 100u);
+  EXPECT_EQ(db.Arity("R"), 2);
+}
+
+TEST(WorkloadTest, RandomDatabaseDeclaresAllRelations) {
+  Rng rng(2);
+  Database db = RandomDatabase(20, {{"R", 2, 30}, {"S", 3, 10}, {"T", 1, 5}},
+                               rng);
+  EXPECT_EQ(db.relation("R").size(), 30u);
+  EXPECT_EQ(db.relation("S").size(), 10u);
+  EXPECT_EQ(db.relation("T").size(), 5u);
+  EXPECT_EQ(db.universe_size(), 20u);
+}
+
+TEST(WorkloadTest, SocialNetworkShape) {
+  Rng rng(3);
+  Database db = SocialNetworkDb(40, 4.0, 0.5, rng);
+  EXPECT_EQ(db.universe_size(), 40u);
+  EXPECT_TRUE(db.HasRelation("F"));
+  EXPECT_TRUE(db.HasRelation("Adult"));
+  // Friendship is symmetric.
+  for (const Tuple& t : db.relation("F").tuples()) {
+    EXPECT_TRUE(db.relation("F").Contains({t[1], t[0]}));
+  }
+  // Expected degree ~4: |F| ~ 40 * 4 = 160 entries (two per edge).
+  EXPECT_GT(db.relation("F").size(), 60u);
+  EXPECT_LT(db.relation("F").size(), 320u);
+}
+
+TEST(WorkloadTest, DeterministicUnderSeed) {
+  Rng rng1(7);
+  Rng rng2(7);
+  Database a = SocialNetworkDb(20, 3.0, 0.3, rng1);
+  Database b = SocialNetworkDb(20, 3.0, 0.3, rng2);
+  EXPECT_EQ(a.relation("F"), b.relation("F"));
+  EXPECT_EQ(a.relation("Adult"), b.relation("Adult"));
+}
+
+}  // namespace
+}  // namespace cqcount
