@@ -1,0 +1,189 @@
+// EXP-ENG: engine-layer performance baseline.
+//
+// Measures what the CountingEngine adds on top of the raw pipeline:
+//   (a) cold vs. warm-plan-cache latency per Count call (the warm path
+//       skips decomposition search entirely);
+//   (b) CountBatch throughput at 1/2/4/8 worker threads over a mixed
+//       workload, with a determinism check (every thread count must
+//       produce bitwise-identical estimates).
+// Writes the measurements as JSON (default BENCH_engine.json, or argv[1])
+// so future PRs have a perf trajectory to compare against.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "app/workload.h"
+#include "bench_util.h"
+#include "engine/engine.h"
+#include "util/timer.h"
+
+namespace cqcount {
+namespace {
+
+std::vector<CountRequest> MixedWorkload(int copies) {
+  // Mixed shapes; several entries are isomorphic renamings of each other
+  // so the plan cache has real sharing to exploit.
+  const std::vector<std::string> templates = {
+      "ans(x) :- F(x, y), F(x, z), y != z.",
+      "ans(a) :- F(a, b), F(a, c), b != c.",
+      "ans(x, y) :- F(x, y), Adult(x).",
+      "ans(p, q) :- F(p, q), Adult(p).",
+      "ans(x) :- F(x, y), Adult(y), x != y.",
+      "ans(x, y) :- F(x, y), !Adult(y).",
+      "ans(x) :- F(x, y), F(y, z), x != z.",
+      "ans(x) :- F(x, y).",
+  };
+  std::vector<CountRequest> requests;
+  for (int c = 0; c < copies; ++c) {
+    for (const std::string& t : templates) {
+      CountRequest request;
+      request.query = t;
+      request.database = "g";
+      requests.push_back(request);
+    }
+  }
+  return requests;
+}
+
+struct BatchPoint {
+  int threads = 0;
+  double millis = 0.0;
+  double queries_per_sec = 0.0;
+};
+
+}  // namespace
+
+int Run(const std::string& json_path) {
+  bench::Header("EXP-ENG", "engine: plan-cache latency and batch throughput");
+
+  EngineOptions opts;
+  opts.epsilon = 0.2;
+  opts.delta = 0.2;
+  CountingEngine engine(opts);
+  {
+    Rng rng(2024);
+    Status s = engine.RegisterDatabase("g", SocialNetworkDb(400, 5.0, 0.5, rng));
+    if (!s.ok()) {
+      std::fprintf(stderr, "register: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // (a) cold vs warm per-call latency over the distinct shapes.
+  const std::vector<CountRequest> shapes = MixedWorkload(1);
+  double cold_plan_ms = 0.0, cold_total_ms = 0.0;
+  double warm_plan_ms = 0.0, warm_total_ms = 0.0;
+  int cold_hits = 0, warm_hits = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const CountRequest& request : shapes) {
+      WallTimer timer;
+      auto result = engine.Count(request);
+      const double total = timer.Millis();
+      if (!result.ok()) {
+        std::fprintf(stderr, "count: %s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      if (pass == 0) {
+        cold_plan_ms += result->plan_millis;
+        cold_total_ms += total;
+        cold_hits += result->plan_cache_hit ? 1 : 0;
+      } else {
+        warm_plan_ms += result->plan_millis;
+        warm_total_ms += total;
+        warm_hits += result->plan_cache_hit ? 1 : 0;
+      }
+    }
+  }
+  const double n_shapes = static_cast<double>(shapes.size());
+  bench::Row("\n(a) per-call latency over %d queries (avg ms)",
+             static_cast<int>(shapes.size()));
+  bench::Row("%8s %12s %12s %12s", "pass", "plan_ms", "call_ms", "cache_hits");
+  bench::Row("%8s %12.3f %12.3f %12d", "cold", cold_plan_ms / n_shapes,
+             cold_total_ms / n_shapes, cold_hits);
+  bench::Row("%8s %12.3f %12.3f %12d", "warm", warm_plan_ms / n_shapes,
+             warm_total_ms / n_shapes, warm_hits);
+
+  // (b) batch throughput vs thread count; estimates must be identical.
+  const std::vector<CountRequest> batch = MixedWorkload(8);
+  std::vector<BatchPoint> points;
+  std::vector<double> reference;
+  bool deterministic = true;
+  bench::Row("\n(b) CountBatch over %d queries", static_cast<int>(batch.size()));
+  bench::Row("%8s %12s %14s", "threads", "millis", "queries/s");
+  for (int threads : {1, 2, 4, 8}) {
+    WallTimer timer;
+    auto results = engine.CountBatch(batch, threads);
+    BatchPoint point;
+    point.threads = threads;
+    point.millis = timer.Millis();
+    point.queries_per_sec = 1e3 * batch.size() / point.millis;
+    points.push_back(point);
+    std::vector<double> estimates;
+    for (const auto& r : results) {
+      estimates.push_back(r.ok() ? r->estimate : -1.0);
+    }
+    if (reference.empty()) {
+      reference = estimates;
+    } else if (estimates != reference) {
+      deterministic = false;
+    }
+    bench::Row("%8d %12.2f %14.1f", threads, point.millis,
+               point.queries_per_sec);
+  }
+  bench::Row("determinism across thread counts: %s",
+             deterministic ? "OK (bitwise identical)" : "VIOLATED");
+
+  PlanCacheStats stats = engine.CacheStats();
+  bench::Row("plan cache: %llu hits, %llu misses, %llu evictions",
+             static_cast<unsigned long long>(stats.hits),
+             static_cast<unsigned long long>(stats.misses),
+             static_cast<unsigned long long>(stats.evictions));
+
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"engine_batch\",\n");
+  std::fprintf(out, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"universe\": 400,\n");
+  std::fprintf(out, "  \"distinct_queries\": %d,\n",
+               static_cast<int>(shapes.size()));
+  std::fprintf(out, "  \"cold\": {\"plan_ms\": %.4f, \"call_ms\": %.4f},\n",
+               cold_plan_ms / n_shapes, cold_total_ms / n_shapes);
+  std::fprintf(out, "  \"warm\": {\"plan_ms\": %.4f, \"call_ms\": %.4f},\n",
+               warm_plan_ms / n_shapes, warm_total_ms / n_shapes);
+  std::fprintf(out, "  \"batch_queries\": %d,\n",
+               static_cast<int>(batch.size()));
+  std::fprintf(out, "  \"batch\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"threads\": %d, \"millis\": %.2f, "
+                 "\"queries_per_sec\": %.1f}%s\n",
+                 points[i].threads, points[i].millis,
+                 points[i].queries_per_sec,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"deterministic\": %s,\n",
+               deterministic ? "true" : "false");
+  std::fprintf(out,
+               "  \"plan_cache\": {\"hits\": %llu, \"misses\": %llu, "
+               "\"evictions\": %llu}\n",
+               static_cast<unsigned long long>(stats.hits),
+               static_cast<unsigned long long>(stats.misses),
+               static_cast<unsigned long long>(stats.evictions));
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  bench::Row("wrote %s", json_path.c_str());
+  return deterministic ? 0 : 1;
+}
+
+}  // namespace cqcount
+
+int main(int argc, char** argv) {
+  return cqcount::Run(argc > 1 ? argv[1] : "BENCH_engine.json");
+}

@@ -1,6 +1,7 @@
 // EXP-SUB: google-benchmark micro-benchmarks for the substrates: generic
 // join, decomposition search, fractional cover LPs, the colour-coding
-// oracle and the DLM estimator loop.
+// oracle, the DLM estimator loop, and the engine layer (shape
+// canonicalisation, plan-cache hit path, cold vs. warm Count).
 #include <benchmark/benchmark.h>
 
 #include "app/graph_gen.h"
@@ -10,6 +11,9 @@
 #include "decomposition/exact_treewidth.h"
 #include "decomposition/nice_decomposition.h"
 #include "decomposition/width_measures.h"
+#include "engine/engine.h"
+#include "engine/plan.h"
+#include "engine/plan_cache.h"
 #include "hom/bag_solutions.h"
 #include "hom/hom_oracle.h"
 #include "query/parser.h"
@@ -112,6 +116,56 @@ void BM_DlmEndToEnd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DlmEndToEnd)->Arg(64)->Arg(256);
+
+void BM_CanonicalQueryShape(benchmark::State& state) {
+  auto q = ParseQuery(
+      "ans(x, y) :- R(x, z), S(z, y), !T(x, y), F(y, w), x != y, z != w.");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CanonicalQueryShape(*q).key);
+  }
+}
+BENCHMARK(BM_CanonicalQueryShape);
+
+void BM_PlanCacheHit(benchmark::State& state) {
+  PlanCache cache(64, 8);
+  auto plan = std::make_shared<QueryPlan>();
+  plan->shape_key = "k";
+  cache.Insert("k", plan);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Lookup("k"));
+  }
+}
+BENCHMARK(BM_PlanCacheHit);
+
+void BM_EngineCountColdPlan(benchmark::State& state) {
+  CountingEngine engine;
+  Rng rng(11);
+  engine.RegisterDatabase(
+      "g", SocialNetworkDb(static_cast<uint32_t>(state.range(0)), 5.0, 0.5,
+                           rng));
+  const std::string query = "ans(x) :- F(x, y), F(x, z), y != z.";
+  for (auto _ : state) {
+    engine.InvalidatePlans();  // Every iteration replans from scratch.
+    auto result = engine.Count(query, "g");
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_EngineCountColdPlan)->Arg(100)->Arg(400);
+
+void BM_EngineCountWarmPlan(benchmark::State& state) {
+  CountingEngine engine;
+  Rng rng(13);
+  engine.RegisterDatabase(
+      "g", SocialNetworkDb(static_cast<uint32_t>(state.range(0)), 5.0, 0.5,
+                           rng));
+  const std::string query = "ans(x) :- F(x, y), F(x, z), y != z.";
+  benchmark::DoNotOptimize(engine.Count(query, "g").ok());  // Prime cache.
+  for (auto _ : state) {
+    auto result = engine.Count(query, "g");
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_EngineCountWarmPlan)->Arg(100)->Arg(400);
 
 }  // namespace
 }  // namespace cqcount

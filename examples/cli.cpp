@@ -3,21 +3,30 @@
 // Usage:
 //   cli count    <query> <database-file> [epsilon] [delta]
 //   cli exact    <query> <database-file>
+//   cli explain  <query> <database-file>
+//   cli batch    <query-file> <database-file> [threads] [epsilon] [delta]
 //   cli fpras    <query> <database-file> [epsilon]
 //   cli sample   <query> <database-file> [count]
 //   cli classify <query>
 //
 // <query> is a Datalog-style string such as
 //   'ans(x) :- F(x, y), F(x, z), y != z.'
+// <query-file> holds one query per line ('#' starts a comment line).
+//
+// count/exact/explain/batch run through the CountingEngine: queries are
+// planned per the paper's Figure 1, plans are cached by canonical query
+// shape, and batches execute concurrently with deterministic per-item
+// seeds.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "automata/fpras.h"
-#include "counting/exact_count.h"
-#include "counting/fptras.h"
 #include "counting/sampler.h"
 #include "decomposition/width_measures.h"
+#include "engine/engine.h"
 #include "query/parser.h"
 #include "relational/database_io.h"
 
@@ -29,22 +38,42 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  cli count    <query> <db-file> [epsilon] [delta]   FPTRAS "
-      "(Thm 5/13)\n"
-      "  cli exact    <query> <db-file>                     brute force\n"
+      "  cli count    <query> <db-file> [epsilon] [delta]   engine count "
+      "(auto strategy)\n"
+      "  cli exact    <query> <db-file>                     engine exact "
+      "count\n"
+      "  cli explain  <query> <db-file>                     plan + Figure 1 "
+      "verdict\n"
+      "  cli batch    <query-file> <db-file> [threads] [epsilon] [delta]\n"
+      "                                                     concurrent "
+      "batch counts\n"
       "  cli fpras    <query> <db-file> [epsilon]           FPRAS "
       "(Thm 16, pure CQ)\n"
       "  cli sample   <query> <db-file> [count]             answer "
       "samples\n"
       "  cli classify <query>                               Figure 1 "
-      "verdict\n");
+      "verdict (no db)\n");
   return 2;
 }
 
-StatusOr<Query> LoadQuery(const char* text) { return ParseQuery(text); }
+StatusOr<std::vector<std::string>> ReadQueryFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open query file: " + path);
+  std::vector<std::string> queries;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    queries.push_back(line);
+  }
+  return queries;
+}
 
-StatusOr<Database> LoadDb(const char* path) {
-  return ReadDatabaseFile(path);
+CountingEngine MakeEngine(double epsilon, double delta) {
+  EngineOptions opts;
+  if (epsilon > 0) opts.epsilon = epsilon;
+  if (delta > 0) opts.delta = delta;
+  return CountingEngine(opts);
 }
 
 }  // namespace
@@ -53,14 +82,13 @@ int main(int argc, char** argv) {
   if (argc < 3) return Usage();
   const std::string command = argv[1];
 
-  auto query = LoadQuery(argv[2]);
-  if (!query.ok()) {
-    std::fprintf(stderr, "query error: %s\n",
-                 query.status().ToString().c_str());
-    return 1;
-  }
-
   if (command == "classify") {
+    auto query = ParseQuery(argv[2]);
+    if (!query.ok()) {
+      std::fprintf(stderr, "query error: %s\n",
+                   query.status().ToString().c_str());
+      return 1;
+    }
     Hypergraph h = query->BuildHypergraph();
     FWidthResult tw =
         ComputeDecomposition(h, WidthObjective::kTreewidth, 16);
@@ -86,32 +114,110 @@ int main(int argc, char** argv) {
   }
 
   if (argc < 4) return Usage();
-  auto db = LoadDb(argv[3]);
+  const std::string db_path = argv[3];
+
+  if (command == "count" || command == "exact" || command == "explain") {
+    const double epsilon =
+        command == "count" && argc > 4 ? std::atof(argv[4]) : 0.0;
+    const double delta =
+        command == "count" && argc > 5 ? std::atof(argv[5]) : 0.0;
+    CountingEngine engine = MakeEngine(epsilon, delta);
+    Status registered = engine.RegisterDatabaseFile("db", db_path);
+    if (!registered.ok()) {
+      std::fprintf(stderr, "database error: %s\n",
+                   registered.ToString().c_str());
+      return 1;
+    }
+    if (command == "explain") {
+      auto explanation = engine.Explain(argv[2], "db");
+      if (!explanation.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     explanation.status().ToString().c_str());
+        return 1;
+      }
+      std::fputs(explanation->text.c_str(), stdout);
+      return 0;
+    }
+    auto result = command == "exact" ? engine.CountExact(argv[2], "db")
+                                     : engine.Count(argv[2], "db");
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%.2f%s\n", result->estimate, result->exact ? " (exact)" : "");
+    std::printf(
+        "# strategy=%s width=%.2f oracle_calls=%llu plan=%s "
+        "plan_ms=%.2f exec_ms=%.2f\n",
+        StrategyName(result->strategy), result->width,
+        static_cast<unsigned long long>(result->oracle_calls),
+        result->plan_cache_hit ? "cached" : "built", result->plan_millis,
+        result->exec_millis);
+    return 0;
+  }
+
+  if (command == "batch") {
+    const int threads = argc > 4 ? std::atoi(argv[4]) : 0;
+    const double epsilon = argc > 5 ? std::atof(argv[5]) : 0.0;
+    const double delta = argc > 6 ? std::atof(argv[6]) : 0.0;
+    auto queries = ReadQueryFile(argv[2]);
+    if (!queries.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   queries.status().ToString().c_str());
+      return 1;
+    }
+    CountingEngine engine = MakeEngine(epsilon, delta);
+    Status registered = engine.RegisterDatabaseFile("db", db_path);
+    if (!registered.ok()) {
+      std::fprintf(stderr, "database error: %s\n",
+                   registered.ToString().c_str());
+      return 1;
+    }
+    std::vector<CountRequest> requests;
+    for (const std::string& q : *queries) {
+      CountRequest request;
+      request.query = q;
+      request.database = "db";
+      requests.push_back(request);
+    }
+    auto results = engine.CountBatch(requests, threads);
+    int failures = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok()) {
+        ++failures;
+        std::printf("[%zu] error: %s\n", i,
+                    results[i].status().ToString().c_str());
+        continue;
+      }
+      const EngineResult& r = *results[i];
+      std::printf("[%zu] %.2f%s  strategy=%s plan=%s\n", i, r.estimate,
+                  r.exact ? " (exact)" : "", StrategyName(r.strategy),
+                  r.plan_cache_hit ? "cached" : "built");
+    }
+    PlanCacheStats stats = engine.CacheStats();
+    std::printf(
+        "# %zu queries, %d failed | plan cache: %llu hits, %llu misses, "
+        "%llu evictions\n",
+        results.size(), failures, static_cast<unsigned long long>(stats.hits),
+        static_cast<unsigned long long>(stats.misses),
+        static_cast<unsigned long long>(stats.evictions));
+    return failures == 0 ? 0 : 1;
+  }
+
+  // The remaining commands drive pipeline pieces directly.
+  auto query = ParseQuery(argv[2]);
+  if (!query.ok()) {
+    std::fprintf(stderr, "query error: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+  auto db = ReadDatabaseFile(db_path);
   if (!db.ok()) {
     std::fprintf(stderr, "database error: %s\n",
                  db.status().ToString().c_str());
     return 1;
   }
 
-  if (command == "exact") {
-    const uint64_t count = ExactCountAnswersBruteForce(*query, *db);
-    std::printf("%llu\n", static_cast<unsigned long long>(count));
-    return 0;
-  }
-  if (command == "count") {
-    ApproxOptions opts;
-    opts.epsilon = argc > 4 ? std::atof(argv[4]) : 0.1;
-    opts.delta = argc > 5 ? std::atof(argv[5]) : 0.1;
-    auto result = ApproxCountAnswers(*query, *db, opts);
-    if (!result.ok()) {
-      std::fprintf(stderr, "error: %s\n",
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("%.2f%s\n", result->estimate,
-                result->exact ? " (exact)" : "");
-    return 0;
-  }
   if (command == "fpras") {
     FprasOptions opts;
     opts.acjr.epsilon = argc > 4 ? std::atof(argv[4]) : 0.15;

@@ -19,7 +19,10 @@ StatusOr<FprasResult> FprasCountCq(const Query& q, const Database& db,
 
   Hypergraph h = q.BuildHypergraph();
   FWidthResult width =
-      ComputeDecomposition(h, opts.objective, opts.exact_decomposition_limit);
+      opts.precomputed_decomposition
+          ? *opts.precomputed_decomposition
+          : ComputeDecomposition(h, opts.objective,
+                                 opts.exact_decomposition_limit);
   NiceTreeDecomposition nice =
       NiceTreeDecomposition::FromTreeDecomposition(h, width.decomposition);
 

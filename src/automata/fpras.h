@@ -24,6 +24,10 @@ struct FprasOptions {
   WidthObjective objective = WidthObjective::kFractionalHypertreewidth;
   /// Exact-width search limit (falls back to min-fill above it).
   int exact_decomposition_limit = 14;
+  /// Precomputed decomposition of H(phi): when non-null the pipeline skips
+  /// its own ComputeDecomposition call (the engine's warm plan-cache path).
+  /// Must be valid for the query's hypergraph and outlive the call.
+  const FWidthResult* precomputed_decomposition = nullptr;
 };
 
 /// Result of the FPRAS.

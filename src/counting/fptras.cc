@@ -32,7 +32,10 @@ StatusOr<ApproxCountResult> ApproxCountAnswers(const Query& q,
   // proof of Theorem 5).
   Hypergraph h = q.BuildHypergraph();
   FWidthResult width =
-      ComputeDecomposition(h, opts.objective, opts.exact_decomposition_limit);
+      opts.precomputed_decomposition
+          ? *opts.precomputed_decomposition
+          : ComputeDecomposition(h, opts.objective,
+                                 opts.exact_decomposition_limit);
   CQLOG(kInfo) << "FPTRAS: decomposition width " << width.width << " over "
                << h.num_vertices() << " variables";
 

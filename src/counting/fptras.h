@@ -41,6 +41,10 @@ struct ApproxOptions {
   double per_call_failure_override = 0.0;
   /// Estimator tuning (its epsilon/delta/seed fields are overridden).
   DlmOptions dlm;
+  /// Precomputed decomposition of H(phi): when non-null the pipeline skips
+  /// its own ComputeDecomposition call (the engine's warm plan-cache path).
+  /// Must be valid for the query's hypergraph and outlive the call.
+  const FWidthResult* precomputed_decomposition = nullptr;
 };
 
 /// Result of an approximate answer count.

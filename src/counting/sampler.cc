@@ -42,8 +42,10 @@ AnswerSampler::AnswerSampler(const Query& q, const Database& db,
     : query_(q), db_(db), opts_(opts), rng_(opts.approx.seed ^ 0x5A5A5A5AULL) {
   Hypergraph h = q.BuildHypergraph();
   FWidthResult width =
-      ComputeDecomposition(h, opts.approx.objective,
-                           opts.approx.exact_decomposition_limit);
+      opts.approx.precomputed_decomposition
+          ? *opts.approx.precomputed_decomposition
+          : ComputeDecomposition(h, opts.approx.objective,
+                                 opts.approx.exact_decomposition_limit);
   width_ = width.width;
   hom_ = std::make_unique<DecompositionHomOracle>(q, db,
                                                   width.decomposition);

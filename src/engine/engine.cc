@@ -1,0 +1,272 @@
+#include "engine/engine.h"
+
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "automata/fpras.h"
+#include "counting/exact_count.h"
+#include "counting/fptras.h"
+#include "query/parser.h"
+#include "relational/database_io.h"
+#include "util/timer.h"
+
+namespace cqcount {
+
+CountingEngine::CountingEngine(EngineOptions opts)
+    : opts_(opts),
+      cache_(opts.plan_cache_capacity, opts.plan_cache_shards) {
+  int threads = opts_.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 4;
+  }
+  opts_.num_threads = threads;
+  pool_ = std::make_unique<Executor>(threads);
+}
+
+CountingEngine::~CountingEngine() = default;
+
+Status CountingEngine::RegisterDatabase(const std::string& name, Database db) {
+  if (name.empty()) {
+    return Status::InvalidArgument("database name must be non-empty");
+  }
+  // Force each relation's lazy sort-and-dedup now, while the database is
+  // still exclusively owned: afterwards every const access is read-only,
+  // so the shared snapshot is safe for concurrent batch workers.
+  for (const std::string& relation : db.RelationNames()) {
+    (void)db.relation(relation).tuples();
+  }
+  auto shared = std::make_shared<const Database>(std::move(db));
+  std::lock_guard<std::mutex> lock(db_mu_);
+  RegisteredDatabase& entry = databases_[name];
+  // Bump the generation on replacement: cached plans for the old contents
+  // become unreachable (their keys embed the generation) and age out.
+  if (entry.db != nullptr) ++entry.generation;
+  entry.db = std::move(shared);
+  return Status::Ok();
+}
+
+Status CountingEngine::RegisterDatabaseFile(const std::string& name,
+                                            const std::string& path) {
+  auto db = ReadDatabaseFile(path);
+  if (!db.ok()) return db.status();
+  return RegisterDatabase(name, *std::move(db));
+}
+
+std::vector<std::string> CountingEngine::DatabaseNames() const {
+  std::lock_guard<std::mutex> lock(db_mu_);
+  std::vector<std::string> names;
+  names.reserve(databases_.size());
+  for (const auto& [name, db] : databases_) names.push_back(name);
+  return names;
+}
+
+CountingEngine::RegisteredDatabase CountingEngine::FindDatabase(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(db_mu_);
+  auto it = databases_.find(name);
+  return it == databases_.end() ? RegisteredDatabase{} : it->second;
+}
+
+std::shared_ptr<const QueryPlan> CountingEngine::GetOrBuildPlan(
+    const Query& q, const std::string& db_name, uint64_t db_generation,
+    const Database& db, CanonicalShape* shape, bool* cache_hit) {
+  *shape = CanonicalQueryShape(q);
+  // Scope by database name and generation: the same shape may warrant
+  // different strategies on differently sized databases, and re-registered
+  // contents must never reuse plans costed against the old database.
+  const std::string key = db_name + "\x1f" + std::to_string(db_generation) +
+                          "\x1f" + shape->key;
+  if (auto cached = cache_.Lookup(key)) {
+    *cache_hit = true;
+    return cached;
+  }
+  *cache_hit = false;
+  auto plan = std::make_shared<const QueryPlan>(
+      BuildQueryPlan(q, *shape, db, opts_.plan));
+  cache_.Insert(key, plan);
+  return plan;
+}
+
+StatusOr<EngineResult> CountingEngine::ExecutePlan(
+    const Query& q, const Database& db, const QueryPlan& plan,
+    const CanonicalShape& shape, const CountRequest& request) {
+  EngineResult result;
+  result.strategy = request.force_exact ? Strategy::kExact : plan.strategy;
+  result.kind = plan.classification.kind;
+  result.width = plan.decomposition.width;
+  result.shape_key = plan.shape_key;
+  result.verdict = plan.classification.verdict;
+
+  const double epsilon = request.epsilon > 0 ? request.epsilon : opts_.epsilon;
+  const double delta = request.delta > 0 ? request.delta : opts_.delta;
+  const uint64_t seed =
+      request.seed != 0 ? request.seed : DeriveSeed(opts_.seed, 0);
+
+  // The cached decomposition lives in canonical numbering; the strategies
+  // that run on it map it onto this query's variables (the exact path
+  // never touches it, so it is built lazily).
+  FWidthResult local;
+  auto instantiate = [&]() -> const FWidthResult* {
+    local = plan.decomposition;
+    local.decomposition = InstantiateDecomposition(
+        plan.decomposition.decomposition, shape.to_canonical);
+    local.order.clear();  // The elimination order is unused by execution.
+    return &local;
+  };
+
+  WallTimer timer;
+  switch (result.strategy) {
+    case Strategy::kExact: {
+      result.estimate =
+          static_cast<double>(ExactCountAnswersBruteForce(q, db));
+      result.exact = true;
+      break;
+    }
+    case Strategy::kFptrasTreewidth:
+    case Strategy::kFptrasFhw: {
+      ApproxOptions opts;
+      opts.epsilon = epsilon;
+      opts.delta = delta;
+      opts.seed = seed;
+      opts.objective = plan.objective;
+      opts.exact_decomposition_limit = opts_.plan.exact_decomposition_limit;
+      opts.precomputed_decomposition = instantiate();
+      auto approx = ApproxCountAnswers(q, db, opts);
+      if (!approx.ok()) return approx.status();
+      result.estimate = approx->estimate;
+      result.exact = approx->exact;
+      result.converged = approx->converged;
+      result.oracle_calls = approx->hom_queries + approx->edgefree_calls;
+      break;
+    }
+    case Strategy::kAutomataFpras: {
+      FprasOptions opts;
+      opts.acjr.epsilon = epsilon;
+      opts.acjr.delta = delta;
+      opts.acjr.seed = seed;
+      opts.objective = plan.objective;
+      opts.exact_decomposition_limit = opts_.plan.exact_decomposition_limit;
+      opts.precomputed_decomposition = instantiate();
+      auto fpras = FprasCountCq(q, db, opts);
+      if (!fpras.ok()) return fpras.status();
+      result.estimate = fpras->estimate;
+      result.exact = fpras->exact;
+      result.converged = fpras->converged;
+      result.oracle_calls = fpras->membership_tests;
+      break;
+    }
+    case Strategy::kSampler: {
+      return Status::InvalidArgument(
+          "sampler strategy is not a counting strategy");
+    }
+  }
+  result.exec_millis = timer.Millis();
+  return result;
+}
+
+StatusOr<EngineResult> CountingEngine::Count(const CountRequest& request) {
+  RegisteredDatabase db = FindDatabase(request.database);
+  if (db.db == nullptr) {
+    return Status::NotFound("no database registered as '" + request.database +
+                            "'");
+  }
+  auto query = ParseQuery(request.query);
+  if (!query.ok()) return query.status();
+  Status compatible = query->CheckAgainstDatabase(*db.db);
+  if (!compatible.ok()) return compatible;
+
+  WallTimer plan_timer;
+  CanonicalShape shape;
+  bool cache_hit = false;
+  auto plan = GetOrBuildPlan(*query, request.database, db.generation, *db.db,
+                             &shape, &cache_hit);
+  const double plan_millis = plan_timer.Millis();
+
+  auto result = ExecutePlan(*query, *db.db, *plan, shape, request);
+  if (!result.ok()) return result;
+  result->plan_cache_hit = cache_hit;
+  result->plan_millis = plan_millis;
+  return result;
+}
+
+StatusOr<EngineResult> CountingEngine::Count(const std::string& query,
+                                             const std::string& database) {
+  CountRequest request;
+  request.query = query;
+  request.database = database;
+  return Count(request);
+}
+
+StatusOr<EngineResult> CountingEngine::CountExact(const std::string& query,
+                                                  const std::string& database) {
+  CountRequest request;
+  request.query = query;
+  request.database = database;
+  request.force_exact = true;
+  return Count(request);
+}
+
+StatusOr<Explanation> CountingEngine::Explain(const std::string& query,
+                                              const std::string& database) {
+  RegisteredDatabase db = FindDatabase(database);
+  if (db.db == nullptr) {
+    return Status::NotFound("no database registered as '" + database + "'");
+  }
+  auto q = ParseQuery(query);
+  if (!q.ok()) return q.status();
+  Status compatible = q->CheckAgainstDatabase(*db.db);
+  if (!compatible.ok()) return compatible;
+
+  WallTimer timer;
+  CanonicalShape shape;
+  Explanation out;
+  auto plan = GetOrBuildPlan(*q, database, db.generation, *db.db, &shape,
+                             &out.plan_cache_hit);
+  out.plan_millis = timer.Millis();
+  out.plan = *plan;
+
+  const Classification& cls = plan->classification;
+  std::ostringstream text;
+  text << "query: " << q->ToString() << "\n"
+       << "kind: "
+       << (cls.kind == QueryKind::kCq    ? "CQ"
+           : cls.kind == QueryKind::kDcq ? "DCQ"
+                                         : "ECQ")
+       << "  vars: " << cls.num_vars << " (" << cls.num_free << " free)"
+       << "  ||phi||: " << cls.phi_size << "\n"
+       << "widths: tw<=" << cls.treewidth << "  fhw<=" << cls.fhw << "\n"
+       << "verdict: " << cls.verdict << "\n"
+       << "strategy: " << StrategyName(plan->strategy)
+       << "  (decomposition: " << plan->decomposition.decomposition.num_nodes()
+       << " bags, width " << plan->decomposition.width << ")\n"
+       << "cost estimate: " << plan->cost_estimate
+       << "  plan cache: " << (out.plan_cache_hit ? "hit" : "miss") << "\n";
+  out.text = text.str();
+  return out;
+}
+
+std::vector<StatusOr<EngineResult>> CountingEngine::CountBatch(
+    const std::vector<CountRequest>& requests, int num_threads) {
+  std::vector<StatusOr<EngineResult>> results(
+      requests.size(), StatusOr<EngineResult>(Status::Internal("not executed")));
+  auto run_item = [&](size_t i) {
+    CountRequest request = requests[i];
+    if (request.seed == 0) {
+      request.seed = DeriveSeed(opts_.seed, static_cast<uint64_t>(i));
+    }
+    results[i] = Count(request);
+  };
+  if (num_threads == 1) {
+    for (size_t i = 0; i < requests.size(); ++i) run_item(i);
+  } else if (num_threads <= 0 || num_threads == pool_->num_threads()) {
+    pool_->ParallelFor(requests.size(), run_item);
+  } else {
+    Executor dedicated(num_threads);
+    dedicated.ParallelFor(requests.size(), run_item);
+  }
+  return results;
+}
+
+}  // namespace cqcount

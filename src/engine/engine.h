@@ -1,0 +1,176 @@
+// CountingEngine: the reusable front door to the whole pipeline.
+//
+// The seed entry points (CLI, benches) hand-wired parse -> decompose ->
+// strategy -> execute for every single call. The engine performs that
+// wiring once per query *shape*: plans are classified per the paper's
+// Figure 1, cached in a sharded LRU keyed by canonical shape (isomorphic
+// queries share plans), and executed with full provenance. Batches of
+// independent queries run concurrently on a worker pool with per-item
+// seeds derived deterministically from (base seed, index), so results are
+// bitwise identical regardless of thread count.
+#ifndef CQCOUNT_ENGINE_ENGINE_H_
+#define CQCOUNT_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/plan.h"
+#include "engine/plan_cache.h"
+#include "query/query.h"
+#include "relational/structure.h"
+#include "util/status.h"
+
+namespace cqcount {
+
+/// Engine-wide defaults and sizing.
+struct EngineOptions {
+  /// Default accuracy targets for approximate counts.
+  double epsilon = 0.1;
+  double delta = 0.1;
+  /// Base seed; batch items derive their own via DeriveSeed(seed, index).
+  uint64_t seed = 0xC0FFEEULL;
+  /// Plan cache sizing.
+  size_t plan_cache_capacity = 256;
+  size_t plan_cache_shards = 8;
+  /// Worker pool size for CountBatch (0 = hardware concurrency).
+  int num_threads = 4;
+  /// Planner thresholds.
+  PlanOptions plan;
+};
+
+/// One query of a batch (and the argument of Count).
+struct CountRequest {
+  /// Datalog-style query text, e.g. "ans(x) :- F(x, y), F(x, z), y != z.".
+  std::string query;
+  /// Name of a registered database.
+  std::string database;
+  /// Per-request accuracy overrides (0 = engine default).
+  double epsilon = 0.0;
+  double delta = 0.0;
+  /// Per-request seed override (0 = derived from the engine seed).
+  uint64_t seed = 0;
+  /// Forces the brute-force exact strategy regardless of the plan.
+  bool force_exact = false;
+};
+
+/// A count with execution provenance.
+struct EngineResult {
+  double estimate = 0.0;
+  /// True when the strategy produced an exact answer.
+  bool exact = false;
+  /// False when a sampling cap was hit before the target interval.
+  bool converged = true;
+  /// Strategy that actually ran.
+  Strategy strategy = Strategy::kExact;
+  QueryKind kind = QueryKind::kCq;
+  /// Width of the decomposition the execution ran on.
+  double width = 0.0;
+  /// Oracle work: hom-oracle calls plus estimator membership tests.
+  uint64_t oracle_calls = 0;
+  /// True when the plan came from the cache (decomposition not recomputed).
+  bool plan_cache_hit = false;
+  double plan_millis = 0.0;
+  double exec_millis = 0.0;
+  /// Canonical shape key (cache key sans database scope).
+  std::string shape_key;
+  /// Figure-1 verdict for the query's shape.
+  std::string verdict;
+};
+
+/// Explain() output: the plan, without execution.
+struct Explanation {
+  QueryPlan plan;
+  bool plan_cache_hit = false;
+  double plan_millis = 0.0;
+  /// Multi-line human-readable rendering.
+  std::string text;
+};
+
+/// Thread-safe counting engine with a named-database registry, a shared
+/// plan cache and a worker pool. All public methods may be called
+/// concurrently.
+class CountingEngine {
+ public:
+  explicit CountingEngine(EngineOptions opts = {});
+  ~CountingEngine();
+
+  /// Registers `db` under `name` (replacing any previous database of that
+  /// name; plans cached for the old contents are invalidated). Relations
+  /// are canonicalised eagerly so the shared snapshot is safe to read from
+  /// concurrent workers. Queries refer to databases by name.
+  Status RegisterDatabase(const std::string& name, Database db);
+
+  /// Reads a database file (relational/database_io format) and registers it.
+  Status RegisterDatabaseFile(const std::string& name, const std::string& path);
+
+  /// Registered database names, sorted.
+  std::vector<std::string> DatabaseNames() const;
+
+  /// Plans (cached) and executes one counting request.
+  StatusOr<EngineResult> Count(const CountRequest& request);
+  StatusOr<EngineResult> Count(const std::string& query,
+                               const std::string& database);
+
+  /// Exact count via the brute-force strategy (plans for provenance only).
+  StatusOr<EngineResult> CountExact(const std::string& query,
+                                    const std::string& database);
+
+  /// Plans without executing: the Figure-1 verdict, chosen strategy,
+  /// decomposition shape and cost estimate.
+  StatusOr<Explanation> Explain(const std::string& query,
+                                const std::string& database);
+
+  /// Executes independent requests concurrently. `num_threads` <= 0 uses
+  /// the engine's own pool; otherwise a dedicated pool of that size is
+  /// used. Results are positionally aligned with `requests` and are
+  /// bitwise identical for every thread count (per-item derived seeds).
+  std::vector<StatusOr<EngineResult>> CountBatch(
+      const std::vector<CountRequest>& requests, int num_threads = 0);
+
+  /// Plan-cache counters (hits mean the decomposition was not recomputed).
+  PlanCacheStats CacheStats() const { return cache_.Stats(); }
+
+  /// Drops all cached plans (e.g. after re-registering a database).
+  void InvalidatePlans() { cache_.Clear(); }
+
+  const EngineOptions& options() const { return opts_; }
+
+ private:
+  struct RegisteredDatabase {
+    std::shared_ptr<const Database> db;
+    /// Bumped on re-registration; part of the plan-cache key, so stale
+    /// plans become unreachable and age out of the LRU.
+    uint64_t generation = 0;
+  };
+
+  RegisteredDatabase FindDatabase(const std::string& name) const;
+
+  /// Plans for (q, db) through the cache. Returns the shared plan and the
+  /// query's canonical shape; sets `*cache_hit`.
+  std::shared_ptr<const QueryPlan> GetOrBuildPlan(const Query& q,
+                                                  const std::string& db_name,
+                                                  uint64_t db_generation,
+                                                  const Database& db,
+                                                  CanonicalShape* shape,
+                                                  bool* cache_hit);
+
+  StatusOr<EngineResult> ExecutePlan(const Query& q, const Database& db,
+                                     const QueryPlan& plan,
+                                     const CanonicalShape& shape,
+                                     const CountRequest& request);
+
+  EngineOptions opts_;
+  mutable std::mutex db_mu_;
+  std::map<std::string, RegisteredDatabase> databases_;
+  PlanCache cache_;
+  std::unique_ptr<Executor> pool_;
+};
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_ENGINE_ENGINE_H_

@@ -1,0 +1,86 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+
+namespace cqcount {
+
+uint64_t DeriveSeed(uint64_t base_seed, uint64_t index) {
+  uint64_t z = base_seed + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Executor::Executor(int num_threads) {
+  num_threads = std::max(1, num_threads);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void Executor::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void Executor::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void Executor::ParallelFor(size_t num_tasks,
+                           const std::function<void(size_t)>& task) {
+  if (num_tasks == 0) return;
+  // Per-call completion state: concurrent ParallelFor calls sharing this
+  // pool must not block on each other's tasks (Wait() would).
+  struct Completion {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+  };
+  auto completion = std::make_shared<Completion>();
+  completion->remaining = num_tasks;
+  for (size_t i = 0; i < num_tasks; ++i) {
+    Submit([completion, &task, i] {
+      task(i);
+      std::lock_guard<std::mutex> lock(completion->mu);
+      if (--completion->remaining == 0) completion->cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(completion->mu);
+  completion->cv.wait(lock, [&] { return completion->remaining == 0; });
+}
+
+void Executor::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutdown with a drained queue.
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace cqcount

@@ -1,0 +1,124 @@
+// Query plans for the counting engine.
+//
+// A QueryPlan captures everything about a query that is independent of the
+// concrete variable names and can therefore be shared between isomorphic
+// queries: the paper's Figure-1 classification verdict, the counting
+// strategy selected from it, the (canonically numbered) tree decomposition
+// the strategy runs on, and a coarse cost estimate. Plans are produced by
+// BuildQueryPlan and cached by PlanCache under the canonical shape key, so
+// a warm engine never recomputes a decomposition for a query shape it has
+// seen before.
+#ifndef CQCOUNT_ENGINE_PLAN_H_
+#define CQCOUNT_ENGINE_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "decomposition/width_measures.h"
+#include "query/query.h"
+#include "relational/structure.h"
+
+namespace cqcount {
+
+/// Counting strategy selected by the planner.
+enum class Strategy {
+  /// Brute-force exact enumeration (small instances; always correct).
+  kExact,
+  /// FPTRAS over a treewidth-optimised decomposition (Theorem 5).
+  kFptrasTreewidth,
+  /// FPTRAS over an fhw-optimised decomposition (Theorem 13 regime).
+  kFptrasFhw,
+  /// Counting-automaton FPRAS for pure CQs (Theorem 16).
+  kAutomataFpras,
+  /// JVV-style answer sampling machinery (Section 6).
+  kSampler,
+};
+
+/// Human-readable strategy name ("exact", "fptras-tw", ...).
+const char* StrategyName(Strategy strategy);
+
+/// The Figure-1 classification verdict for a query shape.
+struct Classification {
+  QueryKind kind = QueryKind::kCq;
+  /// Width of the best treewidth-objective decomposition found.
+  double treewidth = 0.0;
+  /// Fhw of the best fhw-objective decomposition found.
+  double fhw = 0.0;
+  uint64_t phi_size = 0;
+  int num_free = 0;
+  int num_vars = 0;
+  /// Theorem 5: FPTRAS in the bounded-arity regime (small treewidth).
+  bool fptras_bounded_arity = false;
+  /// Theorem 13: FPTRAS in the unbounded-arity regime (small fhw, no
+  /// negated atoms in the way).
+  bool fptras_unbounded_arity = false;
+  /// Theorem 16: FPRAS (pure CQ with small fhw).
+  bool fpras = false;
+  /// One-line human-readable verdict citing the applicable theorems.
+  std::string verdict;
+};
+
+/// Canonical shape of a query: isomorphic queries (variable renamings and
+/// atom reorderings) produce the same key. `to_canonical[v]` maps query
+/// variable v to its canonical index; free variables map to free canonical
+/// indices.
+struct CanonicalShape {
+  std::string key;
+  std::vector<int> to_canonical;
+};
+
+/// Computes the canonical shape. Deterministic; colour-refinement with
+/// bounded individualisation, so isomorphic queries share keys in all
+/// practical cases and distinct shapes never produce a false match (keys
+/// encode the full query structure, not just a hash).
+CanonicalShape CanonicalQueryShape(const Query& q);
+
+/// Planner thresholds (Figure-1 boundaries plus cost heuristics).
+struct PlanOptions {
+  /// Exact-width search is used for hypergraphs up to this many variables.
+  int exact_decomposition_limit = 14;
+  /// Treewidth at or below this selects the Theorem 5 FPTRAS.
+  double treewidth_threshold = 4.0;
+  /// Fhw at or below this selects the Theorem 13 / 16 regimes.
+  double fhw_threshold = 4.0;
+  /// Brute-force exact counting is selected below this estimated cost
+  /// (roughly: tuples enumerated).
+  double exact_cost_limit = 1e6;
+};
+
+/// A cached, database-name-scoped execution plan in canonical variable
+/// numbering.
+struct QueryPlan {
+  /// Canonical shape key the plan was built for.
+  std::string shape_key;
+  Classification classification;
+  Strategy strategy = Strategy::kExact;
+  /// Decomposition objective the strategy runs with.
+  WidthObjective objective = WidthObjective::kTreewidth;
+  /// Decomposition of the canonical hypergraph (bags hold canonical
+  /// variable indices). Instantiate per query with InstantiateDecomposition.
+  FWidthResult decomposition;
+  /// Rough cost estimate of executing the plan (arbitrary units).
+  double cost_estimate = 0.0;
+  /// Universe size the cost estimate was computed against.
+  uint32_t planned_universe = 0;
+};
+
+/// Builds a plan for (q, db): classifies the shape per Figure 1, selects a
+/// strategy, and computes the decomposition the strategy needs. `shape` must
+/// be CanonicalQueryShape(q). Both width searches always run — even when
+/// the planner ends up choosing brute force — because the classification
+/// verdict is part of every plan's provenance (Explain contract); the cost
+/// is bounded by exact_decomposition_limit and amortised by the cache.
+QueryPlan BuildQueryPlan(const Query& q, const CanonicalShape& shape,
+                         const Database& db, const PlanOptions& opts);
+
+/// Maps a canonical-space decomposition back onto the variables of a query
+/// with the given canonical mapping (inverse of `to_canonical`).
+TreeDecomposition InstantiateDecomposition(const TreeDecomposition& canonical,
+                                           const std::vector<int>& to_canonical);
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_ENGINE_PLAN_H_

@@ -13,6 +13,8 @@ struct Token {
   enum Kind { kIdent, kLParen, kRParen, kComma, kBang, kNeq, kEq, kTurnstile,
               kPeriod, kEnd } kind;
   std::string text;
+  /// Byte offset of the token's first character in the query text.
+  size_t offset = 0;
 };
 
 class Lexer {
@@ -35,46 +37,48 @@ class Lexer {
                 text_[j] == '_' || text_[j] == '\'')) {
           ++j;
         }
-        tokens.push_back({Token::kIdent, text_.substr(i, j - i)});
+        tokens.push_back({Token::kIdent, text_.substr(i, j - i), i});
         i = j;
         continue;
       }
       switch (c) {
         case '(':
-          tokens.push_back({Token::kLParen, "("});
+          tokens.push_back({Token::kLParen, "(", i});
           ++i;
           break;
         case ')':
-          tokens.push_back({Token::kRParen, ")"});
+          tokens.push_back({Token::kRParen, ")", i});
           ++i;
           break;
         case ',':
-          tokens.push_back({Token::kComma, ","});
+          tokens.push_back({Token::kComma, ",", i});
           ++i;
           break;
         case '.':
-          tokens.push_back({Token::kPeriod, "."});
+          tokens.push_back({Token::kPeriod, ".", i});
           ++i;
           break;
         case '!':
           if (i + 1 < text_.size() && text_[i + 1] == '=') {
-            tokens.push_back({Token::kNeq, "!="});
+            tokens.push_back({Token::kNeq, "!=", i});
             i += 2;
           } else {
-            tokens.push_back({Token::kBang, "!"});
+            tokens.push_back({Token::kBang, "!", i});
             ++i;
           }
           break;
         case '=':
-          tokens.push_back({Token::kEq, "="});
+          tokens.push_back({Token::kEq, "=", i});
           ++i;
           break;
         case ':':
           if (i + 1 < text_.size() && text_[i + 1] == '-') {
-            tokens.push_back({Token::kTurnstile, ":-"});
+            tokens.push_back({Token::kTurnstile, ":-", i});
             i += 2;
           } else {
-            return Status::InvalidArgument("expected ':-'");
+            std::ostringstream msg;
+            msg << "expected ':-' at offset " << i;
+            return Status::InvalidArgument(msg.str());
           }
           break;
         default: {
@@ -84,7 +88,7 @@ class Lexer {
         }
       }
     }
-    tokens.push_back({Token::kEnd, ""});
+    tokens.push_back({Token::kEnd, "", text_.size()});
     return tokens;
   }
 
@@ -190,9 +194,14 @@ class Parser {
     return true;
   }
   Status Error(const std::string& message) const {
+    const Token& at = tokens_[pos_];
     std::ostringstream msg;
-    msg << message << " (near token " << pos_ << ": '" << tokens_[pos_].text
-        << "')";
+    msg << message << " at offset " << at.offset;
+    if (at.kind == Token::kEnd) {
+      msg << " (at end of input)";
+    } else {
+      msg << " (near '" << at.text << "')";
+    }
     return Status::InvalidArgument(msg.str());
   }
 

@@ -1,0 +1,230 @@
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "app/graph_gen.h"
+#include "app/workload.h"
+#include "counting/exact_count.h"
+#include "counting/fptras.h"
+#include "query/parser.h"
+
+namespace cqcount {
+namespace {
+
+Database Social(uint32_t n, uint64_t seed) {
+  Rng rng(seed);
+  return SocialNetworkDb(n, 5.0, 0.5, rng);
+}
+
+TEST(EngineTest, UnknownDatabaseIsNotFound) {
+  CountingEngine engine;
+  auto result = engine.Count("ans(x) :- F(x, y).", "nope");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EngineTest, ParseErrorsPropagate) {
+  CountingEngine engine;
+  ASSERT_TRUE(engine.RegisterDatabase("g", Social(20, 1)).ok());
+  auto result = engine.Count("ans(x) :- F(x,", "g");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, ExactStrategyMatchesBruteForce) {
+  CountingEngine engine;
+  Database db = Social(30, 2);
+  ASSERT_TRUE(engine.RegisterDatabase("g", db).ok());
+
+  const std::string query = "ans(x) :- F(x, y), F(x, z), y != z.";
+  auto result = engine.CountExact(query, "g");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->exact);
+  EXPECT_EQ(result->strategy, Strategy::kExact);
+
+  auto parsed = ParseQuery(query);
+  ASSERT_TRUE(parsed.ok());
+  const uint64_t exact = ExactCountAnswersBruteForce(*parsed, db);
+  EXPECT_DOUBLE_EQ(result->estimate, static_cast<double>(exact));
+}
+
+TEST(EngineTest, SmallInstancePlansChooseExact) {
+  CountingEngine engine;
+  ASSERT_TRUE(engine.RegisterDatabase("g", Social(30, 3)).ok());
+  auto result = engine.Count("ans(x) :- F(x, y), F(x, z), y != z.", "g");
+  ASSERT_TRUE(result.ok());
+  // 30^3 assignments is far below the exact-cost limit: planner picks the
+  // brute-force strategy and the answer is exact.
+  EXPECT_EQ(result->strategy, Strategy::kExact);
+  EXPECT_TRUE(result->exact);
+}
+
+TEST(EngineTest, ApproxPathMatchesDirectPipelineBitwise) {
+  // Universe large enough that the planner rejects brute force.
+  Database db = Social(300, 4);
+  CountingEngine engine;
+  ASSERT_TRUE(engine.RegisterDatabase("g", db).ok());
+
+  const std::string query = "ans(x) :- F(x, y), F(x, z), y != z.";
+  CountRequest request;
+  request.query = query;
+  request.database = "g";
+  request.seed = 0xFEEDULL;
+  auto via_engine = engine.Count(request);
+  ASSERT_TRUE(via_engine.ok()) << via_engine.status().ToString();
+  EXPECT_EQ(via_engine->strategy, Strategy::kFptrasTreewidth);
+
+  auto parsed = ParseQuery(query);
+  ASSERT_TRUE(parsed.ok());
+  ApproxOptions direct;
+  direct.epsilon = engine.options().epsilon;
+  direct.delta = engine.options().delta;
+  direct.seed = 0xFEEDULL;
+  direct.objective = WidthObjective::kTreewidth;
+  direct.exact_decomposition_limit =
+      engine.options().plan.exact_decomposition_limit;
+  auto via_pipeline = ApproxCountAnswers(*parsed, db, direct);
+  ASSERT_TRUE(via_pipeline.ok()) << via_pipeline.status().ToString();
+
+  // Same seed, same decomposition, same estimator: bitwise identical.
+  EXPECT_EQ(via_engine->estimate, via_pipeline->estimate);
+  EXPECT_EQ(via_engine->exact, via_pipeline->exact);
+}
+
+TEST(EngineTest, WarmCacheSkipsDecompositionRecomputation) {
+  CountingEngine engine;
+  ASSERT_TRUE(engine.RegisterDatabase("g", Social(40, 5)).ok());
+
+  const std::string query = "ans(x) :- F(x, y), F(x, z), y != z.";
+  auto cold = engine.Count(query, "g");
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->plan_cache_hit);
+  PlanCacheStats after_cold = engine.CacheStats();
+  EXPECT_EQ(after_cold.hits, 0u);
+  EXPECT_EQ(after_cold.misses, 1u);
+  EXPECT_EQ(after_cold.insertions, 1u);
+
+  auto warm = engine.Count(query, "g");
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->plan_cache_hit);
+  PlanCacheStats after_warm = engine.CacheStats();
+  // The hit is exactly the decomposition-recomputation skip: no new plan
+  // was inserted, so ComputeDecomposition ran only once.
+  EXPECT_EQ(after_warm.hits, 1u);
+  EXPECT_EQ(after_warm.insertions, 1u);
+  EXPECT_EQ(warm->estimate, cold->estimate);
+}
+
+TEST(EngineTest, IsomorphicQueriesShareOnePlan) {
+  CountingEngine engine;
+  ASSERT_TRUE(engine.RegisterDatabase("g", Social(40, 6)).ok());
+
+  auto first = engine.Count("ans(x) :- F(x, y), F(x, z), y != z.", "g");
+  ASSERT_TRUE(first.ok());
+  auto renamed = engine.Count("ans(a) :- F(a, b), F(a, c), b != c.", "g");
+  ASSERT_TRUE(renamed.ok());
+
+  EXPECT_TRUE(renamed->plan_cache_hit);
+  EXPECT_EQ(first->shape_key, renamed->shape_key);
+  EXPECT_EQ(engine.CacheStats().insertions, 1u);
+  // Same database and strategy: the counts must agree exactly.
+  EXPECT_EQ(first->estimate, renamed->estimate);
+}
+
+TEST(EngineTest, DatabasesScopePlansIndependently) {
+  CountingEngine engine;
+  ASSERT_TRUE(engine.RegisterDatabase("small", Social(30, 7)).ok());
+  ASSERT_TRUE(engine.RegisterDatabase("large", Social(300, 8)).ok());
+
+  const std::string query = "ans(x) :- F(x, y), F(x, z), y != z.";
+  auto small = engine.Count(query, "small");
+  auto large = engine.Count(query, "large");
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  // Same shape, different databases: plans are scoped per database and
+  // may select different strategies.
+  EXPECT_EQ(engine.CacheStats().insertions, 2u);
+  EXPECT_EQ(small->strategy, Strategy::kExact);
+  EXPECT_EQ(large->strategy, Strategy::kFptrasTreewidth);
+}
+
+TEST(EngineTest, ExplainReportsVerdictAndPlan) {
+  CountingEngine engine;
+  ASSERT_TRUE(engine.RegisterDatabase("g", Social(40, 9)).ok());
+
+  auto explanation =
+      engine.Explain("ans(x, y) :- F(x, y), !Adult(x), x != y.", "g");
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  EXPECT_EQ(explanation->plan.classification.kind, QueryKind::kEcq);
+  EXPECT_TRUE(explanation->plan.classification.fptras_bounded_arity);
+  EXPECT_NE(explanation->text.find("Theorem 5"), std::string::npos);
+  EXPECT_NE(explanation->text.find("strategy:"), std::string::npos);
+
+  // Explain shares the plan cache with Count.
+  auto again = engine.Explain("ans(x, y) :- F(x, y), !Adult(x), x != y.", "g");
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->plan_cache_hit);
+}
+
+TEST(EngineTest, FprasStrategyRunsForPureCqs) {
+  CountingEngine engine;
+  ASSERT_TRUE(engine.RegisterDatabase("g", Social(30, 10)).ok());
+  auto result = engine.Count("ans(x, y) :- F(x, y).", "g");
+  ASSERT_TRUE(result.ok());
+  // Tiny instance: exact; the classification must still note the FPRAS.
+  EXPECT_NE(result->verdict.find("FPRAS"), std::string::npos);
+}
+
+TEST(EngineTest, ReregistrationInvalidatesCachedPlans) {
+  CountingEngine engine;
+  ASSERT_TRUE(engine.RegisterDatabase("g", Social(30, 12)).ok());
+  const std::string query = "ans(x) :- F(x, y), F(x, z), y != z.";
+  auto small = engine.Count(query, "g");
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small->strategy, Strategy::kExact);
+
+  // Replace the contents under the same name with a database the planner
+  // must treat differently: the stale exact plan must not be reused.
+  ASSERT_TRUE(engine.RegisterDatabase("g", Social(300, 13)).ok());
+  auto large = engine.Count(query, "g");
+  ASSERT_TRUE(large.ok());
+  EXPECT_FALSE(large->plan_cache_hit);
+  EXPECT_EQ(large->strategy, Strategy::kFptrasTreewidth);
+
+  // And the new plan is cached under the new generation.
+  auto warm = engine.Count(query, "g");
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->plan_cache_hit);
+}
+
+TEST(EngineTest, CacheEvictionKeepsCountsCorrect) {
+  EngineOptions opts;
+  opts.plan_cache_capacity = 2;
+  opts.plan_cache_shards = 1;
+  CountingEngine engine(opts);
+  Database db = Social(25, 11);
+  ASSERT_TRUE(engine.RegisterDatabase("g", db).ok());
+
+  const std::vector<std::string> queries = {
+      "ans(x) :- F(x, y).",
+      "ans(x) :- F(x, y), F(y, z).",
+      "ans(x) :- F(x, y), F(x, z), y != z.",
+  };
+  std::vector<double> first_pass;
+  for (const auto& q : queries) {
+    auto r = engine.Count(q, "g");
+    ASSERT_TRUE(r.ok());
+    first_pass.push_back(r->estimate);
+  }
+  EXPECT_GE(engine.CacheStats().evictions, 1u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto r = engine.Count(queries[i], "g");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->estimate, first_pass[i]) << queries[i];
+  }
+}
+
+}  // namespace
+}  // namespace cqcount

@@ -98,6 +98,59 @@ TEST(ParserTest, RoundTripThroughToString) {
   EXPECT_EQ(q2->PhiSize(), q->PhiSize());
 }
 
+TEST(ParserTest, ErrorsCarryTokenAndPosition) {
+  // Unexpected ')' after the malformed argument list: the message must
+  // name the offending token and its byte offset.
+  auto q = ParseQuery("ans(x) :- R(x,).");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("offset 14"), std::string::npos)
+      << q.status().message();
+  EXPECT_NE(q.status().message().find("')'"), std::string::npos)
+      << q.status().message();
+
+  // Truncated input: the error points at the end of the text.
+  auto truncated = ParseQuery("ans(x) :- R(x,");
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_NE(truncated.status().message().find("offset 14"), std::string::npos)
+      << truncated.status().message();
+  EXPECT_NE(truncated.status().message().find("end of input"),
+            std::string::npos)
+      << truncated.status().message();
+
+  // Lexer-level error: bad ':' reports its offset.
+  auto colon = ParseQuery("ans(x) : R(x).");
+  ASSERT_FALSE(colon.ok());
+  EXPECT_NE(colon.status().message().find("offset 7"), std::string::npos)
+      << colon.status().message();
+
+  // Trailing garbage names the first unconsumed token.
+  auto trailing = ParseQuery("ans(x) :- R(x) S(x)");
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_NE(trailing.status().message().find("offset 15"), std::string::npos)
+      << trailing.status().message();
+  EXPECT_NE(trailing.status().message().find("'S'"), std::string::npos)
+      << trailing.status().message();
+}
+
+TEST(ParserTest, RoundTripMixedNegationAndDisequality) {
+  // The ISSUE's exemplar shape: a negated atom next to a disequality.
+  const std::string text = "ans(x, y) :- R(x, y), !T(x, y), x != y.";
+  auto q = ParseQuery(text);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->Kind(), QueryKind::kEcq);
+  EXPECT_EQ(q->NumNegatedAtoms(), 1);
+  ASSERT_EQ(q->disequalities().size(), 1u);
+
+  auto q2 = ParseQuery(q->ToString());
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+  EXPECT_EQ(q2->ToString(), q->ToString());
+  EXPECT_EQ(q2->Kind(), QueryKind::kEcq);
+  EXPECT_EQ(q2->NumNegatedAtoms(), q->NumNegatedAtoms());
+  EXPECT_EQ(q2->disequalities(), q->disequalities());
+  EXPECT_EQ(q2->num_free(), q->num_free());
+  EXPECT_EQ(q2->PhiSize(), q->PhiSize());
+}
+
 TEST(ParserTest, RepeatedVariableInsideAtom) {
   auto q = ParseQuery("ans(x) :- E(x, x).");
   ASSERT_TRUE(q.ok());
