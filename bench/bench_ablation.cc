@@ -71,6 +71,7 @@ int Run() {
       }
       (void)final_db.AddFact("S", std::move(t));
     }
+    final_db.Canonicalize();
     bench::Row("\n(b) Hom-oracle decomposition objective (wide-atom DCQ)");
     bench::Row("%-22s %10s %12s %12s", "objective", "width", "estimate",
                "ms");

@@ -8,6 +8,7 @@
 //       produce bitwise-identical estimates).
 // Writes the measurements as JSON (default BENCH_engine.json, or argv[1])
 // so future PRs have a perf trajectory to compare against.
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -16,6 +17,7 @@
 #include "app/workload.h"
 #include "bench_util.h"
 #include "engine/engine.h"
+#include "engine/executor.h"
 #include "util/timer.h"
 
 namespace cqcount {
@@ -134,6 +136,27 @@ int Run(const std::string& json_path) {
   bench::Row("determinism across thread counts: %s",
              deterministic ? "OK (bitwise identical)" : "VIOLATED");
 
+  // (c) pool serialization probe. CPU-bound batch scaling is capped by
+  // hardware_concurrency (1 on single-core runners), so this isolates the
+  // executor itself: sleep-bound tasks scale with threads unless a shared
+  // lock serialises dispatch/completion.
+  constexpr int kProbeTasks = 8;
+  constexpr int kProbeSleepMs = 25;
+  auto probe = [&](int threads) {
+    Executor pool(threads);
+    WallTimer timer;
+    pool.ParallelFor(kProbeTasks, [&](size_t) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(kProbeSleepMs));
+    });
+    return timer.Millis();
+  };
+  const double probe_1t = probe(1);
+  const double probe_4t = probe(4);
+  const double pool_speedup = probe_1t / probe_4t;
+  bench::Row("\n(c) executor probe: %d sleep(%dms) tasks, 1t=%.1fms "
+             "4t=%.1fms speedup=%.2fx",
+             kProbeTasks, kProbeSleepMs, probe_1t, probe_4t, pool_speedup);
+
   PlanCacheStats stats = engine.CacheStats();
   bench::Row("plan cache: %llu hits, %llu misses, %llu evictions",
              static_cast<unsigned long long>(stats.hits),
@@ -168,8 +191,17 @@ int Run(const std::string& json_path) {
                  i + 1 < points.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"pool_probe\": {\"tasks\": %d, \"task_sleep_ms\": %d, "
+               "\"millis_1t\": %.1f, \"millis_4t\": %.1f, "
+               "\"speedup_4t\": %.2f},\n",
+               kProbeTasks, kProbeSleepMs, probe_1t, probe_4t, pool_speedup);
   std::fprintf(out, "  \"deterministic\": %s,\n",
                deterministic ? "true" : "false");
+  std::fprintf(out,
+               "  \"note\": \"CPU-bound batch scaling is capped by "
+               "hardware_threads; pool_probe isolates executor dispatch "
+               "(sleep-bound tasks) from that ceiling\",\n");
   std::fprintf(out,
                "  \"plan_cache\": {\"hits\": %llu, \"misses\": %llu, "
                "\"evictions\": %llu}\n",

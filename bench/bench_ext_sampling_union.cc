@@ -37,7 +37,8 @@ int Run() {
     }
     const double expected = static_cast<double>(draws) / support;
     double chi2 = 0.0;
-    for (const Tuple& answer : truth.answers()) {
+    for (TupleView view : truth.answers()) {
+      const Tuple answer = MaterializeTuple(view);
       const double observed = counts.count(answer) ? counts[answer] : 0.0;
       chi2 += (observed - expected) * (observed - expected) / expected;
     }

@@ -1,0 +1,225 @@
+// EXP-REL: microbenchmarks for the flat relation storage layer.
+//
+// Measures the four substrate operations every estimator leans on —
+// build (stage + canonicalise), full scan, prefix-range descent, and
+// projection — at arities 2..5, and compares against the historical
+// boxed representation (std::vector<Tuple>, one heap allocation per
+// tuple) reimplemented here as the before/after baseline. Writes the
+// measurements as JSON (default BENCH_relation.json, or argv[1]).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "relational/relation.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace cqcount {
+namespace {
+
+constexpr int kRows = 200000;
+constexpr int kUniverse = 1000;
+constexpr int kScanRepeats = 20;
+constexpr int kProbeRepeats = 400000;
+
+// The pre-PR2 boxed storage, reduced to the operations measured here.
+struct BoxedRelation {
+  int arity = 0;
+  std::vector<Tuple> tuples;
+
+  void Canonicalize() {
+    std::sort(tuples.begin(), tuples.end());
+    tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+  }
+  std::pair<size_t, size_t> NarrowRange(size_t from, size_t to, size_t col,
+                                        Value v) const {
+    auto first = std::lower_bound(
+        tuples.begin() + from, tuples.begin() + to, v,
+        [col](const Tuple& t, Value value) { return t[col] < value; });
+    auto last = std::upper_bound(
+        first, tuples.begin() + to, v,
+        [col](Value value, const Tuple& t) { return value < t[col]; });
+    return {static_cast<size_t>(first - tuples.begin()),
+            static_cast<size_t>(last - tuples.begin())};
+  }
+  BoxedRelation Project(const std::vector<int>& positions) const {
+    BoxedRelation out;
+    out.arity = static_cast<int>(positions.size());
+    out.tuples.reserve(tuples.size());
+    for (const Tuple& t : tuples) {
+      Tuple p;
+      p.reserve(positions.size());
+      for (int pos : positions) p.push_back(t[pos]);
+      out.tuples.push_back(std::move(p));
+    }
+    out.Canonicalize();
+    return out;
+  }
+};
+
+struct OpTimes {
+  double build_ms = 0.0;
+  double scan_ms = 0.0;
+  double range_ms = 0.0;
+  double project_ms = 0.0;
+};
+
+std::vector<Tuple> RandomRows(int arity, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> rows;
+  rows.reserve(kRows);
+  for (int i = 0; i < kRows; ++i) {
+    Tuple t(arity);
+    for (int k = 0; k < arity; ++k) {
+      t[k] = static_cast<Value>(rng.UniformInt(kUniverse));
+    }
+    rows.push_back(std::move(t));
+  }
+  return rows;
+}
+
+OpTimes MeasureFlat(const std::vector<Tuple>& rows, int arity,
+                    uint64_t* sink) {
+  OpTimes times;
+  WallTimer timer;
+  Relation rel(arity);
+  for (const Tuple& t : rows) rel.Add(t);
+  rel.Canonicalize();
+  times.build_ms = timer.Millis();
+
+  timer.Reset();
+  uint64_t sum = 0;
+  for (int repeat = 0; repeat < kScanRepeats; ++repeat) {
+    for (TupleView t : rel) sum += t[0];
+  }
+  times.scan_ms = timer.Millis() / kScanRepeats;
+
+  timer.Reset();
+  Rng rng(4);
+  size_t hits = 0;
+  for (int probe = 0; probe < kProbeRepeats; ++probe) {
+    const Value v = static_cast<Value>(rng.UniformInt(kUniverse));
+    const auto [lo, hi] = rel.NarrowRange(0, rel.size(), 0, v);
+    hits += hi - lo;
+  }
+  times.range_ms = timer.Millis();
+
+  timer.Reset();
+  std::vector<int> positions;
+  for (int k = arity - 1; k >= 1; --k) positions.push_back(k);
+  Relation projected = rel.Project(positions);
+  times.project_ms = timer.Millis();
+
+  *sink += sum + hits + projected.size();
+  return times;
+}
+
+OpTimes MeasureBoxed(const std::vector<Tuple>& rows, int arity,
+                     uint64_t* sink) {
+  OpTimes times;
+  WallTimer timer;
+  BoxedRelation rel;
+  rel.arity = arity;
+  for (const Tuple& t : rows) rel.tuples.push_back(t);
+  rel.Canonicalize();
+  times.build_ms = timer.Millis();
+
+  timer.Reset();
+  uint64_t sum = 0;
+  for (int repeat = 0; repeat < kScanRepeats; ++repeat) {
+    for (const Tuple& t : rel.tuples) sum += t[0];
+  }
+  times.scan_ms = timer.Millis() / kScanRepeats;
+
+  timer.Reset();
+  Rng rng(4);
+  size_t hits = 0;
+  for (int probe = 0; probe < kProbeRepeats; ++probe) {
+    const Value v = static_cast<Value>(rng.UniformInt(kUniverse));
+    const auto [lo, hi] = rel.NarrowRange(0, rel.tuples.size(), 0, v);
+    hits += hi - lo;
+  }
+  times.range_ms = timer.Millis();
+
+  timer.Reset();
+  std::vector<int> positions;
+  for (int k = arity - 1; k >= 1; --k) positions.push_back(k);
+  BoxedRelation projected = rel.Project(positions);
+  times.project_ms = timer.Millis();
+
+  *sink += sum + hits + projected.tuples.size();
+  return times;
+}
+
+}  // namespace
+
+int Run(const std::string& json_path) {
+  bench::Header("EXP-REL",
+                "relation storage: flat (arity-strided) vs boxed tuples");
+  bench::Row("%d rows, universe %d; scan avg over %d passes", kRows,
+             kUniverse, kScanRepeats);
+  bench::Row("%6s %8s %12s %12s %12s %12s", "arity", "layout", "build_ms",
+             "scan_ms", "range_ms", "project_ms");
+
+  uint64_t sink = 0;
+  struct Entry {
+    int arity;
+    OpTimes flat;
+    OpTimes boxed;
+  };
+  std::vector<Entry> entries;
+  for (int arity = 2; arity <= 5; ++arity) {
+    const std::vector<Tuple> rows = RandomRows(arity, 1000 + arity);
+    Entry e;
+    e.arity = arity;
+    e.flat = MeasureFlat(rows, arity, &sink);
+    e.boxed = MeasureBoxed(rows, arity, &sink);
+    entries.push_back(e);
+    bench::Row("%6d %8s %12.2f %12.2f %12.2f %12.2f", arity, "flat",
+               e.flat.build_ms, e.flat.scan_ms, e.flat.range_ms,
+               e.flat.project_ms);
+    bench::Row("%6d %8s %12.2f %12.2f %12.2f %12.2f", arity, "boxed",
+               e.boxed.build_ms, e.boxed.scan_ms, e.boxed.range_ms,
+               e.boxed.project_ms);
+  }
+
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"relation_storage\",\n");
+  std::fprintf(out, "  \"rows\": %d,\n", kRows);
+  std::fprintf(out, "  \"universe\": %d,\n", kUniverse);
+  std::fprintf(out, "  \"entries\": [\n");
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    std::fprintf(
+        out,
+        "    {\"arity\": %d, "
+        "\"flat\": {\"build_ms\": %.2f, \"scan_ms\": %.2f, "
+        "\"range_ms\": %.2f, \"project_ms\": %.2f}, "
+        "\"boxed\": {\"build_ms\": %.2f, \"scan_ms\": %.2f, "
+        "\"range_ms\": %.2f, \"project_ms\": %.2f}}%s\n",
+        e.arity, e.flat.build_ms, e.flat.scan_ms, e.flat.range_ms,
+        e.flat.project_ms, e.boxed.build_ms, e.boxed.scan_ms,
+        e.boxed.range_ms, e.boxed.project_ms,
+        i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"checksum\": %llu\n",
+               static_cast<unsigned long long>(sink));
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  bench::Row("wrote %s", json_path.c_str());
+  return 0;
+}
+
+}  // namespace cqcount
+
+int main(int argc, char** argv) {
+  return cqcount::Run(argc > 1 ? argv[1] : "BENCH_relation.json");
+}

@@ -21,6 +21,40 @@
 namespace cqcount {
 namespace {
 
+void BM_RelationCanonicalize(benchmark::State& state) {
+  Rng rng(21);
+  const size_t rows = static_cast<size_t>(state.range(0));
+  std::vector<Value> staged;
+  staged.reserve(rows * 2);
+  for (size_t i = 0; i < rows * 2; ++i) {
+    staged.push_back(static_cast<Value>(rng.UniformInt(1024)));
+  }
+  for (auto _ : state) {
+    Relation r(2, staged);  // Copies, canonicalises (sort + dedup).
+    benchmark::DoNotOptimize(r.size());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_RelationCanonicalize)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_RelationNarrowRange(benchmark::State& state) {
+  Rng rng(23);
+  const size_t rows = static_cast<size_t>(state.range(0));
+  Relation r(2);
+  for (size_t i = 0; i < rows; ++i) {
+    Value* dst = r.AppendRow();
+    dst[0] = static_cast<Value>(rng.UniformInt(1024));
+    dst[1] = static_cast<Value>(rng.UniformInt(1024));
+  }
+  r.Canonicalize();
+  Value probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.NarrowRange(0, r.size(), 0, probe));
+    probe = (probe + 41) & 1023;
+  }
+}
+BENCHMARK(BM_RelationNarrowRange)->Arg(1 << 10)->Arg(1 << 17);
+
 void BM_GenericJoinTriangle(benchmark::State& state) {
   auto q = ParseQuery("ans(a, b, c) :- R(a, b), S(b, c), T(a, c).");
   Rng rng(1);

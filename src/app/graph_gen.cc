@@ -111,6 +111,7 @@ Database GraphToDatabase(const SimpleGraph& g, const std::string& relation) {
     assert(s.ok());
   }
   (void)s;
+  db.Canonicalize();
   return db;
 }
 

@@ -2,6 +2,9 @@
 
 #include <cassert>
 #include <cmath>
+#include <unordered_set>
+
+#include "util/hash.h"
 
 namespace cqcount {
 
@@ -13,18 +16,46 @@ void AddRandomTuples(Database* db, const std::string& name, int arity,
   assert(n > 0);
   Relation* rel = db->mutable_relation(name);
   // Distinct tuples via retry; callers keep count well below n^arity.
+  // Distinctness is tracked in a side set so the relation itself stays a
+  // cheap append-only flat buffer until the final canonicalisation. The
+  // packed-code fast path needs n^arity to fit in 64 bits; otherwise
+  // fall back to hashing whole tuples.
+  uint64_t space = 1;
+  bool packable = true;
+  for (int i = 0; i < arity && packable; ++i) {
+    if (space > UINT64_MAX / n) packable = false;
+    space *= n;
+  }
+  std::unordered_set<uint64_t> seen_codes;
+  std::unordered_set<Tuple, VectorHash<Value>> seen_tuples;
+  // Repeated calls for the same relation must still add `count` net-new
+  // tuples: seed the dedup set with the rows already present.
+  for (TupleView existing : *rel) {
+    if (packable) {
+      uint64_t code = 0;
+      for (Value v : existing) code = code * n + v;
+      seen_codes.insert(code);
+    } else {
+      seen_tuples.insert(MaterializeTuple(existing));
+    }
+  }
+  Tuple t(arity);
   uint64_t added = 0;
   uint64_t attempts = 0;
   while (added < count && attempts < 20 * count + 1000) {
     ++attempts;
-    Tuple t(arity);
+    uint64_t code = 0;
     for (int i = 0; i < arity; ++i) {
       t[i] = static_cast<Value>(rng.UniformInt(n));
+      code = code * n + t[i];
     }
-    const size_t before = rel->tuples().size();
-    rel->Add(std::move(t));
-    if (rel->tuples().size() > before) ++added;
+    const bool fresh =
+        packable ? seen_codes.insert(code).second : seen_tuples.insert(t).second;
+    if (!fresh) continue;
+    rel->Add(t);
+    ++added;
   }
+  rel->Canonicalize();
   (void)s;
 }
 
@@ -61,6 +92,7 @@ Database SocialNetworkDb(uint32_t num_people, double avg_friends,
     }
   }
   (void)s;
+  db.Canonicalize();
   return db;
 }
 

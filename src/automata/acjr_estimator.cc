@@ -6,14 +6,11 @@
 #include <unordered_map>
 
 #include "hom/bag_solutions.h"
-#include "util/hash.h"
 #include "util/math_util.h"
 #include "util/random.h"
 
 namespace cqcount {
 namespace {
-
-using TupleIndex = std::unordered_map<Tuple, int, VectorHash<Value>>;
 
 std::vector<int> PositionsOf(const std::vector<int>& bag,
                              const std::vector<int>& subset) {
@@ -26,13 +23,6 @@ std::vector<int> PositionsOf(const std::vector<int>& bag,
     }
   }
   return positions;
-}
-
-Tuple ProjectTuple(const Tuple& t, const std::vector<int>& positions) {
-  Tuple out;
-  out.reserve(positions.size());
-  for (int p : positions) out.push_back(t[p]);
-  return out;
 }
 
 std::vector<int> SortedUnion(const std::vector<int>& a,
@@ -52,7 +42,6 @@ class AcjrEngine {
   StatusOr<AcjrResult> Run() {
     const int num_nodes = ntd_.num_nodes();
     sols_.resize(num_nodes);
-    sol_index_.resize(num_nodes);
     free_bag_positions_.resize(num_nodes);
     free_vars_.resize(num_nodes);
     estimates_.resize(num_nodes);
@@ -61,15 +50,13 @@ class AcjrEngine {
     join_children_.resize(num_nodes);
     forget_candidates_.resize(num_nodes);
 
-    // Bag solutions + index maps, and a census of union states for the
+    // Bag solutions (each canonical, so the relation doubles as its own
+    // sorted index via IndexOf) and a census of union states for the
     // per-union error budget.
     uint64_t union_states = 0;
     for (int t = 0; t < num_nodes; ++t) {
       const auto& node = ntd_.node(t);
       sols_[t] = ComputeBagSolutions(query_, db_, node.bag, nullptr);
-      for (size_t i = 0; i < sols_[t].size(); ++i) {
-        sol_index_[t].emplace(sols_[t].tuples()[i], static_cast<int>(i));
-      }
       for (size_t p = 0; p < node.bag.size(); ++p) {
         if (node.bag[p] < query_.num_free()) {
           free_bag_positions_[t].push_back(static_cast<int>(p));
@@ -112,13 +99,16 @@ class AcjrEngine {
     const auto& node = ntd_.node(t);
     const size_t states = sols_[t].size();
     estimates_[t].assign(states, 0.0);
-    sketches_[t].assign(states, {});
+    // Dead states keep this placeholder; live states are overwritten with
+    // a sketch of the node's free-variable width by the handlers below.
+    sketches_[t].assign(states, FlatTuples());
     switch (node.kind) {
       case NiceNodeKind::kLeaf: {
         free_vars_[t] = {};
         for (size_t i = 0; i < states; ++i) {
           estimates_[t][i] = 1.0;
-          sketches_[t][i] = {Tuple{}};
+          sketches_[t][i] = FlatTuples(0);
+          sketches_[t][i].AppendRow();  // The empty free assignment.
         }
         break;
       }
@@ -155,22 +145,28 @@ class AcjrEngine {
         std::lower_bound(node.bag.begin(), node.bag.end(), node.var) -
         node.bag.begin());
 
+    const int width = static_cast<int>(free_vars_[t].size());
     intro_child_[t].assign(sols_[t].size(), -1);
+    Tuple proj;
     for (size_t i = 0; i < sols_[t].size(); ++i) {
-      const Tuple& alpha = sols_[t].tuples()[i];
-      auto it = sol_index_[c].find(ProjectTuple(alpha, child_positions));
-      if (it == sol_index_[c].end()) continue;  // Dead state.
-      const int j = it->second;
-      intro_child_[t][i] = j;
+      TupleView alpha = sols_[t][i];
+      ProjectInto(alpha, child_positions, proj);
+      const ptrdiff_t j = sols_[c].IndexOf(proj.data());
+      if (j < 0) continue;  // Dead state.
+      intro_child_[t][i] = static_cast<int>(j);
       if (estimates_[c][j] <= 0.0) continue;
       estimates_[t][i] = estimates_[c][j];
       if (var_free) {
-        sketches_[t][i].reserve(sketches_[c][j].size());
-        for (const Tuple& x : sketches_[c][j]) {
-          Tuple extended = x;
-          extended.insert(extended.begin() + insert_at, alpha[var_pos]);
-          sketches_[t][i].push_back(std::move(extended));
+        FlatTuples extended(width);
+        extended.reserve(sketches_[c][j].size());
+        for (size_t s = 0; s < sketches_[c][j].size(); ++s) {
+          TupleView x = sketches_[c][j][s];
+          Value* dst = extended.AppendRow();
+          for (int k = 0; k < insert_at; ++k) dst[k] = x[k];
+          dst[insert_at] = alpha[var_pos];
+          for (int k = insert_at; k < width - 1; ++k) dst[k + 1] = x[k];
         }
+        sketches_[t][i] = std::move(extended);
       } else {
         sketches_[t][i] = sketches_[c][j];
       }
@@ -187,13 +183,13 @@ class AcjrEngine {
 
     // Group child states by their projection onto B_t.
     forget_candidates_[t].assign(sols_[t].size(), {});
-    const auto& child_tuples = sols_[c].tuples();
-    for (size_t j = 0; j < child_tuples.size(); ++j) {
+    Tuple proj;
+    for (size_t j = 0; j < sols_[c].size(); ++j) {
       if (estimates_[c][j] <= 0.0) continue;
-      auto it = sol_index_[t].find(ProjectTuple(child_tuples[j],
-                                                parent_positions));
-      if (it == sol_index_[t].end()) continue;
-      forget_candidates_[t][it->second].push_back(static_cast<int>(j));
+      ProjectInto(sols_[c][j], parent_positions, proj);
+      const ptrdiff_t i = sols_[t].IndexOf(proj.data());
+      if (i < 0) continue;
+      forget_candidates_[t][i].push_back(static_cast<int>(j));
     }
 
     for (size_t i = 0; i < sols_[t].size(); ++i) {
@@ -208,7 +204,7 @@ class AcjrEngine {
         sketches_[t][i] = SampleMixture(c, candidates, total);
       } else {
         // Overlapping union over an existential variable: Karp-Luby.
-        EstimateUnion(t, i, c, candidates);
+        EstimateUnion(t, static_cast<int>(i), c, candidates);
       }
     }
   }
@@ -235,41 +231,40 @@ class AcjrEngine {
           free_vars_[t].begin());
     }
 
+    const int width = static_cast<int>(free_vars_[t].size());
     for (size_t i = 0; i < sols_[t].size(); ++i) {
-      const Tuple& alpha = sols_[t].tuples()[i];
-      auto it1 = sol_index_[c1].find(alpha);
-      auto it2 = sol_index_[c2].find(alpha);
-      if (it1 == sol_index_[c1].end() || it2 == sol_index_[c2].end()) {
-        continue;
-      }
-      const int j1 = it1->second;
-      const int j2 = it2->second;
-      join_children_[t][i] = {j1, j2};
+      TupleView alpha = sols_[t][i];
+      // Join children share B_t, so alpha indexes both directly.
+      const ptrdiff_t j1 = sols_[c1].IndexOf(alpha);
+      const ptrdiff_t j2 = sols_[c2].IndexOf(alpha);
+      if (j1 < 0 || j2 < 0) continue;
+      join_children_[t][i] = {static_cast<int>(j1), static_cast<int>(j2)};
       if (estimates_[c1][j1] <= 0.0 || estimates_[c2][j2] <= 0.0) continue;
       estimates_[t][i] = estimates_[c1][j1] * estimates_[c2][j2];
       // Product sampling: independent child samples merged over the
       // union of free variables (overlaps agree: both children pin their
       // bag's free variables to alpha).
-      const auto& sk1 = sketches_[c1][j1];
-      const auto& sk2 = sketches_[c2][j2];
+      const FlatTuples& sk1 = sketches_[c1][j1];
+      const FlatTuples& sk2 = sketches_[c2][j2];
       const int wanted = opts_.sketch_size;
-      sketches_[t][i].reserve(wanted);
+      FlatTuples merged(width);
+      merged.reserve(wanted);
       for (int s = 0; s < wanted; ++s) {
-        const Tuple& x1 = sk1[rng_.UniformInt(sk1.size())];
-        const Tuple& x2 = sk2[rng_.UniformInt(sk2.size())];
-        Tuple merged(free_vars_[t].size(), 0);
-        for (size_t k = 0; k < from2.size(); ++k) merged[from2[k]] = x2[k];
-        for (size_t k = 0; k < from1.size(); ++k) merged[from1[k]] = x1[k];
-        sketches_[t][i].push_back(std::move(merged));
+        TupleView x1 = sk1[rng_.UniformInt(sk1.size())];
+        TupleView x2 = sk2[rng_.UniformInt(sk2.size())];
+        Value* dst = merged.AppendRow();
+        for (size_t k = 0; k < from2.size(); ++k) dst[from2[k]] = x2[k];
+        for (size_t k = 0; k < from1.size(); ++k) dst[from1[k]] = x1[k];
       }
+      sketches_[t][i] = std::move(merged);
     }
   }
 
   // Draws `sketch_size` samples from the disjoint mixture of candidate
   // child languages (weights = child estimates).
-  std::vector<Tuple> SampleMixture(int c, const std::vector<int>& candidates,
-                                   double total) {
-    std::vector<Tuple> sketch;
+  FlatTuples SampleMixture(int c, const std::vector<int>& candidates,
+                           double total) {
+    FlatTuples sketch(static_cast<int>(free_vars_[c].size()));
     sketch.reserve(opts_.sketch_size);
     for (int s = 0; s < opts_.sketch_size; ++s) {
       double r = rng_.UniformDouble() * total;
@@ -281,8 +276,8 @@ class AcjrEngine {
         }
         r -= estimates_[c][j];
       }
-      const auto& sk = sketches_[c][chosen];
-      sketch.push_back(sk[rng_.UniformInt(sk.size())]);
+      const FlatTuples& sk = sketches_[c][chosen];
+      sketch.PushBack(sk[rng_.UniformInt(sk.size())]);
     }
     return sketch;
   }
@@ -295,7 +290,7 @@ class AcjrEngine {
     for (int j : candidates) total += estimates_[c][j];
 
     // Draw (j ~ estimates, x ~ sketch_j), weight by 1 / c(x).
-    auto draw = [&](int* out_j) -> const Tuple& {
+    auto draw = [&](int* out_j) -> TupleView {
       double r = rng_.UniformDouble() * total;
       int chosen = candidates.back();
       for (int j : candidates) {
@@ -306,7 +301,7 @@ class AcjrEngine {
         r -= estimates_[c][j];
       }
       *out_j = chosen;
-      const auto& sk = sketches_[c][chosen];
+      const FlatTuples& sk = sketches_[c][chosen];
       return sk[rng_.UniformInt(sk.size())];
     };
 
@@ -314,7 +309,7 @@ class AcjrEngine {
     const int min_samples = 16;
     for (int s = 0; s < opts_.max_union_samples; ++s) {
       int j = -1;
-      const Tuple& x = draw(&j);
+      const TupleView x = draw(&j);
       const int count = CountContaining(c, candidates, x);
       assert(count >= 1);
       acc.Add(1.0 / static_cast<double>(count));
@@ -327,31 +322,31 @@ class AcjrEngine {
     estimates_[t][i] = total * acc.mean();
 
     // Union sketch by rejection (accept x with probability 1/c(x)).
-    std::vector<Tuple> sketch;
+    FlatTuples sketch(static_cast<int>(free_vars_[c].size()));
     sketch.reserve(opts_.sketch_size);
     for (int s = 0; s < opts_.sketch_size; ++s) {
-      const Tuple* accepted = nullptr;
+      bool accepted = false;
       for (int retry = 0; retry < opts_.max_rejection_retries; ++retry) {
         int j = -1;
-        const Tuple& x = draw(&j);
+        const TupleView x = draw(&j);
         const int count = CountContaining(c, candidates, x);
         if (count == 1 || rng_.UniformDouble() < 1.0 / count) {
-          accepted = &x;
+          sketch.PushBack(x);
+          accepted = true;
           break;
         }
       }
-      if (accepted == nullptr) {
+      if (!accepted) {
         int j = -1;
-        accepted = &draw(&j);  // Accept the next draw (bounded bias).
+        sketch.PushBack(draw(&j));  // Accept the next draw (bounded bias).
       }
-      sketch.push_back(*accepted);
     }
     sketches_[t][i] = std::move(sketch);
   }
 
   // c(x) = number of candidate child states whose language contains x.
   int CountContaining(int c, const std::vector<int>& candidates,
-                      const Tuple& x) {
+                      TupleView x) {
     // Pin the free variables of the child subtree to x.
     pinned_value_.assign(query_.num_free(), 0);
     pinned_set_.assign(query_.num_free(), false);
@@ -384,7 +379,7 @@ class AcjrEngine {
   bool FeasibleUncached(int t, int j) {
     if (estimates_[t][j] <= 0.0) return false;  // Dead state.
     const auto& node = ntd_.node(t);
-    const Tuple& alpha = sols_[t].tuples()[j];
+    const TupleView alpha = sols_[t][j];
     // The state's own label must match the pinned free values.
     for (int p : free_bag_positions_[t]) {
       const int var = node.bag[p];
@@ -423,11 +418,12 @@ class AcjrEngine {
   double z_node_ = 2.0;
 
   std::vector<Relation> sols_;
-  std::vector<TupleIndex> sol_index_;
   std::vector<std::vector<int>> free_bag_positions_;
   std::vector<std::vector<int>> free_vars_;
   std::vector<std::vector<double>> estimates_;
-  std::vector<std::vector<std::vector<Tuple>>> sketches_;
+  // sketches_[t][i]: sampled free-variable assignments (flat rows of
+  // width |free_vars_[t]|) for state i of node t.
+  std::vector<std::vector<FlatTuples>> sketches_;
   std::vector<std::vector<int>> intro_child_;
   std::vector<std::vector<std::pair<int, int>>> join_children_;
   std::vector<std::vector<std::vector<int>>> forget_candidates_;
@@ -450,7 +446,8 @@ StatusOr<AcjrResult> AcjrCountAnswers(const Query& q, const Database& db,
   Status s = q.CheckAgainstDatabase(db);
   if (!s.ok()) return s;
   if (opts.sketch_size < 1) {
-    return Status::InvalidArgument("sketch_size must be positive");
+    return Status::InvalidArgument(
+        "sketch_size must be positive");
   }
   AcjrEngine engine(q, db, ntd, opts);
   return engine.Run();

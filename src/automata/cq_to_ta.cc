@@ -24,14 +24,7 @@ std::vector<int> PositionsOf(const std::vector<int>& bag,
   return positions;
 }
 
-Tuple ProjectTuple(const Tuple& t, const std::vector<int>& positions) {
-  Tuple out;
-  out.reserve(positions.size());
-  for (int p : positions) out.push_back(t[p]);
-  return out;
-}
-
-using TupleIndex = std::unordered_map<Tuple, int, VectorHash<Value>>;
+using LabelIndex = std::unordered_map<Tuple, int, VectorHash<Value>>;
 
 }  // namespace
 
@@ -47,11 +40,11 @@ StatusOr<CqAutomaton> BuildCountingAutomaton(
   const int num_nodes = ntd.num_nodes();
   const int num_free = q.num_free();
 
-  // Per node: bag solutions, their free projections, and index maps.
+  // Per node: bag solutions (canonical, so IndexOf doubles as the state
+  // index), their free projections, and label-id maps.
   std::vector<Relation> sols(num_nodes);
-  std::vector<TupleIndex> sol_index(num_nodes);
   std::vector<std::vector<int>> free_positions(num_nodes);
-  std::vector<TupleIndex> label_index(num_nodes);  // projection -> label id.
+  std::vector<LabelIndex> label_index(num_nodes);  // projection -> label id.
   std::vector<int> state_offset(num_nodes, 0);
 
   bool trivially_zero = false;
@@ -59,25 +52,23 @@ StatusOr<CqAutomaton> BuildCountingAutomaton(
   int num_labels = 0;
   std::vector<int> state_node;
   std::vector<int> label_node;
+  Tuple scratch;
   for (int t = 0; t < num_nodes; ++t) {
     const auto& bag = ntd.node(t).bag;
     sols[t] = ComputeBagSolutions(q, db, bag, nullptr);
     if (sols[t].empty()) trivially_zero = true;
     state_offset[t] = num_states;
     num_states += static_cast<int>(sols[t].size());
-    for (size_t i = 0; i < sols[t].size(); ++i) {
-      sol_index[t].emplace(sols[t].tuples()[i], static_cast<int>(i));
-      state_node.push_back(t);
-    }
+    for (size_t i = 0; i < sols[t].size(); ++i) state_node.push_back(t);
     // Free-variable positions inside the bag.
     for (size_t p = 0; p < bag.size(); ++p) {
       if (bag[p] < num_free) {
         free_positions[t].push_back(static_cast<int>(p));
       }
     }
-    for (const Tuple& alpha : sols[t].tuples()) {
-      Tuple beta = ProjectTuple(alpha, free_positions[t]);
-      auto [it, inserted] = label_index[t].emplace(std::move(beta), num_labels);
+    for (TupleView alpha : sols[t]) {
+      ProjectInto(alpha, free_positions[t], scratch);
+      auto [it, inserted] = label_index[t].emplace(scratch, num_labels);
       if (inserted) {
         label_node.push_back(t);
         ++num_labels;
@@ -98,14 +89,15 @@ StatusOr<CqAutomaton> BuildCountingAutomaton(
 
   TreeAutomaton automaton(num_states, num_labels, state_offset[0]);
   auto state_id = [&](int t, int sol) { return state_offset[t] + sol; };
+  Tuple label_scratch;  // Dedicated: `scratch` is live across label_of calls.
   auto label_of = [&](int t, int sol) {
-    Tuple beta = ProjectTuple(sols[t].tuples()[sol], free_positions[t]);
-    return label_index[t].at(beta);
+    ProjectInto(sols[t][sol], free_positions[t], label_scratch);
+    return label_index[t].at(label_scratch);
   };
 
   for (int t = 0; t < num_nodes; ++t) {
     const auto& node = ntd.node(t);
-    const auto& tuples = sols[t].tuples();
+    const Relation& tuples = sols[t];
     switch (node.kind) {
       case NiceNodeKind::kLeaf: {
         // Sol_t = {empty assignment} unless globally infeasible.
@@ -119,15 +111,15 @@ StatusOr<CqAutomaton> BuildCountingAutomaton(
         const int c1 = node.children[0];
         const int c2 = node.children[1];
         for (size_t i = 0; i < tuples.size(); ++i) {
-          auto it1 = sol_index[c1].find(tuples[i]);
-          auto it2 = sol_index[c2].find(tuples[i]);
-          if (it1 == sol_index[c1].end() || it2 == sol_index[c2].end()) {
-            continue;  // Dead state.
-          }
+          // Join children share B_t, so the tuple indexes both directly.
+          const ptrdiff_t j1 = sols[c1].IndexOf(tuples[i]);
+          const ptrdiff_t j2 = sols[c2].IndexOf(tuples[i]);
+          if (j1 < 0 || j2 < 0) continue;  // Dead state.
           automaton.AddBinaryTransition(
               state_id(t, static_cast<int>(i)),
               label_of(t, static_cast<int>(i)),
-              state_id(c1, it1->second), state_id(c2, it2->second));
+              state_id(c1, static_cast<int>(j1)),
+              state_id(c2, static_cast<int>(j2)));
         }
         break;
       }
@@ -137,12 +129,12 @@ StatusOr<CqAutomaton> BuildCountingAutomaton(
         const std::vector<int> child_positions =
             PositionsOf(node.bag, ntd.node(c).bag);
         for (size_t i = 0; i < tuples.size(); ++i) {
-          Tuple proj = ProjectTuple(tuples[i], child_positions);
-          auto it = sol_index[c].find(proj);
-          if (it == sol_index[c].end()) continue;
+          ProjectInto(tuples[i], child_positions, scratch);
+          const ptrdiff_t j = sols[c].IndexOf(scratch.data());
+          if (j < 0) continue;
           automaton.AddUnaryTransition(state_id(t, static_cast<int>(i)),
                                        label_of(t, static_cast<int>(i)),
-                                       state_id(c, it->second));
+                                       state_id(c, static_cast<int>(j)));
         }
         break;
       }
@@ -151,13 +143,12 @@ StatusOr<CqAutomaton> BuildCountingAutomaton(
         const int c = node.children[0];
         const std::vector<int> parent_positions =
             PositionsOf(ntd.node(c).bag, node.bag);
-        const auto& child_tuples = sols[c].tuples();
-        for (size_t j = 0; j < child_tuples.size(); ++j) {
-          Tuple proj = ProjectTuple(child_tuples[j], parent_positions);
-          auto it = sol_index[t].find(proj);
-          if (it == sol_index[t].end()) continue;
-          automaton.AddUnaryTransition(state_id(t, it->second),
-                                       label_of(t, it->second),
+        for (size_t j = 0; j < sols[c].size(); ++j) {
+          ProjectInto(sols[c][j], parent_positions, scratch);
+          const ptrdiff_t i = sols[t].IndexOf(scratch.data());
+          if (i < 0) continue;
+          automaton.AddUnaryTransition(state_id(t, static_cast<int>(i)),
+                                       label_of(t, static_cast<int>(i)),
                                        state_id(c, static_cast<int>(j)));
         }
         break;

@@ -21,7 +21,14 @@ uint64_t NumTrials(size_t num_disequalities, double per_call_failure) {
 void RestrictToColour(std::vector<bool>& domain,
                       const std::vector<bool>& colouring, bool want_red,
                       uint32_t universe) {
-  if (domain.empty()) domain.assign(universe, true);
+  if (domain.empty()) {
+    // Unrestricted domain: the intersection IS the colour class. Copy and
+    // flip are word-parallel on vector<bool>, unlike the per-bit loop.
+    assert(colouring.size() == universe);
+    domain = colouring;
+    if (!want_red) domain.flip();
+    return;
+  }
   for (uint32_t w = 0; w < universe; ++w) {
     if (domain[w] && colouring[w] != want_red) domain[w] = false;
   }

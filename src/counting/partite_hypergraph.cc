@@ -3,29 +3,27 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
-#include <unordered_set>
 
 #include "hom/backtracking.h"
-#include "util/hash.h"
 
 namespace cqcount {
 
 BruteForceEdgeFreeOracle::BruteForceEdgeFreeOracle(const Query& q,
                                                    const Database& db) {
-  std::unordered_set<Tuple, VectorHash<Value>> distinct;
   const int num_free = q.num_free();
+  answers_ = Relation(num_free);
   EnumerateSolutions(q, db, [&](const Tuple& solution) {
-    Tuple answer(solution.begin(), solution.begin() + num_free);
-    distinct.insert(std::move(answer));
+    Value* dst = answers_.AppendRow();
+    for (int i = 0; i < num_free; ++i) dst[i] = solution[i];
     return true;
   });
-  answers_.assign(distinct.begin(), distinct.end());
-  std::sort(answers_.begin(), answers_.end());
+  // Canonicalisation deduplicates solutions that agree on the free part.
+  answers_.Canonicalize();
 }
 
 bool BruteForceEdgeFreeOracle::IsEdgeFree(const PartiteSubset& parts) {
   ++num_calls_;
-  for (const Tuple& answer : answers_) {
+  for (TupleView answer : answers_) {
     bool inside = true;
     for (size_t i = 0; i < answer.size(); ++i) {
       const auto& mask = parts.parts[i];

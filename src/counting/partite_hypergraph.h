@@ -46,11 +46,11 @@ class BruteForceEdgeFreeOracle : public EdgeFreeOracle {
 
   bool IsEdgeFree(const PartiteSubset& parts) override;
 
-  /// The materialised answer set (free-variable tuples).
-  const std::vector<Tuple>& answers() const { return answers_; }
+  /// The materialised answer set (free-variable tuples, flat storage).
+  const Relation& answers() const { return answers_; }
 
  private:
-  std::vector<Tuple> answers_;
+  Relation answers_;
 };
 
 /// Unaligned l-partite subset over V(H(phi,D)): members are encoded as

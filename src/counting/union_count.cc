@@ -1,12 +1,11 @@
 #include "counting/union_count.h"
 
 #include <cmath>
+#include <map>
 #include <memory>
-#include <unordered_set>
 
 #include "counting/sampler.h"
 #include "hom/backtracking.h"
-#include "util/hash.h"
 #include "util/random.h"
 
 namespace cqcount {
@@ -92,15 +91,27 @@ StatusOr<UnionCountResult> ApproxCountUnion(const std::vector<Query>& queries,
 
 uint64_t ExactCountUnionBruteForce(const std::vector<Query>& queries,
                                    const Database& db) {
-  std::unordered_set<Tuple, VectorHash<Value>> answers;
+  // One flat accumulator per free arity: tuples of different arities are
+  // never equal, so deduping within each arity and summing matches the
+  // old mixed-arity set semantics.
+  std::map<int, Relation> answers_by_arity;
   for (const Query& q : queries) {
     const int num_free = q.num_free();
+    auto [it, inserted] = answers_by_arity.emplace(num_free,
+                                                   Relation(num_free));
+    Relation& answers = it->second;
     EnumerateSolutions(q, db, [&](const Tuple& solution) {
-      answers.insert(Tuple(solution.begin(), solution.begin() + num_free));
+      Value* dst = answers.AppendRow();
+      for (int i = 0; i < num_free; ++i) dst[i] = solution[i];
       return true;
     });
   }
-  return answers.size();
+  uint64_t total = 0;
+  for (auto& [arity, answers] : answers_by_arity) {
+    answers.Canonicalize();
+    total += answers.size();
+  }
+  return total;
 }
 
 }  // namespace cqcount

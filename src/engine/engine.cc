@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <mutex>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -31,14 +32,13 @@ Status CountingEngine::RegisterDatabase(const std::string& name, Database db) {
   if (name.empty()) {
     return Status::InvalidArgument("database name must be non-empty");
   }
-  // Force each relation's lazy sort-and-dedup now, while the database is
-  // still exclusively owned: afterwards every const access is read-only,
-  // so the shared snapshot is safe for concurrent batch workers.
-  for (const std::string& relation : db.RelationNames()) {
-    (void)db.relation(relation).tuples();
-  }
+  // Canonicalise now, while the database is still exclusively owned:
+  // afterwards every const access is genuinely read-only (the flat
+  // storage has no lazy-sort mutation), so the shared snapshot is safe
+  // for concurrent batch workers.
+  db.Canonicalize();
   auto shared = std::make_shared<const Database>(std::move(db));
-  std::lock_guard<std::mutex> lock(db_mu_);
+  std::unique_lock<std::shared_mutex> lock(db_mu_);
   RegisteredDatabase& entry = databases_[name];
   // Bump the generation on replacement: cached plans for the old contents
   // become unreachable (their keys embed the generation) and age out.
@@ -55,7 +55,7 @@ Status CountingEngine::RegisterDatabaseFile(const std::string& name,
 }
 
 std::vector<std::string> CountingEngine::DatabaseNames() const {
-  std::lock_guard<std::mutex> lock(db_mu_);
+  std::shared_lock<std::shared_mutex> lock(db_mu_);
   std::vector<std::string> names;
   names.reserve(databases_.size());
   for (const auto& [name, db] : databases_) names.push_back(name);
@@ -64,7 +64,7 @@ std::vector<std::string> CountingEngine::DatabaseNames() const {
 
 CountingEngine::RegisteredDatabase CountingEngine::FindDatabase(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(db_mu_);
+  std::shared_lock<std::shared_mutex> lock(db_mu_);
   auto it = databases_.find(name);
   return it == databases_.end() ? RegisteredDatabase{} : it->second;
 }

@@ -14,7 +14,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -165,7 +165,10 @@ class CountingEngine {
                                      const CountRequest& request);
 
   EngineOptions opts_;
-  mutable std::mutex db_mu_;
+  // Reader-writer lock: every Count in a batch resolves its database here,
+  // so lookups must not serialise behind each other (registration is rare
+  // and takes the exclusive side).
+  mutable std::shared_mutex db_mu_;
   std::map<std::string, RegisteredDatabase> databases_;
   PlanCache cache_;
   std::unique_ptr<Executor> pool_;

@@ -1,11 +1,9 @@
 #include "hom/backtracking.h"
 
 #include <numeric>
-#include <unordered_set>
 
 #include "decomposition/elimination_order.h"
 #include "hom/join.h"
-#include "util/hash.h"
 
 namespace cqcount {
 namespace {
@@ -43,13 +41,15 @@ uint64_t CountSolutionsBrute(const Query& q, const Database& db) {
 }
 
 uint64_t CountAnswersBrute(const Query& q, const Database& db) {
-  std::unordered_set<Tuple, VectorHash<Value>> answers;
   const int num_free = q.num_free();
+  // Collect free-variable prefixes flat, dedup once at the end.
+  Relation answers(num_free);
   EnumerateSolutions(q, db, [&](const Tuple& solution) {
-    Tuple answer(solution.begin(), solution.begin() + num_free);
-    answers.insert(std::move(answer));
+    Value* dst = answers.AppendRow();
+    for (int i = 0; i < num_free; ++i) dst[i] = solution[i];
     return true;
   });
+  answers.Canonicalize();
   return answers.size();
 }
 

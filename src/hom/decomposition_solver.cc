@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_map>
+#include <numeric>
 
 #include "hom/bag_solutions.h"
-#include "util/hash.h"
 
 namespace cqcount {
 namespace {
@@ -25,12 +24,55 @@ std::vector<int> SharedPositions(const std::vector<int>& bag,
   return positions;
 }
 
-Tuple ProjectTuple(const Tuple& t, const std::vector<int>& positions) {
-  Tuple out;
-  out.reserve(positions.size());
-  for (int p : positions) out.push_back(t[p]);
-  return out;
-}
+// Per-child lookup table: projection onto the shared variables -> sum of
+// child weights (or mere existence for the decision variant). Built by
+// sort-based aggregation over a flat key buffer — no per-key heap nodes,
+// lookups are strided binary searches.
+struct ChildTable {
+  std::vector<int> parent_positions;  // Shared columns within the parent bag.
+  FlatTuples keys;                    // Unique projected keys, sorted.
+  std::vector<double> sums;           // Aggregated weight per key.
+
+  // Aggregates (projection of rows[i], weight_of(i)) pairs.
+  template <typename WeightFn>
+  void Build(const FlatTuples& rows, const std::vector<int>& child_positions,
+             WeightFn weight_of, bool sum_weights) {
+    const int kw = static_cast<int>(child_positions.size());
+    FlatTuples raw(kw);
+    raw.reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      TupleView row = rows[i];
+      Value* dst = raw.AppendRow();
+      for (int k = 0; k < kw; ++k) dst[k] = row[child_positions[k]];
+    }
+    std::vector<uint32_t> order(raw.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return raw[a] < raw[b];
+    });
+    keys = FlatTuples(kw);
+    sums.clear();
+    for (uint32_t i : order) {
+      if (!keys.empty() && keys.back() == raw[i]) {
+        if (sum_weights) sums.back() += weight_of(i);
+        // Decision variant: existence only, keep 1.0.
+      } else {
+        keys.PushBack(raw[i]);
+        sums.push_back(weight_of(i));
+      }
+    }
+  }
+
+  // The aggregated weight for `key` (kw values), or -1 when absent.
+  double Lookup(const Value* key) const {
+    const size_t at = keys.LowerBound(key);
+    if (at == keys.size() ||
+        CompareValues(keys[at].data(), key, keys.width()) != 0) {
+      return -1.0;
+    }
+    return sums[at];
+  }
+};
 
 }  // namespace
 
@@ -61,19 +103,15 @@ DecompositionSolver::DecompositionSolver(const Query& q, const Database& db,
 bool DecompositionSolver::RunDp(const VarDomains* domains,
                                 double* total) const {
   const int num_nodes = td_.num_nodes();
-  // Surviving bag tuples and (optionally) their extension weights.
-  std::vector<std::vector<Tuple>> surviving(num_nodes);
+  // Surviving bag tuples (flat, bag-arity rows) and their extension
+  // weights (counting variant only).
+  std::vector<FlatTuples> surviving(num_nodes);
   std::vector<std::vector<double>> weights(num_nodes);
+  Tuple key_scratch;
 
   for (int t : post_order_) {
     const std::vector<int>& bag = td_.bags[t];
     Relation sols = joiners_[t].Materialise(domains);
-    // Per-child lookup tables: projection onto shared vars -> sum of child
-    // weights (or mere existence for the decision variant).
-    struct ChildTable {
-      std::vector<int> parent_positions;
-      std::unordered_map<Tuple, double, VectorHash<Value>> sums;
-    };
     std::vector<ChildTable> tables;
     tables.reserve(children_[t].size());
     for (int c : children_[t]) {
@@ -81,34 +119,30 @@ bool DecompositionSolver::RunDp(const VarDomains* domains,
       table.parent_positions = SharedPositions(bag, td_.bags[c]);
       const std::vector<int> child_positions =
           SharedPositions(td_.bags[c], bag);
-      for (size_t i = 0; i < surviving[c].size(); ++i) {
-        Tuple key = ProjectTuple(surviving[c][i], child_positions);
-        const double w = total ? weights[c][i] : 1.0;
-        auto [it, inserted] = table.sums.emplace(std::move(key), w);
-        if (!inserted) {
-          if (total) {
-            it->second += w;
-          }
-          // Decision variant: existence only, keep 1.0.
-        }
-      }
+      const std::vector<double>& wc = weights[c];
+      table.Build(
+          surviving[c], child_positions,
+          [&](uint32_t i) { return total ? wc[i] : 1.0; },
+          /*sum_weights=*/total != nullptr);
       tables.push_back(std::move(table));
     }
 
-    for (const Tuple& alpha : sols.tuples()) {
+    surviving[t] = FlatTuples(static_cast<int>(bag.size()));
+    for (TupleView alpha : sols) {
       double w = 1.0;
       bool alive = true;
       for (const ChildTable& table : tables) {
-        Tuple key = ProjectTuple(alpha, table.parent_positions);
-        auto it = table.sums.find(key);
-        if (it == table.sums.end()) {
+        key_scratch.clear();
+        for (int p : table.parent_positions) key_scratch.push_back(alpha[p]);
+        const double sum = table.Lookup(key_scratch.data());
+        if (sum < 0.0) {
           alive = false;
           break;
         }
-        if (total) w *= it->second;
+        if (total) w *= sum;
       }
       if (!alive) continue;
-      surviving[t].push_back(alpha);
+      surviving[t].PushBack(alpha);
       if (total) weights[t].push_back(w);
     }
     if (surviving[t].empty()) {
@@ -117,8 +151,7 @@ bool DecompositionSolver::RunDp(const VarDomains* domains,
     }
     // Free memory of fully-consumed children.
     for (int c : children_[t]) {
-      surviving[c].clear();
-      surviving[c].shrink_to_fit();
+      surviving[c] = FlatTuples();
       weights[c].clear();
       weights[c].shrink_to_fit();
     }

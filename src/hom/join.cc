@@ -5,24 +5,6 @@
 #include <map>
 
 namespace cqcount {
-namespace {
-
-// Narrows [lo, hi) of `tuples` (which share a common prefix of length k)
-// to the subrange whose column k equals `v`.
-std::pair<size_t, size_t> NarrowRange(const std::vector<Tuple>& tuples,
-                                      size_t lo, size_t hi, size_t k,
-                                      Value v) {
-  auto first = std::lower_bound(
-      tuples.begin() + lo, tuples.begin() + hi, v,
-      [k](const Tuple& t, Value value) { return t[k] < value; });
-  auto last = std::upper_bound(
-      first, tuples.begin() + hi, v,
-      [k](Value value, const Tuple& t) { return value < t[k]; });
-  return {static_cast<size_t>(first - tuples.begin()),
-          static_cast<size_t>(last - tuples.begin())};
-}
-
-}  // namespace
 
 BagJoiner::BagJoiner(const Query& q, const Database& db,
                      std::vector<int> vars, Options opts)
@@ -64,24 +46,30 @@ BagJoiner::BagJoiner(const Query& q, const Database& db,
         first_pos.push_back(pos);
         levels.push_back(level);
       }
-      // Project, filtering facts that assign repeated variables unequally.
+      // Repeated-variable position pairs that must agree within a fact.
+      std::vector<std::pair<int, int>> equal_pairs;
+      for (size_t p = 0; p < atom.vars.size(); ++p) {
+        for (size_t p2 = p + 1; p2 < atom.vars.size(); ++p2) {
+          if (atom.vars[p] == atom.vars[p2]) {
+            equal_pairs.push_back({static_cast<int>(p), static_cast<int>(p2)});
+          }
+        }
+      }
+      // Project into flat storage, filtering inconsistent facts.
       Relation projection(static_cast<int>(levels.size()));
-      for (const Tuple& t : rel.tuples()) {
+      for (TupleView t : rel) {
         bool consistent = true;
-        // Repeated variables (involved or not) must agree across positions.
-        for (size_t p = 0; p < atom.vars.size() && consistent; ++p) {
-          for (size_t p2 = p + 1; p2 < atom.vars.size() && consistent; ++p2) {
-            if (atom.vars[p] == atom.vars[p2] && t[p] != t[p2]) {
-              consistent = false;
-            }
+        for (const auto& [p, p2] : equal_pairs) {
+          if (t[p] != t[p2]) {
+            consistent = false;
+            break;
           }
         }
         if (!consistent) continue;
-        Tuple proj;
-        proj.reserve(first_pos.size());
-        for (int pos : first_pos) proj.push_back(t[pos]);
-        projection.Add(std::move(proj));
+        Value* dst = projection.AppendRow();
+        for (size_t k = 0; k < first_pos.size(); ++k) dst[k] = t[first_pos[k]];
       }
+      projection.Canonicalize();
       if (projection.empty()) {
         infeasible_ = true;
         continue;
@@ -130,24 +118,26 @@ bool BagJoiner::Enumerate(
   std::vector<std::vector<std::pair<size_t, size_t>>> ranges(
       constraints_.size());
   for (size_t c = 0; c < constraints_.size(); ++c) {
+    ranges[c].reserve(depth + 1);
     ranges[c].push_back({0, constraints_[c].projection.size()});
   }
   Tuple assignment(depth, 0);
   // assignment_by_var lets negated-atom checks read values by variable id.
   std::vector<Value> value_of(query_.num_vars(), 0);
+  Tuple negated_scratch;  // Reused per negated-atom membership probe.
 
-  // Returns false if the callback requested a stop.
-  std::function<bool(int)> descend = [&](int d) -> bool {
+  // Recursive lambda (self-passing, avoiding std::function dispatch in
+  // the descent). Returns false if the callback requested a stop.
+  auto descend = [&](auto&& self, int d) -> bool {
     if (d == depth) return callback(assignment);
 
     // Checks triggered once vars_[d] is assigned.
     auto passes_checks = [&](Value w) {
       value_of[vars_[d]] = w;
       for (const NegatedCheck& check : negated_at_[d]) {
-        Tuple t;
-        t.reserve(check.atom_vars.size());
-        for (int v : check.atom_vars) t.push_back(value_of[v]);
-        if (check.relation->Contains(t)) return false;
+        negated_scratch.clear();
+        for (int v : check.atom_vars) negated_scratch.push_back(value_of[v]);
+        if (check.relation->ContainsRow(negated_scratch.data())) return false;
       }
       for (const DisequalityCheck& check : diseq_at_[d]) {
         if (assignment[check.lhs_level] == w) return false;
@@ -162,33 +152,34 @@ bool BagJoiner::Enumerate(
         if (domains && !domains->Allows(vars_[d], w)) continue;
         if (!passes_checks(w)) continue;
         assignment[d] = w;
-        if (!descend(d + 1)) return false;
+        if (!self(self, d + 1)) return false;
       }
       return true;
     }
 
     // Pivot: the active constraint with the smallest live range.
     int pivot = -1;
+    int pivot_col = -1;
     size_t pivot_width = SIZE_MAX;
     for (const auto& [c, k] : active) {
       const auto [lo, hi] = ranges[c].back();
       if (hi - lo < pivot_width) {
         pivot_width = hi - lo;
         pivot = c;
+        pivot_col = k;
       }
     }
-    int pivot_col = -1;
-    for (const auto& [c, k] : active) {
-      if (c == pivot) pivot_col = k;
-    }
-    const auto& pivot_tuples = constraints_[pivot].projection.tuples();
+    const Relation& pivot_rel = constraints_[pivot].projection;
     auto [plo, phi] = ranges[pivot].back();
 
     size_t pos = plo;
     while (pos < phi) {
-      const Value w = pivot_tuples[pos][pivot_col];
-      const auto [wlo, whi] =
-          NarrowRange(pivot_tuples, pos, phi, pivot_col, w);
+      const Value w = pivot_rel.At(pos, pivot_col);
+      // The pivot scans groups in order: the group starts at `pos`, so
+      // only its end needs searching.
+      const size_t wlo = pos;
+      const size_t whi =
+          pivot_rel.GroupEnd(pos, phi, static_cast<size_t>(pivot_col));
       pos = whi;
       if (domains && !domains->Allows(vars_[d], w)) continue;
       // Narrow every active constraint; all must stay non-empty.
@@ -197,10 +188,9 @@ bool BagJoiner::Enumerate(
       for (const auto& [c, k] : active) {
         const auto [lo, hi] = ranges[c].back();
         const auto narrowed =
-            c == pivot
-                ? std::make_pair(wlo, whi)
-                : NarrowRange(constraints_[c].projection.tuples(), lo, hi,
-                              static_cast<size_t>(k), w);
+            c == pivot ? std::make_pair(wlo, whi)
+                       : constraints_[c].projection.NarrowRange(
+                             lo, hi, static_cast<size_t>(k), w);
         if (narrowed.first == narrowed.second) {
           ok = false;
           break;
@@ -210,7 +200,7 @@ bool BagJoiner::Enumerate(
       }
       if (ok && passes_checks(w)) {
         assignment[d] = w;
-        if (!descend(d + 1)) {
+        if (!self(self, d + 1)) {
           for (size_t i = 0; i < pushed; ++i) ranges[active[i].first].pop_back();
           return false;
         }
@@ -220,7 +210,7 @@ bool BagJoiner::Enumerate(
     return true;
   };
 
-  return descend(0);
+  return descend(descend, 0);
 }
 
 Relation BagJoiner::Materialise(const VarDomains* domains) const {
@@ -229,6 +219,9 @@ Relation BagJoiner::Materialise(const VarDomains* domains) const {
     out.Add(t);
     return true;
   });
+  // Enumeration emits in lexicographic order, so this is a linear
+  // verification pass, not a sort.
+  out.Canonicalize();
   return out;
 }
 

@@ -89,6 +89,11 @@ Status Query::Validate() const {
 }
 
 Status Query::CheckAgainstDatabase(const Database& db) const {
+  if (!db.IsCanonical()) {
+    return Status::InvalidArgument(
+        "database has staged facts; call Database::Canonicalize() after the "
+        "last AddFact");
+  }
   for (const Atom& atom : atoms_) {
     const int arity = db.Arity(atom.relation);
     if (arity < 0) {

@@ -25,6 +25,7 @@ Structure BuildStructureA(const Query& q) {
     assert(s.ok());
     (void)s;
   }
+  a.Canonicalize();
   return a;
 }
 
@@ -38,8 +39,8 @@ StatusOr<Structure> BuildStructureB(const Query& q, const Database& db,
       Status s = b.DeclareRelation(atom.relation, arity);
       if (!s.ok()) return s;
       if (b.relation(atom.relation).empty()) {
-        for (const Tuple& t : db.relation(atom.relation).tuples()) {
-          s = b.AddFact(atom.relation, t);
+        for (TupleView t : db.relation(atom.relation)) {
+          s = b.AddFact(atom.relation, MaterializeTuple(t));
           if (!s.ok()) return s;
         }
       }
@@ -75,6 +76,7 @@ StatusOr<Structure> BuildStructureB(const Query& q, const Database& db,
     s = enumerate(0);
     if (!s.ok()) return s;
   }
+  b.Canonicalize();
   return b;
 }
 
@@ -102,6 +104,7 @@ Structure BuildStructureAHat(const Query& q) {
     assert(s.ok());
     (void)s;
   }
+  a_hat.Canonicalize();
   return a_hat;
 }
 
@@ -139,7 +142,8 @@ StatusOr<Structure> BuildStructureBHat(const Query& q, const Database& db,
     // For each base tuple, all annotations (i_1..i_a) with every component
     // in U(B-hat).
     std::vector<int> positions(arity, 0);
-    for (const Tuple& t : rel.tuples()) {
+    for (TupleView view : rel) {
+      const Tuple t = MaterializeTuple(view);
       std::function<Status(int)> annotate = [&](int idx) -> Status {
         if (idx == arity) {
           Tuple annotated(arity);
@@ -193,6 +197,7 @@ StatusOr<Structure> BuildStructureBHat(const Query& q, const Database& db,
       }
     }
   }
+  b_hat.Canonicalize();
   return b_hat;
 }
 
@@ -203,7 +208,7 @@ Query CanonicalQuery(const Structure& a) {
   }
   q.SetNumFree(static_cast<int>(a.universe_size()));
   for (const std::string& name : a.RelationNames()) {
-    for (const Tuple& t : a.relation(name).tuples()) {
+    for (TupleView t : a.relation(name)) {
       Atom atom;
       atom.relation = name;
       for (Value v : t) atom.vars.push_back(static_cast<int>(v));

@@ -68,6 +68,7 @@ StatusOr<Database> ParseDatabase(const std::string& text) {
     return Status::InvalidArgument("unterminated relation block: " +
                                    current_relation);
   }
+  db.Canonicalize();
   return db;
 }
 
@@ -85,7 +86,7 @@ std::string FormatDatabase(const Database& db) {
   for (const std::string& name : db.RelationNames()) {
     const Relation& rel = db.relation(name);
     out << "relation " << name << " " << rel.arity() << "\n";
-    for (const Tuple& t : rel.tuples()) {
+    for (TupleView t : rel) {
       for (size_t i = 0; i < t.size(); ++i) {
         if (i > 0) out << " ";
         out << t[i];

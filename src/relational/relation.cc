@@ -1,67 +1,237 @@
 #include "relational/relation.h"
 
 #include <algorithm>
-#include <cassert>
+#include <numeric>
 
 namespace cqcount {
+namespace {
 
-void Relation::Add(Tuple t) {
-  assert(static_cast<int>(t.size()) == arity_);
-  tuples_.push_back(std::move(t));
-  sorted_ = false;
+// True when the staged rows are already sorted and duplicate-free — the
+// common case for trie-join enumeration output, which is emitted in
+// lexicographic order. Checking costs one linear pass and saves the sort.
+bool IsCanonicalOrder(const std::vector<Value>& data, size_t rows,
+                      size_t arity) {
+  for (size_t i = 1; i < rows; ++i) {
+    if (CompareValues(data.data() + (i - 1) * arity,
+                      data.data() + i * arity, arity) >= 0) {
+      return false;
+    }
+  }
+  return true;
 }
 
-void Relation::EnsureSorted() const {
-  if (sorted_) return;
-  std::sort(tuples_.begin(), tuples_.end());
-  tuples_.erase(std::unique(tuples_.begin(), tuples_.end()), tuples_.end());
-  sorted_ = true;
+}  // namespace
+
+Relation::Relation(int arity, std::vector<Value> rows) : arity_(arity) {
+  assert(arity >= 0);
+  if (arity == 0) {
+    // Arity 0 carries no payload; adopting a non-empty buffer would be a
+    // caller bug, and dividing by zero below must never happen.
+    assert(rows.empty());
+    return;
+  }
+  assert(rows.size() % static_cast<size_t>(arity) == 0);
+  num_rows_ = rows.size() / static_cast<size_t>(arity);
+  data_ = std::move(rows);
+  dirty_ = num_rows_ > 0;
+  Canonicalize();
 }
 
-bool Relation::Contains(const Tuple& t) const {
-  EnsureSorted();
-  return std::binary_search(tuples_.begin(), tuples_.end(), t);
+void Relation::Canonicalize() {
+  if (!dirty_) return;
+  dirty_ = false;
+  const size_t arity = static_cast<size_t>(arity_);
+  if (arity_ == 0) {
+    // Only the empty tuple exists; dedup to at most one row.
+    num_rows_ = num_rows_ > 0 ? 1 : 0;
+    return;
+  }
+  if (IsCanonicalOrder(data_, num_rows_, arity)) return;
+  if (arity_ == 1) {
+    std::sort(data_.begin(), data_.end());
+    data_.erase(std::unique(data_.begin(), data_.end()), data_.end());
+    num_rows_ = data_.size();
+    return;
+  }
+  if (arity_ == 2) {
+    // Pack each row into one uint64 so the sort runs on plain integers.
+    std::vector<uint64_t> packed(num_rows_);
+    for (size_t i = 0; i < num_rows_; ++i) {
+      packed[i] = (static_cast<uint64_t>(data_[2 * i]) << 32) | data_[2 * i + 1];
+    }
+    std::sort(packed.begin(), packed.end());
+    packed.erase(std::unique(packed.begin(), packed.end()), packed.end());
+    num_rows_ = packed.size();
+    data_.resize(num_rows_ * 2);
+    for (size_t i = 0; i < num_rows_; ++i) {
+      data_[2 * i] = static_cast<Value>(packed[i] >> 32);
+      data_[2 * i + 1] = static_cast<Value>(packed[i]);
+    }
+    return;
+  }
+  // General arity: argsort row indices, then gather unique rows.
+  std::vector<uint32_t> index(num_rows_);
+  std::iota(index.begin(), index.end(), 0u);
+  const Value* base = data_.data();
+  std::sort(index.begin(), index.end(), [&](uint32_t a, uint32_t b) {
+    return CompareValues(base + a * arity, base + b * arity, arity) < 0;
+  });
+  std::vector<Value> sorted;
+  sorted.reserve(data_.size());
+  size_t out_rows = 0;
+  for (size_t i = 0; i < num_rows_; ++i) {
+    const Value* row = base + index[i] * arity;
+    if (out_rows > 0 &&
+        CompareValues(sorted.data() + (out_rows - 1) * arity, row, arity) ==
+            0) {
+      continue;
+    }
+    sorted.insert(sorted.end(), row, row + arity);
+    ++out_rows;
+  }
+  data_ = std::move(sorted);
+  num_rows_ = out_rows;
 }
 
-const std::vector<Tuple>& Relation::tuples() const {
-  EnsureSorted();
-  return tuples_;
+ptrdiff_t Relation::IndexOf(const Value* t) const {
+  assert(!dirty_ && "read access to a non-canonical Relation");
+  if (arity_ == 0) return num_rows_ > 0 ? 0 : -1;
+  const size_t arity = static_cast<size_t>(arity_);
+  size_t lo = 0, hi = num_rows_;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    const int c = CompareValues(data_.data() + mid * arity, t, arity);
+    if (c < 0) {
+      lo = mid + 1;
+    } else if (c > 0) {
+      hi = mid;
+    } else {
+      return static_cast<ptrdiff_t>(mid);
+    }
+  }
+  return -1;
 }
 
-std::pair<size_t, size_t> Relation::PrefixRange(const Tuple& prefix,
-                                                size_t from, size_t to) const {
-  EnsureSorted();
-  auto begin = tuples_.begin() + from;
-  auto end = tuples_.begin() + to;
-  auto cmp_lo = [&](const Tuple& t, const Tuple& p) {
-    return std::lexicographical_compare(t.begin(),
-                                        t.begin() + std::min(t.size(),
-                                                             p.size()),
-                                        p.begin(), p.end());
-  };
-  auto lo = std::lower_bound(begin, end, prefix, cmp_lo);
-  auto cmp_hi = [&](const Tuple& p, const Tuple& t) {
-    return std::lexicographical_compare(p.begin(), p.end(), t.begin(),
-                                        t.begin() + std::min(t.size(),
-                                                             p.size()));
-  };
-  auto hi = std::upper_bound(lo, end, prefix, cmp_hi);
-  return {static_cast<size_t>(lo - tuples_.begin()),
-          static_cast<size_t>(hi - tuples_.begin())};
+std::pair<size_t, size_t> Relation::PrefixRange(const Value* prefix,
+                                                size_t len, size_t from,
+                                                size_t to) const {
+  assert(!dirty_ && "read access to a non-canonical Relation");
+  const size_t arity = static_cast<size_t>(arity_);
+  if (len > arity) {
+    // No tuple has a prefix longer than its arity: the range is empty,
+    // positioned after the rows ordered before the (truncated) prefix.
+    size_t lo = from, hi = to;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (CompareValues(data_.data() + mid * arity, prefix, arity) <= 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return {lo, lo};
+  }
+  const size_t k = len;
+  size_t lo = from, hi = to;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (CompareValues(data_.data() + mid * arity, prefix, k) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const size_t lower = lo;
+  hi = to;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (CompareValues(data_.data() + mid * arity, prefix, k) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return {lower, lo};
+}
+
+std::pair<size_t, size_t> Relation::NarrowRange(size_t from, size_t to,
+                                                size_t col, Value v) const {
+  assert(!dirty_ && "read access to a non-canonical Relation");
+  assert(col < static_cast<size_t>(arity_));
+  const size_t arity = static_cast<size_t>(arity_);
+  const Value* base = data_.data() + col;
+  // Live join ranges shrink fast; a short linear scan beats the binary
+  // search's branch misses on small ranges.
+  constexpr size_t kLinearThreshold = 12;
+  size_t lo = from, hi = to;
+  if (to - from <= kLinearThreshold) {
+    while (lo < to && base[lo * arity] < v) ++lo;
+    size_t end = lo;
+    while (end < to && base[end * arity] == v) ++end;
+    return {lo, end};
+  }
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (base[mid * arity] < v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const size_t lower = lo;
+  hi = to;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (base[mid * arity] <= v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return {lower, lo};
+}
+
+size_t Relation::GroupEnd(size_t from, size_t to, size_t col) const {
+  assert(!dirty_ && "read access to a non-canonical Relation");
+  assert(from < to && col < static_cast<size_t>(arity_));
+  const size_t arity = static_cast<size_t>(arity_);
+  const Value* base = data_.data() + col;
+  const Value v = base[from * arity];
+  // Gallop: value runs are short in practice, so probe forward before
+  // falling back to a binary search over the remainder.
+  size_t end = from + 1;
+  size_t step = 1;
+  while (end < to && base[end * arity] == v) {
+    end += step;
+    step *= 2;
+  }
+  size_t lo = end - step / 2;  // Last known-equal position + 1.
+  size_t hi = end < to ? end : to;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (base[mid * arity] <= v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
 }
 
 Relation Relation::Project(const std::vector<int>& positions) const {
+  assert(!dirty_ && "read access to a non-canonical Relation");
   Relation out(static_cast<int>(positions.size()));
-  for (const Tuple& t : tuples()) {
-    Tuple p;
-    p.reserve(positions.size());
-    for (int pos : positions) {
-      assert(pos >= 0 && pos < arity_);
-      p.push_back(t[pos]);
+  out.data_.reserve(num_rows_ * positions.size());
+  const size_t arity = static_cast<size_t>(arity_);
+  for (size_t i = 0; i < num_rows_; ++i) {
+    const Value* row = data_.data() + i * arity;
+    Value* dst = out.AppendRow();
+    for (size_t j = 0; j < positions.size(); ++j) {
+      assert(positions[j] >= 0 && positions[j] < arity_);
+      dst[j] = row[positions[j]];
     }
-    out.Add(std::move(p));
   }
-  out.EnsureSorted();
+  out.Canonicalize();
   return out;
 }
 
@@ -71,8 +241,10 @@ Relation Relation::Reorder(const std::vector<int>& order) const {
 }
 
 bool Relation::operator==(const Relation& other) const {
-  if (arity_ != other.arity_) return false;
-  return tuples() == other.tuples();
+  assert(!dirty_ && !other.dirty_ &&
+         "comparing non-canonical Relations");
+  return arity_ == other.arity_ && num_rows_ == other.num_rows_ &&
+         data_ == other.data_;
 }
 
 }  // namespace cqcount

@@ -46,6 +46,17 @@ Status Structure::AddFact(const std::string& name, Tuple t) {
   return Status::Ok();
 }
 
+void Structure::Canonicalize() {
+  for (auto& [name, rel] : relations_) rel.Canonicalize();
+}
+
+bool Structure::IsCanonical() const {
+  for (const auto& [name, rel] : relations_) {
+    if (!rel.canonical()) return false;
+  }
+  return true;
+}
+
 const Relation& Structure::relation(const std::string& name) const {
   auto it = relations_.find(name);
   assert(it != relations_.end() && "relation not declared");

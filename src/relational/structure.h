@@ -41,6 +41,15 @@ class Structure {
   /// right arity and its values must lie in the universe.
   Status AddFact(const std::string& name, Tuple t);
 
+  /// Canonicalises every relation (sort + dedup). Must be called after
+  /// the last AddFact and before the structure is read by the query
+  /// layers; afterwards all access is read-only and the structure can be
+  /// shared across threads. Idempotent.
+  void Canonicalize();
+
+  /// True when every relation is canonical (no staged facts pending).
+  bool IsCanonical() const;
+
   /// The relation for `name` (must be declared).
   const Relation& relation(const std::string& name) const;
   Relation* mutable_relation(const std::string& name);

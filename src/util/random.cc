@@ -57,6 +57,27 @@ bool Rng::Bernoulli(double p) {
 
 std::vector<bool> Rng::RandomMask(size_t n, double p) {
   std::vector<bool> mask(n);
+  if (p <= 0.0) return mask;
+  if (p >= 1.0) {
+    mask.assign(n, true);
+    return mask;
+  }
+  if (p == 0.5) {
+    // Fair masks (the colour-coding case) draw 64 bits per RNG step
+    // instead of one Next() per element.
+    uint64_t bits = 0;
+    int available = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (available == 0) {
+        bits = Next();
+        available = 64;
+      }
+      mask[i] = (bits & 1) != 0;
+      bits >>= 1;
+      --available;
+    }
+    return mask;
+  }
   for (size_t i = 0; i < n; ++i) mask[i] = Bernoulli(p);
   return mask;
 }

@@ -45,6 +45,7 @@ TEST(AcjrTest, ExistentialProjectionCounted) {
   ASSERT_TRUE(db.AddFact("E", {0, 1}).ok());
   ASSERT_TRUE(db.AddFact("E", {0, 2}).ok());
   ASSERT_TRUE(db.AddFact("E", {3, 1}).ok());
+  db.Canonicalize();
   auto result = AcjrCountAnswers(q, db, MakeNice(q), {});
   ASSERT_TRUE(result.ok());
   EXPECT_NEAR(result->estimate, 2.0, 0.3);

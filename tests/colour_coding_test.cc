@@ -126,6 +126,7 @@ TEST(DecideAnySolutionTest, BooleanQueries) {
   Database directed(3);
   ASSERT_TRUE(directed.DeclareRelation("E", 2).ok());
   ASSERT_TRUE(directed.AddFact("E", {0, 1}).ok());
+  directed.Canonicalize();
   {
     auto hom = MakeHom(no, directed);
     Rng rng(6);

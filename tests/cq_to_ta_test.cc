@@ -52,6 +52,7 @@ TEST(CqToTaTest, SingleAtomQuery) {
   ASSERT_TRUE(db.DeclareRelation("E", 2).ok());
   ASSERT_TRUE(db.AddFact("E", {0, 1}).ok());
   ASSERT_TRUE(db.AddFact("E", {2, 1}).ok());
+  db.Canonicalize();
   CheckParsimony(q, db);
 }
 
@@ -62,6 +63,7 @@ TEST(CqToTaTest, PathQueryWithExistential) {
   ASSERT_TRUE(db.AddFact("E", {0, 1}).ok());
   ASSERT_TRUE(db.AddFact("E", {1, 2}).ok());
   ASSERT_TRUE(db.AddFact("E", {1, 0}).ok());
+  db.Canonicalize();
   CheckParsimony(q, db);
 }
 

@@ -29,6 +29,7 @@ TEST(DatabaseIoTest, RoundTrip) {
   ASSERT_TRUE(db.DeclareRelation("R", 2).ok());
   ASSERT_TRUE(db.AddFact("R", {4, 0}).ok());
   ASSERT_TRUE(db.AddFact("R", {1, 3}).ok());
+  db.Canonicalize();
   auto parsed = ParseDatabase(FormatDatabase(db));
   ASSERT_TRUE(parsed.ok());
   EXPECT_EQ(parsed->universe_size(), 5u);
@@ -59,6 +60,7 @@ TEST(DatabaseIoTest, FileRoundTrip) {
   Database db(3);
   ASSERT_TRUE(db.DeclareRelation("T", 3).ok());
   ASSERT_TRUE(db.AddFact("T", {0, 1, 2}).ok());
+  db.Canonicalize();
   const std::string path = ::testing::TempDir() + "/cqcount_io_test.db";
   ASSERT_TRUE(WriteDatabaseFile(db, path).ok());
   auto loaded = ReadDatabaseFile(path);

@@ -31,6 +31,7 @@ TEST(DecompositionSolverTest, DecidesPathQuery) {
   ASSERT_TRUE(db.DeclareRelation("E", 2).ok());
   ASSERT_TRUE(db.AddFact("E", {0, 1}).ok());
   ASSERT_TRUE(db.AddFact("E", {1, 2}).ok());
+  db.Canonicalize();
   DecompositionSolver solver = MakeSolver(q, db);
   EXPECT_TRUE(solver.Decide(nullptr));
 }
@@ -40,6 +41,7 @@ TEST(DecompositionSolverTest, DetectsUnsatisfiable) {
   Database db(3);
   ASSERT_TRUE(db.DeclareRelation("E", 2).ok());
   ASSERT_TRUE(db.AddFact("E", {0, 1}).ok());  // No back edge.
+  db.Canonicalize();
   DecompositionSolver solver = MakeSolver(q, db);
   EXPECT_FALSE(solver.Decide(nullptr));
 }
@@ -52,6 +54,7 @@ TEST(DecompositionSolverTest, CountsPathSolutions) {
   ASSERT_TRUE(db.AddFact("E", {0, 1}).ok());
   ASSERT_TRUE(db.AddFact("E", {1, 2}).ok());
   ASSERT_TRUE(db.AddFact("E", {2, 0}).ok());
+  db.Canonicalize();
   DecompositionSolver solver = MakeSolver(q, db);
   EXPECT_DOUBLE_EQ(solver.CountSolutions(nullptr), 3.0);
 }
@@ -61,6 +64,7 @@ TEST(DecompositionSolverTest, DomainsRestrictDecision) {
   Database db(3);
   ASSERT_TRUE(db.DeclareRelation("R", 1).ok());
   ASSERT_TRUE(db.AddFact("R", {1}).ok());
+  db.Canonicalize();
   DecompositionSolver solver = MakeSolver(q, db);
   VarDomains domains;
   domains.allowed.resize(1);
@@ -77,9 +81,11 @@ TEST(DecompositionSolverTest, NegatedAtomsHonoured) {
   ASSERT_TRUE(db.DeclareRelation("S", 2).ok());
   ASSERT_TRUE(db.AddFact("R", {0, 1}).ok());
   ASSERT_TRUE(db.AddFact("S", {0, 1}).ok());
+  db.Canonicalize();
   DecompositionSolver solver = MakeSolver(q, db);
   EXPECT_FALSE(solver.Decide(nullptr));
   ASSERT_TRUE(db.AddFact("R", {1, 1}).ok());
+  db.Canonicalize();
   DecompositionSolver solver2 = MakeSolver(q, db);
   EXPECT_TRUE(solver2.Decide(nullptr));
 }

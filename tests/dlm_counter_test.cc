@@ -48,6 +48,7 @@ TEST(DlmCounterTest, SinglePartCounting) {
   Database db(64);
   ASSERT_TRUE(db.DeclareRelation("R", 1).ok());
   for (Value v = 0; v < 64; v += 2) ASSERT_TRUE(db.AddFact("R", {v}).ok());
+  db.Canonicalize();
   BruteForceEdgeFreeOracle oracle(q, db);
   auto result = DlmCountEdges({64}, oracle, {});
   ASSERT_TRUE(result.ok());
@@ -98,6 +99,7 @@ TEST(DlmCounterTest, ZeroSizedPartMeansZeroEdges) {
   Database db(2);
   ASSERT_TRUE(db.DeclareRelation("R", 1).ok());
   ASSERT_TRUE(db.AddFact("R", {0}).ok());
+  db.Canonicalize();
   BruteForceEdgeFreeOracle oracle(q, db);
   auto result = DlmCountEdges({0}, oracle, {});
   ASSERT_TRUE(result.ok());

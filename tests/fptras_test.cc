@@ -67,6 +67,7 @@ TEST(FptrasTest, NegatedAtomsSupported) {
   Database db = GraphToDatabase(PathGraph(4));
   ASSERT_TRUE(db.DeclareRelation("V", 1).ok());
   for (Value v = 0; v < 4; ++v) ASSERT_TRUE(db.AddFact("V", {v}).ok());
+  db.Canonicalize();
   const double exact =
       static_cast<double>(ExactCountAnswersBruteForce(q, db));
   auto result = ApproxCountAnswers(q, db, TestOptions(5));

@@ -44,6 +44,7 @@ TEST(StructureHomTest, MissingSignatureSymbolIsNo) {
   Structure a(1);
   ASSERT_TRUE(a.DeclareRelation("R", 1).ok());
   ASSERT_TRUE(a.AddFact("R", {0}).ok());
+  a.Canonicalize();
   Structure b(1);
   EXPECT_FALSE(DecideStructureHom(a, b));
 }

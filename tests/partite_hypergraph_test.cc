@@ -50,6 +50,7 @@ TEST(BruteForceOracleTest, EmptyPartIsEdgeFree) {
   Database db(2);
   ASSERT_TRUE(db.DeclareRelation("R", 1).ok());
   ASSERT_TRUE(db.AddFact("R", {0}).ok());
+  db.Canonicalize();
   BruteForceEdgeFreeOracle oracle(q, db);
   PartiteSubset s;
   s.parts = {{false, false}};

@@ -35,6 +35,7 @@ TEST(StructureBTest, PositiveRelationsCopied) {
   Database db(3);
   ASSERT_TRUE(db.DeclareRelation("R", 2).ok());
   ASSERT_TRUE(db.AddFact("R", {0, 1}).ok());
+  db.Canonicalize();
   auto b = BuildStructureB(q, db);
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(b->relation("R").size(), 1u);
@@ -47,6 +48,7 @@ TEST(StructureBTest, NegatedRelationIsComplement) {
   ASSERT_TRUE(db.DeclareRelation("S", 2).ok());
   ASSERT_TRUE(db.AddFact("R", {0}).ok());
   ASSERT_TRUE(db.AddFact("S", {1, 2}).ok());
+  db.Canonicalize();
   auto b = BuildStructureB(q, db);
   ASSERT_TRUE(b.ok());
   // |~S| = 3^2 - 1.
@@ -82,6 +84,7 @@ TEST(StructureBHatTest, RespectsPartsAndColouring) {
   Database db(2);
   ASSERT_TRUE(db.DeclareRelation("F", 2).ok());
   ASSERT_TRUE(db.AddFact("F", {0, 1}).ok());
+  db.Canonicalize();
   PartiteParts parts = {{true, false}};     // V_0 = {0}.
   ColouringFamily colouring = {{true, false}};  // f: 0 -> r, 1 -> b.
   auto b_hat = BuildStructureBHat(q, db, parts, colouring);
@@ -100,6 +103,7 @@ TEST(CanonicalQueryTest, FactsBecomeAtoms) {
   ASSERT_TRUE(a.DeclareRelation("E", 2).ok());
   ASSERT_TRUE(a.AddFact("E", {0, 1}).ok());
   ASSERT_TRUE(a.AddFact("E", {1, 2}).ok());
+  a.Canonicalize();
   Query q = CanonicalQuery(a);
   EXPECT_EQ(q.num_vars(), 3);
   EXPECT_EQ(q.num_free(), 3);

@@ -31,7 +31,8 @@ TEST(SamplerTest, SamplesAreAnswers) {
   auto sampler = AnswerSampler::Create(q, db, TestOptions(1));
   ASSERT_TRUE(sampler.ok());
   BruteForceEdgeFreeOracle truth(q, db);
-  std::set<Tuple> answers(truth.answers().begin(), truth.answers().end());
+  std::set<Tuple> answers;
+  for (TupleView t : truth.answers()) answers.insert(MaterializeTuple(t));
   auto samples = (*sampler)->Sample(20);
   ASSERT_TRUE(samples.ok());
   for (const Tuple& t : *samples) {

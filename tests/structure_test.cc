@@ -9,6 +9,7 @@ TEST(StructureTest, DeclareAndAdd) {
   Structure s(10);
   EXPECT_TRUE(s.DeclareRelation("R", 2).ok());
   EXPECT_TRUE(s.AddFact("R", {1, 2}).ok());
+  s.Canonicalize();
   EXPECT_TRUE(s.HasRelation("R"));
   EXPECT_EQ(s.Arity("R"), 2);
   EXPECT_EQ(s.relation("R").size(), 1u);
@@ -33,6 +34,7 @@ TEST(StructureTest, AddFactValidation) {
   EXPECT_FALSE(s.AddFact("R", {0}).ok());          // Wrong arity.
   EXPECT_FALSE(s.AddFact("R", {0, 3}).ok());       // Outside universe.
   EXPECT_TRUE(s.AddFact("R", {0, 2}).ok());
+  s.Canonicalize();
 }
 
 TEST(StructureTest, SizeFormula) {
@@ -43,6 +45,7 @@ TEST(StructureTest, SizeFormula) {
   ASSERT_TRUE(s.AddFact("R", {0, 1}).ok());
   ASSERT_TRUE(s.AddFact("R", {1, 2}).ok());
   ASSERT_TRUE(s.AddFact("S", {0, 1, 2}).ok());
+  s.Canonicalize();
   EXPECT_EQ(s.Size(), 2u + 7u + 2u * 2u + 1u * 3u);
   EXPECT_EQ(s.NumFacts(), 3u);
 }

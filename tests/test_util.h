@@ -113,6 +113,7 @@ inline Database RandomDatabaseFor(const Query& q, uint32_t universe,
       }
     }
   }
+  db.Canonicalize();
   return db;
 }
 

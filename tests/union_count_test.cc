@@ -32,6 +32,7 @@ TEST(UnionCountTest, ExactBruteForceBaseline) {
   ASSERT_TRUE(db.DeclareRelation("E", 2).ok());
   ASSERT_TRUE(db.AddFact("E", {0, 1}).ok());
   ASSERT_TRUE(db.AddFact("E", {1, 2}).ok());
+  db.Canonicalize();
   EXPECT_EQ(ExactCountUnionBruteForce({out, in}, db), 3u);
 }
 
@@ -55,6 +56,7 @@ TEST(UnionCountTest, DisjointUnionAddsUp) {
   ASSERT_TRUE(db.DeclareRelation("B", 1).ok());
   for (Value v = 0; v < 4; ++v) ASSERT_TRUE(db.AddFact("R", {v}).ok());
   for (Value v = 6; v < 9; ++v) ASSERT_TRUE(db.AddFact("B", {v}).ok());
+  db.Canonicalize();
   auto result = ApproxCountUnion({red, blue}, db, TestOptions(2));
   ASSERT_TRUE(result.ok());
   EXPECT_NEAR(result->estimate, 7.0, 1.5);
@@ -65,6 +67,7 @@ TEST(UnionCountTest, IdenticalQueriesDoNotDoubleCount) {
   Database db(8);
   ASSERT_TRUE(db.DeclareRelation("R", 1).ok());
   for (Value v = 0; v < 5; ++v) ASSERT_TRUE(db.AddFact("R", {v}).ok());
+  db.Canonicalize();
   auto result = ApproxCountUnion({q, q, q}, db, TestOptions(3));
   ASSERT_TRUE(result.ok());
   EXPECT_NEAR(result->estimate, 5.0, 1.5);

@@ -30,7 +30,7 @@ TEST(WorkloadTest, SocialNetworkShape) {
   EXPECT_TRUE(db.HasRelation("F"));
   EXPECT_TRUE(db.HasRelation("Adult"));
   // Friendship is symmetric.
-  for (const Tuple& t : db.relation("F").tuples()) {
+  for (TupleView t : db.relation("F")) {
     EXPECT_TRUE(db.relation("F").Contains({t[1], t[0]}));
   }
   // Expected degree ~4: |F| ~ 40 * 4 = 160 entries (two per edge).
