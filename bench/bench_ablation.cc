@@ -25,7 +25,8 @@ int Run() {
   {
     auto q = ParseQuery("ans(x, y) :- E(x, y).");
     Rng rng(42);
-    Database db = GraphToDatabase(ErdosRenyi(96, 0.15, rng));
+    const uint32_t n = bench::Sized(96u, 32u);
+    Database db = GraphToDatabase(ErdosRenyi(n, 0.15, rng));
     BruteForceEdgeFreeOracle truth(*q, db);
     const double exact = static_cast<double>(truth.answers().size());
     bench::Row("(a) DLM stratified splits vs sampling only (exact=%d)",
@@ -41,7 +42,7 @@ int Run() {
       opts.max_frontier = 32;  // Few, deep boxes: variance reduction counts.
       opts.enable_stratified_splits = splits;
       opts.seed = 7;
-      auto result = DlmCountEdges({96, 96}, oracle, opts);
+      auto result = DlmCountEdges({n, n}, oracle, opts);
       if (!result.ok()) continue;
       bench::Row("%-18s %12.1f %10.4f %14llu %10s",
                  splits ? "with splits" : "samples only", result->estimate,
@@ -60,7 +61,7 @@ int Run() {
     (void)s;
     s = final_db.DeclareRelation("S", 4);
     Rng tuple_rng(17);
-    for (int i = 0; i < 250; ++i) {
+    for (int i = 0; i < bench::Sized(250, 60); ++i) {
       Tuple t(4);
       for (int j = 0; j < 4; ++j) {
         t[j] = static_cast<Value>(tuple_rng.UniformInt(12));

@@ -52,7 +52,7 @@ int Run() {
   bench::Row("\n(b) FPTRAS runtime vs host size (pattern = P3)");
   bench::Row("%8s %12s %12s %14s", "host n", "estimate", "ms",
              "hom queries");
-  for (int n : {25, 50}) {
+  for (int n : bench::Sweep<int>({25, 50})) {
     Rng rng(100 + n);
     SimpleGraph host = ErdosRenyi(n, 6.0 / n, rng);
     ApproxOptions opts;

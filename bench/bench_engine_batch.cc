@@ -5,7 +5,11 @@
 //       skips decomposition search entirely);
 //   (b) CountBatch throughput at 1/2/4/8 worker threads over a mixed
 //       workload, with a determinism check (every thread count must
-//       produce bitwise-identical estimates).
+//       produce bitwise-identical estimates);
+//   (d) Gaifman-component factoring: a disconnected query (two disjoint
+//       triangles) against its connected control (one 6-cycle), factored
+//       engine vs the monolithic-plan baseline
+//       (compile.factor_components = false).
 // Writes the measurements as JSON (default BENCH_engine.json, or argv[1])
 // so future PRs have a perf trajectory to compare against.
 #include <chrono>
@@ -35,6 +39,10 @@ std::vector<CountRequest> MixedWorkload(int copies) {
       "ans(x, y) :- F(x, y), !Adult(y).",
       "ans(x) :- F(x, y), F(y, z), x != z.",
       "ans(x) :- F(x, y).",
+      // Disconnected shapes: exercised through the compile pipeline's
+      // Gaifman factoring (two components each).
+      "ans(x, y) :- F(x, a), F(y, b).",
+      "ans(u) :- F(u, w), F(p, q), p != q.",
   };
   std::vector<CountRequest> requests;
   for (int c = 0; c < copies; ++c) {
@@ -54,18 +62,31 @@ struct BatchPoint {
   double queries_per_sec = 0.0;
 };
 
+/// One engine configuration's measurements for one factoring query.
+struct FactoringPoint {
+  double cold_ms = 0.0;
+  double warm_ms = 0.0;
+  double estimate = 0.0;
+  int components = 0;
+  const char* strategy = "";
+  uint64_t cold_cache_hits = 0;
+  uint64_t cold_cache_misses = 0;
+};
+
 }  // namespace
 
 int Run(const std::string& json_path) {
   bench::Header("EXP-ENG", "engine: plan-cache latency and batch throughput");
 
+  const uint32_t universe = bench::Sized(400u, 80u);
   EngineOptions opts;
   opts.epsilon = 0.2;
   opts.delta = 0.2;
   CountingEngine engine(opts);
   {
     Rng rng(2024);
-    Status s = engine.RegisterDatabase("g", SocialNetworkDb(400, 5.0, 0.5, rng));
+    Status s =
+        engine.RegisterDatabase("g", SocialNetworkDb(universe, 5.0, 0.5, rng));
     if (!s.ok()) {
       std::fprintf(stderr, "register: %s\n", s.ToString().c_str());
       return 1;
@@ -107,7 +128,7 @@ int Run(const std::string& json_path) {
              warm_total_ms / n_shapes, warm_hits);
 
   // (b) batch throughput vs thread count; estimates must be identical.
-  const std::vector<CountRequest> batch = MixedWorkload(8);
+  const std::vector<CountRequest> batch = MixedWorkload(bench::Sized(8, 2));
   std::vector<BatchPoint> points;
   std::vector<double> reference;
   bool deterministic = true;
@@ -163,6 +184,84 @@ int Run(const std::string& json_path) {
              static_cast<unsigned long long>(stats.misses),
              static_cast<unsigned long long>(stats.evictions));
 
+  // (d) Gaifman-component factoring. The disjoint-triangles query has two
+  // 3-variable components (each cheap enough for exact counting); the
+  // 6-cycle control is connected, so both configurations plan it
+  // identically. The monolithic baseline disables factoring and must plan
+  // the disjoint query as one 6-variable shape (estimation territory).
+  const uint32_t factoring_universe = bench::Sized(60u, 24u);
+  const char* factoring_names[2] = {"disjoint-triangles", "six-cycle"};
+  const std::string factoring_queries[2] = {
+      "ans(a, d) :- F(a, b), F(b, c), F(c, a), F(d, e), F(e, f), F(f, d).",
+      "ans(a, d) :- F(a, b), F(b, c), F(c, d), F(d, e), F(e, f), F(f, a).",
+  };
+  FactoringPoint factoring[2][2];  // [query][0 = factored, 1 = monolithic]
+  {
+    Database db;
+    {
+      Rng rng(77);
+      db = SocialNetworkDb(factoring_universe, 6.0, 0.5, rng);
+    }
+    for (int config = 0; config < 2; ++config) {
+      EngineOptions factoring_opts;
+      factoring_opts.epsilon = 0.25;
+      factoring_opts.delta = 0.2;
+      factoring_opts.compile.factor_components = config == 0;
+      CountingEngine factoring_engine(factoring_opts);
+      Status s = factoring_engine.RegisterDatabase("g", db);
+      if (!s.ok()) {
+        std::fprintf(stderr, "register: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      for (int qi = 0; qi < 2; ++qi) {
+        FactoringPoint& point = factoring[qi][config];
+        const PlanCacheStats before = factoring_engine.CacheStats();
+        WallTimer timer;
+        auto cold = factoring_engine.Count(factoring_queries[qi], "g");
+        point.cold_ms = timer.Millis();
+        if (!cold.ok()) {
+          std::fprintf(stderr, "factoring count: %s\n",
+                       cold.status().ToString().c_str());
+          return 1;
+        }
+        const PlanCacheStats after = factoring_engine.CacheStats();
+        point.cold_cache_hits = after.hits - before.hits;
+        point.cold_cache_misses = after.misses - before.misses;
+        timer.Reset();
+        auto warm = factoring_engine.Count(factoring_queries[qi], "g");
+        point.warm_ms = timer.Millis();
+        if (!warm.ok() || warm->estimate != cold->estimate) {
+          std::fprintf(stderr, "factoring warm path diverged\n");
+          return 1;
+        }
+        point.estimate = cold->estimate;
+        point.components = cold->num_components;
+        point.strategy = StrategyName(cold->strategy);
+      }
+    }
+  }
+  bench::Row("\n(d) component factoring (universe %u, warm = cached plans)",
+             factoring_universe);
+  bench::Row("%20s %12s %6s %10s %10s %12s %12s", "query", "config", "comps",
+             "cold_ms", "warm_ms", "estimate", "cache h/m");
+  for (int qi = 0; qi < 2; ++qi) {
+    for (int config = 0; config < 2; ++config) {
+      const FactoringPoint& point = factoring[qi][config];
+      bench::Row("%20s %12s %6d %10.2f %10.2f %12.1f %7llu/%llu",
+                 factoring_names[qi],
+                 config == 0 ? "factored" : "monolithic", point.components,
+                 point.cold_ms, point.warm_ms, point.estimate,
+                 static_cast<unsigned long long>(point.cold_cache_hits),
+                 static_cast<unsigned long long>(point.cold_cache_misses));
+    }
+  }
+  const double factoring_speedup =
+      factoring[0][0].warm_ms > 0.0
+          ? factoring[0][1].warm_ms / factoring[0][0].warm_ms
+          : 0.0;
+  bench::Row("disjoint-triangles warm speedup (monolithic/factored): %.1fx",
+             factoring_speedup);
+
   std::FILE* out = std::fopen(json_path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -172,7 +271,7 @@ int Run(const std::string& json_path) {
   std::fprintf(out, "  \"bench\": \"engine_batch\",\n");
   std::fprintf(out, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
-  std::fprintf(out, "  \"universe\": 400,\n");
+  std::fprintf(out, "  \"universe\": %u,\n", universe);
   std::fprintf(out, "  \"distinct_queries\": %d,\n",
                static_cast<int>(shapes.size()));
   std::fprintf(out, "  \"cold\": {\"plan_ms\": %.4f, \"call_ms\": %.4f},\n",
@@ -198,6 +297,33 @@ int Run(const std::string& json_path) {
                kProbeTasks, kProbeSleepMs, probe_1t, probe_4t, pool_speedup);
   std::fprintf(out, "  \"deterministic\": %s,\n",
                deterministic ? "true" : "false");
+  std::fprintf(out, "  \"factoring\": {\n");
+  std::fprintf(out, "    \"universe\": %u,\n", factoring_universe);
+  std::fprintf(out, "    \"queries\": [\n");
+  for (int qi = 0; qi < 2; ++qi) {
+    std::fprintf(out, "      {\"query\": \"%s\",\n", factoring_names[qi]);
+    for (int config = 0; config < 2; ++config) {
+      const FactoringPoint& point = factoring[qi][config];
+      std::fprintf(out,
+                   "       \"%s\": {\"components\": %d, \"strategy\": "
+                   "\"%s\", \"cold_ms\": %.2f, \"warm_ms\": %.2f, "
+                   "\"estimate\": %.1f, \"cold_cache_hits\": %llu, "
+                   "\"cold_cache_misses\": %llu}%s\n",
+                   config == 0 ? "factored" : "monolithic", point.components,
+                   point.strategy, point.cold_ms, point.warm_ms,
+                   point.estimate,
+                   static_cast<unsigned long long>(point.cold_cache_hits),
+                   static_cast<unsigned long long>(point.cold_cache_misses),
+                   config == 0 ? "," : "");
+    }
+    std::fprintf(out, "      }%s\n", qi == 0 ? "," : "");
+  }
+  std::fprintf(out, "    ],\n");
+  std::fprintf(out,
+               "    \"disjoint_warm_speedup_monolithic_over_factored\": "
+               "%.2f\n",
+               factoring_speedup);
+  std::fprintf(out, "  },\n");
   std::fprintf(out,
                "  \"note\": \"CPU-bound batch scaling is capped by "
                "hardware_threads; pool_probe isolates executor dispatch "

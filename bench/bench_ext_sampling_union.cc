@@ -29,7 +29,7 @@ int Run() {
     opts.approx.seed = 99;
     auto sampler = AnswerSampler::Create(*q, db, opts);
     if (!sampler.ok()) return 1;
-    const int draws = 600;
+    const int draws = bench::Sized(600, 60);
     std::map<Tuple, int> counts;
     for (int i = 0; i < draws; ++i) {
       auto s = (*sampler)->SampleOne();

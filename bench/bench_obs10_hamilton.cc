@@ -47,7 +47,7 @@ int Run() {
       "\n(b) the no-FPRAS wall: colour-coding trials explode in ||phi||");
   bench::Row("%8s %10s %16s %14s %12s", "n(phi)", "|Delta|",
              "trials/call", "estimate", "ms");
-  for (int n : {3, 4}) {
+  for (int n : bench::Sweep<int>({3, 4})) {
     Query q = HamiltonQuery(n);
     Database db = GraphToDatabase(CliqueGraph(n + 1));
     ApproxOptions opts;
@@ -71,7 +71,7 @@ int Run() {
   bench::Row("\n(c) ...but polynomial in ||D|| for fixed phi (n = 3)");
   bench::Row("%10s %14s %12s", "host n", "estimate", "ms");
   Query q3 = HamiltonQuery(3);
-  for (int host : {10, 20}) {
+  for (int host : bench::Sweep<int>({10, 20})) {
     Rng rng(host);
     Database db = GraphToDatabase(ErdosRenyi(host, 0.5, rng));
     ApproxOptions opts;

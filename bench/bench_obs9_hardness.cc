@@ -33,9 +33,9 @@ int Run() {
                 "Observations 9/15: the unbounded-width wall (grid CQs)");
   bench::Row("%6s %6s %8s %10s %14s %14s", "k", "tw", "host n",
              "estimate", "fptras_ms", "exact_ms");
-  for (int k : {2, 3}) {
+  for (int k : bench::Sweep<int>({2, 3})) {
     Query q = GridCq(k);
-    for (int n : {12, 24, 48}) {
+    for (int n : bench::Sweep<int>({12, 24, 48})) {
       Rng rng(k * 1000 + n);
       Database db = GraphToDatabase(ErdosRenyi(n, 0.35, rng));
       ApproxOptions opts;

@@ -19,10 +19,12 @@
 namespace cqcount {
 namespace {
 
-constexpr int kRows = 200000;
+// Smoke mode (CQCOUNT_BENCH_SMOKE, see bench_util.h) shrinks the workload
+// so CI can exercise the bench end to end in well under a second.
+const int kRows = bench::Sized(200000, 5000);
 constexpr int kUniverse = 1000;
-constexpr int kScanRepeats = 20;
-constexpr int kProbeRepeats = 400000;
+const int kScanRepeats = bench::Sized(20, 2);
+const int kProbeRepeats = bench::Sized(400000, 10000);
 
 // The pre-PR2 boxed storage, reduced to the operations measured here.
 struct BoxedRelation {

@@ -51,7 +51,7 @@ int Run() {
                 "Theorem 13: unbounded arity, bounded adaptive width");
   bench::Row("(a) widths grow apart: tw ~ arity, fhw/aw stay <= 2");
   bench::Row("%8s %6s %8s %8s", "arity", "tw", "fhw", "aw_ub");
-  for (int arity : {2, 4, 6}) {
+  for (int arity : bench::Sweep<int>({2, 4, 6}, 2)) {
     Query q = HyperPath(arity);
     Hypergraph h = q.BuildHypergraph();
     auto tw = ExactTreewidth(h, 14);
@@ -63,7 +63,7 @@ int Run() {
 
   bench::Row("\n(b) accuracy vs brute force (small, arity sweep)");
   bench::Row("%8s %12s %12s %10s", "arity", "exact", "estimate", "rel.err");
-  for (int arity : {2, 4, 6, 8}) {
+  for (int arity : bench::Sweep<int>({2, 4, 6, 8}, 2)) {
     Query q = HyperPath(arity);
     Database db = MakeDb(q, 5, 40, arity);
     const double exact =
@@ -88,7 +88,7 @@ int Run() {
   bench::Row("\n(c) poly scaling in ||D|| at arity 6 (eps=0.35)");
   bench::Row("%8s %10s %12s %12s", "N", "tuples", "estimate", "ms");
   Query q6 = HyperPath(6);
-  for (uint32_t n : {16u, 32u, 48u}) {
+  for (uint32_t n : bench::Sweep<uint32_t>({16u, 32u, 48u})) {
     Database db = MakeDb(q6, n, 10 * n, 900 + n);
     ApproxOptions opts;
     opts.epsilon = 0.35;

@@ -28,7 +28,7 @@ int Run() {
     bench::Row("(a) triangle CQ, fhw = 1.5: accuracy vs exact");
     bench::Row("%8s %12s %12s %10s %8s", "N", "exact", "estimate",
                "rel.err", "fhw");
-    for (uint32_t n : {10u, 20u, 40u}) {
+    for (uint32_t n : bench::Sweep<uint32_t>({10u, 20u, 40u})) {
       Rng rng(n);
       Database db = RandomDatabase(
           n, {{"R", 2, 3 * n}, {"S", 2, 3 * n}, {"T", 2, 3 * n}}, rng);
@@ -55,7 +55,7 @@ int Run() {
     bench::Row("\n(b) 2-path CQ with existential middle: scaling in ||D||");
     bench::Row("%8s %12s %12s %14s", "N", "estimate", "ms",
                "membership DPs");
-    for (uint32_t n : {25u, 50u, 100u, 200u}) {
+    for (uint32_t n : bench::Sweep<uint32_t>({25u, 50u, 100u, 200u}, 2)) {
       Rng rng(31 + n);
       Database db = GraphToDatabase(ErdosRenyi(n, 4.0 / n, rng));
       FprasOptions opts;

@@ -36,14 +36,15 @@ int Run() {
   // (a) accuracy vs epsilon at N = 60.
   {
     Rng rng(101);
-    Database db = SocialNetworkDb(60, 5.0, 0.5, rng);
+    const uint32_t n = bench::Sized(60u, 24u);
+    Database db = SocialNetworkDb(n, 5.0, 0.5, rng);
     const double exact =
         static_cast<double>(ExactCountAnswersBruteForce(q, db));
-    bench::Row("\n(a) accuracy vs epsilon (N=60, exact=%d)",
+    bench::Row("\n(a) accuracy vs epsilon (N=%u, exact=%d)", n,
                static_cast<int>(exact));
     bench::Row("%8s %12s %10s %12s %12s", "epsilon", "estimate", "rel.err",
                "EdgeFree", "HomQueries");
-    for (double epsilon : {0.3, 0.2, 0.1, 0.05}) {
+    for (double epsilon : bench::Sweep<double>({0.3, 0.2, 0.1, 0.05}, 2)) {
       ApproxOptions opts;
       opts.epsilon = epsilon;
       opts.delta = 0.1;
@@ -78,7 +79,7 @@ int Run() {
   // measures the Theorem 5 pipeline, not the exact fallback.
   engine_opts.plan.exact_cost_limit = 0.0;
   CountingEngine engine(engine_opts);
-  for (uint32_t n : {50u, 100u, 200u, 400u, 800u}) {
+  for (uint32_t n : bench::Sweep<uint32_t>({50u, 100u, 200u, 400u, 800u}, 2)) {
     Rng rng(500 + n);
     Database db = SocialNetworkDb(n, 5.0, 0.5, rng);
     const std::string db_name = "social-" + std::to_string(n);

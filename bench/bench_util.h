@@ -9,10 +9,34 @@
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 namespace cqcount {
 namespace bench {
+
+/// True when CQCOUNT_BENCH_SMOKE is set to a non-zero value. CI smoke-runs
+/// every bench binary at tiny sizes so bench code cannot bit-rot between
+/// perf PRs; numbers produced under smoke mode are NOT comparable
+/// baselines and must never be checked in.
+inline bool SmokeMode() {
+  const char* env = std::getenv("CQCOUNT_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// `full` normally, `tiny` under SmokeMode().
+template <typename T>
+inline T Sized(T full, T tiny) {
+  return SmokeMode() ? tiny : full;
+}
+
+/// A size sweep, truncated to its first `keep` entries under SmokeMode().
+template <typename T>
+inline std::vector<T> Sweep(std::vector<T> sizes, size_t keep = 1) {
+  if (SmokeMode() && sizes.size() > keep) sizes.resize(keep);
+  return sizes;
+}
 
 inline void Header(const std::string& id, const std::string& title) {
   std::printf("\n==========================================================\n");

@@ -4,7 +4,9 @@
 //   cli count    <query> <database-file> [epsilon] [delta]
 //   cli exact    <query> <database-file>
 //   cli explain  <query> <database-file>
-//   cli batch    <query-file> <database-file> [threads] [epsilon] [delta]
+//   cli batch    <query-file> <database-file> [--threads N] [--epsilon E]
+//                [--delta D]   (positional [threads] [epsilon] [delta]
+//                also accepted)
 //   cli fpras    <query> <database-file> [epsilon]
 //   cli sample   <query> <database-file> [count]
 //   cli classify <query>
@@ -14,9 +16,10 @@
 // <query-file> holds one query per line ('#' starts a comment line).
 //
 // count/exact/explain/batch run through the CountingEngine: queries are
-// planned per the paper's Figure 1, plans are cached by canonical query
-// shape, and batches execute concurrently with deterministic per-item
-// seeds.
+// rewritten (atom dedup, nullary guards), split into Gaifman components,
+// planned per the paper's Figure 1 with per-component plans cached by
+// canonical shape, and batches execute concurrently with deterministic
+// per-item seeds. `explain` prints the per-component breakdown.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -43,10 +46,15 @@ int Usage() {
       "  cli exact    <query> <db-file>                     engine exact "
       "count\n"
       "  cli explain  <query> <db-file>                     plan + Figure 1 "
-      "verdict\n"
-      "  cli batch    <query-file> <db-file> [threads] [epsilon] [delta]\n"
+      "verdict,\n"
+      "                                                     per-component "
+      "breakdown\n"
+      "  cli batch    <query-file> <db-file> [--threads N] [--epsilon E] "
+      "[--delta D]\n"
       "                                                     concurrent "
       "batch counts\n"
+      "                                                     (positional "
+      "[threads] [epsilon] [delta] also accepted)\n"
       "  cli fpras    <query> <db-file> [epsilon]           FPRAS "
       "(Thm 16, pure CQ)\n"
       "  cli sample   <query> <db-file> [count]             answer "
@@ -147,19 +155,75 @@ int main(int argc, char** argv) {
     }
     std::printf("%.2f%s\n", result->estimate, result->exact ? " (exact)" : "");
     std::printf(
-        "# strategy=%s width=%.2f oracle_calls=%llu plan=%s "
+        "# strategy=%s width=%.2f components=%d oracle_calls=%llu plan=%s "
         "plan_ms=%.2f exec_ms=%.2f\n",
         StrategyName(result->strategy), result->width,
+        result->num_components,
         static_cast<unsigned long long>(result->oracle_calls),
         result->plan_cache_hit ? "cached" : "built", result->plan_millis,
         result->exec_millis);
+    if (result->num_components > 1) {
+      for (size_t c = 0; c < result->components.size(); ++c) {
+        const ComponentResult& comp = result->components[c];
+        if (!comp.executed) {
+          // A false nullary guard zeroes the product before execution.
+          std::printf("#   component %zu: skipped (false guard) strategy=%s "
+                      "plan=%s\n",
+                      c, StrategyName(comp.strategy),
+                      comp.plan_cache_hit ? "cached" : "built");
+          continue;
+        }
+        std::printf(
+            "#   component %zu: factor=%.2f strategy=%s%s epsilon=%.3g "
+            "plan=%s\n",
+            c, comp.estimate, StrategyName(comp.strategy),
+            comp.existential ? " (existential)" : "", comp.epsilon,
+            comp.plan_cache_hit ? "cached" : "built");
+      }
+    }
     return 0;
   }
 
   if (command == "batch") {
-    const int threads = argc > 4 ? std::atoi(argv[4]) : 0;
-    const double epsilon = argc > 5 ? std::atof(argv[5]) : 0.0;
-    const double delta = argc > 6 ? std::atof(argv[6]) : 0.0;
+    // --threads/--epsilon/--delta overrides; bare positionals (threads,
+    // epsilon, delta in that order) are kept for compatibility.
+    int threads = 0;
+    double epsilon = 0.0;
+    double delta = 0.0;
+    int positional = 0;
+    for (int i = 4; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto flag_value = [&](const char* name) -> const char* {
+        if (arg != name) return nullptr;
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "missing value for %s\n", name);
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (const char* v = flag_value("--threads")) {
+        threads = std::atoi(v);
+      } else if (const char* v = flag_value("--epsilon")) {
+        epsilon = std::atof(v);
+      } else if (const char* v = flag_value("--delta")) {
+        delta = std::atof(v);
+      } else if (arg.rfind("--", 0) == 0) {
+        // Only "--" prefixes are flags: "-1" stays a valid positional
+        // (threads <= 0 selects the engine's default pool).
+        std::fprintf(stderr, "unknown batch flag: %s\n", arg.c_str());
+        return Usage();
+      } else {
+        switch (positional++) {
+          case 0: threads = std::atoi(arg.c_str()); break;
+          case 1: epsilon = std::atof(arg.c_str()); break;
+          case 2: delta = std::atof(arg.c_str()); break;
+          default:
+            std::fprintf(stderr, "too many batch arguments: %s\n",
+                         arg.c_str());
+            return Usage();
+        }
+      }
+    }
     auto queries = ReadQueryFile(argv[2]);
     if (!queries.ok()) {
       std::fprintf(stderr, "error: %s\n",
@@ -190,8 +254,9 @@ int main(int argc, char** argv) {
         continue;
       }
       const EngineResult& r = *results[i];
-      std::printf("[%zu] %.2f%s  strategy=%s plan=%s\n", i, r.estimate,
-                  r.exact ? " (exact)" : "", StrategyName(r.strategy),
+      std::printf("[%zu] %.2f%s  strategy=%s components=%d plan=%s\n", i,
+                  r.estimate, r.exact ? " (exact)" : "",
+                  StrategyName(r.strategy), r.num_components,
                   r.plan_cache_hit ? "cached" : "built");
     }
     PlanCacheStats stats = engine.CacheStats();

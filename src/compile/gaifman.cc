@@ -1,0 +1,72 @@
+#include "compile/gaifman.h"
+
+#include <algorithm>
+
+namespace cqcount {
+
+GaifmanGraph::GaifmanGraph(const Query& q) : adj_(q.num_vars()) {
+  auto connect = [&](int u, int v) {
+    if (u == v) return;
+    adj_[u].push_back(v);
+    adj_[v].push_back(u);
+  };
+  for (const Atom& atom : q.atoms()) {
+    for (size_t i = 0; i < atom.vars.size(); ++i) {
+      for (size_t j = i + 1; j < atom.vars.size(); ++j) {
+        connect(atom.vars[i], atom.vars[j]);
+      }
+    }
+  }
+  for (const Disequality& d : q.disequalities()) connect(d.lhs, d.rhs);
+  for (auto& neighbours : adj_) {
+    std::sort(neighbours.begin(), neighbours.end());
+    neighbours.erase(std::unique(neighbours.begin(), neighbours.end()),
+                     neighbours.end());
+  }
+}
+
+int GaifmanGraph::num_edges() const {
+  size_t degree_sum = 0;
+  for (const auto& neighbours : adj_) degree_sum += neighbours.size();
+  return static_cast<int>(degree_sum / 2);
+}
+
+bool GaifmanGraph::Adjacent(int u, int v) const {
+  return std::binary_search(adj_[u].begin(), adj_[u].end(), v);
+}
+
+std::vector<std::vector<int>> GaifmanGraph::Components() const {
+  const int n = num_vars();
+  std::vector<int> component_of(n, -1);
+  std::vector<std::vector<int>> components;
+  std::vector<int> stack;
+  // Scanning vertices in increasing order yields components ordered by
+  // smallest member, each collected sorted; determinism matters because
+  // the engine derives per-component seeds from the component index.
+  for (int root = 0; root < n; ++root) {
+    if (component_of[root] != -1) continue;
+    const int id = static_cast<int>(components.size());
+    components.emplace_back();
+    component_of[root] = id;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      components[id].push_back(v);
+      for (int u : adj_[v]) {
+        if (component_of[u] == -1) {
+          component_of[u] = id;
+          stack.push_back(u);
+        }
+      }
+    }
+    std::sort(components[id].begin(), components[id].end());
+  }
+  return components;
+}
+
+bool GaifmanGraph::IsConnected() const {
+  return num_vars() <= 1 || Components().size() == 1;
+}
+
+}  // namespace cqcount

@@ -1,0 +1,54 @@
+// Gaifman graph of an extended conjunctive query (stage 2 of the compile
+// pipeline).
+//
+// Vertices are the query's variables; two variables are adjacent when they
+// co-occur in any body constraint. Unlike the query hypergraph H(phi) of
+// Definition 3 (which the width machinery uses and which deliberately
+// ignores disequalities), the compile pipeline must treat EVERY constraint
+// as a coupling: a disequality y != z correlates the two sides exactly
+// like a binary predicate would, and a negated atom constrains its
+// variables jointly. So edges come from
+//   - positive predicate atoms (a clique over the atom's variables),
+//   - negated predicate atoms (same), and
+//   - disequalities (one edge each).
+// The connected components of this graph are variable sets with no
+// constraint between them, so the answer count factors into the product of
+// the per-component counts (the per-component analyses behind the paper's
+// Theorems 5/13/16 lift to general queries through exactly this product).
+#ifndef CQCOUNT_COMPILE_GAIFMAN_H_
+#define CQCOUNT_COMPILE_GAIFMAN_H_
+
+#include <vector>
+
+#include "query/query.h"
+
+namespace cqcount {
+
+/// The (disequality- and negation-aware) Gaifman graph of a query.
+class GaifmanGraph {
+ public:
+  explicit GaifmanGraph(const Query& q);
+
+  int num_vars() const { return static_cast<int>(adj_.size()); }
+  /// Number of (undirected) edges.
+  int num_edges() const;
+
+  /// Sorted, duplicate-free neighbour list of `v`.
+  const std::vector<int>& neighbours(int v) const { return adj_[v]; }
+  bool Adjacent(int u, int v) const;
+
+  /// True when every variable is reachable from every other (vacuously
+  /// true for <= 1 variable).
+  bool IsConnected() const;
+
+  /// Connected components as sorted variable lists, ordered by smallest
+  /// member. Isolated variables form singleton components.
+  std::vector<std::vector<int>> Components() const;
+
+ private:
+  std::vector<std::vector<int>> adj_;
+};
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_COMPILE_GAIFMAN_H_

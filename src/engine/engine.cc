@@ -1,18 +1,24 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <mutex>
 #include <sstream>
 #include <thread>
 #include <utility>
 
-#include "automata/fpras.h"
-#include "counting/exact_count.h"
-#include "counting/fptras.h"
 #include "query/parser.h"
 #include "relational/database_io.h"
 #include "util/timer.h"
 
 namespace cqcount {
+namespace {
+
+bool AllCacheHits(const std::vector<bool>& hits) {
+  return !hits.empty() &&
+         std::all_of(hits.begin(), hits.end(), [](bool hit) { return hit; });
+}
+
+}  // namespace
 
 CountingEngine::CountingEngine(EngineOptions opts)
     : opts_(opts),
@@ -70,97 +76,190 @@ CountingEngine::RegisteredDatabase CountingEngine::FindDatabase(
 }
 
 std::shared_ptr<const QueryPlan> CountingEngine::GetOrBuildPlan(
-    const Query& q, const std::string& db_name, uint64_t db_generation,
-    const Database& db, CanonicalShape* shape, bool* cache_hit) {
-  *shape = CanonicalQueryShape(q);
+    const Query& q, const CanonicalShape& shape, const std::string& db_name,
+    uint64_t db_generation, const Database& db, bool* cache_hit) {
   // Scope by database name and generation: the same shape may warrant
   // different strategies on differently sized databases, and re-registered
   // contents must never reuse plans costed against the old database.
   const std::string key = db_name + "\x1f" + std::to_string(db_generation) +
-                          "\x1f" + shape->key;
+                          "\x1f" + shape.key;
   if (auto cached = cache_.Lookup(key)) {
     *cache_hit = true;
     return cached;
   }
   *cache_hit = false;
   auto plan = std::make_shared<const QueryPlan>(
-      BuildQueryPlan(q, *shape, db, opts_.plan));
+      BuildQueryPlan(q, shape, db, opts_.plan));
   cache_.Insert(key, plan);
   return plan;
 }
 
-StatusOr<EngineResult> CountingEngine::ExecutePlan(
-    const Query& q, const Database& db, const QueryPlan& plan,
-    const CanonicalShape& shape, const CountRequest& request) {
+CountingEngine::PlannedQuery CountingEngine::CompileAndPlan(
+    const Query& q, const std::string& db_name, uint64_t db_generation,
+    const Database& db) {
+  PlannedQuery planned;
+  planned.compiled = CompileQuery(q, opts_.compile);
+  planned.plans.reserve(planned.compiled.components.size());
+  planned.cache_hits.reserve(planned.compiled.components.size());
+  double dominant_cost = -1.0;
+  for (size_t i = 0; i < planned.compiled.components.size(); ++i) {
+    const QueryComponent& component = planned.compiled.components[i];
+    bool cache_hit = false;
+    planned.plans.push_back(GetOrBuildPlan(component.query, component.shape,
+                                           db_name, db_generation, db,
+                                           &cache_hit));
+    planned.cache_hits.push_back(cache_hit);
+    if (planned.plans.back()->cost_estimate > dominant_cost) {
+      dominant_cost = planned.plans.back()->cost_estimate;
+      planned.dominant = static_cast<int>(i);
+    }
+  }
+  return planned;
+}
+
+std::vector<BudgetShare> CountingEngine::ComponentBudgets(
+    const PlannedQuery& planned, double epsilon, double delta,
+    bool force_exact) const {
+  const auto& components = planned.compiled.components;
+  // Exact factors are free: only components whose effective strategy
+  // estimates split the budget — epsilon over the estimated counting
+  // factors, delta over every estimated factor (union bound).
+  auto estimates = [&](size_t i) {
+    return !force_exact &&
+           planned.plans[i]->strategy != Strategy::kExact;
+  };
+  size_t estimated_total = 0;
+  size_t estimated_counting = 0;
+  for (size_t i = 0; i < components.size(); ++i) {
+    if (!estimates(i)) continue;
+    ++estimated_total;
+    if (!components[i].existential) ++estimated_counting;
+  }
+  std::vector<BudgetShare> shares(components.size());
+  for (size_t i = 0; i < components.size(); ++i) {
+    if (!estimates(i)) continue;  // Zero share for exact factors.
+    shares[i] = SplitBudget(epsilon, delta, estimated_counting,
+                            estimated_total, components[i].existential);
+  }
+  return shares;
+}
+
+StatusOr<EngineResult> CountingEngine::ExecutePlanned(
+    const PlannedQuery& planned, const Database& db,
+    const CountRequest& request) {
+  const CompiledQuery& compiled = planned.compiled;
   EngineResult result;
-  result.strategy = request.force_exact ? Strategy::kExact : plan.strategy;
-  result.kind = plan.classification.kind;
-  result.width = plan.decomposition.width;
-  result.shape_key = plan.shape_key;
-  result.verdict = plan.classification.verdict;
+  result.kind = compiled.normalized.Kind();
+  result.num_components = static_cast<int>(compiled.num_components());
+  result.atoms_deduped = compiled.stats.atoms_deduped;
+  result.variables_pruned = compiled.stats.variables_pruned;
+  result.guards_evaluated = static_cast<int>(compiled.guards.size());
+  result.plan_cache_hit = AllCacheHits(planned.cache_hits);
+  {
+    std::vector<std::string> keys;
+    keys.reserve(compiled.components.size());
+    for (const QueryComponent& c : compiled.components)
+      keys.push_back(c.shape.key);
+    std::sort(keys.begin(), keys.end());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (i > 0) result.shape_key += " * ";
+      result.shape_key += keys[i];
+    }
+  }
+  if (planned.dominant >= 0) {
+    const QueryPlan& dominant = *planned.plans[planned.dominant];
+    result.strategy =
+        request.force_exact ? Strategy::kExact : dominant.strategy;
+    result.verdict = dominant.classification.verdict;
+  }
 
   const double epsilon = request.epsilon > 0 ? request.epsilon : opts_.epsilon;
   const double delta = request.delta > 0 ? request.delta : opts_.delta;
-  const uint64_t seed =
+  const uint64_t base_seed =
       request.seed != 0 ? request.seed : DeriveSeed(opts_.seed, 0);
 
-  // The cached decomposition lives in canonical numbering; the strategies
-  // that run on it map it onto this query's variables (the exact path
-  // never touches it, so it is built lazily).
-  FWidthResult local;
-  auto instantiate = [&]() -> const FWidthResult* {
-    local = plan.decomposition;
-    local.decomposition = InstantiateDecomposition(
-        plan.decomposition.decomposition, shape.to_canonical);
-    local.order.clear();  // The elimination order is unused by execution.
-    return &local;
-  };
-
   WallTimer timer;
-  switch (result.strategy) {
-    case Strategy::kExact: {
-      result.estimate =
-          static_cast<double>(ExactCountAnswersBruteForce(q, db));
-      result.exact = true;
+  // A false guard makes the whole product a certain zero: components are
+  // still reported (plan provenance) but not executed.
+  bool guards_hold = true;
+  for (const NullaryGuard& guard : compiled.guards) {
+    if (!GuardHolds(guard, db)) {
+      guards_hold = false;
       break;
     }
-    case Strategy::kFptrasTreewidth:
-    case Strategy::kFptrasFhw: {
-      ApproxOptions opts;
-      opts.epsilon = epsilon;
-      opts.delta = delta;
-      opts.seed = seed;
-      opts.objective = plan.objective;
-      opts.exact_decomposition_limit = opts_.plan.exact_decomposition_limit;
-      opts.precomputed_decomposition = instantiate();
-      auto approx = ApproxCountAnswers(q, db, opts);
-      if (!approx.ok()) return approx.status();
-      result.estimate = approx->estimate;
-      result.exact = approx->exact;
-      result.converged = approx->converged;
-      result.oracle_calls = approx->hom_queries + approx->edgefree_calls;
-      break;
+  }
+
+  const size_t k_total = compiled.num_components();
+  const std::vector<BudgetShare> budgets =
+      ComponentBudgets(planned, epsilon, delta, request.force_exact);
+  const ExecutorRegistry& registry = ExecutorRegistry::Default();
+
+  double product = 1.0;
+  bool all_exact = true;
+  bool all_converged = true;
+  result.components.reserve(k_total);
+  for (size_t i = 0; i < k_total; ++i) {
+    const QueryComponent& component = compiled.components[i];
+    const QueryPlan& plan = *planned.plans[i];
+    ComponentResult cr;
+    cr.strategy = request.force_exact ? Strategy::kExact : plan.strategy;
+    cr.width = plan.decomposition.width;
+    cr.num_vars = component.query.num_vars();
+    cr.num_free = component.query.num_free();
+    cr.existential = component.existential;
+    cr.plan_cache_hit = planned.cache_hits[i];
+    cr.shape_key = plan.shape_key;
+    cr.verdict = plan.classification.verdict;
+    const BudgetShare& share = budgets[i];
+    cr.epsilon = share.epsilon;
+    cr.delta = share.delta;
+    result.width = std::max(result.width, cr.width);
+
+    if (guards_hold) {
+      const StrategyExecutor* executor = registry.Find(cr.strategy);
+      if (executor == nullptr) {
+        return Status::Internal(std::string("no executor registered for ") +
+                                StrategyName(cr.strategy));
+      }
+      ExecContext ctx;
+      ctx.query = &component.query;
+      ctx.db = &db;
+      ctx.plan = &plan;
+      ctx.shape = &component.shape;
+      // Single-component queries keep the request seed verbatim, so the
+      // engine path is bitwise identical to the direct pipeline; factored
+      // queries give every component its own derived stream.
+      ctx.budget.epsilon = share.epsilon;
+      ctx.budget.delta = share.delta;
+      ctx.budget.seed =
+          k_total == 1 ? base_seed : DeriveSeed(base_seed, static_cast<uint64_t>(i));
+      ctx.exact_decomposition_limit = opts_.plan.exact_decomposition_limit;
+      auto outcome = executor->Execute(ctx);
+      if (!outcome.ok()) return outcome.status();
+      cr.executed = true;
+      cr.estimate = outcome->estimate;
+      cr.exact = outcome->exact;
+      cr.converged = outcome->converged;
+      cr.oracle_calls = outcome->oracle_calls;
+      all_exact = all_exact && cr.exact;
+      all_converged = all_converged && cr.converged;
+      result.oracle_calls += cr.oracle_calls;
+      // Purely-existential components collapse to a boolean factor: any
+      // relative-error estimate preserves zero vs non-zero.
+      product *= component.existential ? (cr.estimate > 0.0 ? 1.0 : 0.0)
+                                       : cr.estimate;
     }
-    case Strategy::kAutomataFpras: {
-      FprasOptions opts;
-      opts.acjr.epsilon = epsilon;
-      opts.acjr.delta = delta;
-      opts.acjr.seed = seed;
-      opts.objective = plan.objective;
-      opts.exact_decomposition_limit = opts_.plan.exact_decomposition_limit;
-      opts.precomputed_decomposition = instantiate();
-      auto fpras = FprasCountCq(q, db, opts);
-      if (!fpras.ok()) return fpras.status();
-      result.estimate = fpras->estimate;
-      result.exact = fpras->exact;
-      result.converged = fpras->converged;
-      result.oracle_calls = fpras->membership_tests;
-      break;
-    }
-    case Strategy::kSampler: {
-      return Status::InvalidArgument(
-          "sampler strategy is not a counting strategy");
-    }
+    result.components.push_back(std::move(cr));
+  }
+
+  if (!guards_hold) {
+    result.estimate = 0.0;
+    result.exact = true;
+    result.converged = true;
+  } else {
+    result.estimate = product;
+    result.exact = all_exact;
+    result.converged = all_converged;
   }
   result.exec_millis = timer.Millis();
   return result;
@@ -178,15 +277,12 @@ StatusOr<EngineResult> CountingEngine::Count(const CountRequest& request) {
   if (!compatible.ok()) return compatible;
 
   WallTimer plan_timer;
-  CanonicalShape shape;
-  bool cache_hit = false;
-  auto plan = GetOrBuildPlan(*query, request.database, db.generation, *db.db,
-                             &shape, &cache_hit);
+  PlannedQuery planned =
+      CompileAndPlan(*query, request.database, db.generation, *db.db);
   const double plan_millis = plan_timer.Millis();
 
-  auto result = ExecutePlan(*query, *db.db, *plan, shape, request);
+  auto result = ExecutePlanned(planned, *db.db, request);
   if (!result.ok()) return result;
-  result->plan_cache_hit = cache_hit;
   result->plan_millis = plan_millis;
   return result;
 }
@@ -220,29 +316,85 @@ StatusOr<Explanation> CountingEngine::Explain(const std::string& query,
   if (!compatible.ok()) return compatible;
 
   WallTimer timer;
-  CanonicalShape shape;
+  PlannedQuery planned = CompileAndPlan(*q, database, db.generation, *db.db);
   Explanation out;
-  auto plan = GetOrBuildPlan(*q, database, db.generation, *db.db, &shape,
-                             &out.plan_cache_hit);
   out.plan_millis = timer.Millis();
-  out.plan = *plan;
 
-  const Classification& cls = plan->classification;
+  const CompiledQuery& compiled = planned.compiled;
+  out.guards = compiled.guards;
+  out.pass_stats = compiled.stats;
+  out.plan_cache_hit = AllCacheHits(planned.cache_hits);
+  if (planned.dominant >= 0) out.plan = *planned.plans[planned.dominant];
+
+  const size_t k_total = compiled.num_components();
+  const size_t k_counting = compiled.num_counting_components();
+  const std::vector<BudgetShare> budgets =
+      ComponentBudgets(planned, opts_.epsilon, opts_.delta, false);
+
+  const Query& nq = compiled.normalized;
   std::ostringstream text;
   text << "query: " << q->ToString() << "\n"
        << "kind: "
-       << (cls.kind == QueryKind::kCq    ? "CQ"
-           : cls.kind == QueryKind::kDcq ? "DCQ"
-                                         : "ECQ")
-       << "  vars: " << cls.num_vars << " (" << cls.num_free << " free)"
-       << "  ||phi||: " << cls.phi_size << "\n"
-       << "widths: tw<=" << cls.treewidth << "  fhw<=" << cls.fhw << "\n"
-       << "verdict: " << cls.verdict << "\n"
-       << "strategy: " << StrategyName(plan->strategy)
-       << "  (decomposition: " << plan->decomposition.decomposition.num_nodes()
-       << " bags, width " << plan->decomposition.width << ")\n"
-       << "cost estimate: " << plan->cost_estimate
-       << "  plan cache: " << (out.plan_cache_hit ? "hit" : "miss") << "\n";
+       << (nq.Kind() == QueryKind::kCq    ? "CQ"
+           : nq.Kind() == QueryKind::kDcq ? "DCQ"
+                                          : "ECQ")
+       << "  vars: " << nq.num_vars() << " (" << nq.num_free() << " free)"
+       << "  ||phi||: " << nq.PhiSize() << "\n";
+  if (compiled.stats.Changed()) {
+    text << "passes: atoms deduped " << compiled.stats.atoms_deduped
+         << ", nullary guards " << compiled.stats.guards_extracted
+         << ", variables pruned " << compiled.stats.variables_pruned << "\n";
+  }
+  for (const NullaryGuard& guard : compiled.guards) {
+    text << "guard: " << (guard.negated ? "!" : "") << guard.relation
+         << "()  [0/1 factor]\n";
+  }
+  text << "components: " << k_total;
+  if (k_total > k_counting) {
+    text << " (" << k_counting << " counting, " << (k_total - k_counting)
+         << " existential)";
+  }
+  text << "\n";
+
+  for (size_t i = 0; i < k_total; ++i) {
+    const QueryComponent& component = compiled.components[i];
+    const QueryPlan& plan = *planned.plans[i];
+    ComponentExplanation ce;
+    ce.plan = plan;
+    ce.plan_cache_hit = planned.cache_hits[i];
+    ce.existential = component.existential;
+    for (int local = 0; local < component.query.num_vars(); ++local) {
+      ce.variables.push_back(component.query.var_name(local));
+    }
+    const BudgetShare& share = budgets[i];
+    ce.epsilon = share.epsilon;
+    ce.delta = share.delta;
+
+    const Classification& cls = plan.classification;
+    text << "component " << i << " (";
+    if (component.existential) text << "existential, ";
+    text << cls.num_vars << " vars, " << cls.num_free << " free): {";
+    for (size_t v = 0; v < ce.variables.size(); ++v) {
+      if (v > 0) text << ", ";
+      text << ce.variables[v];
+    }
+    text << "}\n"
+         << "  widths: tw<=" << cls.treewidth << "  fhw<=" << cls.fhw << "\n"
+         << "  verdict: " << cls.verdict << "\n"
+         << "  strategy: " << StrategyName(plan.strategy)
+         << "  (decomposition: " << plan.decomposition.decomposition.num_nodes()
+         << " bags, width " << plan.decomposition.width << ")\n"
+         << "  budget: ";
+    if (share.epsilon > 0.0) {
+      text << "epsilon " << share.epsilon << "  delta " << share.delta;
+    } else {
+      text << "none (exact factor)";
+    }
+    text << "\n"
+         << "  cost estimate: " << plan.cost_estimate
+         << "  plan cache: " << (ce.plan_cache_hit ? "hit" : "miss") << "\n";
+    out.components.push_back(std::move(ce));
+  }
   out.text = text.str();
   return out;
 }

@@ -2,12 +2,22 @@
 //
 // The seed entry points (CLI, benches) hand-wired parse -> decompose ->
 // strategy -> execute for every single call. The engine performs that
-// wiring once per query *shape*: plans are classified per the paper's
-// Figure 1, cached in a sharded LRU keyed by canonical shape (isomorphic
-// queries share plans), and executed with full provenance. Batches of
-// independent queries run concurrently on a worker pool with per-item
-// seeds derived deterministically from (base seed, index), so results are
-// bitwise identical regardless of thread count.
+// wiring once per query *shape*, through a real compile pipeline:
+//
+//   parse -> normalize (rewrite passes: atom dedup, nullary-guard
+//   extraction, unused-variable pruning) -> split into the connected
+//   components of the Gaifman graph (disequalities and negated atoms
+//   count as edges) -> plan each component independently (Figure-1
+//   classification, cached in a sharded LRU keyed by the component's
+//   canonical shape, so two different queries sharing a component shape
+//   reuse one sub-plan) -> execute each component through the
+//   StrategyExecutor registry -> multiply the per-component counts,
+//   splitting the requested (epsilon, delta) across the factors so the
+//   product still meets the guarantee (see compile/compiled_query.h).
+//
+// Batches of independent queries run concurrently on a worker pool with
+// per-item seeds derived deterministically from (base seed, index), so
+// results are bitwise identical regardless of thread count.
 #ifndef CQCOUNT_ENGINE_ENGINE_H_
 #define CQCOUNT_ENGINE_ENGINE_H_
 
@@ -18,9 +28,11 @@
 #include <string>
 #include <vector>
 
+#include "compile/compiled_query.h"
 #include "engine/executor.h"
 #include "engine/plan.h"
 #include "engine/plan_cache.h"
+#include "engine/strategy_executor.h"
 #include "query/query.h"
 #include "relational/structure.h"
 #include "util/status.h"
@@ -41,6 +53,8 @@ struct EngineOptions {
   int num_threads = 4;
   /// Planner thresholds.
   PlanOptions plan;
+  /// Compile-pipeline gates (normalization passes, component factoring).
+  CompileOptions compile;
 };
 
 /// One query of a batch (and the argument of Count).
@@ -58,36 +72,98 @@ struct CountRequest {
   bool force_exact = false;
 };
 
+/// Execution provenance of one Gaifman component of a query.
+struct ComponentResult {
+  /// This component's factor of the product. Purely-existential
+  /// components report their raw strategy estimate here; the boolean
+  /// collapse (non-zero -> 1) happens in the product.
+  double estimate = 0.0;
+  bool exact = false;
+  bool converged = true;
+  Strategy strategy = Strategy::kExact;
+  /// Width of the decomposition the component ran on.
+  double width = 0.0;
+  int num_vars = 0;
+  int num_free = 0;
+  /// No free variables: contributes a 0/1 boolean factor.
+  bool existential = false;
+  bool plan_cache_hit = false;
+  /// False when execution was skipped (a false nullary guard makes the
+  /// product a certain zero): estimate/exact/oracle_calls are then
+  /// placeholders, only the planning provenance is meaningful.
+  bool executed = false;
+  uint64_t oracle_calls = 0;
+  /// Canonical shape key of the component sub-query.
+  std::string shape_key;
+  /// Figure-1 verdict for the component's shape.
+  std::string verdict;
+  /// (epsilon, delta) share this component ran with. Zero for exact
+  /// factors: they consume none of the accuracy budget.
+  double epsilon = 0.0;
+  double delta = 0.0;
+};
+
 /// A count with execution provenance.
 struct EngineResult {
   double estimate = 0.0;
-  /// True when the strategy produced an exact answer.
+  /// True when every factor (guards and components) is exact.
   bool exact = false;
   /// False when a sampling cap was hit before the target interval.
   bool converged = true;
-  /// Strategy that actually ran.
+  /// Strategy of the dominant (highest planned cost) component.
   Strategy strategy = Strategy::kExact;
   QueryKind kind = QueryKind::kCq;
-  /// Width of the decomposition the execution ran on.
+  /// Largest decomposition width across components.
   double width = 0.0;
   /// Oracle work: hom-oracle calls plus estimator membership tests.
   uint64_t oracle_calls = 0;
-  /// True when the plan came from the cache (decomposition not recomputed).
+  /// True when every component plan came from the cache.
   bool plan_cache_hit = false;
   double plan_millis = 0.0;
   double exec_millis = 0.0;
-  /// Canonical shape key (cache key sans database scope).
+  /// Canonical shape keys of all components, sorted, joined by " * ".
   std::string shape_key;
-  /// Figure-1 verdict for the query's shape.
+  /// Figure-1 verdict of the dominant component.
   std::string verdict;
+  /// Per-component provenance (ordered by smallest variable; factors of
+  /// the product). Empty for pure-guard queries.
+  std::vector<ComponentResult> components;
+  int num_components = 0;
+  /// What the rewrite passes changed.
+  int atoms_deduped = 0;
+  int variables_pruned = 0;
+  /// Nullary guards evaluated (each a 0/1 factor of the product).
+  int guards_evaluated = 0;
 };
 
-/// Explain() output: the plan, without execution.
-struct Explanation {
+/// Per-component planning provenance in Explain() output.
+struct ComponentExplanation {
   QueryPlan plan;
   bool plan_cache_hit = false;
+  bool existential = false;
+  /// The component's variables, by original name.
+  std::vector<std::string> variables;
+  /// (epsilon, delta) share the component would execute with (zero for
+  /// exact factors, which consume no budget).
+  double epsilon = 0.0;
+  double delta = 0.0;
+};
+
+/// Explain() output: the compiled plan, without execution.
+struct Explanation {
+  /// Plan of the dominant (highest planned cost) component.
+  QueryPlan plan;
+  /// All component plans, ordered by smallest variable.
+  std::vector<ComponentExplanation> components;
+  /// Nullary guards lifted out of the body.
+  std::vector<NullaryGuard> guards;
+  /// What the rewrite passes changed.
+  PassStats pass_stats;
+  /// True when every component plan came from the cache.
+  bool plan_cache_hit = false;
   double plan_millis = 0.0;
-  /// Multi-line human-readable rendering.
+  /// Multi-line human-readable rendering (includes the per-component
+  /// breakdown).
   std::string text;
 };
 
@@ -111,7 +187,8 @@ class CountingEngine {
   /// Registered database names, sorted.
   std::vector<std::string> DatabaseNames() const;
 
-  /// Plans (cached) and executes one counting request.
+  /// Compiles (cached per component shape) and executes one counting
+  /// request.
   StatusOr<EngineResult> Count(const CountRequest& request);
   StatusOr<EngineResult> Count(const std::string& query,
                                const std::string& database);
@@ -120,8 +197,9 @@ class CountingEngine {
   StatusOr<EngineResult> CountExact(const std::string& query,
                                     const std::string& database);
 
-  /// Plans without executing: the Figure-1 verdict, chosen strategy,
-  /// decomposition shape and cost estimate.
+  /// Compiles and plans without executing: rewrite-pass effects, the
+  /// per-component Figure-1 verdicts, chosen strategies, decomposition
+  /// shapes and cost estimates.
   StatusOr<Explanation> Explain(const std::string& query,
                                 const std::string& database);
 
@@ -148,21 +226,42 @@ class CountingEngine {
     uint64_t generation = 0;
   };
 
+  /// A compiled query with every component planned through the cache.
+  struct PlannedQuery {
+    CompiledQuery compiled;
+    std::vector<std::shared_ptr<const QueryPlan>> plans;
+    std::vector<bool> cache_hits;
+    /// Index of the dominant (highest planned cost) component; -1 when
+    /// there are no components.
+    int dominant = -1;
+  };
+
   RegisteredDatabase FindDatabase(const std::string& name) const;
 
-  /// Plans for (q, db) through the cache. Returns the shared plan and the
-  /// query's canonical shape; sets `*cache_hit`.
+  /// Plans one component query through the cache. The plan is keyed by
+  /// (database name, generation, component canonical shape), so any two
+  /// queries sharing a component shape share the cached sub-plan.
   std::shared_ptr<const QueryPlan> GetOrBuildPlan(const Query& q,
+                                                  const CanonicalShape& shape,
                                                   const std::string& db_name,
                                                   uint64_t db_generation,
                                                   const Database& db,
-                                                  CanonicalShape* shape,
                                                   bool* cache_hit);
 
-  StatusOr<EngineResult> ExecutePlan(const Query& q, const Database& db,
-                                     const QueryPlan& plan,
-                                     const CanonicalShape& shape,
-                                     const CountRequest& request);
+  /// Compiles `q` and plans every component.
+  PlannedQuery CompileAndPlan(const Query& q, const std::string& db_name,
+                              uint64_t db_generation, const Database& db);
+
+  /// Per-component budget shares (shared by Count and Explain). Exact
+  /// factors consume no budget and get a zero share; the (epsilon,
+  /// delta) target is split across the estimated factors only.
+  std::vector<BudgetShare> ComponentBudgets(const PlannedQuery& planned,
+                                            double epsilon, double delta,
+                                            bool force_exact) const;
+
+  StatusOr<EngineResult> ExecutePlanned(const PlannedQuery& planned,
+                                        const Database& db,
+                                        const CountRequest& request);
 
   EngineOptions opts_;
   // Reader-writer lock: every Count in a batch resolves its database here,

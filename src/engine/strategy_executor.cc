@@ -1,0 +1,158 @@
+#include "engine/strategy_executor.h"
+
+#include <utility>
+
+#include "automata/fpras.h"
+#include "counting/exact_count.h"
+#include "counting/fptras.h"
+#include "counting/sampler.h"
+
+namespace cqcount {
+namespace {
+
+// The cached decomposition lives in canonical numbering; strategies that
+// run on it map it onto the query's own variables first. The elimination
+// order is planner-internal and unused by execution.
+FWidthResult InstantiatePlanDecomposition(const ExecContext& ctx) {
+  FWidthResult local = ctx.plan->decomposition;
+  local.decomposition = InstantiateDecomposition(ctx.plan->decomposition.decomposition,
+                                                 ctx.shape->to_canonical);
+  local.order.clear();
+  return local;
+}
+
+class ExactExecutor : public StrategyExecutor {
+ public:
+  Strategy strategy() const override { return Strategy::kExact; }
+
+  StatusOr<ExecOutcome> Execute(const ExecContext& ctx) const override {
+    ExecOutcome outcome;
+    outcome.estimate =
+        static_cast<double>(ExactCountAnswersBruteForce(*ctx.query, *ctx.db));
+    outcome.exact = true;
+    return outcome;
+  }
+};
+
+// Theorem 5 (treewidth objective) and the Theorem 13 regime (fhw
+// objective) share the FPTRAS pipeline; the plan's decomposition already
+// embodies the objective, so one executor class serves both strategies.
+class FptrasExecutor : public StrategyExecutor {
+ public:
+  explicit FptrasExecutor(Strategy strategy) : strategy_(strategy) {}
+
+  Strategy strategy() const override { return strategy_; }
+
+  StatusOr<ExecOutcome> Execute(const ExecContext& ctx) const override {
+    ApproxOptions opts;
+    opts.epsilon = ctx.budget.epsilon;
+    opts.delta = ctx.budget.delta;
+    opts.seed = ctx.budget.seed;
+    opts.objective = ctx.plan->objective;
+    opts.exact_decomposition_limit = ctx.exact_decomposition_limit;
+    const FWidthResult decomposition = InstantiatePlanDecomposition(ctx);
+    opts.precomputed_decomposition = &decomposition;
+    auto approx = ApproxCountAnswers(*ctx.query, *ctx.db, opts);
+    if (!approx.ok()) return approx.status();
+    ExecOutcome outcome;
+    outcome.estimate = approx->estimate;
+    outcome.exact = approx->exact;
+    outcome.converged = approx->converged;
+    outcome.oracle_calls = approx->hom_queries + approx->edgefree_calls;
+    return outcome;
+  }
+
+ private:
+  const Strategy strategy_;
+};
+
+class AutomataFprasExecutor : public StrategyExecutor {
+ public:
+  Strategy strategy() const override { return Strategy::kAutomataFpras; }
+
+  StatusOr<ExecOutcome> Execute(const ExecContext& ctx) const override {
+    FprasOptions opts;
+    opts.acjr.epsilon = ctx.budget.epsilon;
+    opts.acjr.delta = ctx.budget.delta;
+    opts.acjr.seed = ctx.budget.seed;
+    opts.objective = ctx.plan->objective;
+    opts.exact_decomposition_limit = ctx.exact_decomposition_limit;
+    const FWidthResult decomposition = InstantiatePlanDecomposition(ctx);
+    opts.precomputed_decomposition = &decomposition;
+    auto fpras = FprasCountCq(*ctx.query, *ctx.db, opts);
+    if (!fpras.ok()) return fpras.status();
+    ExecOutcome outcome;
+    outcome.estimate = fpras->estimate;
+    outcome.exact = fpras->exact;
+    outcome.converged = fpras->converged;
+    outcome.oracle_calls = fpras->membership_tests;
+    return outcome;
+  }
+};
+
+// Counting through the Section 6 sampling machinery: build the sampler's
+// oracle stack for (phi, D) and run its FPTRAS entry point. Requires at
+// least one free variable (the JVV descent has nothing to split on
+// otherwise).
+class SamplerExecutor : public StrategyExecutor {
+ public:
+  Strategy strategy() const override { return Strategy::kSampler; }
+
+  StatusOr<ExecOutcome> Execute(const ExecContext& ctx) const override {
+    SamplerOptions opts;
+    opts.approx.epsilon = ctx.budget.epsilon;
+    opts.approx.delta = ctx.budget.delta;
+    opts.approx.seed = ctx.budget.seed;
+    opts.approx.objective = ctx.plan->objective;
+    opts.approx.exact_decomposition_limit = ctx.exact_decomposition_limit;
+    const FWidthResult decomposition = InstantiatePlanDecomposition(ctx);
+    opts.approx.precomputed_decomposition = &decomposition;
+    auto sampler = AnswerSampler::Create(*ctx.query, *ctx.db, opts);
+    if (!sampler.ok()) return sampler.status();
+    auto approx =
+        (*sampler)->EstimateCount(ctx.budget.epsilon, ctx.budget.delta);
+    if (!approx.ok()) return approx.status();
+    ExecOutcome outcome;
+    outcome.estimate = approx->estimate;
+    outcome.exact = approx->exact;
+    outcome.converged = approx->converged;
+    outcome.oracle_calls = approx->hom_queries + approx->edgefree_calls;
+    return outcome;
+  }
+};
+
+}  // namespace
+
+void ExecutorRegistry::Register(std::unique_ptr<StrategyExecutor> executor) {
+  const Strategy strategy = executor->strategy();
+  executors_[strategy] = std::move(executor);
+}
+
+const StrategyExecutor* ExecutorRegistry::Find(Strategy strategy) const {
+  auto it = executors_.find(strategy);
+  return it == executors_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Strategy> ExecutorRegistry::RegisteredStrategies() const {
+  std::vector<Strategy> strategies;
+  strategies.reserve(executors_.size());
+  for (const auto& [strategy, executor] : executors_) {
+    strategies.push_back(strategy);
+  }
+  return strategies;
+}
+
+const ExecutorRegistry& ExecutorRegistry::Default() {
+  static const ExecutorRegistry* registry = [] {
+    auto* r = new ExecutorRegistry();
+    r->Register(std::make_unique<ExactExecutor>());
+    r->Register(std::make_unique<FptrasExecutor>(Strategy::kFptrasTreewidth));
+    r->Register(std::make_unique<FptrasExecutor>(Strategy::kFptrasFhw));
+    r->Register(std::make_unique<AutomataFprasExecutor>());
+    r->Register(std::make_unique<SamplerExecutor>());
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace cqcount

@@ -1,0 +1,108 @@
+// The uniform strategy-execution layer of the engine.
+//
+// Historically CountingEngine dispatched to the five estimator modules
+// through a hand-rolled switch, re-deriving each module's Options struct
+// (and its own epsilon/delta/seed plumbing) inline. This header replaces
+// that with one adapter boundary: every counting strategy implements
+// StrategyExecutor over a shared AccuracyBudget/ExecContext, and the
+// engine resolves strategies through an ExecutorRegistry. Adding a
+// strategy means adding one executor class and one Register call — the
+// engine, the compile pipeline and the provenance plumbing stay untouched.
+#ifndef CQCOUNT_ENGINE_STRATEGY_EXECUTOR_H_
+#define CQCOUNT_ENGINE_STRATEGY_EXECUTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "engine/plan.h"
+#include "query/query.h"
+#include "relational/structure.h"
+#include "util/status.h"
+
+namespace cqcount {
+
+/// The accuracy / randomness contract for one strategy execution. Adapted
+/// once from the request (and split per Gaifman component); executors map
+/// it onto their module's own option struct.
+struct AccuracyBudget {
+  /// Target relative error of the (epsilon, delta) guarantee.
+  double epsilon = 0.1;
+  /// Target failure probability.
+  double delta = 0.1;
+  /// Seed controlling all randomness of the execution.
+  uint64_t seed = 0xC0FFEEULL;
+};
+
+/// Everything a strategy needs to execute one (sub-)query.
+struct ExecContext {
+  /// The query, in its own variable numbering.
+  const Query* query = nullptr;
+  const Database* db = nullptr;
+  /// The cached plan for the query's canonical shape.
+  const QueryPlan* plan = nullptr;
+  /// Canonical mapping of `query` (plan decompositions live in canonical
+  /// numbering; executors instantiate them through shape->to_canonical).
+  const CanonicalShape* shape = nullptr;
+  AccuracyBudget budget;
+  /// Planner threshold forwarded to strategies that may recompute a
+  /// decomposition themselves.
+  int exact_decomposition_limit = 14;
+};
+
+/// What every strategy reports back.
+struct ExecOutcome {
+  double estimate = 0.0;
+  /// True when the strategy produced an exact answer.
+  bool exact = false;
+  /// False when a sampling cap was hit before the target interval.
+  bool converged = true;
+  /// Oracle work: hom-oracle calls plus estimator membership tests.
+  uint64_t oracle_calls = 0;
+};
+
+/// One counting strategy, executable over the shared context.
+class StrategyExecutor {
+ public:
+  virtual ~StrategyExecutor() = default;
+
+  /// The Strategy enum value this executor implements.
+  virtual Strategy strategy() const = 0;
+
+  /// Executes the strategy. `ctx.query/db/plan/shape` must be non-null;
+  /// implementations must be const (one executor instance serves
+  /// concurrent batch workers).
+  virtual StatusOr<ExecOutcome> Execute(const ExecContext& ctx) const = 0;
+};
+
+/// Immutable-after-setup mapping Strategy -> executor.
+class ExecutorRegistry {
+ public:
+  ExecutorRegistry() = default;
+  ExecutorRegistry(const ExecutorRegistry&) = delete;
+  ExecutorRegistry& operator=(const ExecutorRegistry&) = delete;
+
+  /// Registers `executor` under its own strategy(), replacing any
+  /// previous registration. Not thread-safe; do all registration before
+  /// sharing the registry.
+  void Register(std::unique_ptr<StrategyExecutor> executor);
+
+  /// The executor for `strategy`, or nullptr when none is registered.
+  const StrategyExecutor* Find(Strategy strategy) const;
+
+  /// Registered strategies, in enum order.
+  std::vector<Strategy> RegisteredStrategies() const;
+
+  /// The process-wide registry holding all five built-in strategies
+  /// (exact, fptras-tw, fptras-fhw, automata-fpras, sampler). Built once,
+  /// read-only afterwards: safe to share across threads.
+  static const ExecutorRegistry& Default();
+
+ private:
+  std::map<Strategy, std::unique_ptr<StrategyExecutor>> executors_;
+};
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_ENGINE_STRATEGY_EXECUTOR_H_

@@ -80,6 +80,12 @@ BagJoiner::BagJoiner(const Query& q, const Database& db,
       }
       constraints_.push_back({std::move(projection), std::move(levels)});
     } else if (opts_.enforce_negated) {
+      // A negated nullary atom is a pure guard: satisfiable iff the
+      // relation is empty (there is no level to trigger a check at).
+      if (atom.vars.empty()) {
+        if (!rel.empty()) infeasible_ = true;
+        continue;
+      }
       // Enforce only when all variables of the atom are assigned here.
       int trigger = -1;
       bool all_in = true;

@@ -154,12 +154,15 @@ class Parser {
       RawAtom atom;
       atom.relation = first;
       atom.negated = negated;
-      for (;;) {
-        std::string var;
-        if (!ConsumeIdent(&var)) return Error("expected predicate argument");
-        atom.vars.push_back(var);
-        if (Consume(Token::kComma)) continue;
-        break;
+      // R() is a nullary atom: a boolean guard over the database.
+      if (!Check(Token::kRParen)) {
+        for (;;) {
+          std::string var;
+          if (!ConsumeIdent(&var)) return Error("expected predicate argument");
+          atom.vars.push_back(var);
+          if (Consume(Token::kComma)) continue;
+          break;
+        }
       }
       if (!Consume(Token::kRParen)) return Error("expected ')'");
       atoms_.push_back(std::move(atom));

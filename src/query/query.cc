@@ -57,10 +57,6 @@ Status Query::Validate() const {
   std::vector<bool> used(num_vars(), false);
   std::map<std::string, size_t> arities;
   for (const Atom& atom : atoms_) {
-    if (atom.vars.empty()) {
-      return Status::InvalidArgument("atom with no arguments: " +
-                                     atom.relation);
-    }
     auto [it, inserted] = arities.emplace(atom.relation, atom.vars.size());
     if (!inserted && it->second != atom.vars.size()) {
       return Status::InvalidArgument("inconsistent arity for relation " +

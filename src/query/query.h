@@ -18,10 +18,13 @@
 
 namespace cqcount {
 
-/// A (possibly negated) predicate atom R(y_1, .., y_j).
+/// A (possibly negated) predicate atom R(y_1, .., y_j). Arity 0 is
+/// allowed: a nullary atom R() is a boolean guard over the database (the
+/// compile pipeline lifts these out before execution).
 struct Atom {
   std::string relation;
-  /// Variable indices, in predicate-argument order (repeats allowed).
+  /// Variable indices, in predicate-argument order (repeats allowed; may
+  /// be empty for nullary atoms).
   std::vector<int> vars;
   bool negated = false;
 };

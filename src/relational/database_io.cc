@@ -54,9 +54,13 @@ StatusOr<Database> ParseDatabase(const std::string& text) {
       }
       Tuple t;
       t.reserve(current_arity);
-      std::istringstream row(line);
-      uint64_t v = 0;
-      while (row >> v) t.push_back(static_cast<Value>(v));
+      // "()" denotes the empty tuple of an arity-0 relation (a blank line
+      // would be skipped as whitespace).
+      if (first != "()") {
+        std::istringstream row(line);
+        uint64_t v = 0;
+        while (row >> v) t.push_back(static_cast<Value>(v));
+      }
       if (static_cast<int>(t.size()) != current_arity) {
         return fail("tuple arity mismatch");
       }
@@ -87,6 +91,10 @@ std::string FormatDatabase(const Database& db) {
     const Relation& rel = db.relation(name);
     out << "relation " << name << " " << rel.arity() << "\n";
     for (TupleView t : rel) {
+      if (t.size() == 0) {
+        out << "()\n";
+        continue;
+      }
       for (size_t i = 0; i < t.size(); ++i) {
         if (i > 0) out << " ";
         out << t[i];

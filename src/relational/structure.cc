@@ -5,8 +5,9 @@
 namespace cqcount {
 
 Status Structure::DeclareRelation(const std::string& name, int arity) {
-  if (arity < 1) {
-    return Status::InvalidArgument("relation arity must be positive: " + name);
+  if (arity < 0) {
+    return Status::InvalidArgument("relation arity must be non-negative: " +
+                                   name);
   }
   auto it = relations_.find(name);
   if (it != relations_.end()) {

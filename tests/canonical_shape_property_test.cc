@@ -1,0 +1,189 @@
+// Property tests for CanonicalQueryShape: the plan-cache key must be
+// invariant under query isomorphism (variable renamings, atom and
+// disequality reorderings) and must separate structurally distinct
+// queries — including ones differing only in a disequality or a negation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/plan.h"
+#include "query/parser.h"
+#include "query/query.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace cqcount {
+namespace {
+
+using testing_util::RandomQuery;
+using testing_util::RandomQueryOptions;
+
+// Fisher-Yates over [0, n) with the repo's deterministic Rng.
+std::vector<int> RandomPermutation(int n, Rng& rng) {
+  std::vector<int> perm(n);
+  for (int i = 0; i < n; ++i) perm[i] = i;
+  for (int i = n - 1; i > 0; --i) {
+    std::swap(perm[i], perm[static_cast<int>(rng.UniformInt(i + 1))]);
+  }
+  return perm;
+}
+
+// An isomorphic presentation of `q`: variables renumbered by a random
+// free-prefix-preserving permutation (free variables must stay free), and
+// atoms appended in a random order. `perm[v]` is the new index of old
+// variable v.
+Query RandomIsomorphicPresentation(const Query& q, Rng& rng) {
+  const int n = q.num_vars();
+  const int f = q.num_free();
+  std::vector<int> free_perm = RandomPermutation(f, rng);
+  std::vector<int> bound_perm = RandomPermutation(n - f, rng);
+  std::vector<int> perm(n);
+  for (int v = 0; v < f; ++v) perm[v] = free_perm[v];
+  for (int v = f; v < n; ++v) perm[v] = f + bound_perm[v - f];
+
+  std::vector<int> inverse(n);
+  for (int v = 0; v < n; ++v) inverse[perm[v]] = v;
+
+  Query out;
+  for (int i = 0; i < n; ++i) {
+    out.AddVariable("w" + std::to_string(inverse[i]));
+  }
+  out.SetNumFree(f);
+
+  std::vector<size_t> atom_order(q.atoms().size());
+  for (size_t a = 0; a < atom_order.size(); ++a) atom_order[a] = a;
+  for (size_t a = atom_order.size(); a > 1; --a) {
+    std::swap(atom_order[a - 1], atom_order[rng.UniformInt(a)]);
+  }
+  for (size_t a : atom_order) {
+    const Atom& atom = q.atoms()[a];
+    Atom mapped;
+    mapped.relation = atom.relation;
+    mapped.negated = atom.negated;
+    for (int v : atom.vars) mapped.vars.push_back(perm[v]);
+    out.AddAtom(std::move(mapped));
+  }
+
+  std::vector<size_t> diseq_order(q.disequalities().size());
+  for (size_t d = 0; d < diseq_order.size(); ++d) diseq_order[d] = d;
+  for (size_t d = diseq_order.size(); d > 1; --d) {
+    std::swap(diseq_order[d - 1], diseq_order[rng.UniformInt(d)]);
+  }
+  for (size_t d : diseq_order) {
+    const Disequality& diseq = q.disequalities()[d];
+    out.AddDisequality(perm[diseq.lhs], perm[diseq.rhs]);
+  }
+  return out;
+}
+
+TEST(CanonicalShapePropertyTest, IsomorphicPresentationsShareOneKey) {
+  Rng rng(0xA11CE);
+  RandomQueryOptions opts;
+  opts.max_vars = 6;
+  opts.max_atoms = 5;
+  opts.negated_probability = 0.2;
+  opts.disequality_probability = 0.2;
+  for (int trial = 0; trial < 200; ++trial) {
+    const Query q = RandomQuery(rng, opts);
+    const CanonicalShape original = CanonicalQueryShape(q);
+    for (int presentation = 0; presentation < 4; ++presentation) {
+      const Query renamed = RandomIsomorphicPresentation(q, rng);
+      const CanonicalShape shape = CanonicalQueryShape(renamed);
+      ASSERT_EQ(shape.key, original.key)
+          << "trial " << trial << "\n  q: " << q.ToString()
+          << "\n  renamed: " << renamed.ToString();
+    }
+  }
+}
+
+TEST(CanonicalShapePropertyTest, CanonicalMappingSendsFreeToFree) {
+  Rng rng(0xB0B);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Query q = RandomQuery(rng);
+    const CanonicalShape shape = CanonicalQueryShape(q);
+    ASSERT_EQ(static_cast<int>(shape.to_canonical.size()), q.num_vars());
+    std::set<int> images;
+    for (int v = 0; v < q.num_vars(); ++v) {
+      images.insert(shape.to_canonical[v]);
+      if (v < q.num_free()) {
+        EXPECT_LT(shape.to_canonical[v], q.num_free()) << q.ToString();
+      }
+    }
+    // A permutation: all images distinct and in range.
+    EXPECT_EQ(static_cast<int>(images.size()), q.num_vars());
+  }
+}
+
+TEST(CanonicalShapePropertyTest, AddedDisequalityChangesTheKey) {
+  Rng rng(0xD15EA5E);
+  int checked = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    Query q = RandomQuery(rng);
+    if (q.num_vars() < 2) continue;
+    const std::string before = CanonicalQueryShape(q).key;
+    // Add a disequality not already present.
+    bool added = false;
+    for (int u = 0; u < q.num_vars() && !added; ++u) {
+      for (int w = u + 1; w < q.num_vars() && !added; ++w) {
+        const size_t count_before = q.disequalities().size();
+        q.AddDisequality(u, w);
+        added = q.disequalities().size() > count_before;
+      }
+    }
+    if (!added) continue;
+    ++checked;
+    EXPECT_NE(CanonicalQueryShape(q).key, before) << q.ToString();
+  }
+  EXPECT_GT(checked, 50);
+}
+
+TEST(CanonicalShapePropertyTest, FlippedNegationChangesTheKey) {
+  Rng rng(0xF11B);
+  for (int trial = 0; trial < 100; ++trial) {
+    Query q = RandomQuery(rng);
+    const std::string before = CanonicalQueryShape(q).key;
+    // Rebuild with the first atom's polarity flipped.
+    Query flipped;
+    for (int v = 0; v < q.num_vars(); ++v) flipped.AddVariable(q.var_name(v));
+    flipped.SetNumFree(q.num_free());
+    for (size_t a = 0; a < q.atoms().size(); ++a) {
+      Atom atom = q.atoms()[a];
+      if (a == 0) atom.negated = !atom.negated;
+      flipped.AddAtom(std::move(atom));
+    }
+    for (const Disequality& d : q.disequalities()) {
+      flipped.AddDisequality(d.lhs, d.rhs);
+    }
+    EXPECT_NE(CanonicalQueryShape(flipped).key, before) << q.ToString();
+  }
+}
+
+TEST(CanonicalShapePropertyTest, StructurallyDistinctHandPicks) {
+  // Pairwise-distinct shapes, several differing only in one disequality
+  // or one negation.
+  const char* queries[] = {
+      "ans(x) :- F(x, y), F(x, z).",
+      "ans(x) :- F(x, y), F(x, z), y != z.",
+      "ans(x) :- F(x, y), F(x, z), x != y.",
+      "ans(x) :- F(x, y), !F(x, z).",
+      "ans(x, y) :- F(x, y).",
+      "ans(x, y) :- !F(x, y).",
+      "ans(x, y) :- F(x, y), x != y.",
+      "ans(x) :- F(x, x).",
+      "ans() :- F(x, y).",
+  };
+  std::set<std::string> keys;
+  for (const char* text : queries) {
+    auto q = ParseQuery(text);
+    ASSERT_TRUE(q.ok()) << text;
+    const auto [it, inserted] = keys.insert(CanonicalQueryShape(*q).key);
+    EXPECT_TRUE(inserted) << "key collision at: " << text;
+  }
+}
+
+}  // namespace
+}  // namespace cqcount

@@ -1,0 +1,222 @@
+#include "compile/compiled_query.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "compile/gaifman.h"
+#include "compile/passes.h"
+#include "query/parser.h"
+
+namespace cqcount {
+namespace {
+
+Query MustParse(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *q;
+}
+
+TEST(PassesTest, AlreadyNormalQueryRoundTripsIdentically) {
+  Query q = MustParse("ans(x) :- F(x, y), F(x, z), y != z.");
+  NormalizedQuery n = NormalizeQuery(q);
+  EXPECT_FALSE(n.stats.Changed());
+  EXPECT_TRUE(n.guards.empty());
+  EXPECT_EQ(n.query.ToString(), q.ToString());
+  EXPECT_EQ(n.var_map, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(PassesTest, DuplicateAtomsAreDeduped) {
+  Query q = MustParse("ans(x) :- F(x, y), F(x, y), F(y, x).");
+  NormalizedQuery n = NormalizeQuery(q);
+  EXPECT_EQ(n.stats.atoms_deduped, 1);
+  EXPECT_EQ(n.query.atoms().size(), 2u);
+  // Reversed argument order is a different constraint: kept.
+  EXPECT_EQ(n.query.ToString(), "ans(x) :- F(x, y), F(y, x).");
+}
+
+TEST(PassesTest, NegationDistinguishesDuplicates) {
+  Query q = MustParse("ans(x, y) :- F(x, y), !F(x, y).");
+  NormalizedQuery n = NormalizeQuery(q);
+  EXPECT_EQ(n.stats.atoms_deduped, 0);
+  EXPECT_EQ(n.query.atoms().size(), 2u);
+}
+
+TEST(PassesTest, NullaryAtomsBecomeGuards) {
+  Query q = MustParse("ans(x) :- F(x, y), Init(), !Down().");
+  NormalizedQuery n = NormalizeQuery(q);
+  EXPECT_EQ(n.stats.guards_extracted, 2);
+  ASSERT_EQ(n.guards.size(), 2u);
+  EXPECT_EQ(n.guards[0], (NullaryGuard{"Init", false}));
+  EXPECT_EQ(n.guards[1], (NullaryGuard{"Down", true}));
+  EXPECT_EQ(n.query.atoms().size(), 1u);
+  EXPECT_EQ(n.query.num_vars(), 2);
+}
+
+TEST(PassesTest, GuardHoldsChecksEmptiness) {
+  Database db(4);
+  ASSERT_TRUE(db.DeclareRelation("P", 0).ok());
+  ASSERT_TRUE(db.DeclareRelation("Q", 0).ok());
+  ASSERT_TRUE(db.AddFact("P", {}).ok());
+  db.Canonicalize();
+  EXPECT_TRUE(GuardHolds({"P", false}, db));
+  EXPECT_FALSE(GuardHolds({"P", true}, db));
+  EXPECT_FALSE(GuardHolds({"Q", false}, db));
+  EXPECT_TRUE(GuardHolds({"Q", true}, db));
+}
+
+TEST(PassesTest, UnusedExistentialVariablesArePruned) {
+  // Built programmatically: the parser would reject an unused variable,
+  // but the pass layer must normalize any Query it is handed.
+  Query q;
+  q.AddVariable("x");
+  q.AddVariable("dead");
+  q.AddVariable("y");
+  q.SetNumFree(1);
+  q.AddAtom({"F", {0, 2}, false});
+  NormalizedQuery n = NormalizeQuery(q);
+  EXPECT_EQ(n.stats.variables_pruned, 1);
+  EXPECT_EQ(n.query.num_vars(), 2);
+  EXPECT_EQ(n.query.num_free(), 1);
+  EXPECT_EQ(n.var_map, (std::vector<int>{0, -1, 1}));
+  EXPECT_EQ(n.query.ToString(), "ans(x) :- F(x, y).");
+}
+
+TEST(PassesTest, UnusedFreeVariablesAreKept) {
+  Query q;
+  q.AddVariable("x");
+  q.AddVariable("free_but_unused");
+  q.AddVariable("y");
+  q.SetNumFree(2);
+  q.AddAtom({"F", {0, 2}, false});
+  NormalizedQuery n = NormalizeQuery(q);
+  // An unconstrained free variable scales the count by |U(D)|; it must
+  // survive as its own Gaifman component, never be silently dropped.
+  EXPECT_EQ(n.stats.variables_pruned, 0);
+  EXPECT_EQ(n.query.num_vars(), 3);
+}
+
+TEST(GaifmanTest, DisequalitiesAndNegationsAreEdges) {
+  // x-y via positive atom, y-z via disequality, u-v via negated atom:
+  // all one component despite H(phi) ignoring the disequality.
+  Query q = MustParse("ans(x) :- F(x, y), y != z, !G(z, u), F(u, v).");
+  GaifmanGraph g(q);
+  EXPECT_EQ(g.num_vars(), 5);
+  EXPECT_TRUE(g.Adjacent(1, 2));  // y != z
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_EQ(g.Components().size(), 1u);
+}
+
+TEST(GaifmanTest, AtomsAreCliques) {
+  Query q = MustParse("ans(a, b, c) :- R(a, b, c).");
+  GaifmanGraph g(q);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_TRUE(g.Adjacent(0, 2));
+}
+
+TEST(GaifmanTest, DisjointTrianglesSplit) {
+  Query q = MustParse(
+      "ans(a, d) :- F(a, b), F(b, c), F(c, a), F(d, e), F(e, f), F(f, d).");
+  GaifmanGraph g(q);
+  EXPECT_FALSE(g.IsConnected());
+  auto components = g.Components();
+  ASSERT_EQ(components.size(), 2u);
+  EXPECT_EQ(components[0], (std::vector<int>{0, 2, 3}));  // a, b, c
+  EXPECT_EQ(components[1], (std::vector<int>{1, 4, 5}));  // d, e, f
+}
+
+TEST(CompiledQueryTest, ConnectedQueryIsOneIdentityComponent) {
+  Query q = MustParse("ans(x) :- F(x, y), F(x, z), y != z.");
+  CompiledQuery compiled = CompileQuery(q);
+  ASSERT_EQ(compiled.num_components(), 1u);
+  const QueryComponent& c = compiled.components[0];
+  // Identity mapping and an identical sub-query: the factored engine path
+  // stays bitwise-compatible with the monolithic one for connected input.
+  EXPECT_EQ(c.vars, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(c.query.ToString(), q.ToString());
+  EXPECT_FALSE(c.existential);
+  EXPECT_EQ(c.shape.key, CanonicalQueryShape(q).key);
+}
+
+TEST(CompiledQueryTest, DisjointTrianglesCompileToTwoIsomorphicComponents) {
+  Query q = MustParse(
+      "ans(a, d) :- F(a, b), F(b, c), F(c, a), F(d, e), F(e, f), F(f, d).");
+  CompiledQuery compiled = CompileQuery(q);
+  ASSERT_EQ(compiled.num_components(), 2u);
+  EXPECT_EQ(compiled.num_counting_components(), 2u);
+  const QueryComponent& first = compiled.components[0];
+  const QueryComponent& second = compiled.components[1];
+  EXPECT_EQ(first.query.num_vars(), 3);
+  EXPECT_EQ(first.query.num_free(), 1);
+  EXPECT_EQ(second.query.num_free(), 1);
+  // Isomorphic triangles share one canonical shape (and so one cached
+  // sub-plan in the engine).
+  EXPECT_EQ(first.shape.key, second.shape.key);
+}
+
+TEST(CompiledQueryTest, ExistentialComponentIsFlagged) {
+  Query q = MustParse("ans(x) :- F(x, y), F(u, v), u != v.");
+  CompiledQuery compiled = CompileQuery(q);
+  ASSERT_EQ(compiled.num_components(), 2u);
+  EXPECT_EQ(compiled.num_counting_components(), 1u);
+  EXPECT_FALSE(compiled.components[0].existential);
+  EXPECT_TRUE(compiled.components[1].existential);
+  EXPECT_EQ(compiled.components[1].query.num_free(), 0);
+  EXPECT_EQ(compiled.components[1].query.disequalities().size(), 1u);
+}
+
+TEST(CompiledQueryTest, FactoringCanBeDisabled) {
+  Query q = MustParse("ans(x, y) :- F(x, a), F(y, b).");
+  CompileOptions opts;
+  opts.factor_components = false;
+  CompiledQuery compiled = CompileQuery(q, opts);
+  ASSERT_EQ(compiled.num_components(), 1u);
+  EXPECT_EQ(compiled.components[0].query.num_vars(), 4);
+}
+
+TEST(CompiledQueryTest, PureGuardQueryHasNoComponents) {
+  Query q = MustParse("ans() :- Init().");
+  CompiledQuery compiled = CompileQuery(q);
+  EXPECT_EQ(compiled.num_components(), 0u);
+  ASSERT_EQ(compiled.guards.size(), 1u);
+  EXPECT_EQ(compiled.guards[0].relation, "Init");
+}
+
+TEST(SplitBudgetTest, SingleFactorPassesThrough) {
+  BudgetShare share = SplitBudget(0.25, 0.1, 1, 1, false);
+  EXPECT_DOUBLE_EQ(share.epsilon, 0.25);
+  EXPECT_DOUBLE_EQ(share.delta, 0.1);
+}
+
+TEST(SplitBudgetTest, ProductOfSharesMeetsRequestedTarget) {
+  for (size_t k : {2u, 3u, 8u}) {
+    for (double epsilon : {0.1, 0.5, 1.0}) {
+      BudgetShare share = SplitBudget(epsilon, 0.2, k, k, false);
+      // (1 + eps_i)^k <= 1 + eps and (1 - eps_i)^k >= 1 - eps: the
+      // product of per-component (1 +- eps_i) estimates stays within the
+      // requested relative error.
+      double upper = 1.0, lower = 1.0;
+      for (size_t i = 0; i < k; ++i) {
+        upper *= 1.0 + share.epsilon;
+        lower *= 1.0 - share.epsilon;
+      }
+      EXPECT_LE(upper, 1.0 + epsilon) << "k=" << k << " eps=" << epsilon;
+      EXPECT_GE(lower, 1.0 - epsilon) << "k=" << k << " eps=" << epsilon;
+      EXPECT_DOUBLE_EQ(share.delta, 0.2 / static_cast<double>(k));
+    }
+  }
+}
+
+TEST(SplitBudgetTest, ExistentialFactorsDontConsumeEpsilonBudget) {
+  // 1 counting + 1 existential component: the counting factor keeps the
+  // full epsilon; the boolean factor runs loose.
+  BudgetShare counting = SplitBudget(0.1, 0.1, 1, 2, false);
+  BudgetShare boolean = SplitBudget(0.1, 0.1, 1, 2, true);
+  EXPECT_DOUBLE_EQ(counting.epsilon, 0.1);
+  EXPECT_DOUBLE_EQ(boolean.epsilon, 0.5);
+  EXPECT_DOUBLE_EQ(counting.delta, 0.05);
+  EXPECT_DOUBLE_EQ(boolean.delta, 0.05);
+}
+
+}  // namespace
+}  // namespace cqcount

@@ -1,0 +1,165 @@
+// Engine edge-case regressions through the full Count path: arity-0
+// atoms, empty databases, free-variable-less heads, and dedup-degenerate
+// queries. Each case exercises parse -> compile (passes + Gaifman split)
+// -> plan -> execute end to end.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "engine/engine.h"
+
+namespace cqcount {
+namespace {
+
+// Universe 10; F = {(0,1), (1,2), (2,0)}; Adult = {0}; P() holds, Q()
+// does not.
+Database SmallDb() {
+  Database db(10);
+  EXPECT_TRUE(db.DeclareRelation("F", 2).ok());
+  EXPECT_TRUE(db.DeclareRelation("Adult", 1).ok());
+  EXPECT_TRUE(db.DeclareRelation("P", 0).ok());
+  EXPECT_TRUE(db.DeclareRelation("Q", 0).ok());
+  EXPECT_TRUE(db.AddFact("F", {0, 1}).ok());
+  EXPECT_TRUE(db.AddFact("F", {1, 2}).ok());
+  EXPECT_TRUE(db.AddFact("F", {2, 0}).ok());
+  EXPECT_TRUE(db.AddFact("Adult", {0}).ok());
+  EXPECT_TRUE(db.AddFact("P", {}).ok());
+  db.Canonicalize();
+  return db;
+}
+
+class EngineEdgeCasesTest : public ::testing::Test {
+ protected:
+  EngineEdgeCasesTest() {
+    EXPECT_TRUE(engine_.RegisterDatabase("db", SmallDb()).ok());
+  }
+  CountingEngine engine_;
+};
+
+TEST_F(EngineEdgeCasesTest, TrueNullaryGuardIsTransparent) {
+  auto with_guard = engine_.Count("ans(x) :- F(x, y), P().", "db");
+  ASSERT_TRUE(with_guard.ok()) << with_guard.status().ToString();
+  auto without = engine_.Count("ans(x) :- F(x, y).", "db");
+  ASSERT_TRUE(without.ok());
+  EXPECT_DOUBLE_EQ(with_guard->estimate, without->estimate);
+  EXPECT_DOUBLE_EQ(with_guard->estimate, 3.0);
+  EXPECT_EQ(with_guard->guards_evaluated, 1);
+  ASSERT_EQ(with_guard->components.size(), 1u);
+  EXPECT_TRUE(with_guard->components[0].executed);
+  // The guard is lifted before planning: both queries share one shape,
+  // one cached plan.
+  EXPECT_EQ(with_guard->shape_key, without->shape_key);
+}
+
+TEST_F(EngineEdgeCasesTest, FalseNullaryGuardZeroesTheCount) {
+  auto result = engine_.Count("ans(x) :- F(x, y), Q().", "db");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(result->estimate, 0.0);
+  EXPECT_TRUE(result->exact);
+  // The component is still planned (provenance) even though the false
+  // guard short-circuits execution — and is flagged as not executed.
+  ASSERT_EQ(result->num_components, 1);
+  EXPECT_FALSE(result->components[0].executed);
+}
+
+TEST_F(EngineEdgeCasesTest, NegatedNullaryGuard) {
+  auto holds = engine_.Count("ans(x) :- F(x, y), !Q().", "db");
+  ASSERT_TRUE(holds.ok());
+  EXPECT_DOUBLE_EQ(holds->estimate, 3.0);
+  auto fails = engine_.Count("ans(x) :- F(x, y), !P().", "db");
+  ASSERT_TRUE(fails.ok());
+  EXPECT_DOUBLE_EQ(fails->estimate, 0.0);
+  EXPECT_TRUE(fails->exact);
+}
+
+TEST_F(EngineEdgeCasesTest, PureGuardQueryCountsTheEmptyTuple) {
+  // No variables at all: |Ans| is 1 (the empty assignment) iff every
+  // guard holds.
+  auto yes = engine_.Count("ans() :- P().", "db");
+  ASSERT_TRUE(yes.ok()) << yes.status().ToString();
+  EXPECT_DOUBLE_EQ(yes->estimate, 1.0);
+  EXPECT_TRUE(yes->exact);
+  EXPECT_EQ(yes->num_components, 0);
+
+  auto no = engine_.Count("ans() :- Q().", "db");
+  ASSERT_TRUE(no.ok());
+  EXPECT_DOUBLE_EQ(no->estimate, 0.0);
+  EXPECT_TRUE(no->exact);
+}
+
+TEST_F(EngineEdgeCasesTest, HeadWithoutFreeVariablesIsBoolean) {
+  auto satisfiable = engine_.Count("ans() :- F(x, y).", "db");
+  ASSERT_TRUE(satisfiable.ok()) << satisfiable.status().ToString();
+  EXPECT_DOUBLE_EQ(satisfiable->estimate, 1.0);
+  ASSERT_EQ(satisfiable->num_components, 1);
+  EXPECT_TRUE(satisfiable->components[0].existential);
+
+  // No tuple satisfies F(x, x) in the 3-cycle.
+  auto unsatisfiable = engine_.Count("ans() :- F(x, x).", "db");
+  ASSERT_TRUE(unsatisfiable.ok());
+  EXPECT_DOUBLE_EQ(unsatisfiable->estimate, 0.0);
+}
+
+TEST_F(EngineEdgeCasesTest, WhollyDuplicatedAtomCollapses) {
+  auto dup = engine_.Count("ans(x) :- F(x, y), F(x, y).", "db");
+  ASSERT_TRUE(dup.ok()) << dup.status().ToString();
+  EXPECT_DOUBLE_EQ(dup->estimate, 3.0);
+  EXPECT_EQ(dup->atoms_deduped, 1);
+
+  // Dedup-reducible queries share the reduced shape's cached plan.
+  auto simple = engine_.Count("ans(x) :- F(x, y).", "db");
+  ASSERT_TRUE(simple.ok());
+  EXPECT_EQ(simple->shape_key, dup->shape_key);
+  EXPECT_TRUE(simple->plan_cache_hit);
+  EXPECT_EQ(engine_.CacheStats().insertions, 1u);
+}
+
+TEST_F(EngineEdgeCasesTest, EmptyUniverseDatabase) {
+  Database empty(0);
+  ASSERT_TRUE(empty.DeclareRelation("F", 2).ok());
+  empty.Canonicalize();
+  ASSERT_TRUE(engine_.RegisterDatabase("void", std::move(empty)).ok());
+  auto result = engine_.Count("ans(x) :- F(x, y).", "void");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(result->estimate, 0.0);
+}
+
+TEST_F(EngineEdgeCasesTest, EmptyRelationGivesZero) {
+  Database db(10);
+  ASSERT_TRUE(db.DeclareRelation("F", 2).ok());
+  db.Canonicalize();
+  ASSERT_TRUE(engine_.RegisterDatabase("norows", std::move(db)).ok());
+  auto result = engine_.Count("ans(x) :- F(x, y).", "norows");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->estimate, 0.0);
+  auto boolean = engine_.Count("ans() :- F(x, y).", "norows");
+  ASSERT_TRUE(boolean.ok());
+  EXPECT_DOUBLE_EQ(boolean->estimate, 0.0);
+}
+
+TEST_F(EngineEdgeCasesTest, ExplainHandlesGuardsAndExistentials) {
+  auto explanation =
+      engine_.Explain("ans(x) :- F(x, y), F(u, v), u != v, P().", "db");
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  EXPECT_EQ(explanation->components.size(), 2u);
+  EXPECT_EQ(explanation->guards.size(), 1u);
+  EXPECT_FALSE(explanation->components[0].existential);
+  EXPECT_TRUE(explanation->components[1].existential);
+  EXPECT_NE(explanation->text.find("guard: P()"), std::string::npos);
+  EXPECT_NE(explanation->text.find("components: 2"), std::string::npos);
+  EXPECT_NE(explanation->text.find("existential"), std::string::npos);
+}
+
+TEST_F(EngineEdgeCasesTest, ForceExactCoversEveryEdgeCase) {
+  for (const char* text :
+       {"ans(x) :- F(x, y), P().", "ans() :- F(x, y).",
+        "ans(x) :- F(x, y), F(x, y).", "ans(x) :- F(x, y), F(u, v), u != v."}) {
+    auto result = engine_.CountExact(text, "db");
+    ASSERT_TRUE(result.ok()) << text << ": " << result.status().ToString();
+    EXPECT_TRUE(result->exact) << text;
+    EXPECT_EQ(result->strategy, Strategy::kExact) << text;
+  }
+}
+
+}  // namespace
+}  // namespace cqcount

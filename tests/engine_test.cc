@@ -199,6 +199,167 @@ TEST(EngineTest, ReregistrationInvalidatesCachedPlans) {
   EXPECT_TRUE(warm->plan_cache_hit);
 }
 
+TEST(EngineTest, DisconnectedQueryFactorsIntoComponents) {
+  CountingEngine engine;
+  Database db = Social(30, 20);
+  ASSERT_TRUE(engine.RegisterDatabase("g", db).ok());
+
+  // Two Gaifman components {x, a} and {y, b}: planned as two sub-plans
+  // whose counts multiply.
+  const std::string query = "ans(x, y) :- F(x, a), F(y, b).";
+  auto result = engine.Count(query, "g");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_components, 2);
+  ASSERT_EQ(result->components.size(), 2u);
+  EXPECT_TRUE(result->exact);
+
+  auto parsed = ParseQuery(query);
+  ASSERT_TRUE(parsed.ok());
+  const double exact =
+      static_cast<double>(ExactCountAnswersBruteForce(*parsed, db));
+  EXPECT_DOUBLE_EQ(result->estimate, exact);
+  EXPECT_DOUBLE_EQ(result->components[0].estimate *
+                       result->components[1].estimate,
+                   exact);
+
+  // The two components are isomorphic: the second one hits the plan the
+  // first one just built, within a single cold Count.
+  EXPECT_EQ(result->components[0].shape_key, result->components[1].shape_key);
+  EXPECT_FALSE(result->components[0].plan_cache_hit);
+  EXPECT_TRUE(result->components[1].plan_cache_hit);
+  EXPECT_EQ(engine.CacheStats().insertions, 1u);
+}
+
+TEST(EngineTest, FactoringLowersPlannedCost) {
+  // 120^4 assignments monolithically (far beyond brute force) vs two
+  // 120^2 components: factoring turns an estimation workload back into
+  // two cheap exact counts.
+  Database db = Social(120, 21);
+  CountingEngine factored;
+  ASSERT_TRUE(factored.RegisterDatabase("g", db).ok());
+  EngineOptions monolithic_opts;
+  monolithic_opts.compile.factor_components = false;
+  CountingEngine monolithic(monolithic_opts);
+  ASSERT_TRUE(monolithic.RegisterDatabase("g", db).ok());
+
+  const std::string query = "ans(x, y) :- F(x, a), F(y, b).";
+  auto factored_result = factored.Count(query, "g");
+  ASSERT_TRUE(factored_result.ok());
+  EXPECT_EQ(factored_result->num_components, 2);
+  EXPECT_EQ(factored_result->strategy, Strategy::kExact);
+  EXPECT_TRUE(factored_result->exact);
+
+  auto monolithic_result = monolithic.Count(query, "g");
+  ASSERT_TRUE(monolithic_result.ok());
+  EXPECT_EQ(monolithic_result->num_components, 1);
+  EXPECT_NE(monolithic_result->strategy, Strategy::kExact);
+
+  // The approximate monolithic estimate must agree with the factored
+  // exact product within its accuracy target (generous slack for delta).
+  EXPECT_NEAR(monolithic_result->estimate, factored_result->estimate,
+              0.5 * factored_result->estimate + 1.0);
+}
+
+TEST(EngineTest, ExistentialComponentCollapsesToBooleanFactor) {
+  CountingEngine engine;
+  ASSERT_TRUE(engine.RegisterDatabase("g", Social(30, 22)).ok());
+
+  auto with_existential =
+      engine.Count("ans(x) :- F(x, y), F(u, v), u != v.", "g");
+  ASSERT_TRUE(with_existential.ok()) << with_existential.status().ToString();
+  ASSERT_EQ(with_existential->num_components, 2);
+  EXPECT_FALSE(with_existential->components[0].existential);
+  EXPECT_TRUE(with_existential->components[1].existential);
+
+  // The satisfiable existential factor contributes exactly 1: the count
+  // equals the plain single-component query's.
+  auto plain = engine.Count("ans(x) :- F(x, y).", "g");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_DOUBLE_EQ(with_existential->estimate, plain->estimate);
+}
+
+TEST(EngineTest, ComponentBudgetSplitIsRecorded) {
+  CountingEngine engine;
+  ASSERT_TRUE(engine.RegisterDatabase("g", Social(120, 23)).ok());
+
+  // Two estimated counting components (120^3 per component is past the
+  // exact-cost limit): epsilon/(2k) each, delta/k each.
+  CountRequest request;
+  request.query = "ans(x, y) :- F(x, a), F(a, b), F(y, c), F(c, d).";
+  request.database = "g";
+  request.epsilon = 0.4;
+  request.delta = 0.2;
+  auto result = engine.Count(request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->components.size(), 2u);
+  ASSERT_NE(result->components[0].strategy, Strategy::kExact);
+  EXPECT_DOUBLE_EQ(result->components[0].epsilon, 0.1);
+  EXPECT_DOUBLE_EQ(result->components[1].epsilon, 0.1);
+  EXPECT_DOUBLE_EQ(result->components[0].delta, 0.1);
+
+  // Mixed exact + estimated: the exact factor consumes no budget (zero
+  // share) and the estimated one keeps the FULL epsilon.
+  CountRequest mixed;
+  mixed.query = "ans(x, y) :- F(x, a), F(a, b), F(y, c).";
+  mixed.database = "g";
+  mixed.epsilon = 0.4;
+  mixed.delta = 0.2;
+  auto mixed_result = engine.Count(mixed);
+  ASSERT_TRUE(mixed_result.ok()) << mixed_result.status().ToString();
+  ASSERT_EQ(mixed_result->components.size(), 2u);
+  ASSERT_NE(mixed_result->components[0].strategy, Strategy::kExact);
+  ASSERT_EQ(mixed_result->components[1].strategy, Strategy::kExact);
+  EXPECT_DOUBLE_EQ(mixed_result->components[0].epsilon, 0.4);
+  EXPECT_DOUBLE_EQ(mixed_result->components[0].delta, 0.2);
+  EXPECT_DOUBLE_EQ(mixed_result->components[1].epsilon, 0.0);
+  EXPECT_DOUBLE_EQ(mixed_result->components[1].delta, 0.0);
+}
+
+TEST(EngineTest, FactoredBatchesStayDeterministicAcrossThreadCounts) {
+  CountingEngine engine;
+  ASSERT_TRUE(engine.RegisterDatabase("g", Social(120, 24)).ok());
+  std::vector<CountRequest> requests;
+  for (const char* text : {
+           "ans(x, y) :- F(x, a), F(y, b).",
+           "ans(x) :- F(x, y), F(u, v), u != v.",
+           "ans(x) :- F(x, y), F(x, z), y != z.",
+           "ans(p, q) :- F(p, a), F(q, b).",
+       }) {
+    CountRequest request;
+    request.query = text;
+    request.database = "g";
+    requests.push_back(request);
+  }
+  std::vector<double> reference;
+  for (int threads : {1, 2, 4}) {
+    auto results = engine.CountBatch(requests, threads);
+    std::vector<double> estimates;
+    for (const auto& r : results) {
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      estimates.push_back(r->estimate);
+    }
+    if (reference.empty()) {
+      reference = estimates;
+    } else {
+      EXPECT_EQ(estimates, reference) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(EngineTest, ExplainShowsPerComponentBreakdown) {
+  CountingEngine engine;
+  ASSERT_TRUE(engine.RegisterDatabase("g", Social(40, 25)).ok());
+  auto explanation =
+      engine.Explain("ans(x, y) :- F(x, a), F(y, b).", "g");
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  ASSERT_EQ(explanation->components.size(), 2u);
+  EXPECT_NE(explanation->text.find("components: 2"), std::string::npos);
+  EXPECT_NE(explanation->text.find("component 0"), std::string::npos);
+  EXPECT_NE(explanation->text.find("component 1"), std::string::npos);
+  EXPECT_NE(explanation->text.find("strategy:"), std::string::npos);
+  EXPECT_NE(explanation->text.find("budget:"), std::string::npos);
+}
+
 TEST(EngineTest, CacheEvictionKeepsCountsCorrect) {
   EngineOptions opts;
   opts.plan_cache_capacity = 2;

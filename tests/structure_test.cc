@@ -22,9 +22,15 @@ TEST(StructureTest, RedeclareSameArityIsIdempotent) {
   EXPECT_FALSE(s.DeclareRelation("R", 3).ok());
 }
 
-TEST(StructureTest, RejectsZeroArity) {
+TEST(StructureTest, AllowsZeroArityRejectsNegative) {
   Structure s(5);
-  EXPECT_FALSE(s.DeclareRelation("R", 0).ok());
+  // Arity 0 backs nullary guard atoms R(): the relation holds at most the
+  // empty tuple.
+  EXPECT_TRUE(s.DeclareRelation("R", 0).ok());
+  EXPECT_TRUE(s.AddFact("R", {}).ok());
+  s.Canonicalize();
+  EXPECT_EQ(s.relation("R").size(), 1u);
+  EXPECT_FALSE(s.DeclareRelation("S", -1).ok());
 }
 
 TEST(StructureTest, AddFactValidation) {
