@@ -127,7 +127,7 @@ void BM_EdgeFreeOracleCall(benchmark::State& state) {
   cc.per_call_failure = 1e-3;
   ColourCodingEdgeFreeOracle oracle(*q, &hom, n, cc);
   PartiteSubset parts;
-  parts.parts = {std::vector<bool>(n, true)};
+  parts.parts = {Bitset(n, true)};
   for (auto _ : state) {
     benchmark::DoNotOptimize(oracle.IsEdgeFree(parts));
   }

@@ -154,12 +154,19 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("%.2f%s\n", result->estimate, result->exact ? " (exact)" : "");
+    unsigned long long dp_decides = 0;
+    bool dp_prepared = true;
+    for (const ComponentResult& comp : result->components) {
+      dp_decides += comp.dp_prepared_decides;
+      dp_prepared = dp_prepared && comp.dp_prepared_path;
+    }
     std::printf(
-        "# strategy=%s width=%.2f components=%d oracle_calls=%llu plan=%s "
-        "plan_ms=%.2f exec_ms=%.2f\n",
+        "# strategy=%s width=%.2f components=%d oracle_calls=%llu "
+        "dp_prepared_decides=%llu%s plan=%s plan_ms=%.2f exec_ms=%.2f\n",
         StrategyName(result->strategy), result->width,
         result->num_components,
-        static_cast<unsigned long long>(result->oracle_calls),
+        static_cast<unsigned long long>(result->oracle_calls), dp_decides,
+        dp_prepared ? "" : " dp=monolithic-fallback",
         result->plan_cache_hit ? "cached" : "built", result->plan_millis,
         result->exec_millis);
     if (result->num_components > 1) {

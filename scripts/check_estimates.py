@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Asserts that bench-emitted estimates match the checked-in baselines.
+
+Usage: check_estimates.py <fresh.json> <baseline.json>
+
+Perf PRs are free to change timings, but the `estimates` section of
+BENCH_fptras.json is produced at FIXED sizes and seeds in every mode
+(including CQCOUNT_BENCH_SMOKE), so any drift there means the refactor
+changed answers, not just speed. CI fails the build in that case.
+"""
+import json
+import sys
+
+
+def load_estimates(path):
+    with open(path) as f:
+        data = json.load(f)
+    estimates = data.get("estimates")
+    if not estimates:
+        raise SystemExit(f"{path}: no 'estimates' section")
+    return {e["name"]: e for e in estimates}
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    fresh = load_estimates(sys.argv[1])
+    baseline = load_estimates(sys.argv[2])
+    failures = []
+    for name, base in sorted(baseline.items()):
+        got = fresh.get(name)
+        if got is None:
+            failures.append(f"{name}: missing from fresh output")
+            continue
+        for key in ("universe", "seed", "epsilon", "delta"):
+            if got.get(key) != base.get(key):
+                failures.append(
+                    f"{name}: config drift on {key!r}: "
+                    f"{got.get(key)} != {base.get(key)}")
+        if got.get("estimate") != base.get("estimate"):
+            failures.append(
+                f"{name}: estimate {got.get('estimate')} != baseline "
+                f"{base.get('estimate')} (fixed seed: must be bit-identical)")
+        if got.get("exact") != base.get("exact"):
+            failures.append(
+                f"{name}: exact flag {got.get('exact')} != "
+                f"{base.get('exact')}")
+    if failures:
+        print("estimate baseline check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"estimate baseline check OK ({len(baseline)} workloads)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #include "counting/colour_coding.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -16,25 +17,89 @@ uint64_t NumTrials(size_t num_disequalities, double per_call_failure) {
   return static_cast<uint64_t>(std::min(trials, 1e15));
 }
 
-// Intersects `domain` (resizing an unrestricted mask on demand) with the
-// colour class of `value_is_red` for one endpoint of a disequality.
-void RestrictToColour(std::vector<bool>& domain,
-                      const std::vector<bool>& colouring, bool want_red,
-                      uint32_t universe) {
-  if (domain.empty()) {
-    // Unrestricted domain: the intersection IS the colour class. Copy and
-    // flip are word-parallel on vector<bool>, unlike the per-bit loop.
-    assert(colouring.size() == universe);
-    domain = colouring;
-    if (!want_red) domain.flip();
-    return;
+// Sorted, duplicate-free list of disequality endpoint variables — the
+// only variables whose domains change across colouring trials.
+std::vector<int> EndpointVars(const Query& q) {
+  std::vector<int> vars;
+  for (const Disequality& d : q.disequalities()) {
+    vars.push_back(d.lhs);
+    vars.push_back(d.rhs);
   }
-  for (uint32_t w = 0; w < universe; ++w) {
-    if (domain[w] && colouring[w] != want_red) domain[w] = false;
-  }
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
 }
 
 }  // namespace
+
+namespace internal {
+
+// Per-trial overlay builder: one packed mask per endpoint variable,
+// intersected across the disequalities that constrain it. Buffers are
+// reused across trials and oracle calls (no per-trial allocation after
+// warm-up).
+class TrialOverlay {
+ public:
+  explicit TrialOverlay(const Query& q)
+      : disequalities_(q.disequalities()), endpoint_vars_(EndpointVars(q)) {
+    masks_.resize(endpoint_vars_.size());
+    slot_of_.assign(static_cast<size_t>(q.num_vars()), -1);
+    for (size_t k = 0; k < endpoint_vars_.size(); ++k) {
+      slot_of_[static_cast<size_t>(endpoint_vars_[k])] =
+          static_cast<int>(k);
+    }
+  }
+
+  const std::vector<int>& endpoint_vars() const { return endpoint_vars_; }
+
+  /// Draws one colouring per disequality from `rng` (the historical draw
+  /// order, so fixed seeds reproduce) and returns the merged per-endpoint
+  /// restrictions. The views are valid until the next Draw().
+  const std::vector<DomainRestriction>& Draw(Rng& rng, uint32_t universe) {
+    touched_.assign(masks_.size(), 0);
+    for (const Disequality& d : disequalities_) {
+      // f_eta : U(D) -> {r, b} uniformly at random; the smaller endpoint
+      // must land red, the larger blue (Definition 26's R_eta / B_eta).
+      rng.RandomMaskInto(colouring_, universe, 0.5);
+      Apply(d.lhs, /*want_red=*/true);
+      Apply(d.rhs, /*want_red=*/false);
+    }
+    restrictions_.clear();
+    for (size_t k = 0; k < masks_.size(); ++k) {
+      restrictions_.push_back({endpoint_vars_[k], &masks_[k]});
+    }
+    return restrictions_;
+  }
+
+ private:
+  void Apply(int var, bool want_red) {
+    const int slot = slot_of_[static_cast<size_t>(var)];
+    Bitset& mask = masks_[static_cast<size_t>(slot)];
+    if (!touched_[static_cast<size_t>(slot)]) {
+      mask = colouring_;
+      if (!want_red) mask.FlipAll();
+      touched_[static_cast<size_t>(slot)] = 1;
+      return;
+    }
+    if (want_red) {
+      mask.IntersectWith(colouring_);
+    } else {
+      mask.IntersectWithComplement(colouring_);
+    }
+  }
+
+  const std::vector<Disequality>& disequalities_;
+  std::vector<int> endpoint_vars_;
+  std::vector<int> slot_of_;
+  std::vector<Bitset> masks_;
+  std::vector<char> touched_;
+  std::vector<DomainRestriction> restrictions_;
+  Bitset colouring_;
+};
+
+}  // namespace internal
+
+using internal::TrialOverlay;
 
 ColourCodingEdgeFreeOracle::ColourCodingEdgeFreeOracle(
     const Query& q, HomOracle* hom, uint32_t universe_size,
@@ -44,48 +109,38 @@ ColourCodingEdgeFreeOracle::ColourCodingEdgeFreeOracle(
       universe_(universe_size),
       trials_per_call_(
           NumTrials(q.disequalities().size(), opts.per_call_failure)),
-      rng_(opts.seed) {}
+      rng_(opts.seed),
+      overlay_(std::make_unique<TrialOverlay>(q)) {}
+
+ColourCodingEdgeFreeOracle::~ColourCodingEdgeFreeOracle() = default;
 
 bool ColourCodingEdgeFreeOracle::IsEdgeFree(const PartiteSubset& parts) {
   ++num_calls_;
   assert(static_cast<int>(parts.parts.size()) == query_.num_free());
 
   // Base domains: free variable i restricted to V_i, existentials free.
+  // Fixed across all trials of this call (Lemma 22): the oracle hoists
+  // every base-dependent cost out of the trial loop via Prepare.
   VarDomains base;
-  base.allowed.resize(query_.num_vars());
+  base.allowed.resize(static_cast<size_t>(query_.num_vars()));
   for (int i = 0; i < query_.num_free(); ++i) {
-    base.allowed[i] = parts.parts[i];
-    base.allowed[i].resize(universe_, false);
-  }
-  // Fast path: an empty V_i admits no edge.
-  for (int i = 0; i < query_.num_free(); ++i) {
-    bool any = false;
-    for (bool b : base.allowed[i]) {
-      if (b) {
-        any = true;
-        break;
-      }
-    }
-    if (!any) return true;
+    base.allowed[static_cast<size_t>(i)] = parts.parts[i];
+    base.allowed[static_cast<size_t>(i)].Resize(universe_, false);
+    // Fast path: an empty V_i admits no edge (word-parallel scan).
+    if (base.allowed[static_cast<size_t>(i)].None()) return true;
   }
 
   const auto& disequalities = query_.disequalities();
+  std::unique_ptr<PreparedHom> prepared =
+      hom_->Prepare(base, overlay_->endpoint_vars());
   if (disequalities.empty()) {
-    return !hom_->Decide(base);
+    return !prepared->Decide({});
   }
 
   for (uint64_t trial = 0; trial < trials_per_call_; ++trial) {
-    VarDomains domains = base;
-    for (const Disequality& d : disequalities) {
-      // f_eta : U(D) -> {r, b} uniformly at random; the smaller endpoint
-      // must land red, the larger blue (Definition 26's R_eta / B_eta).
-      std::vector<bool> colouring = rng_.RandomMask(universe_, 0.5);
-      RestrictToColour(domains.allowed[d.lhs], colouring, /*want_red=*/true,
-                       universe_);
-      RestrictToColour(domains.allowed[d.rhs], colouring, /*want_red=*/false,
-                       universe_);
-    }
-    if (hom_->Decide(domains)) return false;  // Witness found: has an edge.
+    const std::vector<DomainRestriction>& extra =
+        overlay_->Draw(rng_, universe_);
+    if (prepared->Decide(extra)) return false;  // Witness found: has an edge.
   }
   return true;
 }
@@ -97,18 +152,14 @@ bool DecideAnySolution(const Query& q, HomOracle* hom, uint32_t universe_size,
   if (disequalities.empty()) {
     return hom->Decide(base_domains);
   }
+  TrialOverlay overlay(q);
+  std::unique_ptr<PreparedHom> prepared =
+      hom->Prepare(base_domains, overlay.endpoint_vars());
   const uint64_t trials = NumTrials(disequalities.size(), delta);
   for (uint64_t trial = 0; trial < trials; ++trial) {
-    VarDomains domains = base_domains;
-    if (domains.allowed.empty()) domains.allowed.resize(q.num_vars());
-    for (const Disequality& d : disequalities) {
-      std::vector<bool> colouring = rng.RandomMask(universe_size, 0.5);
-      RestrictToColour(domains.allowed[d.lhs], colouring, true,
-                       universe_size);
-      RestrictToColour(domains.allowed[d.rhs], colouring, false,
-                       universe_size);
-    }
-    if (hom->Decide(domains)) return true;
+    const std::vector<DomainRestriction>& extra =
+        overlay.Draw(rng, universe_size);
+    if (prepared->Decide(extra)) return true;
   }
   return false;
 }

@@ -16,6 +16,7 @@
 #define CQCOUNT_COUNTING_COLOUR_CODING_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "counting/partite_hypergraph.h"
 #include "hom/hom_oracle.h"
@@ -23,6 +24,10 @@
 #include "util/random.h"
 
 namespace cqcount {
+
+namespace internal {
+class TrialOverlay;
+}  // namespace internal
 
 /// Tuning for the colour-coding simulation.
 struct ColourCodingOptions {
@@ -40,6 +45,7 @@ class ColourCodingEdgeFreeOracle : public EdgeFreeOracle {
   ColourCodingEdgeFreeOracle(const Query& q, HomOracle* hom,
                              uint32_t universe_size,
                              const ColourCodingOptions& opts);
+  ~ColourCodingEdgeFreeOracle() override;
 
   bool IsEdgeFree(const PartiteSubset& parts) override;
 
@@ -54,6 +60,9 @@ class ColourCodingEdgeFreeOracle : public EdgeFreeOracle {
   uint32_t universe_;
   uint64_t trials_per_call_;
   Rng rng_;
+  // Reusable per-trial endpoint-mask builder (only the <= 2|Delta|
+  // disequality endpoint domains change across trials).
+  std::unique_ptr<internal::TrialOverlay> overlay_;
 };
 
 /// Amplified decision "does (phi, D) have any solution?" via colour-coded

@@ -48,10 +48,8 @@ PartiteSubset ToSubset(const Box& box,
   PartiteSubset subset;
   subset.parts.resize(box.ranges.size());
   for (size_t i = 0; i < box.ranges.size(); ++i) {
-    subset.parts[i].assign(part_sizes[i], false);
-    for (uint32_t v = box.ranges[i].first; v < box.ranges[i].second; ++v) {
-      subset.parts[i][v] = true;
-    }
+    subset.parts[i].Assign(part_sizes[i], false);
+    subset.parts[i].SetRange(box.ranges[i].first, box.ranges[i].second);
   }
   return subset;
 }

@@ -39,11 +39,11 @@ StatusOr<uint64_t> ExactCountAnswersExtension(const Query& q,
       return;
     }
     for (Value w = 0; w < n; ++w) {
-      domains.allowed[depth].assign(n, false);
-      domains.allowed[depth][w] = true;
+      domains.allowed[depth].Assign(n, false);
+      domains.allowed[depth].Set(w);
       if (solver.Decide(&domains)) dfs(depth + 1);
     }
-    domains.allowed[depth].clear();
+    domains.allowed[depth].Assign(0, false);
   };
   if (num_free == 0) {
     return static_cast<uint64_t>(solver.Decide(nullptr) ? 1 : 0);

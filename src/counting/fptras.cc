@@ -64,6 +64,9 @@ StatusOr<ApproxCountResult> ApproxCountAnswers(const Query& q,
     result.estimate = any ? 1.0 : 0.0;
     result.exact = q.disequalities().empty();
     result.hom_queries = hom.num_calls();
+    result.dp_prepared_decides = hom.dp_stats().prepared_decides;
+    result.dp_cached_bag_rows = hom.dp_stats().cached_bag_rows;
+    result.dp_prepared_path = hom.dp_stats().prepared_path;
     return result;
   }
 
@@ -86,6 +89,9 @@ StatusOr<ApproxCountResult> ApproxCountAnswers(const Query& q,
   result.converged = dlm_result->converged;
   result.edgefree_calls = dlm_result->oracle_calls;
   result.hom_queries = hom.num_calls();
+  result.dp_prepared_decides = hom.dp_stats().prepared_decides;
+  result.dp_cached_bag_rows = hom.dp_stats().cached_bag_rows;
+  result.dp_prepared_path = hom.dp_stats().prepared_path;
   return result;
 }
 

@@ -63,6 +63,13 @@ struct ApproxCountResult {
   uint64_t colouring_trials_per_call = 0;
   /// Width of the decomposition the Hom oracle ran on.
   double width = 0.0;
+  /// Trial decisions served through the prepare/evaluate DP split.
+  uint64_t dp_prepared_decides = 0;
+  /// Rows in the solver's per-bag unrestricted join cache (built once,
+  /// shared by every EdgeFree call of this count).
+  uint64_t dp_cached_bag_rows = 0;
+  /// False when the cache cap forced decisions onto the monolithic DP.
+  bool dp_prepared_path = true;
 };
 
 /// (epsilon, delta)-approximates |Ans(phi, D)| for an ECQ (Theorem 5 with

@@ -26,8 +26,7 @@ bool BruteForceEdgeFreeOracle::IsEdgeFree(const PartiteSubset& parts) {
   for (TupleView answer : answers_) {
     bool inside = true;
     for (size_t i = 0; i < answer.size(); ++i) {
-      const auto& mask = parts.parts[i];
-      if (answer[i] >= mask.size() || !mask[answer[i]]) {
+      if (!parts.parts[i].Test(answer[i])) {
         inside = false;
         break;
       }
@@ -44,7 +43,7 @@ bool GeneralEdgeFreeAdapter::IsEdgeFree(const GeneralPartiteSubset& parts) {
   do {
     // V'_i = W_i cap U_{pi(i)}(D); then V_j = V'_{pi^{-1}(j)}.
     PartiteSubset aligned;
-    aligned.parts.assign(num_free_, std::vector<bool>(universe_, false));
+    aligned.parts.assign(num_free_, Bitset(universe_, false));
     bool any_empty = false;
     for (int i = 0; i < num_free_ && !any_empty; ++i) {
       const int position = permutation[i];
@@ -53,7 +52,7 @@ bool GeneralEdgeFreeAdapter::IsEdgeFree(const GeneralPartiteSubset& parts) {
         const int pos = static_cast<int>(encoded / universe_);
         const Value value = static_cast<Value>(encoded % universe_);
         if (pos == position) {
-          aligned.parts[position][value] = true;
+          aligned.parts[position].Set(value);
           nonempty = true;
         }
       }

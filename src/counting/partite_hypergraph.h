@@ -15,13 +15,14 @@
 
 #include "query/query.h"
 #include "relational/structure.h"
+#include "util/bitset.h"
 
 namespace cqcount {
 
-/// Position-aligned l-partite subset: parts[i] is a membership mask over
-/// U(D) describing V_i subseteq U_i(D).
+/// Position-aligned l-partite subset: parts[i] is a packed membership
+/// mask over U(D) describing V_i subseteq U_i(D).
 struct PartiteSubset {
-  std::vector<std::vector<bool>> parts;
+  std::vector<Bitset> parts;
 };
 
 /// Oracle for the predicate EdgeFree(H(phi,D)[V_1..V_l]) (Theorem 17).

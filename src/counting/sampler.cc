@@ -19,11 +19,12 @@ class BoxRestrictedOracle : public EdgeFreeOracle {
     PartiteSubset global;
     global.parts.resize(parts.parts.size());
     for (size_t i = 0; i < parts.parts.size(); ++i) {
-      global.parts[i].assign(universe_, false);
-      for (size_t local = 0; local < parts.parts[i].size(); ++local) {
-        if (parts.parts[i][local]) {
-          global.parts[i][box_[i].first + local] = true;
-        }
+      const Bitset& local_mask = parts.parts[i];
+      Bitset& global_mask = global.parts[i];
+      global_mask.Assign(universe_, false);
+      for (size_t local = local_mask.FindNext(0); local < local_mask.size();
+           local = local_mask.FindNext(local + 1)) {
+        global_mask.Set(box_[i].first + local);
       }
     }
     return base_->IsEdgeFree(global);
@@ -153,8 +154,8 @@ bool AnswerSampler::Member(const Tuple& answer, double delta) {
   VarDomains domains;
   domains.allowed.resize(query_.num_vars());
   for (int i = 0; i < query_.num_free(); ++i) {
-    domains.allowed[i].assign(n, false);
-    if (answer[i] < n) domains.allowed[i][answer[i]] = true;
+    domains.allowed[i].Assign(n, false);
+    if (answer[i] < n) domains.allowed[i].Set(answer[i]);
   }
   return DecideAnySolution(query_, hom_.get(), n, domains, delta, rng_);
 }

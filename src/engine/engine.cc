@@ -241,6 +241,9 @@ StatusOr<EngineResult> CountingEngine::ExecutePlanned(
       cr.exact = outcome->exact;
       cr.converged = outcome->converged;
       cr.oracle_calls = outcome->oracle_calls;
+      cr.dp_prepared_decides = outcome->dp_prepared_decides;
+      cr.dp_cached_bag_rows = outcome->dp_cached_bag_rows;
+      cr.dp_prepared_path = outcome->dp_prepared_path;
       all_exact = all_exact && cr.exact;
       all_converged = all_converged && cr.converged;
       result.oracle_calls += cr.oracle_calls;

@@ -93,6 +93,12 @@ struct ComponentResult {
   /// placeholders, only the planning provenance is meaningful.
   bool executed = false;
   uint64_t oracle_calls = 0;
+  /// Trial decisions served by the prepare/evaluate DP split and the
+  /// size of the bag-join cache they shared (fptras strategies).
+  uint64_t dp_prepared_decides = 0;
+  uint64_t dp_cached_bag_rows = 0;
+  /// False when the bag-join cache cap forced the monolithic per-call DP.
+  bool dp_prepared_path = true;
   /// Canonical shape key of the component sub-query.
   std::string shape_key;
   /// Figure-1 verdict for the component's shape.

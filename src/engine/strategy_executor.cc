@@ -59,6 +59,11 @@ class FptrasExecutor : public StrategyExecutor {
     outcome.exact = approx->exact;
     outcome.converged = approx->converged;
     outcome.oracle_calls = approx->hom_queries + approx->edgefree_calls;
+    // Surface the prepare/evaluate DP reuse: one bag-join cache serves
+    // every DLM oracle call issued against this plan's decomposition.
+    outcome.dp_prepared_decides = approx->dp_prepared_decides;
+    outcome.dp_cached_bag_rows = approx->dp_cached_bag_rows;
+    outcome.dp_prepared_path = approx->dp_prepared_path;
     return outcome;
   }
 

@@ -60,6 +60,14 @@ struct ExecOutcome {
   bool converged = true;
   /// Oracle work: hom-oracle calls plus estimator membership tests.
   uint64_t oracle_calls = 0;
+  /// Prepared-DP reuse across the DLM oracle calls of this execution
+  /// (fptras strategies): trial decisions answered by the trial-reuse DP
+  /// and the size of the per-plan bag-join cache they shared. Zero for
+  /// strategies without a decomposition DP.
+  uint64_t dp_prepared_decides = 0;
+  uint64_t dp_cached_bag_rows = 0;
+  /// False when the bag-join cache cap forced the monolithic per-call DP.
+  bool dp_prepared_path = true;
 };
 
 /// One counting strategy, executable over the shared context.

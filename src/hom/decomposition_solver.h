@@ -9,9 +9,29 @@
 // bag). Disequalities are NOT handled here: the paper's colour-coding
 // layer (Lemma 30) turns them into the per-variable domain restrictions
 // this solver accepts.
+//
+// Hot path: the colour-coding FPTRAS issues MANY decisions against one
+// solver — thousands of EdgeFree calls per count, each up to
+// ceil(ln 1/delta')·4^|Delta| colouring trials (Lemma 22). Re-running the
+// monolithic DP (re-materialising every bag join) per trial is the
+// dominant cost, so decisions run through a prepare/evaluate split:
+//   1. per solver: each bag's UNRESTRICTED join is materialised once and
+//      cached (the query-shape work, shared by every oracle call);
+//   2. per EdgeFree call (Prepare): cached rows are filtered by the V_i
+//      part restrictions — fixed across trials — and the trial-invariant
+//      part of the DP (bags whose subtree touches no disequality
+//      endpoint) runs once, caching surviving rows and child tables;
+//   3. per trial (PreparedDp::Decide): only bags whose subtree contains a
+//      disequality endpoint re-filter by the trial's colour bitmask and
+//      re-aggregate, with existence-only semijoins and first-witness
+//      early exit at the root.
+// A query with no disequalities degenerates to step 2 entirely: a trial
+// is a cached-verdict lookup.
 #ifndef CQCOUNT_HOM_DECOMPOSITION_SOLVER_H_
 #define CQCOUNT_HOM_DECOMPOSITION_SOLVER_H_
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "decomposition/tree_decomposition.h"
@@ -21,38 +41,135 @@
 
 namespace cqcount {
 
+class DecompositionSolver;
+
+/// A decision instance with the base domains baked in; Decide() evaluates
+/// one overlay (colouring trial) against it. Obtained from
+/// DecompositionSolver::Prepare; a lightweight handle onto solver-owned
+/// state — it must not outlive the solver, and a new Prepare on the same
+/// solver invalidates it (asserted in debug builds).
+class PreparedDp {
+ public:
+  /// True iff a solution exists under base domains intersected with
+  /// `extra`. Every `extra.var` must be among the overlay vars declared
+  /// at Prepare time. Reuses trial-invariant DP state across calls.
+  bool Decide(const std::vector<DomainRestriction>& extra);
+
+ private:
+  friend class DecompositionSolver;
+  PreparedDp(DecompositionSolver* solver, uint64_t generation)
+      : solver_(solver), generation_(generation) {}
+
+  DecompositionSolver* solver_;
+  uint64_t generation_;
+};
+
 /// Decision / exact-counting DP over a tree decomposition.
+///
+/// NOT thread-safe: Decide/Prepare maintain internal caches. Use one
+/// solver instance per worker (the engine's executors already do).
 class DecompositionSolver {
  public:
+  /// Observability of the prepare/evaluate split (plumbed up into engine
+  /// provenance so perf work shows up in Explain output).
+  struct DpStats {
+    /// Prepared (per-EdgeFree-call) instances built.
+    uint64_t prepare_calls = 0;
+    /// Trial decisions answered through prepared instances.
+    uint64_t prepared_decides = 0;
+    /// Total rows in the per-solver unrestricted bag-join cache.
+    uint64_t cached_bag_rows = 0;
+    /// False when the cache cap was hit and decisions fell back to the
+    /// monolithic per-call DP.
+    bool prepared_path = true;
+  };
+
+  struct Options {
+    /// Cap (total rows across bags) on the unrestricted bag-join cache;
+    /// past it Prepare falls back to the monolithic DP per decision.
+    uint64_t max_cached_bag_rows = uint64_t{1} << 22;
+  };
+
   /// `td` must be a valid decomposition of H(q); the query and database
   /// must outlive the solver.
   DecompositionSolver(const Query& q, const Database& db,
                       TreeDecomposition td);
+  DecompositionSolver(const Query& q, const Database& db,
+                      TreeDecomposition td, Options opts);
+  ~DecompositionSolver();
 
   /// True iff (phi, D) has a solution (ignoring disequalities) whose values
-  /// respect `domains` (may be null).
-  bool Decide(const VarDomains* domains) const;
+  /// respect `domains` (may be null). Monolithic evaluation (one-shot
+  /// callers and the property-test reference for the prepared path).
+  bool Decide(const VarDomains* domains);
 
   /// Exact number of solutions (ignoring disequalities) respecting
   /// `domains`. Returned as double: counts can exceed 2^64 for large
   /// databases; all tests use exactly-representable ranges.
-  double CountSolutions(const VarDomains* domains) const;
+  double CountSolutions(const VarDomains* domains);
+
+  /// Builds a prepared decision instance: `base` (the V_i restrictions of
+  /// one EdgeFree call) is fixed; each PreparedDp::Decide overlays masks
+  /// on `overlay_vars` only (the disequality endpoints). `base` is only
+  /// read during this call. The instance borrows solver-owned scratch
+  /// (reused across calls, so the per-call path is allocation-free after
+  /// warm-up): at most one live PreparedDp per solver.
+  PreparedDp Prepare(const VarDomains& base,
+                     const std::vector<int>& overlay_vars);
 
   const TreeDecomposition& decomposition() const { return td_; }
+  const DpStats& dp_stats() const { return stats_; }
 
  private:
-  // Shared bottom-up pass. If `weights` is null, performs the decision
-  // variant with early exit; otherwise computes per-tuple extension counts.
+  friend class PreparedDp;
+
+  // Shared bottom-up pass. If `total` is null, performs the decision
+  // variant; otherwise computes per-tuple extension counts.
   bool RunDp(const VarDomains* domains, double* total) const;
+
+  // Materialises and caches every bag's unrestricted join (idempotent).
+  // Returns false when the row cap was exceeded (cache disabled).
+  bool EnsureBagRowCache();
+
+  // One prepared trial decision against the current scratch state.
+  bool DecidePrepared(uint64_t generation,
+                      const std::vector<DomainRestriction>& extra);
 
   const Query& query_;
   const Database& db_;
   TreeDecomposition td_;
   std::vector<std::vector<int>> children_;
+  std::vector<int> parent_;
   std::vector<int> post_order_;
-  // Pre-projected per-bag joiners: Decide is called once per colouring
-  // trial, so the (domain-independent) projection work is hoisted here.
+  // Positions of the parent-shared variables, within the child bag and
+  // within the parent bag (indexed by child node).
+  std::vector<std::vector<int>> shared_in_child_;
+  std::vector<std::vector<int>> shared_in_parent_;
+  // Pre-projected per-bag joiners: the (domain-independent) projection
+  // work is hoisted here.
   std::vector<BagJoiner> joiners_;
+  // Per-solver cache of unrestricted bag joins (step 1 of the split).
+  // 0 = not built, 1 = built, 2 = over cap (prepared path disabled).
+  int bag_row_cache_state_ = 0;
+  std::vector<FlatTuples> bag_rows_;
+  // Per (bag, column) value index over the cached rows: `perm` lists row
+  // indices ordered by the column's value, `starts[v]..starts[v+1]` is
+  // the run with value v. Lets Prepare stream only the rows matching the
+  // most selective V_i restriction instead of scanning the whole cache
+  // (cross-product bags from fill edges make that scan quadratic).
+  struct ColIndex {
+    std::vector<uint32_t> perm;
+    std::vector<uint32_t> starts;  // universe_size + 1 offsets.
+  };
+  std::vector<std::vector<ColIndex>> bag_col_index_;
+  // Solver-owned per-Prepare scratch (defined in the .cc): reusing it
+  // across the thousands of Prepare calls of one DLM estimation keeps
+  // the per-call path allocation-free.
+  struct PrepareScratch;
+  std::unique_ptr<PrepareScratch> scratch_;
+  uint64_t prepare_generation_ = 0;
+  Options opts_;
+  DpStats stats_;
 };
 
 }  // namespace cqcount

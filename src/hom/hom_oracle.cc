@@ -1,22 +1,102 @@
 #include "hom/hom_oracle.h"
 
+#include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "decomposition/width_measures.h"
 #include "query/query_structures.h"
 
 namespace cqcount {
+namespace {
 
-bool BacktrackingHomOracle::Decide(const VarDomains& domains) {
-  ++num_calls_;
+// Default trial-reuse adapter: keeps a private copy of the base domains
+// and, per trial, swaps in only the <= 2|Delta| overlaid endpoint domains
+// (intersected with the base) around a plain Decide — no full VarDomains
+// copy per trial.
+class OverlayPreparedHom : public PreparedHom {
+ public:
+  OverlayPreparedHom(HomOracle* oracle, const VarDomains& base,
+                     int num_vars)
+      : oracle_(oracle), base_(base) {
+    // Cover every overlaid variable even when the caller passed a
+    // shorter (but non-empty) domain vector.
+    if (base_.allowed.size() < static_cast<size_t>(num_vars)) {
+      base_.allowed.resize(static_cast<size_t>(num_vars));
+    }
+  }
+
+  bool Decide(const std::vector<DomainRestriction>& extra) override {
+    ApplyOverlay(base_, extra, saved_);
+    const bool verdict = oracle_->Decide(base_);
+    RestoreOverlay(base_, saved_);
+    return verdict;
+  }
+
+ private:
+  HomOracle* oracle_;
+  VarDomains base_;
+  SavedDomains saved_;
+};
+
+// Prepared decisions delegated to the solver's trial-reuse DP.
+class DecompositionPreparedHom : public PreparedHom {
+ public:
+  DecompositionPreparedHom(HomOracle* owner, PreparedDp prepared)
+      : owner_(owner), prepared_(std::move(prepared)) {}
+
+  bool Decide(const std::vector<DomainRestriction>& extra) override {
+    owner_->RecordPreparedDecide();
+    return prepared_.Decide(extra);
+  }
+
+ private:
+  HomOracle* owner_;
+  PreparedDp prepared_;
+};
+
+// Identity variable order over all query variables.
+std::vector<int> IdentityOrder(const Query& q) {
+  std::vector<int> order(static_cast<size_t>(q.num_vars()));
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+BagJoiner::Options FullJoinOptions() {
   BagJoiner::Options opts;
   opts.enforce_negated = true;
   opts.enforce_disequalities = false;
-  std::vector<int> order(query_.num_vars());
-  std::iota(order.begin(), order.end(), 0);
-  BagJoiner joiner(query_, db_, order, opts);
+  return opts;
+}
+
+}  // namespace
+
+std::unique_ptr<PreparedHom> HomOracle::Prepare(
+    const VarDomains& base, std::vector<int> overlay_vars) {
+  // num_vars is unknown at this level; size the domain vector to cover
+  // the largest overlaid variable. Variables beyond the vector are
+  // unrestricted by VarDomains::Allows' contract.
+  int max_var = -1;
+  for (int v : overlay_vars) max_var = std::max(max_var, v);
+  const int num_vars =
+      std::max(static_cast<int>(base.allowed.size()), max_var + 1);
+  return std::make_unique<OverlayPreparedHom>(this, base, num_vars);
+}
+
+std::unique_ptr<PreparedHom> DecompositionHomOracle::Prepare(
+    const VarDomains& base, std::vector<int> overlay_vars) {
+  return std::make_unique<DecompositionPreparedHom>(
+      this, solver_.Prepare(base, std::move(overlay_vars)));
+}
+
+BacktrackingHomOracle::BacktrackingHomOracle(const Query& q,
+                                             const Database& db)
+    : joiner_(q, db, IdentityOrder(q), FullJoinOptions()) {}
+
+bool BacktrackingHomOracle::Decide(const VarDomains& domains) {
+  ++num_calls_;
   bool found = false;
-  joiner.Enumerate(&domains, [&found](const Tuple&) {
+  joiner_.Enumerate(&domains, [&found](const Tuple&) {
     found = true;
     return false;
   });

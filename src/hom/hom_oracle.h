@@ -5,11 +5,23 @@
 // as per-variable domain restrictions — observationally equivalent to the
 // materialised structures of Definitions 26/28 (every added relation is
 // unary), which tests cross-validate via DecideStructureHom.
+//
+// Two calling conventions:
+//   - Decide(domains): one-shot decision, full domain set.
+//   - Prepare(base, overlay_vars) -> PreparedHom: the trial-reuse path.
+//     The colour-coding loop fixes the V_i part restrictions once per
+//     EdgeFree call and then varies only the <= 2|Delta| disequality
+//     endpoint domains per trial; PreparedHom lets the oracle hoist all
+//     base-dependent work out of the trial loop. The decomposition oracle
+//     backs it with the solver's prepare/evaluate DP split; any other
+//     oracle gets a correct default that copies/restores just the
+//     endpoint domains around a plain Decide.
 #ifndef CQCOUNT_HOM_HOM_ORACLE_H_
 #define CQCOUNT_HOM_HOM_ORACLE_H_
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "decomposition/tree_decomposition.h"
 #include "hom/decomposition_solver.h"
@@ -19,6 +31,18 @@
 
 namespace cqcount {
 
+/// A Hom instance with base domains fixed; each Decide overlays a small
+/// set of per-variable masks (one colouring trial). Obtained from
+/// HomOracle::Prepare; must not outlive the oracle.
+class PreparedHom {
+ public:
+  virtual ~PreparedHom() = default;
+
+  /// True iff a solution exists under base + `extra` (vars limited to the
+  /// overlay vars declared at Prepare time).
+  virtual bool Decide(const std::vector<DomainRestriction>& extra) = 0;
+};
+
 /// Decides colour-coded homomorphism instances for a fixed (phi, D).
 class HomOracle {
  public:
@@ -27,8 +51,19 @@ class HomOracle {
   /// True iff a solution (ignoring disequalities) exists under `domains`.
   virtual bool Decide(const VarDomains& domains) = 0;
 
-  /// Number of Decide calls served so far.
+  /// Prepares repeated decisions over fixed `base` domains with per-trial
+  /// overlays on `overlay_vars`. The default implementation copies and
+  /// restores only the overlaid domains around Decide; oracles with a
+  /// cheaper incremental path override this.
+  virtual std::unique_ptr<PreparedHom> Prepare(const VarDomains& base,
+                                               std::vector<int> overlay_vars);
+
+  /// Number of decisions served so far (plain and prepared).
   uint64_t num_calls() const { return num_calls_; }
+
+  /// Internal: lets PreparedHom implementations attribute their decisions
+  /// to the owning oracle's call counter.
+  void RecordPreparedDecide() { ++num_calls_; }
 
  protected:
   uint64_t num_calls_ = 0;
@@ -48,21 +83,30 @@ class DecompositionHomOracle : public HomOracle {
     return solver_.Decide(&domains);
   }
 
+  /// Prepared decisions run on the solver's trial-reuse DP.
+  std::unique_ptr<PreparedHom> Prepare(
+      const VarDomains& base, std::vector<int> overlay_vars) override;
+
+  /// Prepare/evaluate observability for engine provenance.
+  const DecompositionSolver::DpStats& dp_stats() const {
+    return solver_.dp_stats();
+  }
+
  private:
   DecompositionSolver solver_;
 };
 
-/// Exponential-time oracle via plain backtracking (cross-validation).
+/// Exponential-time oracle via plain backtracking (cross-validation). The
+/// joiner (and its identity variable order) is built once at construction
+/// and reused by every Decide call.
 class BacktrackingHomOracle : public HomOracle {
  public:
-  BacktrackingHomOracle(const Query& q, const Database& db)
-      : query_(q), db_(db) {}
+  BacktrackingHomOracle(const Query& q, const Database& db);
 
   bool Decide(const VarDomains& domains) override;
 
  private:
-  const Query& query_;
-  const Database& db_;
+  BagJoiner joiner_;
 };
 
 /// Decides whether a homomorphism from structure `a` to structure `b`

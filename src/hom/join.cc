@@ -6,6 +6,31 @@
 
 namespace cqcount {
 
+void ApplyOverlay(VarDomains& domains,
+                  const std::vector<DomainRestriction>& extra,
+                  SavedDomains& saved) {
+  saved.clear();
+  saved.reserve(extra.size());
+  for (const DomainRestriction& r : extra) {
+    assert(static_cast<size_t>(r.var) < domains.allowed.size());
+    Bitset& domain = domains.allowed[static_cast<size_t>(r.var)];
+    saved.emplace_back(r.var, std::move(domain));
+    if (saved.back().second.empty()) {
+      domain = *r.mask;
+    } else {
+      domain = saved.back().second;
+      domain.IntersectWith(*r.mask);
+    }
+  }
+}
+
+void RestoreOverlay(VarDomains& domains, SavedDomains& saved) {
+  for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+    domains.allowed[static_cast<size_t>(it->first)] = std::move(it->second);
+  }
+  saved.clear();
+}
+
 BagJoiner::BagJoiner(const Query& q, const Database& db,
                      std::vector<int> vars, Options opts)
     : query_(q), db_(db), vars_(std::move(vars)), opts_(opts) {

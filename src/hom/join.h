@@ -20,6 +20,7 @@
 #include "query/query.h"
 #include "relational/relation.h"
 #include "relational/structure.h"
+#include "util/bitset.h"
 
 namespace cqcount {
 
@@ -27,14 +28,41 @@ namespace cqcount {
 /// mask for a variable) means "unrestricted". The colour-coding oracle
 /// (Lemma 30) expresses all of B-hat's unary relations through this type.
 struct VarDomains {
-  std::vector<std::vector<bool>> allowed;
+  std::vector<Bitset> allowed;
 
+  /// Variables beyond the vector's length (including the empty vector)
+  /// are unrestricted, so a caller may pass a short vector covering only
+  /// the restricted variables.
   bool Allows(int var, Value w) const {
-    if (allowed.empty()) return true;
-    const auto& mask = allowed[static_cast<size_t>(var)];
-    return mask.empty() || (w < mask.size() && mask[w]);
+    if (static_cast<size_t>(var) >= allowed.size()) return true;
+    const Bitset& mask = allowed[static_cast<size_t>(var)];
+    return mask.empty() || mask.Test(w);
   }
 };
+
+/// One additional restriction overlaid on top of a prepared base: the
+/// domain of `var` is intersected with `*mask` (an empty base domain means
+/// the intersection IS the mask). The colour-coding trial loop passes at
+/// most 2·|Delta| of these per trial instead of copying whole VarDomains.
+struct DomainRestriction {
+  int var = 0;
+  const Bitset* mask = nullptr;
+};
+
+/// Saved domains for RestoreOverlay, in application order.
+using SavedDomains = std::vector<std::pair<int, Bitset>>;
+
+/// Applies `extra` to `domains` in place (each mask intersected into its
+/// variable's domain; an empty domain adopts the mask), recording the
+/// previous domains in `saved` (cleared first). `domains.allowed` must
+/// cover every overlaid variable.
+void ApplyOverlay(VarDomains& domains,
+                  const std::vector<DomainRestriction>& extra,
+                  SavedDomains& saved);
+
+/// Undoes ApplyOverlay. Restores in reverse order so that with a variable
+/// overlaid twice the FIRST save (its original domain) wins.
+void RestoreOverlay(VarDomains& domains, SavedDomains& saved);
 
 /// Joint enumeration of satisfying assignments over an ordered variable set.
 class BagJoiner {

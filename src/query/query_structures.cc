@@ -120,7 +120,7 @@ StatusOr<Structure> BuildStructureBHat(const Query& q, const Database& db,
 
   // Membership of (value w, position i) in S_i.
   auto in_s = [&](Value w, int i) {
-    if (i < num_free) return parts[i].size() > w && parts[i][w];
+    if (i < num_free) return parts[i].Test(w);
     return true;  // Existential positions use all of U(D).
   };
   auto encode = [&](Value w, int i) {
@@ -192,7 +192,7 @@ StatusOr<Structure> BuildStructureBHat(const Query& q, const Database& db,
     for (int i = 0; i < num_vars; ++i) {
       for (Value w = 0; w < n; ++w) {
         if (!in_s(w, i)) continue;
-        s = b_hat.AddFact(colouring[k][w] ? red : blue, {encode(w, i)});
+        s = b_hat.AddFact(colouring[k].Test(w) ? red : blue, {encode(w, i)});
         if (!s.ok()) return s;
       }
     }

@@ -19,6 +19,7 @@
 
 #include "query/query.h"
 #include "relational/structure.h"
+#include "util/bitset.h"
 #include "util/status.h"
 
 namespace cqcount {
@@ -37,12 +38,12 @@ StatusOr<Structure> BuildStructureB(const Query& q, const Database& db,
                                     uint64_t max_complement_tuples = 1 << 22);
 
 /// Per-disequality colouring functions f_eta : U(D) -> {r, b}
-/// (true = red). Indexed parallel to Query::disequalities().
-using ColouringFamily = std::vector<std::vector<bool>>;
+/// (set bit = red). Indexed parallel to Query::disequalities().
+using ColouringFamily = std::vector<Bitset>;
 
 /// Per-free-variable vertex sets V_i (each a subset of U(D), given as a
-/// membership mask). Indexed by free-variable index.
-using PartiteParts = std::vector<std::vector<bool>>;
+/// packed membership mask). Indexed by free-variable index.
+using PartiteParts = std::vector<Bitset>;
 
 /// A-hat(phi) (Definition 26): adds unary P_i = {x_i} for every variable
 /// and unary Rneq_k = {lhs}, Bneq_k = {rhs} for the k-th disequality.

@@ -117,6 +117,14 @@ class FlatTuples {
     size_ = 0;
     data_.clear();
   }
+  /// clear() plus a (possibly different) width, keeping the allocation —
+  /// the reuse idiom of per-trial DP scratch tables.
+  void Reset(int width) {
+    assert(width >= 0);
+    width_ = width;
+    size_ = 0;
+    data_.clear();
+  }
   void reserve(size_t rows) { data_.reserve(rows * width_); }
 
   TupleView operator[](size_t i) const {

@@ -55,31 +55,32 @@ bool Rng::Bernoulli(double p) {
   return UniformDouble() < p;
 }
 
-std::vector<bool> Rng::RandomMask(size_t n, double p) {
-  std::vector<bool> mask(n);
-  if (p <= 0.0) return mask;
-  if (p >= 1.0) {
-    mask.assign(n, true);
-    return mask;
-  }
-  if (p == 0.5) {
-    // Fair masks (the colour-coding case) draw 64 bits per RNG step
-    // instead of one Next() per element.
-    uint64_t bits = 0;
-    int available = 0;
-    for (size_t i = 0; i < n; ++i) {
-      if (available == 0) {
-        bits = Next();
-        available = 64;
-      }
-      mask[i] = (bits & 1) != 0;
-      bits >>= 1;
-      --available;
-    }
-    return mask;
-  }
-  for (size_t i = 0; i < n; ++i) mask[i] = Bernoulli(p);
+Bitset Rng::RandomMask(size_t n, double p) {
+  Bitset mask;
+  RandomMaskInto(mask, n, p);
   return mask;
+}
+
+void Rng::RandomMaskInto(Bitset& out, size_t n, double p) {
+  if (p <= 0.0) {
+    out.Assign(n, false);
+    return;
+  }
+  if (p >= 1.0) {
+    out.Assign(n, true);
+    return;
+  }
+  out.Assign(n, false);
+  if (p == 0.5) {
+    // Fair masks (the colour-coding case) draw 64 bits per RNG step; the
+    // LSB of each draw lands on the lowest element, matching the bit
+    // order of the historical one-bit-at-a-time consumption.
+    for (size_t w = 0; w < out.num_words(); ++w) out.SetWord(w, Next());
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (Bernoulli(p)) out.Set(i);
+  }
 }
 
 Rng Rng::Split() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }

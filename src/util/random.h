@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/bitset.h"
+
 namespace cqcount {
 
 /// xoshiro256** pseudo-random generator with convenience samplers.
@@ -31,9 +33,16 @@ class Rng {
   /// Returns true with probability p (clamped to [0,1]).
   bool Bernoulli(double p);
 
-  /// Returns a uniformly random subset of {0,..,n-1} as a boolean mask,
+  /// Returns a uniformly random subset of {0,..,n-1} as a packed mask,
   /// keeping each element independently with probability p.
-  std::vector<bool> RandomMask(size_t n, double p);
+  Bitset RandomMask(size_t n, double p);
+
+  /// Allocation-free sibling of RandomMask for hot loops: re-dimensions
+  /// `out` to n bits (reusing its buffer) and fills it. Fair masks
+  /// (p == 0.5, the colour-coding case) consume one Next() per 64 bits,
+  /// bit i of the mask being bit i%64 of draw i/64 — the same stream the
+  /// historical per-bit sampler consumed, so fixed seeds reproduce.
+  void RandomMaskInto(Bitset& out, size_t n, double p);
 
   /// Shuffles `items` uniformly (Fisher-Yates).
   template <typename T>

@@ -79,7 +79,7 @@ TEST(ColourCodingTest, NoDisequalitiesMeansSingleHomQuery) {
   ColourCodingOptions opts;
   ColourCodingEdgeFreeOracle oracle(q, hom.get(), 4, opts);
   PartiteSubset parts;
-  parts.parts = {std::vector<bool>(4, true)};
+  parts.parts = {Bitset(4, true)};
   EXPECT_FALSE(oracle.IsEdgeFree(parts));
   EXPECT_EQ(hom->num_calls(), 1u);
 }
@@ -105,7 +105,7 @@ TEST(ColourCodingTest, EmptyPartShortCircuits) {
   ColourCodingOptions opts;
   ColourCodingEdgeFreeOracle oracle(q, hom.get(), 3, opts);
   PartiteSubset parts;
-  parts.parts = {std::vector<bool>(3, false)};
+  parts.parts = {Bitset(3, false)};
   EXPECT_TRUE(oracle.IsEdgeFree(parts));
   EXPECT_EQ(hom->num_calls(), 0u);
 }

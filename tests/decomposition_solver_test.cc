@@ -68,9 +68,9 @@ TEST(DecompositionSolverTest, DomainsRestrictDecision) {
   DecompositionSolver solver = MakeSolver(q, db);
   VarDomains domains;
   domains.allowed.resize(1);
-  domains.allowed[0] = {true, false, false};
+  domains.allowed[0] = testing_util::MaskOf({true, false, false});
   EXPECT_FALSE(solver.Decide(&domains));
-  domains.allowed[0] = {false, true, false};
+  domains.allowed[0] = testing_util::MaskOf({false, true, false});
   EXPECT_TRUE(solver.Decide(&domains));
 }
 

@@ -92,12 +92,9 @@ TEST(HomOracleTest, VirtualMatchesMaterialisedAHatBHat) {
     domains.allowed.resize(q.num_vars());
     domains.allowed[0] = parts[0];
     // y (index 1) must be red, z (index 2) must be blue.
-    domains.allowed[1].assign(4, false);
-    domains.allowed[2].assign(4, false);
-    for (Value w = 0; w < 4; ++w) {
-      domains.allowed[1][w] = colouring[0][w];
-      domains.allowed[2][w] = !colouring[0][w];
-    }
+    domains.allowed[1] = colouring[0];
+    domains.allowed[2] = colouring[0];
+    domains.allowed[2].FlipAll();
     Hypergraph h = q.BuildHypergraph();
     DecompositionHomOracle oracle(q, db,
                                   DecompositionFromOrder(h, MinFillOrder(h)));

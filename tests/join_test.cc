@@ -181,7 +181,7 @@ TEST(BagJoinerTest, DomainsRestrictValues) {
   db.Canonicalize();
   VarDomains domains;
   domains.allowed.resize(1);
-  domains.allowed[0] = {false, true, false, true};
+  domains.allowed[0] = testing_util::MaskOf({false, true, false, true});
   BagJoiner joiner(q, db, {0}, {});
   Relation out = joiner.Materialise(&domains);
   EXPECT_EQ(out.size(), 2u);

@@ -9,6 +9,8 @@
 namespace cqcount {
 namespace {
 
+using testing_util::MaskOf;
+
 Query Parse(const std::string& text) {
   auto q = ParseQuery(text);
   EXPECT_TRUE(q.ok()) << q.status().ToString();
@@ -17,7 +19,7 @@ Query Parse(const std::string& text) {
 
 PartiteSubset FullParts(int l, uint32_t n) {
   PartiteSubset s;
-  s.parts.assign(l, std::vector<bool>(n, true));
+  s.parts.assign(l, Bitset(n, true));
   return s;
 }
 
@@ -36,11 +38,11 @@ TEST(BruteForceOracleTest, RestrictedPartsDetectEmptiness) {
   BruteForceEdgeFreeOracle oracle(q, db);
   PartiteSubset s = FullParts(2, 3);
   // V_0 = {0}, V_1 = {2}: no edge from 0 to 2.
-  s.parts[0] = {true, false, false};
-  s.parts[1] = {false, false, true};
+  s.parts[0] = MaskOf({true, false, false});
+  s.parts[1] = MaskOf({false, false, true});
   EXPECT_TRUE(oracle.IsEdgeFree(s));
   // V_0 = {0}, V_1 = {1}: edge exists.
-  s.parts[1] = {false, true, false};
+  s.parts[1] = MaskOf({false, true, false});
   EXPECT_FALSE(oracle.IsEdgeFree(s));
   EXPECT_EQ(oracle.num_calls(), 2u);
 }
@@ -53,7 +55,7 @@ TEST(BruteForceOracleTest, EmptyPartIsEdgeFree) {
   db.Canonicalize();
   BruteForceEdgeFreeOracle oracle(q, db);
   PartiteSubset s;
-  s.parts = {{false, false}};
+  s.parts = {Bitset(2, false)};
   EXPECT_TRUE(oracle.IsEdgeFree(s));
 }
 
@@ -95,7 +97,7 @@ TEST(GeneralAdapterTest, AgreesWithAlignedOnAlignedInputs) {
     w.parts.resize(2);
     for (int i = 0; i < 2; ++i) {
       for (uint32_t v = 0; v < 4; ++v) {
-        if (s.parts[i][v]) {
+        if (s.parts[i].Test(v)) {
           w.parts[i].push_back(static_cast<uint64_t>(i) * 4 + v);
         }
       }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "query/parser.h"
+#include "test_util.h"
 
 namespace cqcount {
 namespace {
@@ -85,8 +86,9 @@ TEST(StructureBHatTest, RespectsPartsAndColouring) {
   ASSERT_TRUE(db.DeclareRelation("F", 2).ok());
   ASSERT_TRUE(db.AddFact("F", {0, 1}).ok());
   db.Canonicalize();
-  PartiteParts parts = {{true, false}};     // V_0 = {0}.
-  ColouringFamily colouring = {{true, false}};  // f: 0 -> r, 1 -> b.
+  PartiteParts parts = {testing_util::MaskOf({true, false})};  // V_0 = {0}.
+  ColouringFamily colouring = {
+      testing_util::MaskOf({true, false})};  // f: 0 -> r, 1 -> b.
   auto b_hat = BuildStructureBHat(q, db, parts, colouring);
   ASSERT_TRUE(b_hat.ok());
   // P_0 = V_0 x {0} = {(0,0)} encoded as 0*2+0; P_1 = U x {1}.

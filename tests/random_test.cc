@@ -71,10 +71,43 @@ TEST(RngTest, BernoulliRoughlyFair) {
 
 TEST(RngTest, RandomMaskDensity) {
   Rng rng(23);
-  std::vector<bool> mask = rng.RandomMask(10000, 0.25);
-  int ones = 0;
-  for (bool b : mask) ones += b;
-  EXPECT_NEAR(ones / 10000.0, 0.25, 0.03);
+  Bitset mask = rng.RandomMask(10000, 0.25);
+  EXPECT_EQ(mask.size(), 10000u);
+  EXPECT_NEAR(static_cast<double>(mask.Count()) / 10000.0, 0.25, 0.03);
+}
+
+TEST(RngTest, RandomMaskBitStreamMatchesPerBitDraws) {
+  // The packed fair mask must consume the historical bit stream: bit i
+  // equals bit i%64 of the (i/64)-th Next() draw — fixed-seed estimates
+  // depend on it.
+  Rng word_rng(99);
+  Bitset mask = word_rng.RandomMask(130, 0.5);
+  Rng bit_rng(99);
+  uint64_t bits = 0;
+  int available = 0;
+  for (size_t i = 0; i < 130; ++i) {
+    if (available == 0) {
+      bits = bit_rng.Next();
+      available = 64;
+    }
+    EXPECT_EQ(mask.Test(i), (bits & 1) != 0) << "bit " << i;
+    bits >>= 1;
+    --available;
+  }
+  // Both consumed ceil(130/64) = 3 draws: the next outputs agree.
+  EXPECT_EQ(word_rng.Next(), bit_rng.Next());
+}
+
+TEST(RngTest, RandomMaskIntoReusesBuffer) {
+  Rng rng(31);
+  Bitset mask;
+  rng.RandomMaskInto(mask, 100, 0.5);
+  EXPECT_EQ(mask.size(), 100u);
+  rng.RandomMaskInto(mask, 65, 1.0);
+  EXPECT_EQ(mask.size(), 65u);
+  EXPECT_EQ(mask.Count(), 65u);
+  rng.RandomMaskInto(mask, 10, 0.0);
+  EXPECT_TRUE(mask.None());
 }
 
 TEST(RngTest, ShufflePreservesElements) {

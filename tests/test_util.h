@@ -4,15 +4,28 @@
 #ifndef CQCOUNT_TESTS_TEST_UTIL_H_
 #define CQCOUNT_TESTS_TEST_UTIL_H_
 
+#include <initializer_list>
 #include <string>
 #include <vector>
 
 #include "query/query.h"
 #include "relational/structure.h"
+#include "util/bitset.h"
 #include "util/random.h"
 
 namespace cqcount {
 namespace testing_util {
+
+/// Literal-friendly Bitset builder: MaskOf({true, false, true}).
+inline Bitset MaskOf(std::initializer_list<bool> bits) {
+  Bitset mask(bits.size(), false);
+  size_t i = 0;
+  for (bool b : bits) {
+    if (b) mask.Set(i);
+    ++i;
+  }
+  return mask;
+}
 
 /// Knobs for RandomQuery.
 struct RandomQueryOptions {
