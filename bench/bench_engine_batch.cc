@@ -160,7 +160,10 @@ int Run(const std::string& json_path) {
   // (c) pool serialization probe. CPU-bound batch scaling is capped by
   // hardware_concurrency (1 on single-core runners), so this isolates the
   // executor itself: sleep-bound tasks scale with threads unless a shared
-  // lock serialises dispatch/completion.
+  // lock serialises dispatch/completion. The help-draining ParallelFor
+  // has the CALLER claim tasks too, so an N-thread pool runs N+1 lanes:
+  // expect 8 tasks at 1t in ~4 sleeps (2 lanes) and at 4t in ~2 sleeps
+  // (5 lanes, ceil(8/5)).
   constexpr int kProbeTasks = 8;
   constexpr int kProbeSleepMs = 25;
   auto probe = [&](int threads) {
@@ -336,7 +339,9 @@ int Run(const std::string& json_path) {
   std::fprintf(out,
                "  \"note\": \"CPU-bound batch scaling is capped by "
                "hardware_threads; pool_probe isolates executor dispatch "
-               "(sleep-bound tasks) from that ceiling\",\n");
+               "(sleep-bound tasks) from that ceiling — the help-draining "
+               "ParallelFor adds the caller as a lane, so N threads = N+1 "
+               "lanes (1t: ceil(8/2)=4 sleeps, 4t: ceil(8/5)=2)\",\n");
   std::fprintf(out,
                "  \"plan_cache\": {\"hits\": %llu, \"misses\": %llu, "
                "\"evictions\": %llu}\n",

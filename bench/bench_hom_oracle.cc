@@ -24,6 +24,7 @@
 #include "decomposition/width_measures.h"
 #include "hom/hom_oracle.h"
 #include "query/parser.h"
+#include "util/executor.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -48,6 +49,8 @@ struct EstimatePoint {
   std::string query;
   uint32_t universe = 0;
   double estimate = 0.0;
+  /// The same workload at 4 intra-query lanes (must equal `estimate`).
+  double estimate_mt = 0.0;
   bool exact = false;
 };
 
@@ -245,29 +248,44 @@ int Run(const std::string& json_path) {
   std::vector<EstimatePoint> estimates;
   bench::Row("\n(d) fixed-seed estimate baselines (universe %u)",
              kBaselineUniverse);
-  bench::Row("%12s %12s %7s", "workload", "estimate", "exact");
-  for (int i = 0; i < 3; ++i) {
-    Query q = MustParse(kEstimateQueries[i]);
-    ApproxOptions opts;
-    opts.epsilon = 0.25;
-    opts.delta = 0.2;
-    opts.seed = 12345;
-    opts.per_call_failure_override = 1e-3;
-    auto result = ApproxCountAnswers(q, baseline_db, opts);
-    if (!result.ok()) {
-      std::fprintf(stderr, "estimate: %s\n",
-                   result.status().ToString().c_str());
-      return 1;
+  bench::Row("%12s %12s %12s %7s", "workload", "estimate", "estimate@4t",
+             "exact");
+  {
+    // The multi-threaded column re-runs every workload with 4 intra-query
+    // lanes on a real pool: check_estimates.py asserts it matches the
+    // single-threaded baseline bit for bit (the determinism contract).
+    Executor mt_pool(4);
+    for (int i = 0; i < 3; ++i) {
+      Query q = MustParse(kEstimateQueries[i]);
+      ApproxOptions opts;
+      opts.epsilon = 0.25;
+      opts.delta = 0.2;
+      opts.seed = 12345;
+      opts.per_call_failure_override = 1e-3;
+      auto result = ApproxCountAnswers(q, baseline_db, opts);
+      ApproxOptions mt_opts = opts;
+      mt_opts.pool = &mt_pool;
+      mt_opts.intra_threads = 4;
+      auto mt_result = ApproxCountAnswers(q, baseline_db, mt_opts);
+      if (!result.ok() || !mt_result.ok()) {
+        std::fprintf(stderr, "estimate: %s\n",
+                     (result.ok() ? mt_result : result)
+                         .status()
+                         .ToString()
+                         .c_str());
+        return 1;
+      }
+      EstimatePoint point;
+      point.name = kEstimateNames[i];
+      point.query = kEstimateQueries[i];
+      point.universe = kBaselineUniverse;
+      point.estimate = result->estimate;
+      point.estimate_mt = mt_result->estimate;
+      point.exact = result->exact;
+      estimates.push_back(point);
+      bench::Row("%12s %12.1f %12.1f %7s", point.name, point.estimate,
+                 point.estimate_mt, point.exact ? "yes" : "no");
     }
-    EstimatePoint point;
-    point.name = kEstimateNames[i];
-    point.query = kEstimateQueries[i];
-    point.universe = kBaselineUniverse;
-    point.estimate = result->estimate;
-    point.exact = result->exact;
-    estimates.push_back(point);
-    bench::Row("%12s %12.1f %7s", point.name, point.estimate,
-               point.exact ? "yes" : "no");
   }
 
   std::FILE* out = std::fopen(json_path.c_str(), "w");
@@ -302,8 +320,9 @@ int Run(const std::string& json_path) {
     std::fprintf(out,
                  "    {\"name\": \"%s\", \"universe\": %u, \"seed\": 12345, "
                  "\"epsilon\": 0.25, \"delta\": 0.2, \"estimate\": %.6f, "
-                 "\"exact\": %s}%s\n",
-                 e.name, e.universe, e.estimate, e.exact ? "true" : "false",
+                 "\"estimate_mt\": %.6f, \"exact\": %s}%s\n",
+                 e.name, e.universe, e.estimate, e.estimate_mt,
+                 e.exact ? "true" : "false",
                  i + 1 < estimates.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");

@@ -41,7 +41,9 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  cli count    <query> <db-file> [epsilon] [delta]   engine count "
+      "  cli count    <query> <db-file> [epsilon] [delta] "
+      "[--intra-threads N]\n"
+      "                                                     engine count "
       "(auto strategy)\n"
       "  cli exact    <query> <db-file>                     engine exact "
       "count\n"
@@ -50,7 +52,7 @@ int Usage() {
       "                                                     per-component "
       "breakdown\n"
       "  cli batch    <query-file> <db-file> [--threads N] [--epsilon E] "
-      "[--delta D]\n"
+      "[--delta D] [--intra-threads N]\n"
       "                                                     concurrent "
       "batch counts\n"
       "                                                     (positional "
@@ -77,10 +79,14 @@ StatusOr<std::vector<std::string>> ReadQueryFile(const std::string& path) {
   return queries;
 }
 
-CountingEngine MakeEngine(double epsilon, double delta) {
+CountingEngine MakeEngine(double epsilon, double delta,
+                          int intra_threads = -1) {
   EngineOptions opts;
   if (epsilon > 0) opts.epsilon = epsilon;
   if (delta > 0) opts.delta = delta;
+  // -1 keeps the engine default (automatic: pool-sized lanes for wide
+  // queries, inline for cheap/exact components).
+  if (intra_threads >= 0) opts.intra_query_threads = intra_threads;
   return CountingEngine(opts);
 }
 
@@ -125,11 +131,33 @@ int main(int argc, char** argv) {
   const std::string db_path = argv[3];
 
   if (command == "count" || command == "exact" || command == "explain") {
-    const double epsilon =
-        command == "count" && argc > 4 ? std::atof(argv[4]) : 0.0;
-    const double delta =
-        command == "count" && argc > 5 ? std::atof(argv[5]) : 0.0;
-    CountingEngine engine = MakeEngine(epsilon, delta);
+    // count supports [epsilon] [delta] positionals plus --intra-threads.
+    double epsilon = 0.0;
+    double delta = 0.0;
+    int intra_threads = -1;
+    if (command == "count") {
+      int positional = 0;
+      for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--intra-threads") {
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for --intra-threads\n");
+            return 2;
+          }
+          intra_threads = std::atoi(argv[++i]);
+        } else if (positional == 0) {
+          epsilon = std::atof(arg.c_str());
+          ++positional;
+        } else if (positional == 1) {
+          delta = std::atof(arg.c_str());
+          ++positional;
+        } else {
+          std::fprintf(stderr, "too many count arguments: %s\n", arg.c_str());
+          return Usage();
+        }
+      }
+    }
+    CountingEngine engine = MakeEngine(epsilon, delta, intra_threads);
     Status registered = engine.RegisterDatabaseFile("db", db_path);
     if (!registered.ok()) {
       std::fprintf(stderr, "database error: %s\n",
@@ -169,6 +197,11 @@ int main(int argc, char** argv) {
         dp_prepared ? "" : " dp=monolithic-fallback",
         result->plan_cache_hit ? "cached" : "built", result->plan_millis,
         result->exec_millis);
+    std::printf(
+        "# parallel: lanes=%d tasks=%llu worker_tasks=%llu\n",
+        result->parallel.lanes,
+        static_cast<unsigned long long>(result->parallel.tasks),
+        static_cast<unsigned long long>(result->parallel.worker_tasks));
     if (result->num_components > 1) {
       for (size_t c = 0; c < result->components.size(); ++c) {
         const ComponentResult& comp = result->components[c];
@@ -197,6 +230,7 @@ int main(int argc, char** argv) {
     int threads = 0;
     double epsilon = 0.0;
     double delta = 0.0;
+    int intra_threads = -1;
     int positional = 0;
     for (int i = 4; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -214,6 +248,8 @@ int main(int argc, char** argv) {
         epsilon = std::atof(v);
       } else if (const char* v = flag_value("--delta")) {
         delta = std::atof(v);
+      } else if (const char* v = flag_value("--intra-threads")) {
+        intra_threads = std::atoi(v);
       } else if (arg.rfind("--", 0) == 0) {
         // Only "--" prefixes are flags: "-1" stays a valid positional
         // (threads <= 0 selects the engine's default pool).
@@ -237,7 +273,7 @@ int main(int argc, char** argv) {
                    queries.status().ToString().c_str());
       return 1;
     }
-    CountingEngine engine = MakeEngine(epsilon, delta);
+    CountingEngine engine = MakeEngine(epsilon, delta, intra_threads);
     Status registered = engine.RegisterDatabaseFile("db", db_path);
     if (!registered.ok()) {
       std::fprintf(stderr, "database error: %s\n",

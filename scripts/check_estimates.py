@@ -41,6 +41,14 @@ def main():
             failures.append(
                 f"{name}: estimate {got.get('estimate')} != baseline "
                 f"{base.get('estimate')} (fixed seed: must be bit-identical)")
+        # The determinism contract: the multi-threaded (4 intra-query
+        # lanes) rerun of each workload must match the single-threaded
+        # baseline bit for bit.
+        if "estimate_mt" in got and got["estimate_mt"] != base.get("estimate"):
+            failures.append(
+                f"{name}: multi-threaded estimate {got['estimate_mt']} != "
+                f"single-threaded baseline {base.get('estimate')} "
+                f"(intra-query parallelism must be bit-identical)")
         if got.get("exact") != base.get("exact"):
             failures.append(
                 f"{name}: exact flag {got.get('exact')} != "

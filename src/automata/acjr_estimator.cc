@@ -1,8 +1,10 @@
 #include "automata/acjr_estimator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <functional>
 #include <unordered_map>
 
 #include "hom/bag_solutions.h"
@@ -33,11 +35,22 @@ std::vector<int> SortedUnion(const std::vector<int>& a,
   return out;
 }
 
+// Fan a node's state loop out only past this many states (below it the
+// lane bookkeeping costs more than the work).
+constexpr size_t kMinStatesForFanout = 4;
+
 class AcjrEngine {
  public:
   AcjrEngine(const Query& q, const Database& db,
              const NiceTreeDecomposition& ntd, const AcjrOptions& opts)
-      : query_(q), db_(db), ntd_(ntd), opts_(opts), rng_(opts.seed) {}
+      : query_(q), db_(db), ntd_(ntd), opts_(opts) {
+    lanes_ = 1;
+    if (opts_.pool != nullptr && opts_.intra_threads > 1) {
+      lanes_ = opts_.intra_threads;
+    }
+    scratch_.resize(static_cast<size_t>(lanes_));
+    result_.parallel.lanes = lanes_;
+  }
 
   StatusOr<AcjrResult> Run() {
     const int num_nodes = ntd_.num_nodes();
@@ -78,9 +91,20 @@ class AcjrEngine {
         opts_.delta / std::max<uint64_t>(1, union_states);
     z_node_ = std::min(std::sqrt(1.0 / delta_node), 6.0);
 
-    // Bottom-up (children have larger indices).
+    // Bottom-up (children have larger indices). Within a node, states are
+    // independent cells keyed by their own derived RNG stream, so the
+    // state loops fan across lanes with index-order-independent writes
+    // (each cell owns its estimates_/sketches_ slot).
     for (int t = num_nodes - 1; t >= 0; --t) {
       ProcessNode(t);
+    }
+    for (const LaneScratch& scratch : scratch_) {
+      result_.membership_tests += scratch.membership_tests;
+    }
+    result_.union_estimates =
+        union_estimates_.load(std::memory_order_relaxed);
+    if (!converged_ok_.load(std::memory_order_relaxed)) {
+      result_.converged = false;
     }
 
     // Root: empty bag; a single state when satisfiable.
@@ -95,6 +119,34 @@ class AcjrEngine {
   }
 
  private:
+  // Per-lane membership-query scratch (CountContaining / Feasible).
+  struct LaneScratch {
+    std::vector<Value> pinned_value;
+    std::vector<bool> pinned_set;
+    std::unordered_map<int64_t, bool> memo;
+    uint64_t membership_tests = 0;
+  };
+
+  // Runs `fn(lane, state)` over all states of one node, fanning across
+  // lanes when configured. The work for a state must depend only on the
+  // state index (derived RNG streams), never on the lane.
+  void ForEachState(size_t states, const std::function<void(int, size_t)>& fn) {
+    if (lanes_ > 1 && states >= kMinStatesForFanout) {
+      Executor::LaneStats stats =
+          opts_.pool->ParallelForLanes(states, lanes_, fn);
+      result_.parallel.tasks += states;
+      result_.parallel.worker_tasks += stats.worker_ran;
+    } else {
+      for (size_t i = 0; i < states; ++i) fn(0, i);
+    }
+  }
+
+  // The derived stream for one (node, state) cell.
+  Rng CellRng(int t, size_t i) const {
+    return Rng(DeriveSeed(opts_.seed, {static_cast<uint64_t>(t),
+                                       static_cast<uint64_t>(i)}));
+  }
+
   void ProcessNode(int t) {
     const auto& node = ntd_.node(t);
     const size_t states = sols_[t].size();
@@ -147,14 +199,14 @@ class AcjrEngine {
 
     const int width = static_cast<int>(free_vars_[t].size());
     intro_child_[t].assign(sols_[t].size(), -1);
-    Tuple proj;
-    for (size_t i = 0; i < sols_[t].size(); ++i) {
+    ForEachState(sols_[t].size(), [&](int, size_t i) {
       TupleView alpha = sols_[t][i];
+      Tuple proj;
       ProjectInto(alpha, child_positions, proj);
       const ptrdiff_t j = sols_[c].IndexOf(proj.data());
-      if (j < 0) continue;  // Dead state.
+      if (j < 0) return;  // Dead state.
       intro_child_[t][i] = static_cast<int>(j);
-      if (estimates_[c][j] <= 0.0) continue;
+      if (estimates_[c][j] <= 0.0) return;
       estimates_[t][i] = estimates_[c][j];
       if (var_free) {
         FlatTuples extended(width);
@@ -170,7 +222,7 @@ class AcjrEngine {
       } else {
         sketches_[t][i] = sketches_[c][j];
       }
-    }
+    });
   }
 
   void ProcessForget(int t) {
@@ -181,7 +233,8 @@ class AcjrEngine {
     const std::vector<int> parent_positions =
         PositionsOf(ntd_.node(c).bag, node.bag);
 
-    // Group child states by their projection onto B_t.
+    // Group child states by their projection onto B_t (sequential: the
+    // grouping is shared input to every state's cell).
     forget_candidates_[t].assign(sols_[t].size(), {});
     Tuple proj;
     for (size_t j = 0; j < sols_[c].size(); ++j) {
@@ -192,21 +245,23 @@ class AcjrEngine {
       forget_candidates_[t][i].push_back(static_cast<int>(j));
     }
 
-    for (size_t i = 0; i < sols_[t].size(); ++i) {
+    ForEachState(sols_[t].size(), [&](int lane, size_t i) {
       const auto& candidates = forget_candidates_[t][i];
-      if (candidates.empty()) continue;  // Dead state.
+      if (candidates.empty()) return;  // Dead state.
+      Rng rng = CellRng(t, i);
       if (var_free || candidates.size() == 1) {
         // Disjoint union (distinct values of a free variable), or a
         // trivial single-branch union: exact sum + mixture sampling.
         double total = 0.0;
         for (int j : candidates) total += estimates_[c][j];
         estimates_[t][i] = total;
-        sketches_[t][i] = SampleMixture(c, candidates, total);
+        sketches_[t][i] = SampleMixture(c, candidates, total, rng);
       } else {
         // Overlapping union over an existential variable: Karp-Luby.
-        EstimateUnion(t, static_cast<int>(i), c, candidates);
+        EstimateUnion(t, static_cast<int>(i), c, candidates, rng,
+                      scratch_[static_cast<size_t>(lane)]);
       }
-    }
+    });
   }
 
   void ProcessJoin(int t) {
@@ -232,42 +287,43 @@ class AcjrEngine {
     }
 
     const int width = static_cast<int>(free_vars_[t].size());
-    for (size_t i = 0; i < sols_[t].size(); ++i) {
+    ForEachState(sols_[t].size(), [&](int, size_t i) {
       TupleView alpha = sols_[t][i];
       // Join children share B_t, so alpha indexes both directly.
       const ptrdiff_t j1 = sols_[c1].IndexOf(alpha);
       const ptrdiff_t j2 = sols_[c2].IndexOf(alpha);
-      if (j1 < 0 || j2 < 0) continue;
+      if (j1 < 0 || j2 < 0) return;
       join_children_[t][i] = {static_cast<int>(j1), static_cast<int>(j2)};
-      if (estimates_[c1][j1] <= 0.0 || estimates_[c2][j2] <= 0.0) continue;
+      if (estimates_[c1][j1] <= 0.0 || estimates_[c2][j2] <= 0.0) return;
       estimates_[t][i] = estimates_[c1][j1] * estimates_[c2][j2];
       // Product sampling: independent child samples merged over the
       // union of free variables (overlaps agree: both children pin their
       // bag's free variables to alpha).
+      Rng rng = CellRng(t, i);
       const FlatTuples& sk1 = sketches_[c1][j1];
       const FlatTuples& sk2 = sketches_[c2][j2];
       const int wanted = opts_.sketch_size;
       FlatTuples merged(width);
       merged.reserve(wanted);
       for (int s = 0; s < wanted; ++s) {
-        TupleView x1 = sk1[rng_.UniformInt(sk1.size())];
-        TupleView x2 = sk2[rng_.UniformInt(sk2.size())];
+        TupleView x1 = sk1[rng.UniformInt(sk1.size())];
+        TupleView x2 = sk2[rng.UniformInt(sk2.size())];
         Value* dst = merged.AppendRow();
         for (size_t k = 0; k < from2.size(); ++k) dst[from2[k]] = x2[k];
         for (size_t k = 0; k < from1.size(); ++k) dst[from1[k]] = x1[k];
       }
       sketches_[t][i] = std::move(merged);
-    }
+    });
   }
 
   // Draws `sketch_size` samples from the disjoint mixture of candidate
   // child languages (weights = child estimates).
   FlatTuples SampleMixture(int c, const std::vector<int>& candidates,
-                           double total) {
+                           double total, Rng& rng) {
     FlatTuples sketch(static_cast<int>(free_vars_[c].size()));
     sketch.reserve(opts_.sketch_size);
     for (int s = 0; s < opts_.sketch_size; ++s) {
-      double r = rng_.UniformDouble() * total;
+      double r = rng.UniformDouble() * total;
       int chosen = candidates.back();
       for (int j : candidates) {
         if (r < estimates_[c][j]) {
@@ -277,21 +333,22 @@ class AcjrEngine {
         r -= estimates_[c][j];
       }
       const FlatTuples& sk = sketches_[c][chosen];
-      sketch.PushBack(sk[rng_.UniformInt(sk.size())]);
+      sketch.PushBack(sk[rng.UniformInt(sk.size())]);
     }
     return sketch;
   }
 
   // Karp-Luby estimate of |union_j L(c, candidate_j)| for the union state
   // (t, i), plus a rejection-corrected union sketch.
-  void EstimateUnion(int t, int i, int c, const std::vector<int>& candidates) {
-    ++result_.union_estimates;
+  void EstimateUnion(int t, int i, int c, const std::vector<int>& candidates,
+                     Rng& rng, LaneScratch& scratch) {
+    union_estimates_.fetch_add(1, std::memory_order_relaxed);
     double total = 0.0;
     for (int j : candidates) total += estimates_[c][j];
 
     // Draw (j ~ estimates, x ~ sketch_j), weight by 1 / c(x).
     auto draw = [&](int* out_j) -> TupleView {
-      double r = rng_.UniformDouble() * total;
+      double r = rng.UniformDouble() * total;
       int chosen = candidates.back();
       for (int j : candidates) {
         if (r < estimates_[c][j]) {
@@ -302,7 +359,7 @@ class AcjrEngine {
       }
       *out_j = chosen;
       const FlatTuples& sk = sketches_[c][chosen];
-      return sk[rng_.UniformInt(sk.size())];
+      return sk[rng.UniformInt(sk.size())];
     };
 
     MeanVarAccumulator acc;
@@ -310,14 +367,16 @@ class AcjrEngine {
     for (int s = 0; s < opts_.max_union_samples; ++s) {
       int j = -1;
       const TupleView x = draw(&j);
-      const int count = CountContaining(c, candidates, x);
+      const int count = CountContaining(c, candidates, x, scratch);
       assert(count >= 1);
       acc.Add(1.0 / static_cast<double>(count));
       if (s + 1 >= min_samples) {
         const double half_width = z_node_ * std::sqrt(acc.mean_variance());
         if (half_width <= epsilon_node_ * std::max(acc.mean(), 1e-12)) break;
       }
-      if (s + 1 == opts_.max_union_samples) result_.converged = false;
+      if (s + 1 == opts_.max_union_samples) {
+        converged_ok_.store(false, std::memory_order_relaxed);
+      }
     }
     estimates_[t][i] = total * acc.mean();
 
@@ -329,8 +388,8 @@ class AcjrEngine {
       for (int retry = 0; retry < opts_.max_rejection_retries; ++retry) {
         int j = -1;
         const TupleView x = draw(&j);
-        const int count = CountContaining(c, candidates, x);
-        if (count == 1 || rng_.UniformDouble() < 1.0 / count) {
+        const int count = CountContaining(c, candidates, x, scratch);
+        if (count == 1 || rng.UniformDouble() < 1.0 / count) {
           sketch.PushBack(x);
           accepted = true;
           break;
@@ -345,63 +404,67 @@ class AcjrEngine {
   }
 
   // c(x) = number of candidate child states whose language contains x.
-  int CountContaining(int c, const std::vector<int>& candidates,
-                      TupleView x) {
+  int CountContaining(int c, const std::vector<int>& candidates, TupleView x,
+                      LaneScratch& scratch) {
     // Pin the free variables of the child subtree to x.
-    pinned_value_.assign(query_.num_free(), 0);
-    pinned_set_.assign(query_.num_free(), false);
+    scratch.pinned_value.assign(query_.num_free(), 0);
+    scratch.pinned_set.assign(query_.num_free(), false);
     const auto& fv = free_vars_[c];
     assert(fv.size() == x.size());
     for (size_t k = 0; k < fv.size(); ++k) {
-      pinned_value_[fv[k]] = x[k];
-      pinned_set_[fv[k]] = true;
+      scratch.pinned_value[fv[k]] = x[k];
+      scratch.pinned_set[fv[k]] = true;
     }
-    memo_.clear();
+    scratch.memo.clear();
     int count = 0;
     for (int j : candidates) {
-      if (Feasible(c, j)) ++count;
+      if (Feasible(c, j, scratch)) ++count;
     }
     return count;
   }
 
   // Top-down feasibility: does some consistent family below (t, state j)
-  // produce labels matching the pinned assignment?
-  bool Feasible(int t, int j) {
-    ++result_.membership_tests;
+  // produce labels matching the pinned assignment? Reads only ancestor-
+  // completed per-node tables, so concurrent lanes are safe.
+  bool Feasible(int t, int j, LaneScratch& scratch) {
+    ++scratch.membership_tests;
     const int64_t key = (static_cast<int64_t>(t) << 32) | j;
-    auto it = memo_.find(key);
-    if (it != memo_.end()) return it->second;
-    bool ok = FeasibleUncached(t, j);
-    memo_.emplace(key, ok);
+    auto it = scratch.memo.find(key);
+    if (it != scratch.memo.end()) return it->second;
+    bool ok = FeasibleUncached(t, j, scratch);
+    scratch.memo.emplace(key, ok);
     return ok;
   }
 
-  bool FeasibleUncached(int t, int j) {
+  bool FeasibleUncached(int t, int j, LaneScratch& scratch) {
     if (estimates_[t][j] <= 0.0) return false;  // Dead state.
     const auto& node = ntd_.node(t);
     const TupleView alpha = sols_[t][j];
     // The state's own label must match the pinned free values.
     for (int p : free_bag_positions_[t]) {
       const int var = node.bag[p];
-      if (pinned_set_[var] && alpha[p] != pinned_value_[var]) return false;
+      if (scratch.pinned_set[var] && alpha[p] != scratch.pinned_value[var]) {
+        return false;
+      }
     }
     switch (node.kind) {
       case NiceNodeKind::kLeaf:
         return true;
       case NiceNodeKind::kIntroduce: {
         const int cj = intro_child_[t][j];
-        return cj >= 0 && Feasible(node.children[0], cj);
+        return cj >= 0 && Feasible(node.children[0], cj, scratch);
       }
       case NiceNodeKind::kForget: {
         for (int cj : forget_candidates_[t][j]) {
-          if (Feasible(node.children[0], cj)) return true;
+          if (Feasible(node.children[0], cj, scratch)) return true;
         }
         return false;
       }
       case NiceNodeKind::kJoin: {
         const auto [j1, j2] = join_children_[t][j];
-        return j1 >= 0 && j2 >= 0 && Feasible(node.children[0], j1) &&
-               Feasible(node.children[1], j2);
+        return j1 >= 0 && j2 >= 0 &&
+               Feasible(node.children[0], j1, scratch) &&
+               Feasible(node.children[1], j2, scratch);
       }
     }
     return false;
@@ -411,8 +474,8 @@ class AcjrEngine {
   const Database& db_;
   const NiceTreeDecomposition& ntd_;
   AcjrOptions opts_;
-  Rng rng_;
   AcjrResult result_;
+  int lanes_ = 1;
 
   double epsilon_node_ = 0.1;
   double z_node_ = 2.0;
@@ -428,10 +491,10 @@ class AcjrEngine {
   std::vector<std::vector<std::pair<int, int>>> join_children_;
   std::vector<std::vector<std::vector<int>>> forget_candidates_;
 
-  // Membership-query scratch.
-  std::vector<Value> pinned_value_;
-  std::vector<bool> pinned_set_;
-  std::unordered_map<int64_t, bool> memo_;
+  // Per-lane membership-query scratch and lane-shared counters.
+  std::vector<LaneScratch> scratch_;
+  std::atomic<uint64_t> union_estimates_{0};
+  std::atomic<bool> converged_ok_{true};
 };
 
 }  // namespace

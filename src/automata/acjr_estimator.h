@@ -28,6 +28,8 @@
 #include "decomposition/nice_decomposition.h"
 #include "query/query.h"
 #include "relational/structure.h"
+#include "util/estimate_outcome.h"
+#include "util/executor.h"
 #include "util/status.h"
 
 namespace cqcount {
@@ -44,23 +46,26 @@ struct AcjrOptions {
   int max_union_samples = 4096;
   /// Rejection-retry cap when sampling a union near-uniformly.
   int max_rejection_retries = 32;
-  /// Seed for all sampling.
+  /// Seed for all sampling. Every (node, state) cell draws from its own
+  /// derived stream Rng(DeriveSeed(seed, {node, state})), so the per-node
+  /// state loops may fan across worker lanes with bit-identical results
+  /// at any thread count.
   uint64_t seed = 0xACE5ULL;
+  /// Worker pool for intra-estimate parallelism (not owned; null =
+  /// inline) and the lane count the state loops partition across.
+  Executor* pool = nullptr;
+  int intra_threads = 1;
 };
 
-/// Estimation result.
-struct AcjrResult {
-  /// Estimate of |Ans(phi, D)|.
-  double estimate = 0.0;
-  /// True when no union estimation was needed (quantifier-free query):
-  /// the estimate is exact.
-  bool exact = false;
-  /// False when a sampling cap was hit before the per-union target.
-  bool converged = true;
+/// Estimation result (estimate/exact/converged from EstimateOutcome; exact
+/// means no union estimation was needed — quantifier-free query).
+struct AcjrResult : EstimateOutcome {
   /// Membership feasibility DP invocations.
   uint64_t membership_tests = 0;
   /// Number of (forget-existential node, state) union estimates performed.
   uint64_t union_estimates = 0;
+  /// Intra-estimate parallelism observability.
+  ParallelStats parallel;
 };
 
 /// Runs the estimator for a pure CQ over a valid nice tree decomposition

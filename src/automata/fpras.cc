@@ -38,6 +38,7 @@ StatusOr<FprasResult> FprasCountCq(const Query& q, const Database& db,
   result.exact = estimate->exact;
   result.converged = estimate->converged;
   result.membership_tests = estimate->membership_tests;
+  result.parallel = estimate->parallel;
   return result;
 }
 

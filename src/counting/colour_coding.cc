@@ -1,6 +1,7 @@
 #include "counting/colour_coding.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 
@@ -30,6 +31,9 @@ std::vector<int> EndpointVars(const Query& q) {
   return vars;
 }
 
+// Minimum trial count before one call's trial loop is worth fanning out.
+constexpr uint64_t kMinTrialsForFanout = 8;
+
 }  // namespace
 
 namespace internal {
@@ -37,7 +41,8 @@ namespace internal {
 // Per-trial overlay builder: one packed mask per endpoint variable,
 // intersected across the disequalities that constrain it. Buffers are
 // reused across trials and oracle calls (no per-trial allocation after
-// warm-up).
+// warm-up). One instance per lane: Draw() output is valid until the
+// lane's next Draw().
 class TrialOverlay {
  public:
   explicit TrialOverlay(const Query& q)
@@ -52,9 +57,9 @@ class TrialOverlay {
 
   const std::vector<int>& endpoint_vars() const { return endpoint_vars_; }
 
-  /// Draws one colouring per disequality from `rng` (the historical draw
-  /// order, so fixed seeds reproduce) and returns the merged per-endpoint
-  /// restrictions. The views are valid until the next Draw().
+  /// Draws one colouring per disequality from `rng` (the per-trial
+  /// derived stream) and returns the merged per-endpoint restrictions.
+  /// The views are valid until the next Draw().
   const std::vector<DomainRestriction>& Draw(Rng& rng, uint32_t universe) {
     touched_.assign(masks_.size(), 0);
     for (const Disequality& d : disequalities_) {
@@ -109,10 +114,47 @@ ColourCodingEdgeFreeOracle::ColourCodingEdgeFreeOracle(
       universe_(universe_size),
       trials_per_call_(
           NumTrials(q.disequalities().size(), opts.per_call_failure)),
-      rng_(opts.seed),
-      overlay_(std::make_unique<TrialOverlay>(q)) {}
+      opts_(opts),
+      hom_ctx_(hom->SupportsConcurrentDecides() ? hom->CreateContext()
+                                                : nullptr) {
+  overlays_.push_back(std::make_unique<TrialOverlay>(q));
+}
+
+ColourCodingEdgeFreeOracle::ColourCodingEdgeFreeOracle(
+    const ColourCodingEdgeFreeOracle& parent, std::unique_ptr<HomContext> ctx)
+    : query_(parent.query_),
+      hom_(parent.hom_),
+      universe_(parent.universe_),
+      trials_per_call_(parent.trials_per_call_),
+      opts_(parent.opts_),
+      hom_ctx_(std::move(ctx)) {
+  // Forks never fan out further: one lane, inline trials.
+  opts_.pool = nullptr;
+  opts_.lanes = 1;
+  overlays_.push_back(std::make_unique<TrialOverlay>(query_));
+}
 
 ColourCodingEdgeFreeOracle::~ColourCodingEdgeFreeOracle() = default;
+
+std::unique_ptr<EdgeFreeOracle> ColourCodingEdgeFreeOracle::Fork() {
+  if (!hom_->SupportsConcurrentDecides()) return nullptr;
+  std::unique_ptr<HomContext> ctx = hom_->CreateContext();
+  if (ctx == nullptr) return nullptr;
+  return std::unique_ptr<EdgeFreeOracle>(
+      new ColourCodingEdgeFreeOracle(*this, std::move(ctx)));
+}
+
+void ColourCodingEdgeFreeOracle::EnsureLaneState() {
+  const int lanes = std::max(1, opts_.lanes);
+  while (static_cast<int>(overlays_.size()) < lanes) {
+    overlays_.push_back(std::make_unique<TrialOverlay>(query_));
+  }
+  if (lane_ctxs_.empty()) {
+    // Lane 0 reuses the oracle's own context; others get fresh ones.
+    lane_ctxs_.resize(lanes);
+    for (int l = 1; l < lanes; ++l) lane_ctxs_[l] = hom_->CreateContext();
+  }
+}
 
 bool ColourCodingEdgeFreeOracle::IsEdgeFree(const PartiteSubset& parts) {
   ++num_calls_;
@@ -131,18 +173,51 @@ bool ColourCodingEdgeFreeOracle::IsEdgeFree(const PartiteSubset& parts) {
   }
 
   const auto& disequalities = query_.disequalities();
+  TrialOverlay& overlay = *overlays_[0];
   std::unique_ptr<PreparedHom> prepared =
-      hom_->Prepare(base, overlay_->endpoint_vars());
+      hom_->Prepare(base, overlay.endpoint_vars(), hom_ctx_.get());
   if (disequalities.empty()) {
     return !prepared->Decide({});
   }
 
-  for (uint64_t trial = 0; trial < trials_per_call_; ++trial) {
-    const std::vector<DomainRestriction>& extra =
-        overlay_->Draw(rng_, universe_);
-    if (prepared->Decide(extra)) return false;  // Witness found: has an edge.
+  // Colourings are a pure function of (seed, subset, trial): every lane
+  // and every fork draws the identical masks for trial t of this subset.
+  const uint64_t call_seed =
+      DeriveSeed(opts_.seed, HashPartiteSubset(parts));
+
+  const bool fan_out = opts_.pool != nullptr && opts_.lanes > 1 &&
+                       trials_per_call_ >= kMinTrialsForFanout &&
+                       hom_ctx_ != nullptr;
+  if (!fan_out) {
+    for (uint64_t trial = 0; trial < trials_per_call_; ++trial) {
+      Rng trial_rng(DeriveSeed(call_seed, trial));
+      const std::vector<DomainRestriction>& extra =
+          overlay.Draw(trial_rng, universe_);
+      if (prepared->Decide(extra)) return false;  // Witness: has an edge.
+    }
+    return true;
   }
-  return true;
+
+  // Lane-partitioned trial loop. The verdict is an OR over deterministic
+  // per-trial outcomes, so the early-exit flag affects work, never the
+  // result.
+  EnsureLaneState();
+  std::atomic<bool> witness{false};
+  opts_.pool->ParallelForLanes(
+      static_cast<size_t>(trials_per_call_), opts_.lanes,
+      [&](int lane, size_t trial) {
+        if (witness.load(std::memory_order_relaxed)) return;
+        Rng trial_rng(DeriveSeed(call_seed, trial));
+        TrialOverlay& lane_overlay = *overlays_[static_cast<size_t>(lane)];
+        const std::vector<DomainRestriction>& extra =
+            lane_overlay.Draw(trial_rng, universe_);
+        HomContext* ctx =
+            lane == 0 ? hom_ctx_.get() : lane_ctxs_[static_cast<size_t>(lane)].get();
+        if (prepared->Decide(extra, *ctx)) {
+          witness.store(true, std::memory_order_relaxed);
+        }
+      });
+  return !witness.load(std::memory_order_relaxed);
 }
 
 bool DecideAnySolution(const Query& q, HomOracle* hom, uint32_t universe_size,

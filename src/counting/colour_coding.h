@@ -12,15 +12,32 @@
 // additions are unary, so the instance is exactly "phi's positive/negated
 // atoms + per-variable domain restrictions" (cross-validated against the
 // materialised Definitions 26/28 in tests).
+//
+// Randomness / determinism model: the colourings of one IsEdgeFree call
+// are drawn from Rng(DeriveSeed(seed, HashPartiteSubset(V_1..V_l)));
+// trial t of the call uses the derived stream DeriveSeed(call_seed, t).
+// Two consequences, both deliberate:
+//   - Every fork of the oracle (worker lanes of the parallel estimator)
+//     answers a given subset exactly as the root would, so estimates are
+//     bit-identical at any thread count.
+//   - Repeat queries of one subset reuse the same colourings: the oracle
+//     behaves like a single fixed random object over the subset lattice,
+//     which is the shape the Theorem 17 estimator conditions on (its
+//     failure bound union-bounds over the distinct subsets queried).
+// Within one call, trials partition across lanes via the executor; the
+// verdict is an OR of per-trial outcomes, so early exit does not affect
+// the result, only the work.
 #ifndef CQCOUNT_COUNTING_COLOUR_CODING_H_
 #define CQCOUNT_COUNTING_COLOUR_CODING_H_
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "counting/partite_hypergraph.h"
 #include "hom/hom_oracle.h"
 #include "query/query.h"
+#include "util/executor.h"
 #include "util/random.h"
 
 namespace cqcount {
@@ -36,6 +53,12 @@ struct ColourCodingOptions {
   double per_call_failure = 1e-4;
   /// Deterministic seed for the colouring sampler.
   uint64_t seed = 0x5EEDC01DULL;
+  /// Worker pool for fanning one call's colouring trials across lanes
+  /// (not owned; null = run trials inline). Only used when the Hom oracle
+  /// supports concurrent decides.
+  Executor* pool = nullptr;
+  /// Lanes the trial loop may be partitioned across (<= 1 = inline).
+  int lanes = 1;
 };
 
 /// EdgeFree oracle implemented by colour-coded Hom queries (Lemma 22).
@@ -49,20 +72,39 @@ class ColourCodingEdgeFreeOracle : public EdgeFreeOracle {
 
   bool IsEdgeFree(const PartiteSubset& parts) override;
 
+  /// Lane fork (see EdgeFreeOracle::Fork): shares the Hom oracle's
+  /// immutable state through a private HomContext; answers every subset
+  /// identically to the parent (subset-keyed colourings). Null when the
+  /// Hom oracle has no concurrent path.
+  std::unique_ptr<EdgeFreeOracle> Fork() override;
+
   /// Number of colouring trials used per oracle call (Q).
   uint64_t trials_per_call() const { return trials_per_call_; }
   /// Total Hom queries issued.
   uint64_t hom_queries() const { return hom_->num_calls(); }
 
  private:
+  // Fork constructor: private context, no further fan-out.
+  ColourCodingEdgeFreeOracle(const ColourCodingEdgeFreeOracle& parent,
+                             std::unique_ptr<HomContext> ctx);
+
+  // Lane state for the trial-parallel path (created on first use).
+  void EnsureLaneState();
+
   const Query& query_;
   HomOracle* hom_;
   uint32_t universe_;
   uint64_t trials_per_call_;
-  Rng rng_;
+  ColourCodingOptions opts_;
+  // Per-oracle Hom evaluation context (null for oracles whose Hom oracle
+  // has no concurrent path: they use the oracle's default context).
+  std::unique_ptr<HomContext> hom_ctx_;
   // Reusable per-trial endpoint-mask builder (only the <= 2|Delta|
-  // disequality endpoint domains change across trials).
-  std::unique_ptr<internal::TrialOverlay> overlay_;
+  // disequality endpoint domains change across trials). Index 0 serves
+  // the sequential path; lanes >= 1 are created by EnsureLaneState.
+  std::vector<std::unique_ptr<internal::TrialOverlay>> overlays_;
+  // Lane HomContexts for trial-parallel decides (lane 0 = hom_ctx_).
+  std::vector<std::unique_ptr<HomContext>> lane_ctxs_;
 };
 
 /// Amplified decision "does (phi, D) have any solution?" via colour-coded

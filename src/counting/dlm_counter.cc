@@ -6,6 +6,7 @@
 #include <limits>
 #include <queue>
 #include <tuple>
+#include <utility>
 
 #include "util/math_util.h"
 #include "util/random.h"
@@ -54,113 +55,155 @@ PartiteSubset ToSubset(const Box& box,
   return subset;
 }
 
+// Number of sub-boxes the exact phase is pre-partitioned into. A fixed
+// constant — NOT a function of the lane count — so the partition (and
+// with it every count and cap decision) is identical at every thread
+// count; lanes merely claim sub-boxes dynamically.
+constexpr int kExactPartition = 16;
+
 class Estimator {
  public:
   Estimator(const std::vector<uint32_t>& part_sizes, EdgeFreeOracle& oracle,
             const DlmOptions& opts)
-      : part_sizes_(part_sizes),
-        oracle_(oracle),
-        opts_(opts),
-        calls_base_(oracle.num_calls()) {}
+      : part_sizes_(part_sizes), opts_(opts) {
+    lanes_.push_back(&oracle);
+    if (opts_.pool != nullptr && opts_.intra_threads > 1) {
+      for (int l = 1; l < opts_.intra_threads; ++l) {
+        std::unique_ptr<EdgeFreeOracle> fork = oracle.Fork();
+        if (fork == nullptr) break;  // No concurrent path: stay inline.
+        lanes_.push_back(fork.get());
+        forks_.push_back(std::move(fork));
+      }
+    }
+    if (lanes_.size() == 1) forks_.clear();
+    parallel_.lanes = static_cast<int>(lanes_.size());
+  }
 
   StatusOr<DlmResult> Run() {
     Box full;
     for (uint32_t size : part_sizes_) {
-      if (size == 0) return DlmResult{0.0, true, true, 0, 0};
+      if (size == 0) return Finish(0.0, /*exact=*/true, /*converged=*/true, 0);
       full.ranges.push_back({0, size});
     }
-    if (IsEdgeFree(full)) {
-      return DlmResult{0.0, true, true, oracle_.num_calls() - calls_base_, 0};
+    if (IsEdgeFreeSeq(full)) {
+      return Finish(0.0, true, true, 0);
     }
 
-    // Phase 1: exact enumeration within budget.
+    // Phase 1: exact enumeration within budget, partitioned into a fixed
+    // set of sub-boxes counted independently (each with a deterministic
+    // count cap), so lanes can claim sub-boxes without changing the
+    // arithmetic.
     uint64_t exact_count = 0;
-    if (EnumerateExact(full, &exact_count)) {
-      DlmResult result;
-      result.estimate = static_cast<double>(exact_count);
-      result.exact = true;
-      result.oracle_calls = Calls();
-      return result;
+    if (ExactPhase(full, &exact_count)) {
+      return Finish(static_cast<double>(exact_count), true, true, 0);
     }
 
-    // Phase 2: breadth-first expansion into a frontier of non-empty boxes.
-    auto cmp = [](const Box& a, const Box& b) {
-      return a.LogVolume() < b.LogVolume();
-    };
-    std::priority_queue<Box, std::vector<Box>, decltype(cmp)> queue(cmp);
-    queue.push(full);
+    // Phase 2: breadth-first expansion into a frontier of non-empty boxes
+    // (sequential: a priority-driven loop of ~2 * max_frontier probes,
+    // dwarfed by the sampling phase it feeds).
     std::vector<Box> frontier;
     uint64_t singleton_edges = 0;
-    while (!queue.empty() &&
-           static_cast<int>(frontier.size()) + static_cast<int>(queue.size()) <
-               opts_.max_frontier &&
-           !OverBudget()) {
-      Box box = queue.top();
-      queue.pop();
-      if (box.IsSingleton()) {
-        ++singleton_edges;
-        continue;
-      }
-      auto [left, right] = Split(box);
-      const bool left_nonempty = !IsEdgeFree(left);
-      // The parent box is non-empty, so if the left half is empty the
-      // right half cannot be (one call saved).
-      const bool right_nonempty =
-          !left_nonempty ? true : !IsEdgeFree(right);
-      if (left_nonempty) queue.push(std::move(left));
-      if (right_nonempty) queue.push(std::move(right));
-    }
-    while (!queue.empty()) {
-      Box box = queue.top();
-      queue.pop();
-      if (box.IsSingleton()) {
-        ++singleton_edges;
-      } else {
-        frontier.push_back(std::move(box));
-      }
-    }
+    ExpandFrontier(full, opts_.max_frontier, /*budget_guarded=*/true,
+                   &frontier, &singleton_edges);
     if (frontier.empty()) {
       // Everything resolved into singletons after all: exact.
-      DlmResult result;
-      result.estimate = static_cast<double>(singleton_edges);
-      result.exact = true;
-      result.oracle_calls = Calls();
-      return result;
+      return Finish(static_cast<double>(singleton_edges), true, true, 0);
     }
 
-    // Phase 3: median over independent adaptive sampling runs.
+    // Phase 3: median over independent adaptive sampling runs. Run seeds
+    // are derived sequentially up front; each run then consumes only
+    // counter-derived streams, so runs may execute on any lane in any
+    // order. The oracle-call cap is split evenly across runs and checked
+    // at round boundaries: cap outcomes are deterministic too.
     const int runs = NumRuns();
-    std::vector<double> estimates;
-    int worst_rounds = 0;
-    bool converged = true;
-    Rng rng(opts_.seed);
-    for (int run = 0; run < runs; ++run) {
-      Rng run_rng = rng.Split();
-      auto [estimate, rounds, run_converged] =
-          AdaptiveRun(frontier, singleton_edges, run_rng);
-      estimates.push_back(estimate);
-      worst_rounds = std::max(worst_rounds, rounds);
-      converged = converged && run_converged;
-      if (OverBudget()) {
-        converged = false;
-        break;
+    std::vector<uint64_t> run_seeds(runs);
+    {
+      // The historical per-run Rng::Split() walk, precomputed up front so
+      // runs can execute on any lane in any order.
+      Rng rng(opts_.seed);
+      for (int r = 0; r < runs; ++r) run_seeds[r] = rng.SplitSeed();
+    }
+    const uint64_t spent = seq_calls_ + task_calls_;
+    const uint64_t remaining =
+        opts_.max_oracle_calls > spent ? opts_.max_oracle_calls - spent : 0;
+    const uint64_t per_run_budget = remaining / static_cast<uint64_t>(runs);
+
+    struct RunOutcome {
+      double estimate = 0.0;
+      int rounds = 0;
+      bool converged = false;
+      uint64_t calls = 0;
+    };
+    std::vector<RunOutcome> outcomes(runs);
+    auto execute_run = [&](int lane, size_t r) {
+      auto [estimate, rounds, converged, calls] =
+          AdaptiveRun(frontier, singleton_edges, run_seeds[r], per_run_budget,
+                      *lanes_[static_cast<size_t>(lane)],
+                      /*sample_fanout=*/false);
+      outcomes[r] = {estimate, rounds, converged, calls};
+    };
+    if (lanes_.size() > 1 && runs > 1) {
+      // Whole runs fan across lanes (each run sequential on its lane).
+      Executor::LaneStats stats = opts_.pool->ParallelForLanes(
+          static_cast<size_t>(runs), static_cast<int>(lanes_.size()),
+          execute_run);
+      parallel_.tasks += static_cast<uint64_t>(runs);
+      parallel_.worker_tasks += stats.worker_ran;
+    } else {
+      // A single run (or no lanes): fan the per-round sample batches
+      // instead. Identical arithmetic either way — only the partition of
+      // work onto threads differs.
+      for (int r = 0; r < runs; ++r) {
+        auto [estimate, rounds, converged, calls] =
+            AdaptiveRun(frontier, singleton_edges, run_seeds[r],
+                        per_run_budget, *lanes_[0],
+                        /*sample_fanout=*/lanes_.size() > 1);
+        outcomes[r] = {estimate, rounds, converged, calls};
       }
     }
-    DlmResult result;
-    result.estimate = Median(estimates);
-    result.exact = false;
-    result.converged = converged;
-    result.oracle_calls = Calls();
-    result.refinement_rounds = worst_rounds;
+
+    std::vector<double> estimates;
+    estimates.reserve(runs);
+    int worst_rounds = 0;
+    bool converged = true;
+    uint64_t run_calls = 0;
+    for (const RunOutcome& outcome : outcomes) {
+      estimates.push_back(outcome.estimate);
+      worst_rounds = std::max(worst_rounds, outcome.rounds);
+      converged = converged && outcome.converged;
+      run_calls += outcome.calls;
+    }
+    StatusOr<DlmResult> result =
+        Finish(Median(estimates), false, converged, run_calls);
+    result->refinement_rounds = worst_rounds;
     return result;
   }
 
  private:
-  uint64_t Calls() const { return oracle_.num_calls() - calls_base_; }
-  bool OverBudget() const { return Calls() > opts_.max_oracle_calls; }
+  DlmResult Finish(double estimate, bool exact, bool converged,
+                   uint64_t run_calls) const {
+    DlmResult result;
+    result.estimate = estimate;
+    result.exact = exact;
+    result.converged = converged;
+    result.oracle_calls = seq_calls_ + task_calls_ + run_calls;
+    result.parallel = parallel_;
+    return result;
+  }
 
-  bool IsEdgeFree(const Box& box) {
-    return oracle_.IsEdgeFree(ToSubset(box, part_sizes_));
+  bool SeqOverBudget() const { return seq_calls_ > opts_.max_oracle_calls; }
+
+  // Sequential-phase probe on the root oracle (deterministic order).
+  bool IsEdgeFreeSeq(const Box& box) {
+    ++seq_calls_;
+    return lanes_[0]->IsEdgeFree(ToSubset(box, part_sizes_));
+  }
+
+  static bool Probe(EdgeFreeOracle& oracle,
+                    const std::vector<uint32_t>& part_sizes, const Box& box,
+                    uint64_t* calls) {
+    ++*calls;
+    return oracle.IsEdgeFree(ToSubset(box, part_sizes));
   }
 
   std::pair<Box, Box> Split(const Box& box) const {
@@ -174,41 +217,162 @@ class Estimator {
     return {std::move(left), std::move(right)};
   }
 
-  // Depth-first full bisection; returns false (abandoning the attempt) as
-  // soon as the running count exceeds the exact budget.
-  bool EnumerateExact(const Box& root, uint64_t* count) {
-    std::vector<Box> stack = {root};  // Invariant: boxes are non-empty.
-    while (!stack.empty()) {
-      if (OverBudget()) return false;
-      Box box = std::move(stack.back());
-      stack.pop_back();
+  // Breadth-first expansion of `root` (non-empty) into non-empty boxes:
+  // the largest-volume box is split first, until `limit` boxes exist (or
+  // everything resolved into singletons, or — when `budget_guarded` —
+  // the sequential call budget ran out). Singleton edges are counted into
+  // *singletons; the non-singleton frontier is appended to *boxes in a
+  // deterministic (priority) order. Probes run on the root oracle.
+  void ExpandFrontier(const Box& root, int limit, bool budget_guarded,
+                      std::vector<Box>* boxes, uint64_t* singletons) {
+    auto cmp = [](const Box& a, const Box& b) {
+      return a.LogVolume() < b.LogVolume();
+    };
+    std::priority_queue<Box, std::vector<Box>, decltype(cmp)> queue(cmp);
+    queue.push(root);
+    while (!queue.empty() &&
+           static_cast<int>(boxes->size()) + static_cast<int>(queue.size()) <
+               limit &&
+           !(budget_guarded && SeqOverBudget())) {
+      Box box = queue.top();
+      queue.pop();
       if (box.IsSingleton()) {
-        if (++(*count) > opts_.exact_enumeration_budget) return false;
+        ++*singletons;
         continue;
       }
       auto [left, right] = Split(box);
-      const bool left_nonempty = !IsEdgeFree(left);
+      const bool left_nonempty = !IsEdgeFreeSeq(left);
+      // The parent box is non-empty, so if the left half is empty the
+      // right half cannot be (one call saved).
       const bool right_nonempty =
-          !left_nonempty ? true : !IsEdgeFree(right);
-      if (left_nonempty) stack.push_back(std::move(left));
-      if (right_nonempty) stack.push_back(std::move(right));
+          !left_nonempty ? true : !IsEdgeFreeSeq(right);
+      if (left_nonempty) queue.push(std::move(left));
+      if (right_nonempty) queue.push(std::move(right));
     }
+    while (!queue.empty()) {
+      Box box = queue.top();
+      queue.pop();
+      if (box.IsSingleton()) {
+        ++*singletons;
+      } else {
+        boxes->push_back(std::move(box));
+      }
+    }
+  }
+
+  // Phase 1. Expands `root` (non-empty) into at most kExactPartition
+  // non-empty sub-boxes (sequential, a handful of probes), then counts
+  // the sub-boxes exactly in WAVES: each wave lets every live task
+  // enumerate a bounded chunk of edges off its own resumable DFS stack —
+  // in parallel across lanes — and the abandon decision is taken at wave
+  // boundaries on the (deterministic) summed counts. The partition, the
+  // chunking and therefore every count, call tally and the verdict are
+  // independent of the lane count; the wasted work on abandonment is
+  // bounded by one wave (~budget edges), matching the sequential
+  // enumeration this replaces.
+  bool ExactPhase(const Box& root, uint64_t* count) {
+    std::vector<Box> roots;
+    uint64_t singletons = 0;
+    ExpandFrontier(root, kExactPartition, /*budget_guarded=*/true, &roots,
+                   &singletons);
+    if (singletons > opts_.exact_enumeration_budget) return false;
+
+    struct ExactTask {
+      std::vector<Box> stack;  // Invariant: boxes are non-empty.
+      uint64_t count = 0;
+      uint64_t calls = 0;
+    };
+    std::vector<ExactTask> tasks(roots.size());
+    for (size_t i = 0; i < roots.size(); ++i) {
+      tasks[i].stack.push_back(std::move(roots[i]));
+    }
+    // Edges one task may enumerate per wave: sized so one wave across all
+    // tasks overshoots the budget by at most ~one budget's worth.
+    const uint64_t chunk =
+        opts_.exact_enumeration_budget / kExactPartition + 1;
+
+    std::vector<size_t> live;
+    auto run_task = [&](int lane, size_t slot) {
+      ExactTask& task = tasks[live[slot]];
+      EdgeFreeOracle& oracle = *lanes_[static_cast<size_t>(lane)];
+      uint64_t wave_count = 0;
+      while (!task.stack.empty() && wave_count < chunk) {
+        Box box = std::move(task.stack.back());
+        task.stack.pop_back();
+        if (box.IsSingleton()) {
+          ++task.count;
+          ++wave_count;
+          continue;
+        }
+        auto [left, right] = Split(box);
+        const bool left_nonempty =
+            !Probe(oracle, part_sizes_, left, &task.calls);
+        const bool right_nonempty =
+            !left_nonempty ? true : !Probe(oracle, part_sizes_, right,
+                                           &task.calls);
+        if (left_nonempty) task.stack.push_back(std::move(left));
+        if (right_nonempty) task.stack.push_back(std::move(right));
+      }
+    };
+
+    bool within_budget = true;
+    for (;;) {
+      live.clear();
+      for (size_t i = 0; i < tasks.size(); ++i) {
+        if (!tasks[i].stack.empty()) live.push_back(i);
+      }
+      if (live.empty()) break;  // Every sub-box fully enumerated.
+      if (lanes_.size() > 1 && live.size() > 1) {
+        Executor::LaneStats stats = opts_.pool->ParallelForLanes(
+            live.size(), static_cast<int>(lanes_.size()), run_task);
+        parallel_.tasks += live.size();
+        parallel_.worker_tasks += stats.worker_ran;
+      } else {
+        for (size_t slot = 0; slot < live.size(); ++slot) {
+          run_task(0, slot);
+        }
+      }
+      uint64_t total = singletons;
+      uint64_t calls = seq_calls_;
+      for (const ExactTask& task : tasks) {
+        total += task.count;
+        calls += task.calls;
+      }
+      if (total > opts_.exact_enumeration_budget ||
+          calls > opts_.max_oracle_calls) {
+        // Abandon between waves: both sums are deterministic, so the
+        // edge-count and oracle-call (safety valve) caps stay
+        // thread-count-independent.
+        within_budget = false;
+        break;
+      }
+    }
+    uint64_t total = singletons;
+    for (const ExactTask& task : tasks) {
+      total += task.count;
+      task_calls_ += task.calls;
+    }
+    if (!within_budget || total > opts_.exact_enumeration_budget) {
+      return false;
+    }
+    *count = total;
     return true;
   }
 
   // Unbiased pruned-Knuth estimate of the number of edges inside `box`
   // (which must be non-empty): descend by halving; the weight doubles only
   // when both halves are non-empty.
-  double KnuthSample(Box box, Rng& rng) {
+  double KnuthSample(Box box, Rng& rng, EdgeFreeOracle& oracle,
+                     uint64_t* calls) const {
     double weight = 1.0;
     while (!box.IsSingleton()) {
       auto [left, right] = Split(box);
-      const bool left_nonempty = !IsEdgeFree(left);
+      const bool left_nonempty = !Probe(oracle, part_sizes_, left, calls);
       if (!left_nonempty) {
         box = std::move(right);
         continue;
       }
-      const bool right_nonempty = !IsEdgeFree(right);
+      const bool right_nonempty = !Probe(oracle, part_sizes_, right, calls);
       if (!right_nonempty) {
         box = std::move(left);
         continue;
@@ -229,22 +393,34 @@ class Estimator {
     return std::min(runs | 1, 41);  // Odd, capped.
   }
 
-  // One adaptive sampling run: returns (estimate, rounds, converged).
-  // Two variance-reduction levers per round: re-sample the boxes with the
-  // highest variance-of-mean contribution, and *split* the worst of them
-  // (stratification beats brute sampling for the Knuth estimator, whose
-  // variance is driven by box depth).
-  std::tuple<double, int, bool> AdaptiveRun(
+  // One adaptive sampling run: returns (estimate, rounds, converged,
+  // oracle calls). Two variance-reduction levers per round: re-sample the
+  // boxes with the highest variance-of-mean contribution, and *split* the
+  // worst of them (stratification beats brute sampling for the Knuth
+  // estimator, whose variance is driven by box depth).
+  //
+  // Every Knuth descent draws from Rng(DeriveSeed(run_seed, {round,
+  // stratum id, k})) and sample weights merge in job order, so the run's
+  // trajectory is a pure function of (frontier, run_seed, budget) — the
+  // same whether its per-round batches fan across lanes (sample_fanout),
+  // the whole run sits on one lane, or everything is inline.
+  std::tuple<double, int, bool, uint64_t> AdaptiveRun(
       const std::vector<Box>& initial_frontier, uint64_t singleton_edges,
-      Rng& rng) {
+      uint64_t run_seed, uint64_t budget, EdgeFreeOracle& home,
+      bool sample_fanout) {
     struct Stratum {
       Box box;
       MeanVarAccumulator acc;
+      uint32_t id = 0;  // Stable creation-order id: the RNG key.
     };
     std::vector<Stratum> strata;
     strata.reserve(initial_frontier.size());
-    for (const Box& box : initial_frontier) strata.push_back({box, {}});
+    uint32_t next_id = 0;
+    for (const Box& box : initial_frontier) {
+      strata.push_back({box, {}, next_id++});
+    }
     double exact_mass = static_cast<double>(singleton_edges);
+    uint64_t run_calls = 0;
 
     auto current = [&]() {
       double estimate = exact_mass;
@@ -255,6 +431,14 @@ class Estimator {
       }
       return std::make_pair(estimate, pooled_variance);
     };
+
+    struct SampleJob {
+      size_t stratum = 0;
+      uint32_t id = 0;
+      int k = 0;
+    };
+    std::vector<SampleJob> jobs;
+    std::vector<std::pair<double, uint64_t>> weights;  // (weight, calls)
 
     int samples_next_round = opts_.initial_samples_per_box;
     int rounds = 0;
@@ -274,21 +458,67 @@ class Estimator {
       });
       const size_t targets =
           rounds == 0 ? strata.size() : (strata.size() + 1) / 2;
+
+      // The round's sample batch as an index space, executed in fixed
+      // slices with a budget check between slices: the cap (a safety
+      // valve) stops work within ~one slice of the limit, and slice
+      // boundaries are index-determined, so cap outcomes stay
+      // thread-count-independent.
+      jobs.clear();
       for (size_t idx = 0; idx < targets; ++idx) {
-        Stratum& s = strata[order[idx]];
+        const size_t s = order[idx];
         for (int k = 0; k < samples_next_round; ++k) {
-          if (OverBudget()) break;
-          s.acc.Add(KnuthSample(s.box, rng));
+          jobs.push_back({s, strata[s].id, k});
         }
+      }
+      constexpr size_t kJobSlice = 256;
+      bool over_budget = false;
+      for (size_t begin = 0; begin < jobs.size() && !over_budget;
+           begin += kJobSlice) {
+        const size_t end = std::min(jobs.size(), begin + kJobSlice);
+        weights.assign(end - begin, {0.0, 0});
+        auto run_job = [&](int lane, size_t offset) {
+          const SampleJob& job = jobs[begin + offset];
+          Rng rng(DeriveSeed(run_seed, {static_cast<uint64_t>(rounds),
+                                        static_cast<uint64_t>(job.id),
+                                        static_cast<uint64_t>(job.k)}));
+          uint64_t calls = 0;
+          const double w = KnuthSample(strata[job.stratum].box, rng,
+                                       *lanes_[static_cast<size_t>(lane)],
+                                       &calls);
+          weights[offset] = {w, calls};
+        };
+        if (sample_fanout && end - begin > 1) {
+          Executor::LaneStats stats = opts_.pool->ParallelForLanes(
+              end - begin, static_cast<int>(lanes_.size()), run_job);
+          parallel_.tasks += end - begin;
+          parallel_.worker_tasks += stats.worker_ran;
+        } else {
+          // Home lane: `home` is lanes_[l] for run-level fanout; map back
+          // to its index so run_job stays lane-agnostic.
+          const int home_lane = HomeLane(home);
+          for (size_t offset = 0; offset < end - begin; ++offset) {
+            run_job(home_lane, offset);
+          }
+        }
+        // Merge in job order: accumulator arithmetic is order-sensitive,
+        // so the order must not depend on scheduling.
+        for (size_t offset = 0; offset < end - begin; ++offset) {
+          strata[jobs[begin + offset].stratum].acc.Add(
+              weights[offset].first);
+          run_calls += weights[offset].second;
+        }
+        over_budget = run_calls > budget;
       }
       samples_next_round += samples_next_round / 2 + 1;
 
       auto [estimate, pooled_variance] = current();
       const double half_width = 2.0 * std::sqrt(pooled_variance);
-      if (half_width <= opts_.epsilon * std::max(estimate, 1.0)) {
-        return {estimate, rounds + 1, true};
+      if (!over_budget &&
+          half_width <= opts_.epsilon * std::max(estimate, 1.0)) {
+        return {estimate, rounds + 1, true, run_calls};
       }
-      if (OverBudget()) break;
+      if (over_budget || run_calls > budget) break;
 
       // Stratify: split the worst boxes (fresh accumulators for the
       // non-empty halves; singleton halves become exact mass). Splitting
@@ -303,11 +533,13 @@ class Estimator {
       std::vector<Stratum> added;
       for (size_t idx = 0; idx < splits && idx < order.size(); ++idx) {
         Stratum& s = strata[order[idx]];
-        if (s.box.IsSingleton() || OverBudget()) continue;
+        if (s.box.IsSingleton() || run_calls > budget) continue;
         auto [left, right] = Split(s.box);
-        const bool left_nonempty = !IsEdgeFree(left);
+        const bool left_nonempty =
+            !Probe(home, part_sizes_, left, &run_calls);
         const bool right_nonempty =
-            !left_nonempty ? true : !IsEdgeFree(right);
+            !left_nonempty ? true
+                           : !Probe(home, part_sizes_, right, &run_calls);
         std::vector<Box> halves;
         if (left_nonempty) halves.push_back(std::move(left));
         if (right_nonempty) halves.push_back(std::move(right));
@@ -320,9 +552,10 @@ class Estimator {
           if (first) {
             s.box = std::move(half);
             s.acc = MeanVarAccumulator();
+            s.id = next_id++;
             first = false;
           } else {
-            added.push_back({std::move(half), {}});
+            added.push_back({std::move(half), {}, next_id++});
           }
         }
         if (first) {
@@ -336,13 +569,23 @@ class Estimator {
     }
     auto [estimate, pooled_variance] = current();
     (void)pooled_variance;
-    return {estimate, rounds, false};
+    return {estimate, rounds, false, run_calls};
+  }
+
+  int HomeLane(const EdgeFreeOracle& home) const {
+    for (size_t l = 0; l < lanes_.size(); ++l) {
+      if (lanes_[l] == &home) return static_cast<int>(l);
+    }
+    return 0;
   }
 
   const std::vector<uint32_t>& part_sizes_;
-  EdgeFreeOracle& oracle_;
   const DlmOptions& opts_;
-  uint64_t calls_base_ = 0;
+  std::vector<EdgeFreeOracle*> lanes_;  // [0] = the root oracle.
+  std::vector<std::unique_ptr<EdgeFreeOracle>> forks_;
+  uint64_t seq_calls_ = 0;   // Sequential-phase probes (root oracle).
+  uint64_t task_calls_ = 0;  // Exact-phase task probes (summed in order).
+  ParallelStats parallel_;
 };
 
 }  // namespace

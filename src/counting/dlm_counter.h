@@ -3,9 +3,10 @@
 //
 // Internals (DESIGN.md section 4.1): the l-partite product space is
 // recursively bisected into "boxes" (products of per-part index ranges).
-//  1. Exact phase: full bisection enumerates edges one by one
-//     (O(sum_i log|V_i|) oracle calls each); if the count stays within
-//     `exact_enumeration_budget` the answer is exact.
+//  1. Exact phase: the space is pre-partitioned into a fixed number of
+//     sub-boxes, each enumerated edge-by-edge with a deterministic count
+//     cap (O(sum_i log|V_i|) oracle calls per edge); if the summed count
+//     stays within `exact_enumeration_budget` the answer is exact.
 //  2. Otherwise, a breadth-first expansion partitions the edge set into at
 //     most `max_frontier` non-empty boxes, and each box is estimated by an
 //     unbiased pruned Knuth descent (query both halves; the weight doubles
@@ -14,6 +15,21 @@
 //     O(log 1/delta) runs amplifies the confidence.
 // All oracle access uses position-aligned parts, exactly the access
 // pattern Lemma 22 provides.
+//
+// Parallelism & determinism: every unit of randomised work — one Knuth
+// descent — draws from Rng(DeriveSeed(seed, {run, round, stratum, k})),
+// and results merge in index order, so the estimate is a pure function of
+// (part_sizes, oracle behaviour, options) — never of scheduling. Work is
+// partitioned onto `pool` across `intra_threads` lanes (exact-phase
+// sub-boxes, the outer median runs, and per-round sample batches); each
+// lane drives its own oracle fork (EdgeFreeOracle::Fork), which must
+// answer every subset exactly as the root oracle would. Oracle-call
+// budgets are accounted per deterministic unit (per exact-phase task, per
+// adaptive run) and checked at round boundaries, keeping converged/cap
+// outcomes thread-count-independent. Passing pool = null (or
+// intra_threads <= 1, or an oracle without Fork) runs the identical
+// partitioned computation inline: fixed-seed estimates are bit-identical
+// at ANY lane count.
 #ifndef CQCOUNT_COUNTING_DLM_COUNTER_H_
 #define CQCOUNT_COUNTING_DLM_COUNTER_H_
 
@@ -21,6 +37,8 @@
 #include <vector>
 
 #include "counting/partite_hypergraph.h"
+#include "util/estimate_outcome.h"
+#include "util/executor.h"
 #include "util/status.h"
 
 namespace cqcount {
@@ -44,24 +62,27 @@ struct DlmOptions {
   /// sample-doubling only.
   bool enable_stratified_splits = true;
   /// Hard cap on oracle calls (safety valve; hitting it is reported via
-  /// `converged = false`).
+  /// `converged = false`). Split deterministically across the adaptive
+  /// runs, so cap outcomes are identical at every thread count.
   uint64_t max_oracle_calls = 20'000'000;
   /// Seed for the samplers.
   uint64_t seed = 0xD1CEULL;
+  /// Worker pool for intra-estimate parallelism (not owned; null = run
+  /// everything inline on the calling thread).
+  Executor* pool = nullptr;
+  /// Lanes the estimate is partitioned across (<= 1 = inline). Purely a
+  /// scheduling knob: the estimate is bit-identical for every value.
+  int intra_threads = 1;
 };
 
-/// Estimation result.
-struct DlmResult {
-  /// The (epsilon, delta)-estimate of |E(H)| = |Ans(phi, D)|.
-  double estimate = 0.0;
-  /// True when the exact phase completed (the estimate is exact).
-  bool exact = false;
-  /// False when sampling hit a cap before reaching the target interval.
-  bool converged = true;
-  /// Oracle calls consumed.
+/// Estimation result (estimate/exact/converged from EstimateOutcome).
+struct DlmResult : EstimateOutcome {
+  /// Oracle calls consumed (deterministic per-unit accounting).
   uint64_t oracle_calls = 0;
   /// Adaptive rounds used by the slowest run.
   int refinement_rounds = 0;
+  /// Intra-estimate parallelism observability.
+  ParallelStats parallel;
 };
 
 /// Counts edges of the implicit l-partite hypergraph whose part i has

@@ -51,6 +51,8 @@ StatusOr<ApproxCountResult> ApproxCountAnswers(const Query& q,
           : opts.delta /
                 (2.0 * static_cast<double>(opts.dlm.max_oracle_calls));
   cc.seed = opts.seed ^ 0x9E3779B97F4A7C15ULL;
+  cc.pool = opts.pool;
+  cc.lanes = opts.intra_threads;
 
   ApproxCountResult result;
   result.width = width.width;
@@ -77,6 +79,8 @@ StatusOr<ApproxCountResult> ApproxCountAnswers(const Query& q,
   dlm.epsilon = opts.epsilon;
   dlm.delta = delta_estimator;
   dlm.seed = opts.seed;
+  dlm.pool = opts.pool;
+  dlm.intra_threads = opts.intra_threads;
   std::vector<uint32_t> part_sizes(q.num_free(), db.universe_size());
   auto dlm_result = DlmCountEdges(part_sizes, oracle, dlm);
   if (!dlm_result.ok()) return dlm_result.status();
@@ -92,6 +96,7 @@ StatusOr<ApproxCountResult> ApproxCountAnswers(const Query& q,
   result.dp_prepared_decides = hom.dp_stats().prepared_decides;
   result.dp_cached_bag_rows = hom.dp_stats().cached_bag_rows;
   result.dp_prepared_path = hom.dp_stats().prepared_path;
+  result.parallel = dlm_result->parallel;
   return result;
 }
 

@@ -16,6 +16,8 @@
 #include "decomposition/width_measures.h"
 #include "query/query.h"
 #include "relational/structure.h"
+#include "util/estimate_outcome.h"
+#include "util/executor.h"
 #include "util/status.h"
 
 namespace cqcount {
@@ -45,19 +47,28 @@ struct ApproxOptions {
   /// its own ComputeDecomposition call (the engine's warm plan-cache path).
   /// Must be valid for the query's hypergraph and outlive the call.
   const FWidthResult* precomputed_decomposition = nullptr;
+  /// Worker pool for intra-query parallelism (not owned; null = inline).
+  /// Fans the DLM estimation — sampling runs, exact-phase sub-boxes and
+  /// colouring trials — across `intra_threads` lanes, each driving its
+  /// own fork of the oracle stack. Estimates are bit-identical at every
+  /// (pool, intra_threads) configuration; see the determinism note in
+  /// dlm_counter.h and README "Parallel estimation & determinism model"
+  /// (seed tree: base seed -> component -> run -> box/stratum -> sample,
+  /// with colourings keyed by (seed, subset, trial)).
+  Executor* pool = nullptr;
+  int intra_threads = 1;
 };
 
-/// Result of an approximate answer count.
-struct ApproxCountResult {
-  /// The (epsilon, delta)-approximation of |Ans(phi, D)|.
-  double estimate = 0.0;
-  /// True when the estimator's exact phase finished (exact answer).
-  bool exact = false;
-  /// False when a sampling cap was hit before the target interval.
-  bool converged = true;
-  /// EdgeFree oracle calls made by the estimator.
+/// Result of an approximate answer count (estimate/exact/converged from
+/// the shared EstimateOutcome contract).
+struct ApproxCountResult : EstimateOutcome {
+  /// EdgeFree oracle calls made by the estimator (deterministic: the
+  /// DLM layer accounts calls per deterministic work unit).
   uint64_t edgefree_calls = 0;
-  /// Hom queries issued by the colour-coding layer.
+  /// Hom queries issued by the colour-coding layer. A WORK counter, not
+  /// part of the determinism contract: with intra-query lanes, the
+  /// parallel trial loop's early exit means the number of trials
+  /// actually evaluated (never the verdict) can vary with scheduling.
   uint64_t hom_queries = 0;
   /// Colouring trials per EdgeFree call (the 4^{|Delta|} log factor).
   uint64_t colouring_trials_per_call = 0;
@@ -70,6 +81,9 @@ struct ApproxCountResult {
   uint64_t dp_cached_bag_rows = 0;
   /// False when the cache cap forced decisions onto the monolithic DP.
   bool dp_prepared_path = true;
+  /// Intra-query parallelism observability (lanes, tasks spawned, tasks
+  /// run by pool workers).
+  ParallelStats parallel;
 };
 
 /// (epsilon, delta)-approximates |Ans(phi, D)| for an ECQ (Theorem 5 with

@@ -5,8 +5,55 @@
 #include <numeric>
 
 #include "hom/backtracking.h"
+#include "util/random.h"
 
 namespace cqcount {
+namespace {
+
+// Fork of the brute-force oracle: scans the parent's (immutable) answer
+// relation. Keeps its own call counter.
+class BruteForceFork : public EdgeFreeOracle {
+ public:
+  explicit BruteForceFork(const Relation* answers) : answers_(answers) {}
+
+  bool IsEdgeFree(const PartiteSubset& parts) override {
+    ++num_calls_;
+    for (TupleView answer : *answers_) {
+      bool inside = true;
+      for (size_t i = 0; i < answer.size(); ++i) {
+        if (!parts.parts[i].Test(answer[i])) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) return false;
+    }
+    return true;
+  }
+
+  std::unique_ptr<EdgeFreeOracle> Fork() override {
+    return std::make_unique<BruteForceFork>(answers_);
+  }
+
+ private:
+  const Relation* answers_;
+};
+
+}  // namespace
+
+uint64_t HashPartiteSubset(const PartiteSubset& parts) {
+  // SplitMix64 fold over (part index, words). The Bitset tail invariant
+  // (bits beyond the universe are zero) makes this a pure content hash.
+  uint64_t h = 0x8D26'44F9'79AD'5AC1ULL;
+  for (size_t i = 0; i < parts.parts.size(); ++i) {
+    h = DeriveSeed(h, i);
+    const Bitset& mask = parts.parts[i];
+    for (size_t w = 0; w < mask.num_words(); ++w) {
+      h = DeriveSeed(h, mask.word(w));
+    }
+  }
+  return h;
+}
 
 BruteForceEdgeFreeOracle::BruteForceEdgeFreeOracle(const Query& q,
                                                    const Database& db) {
@@ -34,6 +81,10 @@ bool BruteForceEdgeFreeOracle::IsEdgeFree(const PartiteSubset& parts) {
     if (inside) return false;
   }
   return true;
+}
+
+std::unique_ptr<EdgeFreeOracle> BruteForceEdgeFreeOracle::Fork() {
+  return std::make_unique<BruteForceFork>(&answers_);
 }
 
 bool GeneralEdgeFreeAdapter::IsEdgeFree(const GeneralPartiteSubset& parts) {

@@ -10,7 +10,9 @@
 #ifndef CQCOUNT_COUNTING_PARTITE_HYPERGRAPH_H_
 #define CQCOUNT_COUNTING_PARTITE_HYPERGRAPH_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "query/query.h"
@@ -25,6 +27,14 @@ struct PartiteSubset {
   std::vector<Bitset> parts;
 };
 
+/// Deterministic content hash of a subset (order of parts significant,
+/// representation-independent thanks to the Bitset tail invariant). The
+/// colour-coding oracle keys its per-call randomness on this, so every
+/// worker lane — and every repeat query of the same subset — sees the
+/// same colourings: the oracle behaves like one fixed random object, as
+/// the Theorem 17 estimator assumes.
+uint64_t HashPartiteSubset(const PartiteSubset& parts);
+
 /// Oracle for the predicate EdgeFree(H(phi,D)[V_1..V_l]) (Theorem 17).
 class EdgeFreeOracle {
  public:
@@ -33,10 +43,20 @@ class EdgeFreeOracle {
   /// True iff no answer tau has tau(x_i) in V_i for every free variable i.
   virtual bool IsEdgeFree(const PartiteSubset& parts) = 0;
 
-  uint64_t num_calls() const { return num_calls_; }
+  /// Forks an independently-usable view of this oracle for a concurrent
+  /// worker lane: the fork shares the receiver's immutable state, owns all
+  /// mutable scratch, and answers every subset exactly as the receiver
+  /// would (a requirement — the estimator's determinism relies on it).
+  /// Returns null when the oracle has no concurrent path (callers must
+  /// then stay sequential). Forks must not outlive the receiver.
+  virtual std::unique_ptr<EdgeFreeOracle> Fork() { return nullptr; }
+
+  uint64_t num_calls() const {
+    return num_calls_.load(std::memory_order_relaxed);
+  }
 
  protected:
-  uint64_t num_calls_ = 0;
+  std::atomic<uint64_t> num_calls_{0};
 };
 
 /// Ground-truth oracle that enumerates Ans(phi, D) once by brute force and
@@ -46,6 +66,10 @@ class BruteForceEdgeFreeOracle : public EdgeFreeOracle {
   BruteForceEdgeFreeOracle(const Query& q, const Database& db);
 
   bool IsEdgeFree(const PartiteSubset& parts) override;
+
+  /// The answer scan is read-only, so forks are trivial views (used by
+  /// the determinism tests to exercise the parallel estimator paths).
+  std::unique_ptr<EdgeFreeOracle> Fork() override;
 
   /// The materialised answer set (free-variable tuples, flat storage).
   const Relation& answers() const { return answers_; }

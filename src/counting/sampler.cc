@@ -30,10 +30,22 @@ class BoxRestrictedOracle : public EdgeFreeOracle {
     return base_->IsEdgeFree(global);
   }
 
+  // Fork = box view over a fork of the base oracle (lets the DLM
+  // estimation inside one descent sub-count fan across lanes).
+  std::unique_ptr<EdgeFreeOracle> Fork() override {
+    std::unique_ptr<EdgeFreeOracle> base_fork = base_->Fork();
+    if (base_fork == nullptr) return nullptr;
+    auto fork = std::make_unique<BoxRestrictedOracle>(base_fork.get(),
+                                                      universe_, box_);
+    fork->owned_base_ = std::move(base_fork);
+    return fork;
+  }
+
  private:
   EdgeFreeOracle* base_;
   uint32_t universe_;
   const std::vector<std::pair<uint32_t, uint32_t>>& box_;
+  std::unique_ptr<EdgeFreeOracle> owned_base_;
 };
 
 }  // namespace
@@ -82,23 +94,52 @@ StatusOr<Tuple> AnswerSampler::SampleOne() {
   const uint32_t n = db_.universe_size();
   std::vector<std::pair<uint32_t, uint32_t>> box(l, {0u, n});
 
-  // Count the answers inside `box` (exact when small).
-  auto count_box = [&](const std::vector<std::pair<uint32_t, uint32_t>>& b)
-      -> StatusOr<double> {
-    BoxRestrictedOracle restricted(oracle_.get(), n, b);
+  // Counts the answers inside `b` (exact when small) on a given oracle
+  // view. Seeds are drawn by the caller in descent order, so the pair of
+  // sub-counts of one level may evaluate concurrently: each count is a
+  // pure function of (box, seed) — the oracle answers subsets
+  // deterministically (subset-keyed colourings). `lanes` > 1 lets the
+  // count fan out internally; the cheap descent sub-counts run inline
+  // (pair-level parallelism already covers them, and per-call forking of
+  // the oracle stack would dominate their cost).
+  auto count_box = [&](const std::vector<std::pair<uint32_t, uint32_t>>& b,
+                       uint64_t seed, EdgeFreeOracle* base,
+                       int lanes) -> StatusOr<double> {
+    BoxRestrictedOracle restricted(base, n, b);
     std::vector<uint32_t> sizes;
     sizes.reserve(b.size());
     for (const auto& [lo, hi] : b) sizes.push_back(hi - lo);
     DlmOptions dlm = opts_.approx.dlm;
     dlm.epsilon = opts_.descent_epsilon;
     dlm.delta = opts_.descent_delta;
-    dlm.seed = rng_.Next();
+    dlm.seed = seed;
+    dlm.pool = lanes > 1 ? opts_.approx.pool : nullptr;
+    dlm.intra_threads = lanes;
     auto result = DlmCountEdges(sizes, restricted, dlm);
     if (!result.ok()) return result.status();
     return result->estimate;
   };
 
-  auto total = count_box(box);
+  // Descent sub-counts in parallel: the two halves of each level run on
+  // independent forks of the oracle stack (created once, reused across
+  // levels and samples). Falls back to sequential evaluation when the
+  // stack has no concurrent path.
+  const bool want_pair =
+      opts_.approx.pool != nullptr && opts_.approx.intra_threads > 1;
+  if (want_pair && descent_forks_.empty()) {
+    for (int i = 0; i < 2; ++i) {
+      std::unique_ptr<EdgeFreeOracle> fork = oracle_->Fork();
+      if (fork == nullptr) {
+        descent_forks_.clear();
+        break;
+      }
+      descent_forks_.push_back(std::move(fork));
+    }
+  }
+  const bool pair_parallel = want_pair && descent_forks_.size() == 2;
+
+  auto total =
+      count_box(box, rng_.Next(), oracle_.get(), opts_.approx.intra_threads);
   if (!total.ok()) return total.status();
   if (*total <= 0.0) return Status::NotFound("answer set is empty");
 
@@ -121,9 +162,25 @@ StatusOr<Tuple> AnswerSampler::SampleOne() {
     left[widest] = {lo, mid};
     auto right = box;
     right[widest] = {mid, hi};
-    auto m_left = count_box(left);
+    // Seeds drawn in the historical order (left, then right) regardless
+    // of how the two counts execute.
+    const uint64_t seed_left = rng_.Next();
+    const uint64_t seed_right = rng_.Next();
+    StatusOr<double> m_left = Status::Internal("not executed");
+    StatusOr<double> m_right = m_left;
+    if (pair_parallel) {
+      opts_.approx.pool->ParallelForLanes(2, 2, [&](int, size_t i) {
+        if (i == 0) {
+          m_left = count_box(left, seed_left, descent_forks_[0].get(), 1);
+        } else {
+          m_right = count_box(right, seed_right, descent_forks_[1].get(), 1);
+        }
+      });
+    } else {
+      m_left = count_box(left, seed_left, oracle_.get(), 1);
+      m_right = count_box(right, seed_right, oracle_.get(), 1);
+    }
     if (!m_left.ok()) return m_left.status();
-    auto m_right = count_box(right);
     if (!m_right.ok()) return m_right.status();
     const double total_mass = *m_left + *m_right;
     if (total_mass <= 0.0) {

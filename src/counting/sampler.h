@@ -67,6 +67,9 @@ class AnswerSampler {
   SamplerOptions opts_;
   std::unique_ptr<DecompositionHomOracle> hom_;
   std::unique_ptr<ColourCodingEdgeFreeOracle> oracle_;
+  // Oracle forks for evaluating the two halves of a descent level
+  // concurrently (created lazily, reused across samples).
+  std::vector<std::unique_ptr<EdgeFreeOracle>> descent_forks_;
   double width_ = 0.0;
   Rng rng_;
 };

@@ -117,6 +117,18 @@ CountingEngine::PlannedQuery CountingEngine::CompileAndPlan(
   return planned;
 }
 
+int CountingEngine::IntraQueryLanes(Strategy strategy,
+                                    double cost_estimate) const {
+  // Cost model: exact strategies are decision-free table scans (no DLM
+  // loop to partition) and cheap estimates finish before fan-out pays
+  // for itself; only wide estimated components get workers.
+  if (strategy == Strategy::kExact) return 1;
+  if (cost_estimate < opts_.intra_query_min_cost) return 1;
+  int lanes = opts_.intra_query_threads;
+  if (lanes == 0) lanes = pool_->num_threads();
+  return std::max(1, lanes);
+}
+
 std::vector<BudgetShare> CountingEngine::ComponentBudgets(
     const PlannedQuery& planned, double epsilon, double delta,
     bool force_exact) const {
@@ -234,6 +246,11 @@ StatusOr<EngineResult> CountingEngine::ExecutePlanned(
       ctx.budget.seed =
           k_total == 1 ? base_seed : DeriveSeed(base_seed, static_cast<uint64_t>(i));
       ctx.exact_decomposition_limit = opts_.plan.exact_decomposition_limit;
+      // Intra-query fan-out (scheduling only: the estimate is the same
+      // at every lane count, so the cost model needs no second-guessing).
+      const int lanes = IntraQueryLanes(cr.strategy, plan.cost_estimate);
+      ctx.pool = lanes > 1 ? pool_.get() : nullptr;
+      ctx.intra_threads = lanes;
       auto outcome = executor->Execute(ctx);
       if (!outcome.ok()) return outcome.status();
       cr.executed = true;
@@ -244,6 +261,8 @@ StatusOr<EngineResult> CountingEngine::ExecutePlanned(
       cr.dp_prepared_decides = outcome->dp_prepared_decides;
       cr.dp_cached_bag_rows = outcome->dp_cached_bag_rows;
       cr.dp_prepared_path = outcome->dp_prepared_path;
+      cr.parallel = outcome->parallel;
+      result.parallel.Merge(outcome->parallel);
       all_exact = all_exact && cr.exact;
       all_converged = all_converged && cr.converged;
       result.oracle_calls += cr.oracle_calls;
@@ -372,6 +391,7 @@ StatusOr<Explanation> CountingEngine::Explain(const std::string& query,
     const BudgetShare& share = budgets[i];
     ce.epsilon = share.epsilon;
     ce.delta = share.delta;
+    ce.planned_lanes = IntraQueryLanes(plan.strategy, plan.cost_estimate);
 
     const Classification& cls = plan.classification;
     text << "component " << i << " (";
@@ -395,7 +415,8 @@ StatusOr<Explanation> CountingEngine::Explain(const std::string& query,
     }
     text << "\n"
          << "  cost estimate: " << plan.cost_estimate
-         << "  plan cache: " << (ce.plan_cache_hit ? "hit" : "miss") << "\n";
+         << "  plan cache: " << (ce.plan_cache_hit ? "hit" : "miss")
+         << "  intra-query lanes: " << ce.planned_lanes << "\n";
     out.components.push_back(std::move(ce));
   }
   out.text = text.str();
@@ -413,13 +434,20 @@ std::vector<StatusOr<EngineResult>> CountingEngine::CountBatch(
     }
     results[i] = Count(request);
   };
+  // Exactly `num_threads` concurrent evaluations: the calling thread is
+  // lane 0, so an N-lane batch uses the caller plus N-1 pool workers
+  // (ParallelFor's "caller + all workers" shape would run N+1).
+  auto run_lanes = [&](Executor& pool, int lanes) {
+    pool.ParallelForLanes(requests.size(), lanes,
+                          [&](int, size_t i) { run_item(i); });
+  };
   if (num_threads == 1) {
     for (size_t i = 0; i < requests.size(); ++i) run_item(i);
   } else if (num_threads <= 0 || num_threads == pool_->num_threads()) {
-    pool_->ParallelFor(requests.size(), run_item);
+    run_lanes(*pool_, pool_->num_threads());
   } else {
-    Executor dedicated(num_threads);
-    dedicated.ParallelFor(requests.size(), run_item);
+    Executor dedicated(num_threads - 1);
+    run_lanes(dedicated, num_threads);
   }
   return results;
 }

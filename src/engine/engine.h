@@ -51,6 +51,22 @@ struct EngineOptions {
   size_t plan_cache_shards = 8;
   /// Worker pool size for CountBatch (0 = hardware concurrency).
   int num_threads = 4;
+  /// Intra-query parallelism: lanes ONE estimated count may fan out
+  /// across on the engine's pool (sampling runs, exact-phase sub-boxes,
+  /// colouring trials — see README "Parallel estimation & determinism
+  /// model"). 0 = automatic (pool size); 1 = off; N = fixed lane count.
+  /// Regardless of the setting, only components whose planned cost
+  /// clears `intra_query_min_cost` get workers — cheap and exact
+  /// components always run inline. Estimates are bit-identical at every
+  /// setting (counter-derived per-task seeds).
+  int intra_query_threads = 0;
+  /// Cost-model gate for intra-query workers: a component fans out only
+  /// when its plan's cost estimate reaches this threshold (the same
+  /// coarse units as PlanOptions::exact_cost_limit). Sized so fan-out
+  /// setup (per-lane oracle forks + solver contexts, ~sub-ms) is paid
+  /// only on counts that run long enough to amortise it; millisecond
+  /// estimates stay inline.
+  double intra_query_min_cost = 1e8;
   /// Planner thresholds.
   PlanOptions plan;
   /// Compile-pipeline gates (normalization passes, component factoring).
@@ -107,6 +123,9 @@ struct ComponentResult {
   /// factors: they consume none of the accuracy budget.
   double epsilon = 0.0;
   double delta = 0.0;
+  /// Intra-query parallelism this component ran with (lanes granted by
+  /// the cost model, tasks spawned, tasks run by pool workers).
+  ParallelStats parallel;
 };
 
 /// A count with execution provenance.
@@ -135,6 +154,8 @@ struct EngineResult {
   /// the product). Empty for pure-guard queries.
   std::vector<ComponentResult> components;
   int num_components = 0;
+  /// Aggregated intra-query parallelism across components.
+  ParallelStats parallel;
   /// What the rewrite passes changed.
   int atoms_deduped = 0;
   int variables_pruned = 0;
@@ -153,6 +174,9 @@ struct ComponentExplanation {
   /// exact factors, which consume no budget).
   double epsilon = 0.0;
   double delta = 0.0;
+  /// Lanes the engine's cost model would grant this component (1 =
+  /// inline; see EngineOptions::intra_query_threads).
+  int planned_lanes = 1;
 };
 
 /// Explain() output: the compiled plan, without execution.
@@ -257,6 +281,11 @@ class CountingEngine {
   /// Compiles `q` and plans every component.
   PlannedQuery CompileAndPlan(const Query& q, const std::string& db_name,
                               uint64_t db_generation, const Database& db);
+
+  /// Lanes the cost model grants a component: 1 for exact strategies and
+  /// plans under `intra_query_min_cost`, the configured (or pool-sized)
+  /// lane count otherwise.
+  int IntraQueryLanes(Strategy strategy, double cost_estimate) const;
 
   /// Per-component budget shares (shared by Count and Explain). Exact
   /// factors consume no budget and get a zero share; the (epsilon,

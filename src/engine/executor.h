@@ -1,63 +1,9 @@
-// Worker thread pool for concurrent query execution.
-//
-// The executor is deliberately dumb: a fixed set of worker threads draining
-// a FIFO of closures. Determinism of batch results is achieved one level
-// up — every batch item derives its own seed from (base seed, item index)
-// via DeriveSeed, so the estimate a query produces is a pure function of
-// the request, never of scheduling order or thread count.
+// Compatibility shim: the worker pool moved to util/ (PR 5) so the
+// counting and automata layers can fan intra-query estimation out on it
+// without depending on the engine. DeriveSeed lives in util/random.h.
 #ifndef CQCOUNT_ENGINE_EXECUTOR_H_
 #define CQCOUNT_ENGINE_EXECUTOR_H_
 
-#include <condition_variable>
-#include <cstdint>
-#include <functional>
-#include <mutex>
-#include <queue>
-#include <thread>
-#include <vector>
-
-namespace cqcount {
-
-/// Derives the seed for batch item `index` from `base_seed` (SplitMix64
-/// step). Deterministic and index-sensitive, so items never share RNG
-/// streams regardless of execution order.
-uint64_t DeriveSeed(uint64_t base_seed, uint64_t index);
-
-/// A fixed-size worker pool executing submitted closures FIFO.
-class Executor {
- public:
-  explicit Executor(int num_threads);
-  ~Executor();
-
-  Executor(const Executor&) = delete;
-  Executor& operator=(const Executor&) = delete;
-
-  /// Enqueues `task` for execution on some worker.
-  void Submit(std::function<void()> task);
-
-  /// Blocks until every task submitted to the pool (by anyone) has
-  /// finished. For waiting on just your own tasks, use ParallelFor.
-  void Wait();
-
-  /// Runs tasks 0..num_tasks-1 through `task(i)` on the pool and waits for
-  /// exactly those tasks. Safe to call from several threads sharing one
-  /// pool: each call tracks its own completion.
-  void ParallelFor(size_t num_tasks, const std::function<void(size_t)>& task);
-
-  int num_threads() const { return static_cast<int>(workers_.size()); }
-
- private:
-  void WorkerLoop();
-
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::queue<std::function<void()>> queue_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
-  std::vector<std::thread> workers_;
-};
-
-}  // namespace cqcount
+#include "util/executor.h"  // IWYU pragma: export
 
 #endif  // CQCOUNT_ENGINE_EXECUTOR_H_

@@ -50,6 +50,8 @@ class FptrasExecutor : public StrategyExecutor {
     opts.seed = ctx.budget.seed;
     opts.objective = ctx.plan->objective;
     opts.exact_decomposition_limit = ctx.exact_decomposition_limit;
+    opts.pool = ctx.pool;
+    opts.intra_threads = ctx.intra_threads;
     const FWidthResult decomposition = InstantiatePlanDecomposition(ctx);
     opts.precomputed_decomposition = &decomposition;
     auto approx = ApproxCountAnswers(*ctx.query, *ctx.db, opts);
@@ -64,6 +66,7 @@ class FptrasExecutor : public StrategyExecutor {
     outcome.dp_prepared_decides = approx->dp_prepared_decides;
     outcome.dp_cached_bag_rows = approx->dp_cached_bag_rows;
     outcome.dp_prepared_path = approx->dp_prepared_path;
+    outcome.parallel = approx->parallel;
     return outcome;
   }
 
@@ -80,6 +83,8 @@ class AutomataFprasExecutor : public StrategyExecutor {
     opts.acjr.epsilon = ctx.budget.epsilon;
     opts.acjr.delta = ctx.budget.delta;
     opts.acjr.seed = ctx.budget.seed;
+    opts.acjr.pool = ctx.pool;
+    opts.acjr.intra_threads = ctx.intra_threads;
     opts.objective = ctx.plan->objective;
     opts.exact_decomposition_limit = ctx.exact_decomposition_limit;
     const FWidthResult decomposition = InstantiatePlanDecomposition(ctx);
@@ -91,6 +96,7 @@ class AutomataFprasExecutor : public StrategyExecutor {
     outcome.exact = fpras->exact;
     outcome.converged = fpras->converged;
     outcome.oracle_calls = fpras->membership_tests;
+    outcome.parallel = fpras->parallel;
     return outcome;
   }
 };
@@ -110,6 +116,8 @@ class SamplerExecutor : public StrategyExecutor {
     opts.approx.seed = ctx.budget.seed;
     opts.approx.objective = ctx.plan->objective;
     opts.approx.exact_decomposition_limit = ctx.exact_decomposition_limit;
+    opts.approx.pool = ctx.pool;
+    opts.approx.intra_threads = ctx.intra_threads;
     const FWidthResult decomposition = InstantiatePlanDecomposition(ctx);
     opts.approx.precomputed_decomposition = &decomposition;
     auto sampler = AnswerSampler::Create(*ctx.query, *ctx.db, opts);
@@ -122,6 +130,7 @@ class SamplerExecutor : public StrategyExecutor {
     outcome.exact = approx->exact;
     outcome.converged = approx->converged;
     outcome.oracle_calls = approx->hom_queries + approx->edgefree_calls;
+    outcome.parallel = approx->parallel;
     return outcome;
   }
 };

@@ -19,6 +19,8 @@
 #include "engine/plan.h"
 #include "query/query.h"
 #include "relational/structure.h"
+#include "util/estimate_outcome.h"
+#include "util/executor.h"
 #include "util/status.h"
 
 namespace cqcount {
@@ -49,15 +51,17 @@ struct ExecContext {
   /// Planner threshold forwarded to strategies that may recompute a
   /// decomposition themselves.
   int exact_decomposition_limit = 14;
+  /// Intra-query parallelism: worker pool (not owned; null = inline) and
+  /// the lane count this execution may fan out across. The engine sets
+  /// these from EngineOptions::intra_query_threads and its cost model;
+  /// estimates are bit-identical for every configuration.
+  Executor* pool = nullptr;
+  int intra_threads = 1;
 };
 
-/// What every strategy reports back.
-struct ExecOutcome {
-  double estimate = 0.0;
-  /// True when the strategy produced an exact answer.
-  bool exact = false;
-  /// False when a sampling cap was hit before the target interval.
-  bool converged = true;
+/// What every strategy reports back (estimate/exact/converged from the
+/// shared EstimateOutcome contract).
+struct ExecOutcome : EstimateOutcome {
   /// Oracle work: hom-oracle calls plus estimator membership tests.
   uint64_t oracle_calls = 0;
   /// Prepared-DP reuse across the DLM oracle calls of this execution
@@ -68,6 +72,9 @@ struct ExecOutcome {
   uint64_t dp_cached_bag_rows = 0;
   /// False when the bag-join cache cap forced the monolithic per-call DP.
   bool dp_prepared_path = true;
+  /// Intra-query parallelism observability (lanes used, tasks spawned,
+  /// tasks executed by pool workers).
+  ParallelStats parallel;
 };
 
 /// One counting strategy, executable over the shared context.

@@ -191,16 +191,22 @@ bool PassesFilters(TupleView row,
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// Prepared-path scratch (solver-owned, reused across Prepare calls)
+// Per-worker evaluation state.
+//
+// The fields divide into CALL state — written by Prepare on this context
+// and read-only while its PreparedDp is live — and TRIAL scratch, used by
+// whichever context evaluates a trial. A lane context that only serves as
+// trial scratch for another context's prepared call never touches its own
+// call-state arrays.
 
-struct DecompositionSolver::PrepareScratch {
-  bool configured = false;
+struct SolverEvalContext::Impl {
+  // --- Call state (owned by the preparing context) -------------------------
+  bool call_configured = false;
 
   // Cache-cap fallback: evaluate each decision monolithically over a
   // mutable copy of the base domains (overlay applied and restored).
   bool fallback = false;
-  VarDomains fallback_base;
-  SavedDomains fallback_saved;
+  VarDomains fallback_base;  // Pristine sized copy; lanes clone from it.
 
   // A trial-invariant bag died under the base domains: every trial is
   // "no solution".
@@ -233,15 +239,36 @@ struct DecompositionSolver::PrepareScratch {
   std::vector<std::vector<Value>> demand_keys;  // Per-node key scratch.
   bool demand_ok = false;  // All shared-key spaces within the cap.
 
-  // Per-trial state, rebuilt each PreparedDp::Decide.
+  // Generation of the Prepare this call state belongs to (stale-handle
+  // assertion and lane fallback sync).
+  uint64_t generation = 0;
+
+  // --- Trial scratch (owned by the evaluating lane) ------------------------
+  bool trial_configured = false;
   std::vector<FlatTuples> trial_survivors;
   std::vector<ExistTable> trial_tables;
   std::vector<std::pair<int, const Bitset*>> filter_scratch;
   Tuple key_scratch;
+  // Lane-local mutable copy of a fallback call's base domains, synced
+  // from the preparing context by generation stamp.
+  VarDomains fallback_work;
+  SavedDomains fallback_saved;
+  uint64_t fallback_sync_generation = 0;
 };
 
+SolverEvalContext::SolverEvalContext() : impl_(std::make_unique<Impl>()) {}
+SolverEvalContext::~SolverEvalContext() = default;
+SolverEvalContext::SolverEvalContext(SolverEvalContext&&) noexcept = default;
+SolverEvalContext& SolverEvalContext::operator=(SolverEvalContext&&) noexcept =
+    default;
+
 bool PreparedDp::Decide(const std::vector<DomainRestriction>& extra) {
-  return solver_->DecidePrepared(generation_, extra);
+  return solver_->DecidePrepared(*ctx_, *ctx_, generation_, extra);
+}
+
+bool PreparedDp::Decide(const std::vector<DomainRestriction>& extra,
+                        SolverEvalContext& lane) {
+  return solver_->DecidePrepared(*ctx_, *lane.impl_, generation_, extra);
 }
 
 // ---------------------------------------------------------------------------
@@ -358,11 +385,11 @@ bool DecompositionSolver::RunDp(const VarDomains* domains,
   return true;
 }
 
-bool DecompositionSolver::Decide(const VarDomains* domains) {
+bool DecompositionSolver::Decide(const VarDomains* domains) const {
   return RunDp(domains, nullptr);
 }
 
-double DecompositionSolver::CountSolutions(const VarDomains* domains) {
+double DecompositionSolver::CountSolutions(const VarDomains* domains) const {
   assert(query_.disequalities().empty() &&
          "CountSolutions does not support disequalities");
   double total = 0.0;
@@ -371,8 +398,18 @@ double DecompositionSolver::CountSolutions(const VarDomains* domains) {
 }
 
 bool DecompositionSolver::EnsureBagRowCache() {
-  if (bag_row_cache_state_ == 1) return true;
-  if (bag_row_cache_state_ == 2) return false;
+  // Fast path: the state flag is published with release semantics after
+  // the cache contents are fully built, so readers seeing 1/2 may use the
+  // cache (or its absence) without taking the mutex.
+  int state = bag_row_cache_state_.load(std::memory_order_acquire);
+  if (state == 1) return true;
+  if (state == 2) return false;
+
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  state = bag_row_cache_state_.load(std::memory_order_relaxed);
+  if (state == 1) return true;
+  if (state == 2) return false;
+
   const int num_nodes = td_.num_nodes();
   bag_rows_.assign(num_nodes, FlatTuples());
   uint64_t total = 0;
@@ -390,8 +427,8 @@ bool DecompositionSolver::EnsureBagRowCache() {
     });
     if (!within_cap) {
       bag_rows_.clear();
-      bag_row_cache_state_ = 2;
-      stats_.prepared_path = false;
+      stat_prepared_path_.store(false, std::memory_order_relaxed);
+      bag_row_cache_state_.store(2, std::memory_order_release);
       return false;
     }
     bag_rows_[t] = std::move(rows);
@@ -411,8 +448,8 @@ bool DecompositionSolver::EnsureBagRowCache() {
   }
   if (index_entries > (uint64_t{1} << 24)) {
     bag_rows_.clear();
-    bag_row_cache_state_ = 2;
-    stats_.prepared_path = false;
+    stat_prepared_path_.store(false, std::memory_order_relaxed);
+    bag_row_cache_state_.store(2, std::memory_order_release);
     return false;
   }
   bag_col_index_.assign(num_nodes, {});
@@ -436,16 +473,50 @@ bool DecompositionSolver::EnsureBagRowCache() {
     }
   }
 
-  bag_row_cache_state_ = 1;
-  stats_.cached_bag_rows = total;
+  stat_cached_bag_rows_.store(total, std::memory_order_relaxed);
+  bag_row_cache_state_.store(1, std::memory_order_release);
   return true;
+}
+
+std::unique_ptr<SolverEvalContext> DecompositionSolver::CreateEvalContext() {
+  return std::unique_ptr<SolverEvalContext>(new SolverEvalContext());
+}
+
+SolverEvalContext::Impl& DecompositionSolver::DefaultContext() {
+  std::lock_guard<std::mutex> lock(default_ctx_mu_);
+  if (default_ctx_ == nullptr) {
+    default_ctx_ = std::unique_ptr<SolverEvalContext>(new SolverEvalContext());
+  }
+  return *default_ctx_->impl_;
+}
+
+DecompositionSolver::DpStats DecompositionSolver::dp_stats() const {
+  DpStats stats;
+  stats.prepare_calls = stat_prepare_calls_.load(std::memory_order_relaxed);
+  stats.prepared_decides =
+      stat_prepared_decides_.load(std::memory_order_relaxed);
+  stats.cached_bag_rows = stat_cached_bag_rows_.load(std::memory_order_relaxed);
+  stats.prepared_path = stat_prepared_path_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 PreparedDp DecompositionSolver::Prepare(const VarDomains& base,
                                         const std::vector<int>& overlay_vars) {
-  if (scratch_ == nullptr) scratch_ = std::make_unique<PrepareScratch>();
-  PrepareScratch& sc = *scratch_;
-  PreparedDp prepared(this, ++prepare_generation_);
+  return PrepareOn(DefaultContext(), base, overlay_vars);
+}
+
+PreparedDp DecompositionSolver::Prepare(const VarDomains& base,
+                                        const std::vector<int>& overlay_vars,
+                                        SolverEvalContext& ctx) {
+  return PrepareOn(*ctx.impl_, base, overlay_vars);
+}
+
+PreparedDp DecompositionSolver::PrepareOn(
+    SolverEvalContext::Impl& sc, const VarDomains& base,
+    const std::vector<int>& overlay_vars) {
+  sc.generation =
+      prepare_generation_.fetch_add(1, std::memory_order_relaxed) + 1;
+  PreparedDp prepared(this, &sc, sc.generation);
 
   if (!EnsureBagRowCache()) {
     sc.fallback = true;
@@ -458,11 +529,11 @@ PreparedDp DecompositionSolver::Prepare(const VarDomains& base,
     }
     return prepared;
   }
-  ++stats_.prepare_calls;
+  stat_prepare_calls_.fetch_add(1, std::memory_order_relaxed);
   sc.fallback = false;
 
   const int num_nodes = td_.num_nodes();
-  if (!sc.configured) {
+  if (!sc.call_configured) {
     sc.call_rows.resize(num_nodes);
     sc.filtered_storage.resize(num_nodes);
     sc.overlay_cols.resize(num_nodes);
@@ -470,9 +541,7 @@ PreparedDp DecompositionSolver::Prepare(const VarDomains& base,
     sc.dynamic_bag.resize(num_nodes);
     sc.is_overlay.resize(static_cast<size_t>(query_.num_vars()));
     sc.static_survivors.resize(num_nodes);
-    sc.trial_survivors.resize(num_nodes);
     sc.static_tables.resize(num_nodes);
-    sc.trial_tables.resize(num_nodes);
     sc.demand_memo.resize(num_nodes);
     sc.demand_keys.resize(num_nodes);
     sc.demand_ok = true;
@@ -480,8 +549,6 @@ PreparedDp DecompositionSolver::Prepare(const VarDomains& base,
       if (parent_[c] < 0) continue;
       sc.static_tables[c].Configure(db_.universe_size(), shared_in_parent_[c],
                                     shared_in_child_[c]);
-      sc.trial_tables[c].Configure(db_.universe_size(), shared_in_parent_[c],
-                                   shared_in_child_[c]);
       if (sc.static_tables[c].oversize) {
         sc.demand_ok = false;
       } else {
@@ -490,7 +557,7 @@ PreparedDp DecompositionSolver::Prepare(const VarDomains& base,
         sc.demand_keys[c].resize(shared_in_child_[c].size());
       }
     }
-    sc.configured = true;
+    sc.call_configured = true;
   }
   sc.always_false = false;
 
@@ -584,7 +651,7 @@ PreparedDp DecompositionSolver::Prepare(const VarDomains& base,
   // (the common DLM case) this touches a vanishing fraction of the rows.
   if (!sc.dynamic_bag[td_.root] && sc.demand_ok) {
     for (int c = 0; c < num_nodes; ++c) {
-      PrepareScratch::DemandMemo& memo = sc.demand_memo[c];
+      SolverEvalContext::Impl::DemandMemo& memo = sc.demand_memo[c];
       if (memo.stamp.empty()) continue;
       if (++memo.epoch == 0) {  // uint32 wrap: flush and restart.
         std::fill(memo.stamp.begin(), memo.stamp.end(), 0u);
@@ -593,7 +660,7 @@ PreparedDp DecompositionSolver::Prepare(const VarDomains& base,
     }
     auto exists = [&](auto&& self, int c, TupleView parent_row) -> bool {
       const ExistTable& et = sc.static_tables[c];
-      PrepareScratch::DemandMemo& memo = sc.demand_memo[c];
+      SolverEvalContext::Impl::DemandMemo& memo = sc.demand_memo[c];
       uint64_t code = 0;
       for (size_t k = 0; k < et.parent_positions.size(); ++k) {
         code +=
@@ -683,6 +750,7 @@ PreparedDp DecompositionSolver::Prepare(const VarDomains& base,
   // (rows stream straight into the existence semijoin). Children of a
   // static bag are static by construction, so their tables are already
   // built when the parent is processed.
+  Tuple prepare_key_scratch;
   for (int t : post_order_) {
     if (sc.dynamic_bag[t]) continue;
     const bool is_root = t == td_.root;  // Possible only with no overlay.
@@ -691,7 +759,7 @@ PreparedDp DecompositionSolver::Prepare(const VarDomains& base,
     bool found = false;
     stream_filtered(t, sc.base_filters[t], [&](TupleView row) {
       for (int c : children_[t]) {
-        if (!sc.static_tables[c].ContainsParentRow(row, sc.key_scratch)) {
+        if (!sc.static_tables[c].ContainsParentRow(row, prepare_key_scratch)) {
           return true;
         }
       }
@@ -718,50 +786,70 @@ PreparedDp DecompositionSolver::Prepare(const VarDomains& base,
 }
 
 bool DecompositionSolver::DecidePrepared(
+    SolverEvalContext::Impl& sc, SolverEvalContext::Impl& trial,
     uint64_t generation, const std::vector<DomainRestriction>& extra) {
-  assert(scratch_ != nullptr && generation == prepare_generation_ &&
-         "stale PreparedDp: a newer Prepare call took the solver scratch");
+  assert(generation == sc.generation &&
+         "stale PreparedDp: a newer Prepare call took this context");
   (void)generation;
-  PrepareScratch& sc = *scratch_;
 
   if (sc.fallback) {
-    // Copy only the <= 2|Delta| endpoint domains, decide, restore.
-    ApplyOverlay(sc.fallback_base, extra, sc.fallback_saved);
-    const bool verdict = Decide(&sc.fallback_base);
-    RestoreOverlay(sc.fallback_base, sc.fallback_saved);
+    // Lane-local mutable copy of the base (synced once per Prepare), then
+    // copy only the <= 2|Delta| endpoint domains, decide, restore.
+    if (trial.fallback_sync_generation != sc.generation) {
+      trial.fallback_work = sc.fallback_base;
+      trial.fallback_sync_generation = sc.generation;
+    }
+    ApplyOverlay(trial.fallback_work, extra, trial.fallback_saved);
+    const bool verdict = RunDp(&trial.fallback_work, nullptr);
+    RestoreOverlay(trial.fallback_work, trial.fallback_saved);
     return verdict;
   }
 
-  ++stats_.prepared_decides;
+  stat_prepared_decides_.fetch_add(1, std::memory_order_relaxed);
   if (sc.always_false) return false;
   const int root = td_.root;
   // No overlay anywhere: the Prepare-time pass already established the
   // verdict (root survivors were non-empty).
   if (!sc.dynamic_bag[root]) return true;
 
+  // Trial scratch: sized lazily so a lane context serving another
+  // context's prepared call configures itself on first use.
+  if (!trial.trial_configured) {
+    const int num_nodes = td_.num_nodes();
+    trial.trial_survivors.resize(num_nodes);
+    trial.trial_tables.resize(num_nodes);
+    for (int c = 0; c < num_nodes; ++c) {
+      if (parent_[c] < 0) continue;
+      trial.trial_tables[c].Configure(db_.universe_size(),
+                                      shared_in_parent_[c],
+                                      shared_in_child_[c]);
+    }
+    trial.trial_configured = true;
+  }
+
   for (int t : post_order_) {
     if (!sc.dynamic_bag[t]) continue;
     const FlatTuples& in = *sc.call_rows[t];
     const bool is_root = t == root;
 
-    sc.filter_scratch.clear();
+    trial.filter_scratch.clear();
     for (const auto& [col, var] : sc.overlay_cols[t]) {
       for (const DomainRestriction& r : extra) {
-        if (r.var == var) sc.filter_scratch.push_back({col, r.mask});
+        if (r.var == var) trial.filter_scratch.push_back({col, r.mask});
       }
     }
 
-    FlatTuples& out = sc.trial_survivors[t];
+    FlatTuples& out = trial.trial_survivors[t];
     out.Reset(in.width());
     const std::vector<int>& kids = children_[t];
     for (size_t i = 0; i < in.size(); ++i) {
       TupleView row = in[i];
-      if (!PassesFilters(row, sc.filter_scratch)) continue;
+      if (!PassesFilters(row, trial.filter_scratch)) continue;
       bool alive = true;
       for (int c : kids) {
         const ExistTable& table =
-            sc.dynamic_bag[c] ? sc.trial_tables[c] : sc.static_tables[c];
-        if (!table.ContainsParentRow(row, sc.key_scratch)) {
+            sc.dynamic_bag[c] ? trial.trial_tables[c] : sc.static_tables[c];
+        if (!table.ContainsParentRow(row, trial.key_scratch)) {
           alive = false;
           break;
         }
@@ -773,7 +861,7 @@ bool DecompositionSolver::DecidePrepared(
     }
     if (is_root || out.empty()) return false;
 
-    sc.trial_tables[t].Build(out);
+    trial.trial_tables[t].Build(out);
   }
   // The root is an ancestor of every bag, so a non-empty overlay always
   // returns from inside the loop; this covers the degenerate case of an

@@ -27,11 +27,30 @@
 //      early exit at the root.
 // A query with no disequalities degenerates to step 2 entirely: a trial
 // is a cached-verdict lookup.
+//
+// Concurrency model (the intra-query parallel estimation path): the
+// solver's state is layered by mutability.
+//   - Construction state (decomposition topology, per-bag joiners) and
+//     the step-1 bag-row cache with its column indexes are IMMUTABLE once
+//     built; the cache build itself is mutex-guarded and idempotent, so
+//     any number of workers may share one solver.
+//   - Everything per-call and per-trial lives in a SolverEvalContext.
+//     Each worker lane owns one context; Prepare/Decide chains on
+//     distinct contexts never touch shared mutable state and may run
+//     fully concurrently.
+//   - Within one prepared call, the call state (base-filtered rows,
+//     static tables) is read-only during trials, so trials of a single
+//     PreparedDp may ALSO fan out: each lane passes its own context to
+//     Decide and uses only that context's trial scratch.
+// The legacy single-threaded API (Prepare/Decide without a context) runs
+// on a solver-owned default context.
 #ifndef CQCOUNT_HOM_DECOMPOSITION_SOLVER_H_
 #define CQCOUNT_HOM_DECOMPOSITION_SOLVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "decomposition/tree_decomposition.h"
@@ -43,31 +62,62 @@ namespace cqcount {
 
 class DecompositionSolver;
 
+/// Per-worker evaluation state: the scratch of one Prepare (call state,
+/// rebuilt per EdgeFree call) plus the per-trial scratch (epoch-stamped
+/// semijoin tables, overlay buffers). One context must never be used from
+/// two threads at once; distinct contexts are fully independent. Obtained
+/// from DecompositionSolver::CreateEvalContext; must not outlive the
+/// solver.
+class SolverEvalContext {
+ public:
+  ~SolverEvalContext();
+  SolverEvalContext(SolverEvalContext&&) noexcept;
+  SolverEvalContext& operator=(SolverEvalContext&&) noexcept;
+
+ private:
+  friend class DecompositionSolver;
+  friend class PreparedDp;
+  SolverEvalContext();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// A decision instance with the base domains baked in; Decide() evaluates
 /// one overlay (colouring trial) against it. Obtained from
-/// DecompositionSolver::Prepare; a lightweight handle onto solver-owned
-/// state — it must not outlive the solver, and a new Prepare on the same
-/// solver invalidates it (asserted in debug builds).
+/// DecompositionSolver::Prepare; a lightweight handle onto context-owned
+/// state — it must not outlive the solver or its context, and a new
+/// Prepare on the same context invalidates it (asserted in debug builds).
 class PreparedDp {
  public:
   /// True iff a solution exists under base domains intersected with
   /// `extra`. Every `extra.var` must be among the overlay vars declared
-  /// at Prepare time. Reuses trial-invariant DP state across calls.
+  /// at Prepare time. Reuses trial-invariant DP state across calls. Runs
+  /// on the context the instance was prepared on (single-threaded use).
   bool Decide(const std::vector<DomainRestriction>& extra);
+
+  /// Lane-concurrent variant: evaluates the trial with `lane`'s trial
+  /// scratch against this instance's (read-only) call state. Decisions on
+  /// distinct lane contexts may run concurrently.
+  bool Decide(const std::vector<DomainRestriction>& extra,
+              SolverEvalContext& lane);
 
  private:
   friend class DecompositionSolver;
-  PreparedDp(DecompositionSolver* solver, uint64_t generation)
-      : solver_(solver), generation_(generation) {}
+  PreparedDp(DecompositionSolver* solver, SolverEvalContext::Impl* ctx,
+             uint64_t generation)
+      : solver_(solver), ctx_(ctx), generation_(generation) {}
 
   DecompositionSolver* solver_;
+  SolverEvalContext::Impl* ctx_;
   uint64_t generation_;
 };
 
 /// Decision / exact-counting DP over a tree decomposition.
 ///
-/// NOT thread-safe: Decide/Prepare maintain internal caches. Use one
-/// solver instance per worker (the engine's executors already do).
+/// Thread-compatible: the construction state and the bag-row cache are
+/// shared and immutable (the cache build is internally synchronised);
+/// concurrent callers must each use their own SolverEvalContext (the
+/// context-free API serialises on the solver's default context).
 class DecompositionSolver {
  public:
   /// Observability of the prepare/evaluate split (plumbed up into engine
@@ -101,24 +151,36 @@ class DecompositionSolver {
   /// True iff (phi, D) has a solution (ignoring disequalities) whose values
   /// respect `domains` (may be null). Monolithic evaluation (one-shot
   /// callers and the property-test reference for the prepared path).
-  bool Decide(const VarDomains* domains);
+  /// Const and thread-safe: uses only local scratch.
+  bool Decide(const VarDomains* domains) const;
 
   /// Exact number of solutions (ignoring disequalities) respecting
   /// `domains`. Returned as double: counts can exceed 2^64 for large
   /// databases; all tests use exactly-representable ranges.
-  double CountSolutions(const VarDomains* domains);
+  double CountSolutions(const VarDomains* domains) const;
 
-  /// Builds a prepared decision instance: `base` (the V_i restrictions of
-  /// one EdgeFree call) is fixed; each PreparedDp::Decide overlays masks
-  /// on `overlay_vars` only (the disequality endpoints). `base` is only
-  /// read during this call. The instance borrows solver-owned scratch
-  /// (reused across calls, so the per-call path is allocation-free after
-  /// warm-up): at most one live PreparedDp per solver.
+  /// Mints an independent per-worker evaluation context. Safe to call
+  /// concurrently.
+  std::unique_ptr<SolverEvalContext> CreateEvalContext();
+
+  /// Builds a prepared decision instance on the solver's default context:
+  /// `base` (the V_i restrictions of one EdgeFree call) is fixed; each
+  /// PreparedDp::Decide overlays masks on `overlay_vars` only (the
+  /// disequality endpoints). `base` is only read during this call. At
+  /// most one live PreparedDp per context.
   PreparedDp Prepare(const VarDomains& base,
                      const std::vector<int>& overlay_vars);
 
+  /// Context-scoped Prepare: chains on distinct contexts may run
+  /// concurrently (the bag-row cache is shared and immutable).
+  PreparedDp Prepare(const VarDomains& base,
+                     const std::vector<int>& overlay_vars,
+                     SolverEvalContext& ctx);
+
   const TreeDecomposition& decomposition() const { return td_; }
-  const DpStats& dp_stats() const { return stats_; }
+  /// Snapshot of the prepare/evaluate counters (aggregated over all
+  /// contexts).
+  DpStats dp_stats() const;
 
  private:
   friend class PreparedDp;
@@ -127,13 +189,21 @@ class DecompositionSolver {
   // variant; otherwise computes per-tuple extension counts.
   bool RunDp(const VarDomains* domains, double* total) const;
 
-  // Materialises and caches every bag's unrestricted join (idempotent).
+  // Materialises and caches every bag's unrestricted join (idempotent,
+  // mutex-guarded; the cache is immutable once state_ is published).
   // Returns false when the row cap was exceeded (cache disabled).
   bool EnsureBagRowCache();
 
-  // One prepared trial decision against the current scratch state.
-  bool DecidePrepared(uint64_t generation,
+  PreparedDp PrepareOn(SolverEvalContext::Impl& ctx, const VarDomains& base,
+                       const std::vector<int>& overlay_vars);
+
+  // One prepared trial decision: call state from `ctx`, trial scratch
+  // from `trial` (== &ctx for the single-threaded path).
+  bool DecidePrepared(SolverEvalContext::Impl& ctx,
+                      SolverEvalContext::Impl& trial, uint64_t generation,
                       const std::vector<DomainRestriction>& extra);
+
+  SolverEvalContext::Impl& DefaultContext();
 
   const Query& query_;
   const Database& db_;
@@ -148,9 +218,11 @@ class DecompositionSolver {
   // Pre-projected per-bag joiners: the (domain-independent) projection
   // work is hoisted here.
   std::vector<BagJoiner> joiners_;
-  // Per-solver cache of unrestricted bag joins (step 1 of the split).
+  // Per-solver cache of unrestricted bag joins (step 1 of the split),
+  // shared and immutable after the build completes.
   // 0 = not built, 1 = built, 2 = over cap (prepared path disabled).
-  int bag_row_cache_state_ = 0;
+  std::mutex cache_mu_;
+  std::atomic<int> bag_row_cache_state_{0};
   std::vector<FlatTuples> bag_rows_;
   // Per (bag, column) value index over the cached rows: `perm` lists row
   // indices ordered by the column's value, `starts[v]..starts[v+1]` is
@@ -162,14 +234,16 @@ class DecompositionSolver {
     std::vector<uint32_t> starts;  // universe_size + 1 offsets.
   };
   std::vector<std::vector<ColIndex>> bag_col_index_;
-  // Solver-owned per-Prepare scratch (defined in the .cc): reusing it
-  // across the thousands of Prepare calls of one DLM estimation keeps
-  // the per-call path allocation-free.
-  struct PrepareScratch;
-  std::unique_ptr<PrepareScratch> scratch_;
-  uint64_t prepare_generation_ = 0;
+  // Default evaluation context backing the context-free API.
+  std::unique_ptr<SolverEvalContext> default_ctx_;
+  std::mutex default_ctx_mu_;  // Guards lazy creation only.
+  std::atomic<uint64_t> prepare_generation_{0};
   Options opts_;
-  DpStats stats_;
+  // Aggregated DpStats counters (atomic: contexts update concurrently).
+  std::atomic<uint64_t> stat_prepare_calls_{0};
+  std::atomic<uint64_t> stat_prepared_decides_{0};
+  std::atomic<uint64_t> stat_cached_bag_rows_{0};
+  std::atomic<bool> stat_prepared_path_{true};
 };
 
 }  // namespace cqcount

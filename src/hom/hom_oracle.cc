@@ -39,6 +39,19 @@ class OverlayPreparedHom : public PreparedHom {
   SavedDomains saved_;
 };
 
+// HomContext for the decomposition oracle: an independent solver
+// evaluation context (prepare + trial scratch).
+class DecompositionHomContext : public HomContext {
+ public:
+  explicit DecompositionHomContext(std::unique_ptr<SolverEvalContext> ctx)
+      : ctx_(std::move(ctx)) {}
+
+  SolverEvalContext& ctx() { return *ctx_; }
+
+ private:
+  std::unique_ptr<SolverEvalContext> ctx_;
+};
+
 // Prepared decisions delegated to the solver's trial-reuse DP.
 class DecompositionPreparedHom : public PreparedHom {
  public:
@@ -48,6 +61,13 @@ class DecompositionPreparedHom : public PreparedHom {
   bool Decide(const std::vector<DomainRestriction>& extra) override {
     owner_->RecordPreparedDecide();
     return prepared_.Decide(extra);
+  }
+
+  bool Decide(const std::vector<DomainRestriction>& extra,
+              HomContext& lane) override {
+    owner_->RecordPreparedDecide();
+    return prepared_.Decide(extra,
+                            static_cast<DecompositionHomContext&>(lane).ctx());
   }
 
  private:
@@ -86,7 +106,19 @@ std::unique_ptr<PreparedHom> HomOracle::Prepare(
 std::unique_ptr<PreparedHom> DecompositionHomOracle::Prepare(
     const VarDomains& base, std::vector<int> overlay_vars) {
   return std::make_unique<DecompositionPreparedHom>(
-      this, solver_.Prepare(base, std::move(overlay_vars)));
+      this, solver_.Prepare(base, overlay_vars));
+}
+
+std::unique_ptr<PreparedHom> DecompositionHomOracle::Prepare(
+    const VarDomains& base, std::vector<int> overlay_vars, HomContext* ctx) {
+  if (ctx == nullptr) return Prepare(base, std::move(overlay_vars));
+  auto& dctx = static_cast<DecompositionHomContext&>(*ctx);
+  return std::make_unique<DecompositionPreparedHom>(
+      this, solver_.Prepare(base, overlay_vars, dctx.ctx()));
+}
+
+std::unique_ptr<HomContext> DecompositionHomOracle::CreateContext() {
+  return std::make_unique<DecompositionHomContext>(solver_.CreateEvalContext());
 }
 
 BacktrackingHomOracle::BacktrackingHomOracle(const Query& q,
@@ -94,7 +126,7 @@ BacktrackingHomOracle::BacktrackingHomOracle(const Query& q,
     : joiner_(q, db, IdentityOrder(q), FullJoinOptions()) {}
 
 bool BacktrackingHomOracle::Decide(const VarDomains& domains) {
-  ++num_calls_;
+  RecordDecide();
   bool found = false;
   joiner_.Enumerate(&domains, [&found](const Tuple&) {
     found = true;

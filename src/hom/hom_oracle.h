@@ -16,9 +16,19 @@
 //     backs it with the solver's prepare/evaluate DP split; any other
 //     oracle gets a correct default that copies/restores just the
 //     endpoint domains around a plain Decide.
+//
+// Concurrency: oracles that SupportsConcurrentDecides() hand out opaque
+// HomContexts. A Prepare/Decide chain bound to one context never touches
+// another context's mutable state, so worker lanes holding distinct
+// contexts may prepare and decide concurrently against one oracle (the
+// decomposition oracle maps contexts onto SolverEvalContexts; the shared
+// bag-join row cache is immutable). Within a single prepared call, trials
+// may also fan out: Decide(extra, lane) evaluates with the lane context's
+// trial scratch against the prepared (read-only) call state.
 #ifndef CQCOUNT_HOM_HOM_ORACLE_H_
 #define CQCOUNT_HOM_HOM_ORACLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -31,16 +41,36 @@
 
 namespace cqcount {
 
+/// Opaque per-worker state for concurrent oracle use. Obtained from
+/// HomOracle::CreateContext; one context must never be used by two
+/// threads at once.
+class HomContext {
+ public:
+  virtual ~HomContext() = default;
+};
+
 /// A Hom instance with base domains fixed; each Decide overlays a small
 /// set of per-variable masks (one colouring trial). Obtained from
-/// HomOracle::Prepare; must not outlive the oracle.
+/// HomOracle::Prepare; must not outlive the oracle (or the context it was
+/// prepared on).
 class PreparedHom {
  public:
   virtual ~PreparedHom() = default;
 
   /// True iff a solution exists under base + `extra` (vars limited to the
-  /// overlay vars declared at Prepare time).
+  /// overlay vars declared at Prepare time). Single-threaded: runs on the
+  /// context the instance was prepared on.
   virtual bool Decide(const std::vector<DomainRestriction>& extra) = 0;
+
+  /// Lane-concurrent variant: evaluates the trial with `lane`'s scratch.
+  /// Distinct lanes may call concurrently when the owning oracle
+  /// SupportsConcurrentDecides(); the default forwards to Decide (only
+  /// correct sequentially).
+  virtual bool Decide(const std::vector<DomainRestriction>& extra,
+                      HomContext& lane) {
+    (void)lane;
+    return Decide(extra);
+  }
 };
 
 /// Decides colour-coded homomorphism instances for a fixed (phi, D).
@@ -58,15 +88,39 @@ class HomOracle {
   virtual std::unique_ptr<PreparedHom> Prepare(const VarDomains& base,
                                                std::vector<int> overlay_vars);
 
+  /// Context-scoped Prepare: chains on distinct contexts may run
+  /// concurrently when SupportsConcurrentDecides(). The default ignores
+  /// the context (sequential oracles).
+  virtual std::unique_ptr<PreparedHom> Prepare(const VarDomains& base,
+                                               std::vector<int> overlay_vars,
+                                               HomContext* ctx) {
+    (void)ctx;
+    return Prepare(base, std::move(overlay_vars));
+  }
+
+  /// Mints per-worker state for concurrent use; null when the oracle has
+  /// no concurrent path (callers must then serialise).
+  virtual std::unique_ptr<HomContext> CreateContext() { return nullptr; }
+
+  /// True when Prepare/Decide chains on distinct contexts are safe to run
+  /// concurrently.
+  virtual bool SupportsConcurrentDecides() const { return false; }
+
   /// Number of decisions served so far (plain and prepared).
-  uint64_t num_calls() const { return num_calls_; }
+  uint64_t num_calls() const {
+    return num_calls_.load(std::memory_order_relaxed);
+  }
 
   /// Internal: lets PreparedHom implementations attribute their decisions
   /// to the owning oracle's call counter.
-  void RecordPreparedDecide() { ++num_calls_; }
+  void RecordPreparedDecide() {
+    num_calls_.fetch_add(1, std::memory_order_relaxed);
+  }
 
  protected:
-  uint64_t num_calls_ = 0;
+  void RecordDecide() { num_calls_.fetch_add(1, std::memory_order_relaxed); }
+
+  std::atomic<uint64_t> num_calls_{0};
 };
 
 /// Polynomial-time oracle via tree-decomposition DP (Theorem 31 engine; the
@@ -79,18 +133,24 @@ class DecompositionHomOracle : public HomOracle {
       : solver_(q, db, std::move(td)) {}
 
   bool Decide(const VarDomains& domains) override {
-    ++num_calls_;
+    RecordDecide();
     return solver_.Decide(&domains);
   }
 
   /// Prepared decisions run on the solver's trial-reuse DP.
   std::unique_ptr<PreparedHom> Prepare(
       const VarDomains& base, std::vector<int> overlay_vars) override;
+  std::unique_ptr<PreparedHom> Prepare(const VarDomains& base,
+                                       std::vector<int> overlay_vars,
+                                       HomContext* ctx) override;
+
+  /// Contexts wrap independent SolverEvalContexts; the solver's bag-join
+  /// cache is shared and immutable, so concurrent chains are safe.
+  std::unique_ptr<HomContext> CreateContext() override;
+  bool SupportsConcurrentDecides() const override { return true; }
 
   /// Prepare/evaluate observability for engine provenance.
-  const DecompositionSolver::DpStats& dp_stats() const {
-    return solver_.dp_stats();
-  }
+  DecompositionSolver::DpStats dp_stats() const { return solver_.dp_stats(); }
 
  private:
   DecompositionSolver solver_;

@@ -1,0 +1,47 @@
+// The convergence/cap contract shared by every estimator in the stack.
+//
+// DlmResult, ApproxCountResult, FprasResult, AcjrResult and the engine's
+// ExecOutcome historically each re-declared the same estimate/exact/
+// converged triple; they now all derive from EstimateOutcome so the
+// strategy-executor layer (and the engine provenance plumbing) can treat
+// any estimator result uniformly. ParallelStats rides along: every layer
+// that fans work out on the executor reports the same three numbers.
+#ifndef CQCOUNT_UTIL_ESTIMATE_OUTCOME_H_
+#define CQCOUNT_UTIL_ESTIMATE_OUTCOME_H_
+
+#include <cstdint>
+
+namespace cqcount {
+
+/// What every estimate reports: the value and how it was reached.
+struct EstimateOutcome {
+  /// The (epsilon, delta)-estimate (exact value when `exact`).
+  double estimate = 0.0;
+  /// True when the computation involved no sampling error (exact phase
+  /// completed, or the instance was trivially resolved).
+  bool exact = false;
+  /// False when a sampling cap was hit before the target interval.
+  bool converged = true;
+};
+
+/// Intra-query parallelism observability (informational: the numbers
+/// describe scheduling, never the estimate).
+struct ParallelStats {
+  /// Lanes the estimate was partitioned across (1 = inline execution).
+  int lanes = 1;
+  /// Parallel task units spawned (index-space partitions).
+  uint64_t tasks = 0;
+  /// Task units executed by pool workers (the rest ran on the calling
+  /// thread, including help-drained nested work).
+  uint64_t worker_tasks = 0;
+
+  void Merge(const ParallelStats& other) {
+    if (other.lanes > lanes) lanes = other.lanes;
+    tasks += other.tasks;
+    worker_tasks += other.worker_tasks;
+  }
+};
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_UTIL_ESTIMATE_OUTCOME_H_

@@ -1,0 +1,166 @@
+#include "util/executor.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace cqcount {
+
+Executor::Executor(int num_threads) {
+  num_threads = std::max(1, num_threads);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void Executor::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  work_cv_.notify_one();
+  // Wake Wait()ers too: they help-drain, so new work concerns them.
+  idle_cv_.notify_all();
+}
+
+void Executor::FinishTask() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--in_flight_ == 0) idle_cv_.notify_all();
+}
+
+bool Executor::RunOneQueuedTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  help_runs_.fetch_add(1, std::memory_order_relaxed);
+  task();
+  FinishTask();
+  return true;
+}
+
+void Executor::Wait() {
+  for (;;) {
+    if (RunOneQueuedTask()) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (in_flight_ == 0) return;
+    if (!queue_.empty()) continue;  // Raced with a Submit: drain it.
+    idle_cv_.wait(lock,
+                  [this] { return in_flight_ == 0 || !queue_.empty(); });
+    if (in_flight_ == 0) return;
+  }
+}
+
+void Executor::ParallelFor(size_t num_tasks,
+                           const std::function<void(size_t)>& task) {
+  ParallelForLanes(num_tasks, num_threads() + 1,
+                   [&task](int, size_t i) { task(i); });
+}
+
+Executor::LaneStats Executor::ParallelForLanes(
+    size_t num_tasks, int num_lanes,
+    const std::function<void(int, size_t)>& task) {
+  LaneStats stats;
+  if (num_tasks == 0) return stats;
+  num_lanes = std::max(1, num_lanes);
+
+  // Per-call control block, shared with the helper closures (which may
+  // outlive this frame by a few instructions after the last completion).
+  struct Control {
+    std::function<void(int, size_t)> task;
+    size_t num_tasks = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<uint64_t> worker_ran{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t completed = 0;  // Guarded by mu.
+  };
+  auto control = std::make_shared<Control>();
+  control->task = task;
+  control->num_tasks = num_tasks;
+
+  // One claim-loop per lane: runs indices until the space is exhausted.
+  // Returns the number of indices this lane executed. Worker lanes
+  // publish their tally into worker_ran BEFORE signalling completion, so
+  // the caller's LaneStats never under-counts.
+  auto run_lane = [](Control& c, int lane) -> uint64_t {
+    uint64_t ran = 0;
+    for (;;) {
+      const size_t i = c.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= c.num_tasks) break;
+      c.task(lane, i);
+      ++ran;
+    }
+    if (ran > 0) {
+      if (lane != 0) c.worker_ran.fetch_add(ran, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(c.mu);
+      c.completed += ran;
+      if (c.completed == c.num_tasks) c.done_cv.notify_all();
+    }
+    return ran;
+  };
+
+  // Helpers for lanes 1..num_lanes-1 (no point spawning more helpers than
+  // indices). Lane 0 is the calling thread.
+  const int helpers =
+      static_cast<int>(std::min<size_t>(num_tasks, num_lanes) - 1);
+  for (int lane = 1; lane <= helpers; ++lane) {
+    Submit([control, run_lane, lane] { run_lane(*control, lane); });
+  }
+  stats.caller_ran = run_lane(*control, 0);
+
+  // Wait for helper-claimed indices. This cannot deadlock even with the
+  // pool fully saturated: the caller's own claim loop above drives the
+  // whole index space if no helper ever gets a worker, so any index
+  // still outstanding here was claimed by a helper that is RUNNING on
+  // some thread — and running lanes always terminate. (Still-queued
+  // helpers find the space exhausted and exit immediately.)
+  {
+    std::unique_lock<std::mutex> lock(control->mu);
+    control->done_cv.wait(
+        lock, [&] { return control->completed == control->num_tasks; });
+  }
+  stats.worker_ran = control->worker_ran.load(std::memory_order_relaxed);
+  return stats;
+}
+
+Executor::StatsSnapshot Executor::stats() const {
+  StatsSnapshot snapshot;
+  snapshot.submitted = submitted_.load(std::memory_order_relaxed);
+  snapshot.executed = executed_.load(std::memory_order_relaxed);
+  snapshot.help_runs = help_runs_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void Executor::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutdown with a drained queue.
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    task();
+    FinishTask();
+  }
+}
+
+}  // namespace cqcount

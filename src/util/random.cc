@@ -17,6 +17,19 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t DeriveSeed(uint64_t base_seed, uint64_t index) {
+  uint64_t z = base_seed + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t DeriveSeed(uint64_t base_seed, std::initializer_list<uint64_t> path) {
+  uint64_t seed = base_seed;
+  for (uint64_t step : path) seed = DeriveSeed(seed, step);
+  return seed;
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& word : state_) word = SplitMix64(sm);
@@ -83,6 +96,8 @@ void Rng::RandomMaskInto(Bitset& out, size_t n, double p) {
   }
 }
 
-Rng Rng::Split() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+uint64_t Rng::SplitSeed() { return Next() ^ 0xd1b54a32d192ed03ULL; }
+
+Rng Rng::Split() { return Rng(SplitSeed()); }
 
 }  // namespace cqcount

@@ -8,12 +8,27 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <utility>
 #include <vector>
 
 #include "util/bitset.h"
 
 namespace cqcount {
+
+/// Derives an independent seed from `base_seed` and a counter (SplitMix64
+/// step). Deterministic and index-sensitive, so derived streams never
+/// collide regardless of execution order. Used for batch items, intra-query
+/// tasks, and every other unit of parallel randomised work.
+uint64_t DeriveSeed(uint64_t base_seed, uint64_t index);
+
+/// Folds a whole counter path into one seed:
+/// DeriveSeed(s, {a, b, c}) == DeriveSeed(DeriveSeed(DeriveSeed(s,a),b),c).
+/// The estimation stack keys every sampling task by its position in the
+/// derivation tree — (component, run, box/stratum, round, sample) — so the
+/// stream a task consumes is a pure function of the task's identity, never
+/// of scheduling order or thread count.
+uint64_t DeriveSeed(uint64_t base_seed, std::initializer_list<uint64_t> path);
 
 /// xoshiro256** pseudo-random generator with convenience samplers.
 class Rng {
@@ -54,6 +69,11 @@ class Rng {
       swap(items[i], items[j]);
     }
   }
+
+  /// The seed a Split() child is constructed from (consumes one Next()
+  /// draw). Exposed so callers that precompute child seeds up front (the
+  /// DLM estimator's run-seed walk) share one definition with Split().
+  uint64_t SplitSeed();
 
   /// Spawns an independent child generator (for parallel or nested use).
   Rng Split();

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <set>
 #include <thread>
@@ -56,6 +57,76 @@ TEST(ExecutorTest, ConcurrentParallelForCallsDoNotInterfere) {
   });
   ta.join();
   tb.join();
+}
+
+// Regression for the nested-submit deadlock: every worker of a saturated
+// pool blocks inside a nested wait while the sub-tasks sit in the queue.
+// Help-draining waits must complete this; the pre-fix executor hung here.
+TEST(ExecutorTest, NestedParallelForFromSaturatedPoolDoesNotDeadlock) {
+  Executor executor(2);
+  std::atomic<int> inner{0};
+  // More outer tasks than workers, each fanning out again on the pool.
+  executor.ParallelFor(8, [&](size_t) {
+    executor.ParallelFor(16, [&](size_t) { inner.fetch_add(1); });
+  });
+  EXPECT_EQ(inner.load(), 8 * 16);
+}
+
+TEST(ExecutorTest, SaturatedPoolWithScopedWaitsCompletes) {
+  // The literal latent-deadlock scenario: every worker of the pool is
+  // occupied by an outer task that spawns sub-tasks and blocks waiting
+  // for exactly those, while the sub-tasks (and more outer tasks) sit in
+  // the queue with no free worker. The scoped waits stay live because a
+  // ParallelFor caller's own claim loop drives its whole index space
+  // when no helper gets a worker.
+  Executor executor(2);
+  std::atomic<int> inner{0};
+  for (int i = 0; i < 4; ++i) {
+    executor.Submit([&] {
+      executor.ParallelFor(8, [&](size_t) { inner.fetch_add(1); });
+    });
+  }
+  executor.Wait();
+  EXPECT_EQ(inner.load(), 4 * 8);
+}
+
+TEST(ExecutorTest, DeeplyNestedLanesTerminate) {
+  Executor executor(2);
+  std::atomic<int> leaves{0};
+  executor.ParallelForLanes(4, 3, [&](int, size_t) {
+    executor.ParallelForLanes(4, 3, [&](int, size_t) {
+      executor.ParallelForLanes(4, 3,
+                                [&](int, size_t) { leaves.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 4 * 4 * 4);
+}
+
+TEST(ExecutorTest, ParallelForLanesCoversEveryIndexOnce) {
+  Executor executor(4);
+  std::vector<std::atomic<int>> counts(777);
+  Executor::LaneStats stats = executor.ParallelForLanes(
+      counts.size(), 3, [&](int lane, size_t i) {
+        EXPECT_GE(lane, 0);
+        EXPECT_LT(lane, 3);
+        counts[i].fetch_add(1);
+      });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+  EXPECT_EQ(stats.caller_ran + stats.worker_ran, counts.size());
+}
+
+TEST(ExecutorTest, ParallelForLanesSerialisesEachLane) {
+  // At most one task of a lane runs at any moment (per-lane scratch needs
+  // no locking). Track per-lane reentrancy with an atomic flag per lane.
+  Executor executor(4);
+  constexpr int kLanes = 3;
+  std::array<std::atomic<int>, kLanes> in_lane{};
+  std::atomic<bool> overlap{false};
+  executor.ParallelForLanes(200, kLanes, [&](int lane, size_t) {
+    if (in_lane[lane].fetch_add(1) != 0) overlap.store(true);
+    in_lane[lane].fetch_sub(1);
+  });
+  EXPECT_FALSE(overlap.load());
 }
 
 TEST(ExecutorTest, DestructorDrainsQueue) {
