@@ -21,7 +21,7 @@
 #include "app/workload.h"
 #include "bench_util.h"
 #include "engine/engine.h"
-#include "engine/executor.h"
+#include "util/executor.h"
 #include "util/timer.h"
 
 namespace cqcount {

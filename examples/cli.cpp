@@ -1,12 +1,14 @@
 // cqcount command-line interface.
 //
 // Usage:
-//   cli count    <query> <database-file> [epsilon] [delta]
+//   cli count    <query> <database-file> [epsilon] [delta] [--json]
+//                [--trace FILE] [--metrics]
 //   cli exact    <query> <database-file>
-//   cli explain  <query> <database-file>
+//   cli explain  <query> <database-file> [--json]
 //   cli batch    <query-file> <database-file> [--threads N] [--epsilon E]
-//                [--delta D]   (positional [threads] [epsilon] [delta]
-//                also accepted)
+//                [--delta D] [--trace FILE] [--metrics]
+//                (positional [threads] [epsilon] [delta] also accepted)
+//   cli stats    <query> <database-file> [epsilon] [delta]
 //   cli fpras    <query> <database-file> [epsilon]
 //   cli sample   <query> <database-file> [count]
 //   cli classify <query>
@@ -20,6 +22,14 @@
 // planned per the paper's Figure 1 with per-component plans cached by
 // canonical shape, and batches execute concurrently with deterministic
 // per-item seeds. `explain` prints the per-component breakdown.
+//
+// Telemetry: --trace FILE writes a Chrome trace_event JSON of the run
+// (chrome://tracing / Perfetto); --metrics dumps the process metric
+// registry to stderr after the command; `stats` runs one count and dumps
+// the registry JSON to stdout; `count --json` prints the result with its
+// per-component provenance and QueryProfile as one JSON object;
+// `explain --json` prints the planning provenance (per-component plans,
+// budget split, observed shape history) without executing.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -30,6 +40,9 @@
 #include "counting/sampler.h"
 #include "decomposition/width_measures.h"
 #include "engine/engine.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/parser.h"
 #include "relational/database_io.h"
 
@@ -42,21 +55,23 @@ int Usage() {
       stderr,
       "usage:\n"
       "  cli count    <query> <db-file> [epsilon] [delta] "
-      "[--intra-threads N]\n"
+      "[--intra-threads N] [--json] [--trace FILE] [--metrics]\n"
       "                                                     engine count "
       "(auto strategy)\n"
       "  cli exact    <query> <db-file>                     engine exact "
       "count\n"
-      "  cli explain  <query> <db-file>                     plan + Figure 1 "
+      "  cli explain  <query> <db-file> [--json]            plan + Figure 1 "
       "verdict,\n"
       "                                                     per-component "
       "breakdown\n"
       "  cli batch    <query-file> <db-file> [--threads N] [--epsilon E] "
-      "[--delta D] [--intra-threads N]\n"
+      "[--delta D] [--intra-threads N] [--trace FILE] [--metrics]\n"
       "                                                     concurrent "
       "batch counts\n"
       "                                                     (positional "
       "[threads] [epsilon] [delta] also accepted)\n"
+      "  cli stats    <query> <db-file> [epsilon] [delta]   run one count, "
+      "dump metric registry JSON\n"
       "  cli fpras    <query> <db-file> [epsilon]           FPRAS "
       "(Thm 16, pure CQ)\n"
       "  cli sample   <query> <db-file> [count]             answer "
@@ -88,6 +103,141 @@ CountingEngine MakeEngine(double epsilon, double delta,
   // queries, inline for cheap/exact components).
   if (intra_threads >= 0) opts.intra_query_threads = intra_threads;
   return CountingEngine(opts);
+}
+
+// Writes the buffered spans as Chrome trace_event JSON (chrome://tracing,
+// Perfetto). Returns false (with a message) when the file can't be opened.
+bool WriteTraceFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "trace error: cannot open %s\n", path.c_str());
+    return false;
+  }
+  obs::TraceSink::Global().WriteChromeTrace(out);
+  std::fprintf(stderr, "# trace: %zu events -> %s\n",
+               obs::TraceSink::Global().event_count(), path.c_str());
+  return true;
+}
+
+void DumpMetrics() {
+  std::fputs(obs::MetricRegistry::Global().ToJson().c_str(), stderr);
+  std::fputc('\n', stderr);
+}
+
+const char* KindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kCq:
+      return "CQ";
+    case QueryKind::kDcq:
+      return "DCQ";
+    default:
+      return "ECQ";
+  }
+}
+
+// The `count --json` document: the result with its per-component
+// provenance and QueryProfile as ONE object (machine-readable mode;
+// scripts/check_estimates.py validates this schema).
+std::string CountResultJson(const EngineResult& r) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("estimate").Double(r.estimate);
+  json.Key("exact").Bool(r.exact);
+  json.Key("converged").Bool(r.converged);
+  json.Key("strategy").String(StrategyName(r.strategy));
+  json.Key("kind").String(KindName(r.kind));
+  json.Key("width").Double(r.width);
+  json.Key("verdict").String(r.verdict);
+  json.Key("shape_key").String(r.shape_key);
+  json.Key("oracle_calls").Uint(r.oracle_calls);
+  json.Key("plan_cache_hit").Bool(r.plan_cache_hit);
+  json.Key("num_components").Int(r.num_components);
+  json.Key("guards_evaluated").Int(r.guards_evaluated);
+  json.Key("plan_ms").Double(r.plan_millis);
+  json.Key("exec_ms").Double(r.exec_millis);
+  json.Key("components").BeginArray();
+  for (const ComponentResult& c : r.components) {
+    json.BeginObject();
+    json.Key("estimate").Double(c.estimate);
+    json.Key("exact").Bool(c.exact);
+    json.Key("converged").Bool(c.converged);
+    json.Key("executed").Bool(c.executed);
+    json.Key("strategy").String(StrategyName(c.strategy));
+    json.Key("verdict").String(c.verdict);
+    json.Key("shape_key").String(c.shape_key);
+    json.Key("width").Double(c.width);
+    json.Key("num_vars").Int(c.num_vars);
+    json.Key("num_free").Int(c.num_free);
+    json.Key("existential").Bool(c.existential);
+    json.Key("plan_cache_hit").Bool(c.plan_cache_hit);
+    json.Key("oracle_calls").Uint(c.oracle_calls);
+    json.Key("dp_prepared_decides").Uint(c.dp_prepared_decides);
+    json.Key("dp_prepared_path").Bool(c.dp_prepared_path);
+    json.Key("colouring_trials_per_call").Uint(c.colouring_trials_per_call);
+    json.Key("epsilon").Double(c.epsilon);
+    json.Key("delta").Double(c.delta);
+    json.Key("exec_ms").Double(c.exec_millis);
+    json.Key("lanes").Int(c.parallel.lanes);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("profile").RawValue(r.profile.ToJson());
+  json.EndObject();
+  return json.Take();
+}
+
+// The `explain --json` document: planning provenance without execution —
+// per-component plans, budget split, and the cache's observed shape
+// history when warm.
+std::string ExplanationJson(const Explanation& e) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("strategy").String(StrategyName(e.plan.strategy));
+  json.Key("verdict").String(e.plan.classification.verdict);
+  json.Key("shape_key").String(e.plan.shape_key);
+  json.Key("cost_estimate").Double(e.plan.cost_estimate);
+  json.Key("plan_cache_hit").Bool(e.plan_cache_hit);
+  json.Key("plan_ms").Double(e.plan_millis);
+  json.Key("pass_stats");
+  json.BeginObject();
+  json.Key("atoms_deduped").Int(e.pass_stats.atoms_deduped);
+  json.Key("guards_extracted").Int(e.pass_stats.guards_extracted);
+  json.Key("variables_pruned").Int(e.pass_stats.variables_pruned);
+  json.EndObject();
+  json.Key("guards").BeginArray();
+  for (const NullaryGuard& guard : e.guards) {
+    json.BeginObject();
+    json.Key("relation").String(guard.relation);
+    json.Key("negated").Bool(guard.negated);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("components").BeginArray();
+  for (const ComponentExplanation& c : e.components) {
+    json.BeginObject();
+    json.Key("strategy").String(StrategyName(c.plan.strategy));
+    json.Key("verdict").String(c.plan.classification.verdict);
+    json.Key("shape_key").String(c.plan.shape_key);
+    json.Key("cost_estimate").Double(c.plan.cost_estimate);
+    json.Key("plan_cache_hit").Bool(c.plan_cache_hit);
+    json.Key("existential").Bool(c.existential);
+    json.Key("variables").BeginArray();
+    for (const std::string& v : c.variables) json.String(v);
+    json.EndArray();
+    json.Key("epsilon").Double(c.epsilon);
+    json.Key("delta").Double(c.delta);
+    json.Key("planned_lanes").Int(c.planned_lanes);
+    json.Key("observed");
+    if (c.observed.has_value()) {
+      json.RawValue(c.observed->ToJson());
+    } else {
+      json.Null();
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.Take();
 }
 
 }  // namespace
@@ -130,12 +280,17 @@ int main(int argc, char** argv) {
   if (argc < 4) return Usage();
   const std::string db_path = argv[3];
 
-  if (command == "count" || command == "exact" || command == "explain") {
-    // count supports [epsilon] [delta] positionals plus --intra-threads.
+  if (command == "count" || command == "exact" || command == "explain" ||
+      command == "stats") {
+    // count supports [epsilon] [delta] positionals plus --intra-threads
+    // and the telemetry flags; stats takes [epsilon] [delta].
     double epsilon = 0.0;
     double delta = 0.0;
     int intra_threads = -1;
-    if (command == "count") {
+    bool as_json = false;
+    bool dump_metrics = false;
+    std::string trace_path;
+    if (command == "count" || command == "stats" || command == "explain") {
       int positional = 0;
       for (int i = 4; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -145,6 +300,16 @@ int main(int argc, char** argv) {
             return 2;
           }
           intra_threads = std::atoi(argv[++i]);
+        } else if (arg == "--trace") {
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for --trace\n");
+            return 2;
+          }
+          trace_path = argv[++i];
+        } else if (arg == "--json") {
+          as_json = true;
+        } else if (arg == "--metrics") {
+          dump_metrics = true;
         } else if (positional == 0) {
           epsilon = std::atof(arg.c_str());
           ++positional;
@@ -157,6 +322,7 @@ int main(int argc, char** argv) {
         }
       }
     }
+    if (!trace_path.empty()) obs::TraceSink::Global().Enable();
     CountingEngine engine = MakeEngine(epsilon, delta, intra_threads);
     Status registered = engine.RegisterDatabaseFile("db", db_path);
     if (!registered.ok()) {
@@ -171,7 +337,11 @@ int main(int argc, char** argv) {
                      explanation.status().ToString().c_str());
         return 1;
       }
-      std::fputs(explanation->text.c_str(), stdout);
+      if (as_json) {
+        std::printf("%s\n", ExplanationJson(*explanation).c_str());
+      } else {
+        std::fputs(explanation->text.c_str(), stdout);
+      }
       return 0;
     }
     auto result = command == "exact" ? engine.CountExact(argv[2], "db")
@@ -180,6 +350,28 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n",
                    result.status().ToString().c_str());
       return 1;
+    }
+    if (command == "stats") {
+      // One count (estimate to stderr as provenance), registry to stdout.
+      std::fprintf(stderr, "# %.2f%s strategy=%s oracle_calls=%llu\n",
+                   result->estimate, result->exact ? " (exact)" : "",
+                   StrategyName(result->strategy),
+                   static_cast<unsigned long long>(result->oracle_calls));
+      std::printf("%s\n", obs::MetricRegistry::Global().ToJson().c_str());
+      if (!trace_path.empty()) {
+        obs::TraceSink::Global().Disable();
+        if (!WriteTraceFile(trace_path)) return 1;
+      }
+      return 0;
+    }
+    if (!trace_path.empty()) {
+      obs::TraceSink::Global().Disable();
+      if (!WriteTraceFile(trace_path)) return 1;
+    }
+    if (as_json) {
+      std::printf("%s\n", CountResultJson(*result).c_str());
+      if (dump_metrics) DumpMetrics();
+      return 0;
     }
     std::printf("%.2f%s\n", result->estimate, result->exact ? " (exact)" : "");
     unsigned long long dp_decides = 0;
@@ -221,6 +413,7 @@ int main(int argc, char** argv) {
             comp.plan_cache_hit ? "cached" : "built");
       }
     }
+    if (dump_metrics) DumpMetrics();
     return 0;
   }
 
@@ -231,6 +424,8 @@ int main(int argc, char** argv) {
     double epsilon = 0.0;
     double delta = 0.0;
     int intra_threads = -1;
+    bool dump_metrics = false;
+    std::string trace_path;
     int positional = 0;
     for (int i = 4; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -250,6 +445,10 @@ int main(int argc, char** argv) {
         delta = std::atof(v);
       } else if (const char* v = flag_value("--intra-threads")) {
         intra_threads = std::atoi(v);
+      } else if (const char* v = flag_value("--trace")) {
+        trace_path = v;
+      } else if (arg == "--metrics") {
+        dump_metrics = true;
       } else if (arg.rfind("--", 0) == 0) {
         // Only "--" prefixes are flags: "-1" stays a valid positional
         // (threads <= 0 selects the engine's default pool).
@@ -273,6 +472,7 @@ int main(int argc, char** argv) {
                    queries.status().ToString().c_str());
       return 1;
     }
+    if (!trace_path.empty()) obs::TraceSink::Global().Enable();
     CountingEngine engine = MakeEngine(epsilon, delta, intra_threads);
     Status registered = engine.RegisterDatabaseFile("db", db_path);
     if (!registered.ok()) {
@@ -309,6 +509,11 @@ int main(int argc, char** argv) {
         results.size(), failures, static_cast<unsigned long long>(stats.hits),
         static_cast<unsigned long long>(stats.misses),
         static_cast<unsigned long long>(stats.evictions));
+    if (!trace_path.empty()) {
+      obs::TraceSink::Global().Disable();
+      if (!WriteTraceFile(trace_path)) return 1;
+    }
+    if (dump_metrics) DumpMetrics();
     return failures == 0 ? 0 : 1;
   }
 

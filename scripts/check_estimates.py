@@ -1,15 +1,61 @@
 #!/usr/bin/env python3
-"""Asserts that bench-emitted estimates match the checked-in baselines.
+"""Validates bench/telemetry JSON emitted by the cqcount binaries.
 
-Usage: check_estimates.py <fresh.json> <baseline.json>
+Usage:
+  check_estimates.py <fresh.json> <baseline.json>   baseline estimate check
+  check_estimates.py stats <stats.json>             `cli stats` schema check
+  check_estimates.py trace <trace.json>             Chrome-trace schema check
+  check_estimates.py count-json <result.json>       `cli count --json` check
 
-Perf PRs are free to change timings, but the `estimates` section of
-BENCH_fptras.json is produced at FIXED sizes and seeds in every mode
-(including CQCOUNT_BENCH_SMOKE), so any drift there means the refactor
-changed answers, not just speed. CI fails the build in that case.
+Baseline mode: perf PRs are free to change timings, but the `estimates`
+section of BENCH_fptras.json is produced at FIXED sizes and seeds in
+every mode (including CQCOUNT_BENCH_SMOKE), so any drift there means the
+refactor changed answers, not just speed. CI fails the build in that
+case.
+
+The telemetry modes validate the observability surface added with the
+obs/ subsystem: the metric registry dump, the Chrome trace_event export,
+and the machine-readable count result with its embedded QueryProfile.
 """
 import json
 import sys
+
+# Metric families every `stats` dump must contain (eagerly registered at
+# load, so they appear even on code paths the process never executed).
+REQUIRED_METRICS = (
+    "engine.counts",
+    "plan_cache.hits",
+    "plan_cache.misses",
+    "plan_cache.evictions",
+    "executor.tasks_submitted",
+    "executor.queue_depth",
+    "dlm.estimates",
+    "dlm.oracle_calls",
+    "dlm.abandoned_waves",
+    "dp.prepared_decides",
+    "cc.hom_queries",
+    "acjr.membership_tests",
+    "sampler.samples",
+)
+
+# Span names a traced non-trivial count must produce. dlm.run/dlm.round
+# only appear when the instance reaches the sampling phase, so the CI
+# smoke database is deliberately dense enough to get there.
+REQUIRED_SPANS = (
+    "engine.count",
+    "engine.parse",
+    "engine.compile",
+    "compile.normalize",
+    "pass.dedup_and_guards",
+    "engine.plan",
+    "engine.execute",
+    "component.execute",
+    "fptras.dlm",
+    "dlm.run",
+    "dlm.round",
+)
+
+VALID_KINDS = ("counter", "gauge", "histogram")
 
 
 def load_estimates(path):
@@ -21,11 +67,9 @@ def load_estimates(path):
     return {e["name"]: e for e in estimates}
 
 
-def main():
-    if len(sys.argv) != 3:
-        raise SystemExit(__doc__)
-    fresh = load_estimates(sys.argv[1])
-    baseline = load_estimates(sys.argv[2])
+def check_baseline(fresh_path, baseline_path):
+    fresh = load_estimates(fresh_path)
+    baseline = load_estimates(baseline_path)
     failures = []
     for name, base in sorted(baseline.items()):
         got = fresh.get(name)
@@ -60,6 +104,136 @@ def main():
         return 1
     print(f"estimate baseline check OK ({len(baseline)} workloads)")
     return 0
+
+
+def check_stats(path):
+    with open(path) as f:
+        data = json.load(f)
+    failures = []
+    metrics = data.get("metrics")
+    if not isinstance(metrics, list) or not metrics:
+        raise SystemExit(f"{path}: no 'metrics' array")
+    names = []
+    for m in metrics:
+        name = m.get("name")
+        if not name:
+            failures.append(f"metric without a name: {m}")
+            continue
+        names.append(name)
+        kind = m.get("kind")
+        if kind not in VALID_KINDS:
+            failures.append(f"{name}: bad kind {kind!r}")
+        if not m.get("description"):
+            failures.append(f"{name}: missing description")
+        if kind == "histogram":
+            if "count" not in m or "sum" not in m:
+                failures.append(f"{name}: histogram without count/sum")
+            for bucket in m.get("buckets", []):
+                if "le" not in bucket or "count" not in bucket:
+                    failures.append(f"{name}: malformed bucket {bucket}")
+        elif "value" not in m:
+            failures.append(f"{name}: {kind} without a value")
+    if names != sorted(names):
+        failures.append("metrics are not sorted by name")
+    for required in REQUIRED_METRICS:
+        if required not in names:
+            failures.append(f"required metric missing: {required}")
+    if failures:
+        print("stats schema check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"stats schema check OK ({len(names)} metrics)")
+    return 0
+
+
+def check_trace(path):
+    with open(path) as f:
+        data = json.load(f)
+    failures = []
+    events = data.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise SystemExit(f"{path}: no 'traceEvents' array")
+    seen = set()
+    for e in events:
+        name = e.get("name")
+        if not name:
+            failures.append(f"event without a name: {e}")
+            continue
+        seen.add(name)
+        if e.get("ph") != "X":
+            failures.append(f"{name}: phase {e.get('ph')!r} != 'X'")
+        for key in ("ts", "dur", "pid", "tid"):
+            if not isinstance(e.get(key), (int, float)):
+                failures.append(f"{name}: missing/non-numeric {key!r}")
+        args = e.get("args", {})
+        if "id" not in args or "parent" not in args:
+            failures.append(f"{name}: args without span id/parent")
+    for required in REQUIRED_SPANS:
+        if required not in seen:
+            failures.append(
+                f"required span missing: {required} (traced count too "
+                f"trivial? the smoke DB must be dense enough to reach the "
+                f"DLM sampling phase)")
+    if data.get("droppedEvents", 0) != 0:
+        failures.append(
+            f"trace dropped {data['droppedEvents']} events (buffer too "
+            f"small for the smoke workload)")
+    if failures:
+        print("trace schema check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"trace schema check OK ({len(events)} events, "
+          f"{len(seen)} distinct spans)")
+    return 0
+
+
+def check_count_json(path):
+    with open(path) as f:
+        data = json.load(f)
+    failures = []
+    for key in ("estimate", "exact", "converged", "strategy", "kind",
+                "verdict", "oracle_calls", "num_components", "components",
+                "profile"):
+        if key not in data:
+            failures.append(f"missing top-level key {key!r}")
+    components = data.get("components", [])
+    if not components:
+        failures.append("empty 'components' array")
+    for i, c in enumerate(components):
+        for key in ("estimate", "exact", "strategy", "shape_key", "verdict",
+                    "plan_cache_hit", "oracle_calls", "exec_ms"):
+            if key not in c:
+                failures.append(f"component {i}: missing {key!r}")
+    profile = data.get("profile", {})
+    phases = profile.get("phases", {})
+    for key in ("parse_ms", "compile_ms", "plan_ms", "execute_ms"):
+        if key not in phases:
+            failures.append(f"profile.phases: missing {key!r}")
+    for key in ("plan_cache_hits", "plan_cache_misses", "oracle_calls",
+                "lanes", "components"):
+        if key not in profile:
+            failures.append(f"profile: missing {key!r}")
+    if failures:
+        print("count --json schema check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"count --json schema check OK ({len(components)} components)")
+    return 0
+
+
+def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "stats":
+        return check_stats(sys.argv[2])
+    if len(sys.argv) == 3 and sys.argv[1] == "trace":
+        return check_trace(sys.argv[2])
+    if len(sys.argv) == 3 and sys.argv[1] == "count-json":
+        return check_count_json(sys.argv[2])
+    if len(sys.argv) == 3:
+        return check_baseline(sys.argv[1], sys.argv[2])
+    raise SystemExit(__doc__)
 
 
 if __name__ == "__main__":

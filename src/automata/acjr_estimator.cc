@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "hom/bag_solutions.h"
+#include "obs/trace.h"
 #include "util/math_util.h"
 #include "util/random.h"
 
@@ -512,6 +513,7 @@ StatusOr<AcjrResult> AcjrCountAnswers(const Query& q, const Database& db,
     return Status::InvalidArgument(
         "sketch_size must be positive");
   }
+  obs::Span span("acjr.estimate");
   AcjrEngine engine(q, db, ntd, opts);
   return engine.Run();
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "compile/gaifman.h"
+#include "obs/trace.h"
 
 namespace cqcount {
 
@@ -55,15 +56,19 @@ QueryComponent ExtractComponent(const Query& q, std::vector<int> vars) {
 
 CompiledQuery CompileQuery(const Query& q, const CompileOptions& opts) {
   CompiledQuery compiled;
-  NormalizedQuery normalized =
-      NormalizeQuery(q, opts.dedup_atoms, opts.prune_variables);
-  compiled.normalized = std::move(normalized.query);
-  compiled.guards = std::move(normalized.guards);
-  compiled.stats = normalized.stats;
+  {
+    obs::Span span("compile.normalize");
+    NormalizedQuery normalized =
+        NormalizeQuery(q, opts.dedup_atoms, opts.prune_variables);
+    compiled.normalized = std::move(normalized.query);
+    compiled.guards = std::move(normalized.guards);
+    compiled.stats = normalized.stats;
+  }
 
   const Query& nq = compiled.normalized;
   if (nq.num_vars() == 0) return compiled;  // Pure-guard query: no factors.
 
+  obs::Span span("compile.factor_components");
   std::vector<std::vector<int>> components;
   if (opts.factor_components) {
     components = GaifmanGraph(nq).Components();

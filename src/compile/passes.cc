@@ -4,6 +4,8 @@
 #include <set>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace cqcount {
 
 bool GuardHolds(const NullaryGuard& guard, const Database& db) {
@@ -17,22 +19,26 @@ NormalizedQuery NormalizeQuery(const Query& q, bool dedup_atoms,
 
   // Pass 1+2 over the atom list: drop duplicates, lift nullary guards.
   std::vector<const Atom*> kept;
-  std::set<std::pair<bool, std::pair<std::string, std::vector<int>>>> seen;
-  for (const Atom& atom : q.atoms()) {
-    if (dedup_atoms &&
-        !seen.insert({atom.negated, {atom.relation, atom.vars}}).second) {
-      ++out.stats.atoms_deduped;
-      continue;
+  {
+    obs::Span span("pass.dedup_and_guards");
+    std::set<std::pair<bool, std::pair<std::string, std::vector<int>>>> seen;
+    for (const Atom& atom : q.atoms()) {
+      if (dedup_atoms &&
+          !seen.insert({atom.negated, {atom.relation, atom.vars}}).second) {
+        ++out.stats.atoms_deduped;
+        continue;
+      }
+      if (atom.vars.empty()) {
+        out.guards.push_back({atom.relation, atom.negated});
+        ++out.stats.guards_extracted;
+        continue;
+      }
+      kept.push_back(&atom);
     }
-    if (atom.vars.empty()) {
-      out.guards.push_back({atom.relation, atom.negated});
-      ++out.stats.guards_extracted;
-      continue;
-    }
-    kept.push_back(&atom);
   }
 
   // Pass 3: an existential variable left with no occurrence is dropped.
+  obs::Span span("pass.prune_variables");
   std::vector<bool> used(q.num_vars(), false);
   for (const Atom* atom : kept) {
     for (int v : atom->vars) used[v] = true;

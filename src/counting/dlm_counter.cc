@@ -8,11 +8,47 @@
 #include <tuple>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/math_util.h"
 #include "util/random.h"
 
 namespace cqcount {
 namespace {
+
+// Registry mirrors of the estimator's per-result counters. Fed ONCE per
+// estimate (bulk adds in DlmCountEdges), never inside the probe loops:
+// the sampling hot path stays byte-identical to the uninstrumented code,
+// so determinism and the <2% overhead budget hold trivially.
+struct DlmMetrics {
+  obs::Counter& estimates = obs::MetricRegistry::Global().GetCounter(
+      "dlm.estimates", "DLM edge-count estimates computed");
+  obs::Counter& exact = obs::MetricRegistry::Global().GetCounter(
+      "dlm.exact_results", "Estimates resolved exactly within budget");
+  obs::Counter& runs = obs::MetricRegistry::Global().GetCounter(
+      "dlm.runs", "Outer-median adaptive sampling runs executed");
+  obs::Counter& rounds = obs::MetricRegistry::Global().GetCounter(
+      "dlm.rounds", "Adaptive refinement rounds, summed over runs");
+  obs::Counter& oracle_calls = obs::MetricRegistry::Global().GetCounter(
+      "dlm.oracle_calls", "Edge-free oracle probes across all phases");
+  obs::Counter& exact_waves = obs::MetricRegistry::Global().GetCounter(
+      "dlm.exact_waves", "Exact-phase enumeration waves executed");
+  obs::Counter& abandoned = obs::MetricRegistry::Global().GetCounter(
+      "dlm.abandoned_waves",
+      "Exact phases abandoned at a wave boundary (budget exceeded)");
+  obs::Histogram& calls_per_estimate =
+      obs::MetricRegistry::Global().GetHistogram(
+          "dlm.calls_per_estimate", "Oracle probes per estimate (log2 buckets)");
+
+  static DlmMetrics& Get() {
+    static DlmMetrics* metrics = new DlmMetrics();
+    return *metrics;
+  }
+};
+
+// Eager registration at load: every metric name appears in `stats` JSON
+// (schema validation) even on code paths that never touch it.
+[[maybe_unused]] const DlmMetrics& kDlmMetricsInit = DlmMetrics::Get();
 
 // A product of per-part index ranges [lo, hi).
 struct Box {
@@ -103,8 +139,11 @@ class Estimator {
     // dwarfed by the sampling phase it feeds).
     std::vector<Box> frontier;
     uint64_t singleton_edges = 0;
-    ExpandFrontier(full, opts_.max_frontier, /*budget_guarded=*/true,
-                   &frontier, &singleton_edges);
+    {
+      obs::Span frontier_span("dlm.frontier");
+      ExpandFrontier(full, opts_.max_frontier, /*budget_guarded=*/true,
+                     &frontier, &singleton_edges);
+    }
     if (frontier.empty()) {
       // Everything resolved into singletons after all: exact.
       return Finish(static_cast<double>(singleton_edges), true, true, 0);
@@ -135,7 +174,13 @@ class Estimator {
       uint64_t calls = 0;
     };
     std::vector<RunOutcome> outcomes(runs);
+    // Runs may execute on pool threads; parent their spans on the
+    // sampling phase explicitly (the implicit thread-local stack does not
+    // cross threads).
+    obs::Span sampling_span("dlm.sampling");
+    const obs::SpanRef sampling_ref = sampling_span.ref();
     auto execute_run = [&](int lane, size_t r) {
+      obs::Span run_span("dlm.run", sampling_ref);
       auto [estimate, rounds, converged, calls] =
           AdaptiveRun(frontier, singleton_edges, run_seeds[r], per_run_budget,
                       *lanes_[static_cast<size_t>(lane)],
@@ -154,6 +199,7 @@ class Estimator {
       // instead. Identical arithmetic either way — only the partition of
       // work onto threads differs.
       for (int r = 0; r < runs; ++r) {
+        obs::Span run_span("dlm.run", sampling_ref);
         auto [estimate, rounds, converged, calls] =
             AdaptiveRun(frontier, singleton_edges, run_seeds[r],
                         per_run_budget, *lanes_[0],
@@ -172,7 +218,9 @@ class Estimator {
       worst_rounds = std::max(worst_rounds, outcome.rounds);
       converged = converged && outcome.converged;
       run_calls += outcome.calls;
+      total_rounds_ += static_cast<uint64_t>(outcome.rounds);
     }
+    runs_executed_ = static_cast<uint64_t>(runs);
     StatusOr<DlmResult> result =
         Finish(Median(estimates), false, converged, run_calls);
     result->refinement_rounds = worst_rounds;
@@ -271,6 +319,7 @@ class Estimator {
   // bounded by one wave (~budget edges), matching the sequential
   // enumeration this replaces.
   bool ExactPhase(const Box& root, uint64_t* count) {
+    obs::Span phase_span("dlm.exact_phase");
     std::vector<Box> roots;
     uint64_t singletons = 0;
     ExpandFrontier(root, kExactPartition, /*budget_guarded=*/true, &roots,
@@ -322,6 +371,8 @@ class Estimator {
         if (!tasks[i].stack.empty()) live.push_back(i);
       }
       if (live.empty()) break;  // Every sub-box fully enumerated.
+      obs::Span wave_span("dlm.wave");
+      ++exact_waves_;
       if (lanes_.size() > 1 && live.size() > 1) {
         Executor::LaneStats stats = opts_.pool->ParallelForLanes(
             live.size(), static_cast<int>(lanes_.size()), run_task);
@@ -344,6 +395,7 @@ class Estimator {
         // edge-count and oracle-call (safety valve) caps stay
         // thread-count-independent.
         within_budget = false;
+        ++abandoned_waves_;
         break;
       }
     }
@@ -443,6 +495,8 @@ class Estimator {
     int samples_next_round = opts_.initial_samples_per_box;
     int rounds = 0;
     for (; rounds < opts_.max_refinement_rounds; ++rounds) {
+      // Implicitly parented on the dlm.run span (same thread).
+      obs::Span round_span("dlm.round");
       // Sample targets: everything in round 0, the worse half afterwards.
       // Unsampled strata (fresh splits) come first: an unsampled stratum
       // would otherwise contribute a spurious zero mean.
@@ -586,6 +640,15 @@ class Estimator {
   uint64_t seq_calls_ = 0;   // Sequential-phase probes (root oracle).
   uint64_t task_calls_ = 0;  // Exact-phase task probes (summed in order).
   ParallelStats parallel_;
+
+ public:
+  // Per-estimate accounting, read once by DlmCountEdges for the bulk
+  // registry adds. Plain members (not registry writes) so the estimator's
+  // deterministic phases stay untouched.
+  uint64_t exact_waves_ = 0;
+  uint64_t abandoned_waves_ = 0;
+  uint64_t runs_executed_ = 0;
+  uint64_t total_rounds_ = 0;
 };
 
 }  // namespace
@@ -601,7 +664,21 @@ StatusOr<DlmResult> DlmCountEdges(const std::vector<uint32_t>& part_sizes,
     return Status::InvalidArgument("epsilon and delta must lie in (0, 1)");
   }
   Estimator estimator(part_sizes, oracle, opts);
-  return estimator.Run();
+  StatusOr<DlmResult> result = estimator.Run();
+  if (result.ok()) {
+    // One bulk add per estimate: the probe loops above never touch the
+    // registry.
+    DlmMetrics& metrics = DlmMetrics::Get();
+    metrics.estimates.Increment();
+    if (result->exact) metrics.exact.Increment();
+    metrics.runs.Add(estimator.runs_executed_);
+    metrics.rounds.Add(estimator.total_rounds_);
+    metrics.oracle_calls.Add(result->oracle_calls);
+    metrics.exact_waves.Add(estimator.exact_waves_);
+    metrics.abandoned.Add(estimator.abandoned_waves_);
+    metrics.calls_per_estimate.Observe(result->oracle_calls);
+  }
+  return result;
 }
 
 }  // namespace cqcount

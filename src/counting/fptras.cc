@@ -6,10 +6,65 @@
 #include "counting/colour_coding.h"
 #include "counting/partite_hypergraph.h"
 #include "hom/hom_oracle.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/random.h"
 
 namespace cqcount {
+namespace {
+
+// One bulk add per FPTRAS invocation (the pipeline around the DLM
+// estimator); nothing here runs inside a sampling loop.
+struct FptrasMetrics {
+  obs::Counter& invocations = obs::MetricRegistry::Global().GetCounter(
+      "fptras.invocations", "ApproxCountAnswers pipeline executions");
+  // NOTE on determinism: hom_queries is a WORK counter, not a result.
+  // The colour-coding trial loop exits early across parallel lanes, so
+  // the number of hom-oracle queries actually issued depends on
+  // scheduling. Verdicts (and thus estimates and oracle_calls =
+  // hom + edgefree probes at the DLM layer) are scheduling-independent;
+  // only this tally of work performed may vary run to run.
+  obs::Counter& hom_queries = obs::MetricRegistry::Global().GetCounter(
+      "cc.hom_queries",
+      "Hom-oracle queries issued by colour-coding trials. Nondeterministic "
+      "work counter: parallel trial loops exit early, so the tally varies "
+      "with scheduling; trial verdicts never do");
+  obs::Counter& colouring_trials = obs::MetricRegistry::Global().GetCounter(
+      "cc.colouring_trials_per_call",
+      "Colouring trials budgeted per edge-free oracle call, summed over "
+      "invocations");
+  obs::Counter& prepared_decides = obs::MetricRegistry::Global().GetCounter(
+      "dp.prepared_decides",
+      "Trial decisions answered by the prepared (trial-reuse) DP split");
+  obs::Counter& cached_bag_rows = obs::MetricRegistry::Global().GetCounter(
+      "dp.cached_bag_rows",
+      "Bag-join cache rows shared across an invocation's oracle calls");
+  obs::Counter& monolithic = obs::MetricRegistry::Global().GetCounter(
+      "dp.monolithic_fallbacks",
+      "Invocations where the bag-join cache cap forced the per-call DP");
+
+  static FptrasMetrics& Get() {
+    static FptrasMetrics* metrics = new FptrasMetrics();
+    return *metrics;
+  }
+};
+
+// Eager registration at load: every metric name appears in `stats` JSON
+// (schema validation) even on code paths that never touch it.
+[[maybe_unused]] const FptrasMetrics& kFptrasMetricsInit = FptrasMetrics::Get();
+
+void RecordPipelineMetrics(const ApproxCountResult& result) {
+  FptrasMetrics& metrics = FptrasMetrics::Get();
+  metrics.invocations.Increment();
+  metrics.hom_queries.Add(result.hom_queries);
+  metrics.colouring_trials.Add(result.colouring_trials_per_call);
+  metrics.prepared_decides.Add(result.dp_prepared_decides);
+  metrics.cached_bag_rows.Add(result.dp_cached_bag_rows);
+  if (!result.dp_prepared_path) metrics.monolithic.Increment();
+}
+
+}  // namespace
 
 StatusOr<ApproxCountResult> ApproxCountAnswers(const Query& q,
                                                const Database& db,
@@ -31,11 +86,14 @@ StatusOr<ApproxCountResult> ApproxCountAnswers(const Query& q,
   // Decomposition of H(phi) (= H(A-hat) up to harmless singleton edges,
   // proof of Theorem 5).
   Hypergraph h = q.BuildHypergraph();
-  FWidthResult width =
-      opts.precomputed_decomposition
-          ? *opts.precomputed_decomposition
-          : ComputeDecomposition(h, opts.objective,
+  FWidthResult width;
+  if (opts.precomputed_decomposition) {
+    width = *opts.precomputed_decomposition;
+  } else {
+    obs::Span span("fptras.decompose");
+    width = ComputeDecomposition(h, opts.objective,
                                  opts.exact_decomposition_limit);
+  }
   CQLOG(kInfo) << "FPTRAS: decomposition width " << width.width << " over "
                << h.num_vertices() << " variables";
 
@@ -69,6 +127,7 @@ StatusOr<ApproxCountResult> ApproxCountAnswers(const Query& q,
     result.dp_prepared_decides = hom.dp_stats().prepared_decides;
     result.dp_cached_bag_rows = hom.dp_stats().cached_bag_rows;
     result.dp_prepared_path = hom.dp_stats().prepared_path;
+    RecordPipelineMetrics(result);
     return result;
   }
 
@@ -82,7 +141,10 @@ StatusOr<ApproxCountResult> ApproxCountAnswers(const Query& q,
   dlm.pool = opts.pool;
   dlm.intra_threads = opts.intra_threads;
   std::vector<uint32_t> part_sizes(q.num_free(), db.universe_size());
-  auto dlm_result = DlmCountEdges(part_sizes, oracle, dlm);
+  auto dlm_result = [&] {
+    obs::Span span("fptras.dlm");
+    return DlmCountEdges(part_sizes, oracle, dlm);
+  }();
   if (!dlm_result.ok()) return dlm_result.status();
 
   result.estimate = dlm_result->estimate;
@@ -97,6 +159,7 @@ StatusOr<ApproxCountResult> ApproxCountAnswers(const Query& q,
   result.dp_cached_bag_rows = hom.dp_stats().cached_bag_rows;
   result.dp_prepared_path = hom.dp_stats().prepared_path;
   result.parallel = dlm_result->parallel;
+  RecordPipelineMetrics(result);
   return result;
 }
 

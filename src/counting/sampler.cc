@@ -3,8 +3,29 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace cqcount {
 namespace {
+
+// One add per public sampler operation — never inside the JVV descent.
+struct SamplerMetrics {
+  obs::Counter& samples = obs::MetricRegistry::Global().GetCounter(
+      "sampler.samples", "Answer tuples drawn via the JVV descent");
+  obs::Counter& rejections = obs::MetricRegistry::Global().GetCounter(
+      "sampler.membership_checks",
+      "Amplified membership decisions (Member calls)");
+
+  static SamplerMetrics& Get() {
+    static SamplerMetrics* metrics = new SamplerMetrics();
+    return *metrics;
+  }
+};
+
+// Eager registration at load: every metric name appears in `stats` JSON
+// (schema validation) even on code paths that never touch it.
+[[maybe_unused]] const SamplerMetrics& kSamplerMetricsInit = SamplerMetrics::Get();
 
 // EdgeFree oracle restricted to a box: local part i indexes the global
 // range [lo_i, lo_i + size_i).
@@ -90,6 +111,8 @@ StatusOr<std::unique_ptr<AnswerSampler>> AnswerSampler::Create(
 }
 
 StatusOr<Tuple> AnswerSampler::SampleOne() {
+  obs::Span span("sampler.sample_one");
+  SamplerMetrics::Get().samples.Increment();
   const int l = query_.num_free();
   const uint32_t n = db_.universe_size();
   std::vector<std::pair<uint32_t, uint32_t>> box(l, {0u, n});
@@ -206,6 +229,8 @@ StatusOr<std::vector<Tuple>> AnswerSampler::Sample(int count) {
 }
 
 bool AnswerSampler::Member(const Tuple& answer, double delta) {
+  obs::Span span("sampler.member");
+  SamplerMetrics::Get().rejections.Increment();
   assert(static_cast<int>(answer.size()) == query_.num_free());
   const uint32_t n = db_.universe_size();
   VarDomains domains;

@@ -6,6 +6,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/parser.h"
 #include "relational/database_io.h"
 #include "util/timer.h"
@@ -17,6 +19,36 @@ bool AllCacheHits(const std::vector<bool>& hits) {
   return !hits.empty() &&
          std::all_of(hits.begin(), hits.end(), [](bool hit) { return hit; });
 }
+
+// Engine-level metrics, fed once per Count/Explain/batch item — far off
+// any sampling hot path, so the registry adds cost nothing measurable.
+struct EngineMetrics {
+  obs::Counter& counts = obs::MetricRegistry::Global().GetCounter(
+      "engine.counts", "Count() executions (including batch items)");
+  obs::Counter& count_errors = obs::MetricRegistry::Global().GetCounter(
+      "engine.count_errors", "Count() executions that returned an error");
+  obs::Counter& batch_items = obs::MetricRegistry::Global().GetCounter(
+      "engine.batch_items", "Requests executed through CountBatch()");
+  obs::Counter& guard_blocked = obs::MetricRegistry::Global().GetCounter(
+      "engine.guard_blocked",
+      "Counts short-circuited to zero by a false nullary guard");
+  obs::Counter& components = obs::MetricRegistry::Global().GetCounter(
+      "engine.components_executed",
+      "Gaifman components executed across all counts");
+  obs::Histogram& plan_us = obs::MetricRegistry::Global().GetHistogram(
+      "engine.plan_us", "Compile+plan wall time per count, microseconds");
+  obs::Histogram& exec_us = obs::MetricRegistry::Global().GetHistogram(
+      "engine.exec_us", "Execution wall time per count, microseconds");
+
+  static EngineMetrics& Get() {
+    static EngineMetrics* metrics = new EngineMetrics();
+    return *metrics;
+  }
+};
+
+// Eager registration at load: every metric name appears in `stats` JSON
+// (schema validation) even on code paths that never touch it.
+[[maybe_unused]] const EngineMetrics& kEngineMetricsInit = EngineMetrics::Get();
 
 }  // namespace
 
@@ -76,18 +108,14 @@ CountingEngine::RegisteredDatabase CountingEngine::FindDatabase(
 }
 
 std::shared_ptr<const QueryPlan> CountingEngine::GetOrBuildPlan(
-    const Query& q, const CanonicalShape& shape, const std::string& db_name,
-    uint64_t db_generation, const Database& db, bool* cache_hit) {
-  // Scope by database name and generation: the same shape may warrant
-  // different strategies on differently sized databases, and re-registered
-  // contents must never reuse plans costed against the old database.
-  const std::string key = db_name + "\x1f" + std::to_string(db_generation) +
-                          "\x1f" + shape.key;
+    const Query& q, const CanonicalShape& shape, const std::string& key,
+    const Database& db, bool* cache_hit) {
   if (auto cached = cache_.Lookup(key)) {
     *cache_hit = true;
     return cached;
   }
   *cache_hit = false;
+  obs::Span span("plan.build");
   auto plan = std::make_shared<const QueryPlan>(
       BuildQueryPlan(q, shape, db, opts_.plan));
   cache_.Insert(key, plan);
@@ -98,15 +126,29 @@ CountingEngine::PlannedQuery CountingEngine::CompileAndPlan(
     const Query& q, const std::string& db_name, uint64_t db_generation,
     const Database& db) {
   PlannedQuery planned;
-  planned.compiled = CompileQuery(q, opts_.compile);
+  {
+    obs::Span span("engine.compile");
+    WallTimer timer;
+    planned.compiled = CompileQuery(q, opts_.compile);
+    planned.compile_millis = timer.Millis();
+  }
+  obs::Span span("engine.plan");
+  WallTimer timer;
   planned.plans.reserve(planned.compiled.components.size());
   planned.cache_hits.reserve(planned.compiled.components.size());
+  planned.keys.reserve(planned.compiled.components.size());
   double dominant_cost = -1.0;
   for (size_t i = 0; i < planned.compiled.components.size(); ++i) {
     const QueryComponent& component = planned.compiled.components[i];
+    // Scope by database name and generation: the same shape may warrant
+    // different strategies on differently sized databases, and
+    // re-registered contents must never reuse plans costed against the
+    // old database.
+    planned.keys.push_back(db_name + "\x1f" + std::to_string(db_generation) +
+                           "\x1f" + component.shape.key);
     bool cache_hit = false;
     planned.plans.push_back(GetOrBuildPlan(component.query, component.shape,
-                                           db_name, db_generation, db,
+                                           planned.keys.back(), db,
                                            &cache_hit));
     planned.cache_hits.push_back(cache_hit);
     if (planned.plans.back()->cost_estimate > dominant_cost) {
@@ -114,6 +156,7 @@ CountingEngine::PlannedQuery CountingEngine::CompileAndPlan(
       planned.dominant = static_cast<int>(i);
     }
   }
+  planned.plan_millis = timer.Millis();
   return planned;
 }
 
@@ -159,6 +202,7 @@ std::vector<BudgetShare> CountingEngine::ComponentBudgets(
 StatusOr<EngineResult> CountingEngine::ExecutePlanned(
     const PlannedQuery& planned, const Database& db,
     const CountRequest& request) {
+  obs::Span exec_span("engine.execute");
   const CompiledQuery& compiled = planned.compiled;
   EngineResult result;
   result.kind = compiled.normalized.Kind();
@@ -213,6 +257,8 @@ StatusOr<EngineResult> CountingEngine::ExecutePlanned(
   for (size_t i = 0; i < k_total; ++i) {
     const QueryComponent& component = compiled.components[i];
     const QueryPlan& plan = *planned.plans[i];
+    obs::Span component_span("component.execute");
+    WallTimer component_timer;
     ComponentResult cr;
     cr.strategy = request.force_exact ? Strategy::kExact : plan.strategy;
     cr.width = plan.decomposition.width;
@@ -261,6 +307,7 @@ StatusOr<EngineResult> CountingEngine::ExecutePlanned(
       cr.dp_prepared_decides = outcome->dp_prepared_decides;
       cr.dp_cached_bag_rows = outcome->dp_cached_bag_rows;
       cr.dp_prepared_path = outcome->dp_prepared_path;
+      cr.colouring_trials_per_call = outcome->colouring_trials_per_call;
       cr.parallel = outcome->parallel;
       result.parallel.Merge(outcome->parallel);
       all_exact = all_exact && cr.exact;
@@ -270,7 +317,27 @@ StatusOr<EngineResult> CountingEngine::ExecutePlanned(
       // relative-error estimate preserves zero vs non-zero.
       product *= component.existential ? (cr.estimate > 0.0 ? 1.0 : 0.0)
                                        : cr.estimate;
+      cr.exec_millis = component_timer.Millis();
+      // Fold this execution into the shape's observed history (lives with
+      // the cached plan) — the cost/variance substrate future adaptive
+      // scheduling reads.
+      cache_.RecordObservation(planned.keys[i], cr.exec_millis,
+                               cr.oracle_calls, cr.estimate, cr.converged);
+      EngineMetrics::Get().components.Increment();
     }
+    obs::ComponentProfile cp;
+    cp.shape_key = cr.shape_key;
+    cp.strategy = StrategyName(cr.strategy);
+    cp.exec_millis = cr.exec_millis;
+    cp.plan_cache_hit = cr.plan_cache_hit;
+    cp.executed = cr.executed;
+    cp.oracle_calls = cr.oracle_calls;
+    cp.dp_prepared_decides = cr.dp_prepared_decides;
+    cp.colouring_trials_per_call = cr.colouring_trials_per_call;
+    cp.lanes = cr.parallel.lanes;
+    cp.tasks = cr.parallel.tasks;
+    cp.worker_tasks = cr.parallel.worker_tasks;
+    result.profile.components.push_back(std::move(cp));
     result.components.push_back(std::move(cr));
   }
 
@@ -278,25 +345,66 @@ StatusOr<EngineResult> CountingEngine::ExecutePlanned(
     result.estimate = 0.0;
     result.exact = true;
     result.converged = true;
+    EngineMetrics::Get().guard_blocked.Increment();
   } else {
     result.estimate = product;
     result.exact = all_exact;
     result.converged = all_converged;
   }
   result.exec_millis = timer.Millis();
+
+  obs::QueryProfile& profile = result.profile;
+  profile.compile_millis = planned.compile_millis;
+  profile.plan_millis = planned.plan_millis;
+  profile.execute_millis = result.exec_millis;
+  profile.guards_evaluated = result.guards_evaluated;
+  profile.oracle_calls = result.oracle_calls;
+  profile.lanes = result.parallel.lanes;
+  profile.tasks = result.parallel.tasks;
+  profile.worker_tasks = result.parallel.worker_tasks;
+  for (size_t i = 0; i < planned.cache_hits.size(); ++i) {
+    if (planned.cache_hits[i]) {
+      ++profile.plan_cache_hits;
+    } else {
+      ++profile.plan_cache_misses;
+    }
+  }
+  for (const ComponentResult& cr : result.components) {
+    profile.dp_prepared_decides += cr.dp_prepared_decides;
+  }
+
+  EngineMetrics& metrics = EngineMetrics::Get();
+  metrics.counts.Increment();
+  metrics.plan_us.Observe(static_cast<uint64_t>(
+      (planned.compile_millis + planned.plan_millis) * 1000.0));
+  metrics.exec_us.Observe(static_cast<uint64_t>(result.exec_millis * 1000.0));
   return result;
 }
 
 StatusOr<EngineResult> CountingEngine::Count(const CountRequest& request) {
+  obs::Span count_span("engine.count");
+  EngineMetrics& metrics = EngineMetrics::Get();
   RegisteredDatabase db = FindDatabase(request.database);
   if (db.db == nullptr) {
+    metrics.count_errors.Increment();
     return Status::NotFound("no database registered as '" + request.database +
                             "'");
   }
-  auto query = ParseQuery(request.query);
-  if (!query.ok()) return query.status();
+  WallTimer parse_timer;
+  auto query = [&] {
+    obs::Span span("engine.parse");
+    return ParseQuery(request.query);
+  }();
+  const double parse_millis = parse_timer.Millis();
+  if (!query.ok()) {
+    metrics.count_errors.Increment();
+    return query.status();
+  }
   Status compatible = query->CheckAgainstDatabase(*db.db);
-  if (!compatible.ok()) return compatible;
+  if (!compatible.ok()) {
+    metrics.count_errors.Increment();
+    return compatible;
+  }
 
   WallTimer plan_timer;
   PlannedQuery planned =
@@ -304,8 +412,12 @@ StatusOr<EngineResult> CountingEngine::Count(const CountRequest& request) {
   const double plan_millis = plan_timer.Millis();
 
   auto result = ExecutePlanned(planned, *db.db, request);
-  if (!result.ok()) return result;
+  if (!result.ok()) {
+    metrics.count_errors.Increment();
+    return result;
+  }
   result->plan_millis = plan_millis;
+  result->profile.parse_millis = parse_millis;
   return result;
 }
 
@@ -392,6 +504,7 @@ StatusOr<Explanation> CountingEngine::Explain(const std::string& query,
     ce.epsilon = share.epsilon;
     ce.delta = share.delta;
     ce.planned_lanes = IntraQueryLanes(plan.strategy, plan.cost_estimate);
+    ce.observed = cache_.Profile(planned.keys[i]);
 
     const Classification& cls = plan.classification;
     text << "component " << i << " (";
@@ -417,6 +530,13 @@ StatusOr<Explanation> CountingEngine::Explain(const std::string& query,
          << "  cost estimate: " << plan.cost_estimate
          << "  plan cache: " << (ce.plan_cache_hit ? "hit" : "miss")
          << "  intra-query lanes: " << ce.planned_lanes << "\n";
+    if (ce.observed.has_value()) {
+      const obs::ShapeProfile& sp = *ce.observed;
+      text << "  observed: runs " << sp.runs << "  mean " << sp.MeanExecMillis()
+           << " ms  [" << sp.min_exec_millis << ", " << sp.max_exec_millis
+           << "] ms  oracle calls " << sp.total_oracle_calls << "  converged "
+           << sp.converged_runs << "/" << sp.runs << "\n";
+    }
     out.components.push_back(std::move(ce));
   }
   out.text = text.str();
@@ -432,6 +552,7 @@ std::vector<StatusOr<EngineResult>> CountingEngine::CountBatch(
     if (request.seed == 0) {
       request.seed = DeriveSeed(opts_.seed, static_cast<uint64_t>(i));
     }
+    EngineMetrics::Get().batch_items.Increment();
     results[i] = Count(request);
   };
   // Exactly `num_threads` concurrent evaluations: the calling thread is

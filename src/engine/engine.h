@@ -24,15 +24,16 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "compile/compiled_query.h"
-#include "engine/executor.h"
 #include "engine/plan.h"
 #include "engine/plan_cache.h"
 #include "engine/strategy_executor.h"
+#include "obs/profile.h"
 #include "query/query.h"
 #include "relational/structure.h"
 #include "util/status.h"
@@ -126,6 +127,11 @@ struct ComponentResult {
   /// Intra-query parallelism this component ran with (lanes granted by
   /// the cost model, tasks spawned, tasks run by pool workers).
   ParallelStats parallel;
+  /// Colouring trials the EdgeFree simulation runs per oracle call
+  /// (fptras strategies; 0 otherwise).
+  uint64_t colouring_trials_per_call = 0;
+  /// Wall-clock execution time of this component alone.
+  double exec_millis = 0.0;
 };
 
 /// A count with execution provenance.
@@ -161,6 +167,10 @@ struct EngineResult {
   int variables_pruned = 0;
   /// Nullary guards evaluated (each a 0/1 factor of the product).
   int guards_evaluated = 0;
+  /// Telemetry: phase durations, cache outcomes, oracle work and lane
+  /// utilization of this execution (also folded into the plan cache's
+  /// per-shape ShapeProfile).
+  obs::QueryProfile profile;
 };
 
 /// Per-component planning provenance in Explain() output.
@@ -177,6 +187,9 @@ struct ComponentExplanation {
   /// Lanes the engine's cost model would grant this component (1 =
   /// inline; see EngineOptions::intra_query_threads).
   int planned_lanes = 1;
+  /// Observed execution history of this component's shape, when the plan
+  /// cache has recorded runs (Explain after Count on a warm cache).
+  std::optional<obs::ShapeProfile> observed;
 };
 
 /// Explain() output: the compiled plan, without execution.
@@ -261,20 +274,26 @@ class CountingEngine {
     CompiledQuery compiled;
     std::vector<std::shared_ptr<const QueryPlan>> plans;
     std::vector<bool> cache_hits;
+    /// Full plan-cache key per component (observation recording and
+    /// Explain's observed-profile lookups reuse it).
+    std::vector<std::string> keys;
     /// Index of the dominant (highest planned cost) component; -1 when
     /// there are no components.
     int dominant = -1;
+    /// Phase split of the compile-and-plan stage.
+    double compile_millis = 0.0;
+    double plan_millis = 0.0;
   };
 
   RegisteredDatabase FindDatabase(const std::string& name) const;
 
-  /// Plans one component query through the cache. The plan is keyed by
-  /// (database name, generation, component canonical shape), so any two
-  /// queries sharing a component shape share the cached sub-plan.
+  /// Plans one component query through the cache under the precomputed
+  /// `key` ((database name, generation, component canonical shape), so
+  /// any two queries sharing a component shape share the cached
+  /// sub-plan).
   std::shared_ptr<const QueryPlan> GetOrBuildPlan(const Query& q,
                                                   const CanonicalShape& shape,
-                                                  const std::string& db_name,
-                                                  uint64_t db_generation,
+                                                  const std::string& key,
                                                   const Database& db,
                                                   bool* cache_hit);
 

@@ -2,8 +2,37 @@
 
 #include <algorithm>
 #include <functional>
+#include <utility>
+
+#include "obs/metrics.h"
 
 namespace cqcount {
+namespace {
+
+// Registry mirrors of the per-shard counters (summed across every
+// PlanCache in the process). The per-shard fields stay authoritative for
+// CacheStats(); the metrics feed `stats` JSON and dashboards.
+struct PlanCacheMetrics {
+  obs::Counter& hits = obs::MetricRegistry::Global().GetCounter(
+      "plan_cache.hits", "Plan-cache lookups served from the cache");
+  obs::Counter& misses = obs::MetricRegistry::Global().GetCounter(
+      "plan_cache.misses", "Plan-cache lookups that required a plan build");
+  obs::Counter& insertions = obs::MetricRegistry::Global().GetCounter(
+      "plan_cache.insertions", "Plans inserted into the cache");
+  obs::Counter& evictions = obs::MetricRegistry::Global().GetCounter(
+      "plan_cache.evictions", "Plans (and their shape profiles) LRU-evicted");
+
+  static PlanCacheMetrics& Get() {
+    static PlanCacheMetrics* metrics = new PlanCacheMetrics();
+    return *metrics;
+  }
+};
+
+// Eager registration at load: every metric name appears in `stats` JSON
+// (schema validation) even on code paths that never touch it.
+[[maybe_unused]] const PlanCacheMetrics& kPlanCacheMetricsInit = PlanCacheMetrics::Get();
+
+}  // namespace
 
 PlanCache::PlanCache(size_t capacity, size_t num_shards) {
   num_shards = std::max<size_t>(1, num_shards);
@@ -25,11 +54,13 @@ std::shared_ptr<const QueryPlan> PlanCache::Lookup(const std::string& key) {
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
+    PlanCacheMetrics::Get().misses.Increment();
     return nullptr;
   }
   ++shard.hits;
+  PlanCacheMetrics::Get().hits.Increment();
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  return it->second->second;
+  return it->second->plan;
 }
 
 void PlanCache::Insert(const std::string& key,
@@ -38,18 +69,43 @@ void PlanCache::Insert(const std::string& key,
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
-    it->second->second = std::move(plan);
+    it->second->plan = std::move(plan);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
   if (shard.lru.size() >= per_shard_capacity_) {
-    shard.index.erase(shard.lru.back().first);
+    shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
     ++shard.evictions;
+    PlanCacheMetrics::Get().evictions.Increment();
   }
-  shard.lru.emplace_front(key, std::move(plan));
+  shard.lru.push_front(Entry{key, std::move(plan), {}});
   shard.index[key] = shard.lru.begin();
   ++shard.insertions;
+  PlanCacheMetrics::Get().insertions.Increment();
+}
+
+void PlanCache::RecordObservation(const std::string& key, double exec_millis,
+                                  uint64_t oracle_calls, double estimate,
+                                  bool converged) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return;  // Evicted since execution began.
+  it->second->profile.Observe(exec_millis, oracle_calls, estimate, converged);
+}
+
+std::optional<obs::ShapeProfile> PlanCache::Profile(
+    const std::string& key) const {
+  // Profile reads are provenance (Explain), not execution: bypass LRU
+  // touching. const_cast only for ShardFor's non-const signature.
+  Shard& shard = const_cast<PlanCache*>(this)->ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end() || it->second->profile.runs == 0) {
+    return std::nullopt;
+  }
+  return it->second->profile;
 }
 
 void PlanCache::Clear() {

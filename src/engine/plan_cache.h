@@ -12,11 +12,13 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "engine/plan.h"
+#include "obs/profile.h"
 
 namespace cqcount {
 
@@ -50,17 +52,35 @@ class PlanCache {
   /// Drops every entry (counters are kept).
   void Clear();
 
+  /// Folds one execution of `key`'s shape into its observed profile (the
+  /// cost/variance record the adaptive scheduler reads). No-op when the
+  /// plan is no longer cached: the profile lives and dies with the entry.
+  void RecordObservation(const std::string& key, double exec_millis,
+                         uint64_t oracle_calls, double estimate,
+                         bool converged);
+
+  /// The accumulated profile for `key`, when the plan is cached and has
+  /// at least one recorded execution. Does not touch LRU order.
+  std::optional<obs::ShapeProfile> Profile(const std::string& key) const;
+
   PlanCacheStats Stats() const;
 
   size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
   size_t num_shards() const { return shards_.size(); }
 
  private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const QueryPlan> plan;
+    /// Observed executions of this shape (evicted with the entry).
+    obs::ShapeProfile profile;
+  };
+
   struct Shard {
     mutable std::mutex mu;
     /// Front = most recently used.
-    std::list<std::pair<std::string, std::shared_ptr<const QueryPlan>>> lru;
-    std::unordered_map<std::string, decltype(lru)::iterator> index;
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t insertions = 0;

@@ -66,6 +66,7 @@ class FptrasExecutor : public StrategyExecutor {
     outcome.dp_prepared_decides = approx->dp_prepared_decides;
     outcome.dp_cached_bag_rows = approx->dp_cached_bag_rows;
     outcome.dp_prepared_path = approx->dp_prepared_path;
+    outcome.colouring_trials_per_call = approx->colouring_trials_per_call;
     outcome.parallel = approx->parallel;
     return outcome;
   }
@@ -130,6 +131,7 @@ class SamplerExecutor : public StrategyExecutor {
     outcome.exact = approx->exact;
     outcome.converged = approx->converged;
     outcome.oracle_calls = approx->hom_queries + approx->edgefree_calls;
+    outcome.colouring_trials_per_call = approx->colouring_trials_per_call;
     outcome.parallel = approx->parallel;
     return outcome;
   }

@@ -72,6 +72,9 @@ struct ExecOutcome : EstimateOutcome {
   uint64_t dp_cached_bag_rows = 0;
   /// False when the bag-join cache cap forced the monolithic per-call DP.
   bool dp_prepared_path = true;
+  /// Colouring trials the EdgeFree simulation runs per oracle call
+  /// (fptras strategies; 0 otherwise).
+  uint64_t colouring_trials_per_call = 0;
   /// Intra-query parallelism observability (lanes used, tasks spawned,
   /// tasks executed by pool workers).
   ParallelStats parallel;

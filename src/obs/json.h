@@ -1,0 +1,62 @@
+// Minimal streaming JSON writer for the telemetry exports (metrics
+// snapshots, Chrome traces, per-query profiles, `--json` CLI output).
+//
+// Comma placement is handled by the writer; callers just alternate
+// Key()/value calls inside objects and value calls inside arrays. Not a
+// parser and not validating — the emitting code is trusted to balance
+// Begin/End calls (asserted in debug builds).
+#ifndef CQCOUNT_OBS_JSON_H_
+#define CQCOUNT_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cqcount {
+namespace obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  /// Emits `"name":` — must be followed by exactly one value call.
+  JsonWriter& Key(const std::string& name);
+
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  /// Shortest round-trip formatting; NaN/inf degrade to null.
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+  /// Embeds `json` verbatim as one value (must itself be valid JSON —
+  /// used to compose pre-rendered sub-documents like profile JSON).
+  JsonWriter& RawValue(const std::string& json);
+
+  /// The finished document (writer is left in a moved-from state).
+  std::string Take() { return std::move(out_); }
+  const std::string& str() const { return out_; }
+
+ private:
+  JsonWriter& Open(char c);
+  JsonWriter& Close(char c);
+  /// Emits the separating comma when a value follows a sibling value.
+  void BeforeValue();
+  void Raw(const std::string& s);
+
+  std::string out_;
+  /// true = a value was already written at this nesting level.
+  std::vector<bool> has_sibling_{false};
+  bool after_key_ = false;
+};
+
+/// Escapes `s` for embedding in a JSON string literal (no quotes added).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace obs
+}  // namespace cqcount
+
+#endif  // CQCOUNT_OBS_JSON_H_

@@ -1,0 +1,170 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace cqcount {
+namespace obs {
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The calling thread's innermost live span id (implicit parenting).
+thread_local uint64_t t_current_span = 0;
+
+}  // namespace
+
+TraceSink& TraceSink::Global() {
+  static TraceSink* sink = new TraceSink();
+  return *sink;
+}
+
+TraceSink::ThreadBuffer& TraceSink::LocalBuffer() {
+  // One buffer per (thread, sink lifetime); the shared_ptr registered in
+  // buffers_ keeps events exportable after the thread exits.
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto b = std::make_shared<ThreadBuffer>();
+    b->capacity = thread_capacity_.load(std::memory_order_relaxed);
+    b->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    b->events.reserve(std::min<size_t>(b->capacity, 1024));
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers_.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+void TraceSink::Enable() {
+  Clear();
+  dropped_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceSink::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void TraceSink::Record(const TraceEvent& event) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.events.size() >= buffer.capacity) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent stamped = event;
+  stamped.tid = buffer.tid;
+  buffer.events.push_back(stamped);
+}
+
+size_t TraceSink::event_count() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers = buffers_;
+  }
+  size_t total = 0;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+void TraceSink::Clear() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+void TraceSink::WriteChromeTrace(std::ostream& out) const {
+  out << ExportChromeTraceJson();
+}
+
+std::string TraceSink::ExportChromeTraceJson() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers = buffers_;
+  }
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("traceEvents");
+  json.BeginArray();
+  for (const auto& buffer : buffers) {
+    std::vector<TraceEvent> events;
+    {
+      std::lock_guard<std::mutex> lock(buffer->mu);
+      events = buffer->events;
+    }
+    for (const TraceEvent& event : events) {
+      json.BeginObject();
+      json.Key("name").String(event.name);
+      json.Key("cat").String("cqcount");
+      json.Key("ph").String("X");
+      // Chrome wants microseconds; fractional us keep ns precision.
+      json.Key("ts").Double(static_cast<double>(event.start_ns) / 1e3);
+      json.Key("dur").Double(static_cast<double>(event.duration_ns) / 1e3);
+      json.Key("pid").Int(1);
+      json.Key("tid").Int(event.tid);
+      json.Key("args");
+      json.BeginObject();
+      json.Key("id").Uint(event.id);
+      json.Key("parent").Uint(event.parent);
+      json.EndObject();
+      json.EndObject();
+    }
+  }
+  json.EndArray();
+  json.Key("displayTimeUnit").String("ms");
+  json.Key("droppedEvents").Uint(dropped());
+  json.EndObject();
+  return json.Take();
+}
+
+void Span::Start(const char* name, uint64_t parent, bool use_thread_stack) {
+  TraceSink& sink = TraceSink::Global();
+  // The disabled path: one relaxed load + branch, nothing else.
+  if (!sink.enabled()) return;
+  name_ = name;
+  id_ = sink.NextSpanId();
+  prev_current_ = t_current_span;
+  parent_ = use_thread_stack ? t_current_span : parent;
+  // The span becomes the thread's current span either way, so further
+  // implicit children nest under it.
+  on_thread_stack_ = true;
+  t_current_span = id_;
+  start_ns_ = NowNanos();
+}
+
+Span::Span(const char* name) { Start(name, 0, /*use_thread_stack=*/true); }
+
+Span::Span(const char* name, SpanRef parent) {
+  Start(name, parent.id, /*use_thread_stack=*/false);
+}
+
+Span::~Span() {
+  if (id_ == 0) return;  // Tracing was disabled at construction.
+  TraceEvent event;
+  event.name = name_;
+  event.start_ns = start_ns_;
+  event.duration_ns = NowNanos() - start_ns_;
+  event.id = id_;
+  event.parent = parent_;
+  if (on_thread_stack_) t_current_span = prev_current_;
+  TraceSink::Global().Record(event);
+}
+
+}  // namespace obs
+}  // namespace cqcount

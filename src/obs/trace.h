@@ -1,0 +1,149 @@
+// Span tracing (the "T" of the telemetry layer).
+//
+// A Span is an RAII timer: construction stamps a steady-clock start,
+// destruction stamps the duration and appends one complete event to the
+// calling thread's bounded buffer in the global TraceSink. The sink
+// exports Chrome trace_event JSON ("ph":"X" complete events), openable in
+// chrome://tracing or Perfetto, so a traced count renders as a flame
+// graph: compile passes, per-component plan/execute, DLM runs/rounds,
+// exact-phase waves and per-lane task execution.
+//
+// Parenting: spans nest implicitly through a thread-local current-span
+// stack, and EXPLICITLY across threads through SpanRef — code that fans
+// work onto executor lanes captures `span.ref()` before the fan-out and
+// passes it to the Span constructed inside the lane task, so the exported
+// tree stays connected even though the child event lands in another
+// thread's buffer (parent/span ids ride in the event "args").
+//
+// Cost contract: tracing is DISABLED by default. A Span on the disabled
+// path is one relaxed atomic load and a branch — no clock read, no
+// allocation, no id — which keeps the instrumented hot paths within the
+// <2% overhead budget. Telemetry never touches RNG state or merge order:
+// estimates are bit-identical with tracing on, off, or toggled, at any
+// thread count (property-tested in telemetry_determinism_test).
+#ifndef CQCOUNT_OBS_TRACE_H_
+#define CQCOUNT_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cqcount {
+namespace obs {
+
+/// A handle to a (possibly finished) span, for explicit cross-thread
+/// parenting. id 0 = "no parent" (also what disabled spans hand out).
+struct SpanRef {
+  uint64_t id = 0;
+};
+
+/// One finished span. `name` must point at storage outliving the sink
+/// (string literals in practice).
+struct TraceEvent {
+  const char* name = "";
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  uint32_t tid = 0;
+  uint64_t id = 0;
+  uint64_t parent = 0;
+};
+
+/// Process-wide collector of trace events, one bounded buffer per thread.
+class TraceSink {
+ public:
+  static TraceSink& Global();
+
+  /// Starts a fresh tracing session: clears all buffers, then enables
+  /// span recording.
+  void Enable();
+  /// Stops recording (already-buffered events are kept for export).
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends one event to the calling thread's buffer; drops (and counts)
+  /// when the buffer is at capacity.
+  void Record(const TraceEvent& event);
+
+  /// Events dropped because a thread buffer was full.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Total buffered events across threads (snapshot; safe during writes).
+  size_t event_count() const;
+
+  /// Per-thread buffer capacity (events). Applies to buffers created after
+  /// the call; pre-existing buffers keep their capacity. Default 1 << 16.
+  void set_thread_capacity(size_t capacity) {
+    thread_capacity_.store(capacity, std::memory_order_relaxed);
+  }
+
+  /// Writes the buffered events as Chrome trace_event JSON
+  /// ({"traceEvents": [...]}, "ph":"X", timestamps in microseconds).
+  /// Safe to call while spans are still being recorded (a consistent
+  /// prefix of each thread's buffer is exported).
+  void WriteChromeTrace(std::ostream& out) const;
+  std::string ExportChromeTraceJson() const;
+
+  /// Drops all buffered events (does not change enabled state).
+  void Clear();
+
+ private:
+  friend class Span;
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<TraceEvent> events;
+    size_t capacity = 0;
+    uint32_t tid = 0;
+  };
+
+  TraceSink() = default;
+  ThreadBuffer& LocalBuffer();
+  uint64_t NextSpanId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_id_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<size_t> thread_capacity_{1 << 16};
+  std::atomic<uint32_t> next_tid_{0};
+  mutable std::mutex registry_mu_;
+  /// shared_ptr keeps buffers exportable after their thread exits.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span. Implicitly parented under the calling thread's innermost
+/// live span; pass a SpanRef to parent across threads instead.
+class Span {
+ public:
+  explicit Span(const char* name);
+  Span(const char* name, SpanRef parent);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Handle for parenting child spans (possibly on other threads).
+  /// {0} when tracing was disabled at construction.
+  SpanRef ref() const { return SpanRef{id_}; }
+
+ private:
+  void Start(const char* name, uint64_t parent, bool use_thread_stack);
+
+  const char* name_ = "";
+  uint64_t start_ns_ = 0;
+  uint64_t id_ = 0;  // 0 = disabled (destructor is a no-op).
+  uint64_t parent_ = 0;
+  /// The thread's current span at construction, restored on destruction
+  /// (distinct from parent_ when the parent was explicit/cross-thread).
+  uint64_t prev_current_ = 0;
+  bool on_thread_stack_ = false;
+};
+
+}  // namespace obs
+}  // namespace cqcount
+
+#endif  // CQCOUNT_OBS_TRACE_H_

@@ -2,11 +2,19 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace cqcount {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+// The writer is swapped rarely (process setup, per-test capture) but read
+// on every emitted statement; a mutex keeps swap-during-log safe and
+// serialises writers that are not internally synchronised.
+std::mutex g_writer_mu;
+LogWriter g_writer;  // Empty = stderr default.
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -27,6 +35,13 @@ const char* LevelName(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
 
+LogWriter SetLogWriter(LogWriter writer) {
+  std::lock_guard<std::mutex> lock(g_writer_mu);
+  LogWriter previous = std::move(g_writer);
+  g_writer = std::move(writer);
+  return previous;
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -41,8 +56,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  if (!enabled_) return;
+  const std::string line = stream_.str();
+  std::lock_guard<std::mutex> lock(g_writer_mu);
+  if (g_writer) {
+    g_writer(level_, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
   }
 }
 

@@ -1,10 +1,17 @@
-// Minimal leveled logging to stderr.
+// Minimal leveled logging with a pluggable writer.
 //
 // Usage: CQLOG(kInfo) << "built decomposition of width " << w;
 // The default threshold is kWarning; benchmarks and examples raise it.
+//
+// Statements route through one process-wide LogWriter (stderr by
+// default). Embedders — the future counting server capturing logs per
+// request, tests asserting on log output — swap the writer with
+// SetLogWriter; formatting (level tag, file:line prefix) happens before
+// the writer sees the line, so writers only deal in finished strings.
 #ifndef CQCOUNT_UTIL_LOGGING_H_
 #define CQCOUNT_UTIL_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -16,6 +23,17 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 /// Returns the global minimum emitted level.
 LogLevel GetLogLevel();
+
+/// Receives one formatted log line (no trailing newline). Must be safe to
+/// call from any thread: the logging layer serialises calls under an
+/// internal mutex, but the writer itself may outlive any scope it
+/// captures, so capture by value.
+using LogWriter = std::function<void(LogLevel, const std::string& line)>;
+
+/// Replaces the process-wide writer (nullptr restores the stderr
+/// default). Returns the previous writer so scoped capture can restore
+/// it.
+LogWriter SetLogWriter(LogWriter writer);
 
 namespace internal {
 

@@ -1,4 +1,4 @@
-#include "engine/executor.h"
+#include "util/executor.h"
 
 #include <gtest/gtest.h>
 
