@@ -55,9 +55,12 @@ int Usage() {
       stderr,
       "usage:\n"
       "  cli count    <query> <db-file> [epsilon] [delta] "
-      "[--intra-threads N] [--json] [--trace FILE] [--metrics]\n"
+      "[--intra-threads N] [--timeout-ms N] [--max-oracle-calls N] "
+      "[--json] [--trace FILE] [--metrics]\n"
       "                                                     engine count "
-      "(auto strategy)\n"
+      "(auto strategy; on timeout, an\n"
+      "                                                     anytime partial "
+      "estimate with hard bounds)\n"
       "  cli exact    <query> <db-file>                     engine exact "
       "count\n"
       "  cli explain  <query> <db-file> [--json]            plan + Figure 1 "
@@ -144,6 +147,10 @@ std::string CountResultJson(const EngineResult& r) {
   json.Key("estimate").Double(r.estimate);
   json.Key("exact").Bool(r.exact);
   json.Key("converged").Bool(r.converged);
+  json.Key("partial").Bool(r.partial);
+  json.Key("lower_bound").Double(r.lower_bound);
+  json.Key("upper_bound").Double(r.upper_bound);
+  json.Key("partial_reason").String(r.partial_reason);
   json.Key("strategy").String(StrategyName(r.strategy));
   json.Key("kind").String(KindName(r.kind));
   json.Key("width").Double(r.width);
@@ -161,6 +168,11 @@ std::string CountResultJson(const EngineResult& r) {
     json.Key("estimate").Double(c.estimate);
     json.Key("exact").Bool(c.exact);
     json.Key("converged").Bool(c.converged);
+    json.Key("partial").Bool(c.partial);
+    json.Key("lower_bound").Double(c.lower_bound);
+    json.Key("upper_bound").Double(c.upper_bound);
+    json.Key("completed_runs").Int(c.completed_runs);
+    json.Key("total_runs").Int(c.total_runs);
     json.Key("executed").Bool(c.executed);
     json.Key("strategy").String(StrategyName(c.strategy));
     json.Key("verdict").String(c.verdict);
@@ -287,6 +299,8 @@ int main(int argc, char** argv) {
     double epsilon = 0.0;
     double delta = 0.0;
     int intra_threads = -1;
+    unsigned long long timeout_ms = 0;
+    unsigned long long max_oracle_calls = 0;
     bool as_json = false;
     bool dump_metrics = false;
     std::string trace_path;
@@ -300,6 +314,18 @@ int main(int argc, char** argv) {
             return 2;
           }
           intra_threads = std::atoi(argv[++i]);
+        } else if (arg == "--timeout-ms") {
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for --timeout-ms\n");
+            return 2;
+          }
+          timeout_ms = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--max-oracle-calls") {
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for --max-oracle-calls\n");
+            return 2;
+          }
+          max_oracle_calls = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--trace") {
           if (i + 1 >= argc) {
             std::fprintf(stderr, "missing value for --trace\n");
@@ -344,8 +370,13 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
-    auto result = command == "exact" ? engine.CountExact(argv[2], "db")
-                                     : engine.Count(argv[2], "db");
+    CountRequest count_request;
+    count_request.query = argv[2];
+    count_request.database = "db";
+    count_request.force_exact = command == "exact";
+    count_request.time_budget_ms = timeout_ms;
+    count_request.max_oracle_calls = max_oracle_calls;
+    auto result = engine.Count(count_request);
     if (!result.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    result.status().ToString().c_str());
@@ -373,7 +404,14 @@ int main(int argc, char** argv) {
       if (dump_metrics) DumpMetrics();
       return 0;
     }
-    std::printf("%.2f%s\n", result->estimate, result->exact ? " (exact)" : "");
+    std::printf("%.2f%s%s\n", result->estimate,
+                result->exact ? " (exact)" : "",
+                result->partial ? " (partial)" : "");
+    if (result->partial) {
+      std::printf("# partial: reason=%s bounds=[%.2f, %.2f]\n",
+                  result->partial_reason.c_str(), result->lower_bound,
+                  result->upper_bound);
+    }
     unsigned long long dp_decides = 0;
     bool dp_prepared = true;
     for (const ComponentResult& comp : result->components) {

@@ -193,16 +193,32 @@ def check_count_json(path):
     with open(path) as f:
         data = json.load(f)
     failures = []
-    for key in ("estimate", "exact", "converged", "strategy", "kind",
+    for key in ("estimate", "exact", "converged", "partial", "lower_bound",
+                "upper_bound", "partial_reason", "strategy", "kind",
                 "verdict", "oracle_calls", "num_components", "components",
                 "profile"):
         if key not in data:
             failures.append(f"missing top-level key {key!r}")
+    # The anytime contract: non-partial results have a degenerate interval
+    # [estimate, estimate]; partial results need a non-empty reason and an
+    # interval actually containing the estimate.
+    if data.get("partial"):
+        if not data.get("partial_reason"):
+            failures.append("partial result without a partial_reason")
+        lo, hi = data.get("lower_bound"), data.get("upper_bound")
+        est = data.get("estimate")
+        if not (isinstance(lo, (int, float)) and isinstance(hi, (int, float))
+                and lo <= est <= hi):
+            failures.append(
+                f"partial bounds [{lo}, {hi}] do not contain the estimate "
+                f"{est}")
     components = data.get("components", [])
     if not components:
         failures.append("empty 'components' array")
     for i, c in enumerate(components):
         for key in ("estimate", "exact", "strategy", "shape_key", "verdict",
+                    "partial", "lower_bound", "upper_bound",
+                    "completed_runs", "total_runs",
                     "plan_cache_hit", "oracle_calls", "exec_ms"):
             if key not in c:
                 failures.append(f"component {i}: missing {key!r}")

@@ -69,6 +69,12 @@ class AcjrEngine {
     // per-union error budget.
     uint64_t union_states = 0;
     for (int t = 0; t < num_nodes; ++t) {
+      // Node-boundary checkpoint: bag-solution joins dominate memory and
+      // time on wide bags, so the governor gets a say between nodes.
+      if (opts_.governor != nullptr &&
+          opts_.governor->Check() != GovernanceState::kRunning) {
+        return opts_.governor->ToStatus("ACJR bag-solution pass");
+      }
       const auto& node = ntd_.node(t);
       sols_[t] = ComputeBagSolutions(query_, db_, node.bag, nullptr);
       for (size_t p = 0; p < node.bag.size(); ++p) {
@@ -97,6 +103,13 @@ class AcjrEngine {
     // state loops fan across lanes with index-order-independent writes
     // (each cell owns its estimates_/sketches_ slot).
     for (int t = num_nodes - 1; t >= 0; --t) {
+      // Node-boundary checkpoint (deterministic unit = one node's state
+      // loop); the sketch DP has no salvageable partial answer, so an
+      // interruption surfaces the typed cause.
+      if (opts_.governor != nullptr &&
+          opts_.governor->Check() != GovernanceState::kRunning) {
+        return opts_.governor->ToStatus("ACJR estimation");
+      }
       ProcessNode(t);
     }
     for (const LaneScratch& scratch : scratch_) {
@@ -112,10 +125,12 @@ class AcjrEngine {
     if (sols_[0].empty()) {
       result_.estimate = 0.0;
       result_.exact = true;
+      result_.lower_bound = result_.upper_bound = result_.estimate;
       return result_;
     }
     result_.estimate = estimates_[0].empty() ? 0.0 : estimates_[0][0];
     if (result_.estimate == 0.0) result_.exact = true;
+    result_.lower_bound = result_.upper_bound = result_.estimate;
     return result_;
   }
 

@@ -28,6 +28,7 @@
 #include "decomposition/nice_decomposition.h"
 #include "query/query.h"
 #include "relational/structure.h"
+#include "util/cancel.h"
 #include "util/estimate_outcome.h"
 #include "util/executor.h"
 #include "util/status.h"
@@ -55,6 +56,11 @@ struct AcjrOptions {
   /// inline) and the lane count the state loops partition across.
   Executor* pool = nullptr;
   int intra_threads = 1;
+  /// Cooperative governance (not owned; null = ungoverned). Polled at node
+  /// boundaries of the bottom-up pass; the sketch DP has no salvageable
+  /// intermediate answer, so an interruption yields the typed
+  /// CANCELLED/DEADLINE_EXCEEDED status (never a partial estimate).
+  const ResourceGovernor* governor = nullptr;
 };
 
 /// Estimation result (estimate/exact/converged from EstimateOutcome; exact

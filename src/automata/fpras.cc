@@ -65,6 +65,9 @@ StatusOr<FprasResult> FprasCountCq(const Query& q, const Database& db,
   result.estimate = estimate->estimate;
   result.exact = estimate->exact;
   result.converged = estimate->converged;
+  result.partial = estimate->partial;
+  result.lower_bound = estimate->lower_bound;
+  result.upper_bound = estimate->upper_bound;
   result.membership_tests = estimate->membership_tests;
   result.parallel = estimate->parallel;
   AcjrMetrics& metrics = AcjrMetrics::Get();

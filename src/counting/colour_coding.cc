@@ -190,6 +190,13 @@ bool ColourCodingEdgeFreeOracle::IsEdgeFree(const PartiteSubset& parts) {
                        hom_ctx_ != nullptr;
   if (!fan_out) {
     for (uint64_t trial = 0; trial < trials_per_call_; ++trial) {
+      // Trial-batch checkpoint: a fired governor truncates the loop (the
+      // enclosing governed work unit is discarded wholesale, so the
+      // truncated verdict never feeds a reported estimate).
+      if ((trial & 63u) == 0u && opts_.governor != nullptr &&
+          opts_.governor->Check() != GovernanceState::kRunning) {
+        break;
+      }
       Rng trial_rng(DeriveSeed(call_seed, trial));
       const std::vector<DomainRestriction>& extra =
           overlay.Draw(trial_rng, universe_);
@@ -207,6 +214,9 @@ bool ColourCodingEdgeFreeOracle::IsEdgeFree(const PartiteSubset& parts) {
       static_cast<size_t>(trials_per_call_), opts_.lanes,
       [&](int lane, size_t trial) {
         if (witness.load(std::memory_order_relaxed)) return;
+        // Latched-state read only (no clock probe on worker lanes): once
+        // the governor fires, remaining trials become no-ops.
+        if (opts_.governor != nullptr && opts_.governor->fired()) return;
         Rng trial_rng(DeriveSeed(call_seed, trial));
         TrialOverlay& lane_overlay = *overlays_[static_cast<size_t>(lane)];
         const std::vector<DomainRestriction>& extra =

@@ -37,6 +37,7 @@
 #include "counting/partite_hypergraph.h"
 #include "hom/hom_oracle.h"
 #include "query/query.h"
+#include "util/cancel.h"
 #include "util/executor.h"
 #include "util/random.h"
 
@@ -59,6 +60,12 @@ struct ColourCodingOptions {
   Executor* pool = nullptr;
   /// Lanes the trial loop may be partitioned across (<= 1 = inline).
   int lanes = 1;
+  /// Cooperative governance (not owned; null = ungoverned). A fired
+  /// governor makes the trial loop stop early and answer "edge-free";
+  /// that answer is only ever consumed by an enclosing governed estimator,
+  /// which re-checks the sticky latch and discards the whole work unit, so
+  /// a truncated verdict never reaches a reported estimate.
+  const ResourceGovernor* governor = nullptr;
 };
 
 /// EdgeFree oracle implemented by colour-coded Hom queries (Lemma 22).

@@ -10,6 +10,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/failpoint.h"
 #include "util/math_util.h"
 #include "util/random.h"
 
@@ -97,6 +98,23 @@ PartiteSubset ToSubset(const Box& box,
 // count; lanes merely claim sub-boxes dynamically.
 constexpr int kExactPartition = 16;
 
+// Bounds on the median of `total` (odd) values when only the first k of
+// them are known (`known_sorted`, ascending) and every missing value is
+// guaranteed to lie in [0, cap]: the median is smallest when all unknowns
+// sink to 0 and largest when they all rise to cap. These are HARD bounds
+// (not confidence bounds): an interrupted estimate's interval provably
+// contains what the uninterrupted median over all `total` runs would
+// have been for the same seed.
+std::pair<double, double> MedianOrderBounds(
+    const std::vector<double>& known_sorted, int total, double cap) {
+  const int k = static_cast<int>(known_sorted.size());
+  const int unknown = total - k;
+  const int mid = (total - 1) / 2;
+  const double lower = mid >= unknown ? known_sorted[mid - unknown] : 0.0;
+  const double upper = mid < k ? known_sorted[mid] : cap;
+  return {lower, upper};
+}
+
 class Estimator {
  public:
   Estimator(const std::vector<uint32_t>& part_sizes, EdgeFreeOracle& oracle,
@@ -121,6 +139,9 @@ class Estimator {
       if (size == 0) return Finish(0.0, /*exact=*/true, /*converged=*/true, 0);
       full.ranges.push_back({0, size});
     }
+    if (Checkpoint() != GovernanceState::kRunning) {
+      return GovStatus("DLM estimate");
+    }
     if (IsEdgeFreeSeq(full)) {
       return Finish(0.0, true, true, 0);
     }
@@ -133,6 +154,9 @@ class Estimator {
     if (ExactPhase(full, &exact_count)) {
       return Finish(static_cast<double>(exact_count), true, true, 0);
     }
+    // Interruption before any sampling run: there is no completed work to
+    // assemble an anytime answer from, so surface the typed cause.
+    if (GovFired()) return GovStatus("DLM exact phase");
 
     // Phase 2: breadth-first expansion into a frontier of non-empty boxes
     // (sequential: a priority-driven loop of ~2 * max_frontier probes,
@@ -144,6 +168,7 @@ class Estimator {
       ExpandFrontier(full, opts_.max_frontier, /*budget_guarded=*/true,
                      &frontier, &singleton_edges);
     }
+    if (GovFired()) return GovStatus("DLM frontier expansion");
     if (frontier.empty()) {
       // Everything resolved into singletons after all: exact.
       return Finish(static_cast<double>(singleton_edges), true, true, 0);
@@ -165,14 +190,16 @@ class Estimator {
     const uint64_t spent = seq_calls_ + task_calls_;
     const uint64_t remaining =
         opts_.max_oracle_calls > spent ? opts_.max_oracle_calls - spent : 0;
+    if (remaining == 0) {
+      // The request-level call cap was consumed by the exact/frontier
+      // phases: every run would return garbage. Typed so callers can
+      // distinguish "budget too small" from real failures.
+      return Status::ResourceExhausted(
+          "oracle-call budget exhausted before the sampling phase; raise "
+          "max_oracle_calls");
+    }
     const uint64_t per_run_budget = remaining / static_cast<uint64_t>(runs);
 
-    struct RunOutcome {
-      double estimate = 0.0;
-      int rounds = 0;
-      bool converged = false;
-      uint64_t calls = 0;
-    };
     std::vector<RunOutcome> outcomes(runs);
     // Runs may execute on pool threads; parent their spans on the
     // sampling phase explicitly (the implicit thread-local stack does not
@@ -181,11 +208,13 @@ class Estimator {
     const obs::SpanRef sampling_ref = sampling_span.ref();
     auto execute_run = [&](int lane, size_t r) {
       obs::Span run_span("dlm.run", sampling_ref);
-      auto [estimate, rounds, converged, calls] =
+      outcomes[r] =
           AdaptiveRun(frontier, singleton_edges, run_seeds[r], per_run_budget,
                       *lanes_[static_cast<size_t>(lane)],
                       /*sample_fanout=*/false);
-      outcomes[r] = {estimate, rounds, converged, calls};
+      // Deterministic cut-point injection for governance tests: fires
+      // after run r finishes (before the next run's first checkpoint).
+      failpoint::ShouldFail("dlm.run_boundary");
     };
     if (lanes_.size() > 1 && runs > 1) {
       // Whole runs fan across lanes (each run sequential on its lane).
@@ -200,14 +229,17 @@ class Estimator {
       // work onto threads differs.
       for (int r = 0; r < runs; ++r) {
         obs::Span run_span("dlm.run", sampling_ref);
-        auto [estimate, rounds, converged, calls] =
+        outcomes[r] =
             AdaptiveRun(frontier, singleton_edges, run_seeds[r],
                         per_run_budget, *lanes_[0],
                         /*sample_fanout=*/lanes_.size() > 1);
-        outcomes[r] = {estimate, rounds, converged, calls};
+        failpoint::ShouldFail("dlm.run_boundary");
       }
     }
 
+    if (GovFired()) {
+      return PartialFromRuns(outcomes, runs);
+    }
     std::vector<double> estimates;
     estimates.reserve(runs);
     int worst_rounds = 0;
@@ -224,18 +256,105 @@ class Estimator {
     StatusOr<DlmResult> result =
         Finish(Median(estimates), false, converged, run_calls);
     result->refinement_rounds = worst_rounds;
+    result->completed_runs = runs;
+    result->total_runs = runs;
     return result;
   }
 
  private:
+  struct RunOutcome {
+    double estimate = 0.0;
+    int rounds = 0;
+    bool converged = false;
+    uint64_t calls = 0;
+    /// False when a governance checkpoint interrupted the run; its
+    /// estimate is then discarded (only completed runs feed the median
+    /// and the anytime interval).
+    bool completed = true;
+  };
+
   DlmResult Finish(double estimate, bool exact, bool converged,
                    uint64_t run_calls) const {
     DlmResult result;
     result.estimate = estimate;
     result.exact = exact;
     result.converged = converged;
+    result.lower_bound = estimate;
+    result.upper_bound = estimate;
     result.oracle_calls = seq_calls_ + task_calls_ + run_calls;
     result.parallel = parallel_;
+    return result;
+  }
+
+  // Governance checkpoint: probes (and latches) the governor. One branch
+  // when ungoverned, one relaxed load once latched.
+  GovernanceState Checkpoint() const {
+    return opts_.governor == nullptr ? GovernanceState::kRunning
+                                     : opts_.governor->Check();
+  }
+  // Latched state only — never probes the clock, so completed work
+  // observed before the latch stays valid.
+  bool GovFired() const {
+    return opts_.governor != nullptr && opts_.governor->fired();
+  }
+  Status GovStatus(const char* what) const {
+    Status status = opts_.governor->ToStatus(what);
+    assert(!status.ok());
+    return status;
+  }
+
+  // Hard upper bound on any single run estimate: the Knuth weight of one
+  // descent doubles at most ceil(log2 width) times per part, so a sample
+  // (and with it every stratum mean, their sum plus the exact mass) is
+  // bounded by the product of per-part powers of two. Clamped to a
+  // finite double so anytime intervals always have finite endpoints.
+  double PaddedVolume() const {
+    double volume = 1.0;
+    for (uint32_t size : part_sizes_) {
+      uint64_t padded = 1;
+      while (padded < size) padded <<= 1;
+      volume *= static_cast<double>(padded);
+      if (!std::isfinite(volume)) {
+        return std::numeric_limits<double>::max();
+      }
+    }
+    return volume;
+  }
+
+  // Anytime answer after an interruption: median of the k completed runs,
+  // bracketed by hard order-statistic bounds on the full m-run median
+  // (unknown runs pinned to [0, PaddedVolume()]). With k == 0 there is
+  // nothing to report and the typed cause surfaces instead.
+  StatusOr<DlmResult> PartialFromRuns(const std::vector<RunOutcome>& outcomes,
+                                      int runs) {
+    std::vector<double> completed;
+    completed.reserve(outcomes.size());
+    uint64_t run_calls = 0;
+    int worst_rounds = 0;
+    for (const RunOutcome& outcome : outcomes) {
+      run_calls += outcome.calls;
+      if (!outcome.completed) continue;
+      completed.push_back(outcome.estimate);
+      worst_rounds = std::max(worst_rounds, outcome.rounds);
+      total_rounds_ += static_cast<uint64_t>(outcome.rounds);
+    }
+    runs_executed_ = completed.size();
+    if (completed.empty()) {
+      return GovStatus("DLM sampling phase");
+    }
+    const double estimate = Median(completed);
+    std::sort(completed.begin(), completed.end());
+    double cap = std::max(PaddedVolume(), completed.back());
+    auto [lower, upper] =
+        MedianOrderBounds(completed, runs, cap);
+    StatusOr<DlmResult> result =
+        Finish(estimate, /*exact=*/false, /*converged=*/false, run_calls);
+    result->partial = true;
+    result->lower_bound = lower;
+    result->upper_bound = upper;
+    result->refinement_rounds = worst_rounds;
+    result->completed_runs = static_cast<int>(completed.size());
+    result->total_runs = runs;
     return result;
   }
 
@@ -281,7 +400,11 @@ class Estimator {
     while (!queue.empty() &&
            static_cast<int>(boxes->size()) + static_cast<int>(queue.size()) <
                limit &&
-           !(budget_guarded && SeqOverBudget())) {
+           !(budget_guarded && SeqOverBudget()) &&
+           // Iteration-boundary checkpoint: on fire, the loop drains the
+           // queue into a valid (coarser) frontier and the caller decides
+           // via GovFired() whether to use it.
+           Checkpoint() == GovernanceState::kRunning) {
       Box box = queue.top();
       queue.pop();
       if (box.IsSingleton()) {
@@ -324,6 +447,9 @@ class Estimator {
     uint64_t singletons = 0;
     ExpandFrontier(root, kExactPartition, /*budget_guarded=*/true, &roots,
                    &singletons);
+    // Interrupted during partitioning: never report a partial exact count
+    // as exact — fail the phase and let Run() surface the typed cause.
+    if (GovFired()) return false;
     if (singletons > opts_.exact_enumeration_budget) return false;
 
     struct ExactTask {
@@ -398,6 +524,12 @@ class Estimator {
         ++abandoned_waves_;
         break;
       }
+      // Wave-boundary checkpoint: a fired governor abandons the phase
+      // (within_budget = false), never returns a partial count as exact.
+      if (Checkpoint() != GovernanceState::kRunning) {
+        within_budget = false;
+        break;
+      }
     }
     uint64_t total = singletons;
     for (const ExactTask& task : tasks) {
@@ -456,10 +588,10 @@ class Estimator {
   // trajectory is a pure function of (frontier, run_seed, budget) — the
   // same whether its per-round batches fan across lanes (sample_fanout),
   // the whole run sits on one lane, or everything is inline.
-  std::tuple<double, int, bool, uint64_t> AdaptiveRun(
-      const std::vector<Box>& initial_frontier, uint64_t singleton_edges,
-      uint64_t run_seed, uint64_t budget, EdgeFreeOracle& home,
-      bool sample_fanout) {
+  RunOutcome AdaptiveRun(const std::vector<Box>& initial_frontier,
+                         uint64_t singleton_edges, uint64_t run_seed,
+                         uint64_t budget, EdgeFreeOracle& home,
+                         bool sample_fanout) {
     struct Stratum {
       Box box;
       MeanVarAccumulator acc;
@@ -494,7 +626,17 @@ class Estimator {
 
     int samples_next_round = opts_.initial_samples_per_box;
     int rounds = 0;
+    // An interrupted run is discarded wholesale (completed = false): a
+    // half-round mean would bias the median, and discarding keeps the
+    // anytime interval's order-statistic argument exact.
+    auto interrupted = [&]() {
+      return RunOutcome{current().first, rounds, false, run_calls,
+                        /*completed=*/false};
+    };
     for (; rounds < opts_.max_refinement_rounds; ++rounds) {
+      // Round-boundary checkpoint: rounds are deterministic units, so an
+      // interruption here never perturbs completed-round arithmetic.
+      if (Checkpoint() != GovernanceState::kRunning) return interrupted();
       // Implicitly parented on the dlm.run span (same thread).
       obs::Span round_span("dlm.round");
       // Sample targets: everything in round 0, the worse half afterwards.
@@ -563,6 +705,10 @@ class Estimator {
           run_calls += weights[offset].second;
         }
         over_budget = run_calls > budget;
+        // Slice-boundary checkpoint: slices are index-determined, so the
+        // set of merged samples at an interruption is deterministic under
+        // an injected clock (and the run is discarded regardless).
+        if (Checkpoint() != GovernanceState::kRunning) return interrupted();
       }
       samples_next_round += samples_next_round / 2 + 1;
 
@@ -570,7 +716,7 @@ class Estimator {
       const double half_width = 2.0 * std::sqrt(pooled_variance);
       if (!over_budget &&
           half_width <= opts_.epsilon * std::max(estimate, 1.0)) {
-        return {estimate, rounds + 1, true, run_calls};
+        return {estimate, rounds + 1, true, run_calls, true};
       }
       if (over_budget || run_calls > budget) break;
 
@@ -623,7 +769,7 @@ class Estimator {
     }
     auto [estimate, pooled_variance] = current();
     (void)pooled_variance;
-    return {estimate, rounds, false, run_calls};
+    return {estimate, rounds, false, run_calls, true};
   }
 
   int HomeLane(const EdgeFreeOracle& home) const {

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "counting/partite_hypergraph.h"
+#include "util/cancel.h"
 #include "util/estimate_outcome.h"
 #include "util/executor.h"
 #include "util/status.h"
@@ -73,14 +74,28 @@ struct DlmOptions {
   /// Lanes the estimate is partitioned across (<= 1 = inline). Purely a
   /// scheduling knob: the estimate is bit-identical for every value.
   int intra_threads = 1;
+  /// Cooperative governance (not owned; null = ungoverned). Polled at
+  /// deterministic boundaries only — frontier-expansion iterations,
+  /// exact-phase wave boundaries, adaptive round/slice boundaries and run
+  /// boundaries — so a quiescent governor never perturbs the arithmetic.
+  /// On expiry/cancellation the estimator returns an anytime answer from
+  /// the completed runs (DlmResult::partial + interval), or a typed
+  /// CANCELLED/DEADLINE_EXCEEDED status when no run completed.
+  const ResourceGovernor* governor = nullptr;
 };
 
-/// Estimation result (estimate/exact/converged from EstimateOutcome).
+/// Estimation result (estimate/exact/converged — plus the anytime-answer
+/// partial/lower_bound/upper_bound triple — from EstimateOutcome).
 struct DlmResult : EstimateOutcome {
   /// Oracle calls consumed (deterministic per-unit accounting).
   uint64_t oracle_calls = 0;
   /// Adaptive rounds used by the slowest run.
   int refinement_rounds = 0;
+  /// Outer-median runs that ran to completion / that were scheduled.
+  /// Differ only on partial results (interrupted runs are discarded; the
+  /// anytime interval brackets the full-median over all scheduled runs).
+  int completed_runs = 0;
+  int total_runs = 0;
   /// Intra-estimate parallelism observability.
   ParallelStats parallel;
 };

@@ -8,6 +8,7 @@
 #include "hom/hom_oracle.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -98,6 +99,10 @@ StatusOr<ApproxCountResult> ApproxCountAnswers(const Query& q,
                << h.num_vertices() << " variables";
 
   DecompositionHomOracle hom(q, db, width.decomposition);
+  // Fault-injection site: lets tests fail the oracle stack's prepare step
+  // without constructing a pathological database.
+  Status prepare_fp = failpoint::Check("fptras.oracle_prepare");
+  if (!prepare_fp.ok()) return prepare_fp;
 
   // Split delta between the estimator and the oracle simulation
   // (Lemma 22's union bound): per-call failure delta/(2 * max calls).
@@ -111,17 +116,26 @@ StatusOr<ApproxCountResult> ApproxCountAnswers(const Query& q,
   cc.seed = opts.seed ^ 0x9E3779B97F4A7C15ULL;
   cc.pool = opts.pool;
   cc.lanes = opts.intra_threads;
+  cc.governor = opts.governor;
 
   ApproxCountResult result;
   result.width = width.width;
 
   if (q.num_free() == 0) {
-    // |Ans| is 0 or 1 (the empty assignment): amplified decision.
+    // |Ans| is 0 or 1 (the empty assignment): amplified decision. A single
+    // decision is one deterministic unit: it either completes untouched or
+    // is not started at all.
+    if (opts.governor != nullptr &&
+        opts.governor->Check() != GovernanceState::kRunning) {
+      return opts.governor->ToStatus("FPTRAS existential decision");
+    }
     Rng rng(cc.seed);
     VarDomains unrestricted;
     const bool any = DecideAnySolution(q, &hom, db.universe_size(),
                                        unrestricted, opts.delta, rng);
     result.estimate = any ? 1.0 : 0.0;
+    result.lower_bound = result.estimate;
+    result.upper_bound = result.estimate;
     result.exact = q.disequalities().empty();
     result.hom_queries = hom.num_calls();
     result.dp_prepared_decides = hom.dp_stats().prepared_decides;
@@ -140,6 +154,7 @@ StatusOr<ApproxCountResult> ApproxCountAnswers(const Query& q,
   dlm.seed = opts.seed;
   dlm.pool = opts.pool;
   dlm.intra_threads = opts.intra_threads;
+  dlm.governor = opts.governor;
   std::vector<uint32_t> part_sizes(q.num_free(), db.universe_size());
   auto dlm_result = [&] {
     obs::Span span("fptras.dlm");
@@ -153,6 +168,11 @@ StatusOr<ApproxCountResult> ApproxCountAnswers(const Query& q,
   // since the failure probability is covered by delta.
   result.exact = dlm_result->exact && q.disequalities().empty();
   result.converged = dlm_result->converged;
+  result.partial = dlm_result->partial;
+  result.lower_bound = dlm_result->lower_bound;
+  result.upper_bound = dlm_result->upper_bound;
+  result.completed_runs = dlm_result->completed_runs;
+  result.total_runs = dlm_result->total_runs;
   result.edgefree_calls = dlm_result->oracle_calls;
   result.hom_queries = hom.num_calls();
   result.dp_prepared_decides = hom.dp_stats().prepared_decides;

@@ -57,6 +57,11 @@ struct ApproxOptions {
   /// with colourings keyed by (seed, subset, trial)).
   Executor* pool = nullptr;
   int intra_threads = 1;
+  /// Cooperative governance (not owned; null = ungoverned). Threaded into
+  /// the DLM estimator and the colour-coding oracle; on expiry the
+  /// pipeline yields the estimator's anytime answer (partial + interval)
+  /// or its typed CANCELLED/DEADLINE_EXCEEDED status.
+  const ResourceGovernor* governor = nullptr;
 };
 
 /// Result of an approximate answer count (estimate/exact/converged from
@@ -81,6 +86,10 @@ struct ApproxCountResult : EstimateOutcome {
   uint64_t dp_cached_bag_rows = 0;
   /// False when the cache cap forced decisions onto the monolithic DP.
   bool dp_prepared_path = true;
+  /// Outer-median runs completed / scheduled (differ only on partial
+  /// results; see DlmResult).
+  int completed_runs = 0;
+  int total_runs = 0;
   /// Intra-query parallelism observability (lanes, tasks spawned, tasks
   /// run by pool workers).
   ParallelStats parallel;

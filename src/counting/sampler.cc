@@ -91,6 +91,7 @@ AnswerSampler::AnswerSampler(const Query& q, const Database& db,
                 (2.0 *
                  static_cast<double>(opts.approx.dlm.max_oracle_calls));
   cc.seed = opts.approx.seed ^ 0x1234567ULL;
+  cc.governor = opts.approx.governor;
   oracle_ = std::make_unique<ColourCodingEdgeFreeOracle>(
       q, hom_.get(), db.universe_size(), cc);
 }
@@ -138,6 +139,7 @@ StatusOr<Tuple> AnswerSampler::SampleOne() {
     dlm.seed = seed;
     dlm.pool = lanes > 1 ? opts_.approx.pool : nullptr;
     dlm.intra_threads = lanes;
+    dlm.governor = opts_.approx.governor;
     auto result = DlmCountEdges(sizes, restricted, dlm);
     if (!result.ok()) return result.status();
     return result->estimate;
@@ -167,6 +169,13 @@ StatusOr<Tuple> AnswerSampler::SampleOne() {
   if (*total <= 0.0) return Status::NotFound("answer set is empty");
 
   for (;;) {
+    // Descent-step checkpoint: a sample is the deterministic work unit —
+    // an interrupted descent is abandoned wholesale (no partial tuple),
+    // surfacing the typed cause.
+    if (opts_.approx.governor != nullptr &&
+        opts_.approx.governor->Check() != GovernanceState::kRunning) {
+      return opts_.approx.governor->ToStatus("sampler descent");
+    }
     // Locate the widest dimension; stop when the box is a single cell.
     int widest = -1;
     uint32_t width = 1;

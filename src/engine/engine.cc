@@ -1,6 +1,8 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -10,6 +12,7 @@
 #include "obs/trace.h"
 #include "query/parser.h"
 #include "relational/database_io.h"
+#include "util/failpoint.h"
 #include "util/timer.h"
 
 namespace cqcount {
@@ -35,6 +38,15 @@ struct EngineMetrics {
   obs::Counter& components = obs::MetricRegistry::Global().GetCounter(
       "engine.components_executed",
       "Gaifman components executed across all counts");
+  obs::Counter& cancelled = obs::MetricRegistry::Global().GetCounter(
+      "engine.cancelled",
+      "Counts interrupted by request cancellation (partial or typed error)");
+  obs::Counter& deadline_exceeded = obs::MetricRegistry::Global().GetCounter(
+      "engine.deadline_exceeded",
+      "Counts whose time budget expired (partial or typed error)");
+  obs::Counter& partial_results = obs::MetricRegistry::Global().GetCounter(
+      "engine.partial_results",
+      "Counts that returned an anytime partial answer with hard bounds");
   obs::Histogram& plan_us = obs::MetricRegistry::Global().GetHistogram(
       "engine.plan_us", "Compile+plan wall time per count, microseconds");
   obs::Histogram& exec_us = obs::MetricRegistry::Global().GetHistogram(
@@ -49,6 +61,16 @@ struct EngineMetrics {
 // Eager registration at load: every metric name appears in `stats` JSON
 // (schema validation) even on code paths that never touch it.
 [[maybe_unused]] const EngineMetrics& kEngineMetricsInit = EngineMetrics::Get();
+
+// Hard cap on one never-started component's factor: |U|^num_free answer
+// tuples at most (existential components contribute a 0/1 factor).
+// Clamped so partial intervals always have finite endpoints.
+double ComponentFactorCap(uint32_t universe, int num_free, bool existential) {
+  if (existential) return 1.0;
+  const double cap =
+      std::pow(static_cast<double>(universe), static_cast<double>(num_free));
+  return std::isfinite(cap) ? cap : std::numeric_limits<double>::max();
+}
 
 }  // namespace
 
@@ -70,6 +92,10 @@ Status CountingEngine::RegisterDatabase(const std::string& name, Database db) {
   if (name.empty()) {
     return Status::InvalidArgument("database name must be non-empty");
   }
+  // Fault-injection site: lets tests exercise registration failure paths
+  // (and callers' handling of them) without an unwritable disk.
+  Status fp = failpoint::Check("engine.register_database");
+  if (!fp.ok()) return fp;
   // Canonicalise now, while the database is still exclusively owned:
   // afterwards every const access is genuinely read-only (the flat
   // storage has no lazy-sort mutation), so the shared snapshot is safe
@@ -199,9 +225,39 @@ std::vector<BudgetShare> CountingEngine::ComponentBudgets(
   return shares;
 }
 
+Status CountingEngine::ValidateRequest(const CountRequest& request) const {
+  if (request.database.empty()) {
+    return Status::InvalidArgument("database name must be non-empty");
+  }
+  // Accuracy overrides: 0 means "engine default"; anything else must be a
+  // finite value strictly inside (0, 1). NaN fails every comparison, so
+  // it cannot slip through as "unset" (the historical `epsilon > 0` test
+  // silently swallowed NaN).
+  auto valid_accuracy = [](double v) {
+    return v == 0.0 || (std::isfinite(v) && v > 0.0 && v < 1.0);
+  };
+  if (!valid_accuracy(request.epsilon)) {
+    return Status::InvalidArgument(
+        "epsilon override must be a finite value in (0, 1), or 0 for the "
+        "engine default");
+  }
+  if (!valid_accuracy(request.delta)) {
+    return Status::InvalidArgument(
+        "delta override must be a finite value in (0, 1), or 0 for the "
+        "engine default");
+  }
+  if (request.query.size() > opts_.max_query_bytes) {
+    return Status::InvalidArgument(
+        "query text of " + std::to_string(request.query.size()) +
+        " bytes exceeds the engine's max_query_bytes (" +
+        std::to_string(opts_.max_query_bytes) + ")");
+  }
+  return Status::Ok();
+}
+
 StatusOr<EngineResult> CountingEngine::ExecutePlanned(
     const PlannedQuery& planned, const Database& db,
-    const CountRequest& request) {
+    const CountRequest& request, const ResourceGovernor* governor) {
   obs::Span exec_span("engine.execute");
   const CompiledQuery& compiled = planned.compiled;
   EngineResult result;
@@ -253,12 +309,21 @@ StatusOr<EngineResult> CountingEngine::ExecutePlanned(
   double product = 1.0;
   bool all_exact = true;
   bool all_converged = true;
+  // Latched once the governor fires (directly, via a partial component
+  // outcome, or via a typed governance status): later components are not
+  // started — their factors enter the interval as [0, cap].
+  bool interrupted = false;
   result.components.reserve(k_total);
   for (size_t i = 0; i < k_total; ++i) {
     const QueryComponent& component = compiled.components[i];
     const QueryPlan& plan = *planned.plans[i];
     obs::Span component_span("component.execute");
     WallTimer component_timer;
+    // Component-boundary checkpoint.
+    if (!interrupted && governor != nullptr &&
+        governor->Check() != GovernanceState::kRunning) {
+      interrupted = true;
+    }
     ComponentResult cr;
     cr.strategy = request.force_exact ? Strategy::kExact : plan.strategy;
     cr.width = plan.decomposition.width;
@@ -273,7 +338,7 @@ StatusOr<EngineResult> CountingEngine::ExecutePlanned(
     cr.delta = share.delta;
     result.width = std::max(result.width, cr.width);
 
-    if (guards_hold) {
+    if (guards_hold && !interrupted) {
       const StrategyExecutor* executor = registry.Find(cr.strategy);
       if (executor == nullptr) {
         return Status::Internal(std::string("no executor registered for ") +
@@ -297,33 +362,58 @@ StatusOr<EngineResult> CountingEngine::ExecutePlanned(
       const int lanes = IntraQueryLanes(cr.strategy, plan.cost_estimate);
       ctx.pool = lanes > 1 ? pool_.get() : nullptr;
       ctx.intra_threads = lanes;
+      ctx.governor = governor;
+      ctx.max_oracle_calls = request.max_oracle_calls;
       auto outcome = executor->Execute(ctx);
-      if (!outcome.ok()) return outcome.status();
-      cr.executed = true;
-      cr.estimate = outcome->estimate;
-      cr.exact = outcome->exact;
-      cr.converged = outcome->converged;
-      cr.oracle_calls = outcome->oracle_calls;
-      cr.dp_prepared_decides = outcome->dp_prepared_decides;
-      cr.dp_cached_bag_rows = outcome->dp_cached_bag_rows;
-      cr.dp_prepared_path = outcome->dp_prepared_path;
-      cr.colouring_trials_per_call = outcome->colouring_trials_per_call;
-      cr.parallel = outcome->parallel;
-      result.parallel.Merge(outcome->parallel);
-      all_exact = all_exact && cr.exact;
-      all_converged = all_converged && cr.converged;
-      result.oracle_calls += cr.oracle_calls;
-      // Purely-existential components collapse to a boolean factor: any
-      // relative-error estimate preserves zero vs non-zero.
-      product *= component.existential ? (cr.estimate > 0.0 ? 1.0 : 0.0)
-                                       : cr.estimate;
-      cr.exec_millis = component_timer.Millis();
-      // Fold this execution into the shape's observed history (lives with
-      // the cached plan) — the cost/variance substrate future adaptive
-      // scheduling reads.
-      cache_.RecordObservation(planned.keys[i], cr.exec_millis,
-                               cr.oracle_calls, cr.estimate, cr.converged);
-      EngineMetrics::Get().components.Increment();
+      if (!outcome.ok()) {
+        // A typed governance status means the checkpoint fired before any
+        // unit of this component completed: the component stays
+        // unexecuted and the remaining loop records planning provenance
+        // only. Anything else is a real failure.
+        const StatusCode code = outcome.status().code();
+        const bool governance_stop =
+            governor != nullptr && governor->fired() &&
+            (code == StatusCode::kCancelled ||
+             code == StatusCode::kDeadlineExceeded);
+        if (!governance_stop) return outcome.status();
+        interrupted = true;
+      } else {
+        cr.executed = true;
+        cr.estimate = outcome->estimate;
+        cr.exact = outcome->exact;
+        cr.converged = outcome->converged;
+        cr.partial = outcome->partial;
+        cr.lower_bound = outcome->lower_bound;
+        cr.upper_bound = outcome->upper_bound;
+        cr.completed_runs = outcome->completed_runs;
+        cr.total_runs = outcome->total_runs;
+        if (cr.partial) interrupted = true;
+        cr.oracle_calls = outcome->oracle_calls;
+        cr.dp_prepared_decides = outcome->dp_prepared_decides;
+        cr.dp_cached_bag_rows = outcome->dp_cached_bag_rows;
+        cr.dp_prepared_path = outcome->dp_prepared_path;
+        cr.colouring_trials_per_call = outcome->colouring_trials_per_call;
+        cr.parallel = outcome->parallel;
+        result.parallel.Merge(outcome->parallel);
+        all_exact = all_exact && cr.exact;
+        all_converged = all_converged && cr.converged;
+        result.oracle_calls += cr.oracle_calls;
+        // Purely-existential components collapse to a boolean factor: any
+        // relative-error estimate preserves zero vs non-zero.
+        product *= component.existential ? (cr.estimate > 0.0 ? 1.0 : 0.0)
+                                         : cr.estimate;
+        cr.exec_millis = component_timer.Millis();
+        // Fold this execution into the shape's observed history (lives
+        // with the cached plan) — the cost/variance substrate future
+        // adaptive scheduling reads. Partial executions are excluded:
+        // their truncated cost/estimate would skew the profile.
+        if (!cr.partial) {
+          cache_.RecordObservation(planned.keys[i], cr.exec_millis,
+                                   cr.oracle_calls, cr.estimate,
+                                   cr.converged);
+        }
+        EngineMetrics::Get().components.Increment();
+      }
     }
     obs::ComponentProfile cp;
     cp.shape_key = cr.shape_key;
@@ -346,10 +436,48 @@ StatusOr<EngineResult> CountingEngine::ExecutePlanned(
     result.exact = true;
     result.converged = true;
     EngineMetrics::Get().guard_blocked.Increment();
+  } else if (interrupted) {
+    // Anytime assembly: the estimate is the product of the factors that
+    // did run (including interrupted components' own anytime estimates);
+    // the interval multiplies per-component hard bounds, with a
+    // never-started factor pinned to [0, |U|^num_free] (existential: [0,
+    // 1]). No component executed at all -> nothing to report, surface the
+    // typed cause.
+    bool any_executed = false;
+    double lower = 1.0;
+    double upper = 1.0;
+    for (const ComponentResult& cr : result.components) {
+      if (cr.executed) {
+        any_executed = true;
+        if (cr.existential) {
+          lower *= cr.lower_bound > 0.0 ? 1.0 : 0.0;
+          upper *= cr.upper_bound > 0.0 ? 1.0 : 0.0;
+        } else {
+          lower *= cr.lower_bound;
+          upper *= cr.upper_bound;
+        }
+      } else {
+        lower *= 0.0;
+        upper *= ComponentFactorCap(db.universe_size(), cr.num_free,
+                                    cr.existential);
+      }
+    }
+    if (!any_executed) {
+      return governor->ToStatus("count");
+    }
+    result.estimate = product;
+    result.exact = false;
+    result.converged = false;
+    result.partial = true;
+    result.lower_bound = lower;
+    result.upper_bound =
+        std::isfinite(upper) ? upper : std::numeric_limits<double>::max();
+    result.partial_reason = GovernanceStateName(governor->state());
   } else {
     result.estimate = product;
     result.exact = all_exact;
     result.converged = all_converged;
+    result.lower_bound = result.upper_bound = result.estimate;
   }
   result.exec_millis = timer.Millis();
 
@@ -384,6 +512,19 @@ StatusOr<EngineResult> CountingEngine::ExecutePlanned(
 StatusOr<EngineResult> CountingEngine::Count(const CountRequest& request) {
   obs::Span count_span("engine.count");
   EngineMetrics& metrics = EngineMetrics::Get();
+  // Fault-injection site: fires before any work, letting tests exercise
+  // request failure paths (and, via on_fire callbacks, cancel a batch
+  // token at a precise item index).
+  Status fp = failpoint::Check("engine.count");
+  if (!fp.ok()) {
+    metrics.count_errors.Increment();
+    return fp;
+  }
+  Status valid = ValidateRequest(request);
+  if (!valid.ok()) {
+    metrics.count_errors.Increment();
+    return valid;
+  }
   RegisteredDatabase db = FindDatabase(request.database);
   if (db.db == nullptr) {
     metrics.count_errors.Increment();
@@ -400,6 +541,13 @@ StatusOr<EngineResult> CountingEngine::Count(const CountRequest& request) {
     metrics.count_errors.Increment();
     return query.status();
   }
+  if (query->num_vars() > opts_.max_query_vars) {
+    metrics.count_errors.Increment();
+    return Status::InvalidArgument(
+        "query has " + std::to_string(query->num_vars()) +
+        " variables, exceeding the engine's max_query_vars (" +
+        std::to_string(opts_.max_query_vars) + ")");
+  }
   Status compatible = query->CheckAgainstDatabase(*db.db);
   if (!compatible.ok()) {
     metrics.count_errors.Increment();
@@ -411,11 +559,28 @@ StatusOr<EngineResult> CountingEngine::Count(const CountRequest& request) {
       CompileAndPlan(*query, request.database, db.generation, *db.db);
   const double plan_millis = plan_timer.Millis();
 
-  auto result = ExecutePlanned(planned, *db.db, request);
+  // Always-active governor: with no budget and an uncancelled token it can
+  // never fire, so checkpoints see kRunning everywhere and the execution
+  // is bitwise identical to the ungoverned baseline.
+  ResourceGovernor governor(request.cancel_token, request.time_budget_ms,
+                            request.clock);
+  auto result = ExecutePlanned(planned, *db.db, request, &governor);
+  if (governor.fired()) {
+    // Both outcomes of a fired governor — anytime partial and typed
+    // status — count toward the cause metric and tag the query span.
+    count_span.SetAttribute("governance",
+                            GovernanceStateName(governor.state()));
+    if (governor.state() == GovernanceState::kCancelled) {
+      metrics.cancelled.Increment();
+    } else {
+      metrics.deadline_exceeded.Increment();
+    }
+  }
   if (!result.ok()) {
     metrics.count_errors.Increment();
     return result;
   }
+  if (result->partial) metrics.partial_results.Increment();
   result->plan_millis = plan_millis;
   result->profile.parse_millis = parse_millis;
   return result;
@@ -549,10 +714,18 @@ std::vector<StatusOr<EngineResult>> CountingEngine::CountBatch(
       requests.size(), StatusOr<EngineResult>(Status::Internal("not executed")));
   auto run_item = [&](size_t i) {
     CountRequest request = requests[i];
+    EngineMetrics::Get().batch_items.Increment();
+    // An already-cancelled token stops not-yet-started items before any
+    // work; items already inside Count() stop at their own checkpoints.
+    // Either way each item gets its own status — one cancelled request
+    // never poisons its siblings' results.
+    if (request.cancel_token.cancelled()) {
+      results[i] = Status::Cancelled("batch item skipped: cancelled before start");
+      return;
+    }
     if (request.seed == 0) {
       request.seed = DeriveSeed(opts_.seed, static_cast<uint64_t>(i));
     }
-    EngineMetrics::Get().batch_items.Increment();
     results[i] = Count(request);
   };
   // Exactly `num_threads` concurrent evaluations: the calling thread is

@@ -36,6 +36,7 @@
 #include "obs/profile.h"
 #include "query/query.h"
 #include "relational/structure.h"
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace cqcount {
@@ -72,6 +73,12 @@ struct EngineOptions {
   PlanOptions plan;
   /// Compile-pipeline gates (normalization passes, component factoring).
   CompileOptions compile;
+  /// Input-validation guard rails: requests whose query text or variable
+  /// count exceeds these are rejected with INVALID_ARGUMENT before any
+  /// parsing/planning work (a malformed megabyte query must not reach the
+  /// planner's recursive passes).
+  size_t max_query_bytes = 1 << 20;
+  int max_query_vars = 256;
 };
 
 /// One query of a batch (and the argument of Count).
@@ -87,6 +94,22 @@ struct CountRequest {
   uint64_t seed = 0;
   /// Forces the brute-force exact strategy regardless of the plan.
   bool force_exact = false;
+  /// Wall-clock budget for this request in milliseconds (0 = unlimited).
+  /// On expiry the engine returns an anytime partial answer assembled
+  /// from completed work units (EngineResult::partial + interval), or a
+  /// typed DEADLINE_EXCEEDED status when nothing completed.
+  uint64_t time_budget_ms = 0;
+  /// Cap on estimator oracle calls (0 = module default). Tightens the
+  /// per-strategy safety valve; exhausting it before any sampling yields
+  /// a typed RESOURCE_EXHAUSTED status.
+  uint64_t max_oracle_calls = 0;
+  /// Cooperative cancellation: keep a copy of this token and Cancel() it
+  /// from any thread; the engine polls it at deterministic checkpoints.
+  /// The default token is valid and simply never fires.
+  CancelToken cancel_token;
+  /// Deadline clock override for deterministic tests (not owned; must
+  /// outlive the call; null = the process steady clock).
+  const DeadlineClock* clock = nullptr;
 };
 
 /// Execution provenance of one Gaifman component of a query.
@@ -97,6 +120,17 @@ struct ComponentResult {
   double estimate = 0.0;
   bool exact = false;
   bool converged = true;
+  /// True when a deadline/cancellation interrupted this component and its
+  /// estimate is an anytime answer over the completed work units;
+  /// [lower_bound, upper_bound] then brackets the uninterrupted same-seed
+  /// result. Complete components carry [estimate, estimate].
+  bool partial = false;
+  double lower_bound = 0.0;
+  double upper_bound = 0.0;
+  /// Estimator outer-median runs completed / scheduled (differ only on
+  /// partial components; 0/0 for strategies without run structure).
+  int completed_runs = 0;
+  int total_runs = 0;
   Strategy strategy = Strategy::kExact;
   /// Width of the decomposition the component ran on.
   double width = 0.0;
@@ -141,6 +175,18 @@ struct EngineResult {
   bool exact = false;
   /// False when a sampling cap was hit before the target interval.
   bool converged = true;
+  /// True when the request's deadline or cancellation interrupted
+  /// execution and `estimate` is an ANYTIME answer from the completed
+  /// work (the (epsilon, delta) guarantee does not apply). The interval
+  /// brackets what the uninterrupted same-seed execution would return:
+  /// hard order-statistic bounds per interrupted component, [0,
+  /// |U|^num_free] for components never started. Complete results carry
+  /// [estimate, estimate].
+  bool partial = false;
+  double lower_bound = 0.0;
+  double upper_bound = 0.0;
+  /// Why the result is partial: "" / "cancelled" / "deadline_exceeded".
+  std::string partial_reason;
   /// Strategy of the dominant (highest planned cost) component.
   Strategy strategy = Strategy::kExact;
   QueryKind kind = QueryKind::kCq;
@@ -313,9 +359,15 @@ class CountingEngine {
                                             double epsilon, double delta,
                                             bool force_exact) const;
 
+  /// Request-shape validation shared by Count and CountBatch: accuracy
+  /// overrides must be finite and in (0, 1), the database name non-empty,
+  /// the query text within the engine's size guard rails.
+  Status ValidateRequest(const CountRequest& request) const;
+
   StatusOr<EngineResult> ExecutePlanned(const PlannedQuery& planned,
                                         const Database& db,
-                                        const CountRequest& request);
+                                        const CountRequest& request,
+                                        const ResourceGovernor* governor);
 
   EngineOptions opts_;
   // Reader-writer lock: every Count in a batch resolves its database here,

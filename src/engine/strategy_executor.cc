@@ -1,5 +1,6 @@
 #include "engine/strategy_executor.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "automata/fpras.h"
@@ -26,10 +27,17 @@ class ExactExecutor : public StrategyExecutor {
   Strategy strategy() const override { return Strategy::kExact; }
 
   StatusOr<ExecOutcome> Execute(const ExecContext& ctx) const override {
+    // Brute force has no internal checkpoints (the planner only picks it
+    // for tiny instances); honour an already-fired governor up front.
+    if (ctx.governor != nullptr &&
+        ctx.governor->Check() != GovernanceState::kRunning) {
+      return ctx.governor->ToStatus("exact count");
+    }
     ExecOutcome outcome;
     outcome.estimate =
         static_cast<double>(ExactCountAnswersBruteForce(*ctx.query, *ctx.db));
     outcome.exact = true;
+    outcome.lower_bound = outcome.upper_bound = outcome.estimate;
     return outcome;
   }
 };
@@ -52,6 +60,11 @@ class FptrasExecutor : public StrategyExecutor {
     opts.exact_decomposition_limit = ctx.exact_decomposition_limit;
     opts.pool = ctx.pool;
     opts.intra_threads = ctx.intra_threads;
+    opts.governor = ctx.governor;
+    if (ctx.max_oracle_calls > 0) {
+      opts.dlm.max_oracle_calls =
+          std::min(opts.dlm.max_oracle_calls, ctx.max_oracle_calls);
+    }
     const FWidthResult decomposition = InstantiatePlanDecomposition(ctx);
     opts.precomputed_decomposition = &decomposition;
     auto approx = ApproxCountAnswers(*ctx.query, *ctx.db, opts);
@@ -60,6 +73,11 @@ class FptrasExecutor : public StrategyExecutor {
     outcome.estimate = approx->estimate;
     outcome.exact = approx->exact;
     outcome.converged = approx->converged;
+    outcome.partial = approx->partial;
+    outcome.lower_bound = approx->lower_bound;
+    outcome.upper_bound = approx->upper_bound;
+    outcome.completed_runs = approx->completed_runs;
+    outcome.total_runs = approx->total_runs;
     outcome.oracle_calls = approx->hom_queries + approx->edgefree_calls;
     // Surface the prepare/evaluate DP reuse: one bag-join cache serves
     // every DLM oracle call issued against this plan's decomposition.
@@ -86,6 +104,7 @@ class AutomataFprasExecutor : public StrategyExecutor {
     opts.acjr.seed = ctx.budget.seed;
     opts.acjr.pool = ctx.pool;
     opts.acjr.intra_threads = ctx.intra_threads;
+    opts.acjr.governor = ctx.governor;
     opts.objective = ctx.plan->objective;
     opts.exact_decomposition_limit = ctx.exact_decomposition_limit;
     const FWidthResult decomposition = InstantiatePlanDecomposition(ctx);
@@ -96,6 +115,9 @@ class AutomataFprasExecutor : public StrategyExecutor {
     outcome.estimate = fpras->estimate;
     outcome.exact = fpras->exact;
     outcome.converged = fpras->converged;
+    outcome.partial = fpras->partial;
+    outcome.lower_bound = fpras->lower_bound;
+    outcome.upper_bound = fpras->upper_bound;
     outcome.oracle_calls = fpras->membership_tests;
     outcome.parallel = fpras->parallel;
     return outcome;
@@ -119,6 +141,11 @@ class SamplerExecutor : public StrategyExecutor {
     opts.approx.exact_decomposition_limit = ctx.exact_decomposition_limit;
     opts.approx.pool = ctx.pool;
     opts.approx.intra_threads = ctx.intra_threads;
+    opts.approx.governor = ctx.governor;
+    if (ctx.max_oracle_calls > 0) {
+      opts.approx.dlm.max_oracle_calls =
+          std::min(opts.approx.dlm.max_oracle_calls, ctx.max_oracle_calls);
+    }
     const FWidthResult decomposition = InstantiatePlanDecomposition(ctx);
     opts.approx.precomputed_decomposition = &decomposition;
     auto sampler = AnswerSampler::Create(*ctx.query, *ctx.db, opts);
@@ -130,6 +157,11 @@ class SamplerExecutor : public StrategyExecutor {
     outcome.estimate = approx->estimate;
     outcome.exact = approx->exact;
     outcome.converged = approx->converged;
+    outcome.partial = approx->partial;
+    outcome.lower_bound = approx->lower_bound;
+    outcome.upper_bound = approx->upper_bound;
+    outcome.completed_runs = approx->completed_runs;
+    outcome.total_runs = approx->total_runs;
     outcome.oracle_calls = approx->hom_queries + approx->edgefree_calls;
     outcome.colouring_trials_per_call = approx->colouring_trials_per_call;
     outcome.parallel = approx->parallel;

@@ -19,6 +19,7 @@
 #include "engine/plan.h"
 #include "query/query.h"
 #include "relational/structure.h"
+#include "util/cancel.h"
 #include "util/estimate_outcome.h"
 #include "util/executor.h"
 #include "util/status.h"
@@ -57,6 +58,14 @@ struct ExecContext {
   /// estimates are bit-identical for every configuration.
   Executor* pool = nullptr;
   int intra_threads = 1;
+  /// Cooperative governance for this execution (not owned; null =
+  /// ungoverned). Executors thread it into their module options; on
+  /// expiry/cancellation they return either an anytime partial outcome or
+  /// the governor's typed status.
+  const ResourceGovernor* governor = nullptr;
+  /// Request-level cap on estimator oracle calls (0 = module default).
+  /// Tightens (never widens) the module's own safety valve.
+  uint64_t max_oracle_calls = 0;
 };
 
 /// What every strategy reports back (estimate/exact/converged from the
@@ -75,6 +84,10 @@ struct ExecOutcome : EstimateOutcome {
   /// Colouring trials the EdgeFree simulation runs per oracle call
   /// (fptras strategies; 0 otherwise).
   uint64_t colouring_trials_per_call = 0;
+  /// Outer-median runs completed / scheduled by the estimator (differ
+  /// only on partial outcomes; 0/0 for strategies without run structure).
+  int completed_runs = 0;
+  int total_runs = 0;
   /// Intra-query parallelism observability (lanes used, tasks spawned,
   /// tasks executed by pool workers).
   ParallelStats parallel;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "hom/bag_solutions.h"
+#include "util/failpoint.h"
 
 namespace cqcount {
 namespace {
@@ -409,6 +410,14 @@ bool DecompositionSolver::EnsureBagRowCache() {
   state = bag_row_cache_state_.load(std::memory_order_relaxed);
   if (state == 1) return true;
   if (state == 2) return false;
+
+  // Fault-injection site: forces the monolithic-DP fallback (the same
+  // transition the cache cap takes) without a pathological database.
+  if (failpoint::ShouldFail("dp.bag_cache_build")) {
+    stat_prepared_path_.store(false, std::memory_order_relaxed);
+    bag_row_cache_state_.store(2, std::memory_order_release);
+    return false;
+  }
 
   const int num_nodes = td_.num_nodes();
   bag_rows_.assign(num_nodes, FlatTuples());

@@ -122,6 +122,9 @@ std::string TraceSink::ExportChromeTraceJson() const {
       json.BeginObject();
       json.Key("id").Uint(event.id);
       json.Key("parent").Uint(event.parent);
+      if (event.attr_key != nullptr) {
+        json.Key(event.attr_key).String(event.attr_value);
+      }
       json.EndObject();
       json.EndObject();
     }
@@ -162,6 +165,8 @@ Span::~Span() {
   event.duration_ns = NowNanos() - start_ns_;
   event.id = id_;
   event.parent = parent_;
+  event.attr_key = attr_key_;
+  event.attr_value = attr_value_;
   if (on_thread_stack_) t_current_span = prev_current_;
   TraceSink::Global().Record(event);
 }

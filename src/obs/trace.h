@@ -50,6 +50,10 @@ struct TraceEvent {
   uint32_t tid = 0;
   uint64_t id = 0;
   uint64_t parent = 0;
+  /// Optional single attribute (both sides static strings — e.g. the
+  /// engine's "governance" = "deadline_exceeded"); null key = absent.
+  const char* attr_key = nullptr;
+  const char* attr_value = nullptr;
 };
 
 /// Process-wide collector of trace events, one bounded buffer per thread.
@@ -130,6 +134,15 @@ class Span {
   /// {0} when tracing was disabled at construction.
   SpanRef ref() const { return SpanRef{id_}; }
 
+  /// Tags the span's exported event with one key/value attribute. Both
+  /// strings must outlive the sink (string literals in practice); the last
+  /// call wins. No-op when tracing was disabled at construction.
+  void SetAttribute(const char* key, const char* value) {
+    if (id_ == 0) return;
+    attr_key_ = key;
+    attr_value_ = value;
+  }
+
  private:
   void Start(const char* name, uint64_t parent, bool use_thread_stack);
 
@@ -141,6 +154,8 @@ class Span {
   /// (distinct from parent_ when the parent was explicit/cross-thread).
   uint64_t prev_current_ = 0;
   bool on_thread_stack_ = false;
+  const char* attr_key_ = nullptr;
+  const char* attr_value_ = nullptr;
 };
 
 }  // namespace obs

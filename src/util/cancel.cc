@@ -1,0 +1,81 @@
+#include "util/cancel.h"
+
+#include <chrono>
+#include <string>
+
+namespace cqcount {
+namespace {
+
+class SteadyClock : public DeadlineClock {
+ public:
+  uint64_t NowMillis() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+}  // namespace
+
+const DeadlineClock& DeadlineClock::Steady() {
+  static const SteadyClock* clock = new SteadyClock();
+  return *clock;
+}
+
+const char* GovernanceStateName(GovernanceState state) {
+  switch (state) {
+    case GovernanceState::kRunning:
+      return "";
+    case GovernanceState::kCancelled:
+      return "cancelled";
+    case GovernanceState::kDeadlineExpired:
+      return "deadline_exceeded";
+  }
+  return "";
+}
+
+ResourceGovernor::ResourceGovernor(CancelToken token, uint64_t time_budget_ms,
+                                   const DeadlineClock* clock)
+    : active_(true),
+      has_deadline_(time_budget_ms > 0),
+      clock_(clock != nullptr ? clock : &DeadlineClock::Steady()),
+      token_(std::move(token)) {
+  if (has_deadline_) deadline_ms_ = clock_->NowMillis() + time_budget_ms;
+}
+
+GovernanceState ResourceGovernor::Check() const {
+  if (!active_) return GovernanceState::kRunning;
+  uint8_t latched = fired_.load(std::memory_order_relaxed);
+  if (latched != 0) return static_cast<GovernanceState>(latched);
+  uint8_t observed = 0;
+  if (token_.cancelled()) {
+    observed = static_cast<uint8_t>(GovernanceState::kCancelled);
+  } else if (has_deadline_ && clock_->NowMillis() >= deadline_ms_) {
+    observed = static_cast<uint8_t>(GovernanceState::kDeadlineExpired);
+  }
+  if (observed != 0) {
+    // First writer wins: concurrent checkpoints racing between the two
+    // causes latch exactly one, and every later poll reports it.
+    uint8_t expected = 0;
+    fired_.compare_exchange_strong(expected, observed,
+                                   std::memory_order_relaxed);
+  }
+  return state();
+}
+
+Status ResourceGovernor::ToStatus(const char* what) const {
+  switch (state()) {
+    case GovernanceState::kRunning:
+      return Status::Ok();
+    case GovernanceState::kCancelled:
+      return Status::Cancelled(std::string(what) +
+                               " cancelled at a governance checkpoint");
+    case GovernanceState::kDeadlineExpired:
+      return Status::DeadlineExceeded(std::string(what) +
+                                      " exceeded its time budget");
+  }
+  return Status::Ok();
+}
+
+}  // namespace cqcount

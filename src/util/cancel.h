@@ -1,0 +1,150 @@
+// Cooperative resource governance: cancellation tokens, injectable
+// deadline clocks, and the per-request ResourceGovernor the engine
+// threads through every estimator.
+//
+// Model: governance is COOPERATIVE. Estimators poll the governor only at
+// their existing deterministic boundaries (DLM wave/round/run boundaries,
+// colour-coding trial batches, ACJR node loops, sampler descent steps),
+// never inside a probe loop. Two consequences:
+//   - With no deadline and no cancellation, a governed execution performs
+//     the exact same arithmetic as an ungoverned one (a checkpoint is one
+//     relaxed atomic load), so fixed-seed estimates stay bit-identical.
+//   - The governor is STICKY: the first checkpoint that observes expiry or
+//     cancellation latches the cause, and every later checkpoint reports
+//     it. A deterministic unit of work (a run, a wave, a node) either
+//     completes untouched or is discarded wholesale at its enclosing
+//     boundary — partial answers are assembled only from completed units.
+//
+// Determinism of interruption itself: wall-clock expiry is inherently
+// racy, so tests inject a ManualClock (optionally auto-stepping per
+// NowMillis read) to make "the budget expires at checkpoint k" an exact,
+// replayable event.
+#ifndef CQCOUNT_UTIL_CANCEL_H_
+#define CQCOUNT_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "util/status.h"
+
+namespace cqcount {
+
+/// Shareable cancellation flag. Copies observe one underlying flag, so a
+/// caller can hold a copy and Cancel() from another thread while the
+/// engine polls its own copy at checkpoints.
+class CancelToken {
+ public:
+  CancelToken() : state_(std::make_shared<State>()) {}
+
+  /// Requests cancellation (sticky; safe from any thread).
+  void Cancel() const {
+    state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+  bool cancelled() const {
+    return state_->cancelled.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// Millisecond clock the governor evaluates deadlines on. Virtual so
+/// tests can substitute a manual clock and make expiry deterministic.
+class DeadlineClock {
+ public:
+  virtual ~DeadlineClock() = default;
+  /// Monotonic milliseconds (absolute value is meaningless; only
+  /// differences matter).
+  virtual uint64_t NowMillis() const = 0;
+
+  /// The process steady clock (the production default).
+  static const DeadlineClock& Steady();
+};
+
+/// Deterministic test clock: an atomic millisecond counter advanced
+/// explicitly (Advance) and/or automatically by `auto_step_ms` on every
+/// NowMillis read, so "the deadline expires on the k-th checkpoint" is an
+/// exact, replayable event.
+class ManualClock : public DeadlineClock {
+ public:
+  explicit ManualClock(uint64_t start_ms = 0, uint64_t auto_step_ms = 0)
+      : now_ms_(start_ms), auto_step_ms_(auto_step_ms) {}
+
+  uint64_t NowMillis() const override {
+    return now_ms_.fetch_add(auto_step_ms_, std::memory_order_relaxed);
+  }
+  void Advance(uint64_t delta_ms) {
+    now_ms_.fetch_add(delta_ms, std::memory_order_relaxed);
+  }
+  /// Current reading without the auto-step side effect.
+  uint64_t Peek() const { return now_ms_.load(std::memory_order_relaxed); }
+
+ private:
+  mutable std::atomic<uint64_t> now_ms_;
+  const uint64_t auto_step_ms_;
+};
+
+/// What a checkpoint observed. Once a governor leaves kRunning it never
+/// returns to it (sticky latch).
+enum class GovernanceState : uint8_t {
+  kRunning = 0,
+  kCancelled = 1,
+  kDeadlineExpired = 2,
+};
+
+/// Human-readable cause, also the `partial_reason` rendered in results:
+/// "" / "cancelled" / "deadline_exceeded".
+const char* GovernanceStateName(GovernanceState state);
+
+/// One request's governance: a cancellation token plus an optional
+/// absolute deadline, polled cooperatively. A default-constructed
+/// governor is INACTIVE: Check() is a single branch and always reports
+/// kRunning, so ungoverned executions pay nothing.
+class ResourceGovernor {
+ public:
+  ResourceGovernor() = default;
+
+  /// Active governor. `time_budget_ms` == 0 means no deadline (token
+  /// cancellation only); `clock` null uses DeadlineClock::Steady(). The
+  /// clock is not owned and must outlive the governor.
+  ResourceGovernor(CancelToken token, uint64_t time_budget_ms,
+                   const DeadlineClock* clock = nullptr);
+
+  // The governor latches state in a shared atomic; checkpoints hold it by
+  // pointer. Copying mid-flight would fork the latch, so forbid it.
+  ResourceGovernor(const ResourceGovernor&) = delete;
+  ResourceGovernor& operator=(const ResourceGovernor&) = delete;
+
+  bool active() const { return active_; }
+
+  /// Checkpoint: probes the token (one relaxed load) and, while still
+  /// running, the deadline clock. Sticky: the first non-running
+  /// observation wins and is returned by every later Check()/state().
+  GovernanceState Check() const;
+
+  /// Last latched state, without probing token or clock.
+  GovernanceState state() const {
+    return static_cast<GovernanceState>(fired_.load(std::memory_order_relaxed));
+  }
+  bool fired() const { return state() != GovernanceState::kRunning; }
+
+  /// Typed status for the latched cause: CANCELLED or DEADLINE_EXCEEDED,
+  /// mentioning `what` (e.g. "DLM exact phase"). OK while running.
+  Status ToStatus(const char* what) const;
+
+ private:
+  bool active_ = false;
+  bool has_deadline_ = false;
+  uint64_t deadline_ms_ = 0;
+  const DeadlineClock* clock_ = nullptr;
+  CancelToken token_;
+  mutable std::atomic<uint8_t> fired_{0};
+};
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_UTIL_CANCEL_H_

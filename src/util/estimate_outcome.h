@@ -22,6 +22,17 @@ struct EstimateOutcome {
   bool exact = false;
   /// False when a sampling cap was hit before the target interval.
   bool converged = true;
+  /// True when a deadline/cancellation interrupted the computation and
+  /// the estimate is an ANYTIME answer assembled from the work units
+  /// completed before the checkpoint fired. The (epsilon, delta)
+  /// guarantee does not apply; [lower_bound, upper_bound] brackets what
+  /// the uninterrupted computation would have returned for the same seed
+  /// (order-statistic bounds on the outer median, see dlm_counter.cc).
+  bool partial = false;
+  /// Anytime-answer interval. Meaningful only when `partial`; complete
+  /// results carry [estimate, estimate].
+  double lower_bound = 0.0;
+  double upper_bound = 0.0;
 };
 
 /// Intra-query parallelism observability (informational: the numbers

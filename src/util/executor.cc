@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "util/failpoint.h"
 
 namespace cqcount {
 namespace {
@@ -56,6 +57,13 @@ Executor::~Executor() {
 }
 
 void Executor::Submit(std::function<void()> task) {
+  // Fault-injection site: degrades a spawn to inline execution on the
+  // caller (the task completes before Submit returns, so in_flight and
+  // Wait() semantics stay consistent — no leaked lane state).
+  if (failpoint::ShouldFail("executor.spawn")) {
+    task();
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push(std::move(task));

@@ -1,0 +1,118 @@
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace cqcount {
+namespace failpoint {
+namespace {
+
+struct Site {
+  Config config;
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+  bool disarmed = false;  // Exhausted max_fires; kept for FireCount.
+};
+
+struct Registry {
+  // Fast path: sites pay one relaxed load while nothing is armed. The
+  // counter tracks LIVE armings (exhausted sites do not re-arm it).
+  std::atomic<int> armed{0};
+  std::mutex mu;
+  std::map<std::string, Site> sites;
+
+  static Registry& Get() {
+    static Registry* registry = new Registry();
+    return *registry;
+  }
+};
+
+// Fire decision, serialized per registry. Returns the callback to run
+// (outside the lock) and fills *error when the site injects one.
+bool Evaluate(const char* name, std::function<void()>* on_fire,
+              Status* error) {
+  Registry& registry = Registry::Get();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(name);
+  if (it == registry.sites.end() || it->second.disarmed) return false;
+  Site& site = it->second;
+  ++site.hits;
+  if (site.hits <= site.config.skip) return false;
+  ++site.fires;
+  if (site.config.max_fires > 0 && site.fires >= site.config.max_fires) {
+    site.disarmed = true;
+    registry.armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+  *on_fire = site.config.on_fire;
+  if (error != nullptr && site.config.inject_error) {
+    *error = Status(site.config.error_code, site.config.error_message);
+  }
+  return true;
+}
+
+}  // namespace
+
+void Arm(const std::string& name, Config config) {
+  Registry& registry = Registry::Get();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto [it, inserted] = registry.sites.try_emplace(name);
+  if (!inserted && !it->second.disarmed) {
+    // Replacing a live arming: the counter already accounts for it.
+  } else {
+    registry.armed.fetch_add(1, std::memory_order_relaxed);
+  }
+  it->second = Site{std::move(config), 0, 0, false};
+}
+
+void Disarm(const std::string& name) {
+  Registry& registry = Registry::Get();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(name);
+  if (it == registry.sites.end()) return;
+  if (!it->second.disarmed) {
+    registry.armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+  registry.sites.erase(it);
+}
+
+void DisarmAll() {
+  Registry& registry = Registry::Get();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& [name, site] : registry.sites) {
+    if (!site.disarmed) registry.armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+  registry.sites.clear();
+}
+
+uint64_t FireCount(const std::string& name) {
+  Registry& registry = Registry::Get();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(name);
+  return it == registry.sites.end() ? 0 : it->second.fires;
+}
+
+Status Check(const char* name) {
+  Registry& registry = Registry::Get();
+  if (registry.armed.load(std::memory_order_relaxed) == 0) {
+    return Status::Ok();
+  }
+  std::function<void()> on_fire;
+  Status error;
+  if (!Evaluate(name, &on_fire, &error)) return Status::Ok();
+  if (on_fire) on_fire();
+  return error;
+}
+
+bool ShouldFail(const char* name) {
+  Registry& registry = Registry::Get();
+  if (registry.armed.load(std::memory_order_relaxed) == 0) return false;
+  std::function<void()> on_fire;
+  if (!Evaluate(name, &on_fire, nullptr)) return false;
+  if (on_fire) on_fire();
+  return true;
+}
+
+}  // namespace failpoint
+}  // namespace cqcount

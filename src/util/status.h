@@ -20,6 +20,13 @@ enum class StatusCode {
   kFailedPrecondition,
   kResourceExhausted,
   kInternal,
+  /// Cooperative cancellation (CancelToken) observed at a checkpoint
+  /// before any usable progress was made.
+  kCancelled,
+  /// A per-request time budget expired before any usable progress was
+  /// made (with partial progress, executions return an anytime answer
+  /// instead of this).
+  kDeadlineExceeded,
 };
 
 /// Result of a fallible operation: either OK or a code plus message.
@@ -52,6 +59,14 @@ class Status {
   /// Returns a kInternal status with `message`.
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  /// Returns a kCancelled status with `message`.
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
+  /// Returns a kDeadlineExceeded status with `message`.
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

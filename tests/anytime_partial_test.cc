@@ -1,0 +1,121 @@
+// Property tests for the DLM estimator's anytime partial answers: for a
+// fixed seed, interrupting after k completed sampling runs must yield an
+// interval that contains the uninterrupted same-seed estimate — for
+// every k, across random query/database instances. Cut points are made
+// exact with the "dlm.run_boundary" failpoint (cancellation lands at a
+// deterministic run boundary), so this property is replayable, not
+// timing-dependent.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "counting/dlm_counter.h"
+#include "counting/partite_hypergraph.h"
+#include "query/parser.h"
+#include "test_util.h"
+#include "util/cancel.h"
+#include "util/failpoint.h"
+
+namespace cqcount {
+namespace {
+
+using testing_util::RandomDatabaseFor;
+using testing_util::RandomQuery;
+using testing_util::RandomQueryOptions;
+
+DlmOptions BaseOptions(uint64_t seed) {
+  DlmOptions opts;
+  opts.exact_enumeration_budget = 4;  // Force the sampling phase.
+  opts.max_frontier = 32;
+  opts.epsilon = 0.2;
+  opts.delta = 0.05;  // Several outer-median runs: room for cut points.
+  opts.seed = seed;
+  return opts;
+}
+
+class AnytimePartialTest : public ::testing::TestWithParam<int> {
+ protected:
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_P(AnytimePartialTest, PartialIntervalContainsFullEstimate) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 101 + 7);
+  RandomQueryOptions qopts;
+  qopts.min_vars = 2;
+  qopts.max_vars = 4;
+  qopts.forced_num_free = 2;
+  Query q = RandomQuery(rng, qopts);
+  Database db = RandomDatabaseFor(q, 8, 0.5, rng);
+  BruteForceEdgeFreeOracle oracle(q, db);
+
+  const DlmOptions base = BaseOptions(static_cast<uint64_t>(GetParam()));
+  auto full = DlmCountEdges({8, 8}, oracle, base);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  // Instances the exact phase resolves have no run boundaries to cut at.
+  if (full->exact) return;
+  const int total_runs = full->total_runs;
+  ASSERT_GT(total_runs, 1) << q.ToString();
+  ASSERT_EQ(full->completed_runs, total_runs);
+
+  // Cancellation before the first run boundary: nothing completed, so
+  // there is no anytime answer — only the typed cause.
+  {
+    CancelToken token;
+    token.Cancel();
+    ResourceGovernor governor(token, 0);
+    DlmOptions opts = base;
+    opts.governor = &governor;
+    BruteForceEdgeFreeOracle fresh(q, db);
+    auto result = DlmCountEdges({8, 8}, fresh, opts);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  }
+
+  // Cut after runs 1, 2, the middle, the second-to-last, and past the
+  // end (which must reproduce the full answer bit for bit).
+  std::vector<int> cuts = {0, 1, (total_runs - 1) / 2, total_runs - 2,
+                           total_runs};
+  for (int cut : cuts) {
+    if (cut < 0) continue;
+    CancelToken token;
+    ResourceGovernor governor(token, 0);
+    DlmOptions opts = base;
+    opts.governor = &governor;
+    failpoint::Config config;
+    config.skip = static_cast<uint64_t>(cut);
+    config.max_fires = 1;
+    config.on_fire = [token] { token.Cancel(); };
+    failpoint::ScopedFailpoint fp("dlm.run_boundary", config);
+    BruteForceEdgeFreeOracle fresh(q, db);
+    auto result = DlmCountEdges({8, 8}, fresh, opts);
+    ASSERT_TRUE(result.ok()) << result.status().ToString() << " cut=" << cut;
+    if (cut >= total_runs - 1) {
+      // Fired after the last run (or never): the full fixed-seed answer.
+      EXPECT_FALSE(result->partial) << "cut=" << cut;
+      EXPECT_DOUBLE_EQ(result->estimate, full->estimate) << "cut=" << cut;
+      continue;
+    }
+    // Runs are counter-seeded, so the first cut+1 runs are exactly the
+    // full execution's first cut+1 runs; everything after is discarded.
+    EXPECT_TRUE(result->partial) << "cut=" << cut;
+    EXPECT_FALSE(result->converged) << "cut=" << cut;
+    EXPECT_EQ(result->completed_runs, cut + 1) << "cut=" << cut;
+    EXPECT_EQ(result->total_runs, total_runs) << "cut=" << cut;
+    // The anytime contract, twice over: the interval brackets its own
+    // estimate AND the uninterrupted same-seed estimate.
+    EXPECT_TRUE(std::isfinite(result->lower_bound)) << "cut=" << cut;
+    EXPECT_TRUE(std::isfinite(result->upper_bound)) << "cut=" << cut;
+    EXPECT_LE(result->lower_bound, result->estimate) << "cut=" << cut;
+    EXPECT_GE(result->upper_bound, result->estimate) << "cut=" << cut;
+    EXPECT_LE(result->lower_bound, full->estimate)
+        << "cut=" << cut << " query=" << q.ToString();
+    EXPECT_GE(result->upper_bound, full->estimate)
+        << "cut=" << cut << " query=" << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnytimePartialTest, ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace cqcount

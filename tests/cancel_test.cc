@@ -1,0 +1,145 @@
+#include "util/cancel.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace cqcount {
+namespace {
+
+TEST(CancelTokenTest, DefaultTokenIsValidAndNeverFires) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelTokenTest, CopiesShareOneFlag) {
+  CancelToken token;
+  CancelToken copy = token;
+  copy.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(copy.cancelled());
+}
+
+TEST(CancelTokenTest, CancelIsStickyAndIdempotent) {
+  CancelToken token;
+  token.Cancel();
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelTokenTest, CancelFromAnotherThreadIsObserved) {
+  CancelToken token;
+  std::thread other([copy = token] { copy.Cancel(); });
+  other.join();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(ManualClockTest, AutoStepReturnsOldValueThenAdvances) {
+  ManualClock clock(100, 10);
+  EXPECT_EQ(clock.NowMillis(), 100u);
+  EXPECT_EQ(clock.NowMillis(), 110u);
+  EXPECT_EQ(clock.Peek(), 120u);
+}
+
+TEST(ManualClockTest, AdvanceAndPeekWithoutAutoStep) {
+  ManualClock clock(5);
+  EXPECT_EQ(clock.NowMillis(), 5u);
+  clock.Advance(7);
+  EXPECT_EQ(clock.Peek(), 12u);
+  EXPECT_EQ(clock.NowMillis(), 12u);
+}
+
+TEST(ResourceGovernorTest, DefaultConstructedIsInactive) {
+  ResourceGovernor governor;
+  EXPECT_FALSE(governor.active());
+  EXPECT_EQ(governor.Check(), GovernanceState::kRunning);
+  EXPECT_FALSE(governor.fired());
+  EXPECT_TRUE(governor.ToStatus("work").ok());
+}
+
+TEST(ResourceGovernorTest, QuiescentGovernorStaysRunning) {
+  CancelToken token;
+  ManualClock clock(0);
+  // No budget: only the token can fire it, and it never does.
+  ResourceGovernor governor(token, 0, &clock);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(governor.Check(), GovernanceState::kRunning);
+  }
+  EXPECT_FALSE(governor.fired());
+}
+
+TEST(ResourceGovernorTest, CancellationLatchesAtTheNextCheckpoint) {
+  CancelToken token;
+  ResourceGovernor governor(token, 0);
+  EXPECT_EQ(governor.Check(), GovernanceState::kRunning);
+  token.Cancel();
+  // state() reads the latch only; the cause is observed by Check().
+  EXPECT_EQ(governor.state(), GovernanceState::kRunning);
+  EXPECT_EQ(governor.Check(), GovernanceState::kCancelled);
+  EXPECT_TRUE(governor.fired());
+  Status status = governor.ToStatus("sampling");
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_NE(status.message().find("sampling"), std::string::npos);
+}
+
+TEST(ResourceGovernorTest, DeadlineExpiryIsDeterministicUnderManualClock) {
+  CancelToken token;
+  ManualClock clock(1000);
+  ResourceGovernor governor(token, 50, &clock);
+  EXPECT_EQ(governor.Check(), GovernanceState::kRunning);
+  clock.Advance(49);
+  EXPECT_EQ(governor.Check(), GovernanceState::kRunning);
+  clock.Advance(1);  // Now == deadline: expired.
+  EXPECT_EQ(governor.Check(), GovernanceState::kDeadlineExpired);
+  EXPECT_EQ(governor.ToStatus("run").code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ResourceGovernorTest, AutoSteppingClockExpiresOnTheKthCheckpoint) {
+  CancelToken token;
+  ManualClock clock(0, 10);  // Every read advances 10ms.
+  // Ctor consumes one read (deadline = 0 + 35); checkpoints then read 10,
+  // 20, 30, 40: the 4th checkpoint crosses the deadline.
+  ResourceGovernor governor(token, 35, &clock);
+  EXPECT_EQ(governor.Check(), GovernanceState::kRunning);
+  EXPECT_EQ(governor.Check(), GovernanceState::kRunning);
+  EXPECT_EQ(governor.Check(), GovernanceState::kRunning);
+  EXPECT_EQ(governor.Check(), GovernanceState::kDeadlineExpired);
+}
+
+TEST(ResourceGovernorTest, FirstCauseWinsAndIsSticky) {
+  CancelToken token;
+  ManualClock clock(0);
+  ResourceGovernor governor(token, 10, &clock);
+  token.Cancel();
+  EXPECT_EQ(governor.Check(), GovernanceState::kCancelled);
+  // Expiring the deadline afterwards must not rewrite the latched cause.
+  clock.Advance(100);
+  EXPECT_EQ(governor.Check(), GovernanceState::kCancelled);
+  EXPECT_EQ(governor.state(), GovernanceState::kCancelled);
+}
+
+TEST(ResourceGovernorTest, ConcurrentCheckpointsAgreeOnOneCause) {
+  CancelToken token;
+  ResourceGovernor governor(token, 0);
+  token.Cancel();
+  std::vector<std::thread> threads;
+  std::vector<GovernanceState> seen(8, GovernanceState::kRunning);
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&governor, &seen, i] { seen[i] = governor.Check(); });
+  }
+  for (std::thread& t : threads) t.join();
+  for (GovernanceState state : seen) {
+    EXPECT_EQ(state, GovernanceState::kCancelled);
+  }
+}
+
+TEST(GovernanceStateNameTest, NamesMatchPartialReasonContract) {
+  EXPECT_STREQ(GovernanceStateName(GovernanceState::kRunning), "");
+  EXPECT_STREQ(GovernanceStateName(GovernanceState::kCancelled), "cancelled");
+  EXPECT_STREQ(GovernanceStateName(GovernanceState::kDeadlineExpired),
+               "deadline_exceeded");
+}
+
+}  // namespace
+}  // namespace cqcount

@@ -1,0 +1,121 @@
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace cqcount {
+namespace failpoint {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  // Arming is process-global: never let a failing test leak a site.
+  void TearDown() override { DisarmAll(); }
+};
+
+TEST_F(FailpointTest, UnarmedSitesAreNoOps) {
+  EXPECT_TRUE(Check("fp.unarmed").ok());
+  EXPECT_FALSE(ShouldFail("fp.unarmed"));
+  EXPECT_EQ(FireCount("fp.unarmed"), 0u);
+}
+
+TEST_F(FailpointTest, InjectsTheConfiguredError) {
+  Config config;
+  config.inject_error = true;
+  config.error_code = StatusCode::kFailedPrecondition;
+  config.error_message = "injected outage";
+  Arm("fp.err", config);
+  Status status = Check("fp.err");
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("injected outage"), std::string::npos);
+  EXPECT_EQ(FireCount("fp.err"), 1u);
+}
+
+TEST_F(FailpointTest, SkipCountsDownBeforeFiring) {
+  Config config;
+  config.skip = 2;
+  config.inject_error = true;
+  Arm("fp.skip", config);
+  EXPECT_TRUE(Check("fp.skip").ok());
+  EXPECT_TRUE(Check("fp.skip").ok());
+  EXPECT_FALSE(Check("fp.skip").ok());
+  EXPECT_EQ(FireCount("fp.skip"), 1u);
+}
+
+TEST_F(FailpointTest, MaxFiresDisarmsTheSite) {
+  Config config;
+  config.max_fires = 2;
+  config.inject_error = true;
+  Arm("fp.twice", config);
+  EXPECT_FALSE(Check("fp.twice").ok());
+  EXPECT_FALSE(Check("fp.twice").ok());
+  EXPECT_TRUE(Check("fp.twice").ok());  // Exhausted: back to a no-op.
+  EXPECT_EQ(FireCount("fp.twice"), 2u);
+}
+
+TEST_F(FailpointTest, CallbackFiresWithoutInjectingAnError) {
+  int fired = 0;
+  Config config;
+  config.on_fire = [&fired] { ++fired; };
+  Arm("fp.cb", config);
+  // No inject_error: the site observes the fire (callback) but the caller
+  // proceeds — the shape the mid-run cancellation tests rely on.
+  EXPECT_TRUE(Check("fp.cb").ok());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(FailpointTest, ShouldFailForcesSlowPathBranches) {
+  Arm("fp.slow", {});
+  EXPECT_TRUE(ShouldFail("fp.slow"));
+  Disarm("fp.slow");
+  EXPECT_FALSE(ShouldFail("fp.slow"));
+}
+
+TEST_F(FailpointTest, RearmingResetsHitCounting) {
+  Config config;
+  config.skip = 1;
+  config.inject_error = true;
+  Arm("fp.rearm", config);
+  EXPECT_TRUE(Check("fp.rearm").ok());
+  Arm("fp.rearm", config);  // Hit counter resets: the skip applies again.
+  EXPECT_TRUE(Check("fp.rearm").ok());
+  EXPECT_FALSE(Check("fp.rearm").ok());
+}
+
+TEST_F(FailpointTest, ScopedFailpointDisarmsOnDestruction) {
+  {
+    Config config;
+    config.inject_error = true;
+    ScopedFailpoint scoped("fp.scoped", config);
+    EXPECT_FALSE(Check("fp.scoped").ok());
+  }
+  EXPECT_TRUE(Check("fp.scoped").ok());
+}
+
+TEST_F(FailpointTest, CountdownIsExactUnderConcurrentHits) {
+  Config config;
+  config.skip = 100;
+  config.max_fires = 5;
+  Arm("fp.mt", config);
+  std::atomic<int> fires{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&fires] {
+      for (int i = 0; i < 50; ++i) {
+        if (ShouldFail("fp.mt")) fires.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // 200 hits against skip=100, max_fires=5: exactly 5 fire, whichever
+  // threads' hits land 101st..105th.
+  EXPECT_EQ(fires.load(), 5);
+  EXPECT_EQ(FireCount("fp.mt"), 5u);
+}
+
+}  // namespace
+}  // namespace failpoint
+}  // namespace cqcount
