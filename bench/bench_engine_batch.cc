@@ -21,6 +21,7 @@
 #include "app/workload.h"
 #include "bench_util.h"
 #include "engine/engine.h"
+#include "obs/metrics.h"
 #include "util/executor.h"
 #include "util/timer.h"
 
@@ -60,6 +61,11 @@ struct BatchPoint {
   int threads = 0;
   double millis = 0.0;
   double queries_per_sec = 0.0;
+  // Work accounting: oracle calls are part of the determinism contract
+  // (must match across thread counts); dp_decides tracks how much of the
+  // batch the exact DP layer absorbed.
+  uint64_t oracle_calls = 0;
+  uint64_t dp_decides = 0;
 };
 
 /// One engine configuration's measurements for one factoring query.
@@ -132,27 +138,35 @@ int Run(const std::string& json_path) {
   std::vector<BatchPoint> points;
   std::vector<double> reference;
   bool deterministic = true;
+  obs::Counter& dp_decides_metric = obs::MetricRegistry::Global().GetCounter(
+      "dp.prepared_decides", "prepared-DP decide calls");
   bench::Row("\n(b) CountBatch over %d queries", static_cast<int>(batch.size()));
-  bench::Row("%8s %12s %14s", "threads", "millis", "queries/s");
+  bench::Row("%8s %12s %14s %14s %12s", "threads", "millis", "queries/s",
+             "oracle_calls", "dp_decides");
   for (int threads : {1, 2, 4, 8}) {
+    const uint64_t dp_before = dp_decides_metric.Value();
     WallTimer timer;
     auto results = engine.CountBatch(batch, threads);
     BatchPoint point;
     point.threads = threads;
     point.millis = timer.Millis();
     point.queries_per_sec = 1e3 * batch.size() / point.millis;
-    points.push_back(point);
+    point.dp_decides = dp_decides_metric.Value() - dp_before;
     std::vector<double> estimates;
     for (const auto& r : results) {
       estimates.push_back(r.ok() ? r->estimate : -1.0);
+      if (r.ok()) point.oracle_calls += r->oracle_calls;
     }
+    points.push_back(point);
     if (reference.empty()) {
       reference = estimates;
     } else if (estimates != reference) {
       deterministic = false;
     }
-    bench::Row("%8d %12.2f %14.1f", threads, point.millis,
-               point.queries_per_sec);
+    bench::Row("%8d %12.2f %14.1f %14llu %12llu", threads, point.millis,
+               point.queries_per_sec,
+               static_cast<unsigned long long>(point.oracle_calls),
+               static_cast<unsigned long long>(point.dp_decides));
   }
   bench::Row("determinism across thread counts: %s",
              deterministic ? "OK (bitwise identical)" : "VIOLATED");
@@ -296,9 +310,12 @@ int Run(const std::string& json_path) {
   for (size_t i = 0; i < points.size(); ++i) {
     std::fprintf(out,
                  "    {\"threads\": %d, \"millis\": %.2f, "
-                 "\"queries_per_sec\": %.1f}%s\n",
+                 "\"queries_per_sec\": %.1f, \"oracle_calls\": %llu, "
+                 "\"dp_decides\": %llu}%s\n",
                  points[i].threads, points[i].millis,
                  points[i].queries_per_sec,
+                 static_cast<unsigned long long>(points[i].oracle_calls),
+                 static_cast<unsigned long long>(points[i].dp_decides),
                  i + 1 < points.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");

@@ -22,6 +22,7 @@
 #include "app/workload.h"
 #include "bench_util.h"
 #include "engine/engine.h"
+#include "obs/metrics.h"
 #include "util/timer.h"
 
 namespace cqcount {
@@ -48,6 +49,11 @@ struct LanePoint {
   int lanes = 1;
   uint64_t tasks = 0;
   uint64_t worker_tasks = 0;
+  // Work accounting: oracle calls must be lane-count invariant (the
+  // determinism contract extends beyond estimates); dp_decides shows how
+  // much the exact DP layer handled per configuration.
+  uint64_t oracle_calls = 0;
+  uint64_t dp_decides = 0;
 };
 
 }  // namespace
@@ -64,6 +70,8 @@ int Run(const std::string& json_path) {
     db = SocialNetworkDb(universe, 5.0, 0.5, rng);
   }
 
+  obs::Counter& dp_decides_metric = obs::MetricRegistry::Global().GetCounter(
+      "dp.prepared_decides", "prepared-DP decide calls");
   auto run_config = [&](const std::string& query, int intra,
                         LanePoint* point) -> bool {
     EngineOptions opts;
@@ -85,6 +93,7 @@ int Run(const std::string& json_path) {
     }
     double total_ms = 0.0;
     for (int rep = 0; rep < warm_reps; ++rep) {
+      const uint64_t dp_before = dp_decides_metric.Value();
       WallTimer timer;
       auto warm = engine.Count(query, "g");
       total_ms += timer.Millis();
@@ -97,6 +106,8 @@ int Run(const std::string& json_path) {
       point->lanes = warm->parallel.lanes;
       point->tasks = warm->parallel.tasks;
       point->worker_tasks = warm->parallel.worker_tasks;
+      point->oracle_calls = warm->oracle_calls;
+      point->dp_decides = dp_decides_metric.Value() - dp_before;
     }
     point->intra = intra;
     point->warm_ms = total_ms / warm_reps;
@@ -105,8 +116,9 @@ int Run(const std::string& json_path) {
 
   // (a) six-cycle fptras-tw.
   bench::Row("\n(a) warm six-cycle fptras-tw (universe %u)", universe);
-  bench::Row("%6s %10s %9s %10s %8s %12s", "intra", "warm_ms", "speedup",
-             "estimate", "lanes", "tasks");
+  bench::Row("%6s %10s %9s %10s %8s %12s %14s %12s", "intra", "warm_ms",
+             "speedup", "estimate", "lanes", "tasks", "oracle_calls",
+             "dp_decides");
   std::vector<LanePoint> six_cycle;
   bool deterministic = true;
   for (int intra : {1, 2, 4}) {
@@ -114,12 +126,15 @@ int Run(const std::string& json_path) {
     if (!run_config(kSixCycle, intra, &point)) return 1;
     if (!six_cycle.empty()) {
       point.speedup = six_cycle.front().warm_ms / point.warm_ms;
-      deterministic =
-          deterministic && point.estimate == six_cycle.front().estimate;
+      deterministic = deterministic &&
+                      point.estimate == six_cycle.front().estimate &&
+                      point.oracle_calls == six_cycle.front().oracle_calls;
     }
-    bench::Row("%6d %10.2f %9.2f %10.1f %8d %12llu", point.intra,
-               point.warm_ms, point.speedup, point.estimate, point.lanes,
-               static_cast<unsigned long long>(point.tasks));
+    bench::Row("%6d %10.2f %9.2f %10.1f %8d %12llu %14llu %12llu",
+               point.intra, point.warm_ms, point.speedup, point.estimate,
+               point.lanes, static_cast<unsigned long long>(point.tasks),
+               static_cast<unsigned long long>(point.oracle_calls),
+               static_cast<unsigned long long>(point.dp_decides));
     six_cycle.push_back(point);
   }
 
@@ -139,13 +154,16 @@ int Run(const std::string& json_path) {
       total.lanes = std::max(total.lanes, point.lanes);
       total.tasks += point.tasks;
       total.worker_tasks += point.worker_tasks;
+      total.oracle_calls += point.oracle_calls;
+      total.dp_decides += point.dp_decides;
       sum_estimate += point.estimate;
     }
     total.estimate = sum_estimate;
     if (!mixed.empty()) {
       total.speedup = mixed.front().warm_ms / total.warm_ms;
-      deterministic =
-          deterministic && total.estimate == mixed.front().estimate;
+      deterministic = deterministic &&
+                      total.estimate == mixed.front().estimate &&
+                      total.oracle_calls == mixed.front().oracle_calls;
     }
     bench::Row("%6d %10.2f %9.2f", total.intra, total.warm_ms,
                total.speedup);
@@ -167,10 +185,13 @@ int Run(const std::string& json_path) {
       std::fprintf(out,
                    "    {\"intra\": %d, \"warm_ms\": %.2f, \"speedup\": "
                    "%.2f, \"estimate\": %.6f, \"lanes\": %d, \"tasks\": "
-                   "%llu, \"worker_tasks\": %llu}%s\n",
+                   "%llu, \"worker_tasks\": %llu, \"oracle_calls\": %llu, "
+                   "\"dp_decides\": %llu}%s\n",
                    p.intra, p.warm_ms, p.speedup, p.estimate, p.lanes,
                    static_cast<unsigned long long>(p.tasks),
                    static_cast<unsigned long long>(p.worker_tasks),
+                   static_cast<unsigned long long>(p.oracle_calls),
+                   static_cast<unsigned long long>(p.dp_decides),
                    i + 1 < points.size() ? "," : "");
     }
     std::fprintf(out, "  ],\n");

@@ -56,11 +56,15 @@ int Usage() {
       "usage:\n"
       "  cli count    <query> <db-file> [epsilon] [delta] "
       "[--intra-threads N] [--timeout-ms N] [--max-oracle-calls N] "
-      "[--json] [--trace FILE] [--metrics]\n"
+      "[--adaptive] [--json] [--trace FILE] [--metrics]\n"
       "                                                     engine count "
       "(auto strategy; on timeout, an\n"
       "                                                     anytime partial "
-      "estimate with hard bounds)\n"
+      "estimate with hard bounds;\n"
+      "                                                     --adaptive arms "
+      "the accuracy scheduler:\n"
+      "                                                     cost-weighted "
+      "budget split + CLT early stop)\n"
       "  cli exact    <query> <db-file>                     engine exact "
       "count\n"
       "  cli explain  <query> <db-file> [--json]            plan + Figure 1 "
@@ -68,7 +72,8 @@ int Usage() {
       "                                                     per-component "
       "breakdown\n"
       "  cli batch    <query-file> <db-file> [--threads N] [--epsilon E] "
-      "[--delta D] [--intra-threads N] [--trace FILE] [--metrics]\n"
+      "[--delta D] [--intra-threads N] [--adaptive] [--trace FILE] "
+      "[--metrics]\n"
       "                                                     concurrent "
       "batch counts\n"
       "                                                     (positional "
@@ -98,13 +103,14 @@ StatusOr<std::vector<std::string>> ReadQueryFile(const std::string& path) {
 }
 
 CountingEngine MakeEngine(double epsilon, double delta,
-                          int intra_threads = -1) {
+                          int intra_threads = -1, bool adaptive = false) {
   EngineOptions opts;
   if (epsilon > 0) opts.epsilon = epsilon;
   if (delta > 0) opts.delta = delta;
   // -1 keeps the engine default (automatic: pool-sized lanes for wide
   // queries, inline for cheap/exact components).
   if (intra_threads >= 0) opts.intra_query_threads = intra_threads;
+  opts.adaptive = adaptive;
   return CountingEngine(opts);
 }
 
@@ -151,6 +157,7 @@ std::string CountResultJson(const EngineResult& r) {
   json.Key("lower_bound").Double(r.lower_bound);
   json.Key("upper_bound").Double(r.upper_bound);
   json.Key("partial_reason").String(r.partial_reason);
+  json.Key("adaptive").Bool(r.adaptive);
   json.Key("strategy").String(StrategyName(r.strategy));
   json.Key("kind").String(KindName(r.kind));
   json.Key("width").Double(r.width);
@@ -171,6 +178,8 @@ std::string CountResultJson(const EngineResult& r) {
     json.Key("partial").Bool(c.partial);
     json.Key("lower_bound").Double(c.lower_bound);
     json.Key("upper_bound").Double(c.upper_bound);
+    json.Key("stop_reason").String(StopReasonName(c.stop_reason));
+    json.Key("rounds_executed").Int(c.rounds_executed);
     json.Key("completed_runs").Int(c.completed_runs);
     json.Key("total_runs").Int(c.total_runs);
     json.Key("executed").Bool(c.executed);
@@ -183,6 +192,10 @@ std::string CountResultJson(const EngineResult& r) {
     json.Key("existential").Bool(c.existential);
     json.Key("plan_cache_hit").Bool(c.plan_cache_hit);
     json.Key("oracle_calls").Uint(c.oracle_calls);
+    json.Key("estimator_calls").Uint(c.estimator_calls);
+    json.Key("cost_source").String(c.cost_source);
+    json.Key("predicted_ms").Double(c.predicted_millis);
+    json.Key("predicted_oracle_calls").Double(c.predicted_oracle_calls);
     json.Key("dp_prepared_decides").Uint(c.dp_prepared_decides);
     json.Key("dp_prepared_path").Bool(c.dp_prepared_path);
     json.Key("colouring_trials_per_call").Uint(c.colouring_trials_per_call);
@@ -239,6 +252,9 @@ std::string ExplanationJson(const Explanation& e) {
     json.Key("epsilon").Double(c.epsilon);
     json.Key("delta").Double(c.delta);
     json.Key("planned_lanes").Int(c.planned_lanes);
+    json.Key("cost_source").String(c.cost_source);
+    json.Key("predicted_ms").Double(c.predicted_millis);
+    json.Key("predicted_oracle_calls").Double(c.predicted_oracle_calls);
     json.Key("observed");
     if (c.observed.has_value()) {
       json.RawValue(c.observed->ToJson());
@@ -301,6 +317,7 @@ int main(int argc, char** argv) {
     int intra_threads = -1;
     unsigned long long timeout_ms = 0;
     unsigned long long max_oracle_calls = 0;
+    bool adaptive = false;
     bool as_json = false;
     bool dump_metrics = false;
     std::string trace_path;
@@ -332,6 +349,8 @@ int main(int argc, char** argv) {
             return 2;
           }
           trace_path = argv[++i];
+        } else if (arg == "--adaptive") {
+          adaptive = true;
         } else if (arg == "--json") {
           as_json = true;
         } else if (arg == "--metrics") {
@@ -349,7 +368,8 @@ int main(int argc, char** argv) {
       }
     }
     if (!trace_path.empty()) obs::TraceSink::Global().Enable();
-    CountingEngine engine = MakeEngine(epsilon, delta, intra_threads);
+    CountingEngine engine =
+        MakeEngine(epsilon, delta, intra_threads, adaptive);
     Status registered = engine.RegisterDatabaseFile("db", db_path);
     if (!registered.ok()) {
       std::fprintf(stderr, "database error: %s\n",
@@ -432,6 +452,19 @@ int main(int argc, char** argv) {
         result->parallel.lanes,
         static_cast<unsigned long long>(result->parallel.tasks),
         static_cast<unsigned long long>(result->parallel.worker_tasks));
+    if (result->adaptive) {
+      for (size_t c = 0; c < result->components.size(); ++c) {
+        const ComponentResult& comp = result->components[c];
+        if (!comp.executed) continue;
+        std::printf(
+            "#   adaptive %zu: stop=%s runs=%d/%d rounds=%d cost=%s "
+            "predicted_calls=%.0f observed_calls=%llu\n",
+            c, StopReasonName(comp.stop_reason), comp.completed_runs,
+            comp.total_runs, comp.rounds_executed, comp.cost_source.c_str(),
+            comp.predicted_oracle_calls,
+            static_cast<unsigned long long>(comp.estimator_calls));
+      }
+    }
     if (result->num_components > 1) {
       for (size_t c = 0; c < result->components.size(); ++c) {
         const ComponentResult& comp = result->components[c];
@@ -462,6 +495,7 @@ int main(int argc, char** argv) {
     double epsilon = 0.0;
     double delta = 0.0;
     int intra_threads = -1;
+    bool adaptive = false;
     bool dump_metrics = false;
     std::string trace_path;
     int positional = 0;
@@ -485,6 +519,8 @@ int main(int argc, char** argv) {
         intra_threads = std::atoi(v);
       } else if (const char* v = flag_value("--trace")) {
         trace_path = v;
+      } else if (arg == "--adaptive") {
+        adaptive = true;
       } else if (arg == "--metrics") {
         dump_metrics = true;
       } else if (arg.rfind("--", 0) == 0) {
@@ -511,7 +547,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (!trace_path.empty()) obs::TraceSink::Global().Enable();
-    CountingEngine engine = MakeEngine(epsilon, delta, intra_threads);
+    CountingEngine engine =
+        MakeEngine(epsilon, delta, intra_threads, adaptive);
     Status registered = engine.RegisterDatabaseFile("db", db_path);
     if (!registered.ok()) {
       std::fprintf(stderr, "database error: %s\n",

@@ -3,9 +3,17 @@
 
 Usage:
   check_estimates.py <fresh.json> <baseline.json>   baseline estimate check
-  check_estimates.py stats <stats.json>             `cli stats` schema check
+  check_estimates.py stats <stats.json> [other.json]
+                                                    `cli stats` schema check;
+                                                    with a second dump, a
+                                                    determinism comparison
+                                                    (nondet-prefixed metrics
+                                                    excluded)
   check_estimates.py trace <trace.json>             Chrome-trace schema check
   check_estimates.py count-json <result.json>       `cli count --json` check
+  check_estimates.py scheduler <BENCH_scheduler.json>
+                                                    adaptive-scheduler bench
+                                                    schema + reduction check
 
 Baseline mode: perf PRs are free to change timings, but the `estimates`
 section of BENCH_fptras.json is produced at FIXED sizes and seeds in
@@ -32,10 +40,34 @@ REQUIRED_METRICS = (
     "dlm.estimates",
     "dlm.oracle_calls",
     "dlm.abandoned_waves",
+    "dlm.early_stops",
     "dp.prepared_decides",
-    "cc.hom_queries",
+    "cc.nondet.hom_queries",
     "acjr.membership_tests",
     "sampler.samples",
+    "scheduler.profile_predictions",
+    "scheduler.plan_predictions",
+    "scheduler.budget_splits",
+    "scheduler.early_stops",
+    "scheduler.runs_saved",
+)
+
+# Metrics with this name segment are documented scheduling-dependent WORK
+# counters (e.g. cc.nondet.hom_queries: parallel trial loops exit early).
+# Determinism-sensitive assertions must skip them.
+NONDET_SEGMENT = ".nondet."
+
+# Typed stop reasons an estimator execution may report (util/
+# estimate_outcome.h StopReasonName). "none" covers exact strategies with
+# no run structure.
+STOP_REASONS = (
+    "none",
+    "full_schedule",
+    "confidence",
+    "hard_bounds",
+    "budget_exhausted",
+    "cancelled",
+    "deadline_expired",
 )
 
 # Span names a traced non-trivial count must produce. dlm.run/dlm.round
@@ -106,13 +138,18 @@ def check_baseline(fresh_path, baseline_path):
     return 0
 
 
-def check_stats(path):
+def load_stats(path):
     with open(path) as f:
         data = json.load(f)
-    failures = []
     metrics = data.get("metrics")
     if not isinstance(metrics, list) or not metrics:
         raise SystemExit(f"{path}: no 'metrics' array")
+    return metrics
+
+
+def check_stats(path, other_path=None):
+    metrics = load_stats(path)
+    failures = []
     names = []
     for m in metrics:
         name = m.get("name")
@@ -138,12 +175,36 @@ def check_stats(path):
     for required in REQUIRED_METRICS:
         if required not in names:
             failures.append(f"required metric missing: {required}")
+    if other_path is not None:
+        # Determinism comparison: two dumps from identically-configured
+        # fixed-seed runs must agree on every WORK counter — except the
+        # `.nondet.`-marked families, whose totals legitimately vary with
+        # thread scheduling (e.g. parallel colour-coding trial loops race
+        # to the success threshold). Timing-valued metrics (histograms,
+        # gauges) are excluded wholesale: they measure clocks and queue
+        # depths, not work.
+        other = {m.get("name"): m for m in load_stats(other_path)}
+        for m in metrics:
+            name = m.get("name")
+            if not name or m.get("kind") != "counter":
+                continue
+            if NONDET_SEGMENT in name:
+                continue
+            peer = other.get(name)
+            if peer is None:
+                failures.append(f"{name}: missing from {other_path}")
+            elif m.get("value") != peer.get("value"):
+                failures.append(
+                    f"{name}: counter value {m.get('value')} != "
+                    f"{peer.get('value')} across fixed-seed runs (only "
+                    f"'{NONDET_SEGMENT}'-marked metrics may differ)")
     if failures:
         print("stats schema check FAILED:")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print(f"stats schema check OK ({len(names)} metrics)")
+    suffix = " + determinism vs peer dump" if other_path else ""
+    print(f"stats schema check OK ({len(names)} metrics{suffix})")
     return 0
 
 
@@ -194,9 +255,9 @@ def check_count_json(path):
         data = json.load(f)
     failures = []
     for key in ("estimate", "exact", "converged", "partial", "lower_bound",
-                "upper_bound", "partial_reason", "strategy", "kind",
-                "verdict", "oracle_calls", "num_components", "components",
-                "profile"):
+                "upper_bound", "partial_reason", "adaptive", "strategy",
+                "kind", "verdict", "oracle_calls", "num_components",
+                "components", "profile"):
         if key not in data:
             failures.append(f"missing top-level key {key!r}")
     # The anytime contract: non-partial results have a degenerate interval
@@ -217,11 +278,16 @@ def check_count_json(path):
         failures.append("empty 'components' array")
     for i, c in enumerate(components):
         for key in ("estimate", "exact", "strategy", "shape_key", "verdict",
-                    "partial", "lower_bound", "upper_bound",
-                    "completed_runs", "total_runs",
-                    "plan_cache_hit", "oracle_calls", "exec_ms"):
+                    "partial", "lower_bound", "upper_bound", "stop_reason",
+                    "rounds_executed", "completed_runs", "total_runs",
+                    "plan_cache_hit", "oracle_calls", "estimator_calls",
+                    "exec_ms"):
             if key not in c:
                 failures.append(f"component {i}: missing {key!r}")
+        if "stop_reason" in c and c["stop_reason"] not in STOP_REASONS:
+            failures.append(
+                f"component {i}: stop_reason {c['stop_reason']!r} not in "
+                f"{STOP_REASONS}")
     profile = data.get("profile", {})
     phases = profile.get("phases", {})
     for key in ("parse_ms", "compile_ms", "plan_ms", "execute_ms"):
@@ -240,13 +306,80 @@ def check_count_json(path):
     return 0
 
 
+def check_scheduler(path):
+    """Validates BENCH_scheduler.json: the adaptive-scheduler A/B bench.
+
+    Each workload entry carries an adaptive-off arm (the PR 7 baseline
+    behaviour: full run schedule, even eps split) and an adaptive-on arm
+    (cost-model budgets + CLT early stop). The schema check asserts the
+    typed stop reasons and that adaptivity never *increases* oracle work
+    on these workloads; the accuracy side is covered by the `estimates`
+    section, which feeds the ordinary baseline mode.
+    """
+    with open(path) as f:
+        data = json.load(f)
+    failures = []
+    if not data.get("estimates"):
+        failures.append("no 'estimates' section (baseline mode needs the "
+                        "adaptive-off estimates to pin against PR 7)")
+    workloads = data.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        raise SystemExit(f"{path}: no 'workloads' array")
+    arm_keys = ("estimate", "oracle_calls", "estimator_calls", "millis",
+                "stop_reason", "completed_runs", "total_runs")
+    for w in workloads:
+        name = w.get("name", "<unnamed>")
+        for key in ("name", "universe", "seed", "epsilon", "delta",
+                    "adaptive_off", "adaptive_on", "oracle_call_reduction"):
+            if key not in w:
+                failures.append(f"{name}: missing {key!r}")
+        for arm_name in ("adaptive_off", "adaptive_on"):
+            arm = w.get(arm_name, {})
+            for key in arm_keys:
+                if key not in arm:
+                    failures.append(f"{name}.{arm_name}: missing {key!r}")
+            reason = arm.get("stop_reason")
+            if reason is not None and reason not in STOP_REASONS:
+                failures.append(
+                    f"{name}.{arm_name}: stop_reason {reason!r} not in "
+                    f"{STOP_REASONS}")
+        off_reason = w.get("adaptive_off", {}).get("stop_reason")
+        if off_reason in ("confidence", "hard_bounds"):
+            failures.append(
+                f"{name}: adaptive_off arm reports early-stop reason "
+                f"{off_reason!r} — early termination must be opt-in")
+        reduction = w.get("oracle_call_reduction")
+        if isinstance(reduction, (int, float)):
+            if reduction < 1.0:
+                failures.append(
+                    f"{name}: oracle_call_reduction {reduction} < 1.0 "
+                    f"(adaptive scheduling made the workload MORE "
+                    f"expensive)")
+        elif reduction is not None:
+            failures.append(
+                f"{name}: non-numeric oracle_call_reduction {reduction!r}")
+    if failures:
+        print("scheduler bench schema check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    reductions = [w["oracle_call_reduction"] for w in workloads]
+    print(f"scheduler bench schema check OK ({len(workloads)} workloads, "
+          f"oracle-call reduction "
+          f"{min(reductions):.2f}x..{max(reductions):.2f}x)")
+    return 0
+
+
 def main():
-    if len(sys.argv) == 3 and sys.argv[1] == "stats":
-        return check_stats(sys.argv[2])
+    if len(sys.argv) in (3, 4) and sys.argv[1] == "stats":
+        return check_stats(sys.argv[2],
+                           sys.argv[3] if len(sys.argv) == 4 else None)
     if len(sys.argv) == 3 and sys.argv[1] == "trace":
         return check_trace(sys.argv[2])
     if len(sys.argv) == 3 and sys.argv[1] == "count-json":
         return check_count_json(sys.argv[2])
+    if len(sys.argv) == 3 and sys.argv[1] == "scheduler":
+        return check_scheduler(sys.argv[2])
     if len(sys.argv) == 3:
         return check_baseline(sys.argv[1], sys.argv[2])
     raise SystemExit(__doc__)

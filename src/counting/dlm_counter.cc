@@ -37,6 +37,9 @@ struct DlmMetrics {
   obs::Counter& abandoned = obs::MetricRegistry::Global().GetCounter(
       "dlm.abandoned_waves",
       "Exact phases abandoned at a wave boundary (budget exceeded)");
+  obs::Counter& early_stops = obs::MetricRegistry::Global().GetCounter(
+      "dlm.early_stops",
+      "Outer-median schedules terminated early by the CLT/hard-bounds rule");
   obs::Histogram& calls_per_estimate =
       obs::MetricRegistry::Global().GetHistogram(
           "dlm.calls_per_estimate", "Oracle probes per estimate (log2 buckets)");
@@ -200,6 +203,10 @@ class Estimator {
     }
     const uint64_t per_run_budget = remaining / static_cast<uint64_t>(runs);
 
+    if (opts_.early_stop && runs > 1) {
+      return EarlyStopSampling(frontier, singleton_edges, run_seeds,
+                               per_run_budget);
+    }
     std::vector<RunOutcome> outcomes(runs);
     // Runs may execute on pool threads; parent their spans on the
     // sampling phase explicitly (the implicit thread-local stack does not
@@ -255,6 +262,8 @@ class Estimator {
     runs_executed_ = static_cast<uint64_t>(runs);
     StatusOr<DlmResult> result =
         Finish(Median(estimates), false, converged, run_calls);
+    result->stop_reason = converged ? StopReason::kFullSchedule
+                                    : StopReason::kBudgetExhausted;
     result->refinement_rounds = worst_rounds;
     result->completed_runs = runs;
     result->total_runs = runs;
@@ -282,6 +291,9 @@ class Estimator {
     result.lower_bound = estimate;
     result.upper_bound = estimate;
     result.oracle_calls = seq_calls_ + task_calls_ + run_calls;
+    // Callers accumulate total_rounds_ before finishing, so this is the
+    // rounds actually executed across the runs that fed the estimate.
+    result.rounds_executed = static_cast<int>(total_rounds_);
     result.parallel = parallel_;
     return result;
   }
@@ -350,10 +362,122 @@ class Estimator {
     StatusOr<DlmResult> result =
         Finish(estimate, /*exact=*/false, /*converged=*/false, run_calls);
     result->partial = true;
+    result->stop_reason = opts_.governor->state() == GovernanceState::kCancelled
+                              ? StopReason::kCancelled
+                              : StopReason::kDeadlineExpired;
     result->lower_bound = lower;
     result->upper_bound = upper;
     result->refinement_rounds = worst_rounds;
     result->completed_runs = static_cast<int>(completed.size());
+    result->total_runs = runs;
+    return result;
+  }
+
+  // Early-stop rule, consulted at run boundaries when opts_.early_stop is
+  // armed. A pure function of the completed run estimates (which are
+  // themselves lane-count independent), so the stop index — and with it
+  // the adaptive estimate and its oracle-call tally — is reproducible at
+  // any thread count. Two ways to stop before the full schedule:
+  //  - kHardBounds: the order-statistic bounds on the FULL m-run median
+  //    (unknown runs pinned to [0, cap]) already pinch within epsilon.
+  //    The remaining runs provably cannot move the answer outside the
+  //    target, whatever they return.
+  //  - kConfidence: the CLT interval over the k completed runs,
+  //    z * s / sqrt(k) with z = sqrt(2 ln(2/delta)) (the sub-Gaussian
+  //    two-sided quantile), is within epsilon of the mean. This is the
+  //    statistical stop: per-run estimates concentrate so tightly that
+  //    more median amplification is wasted work.
+  StopReason EarlyStopReason(const std::vector<RunOutcome>& done,
+                             int total_runs) const {
+    const int k = static_cast<int>(done.size());
+    if (k < std::max(2, opts_.min_early_stop_runs) || k >= total_runs) {
+      return StopReason::kNone;
+    }
+    std::vector<double> estimates;
+    estimates.reserve(done.size());
+    MeanVarAccumulator acc;
+    for (const RunOutcome& outcome : done) {
+      estimates.push_back(outcome.estimate);
+      acc.Add(outcome.estimate);
+    }
+    const double median = Median(estimates);  // Reorders; re-sort below.
+    std::sort(estimates.begin(), estimates.end());
+    const double cap = std::max(PaddedVolume(), estimates.back());
+    auto [lower, upper] = MedianOrderBounds(estimates, total_runs, cap);
+    if (upper - lower <= opts_.epsilon * std::max(median, 1.0)) {
+      return StopReason::kHardBounds;
+    }
+    const double z = std::sqrt(2.0 * std::log(2.0 / opts_.delta));
+    if (z * std::sqrt(acc.mean_variance()) <=
+        opts_.epsilon * std::max(acc.mean(), 1.0)) {
+      return StopReason::kConfidence;
+    }
+    return StopReason::kNone;
+  }
+
+  // Phase 3 under early termination: runs execute strictly in index
+  // order (per-round batches still fan across lanes), and after each
+  // completed run the EarlyStopReason rule decides whether the remaining
+  // schedule is worth its oracle calls. The estimate on an early stop is
+  // the median of the completed prefix — a full (non-partial) answer:
+  // the stop rule only fires once that prefix meets (epsilon, delta).
+  StatusOr<DlmResult> EarlyStopSampling(const std::vector<Box>& frontier,
+                                        uint64_t singleton_edges,
+                                        const std::vector<uint64_t>& run_seeds,
+                                        uint64_t per_run_budget) {
+    const int runs = static_cast<int>(run_seeds.size());
+    obs::Span sampling_span("dlm.sampling");
+    const obs::SpanRef sampling_ref = sampling_span.ref();
+    std::vector<RunOutcome> outcomes;
+    outcomes.reserve(run_seeds.size());
+    StopReason stop = StopReason::kNone;
+    for (int r = 0; r < runs; ++r) {
+      {
+        obs::Span run_span("dlm.run", sampling_ref);
+        outcomes.push_back(AdaptiveRun(frontier, singleton_edges,
+                                       run_seeds[static_cast<size_t>(r)],
+                                       per_run_budget, *lanes_[0],
+                                       /*sample_fanout=*/lanes_.size() > 1));
+      }
+      failpoint::ShouldFail("dlm.run_boundary");
+      // Active checkpoint, not a passive GovFired() read: a cancellation
+      // or deadline landing exactly at this boundary must latch before
+      // the stop rule is consulted, so interruption is the typed first
+      // cause even when the stop rule would also have fired here.
+      if (!outcomes.back().completed ||
+          Checkpoint() != GovernanceState::kRunning) {
+        break;
+      }
+      stop = EarlyStopReason(outcomes, runs);
+      if (stop != StopReason::kNone) break;
+    }
+    if (GovFired()) {
+      // Interruption wins over a concurrent stop verdict: the anytime
+      // partial (hard interval + typed cause) is the contract callers
+      // rely on, whether or not early stop was armed.
+      return PartialFromRuns(outcomes, runs);
+    }
+    std::vector<double> estimates;
+    estimates.reserve(outcomes.size());
+    int worst_rounds = 0;
+    bool converged = true;
+    uint64_t run_calls = 0;
+    for (const RunOutcome& outcome : outcomes) {
+      estimates.push_back(outcome.estimate);
+      worst_rounds = std::max(worst_rounds, outcome.rounds);
+      converged = converged && outcome.converged;
+      run_calls += outcome.calls;
+      total_rounds_ += static_cast<uint64_t>(outcome.rounds);
+    }
+    runs_executed_ = outcomes.size();
+    StatusOr<DlmResult> result =
+        Finish(Median(estimates), false, converged, run_calls);
+    result->stop_reason = stop != StopReason::kNone
+                              ? stop
+                              : (converged ? StopReason::kFullSchedule
+                                           : StopReason::kBudgetExhausted);
+    result->refinement_rounds = worst_rounds;
+    result->completed_runs = static_cast<int>(outcomes.size());
     result->total_runs = runs;
     return result;
   }
@@ -822,6 +946,10 @@ StatusOr<DlmResult> DlmCountEdges(const std::vector<uint32_t>& part_sizes,
     metrics.oracle_calls.Add(result->oracle_calls);
     metrics.exact_waves.Add(estimator.exact_waves_);
     metrics.abandoned.Add(estimator.abandoned_waves_);
+    if (result->stop_reason == StopReason::kConfidence ||
+        result->stop_reason == StopReason::kHardBounds) {
+      metrics.early_stops.Increment();
+    }
     metrics.calls_per_estimate.Observe(result->oracle_calls);
   }
   return result;

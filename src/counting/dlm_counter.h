@@ -82,6 +82,21 @@ struct DlmOptions {
   /// the completed runs (DlmResult::partial + interval), or a typed
   /// CANCELLED/DEADLINE_EXCEEDED status when no run completed.
   const ResourceGovernor* governor = nullptr;
+  /// Opt-in adaptive early termination of the outer-median run schedule
+  /// (the accuracy scheduler's knob; off = bit-identical to the full
+  /// schedule). When armed, runs execute strictly in index order (their
+  /// per-round batches still fan across lanes) and after each completed
+  /// run — a deterministic boundary over merged state — the estimator
+  /// stops as soon as either (a) the empirical CLT interval over the
+  /// completed counter-seeded runs meets (epsilon, delta), or (b) the
+  /// hard median-order bounds over the completed prefix pinch within
+  /// epsilon (then the remaining runs provably cannot move the median
+  /// outside the target). The stop index is a pure function of the
+  /// completed run estimates, so fixed-seed adaptive results (estimate
+  /// AND oracle_calls) are reproducible at any lane count.
+  bool early_stop = false;
+  /// Completed runs required before the early-stop rule is consulted.
+  int min_early_stop_runs = 3;
 };
 
 /// Estimation result (estimate/exact/converged — plus the anytime-answer

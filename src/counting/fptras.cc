@@ -25,9 +25,12 @@ struct FptrasMetrics {
   // the number of hom-oracle queries actually issued depends on
   // scheduling. Verdicts (and thus estimates and oracle_calls =
   // hom + edgefree probes at the DLM layer) are scheduling-independent;
-  // only this tally of work performed may vary run to run.
+  // only this tally of work performed may vary run to run. The `.nondet.`
+  // name segment marks it (and any future scheduling-dependent counter)
+  // for tooling: scripts/check_estimates.py excludes the prefix from
+  // determinism-sensitive assertions.
   obs::Counter& hom_queries = obs::MetricRegistry::Global().GetCounter(
-      "cc.hom_queries",
+      "cc.nondet.hom_queries",
       "Hom-oracle queries issued by colour-coding trials. Nondeterministic "
       "work counter: parallel trial loops exit early, so the tally varies "
       "with scheduling; trial verdicts never do");
@@ -171,6 +174,8 @@ StatusOr<ApproxCountResult> ApproxCountAnswers(const Query& q,
   result.partial = dlm_result->partial;
   result.lower_bound = dlm_result->lower_bound;
   result.upper_bound = dlm_result->upper_bound;
+  result.stop_reason = dlm_result->stop_reason;
+  result.rounds_executed = dlm_result->rounds_executed;
   result.completed_runs = dlm_result->completed_runs;
   result.total_runs = dlm_result->total_runs;
   result.edgefree_calls = dlm_result->oracle_calls;

@@ -76,6 +76,7 @@ double ComponentFactorCap(uint32_t universe, int num_free, bool existential) {
 
 CountingEngine::CountingEngine(EngineOptions opts)
     : opts_(opts),
+      scheduler_(opts.scheduler),
       cache_(opts.plan_cache_capacity, opts.plan_cache_shards) {
   int threads = opts_.num_threads;
   if (threads <= 0) {
@@ -302,8 +303,29 @@ StatusOr<EngineResult> CountingEngine::ExecutePlanned(
   }
 
   const size_t k_total = compiled.num_components();
-  const std::vector<BudgetShare> budgets =
-      ComponentBudgets(planned, epsilon, delta, request.force_exact);
+  // Adaptive scheduling (opt-in): predict per-component cost from the
+  // shape's observed history and replace the even budget split with the
+  // marginal-cost allocation. force_exact bypasses it — there is no
+  // accuracy budget to allocate.
+  const bool adaptive = opts_.adaptive && !request.force_exact;
+  result.adaptive = adaptive;
+  std::vector<CostPrediction> predictions;
+  std::vector<BudgetShare> budgets;
+  if (adaptive) {
+    obs::Span schedule_span("engine.schedule");
+    predictions.resize(k_total);
+    std::vector<SchedulerComponent> sched(k_total);
+    for (size_t i = 0; i < k_total; ++i) {
+      predictions[i] =
+          scheduler_.Predict(*planned.plans[i], cache_.Profile(planned.keys[i]));
+      sched[i].estimated = planned.plans[i]->strategy != Strategy::kExact;
+      sched[i].existential = compiled.components[i].existential;
+      sched[i].cost = predictions[i];
+    }
+    budgets = scheduler_.SplitBudgets(epsilon, delta, sched);
+  } else {
+    budgets = ComponentBudgets(planned, epsilon, delta, request.force_exact);
+  }
   const ExecutorRegistry& registry = ExecutorRegistry::Default();
 
   double product = 1.0;
@@ -336,6 +358,11 @@ StatusOr<EngineResult> CountingEngine::ExecutePlanned(
     const BudgetShare& share = budgets[i];
     cr.epsilon = share.epsilon;
     cr.delta = share.delta;
+    if (adaptive) {
+      cr.cost_source = CostSourceName(predictions[i].source);
+      cr.predicted_millis = predictions[i].millis;
+      cr.predicted_oracle_calls = predictions[i].oracle_calls;
+    }
     result.width = std::max(result.width, cr.width);
 
     if (guards_hold && !interrupted) {
@@ -359,11 +386,25 @@ StatusOr<EngineResult> CountingEngine::ExecutePlanned(
       ctx.exact_decomposition_limit = opts_.plan.exact_decomposition_limit;
       // Intra-query fan-out (scheduling only: the estimate is the same
       // at every lane count, so the cost model needs no second-guessing).
-      const int lanes = IntraQueryLanes(cr.strategy, plan.cost_estimate);
+      // The adaptive path gates lanes on observed wall time once the
+      // shape has history.
+      const int lanes =
+          adaptive ? scheduler_.PlanLanes(cr.strategy, predictions[i],
+                                          opts_.intra_query_threads,
+                                          pool_->num_threads(),
+                                          opts_.intra_query_min_cost)
+                   : IntraQueryLanes(cr.strategy, plan.cost_estimate);
       ctx.pool = lanes > 1 ? pool_.get() : nullptr;
       ctx.intra_threads = lanes;
       ctx.governor = governor;
       ctx.max_oracle_calls = request.max_oracle_calls;
+      if (adaptive) {
+        ctx.adaptive.early_stop = true;
+        ctx.adaptive.min_early_stop_runs =
+            scheduler_.options().min_early_stop_runs;
+        ctx.adaptive.per_call_failure =
+            scheduler_.PerCallFailure(share.delta, predictions[i]);
+      }
       auto outcome = executor->Execute(ctx);
       if (!outcome.ok()) {
         // A typed governance status means the checkpoint fired before any
@@ -385,10 +426,13 @@ StatusOr<EngineResult> CountingEngine::ExecutePlanned(
         cr.partial = outcome->partial;
         cr.lower_bound = outcome->lower_bound;
         cr.upper_bound = outcome->upper_bound;
+        cr.stop_reason = outcome->stop_reason;
+        cr.rounds_executed = outcome->rounds_executed;
         cr.completed_runs = outcome->completed_runs;
         cr.total_runs = outcome->total_runs;
         if (cr.partial) interrupted = true;
         cr.oracle_calls = outcome->oracle_calls;
+        cr.estimator_calls = outcome->estimator_calls;
         cr.dp_prepared_decides = outcome->dp_prepared_decides;
         cr.dp_cached_bag_rows = outcome->dp_cached_bag_rows;
         cr.dp_prepared_path = outcome->dp_prepared_path;
@@ -409,8 +453,12 @@ StatusOr<EngineResult> CountingEngine::ExecutePlanned(
         // their truncated cost/estimate would skew the profile.
         if (!cr.partial) {
           cache_.RecordObservation(planned.keys[i], cr.exec_millis,
-                                   cr.oracle_calls, cr.estimate,
-                                   cr.converged);
+                                   cr.oracle_calls, cr.estimator_calls,
+                                   cr.estimate, cr.converged);
+        }
+        if (adaptive) {
+          RecordAdaptiveOutcome(cr.stop_reason, cr.completed_runs,
+                                cr.total_runs);
         }
         EngineMetrics::Get().components.Increment();
       }
@@ -627,8 +675,25 @@ StatusOr<Explanation> CountingEngine::Explain(const std::string& query,
 
   const size_t k_total = compiled.num_components();
   const size_t k_counting = compiled.num_counting_components();
-  const std::vector<BudgetShare> budgets =
-      ComponentBudgets(planned, opts_.epsilon, opts_.delta, false);
+  // Mirror ExecutePlanned's budget policy so Explain reports the shares a
+  // Count would actually run with (adaptive: marginal-cost allocation
+  // from the same predictions).
+  std::vector<CostPrediction> predictions;
+  std::vector<BudgetShare> budgets;
+  if (opts_.adaptive) {
+    predictions.resize(k_total);
+    std::vector<SchedulerComponent> sched(k_total);
+    for (size_t i = 0; i < k_total; ++i) {
+      predictions[i] =
+          scheduler_.Predict(*planned.plans[i], cache_.Profile(planned.keys[i]));
+      sched[i].estimated = planned.plans[i]->strategy != Strategy::kExact;
+      sched[i].existential = compiled.components[i].existential;
+      sched[i].cost = predictions[i];
+    }
+    budgets = scheduler_.SplitBudgets(opts_.epsilon, opts_.delta, sched);
+  } else {
+    budgets = ComponentBudgets(planned, opts_.epsilon, opts_.delta, false);
+  }
 
   const Query& nq = compiled.normalized;
   std::ostringstream text;
@@ -668,8 +733,17 @@ StatusOr<Explanation> CountingEngine::Explain(const std::string& query,
     const BudgetShare& share = budgets[i];
     ce.epsilon = share.epsilon;
     ce.delta = share.delta;
-    ce.planned_lanes = IntraQueryLanes(plan.strategy, plan.cost_estimate);
     ce.observed = cache_.Profile(planned.keys[i]);
+    if (opts_.adaptive) {
+      ce.cost_source = CostSourceName(predictions[i].source);
+      ce.predicted_millis = predictions[i].millis;
+      ce.predicted_oracle_calls = predictions[i].oracle_calls;
+      ce.planned_lanes = scheduler_.PlanLanes(
+          plan.strategy, predictions[i], opts_.intra_query_threads,
+          pool_->num_threads(), opts_.intra_query_min_cost);
+    } else {
+      ce.planned_lanes = IntraQueryLanes(plan.strategy, plan.cost_estimate);
+    }
 
     const Classification& cls = plan.classification;
     text << "component " << i << " (";
@@ -695,12 +769,18 @@ StatusOr<Explanation> CountingEngine::Explain(const std::string& query,
          << "  cost estimate: " << plan.cost_estimate
          << "  plan cache: " << (ce.plan_cache_hit ? "hit" : "miss")
          << "  intra-query lanes: " << ce.planned_lanes << "\n";
+    if (!ce.cost_source.empty()) {
+      text << "  scheduled: cost source " << ce.cost_source
+           << "  predicted " << ce.predicted_millis << " ms, "
+           << ce.predicted_oracle_calls << " estimator calls\n";
+    }
     if (ce.observed.has_value()) {
       const obs::ShapeProfile& sp = *ce.observed;
       text << "  observed: runs " << sp.runs << "  mean " << sp.MeanExecMillis()
            << " ms  [" << sp.min_exec_millis << ", " << sp.max_exec_millis
-           << "] ms  oracle calls " << sp.total_oracle_calls << "  converged "
-           << sp.converged_runs << "/" << sp.runs << "\n";
+           << "] ms  oracle calls " << sp.total_oracle_calls
+           << "  estimator calls " << sp.total_estimator_calls
+           << "  converged " << sp.converged_runs << "/" << sp.runs << "\n";
     }
     out.components.push_back(std::move(ce));
   }

@@ -32,6 +32,7 @@
 #include "compile/compiled_query.h"
 #include "engine/plan.h"
 #include "engine/plan_cache.h"
+#include "engine/scheduler.h"
 #include "engine/strategy_executor.h"
 #include "obs/profile.h"
 #include "query/query.h"
@@ -69,6 +70,17 @@ struct EngineOptions {
   /// only on counts that run long enough to amortise it; millisecond
   /// estimates stay inline.
   double intra_query_min_cost = 1e8;
+  /// Opt-in adaptive accuracy scheduling (see engine/scheduler.h): cost
+  /// predictions from the plan cache's ShapeProfile history drive a
+  /// marginal-cost (epsilon, delta) split across components, dynamic lane
+  /// grants, profile-sized colour-coding trial budgets, and run-boundary
+  /// CLT early termination in the estimators. Off (the default) leaves
+  /// every estimate bit-identical to the non-adaptive engine; on, fixed-
+  /// seed results are reproducible at any lane count (the scheduler's
+  /// accuracy decisions read only deterministic inputs).
+  bool adaptive = false;
+  /// Tuning for the adaptive scheduler (ignored unless `adaptive`).
+  SchedulerOptions scheduler;
   /// Planner thresholds.
   PlanOptions plan;
   /// Compile-pipeline gates (normalization passes, component factoring).
@@ -127,6 +139,13 @@ struct ComponentResult {
   bool partial = false;
   double lower_bound = 0.0;
   double upper_bound = 0.0;
+  /// Why the estimator stopped sampling (kFullSchedule for an ordinary
+  /// complete schedule, kConfidence/kHardBounds for adaptive early stops,
+  /// kCancelled/kDeadlineExpired on partial components, kNone for exact
+  /// strategies without run structure).
+  StopReason stop_reason = StopReason::kNone;
+  /// Adaptive refinement rounds executed across the estimator's runs.
+  int rounds_executed = 0;
   /// Estimator outer-median runs completed / scheduled (differ only on
   /// partial components; 0/0 for strategies without run structure).
   int completed_runs = 0;
@@ -144,6 +163,9 @@ struct ComponentResult {
   /// placeholders, only the planning provenance is meaningful.
   bool executed = false;
   uint64_t oracle_calls = 0;
+  /// Deterministic estimator probes only (excludes the scheduling-
+  /// dependent hom-query tally); the cost model's observation input.
+  uint64_t estimator_calls = 0;
   /// Trial decisions served by the prepare/evaluate DP split and the
   /// size of the bag-join cache they shared (fptras strategies).
   uint64_t dp_prepared_decides = 0;
@@ -166,6 +188,12 @@ struct ComponentResult {
   uint64_t colouring_trials_per_call = 0;
   /// Wall-clock execution time of this component alone.
   double exec_millis = 0.0;
+  /// Adaptive-scheduler provenance: the cost prediction this component
+  /// was scheduled with ("plan_estimate" / "observed_profile"; empty when
+  /// the scheduler was off).
+  std::string cost_source;
+  double predicted_millis = 0.0;
+  double predicted_oracle_calls = 0.0;
 };
 
 /// A count with execution provenance.
@@ -187,6 +215,8 @@ struct EngineResult {
   double upper_bound = 0.0;
   /// Why the result is partial: "" / "cancelled" / "deadline_exceeded".
   std::string partial_reason;
+  /// True when the adaptive scheduler drove this execution.
+  bool adaptive = false;
   /// Strategy of the dominant (highest planned cost) component.
   Strategy strategy = Strategy::kExact;
   QueryKind kind = QueryKind::kCq;
@@ -236,6 +266,11 @@ struct ComponentExplanation {
   /// Observed execution history of this component's shape, when the plan
   /// cache has recorded runs (Explain after Count on a warm cache).
   std::optional<obs::ShapeProfile> observed;
+  /// Adaptive-scheduler provenance (empty cost_source when the scheduler
+  /// is off): where the cost prediction came from and what it predicts.
+  std::string cost_source;
+  double predicted_millis = 0.0;
+  double predicted_oracle_calls = 0.0;
 };
 
 /// Explain() output: the compiled plan, without execution.
@@ -370,6 +405,9 @@ class CountingEngine {
                                         const ResourceGovernor* governor);
 
   EngineOptions opts_;
+  // Stateless decision logic for the opt-in adaptive path (constructed
+  // from opts_.scheduler; safe to share across batch workers).
+  AdaptiveScheduler scheduler_;
   // Reader-writer lock: every Count in a batch resolves its database here,
   // so lookups must not serialise behind each other (registration is rare
   // and takes the exclusive side).

@@ -1,0 +1,156 @@
+#include "engine/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cqcount {
+namespace {
+
+// Scheduler decision metrics, fed once per adaptive count / component —
+// never inside sampling loops.
+struct SchedulerMetrics {
+  obs::Counter& profile_predictions = obs::MetricRegistry::Global().GetCounter(
+      "scheduler.profile_predictions",
+      "Cost predictions served from observed ShapeProfile history");
+  obs::Counter& plan_predictions = obs::MetricRegistry::Global().GetCounter(
+      "scheduler.plan_predictions",
+      "Cost predictions that fell back to the planner's static estimate "
+      "(cold shape)");
+  obs::Counter& budget_splits = obs::MetricRegistry::Global().GetCounter(
+      "scheduler.budget_splits",
+      "Marginal-cost (epsilon, delta) allocations computed");
+  obs::Counter& early_stops = obs::MetricRegistry::Global().GetCounter(
+      "scheduler.early_stops",
+      "Component executions terminated early by the CLT/hard-bounds rule");
+  obs::Counter& runs_saved = obs::MetricRegistry::Global().GetCounter(
+      "scheduler.runs_saved",
+      "Outer-median runs scheduled but skipped by early termination");
+
+  static SchedulerMetrics& Get() {
+    static SchedulerMetrics* metrics = new SchedulerMetrics();
+    return *metrics;
+  }
+};
+
+// Eager registration at load: every metric name appears in `stats` JSON
+// (schema validation) even on code paths that never touch it.
+[[maybe_unused]] const SchedulerMetrics& kSchedulerMetricsInit =
+    SchedulerMetrics::Get();
+
+}  // namespace
+
+CostPrediction AdaptiveScheduler::Predict(
+    const QueryPlan& plan,
+    const std::optional<obs::ShapeProfile>& observed) const {
+  CostPrediction prediction;
+  if (observed.has_value() && observed->runs >= opts_.min_profile_runs) {
+    // Accuracy-relevant cost units come from the deterministic
+    // estimator-call counter; the oracle-call mean (also lane-invariant)
+    // sizes trials budgets and reporting; millis only ever drives lane
+    // grants (scheduling-only), so timing noise cannot leak into the
+    // arithmetic.
+    prediction.oracle_calls = observed->MeanOracleCalls();
+    prediction.cost_units = std::max(observed->MeanEstimatorCalls(), 1.0);
+    prediction.millis = observed->MeanExecMillis();
+    prediction.variance_millis = observed->VarianceExecMillis();
+    prediction.source = CostSource::kObservedProfile;
+    SchedulerMetrics::Get().profile_predictions.Increment();
+  } else {
+    prediction.cost_units = std::max(plan.cost_estimate, 1.0);
+    prediction.source = CostSource::kPlanEstimate;
+    SchedulerMetrics::Get().plan_predictions.Increment();
+  }
+  return prediction;
+}
+
+std::vector<BudgetShare> AdaptiveScheduler::SplitBudgets(
+    double epsilon, double delta,
+    const std::vector<SchedulerComponent>& components) const {
+  obs::Span span("scheduler.budget_split");
+  SchedulerMetrics::Get().budget_splits.Increment();
+  size_t estimated_total = 0;
+  size_t counting = 0;
+  double weight_sum = 0.0;
+  for (const SchedulerComponent& c : components) {
+    if (!c.estimated) continue;
+    ++estimated_total;
+    if (c.existential) continue;
+    ++counting;
+    weight_sum += std::cbrt(std::max(c.cost.cost_units, 1.0));
+  }
+  std::vector<BudgetShare> shares(components.size());
+  // Same delta/n union bound as SplitBudget; only the epsilon weighting
+  // differs.
+  const double delta_share =
+      estimated_total > 1 ? delta / static_cast<double>(estimated_total)
+                          : delta;
+  // Total counting epsilon mass: eps/2 for k > 1 (the product-guarantee
+  // budget), the full eps for a single counting component (bitwise parity
+  // with the unfactored path).
+  const double mass = counting > 1 ? epsilon / 2.0 : epsilon;
+  const double floor =
+      counting > 1
+          ? opts_.eps_floor_fraction * mass / static_cast<double>(counting)
+          : 0.0;
+  const double distributable =
+      mass - floor * static_cast<double>(counting);
+  for (size_t i = 0; i < components.size(); ++i) {
+    const SchedulerComponent& c = components[i];
+    if (!c.estimated) continue;  // Zero share for exact factors.
+    shares[i].delta = delta_share;
+    if (c.existential) {
+      // A 0/1 factor survives any relative error below 1 (see
+      // SplitBudget): fixed loose epsilon, no shared budget consumed.
+      shares[i].epsilon = 0.5;
+    } else if (counting <= 1) {
+      shares[i].epsilon = mass;
+    } else {
+      const double weight = std::cbrt(std::max(c.cost.cost_units, 1.0));
+      shares[i].epsilon = floor + distributable * weight / weight_sum;
+    }
+  }
+  return shares;
+}
+
+int AdaptiveScheduler::PlanLanes(Strategy strategy, const CostPrediction& cost,
+                                 int configured_lanes, int pool_lanes,
+                                 double static_min_cost) const {
+  // Exact strategies are decision-free scans: nothing to partition.
+  if (strategy == Strategy::kExact) return 1;
+  int lanes = configured_lanes != 0 ? configured_lanes : pool_lanes;
+  lanes = std::max(1, lanes);
+  if (cost.source == CostSource::kObservedProfile) {
+    // Observed wall time replaces the static cost-unit constant: grant
+    // lanes only when the estimate has been seen to run long enough to
+    // amortise fan-out setup.
+    return cost.millis >= opts_.min_fanout_millis ? lanes : 1;
+  }
+  return cost.cost_units >= static_min_cost ? lanes : 1;
+}
+
+double AdaptiveScheduler::PerCallFailure(double delta,
+                                         const CostPrediction& cost) const {
+  if (cost.source != CostSource::kObservedProfile || cost.oracle_calls <= 0.0) {
+    return 0.0;  // Cold shape: keep the module's worst-case union bound.
+  }
+  const double predicted =
+      std::max(cost.oracle_calls, 1.0) * opts_.trials_safety_factor;
+  return std::min(delta / (2.0 * predicted), opts_.max_per_call_failure);
+}
+
+void RecordAdaptiveOutcome(StopReason stop_reason, int completed_runs,
+                           int total_runs) {
+  SchedulerMetrics& metrics = SchedulerMetrics::Get();
+  if (stop_reason == StopReason::kConfidence ||
+      stop_reason == StopReason::kHardBounds) {
+    metrics.early_stops.Increment();
+    if (total_runs > completed_runs) {
+      metrics.runs_saved.Add(static_cast<uint64_t>(total_runs - completed_runs));
+    }
+  }
+}
+
+}  // namespace cqcount

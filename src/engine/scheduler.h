@@ -1,0 +1,166 @@
+// The adaptive accuracy scheduler (opt-in via EngineOptions::adaptive).
+//
+// Three levers, all driven by one learned cost model over the plan
+// cache's per-shape ShapeProfile history:
+//
+//  1. Cost prediction. A shape with recorded executions predicts its
+//     cost from the observed mean (deterministic estimator probes for
+//     accuracy decisions, wall-clock millis for scheduling decisions);
+//     a cold shape falls back to the planner's static cost estimate.
+//  2. Marginal-cost budget splitting. The even eps/(2k) split of
+//     SplitBudget is the equal-weight special case of: allocate
+//     eps_i = floor_i + (eps/2 - sum floors) * w_i / sum_j w_j with
+//     w_i = cbrt(predicted cost_i). Minimising total sampling work
+//     sum c_i / eps_i^2 subject to sum eps_i = eps/2 gives exactly
+//     eps_i proportional to c_i^{1/3} (Lagrange), i.e. expensive
+//     components get a LOOSER target and cheap ones a tighter one. Any
+//     allocation with sum eps_i = eps/2 preserves the product-error
+//     guarantee — prod(1+eps_i) <= e^{eps/2} <= 1+eps and
+//     prod(1-eps_i) >= 1 - eps/2 >= 1-eps for eps in (0, 1] — so the
+//     reweighting is free. The delta/n union bound is unchanged.
+//  3. Work gating. Lane grants use observed wall time instead of the
+//     static intra_query_min_cost constant once a shape has history, and
+//     the colour-coding trial budget is sized against the PREDICTED
+//     oracle-call count (times a safety factor) rather than the 20M-call
+//     worst-case cap, shrinking the log(1/per-call-failure) trial
+//     factor.
+//
+// Determinism contract: every accuracy-relevant output (budget shares,
+// trial budgets, early-stop arming) is a pure function of deterministic,
+// lane-count-independent inputs (plan cost estimates and the profile's
+// estimator-call counter). Wall-clock readings only ever influence lane
+// counts, which are scheduling-only. Fixed-seed adaptive runs are
+// therefore reproducible at any lane count; they do depend on the plan
+// cache's observation history (a warm shape schedules less work than a
+// cold one), which is itself deterministic for a fixed request sequence.
+#ifndef CQCOUNT_ENGINE_SCHEDULER_H_
+#define CQCOUNT_ENGINE_SCHEDULER_H_
+
+#include <optional>
+#include <vector>
+
+#include "compile/compiled_query.h"
+#include "engine/plan.h"
+#include "obs/profile.h"
+#include "util/estimate_outcome.h"
+
+namespace cqcount {
+
+/// Tuning for the adaptive scheduler (EngineOptions::scheduler).
+struct SchedulerOptions {
+  /// Observed executions a shape needs before predictions switch from
+  /// the planner's static estimate to the profile history.
+  uint64_t min_profile_runs = 2;
+  /// The colour-coding per-call failure budget is delta / (2 * factor *
+  /// predicted calls): the union bound stays intact as long as the
+  /// execution issues at most `factor` times the predicted call count.
+  double trials_safety_factor = 8.0;
+  /// Floor on the adaptive per-call failure probability's inverse: the
+  /// per-call failure is capped at this value so trial counts never
+  /// collapse entirely (ceil(ln 1/1e-3) ~ 7 trials minimum).
+  double max_per_call_failure = 1e-3;
+  /// Observed mean execution time that justifies intra-query lanes
+  /// (replaces the static intra_query_min_cost gate on warm shapes):
+  /// fan-out setup costs ~sub-ms, so only estimates observed to run at
+  /// least this long get workers.
+  double min_fanout_millis = 5.0;
+  /// Every counting component keeps at least this fraction of its even
+  /// share: eps_i >= floor_fraction * (eps/2)/k. Guards against one
+  /// hugely expensive component starving the rest to useless targets.
+  double eps_floor_fraction = 0.25;
+  /// Completed runs the CLT early stop needs before it consults the
+  /// empirical interval (a 2-run sample variance is noise).
+  int min_early_stop_runs = 3;
+};
+
+/// Where a cost prediction came from.
+enum class CostSource : uint8_t { kPlanEstimate, kObservedProfile };
+
+inline const char* CostSourceName(CostSource source) {
+  switch (source) {
+    case CostSource::kPlanEstimate: return "plan_estimate";
+    case CostSource::kObservedProfile: return "observed_profile";
+  }
+  return "plan_estimate";
+}
+
+/// Predicted cost of executing one component once.
+struct CostPrediction {
+  /// Deterministic work scale: observed mean estimator probes per
+  /// execution, or the planner's cost estimate for cold shapes. Drives
+  /// the accuracy-relevant decisions (budget weights).
+  double cost_units = 0.0;
+  /// Predicted estimator oracle calls per execution (0 = unknown; only
+  /// observed profiles provide it). Drives trial budgeting.
+  double oracle_calls = 0.0;
+  /// Predicted wall-clock cost (0 = unknown). Scheduling-only: drives
+  /// lane grants, never accuracy.
+  double millis = 0.0;
+  /// Observed variance of the wall-clock cost (informational).
+  double variance_millis = 0.0;
+  CostSource source = CostSource::kPlanEstimate;
+};
+
+/// One component's scheduling input (parallel to the compiled
+/// components).
+struct SchedulerComponent {
+  /// False for exact factors: they consume no accuracy budget.
+  bool estimated = false;
+  bool existential = false;
+  CostPrediction cost;
+};
+
+/// Cost-model-driven scheduling decisions. Stateless apart from options:
+/// safe to share across concurrent batch workers.
+class AdaptiveScheduler {
+ public:
+  explicit AdaptiveScheduler(SchedulerOptions opts = {}) : opts_(opts) {}
+
+  const SchedulerOptions& options() const { return opts_; }
+
+  /// Predicts the per-execution cost of `plan`'s component from the
+  /// shape's observed history (when it has at least min_profile_runs
+  /// recorded executions) or the planner's static estimate.
+  CostPrediction Predict(const QueryPlan& plan,
+                         const std::optional<obs::ShapeProfile>& observed) const;
+
+  /// Marginal-cost (epsilon, delta) allocation across components:
+  /// replaces the even eps/(2k) split with weights cbrt(cost_units),
+  /// preserving the product guarantee (sum of counting shares = eps/2,
+  /// see the header comment). Exact factors get a zero share,
+  /// existential estimated factors the fixed loose epsilon, delta is the
+  /// delta/n union bound — identical structure to SplitBudget, only the
+  /// epsilon weighting differs. Single counting components pass epsilon
+  /// through unchanged.
+  std::vector<BudgetShare> SplitBudgets(
+      double epsilon, double delta,
+      const std::vector<SchedulerComponent>& components) const;
+
+  /// Lanes to grant one component: 1 for exact strategies; for observed
+  /// shapes, the configured lane count when the predicted wall time
+  /// clears min_fanout_millis (the dynamic replacement for the static
+  /// cost gate); cold shapes fall back to the static
+  /// `cost >= static_min_cost` gate.
+  int PlanLanes(Strategy strategy, const CostPrediction& cost,
+                int configured_lanes, int pool_lanes,
+                double static_min_cost) const;
+
+  /// Adaptive colour-coding per-call failure budget: delta / (2 *
+  /// safety * predicted calls), capped at max_per_call_failure. Returns
+  /// 0 (keep the module's worst-case default) when the prediction has no
+  /// observed call count.
+  double PerCallFailure(double delta, const CostPrediction& cost) const;
+
+ private:
+  SchedulerOptions opts_;
+};
+
+/// Feeds the scheduler.* outcome metrics after one adaptive component
+/// execution (early stops, runs saved). Called by the engine, once per
+/// executed component; cheap enough to sit off the hot path.
+void RecordAdaptiveOutcome(StopReason stop_reason, int completed_runs,
+                           int total_runs);
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_ENGINE_SCHEDULER_H_

@@ -65,6 +65,11 @@ class FptrasExecutor : public StrategyExecutor {
       opts.dlm.max_oracle_calls =
           std::min(opts.dlm.max_oracle_calls, ctx.max_oracle_calls);
     }
+    opts.dlm.early_stop = ctx.adaptive.early_stop;
+    opts.dlm.min_early_stop_runs = ctx.adaptive.min_early_stop_runs;
+    if (ctx.adaptive.per_call_failure > 0.0) {
+      opts.per_call_failure_override = ctx.adaptive.per_call_failure;
+    }
     const FWidthResult decomposition = InstantiatePlanDecomposition(ctx);
     opts.precomputed_decomposition = &decomposition;
     auto approx = ApproxCountAnswers(*ctx.query, *ctx.db, opts);
@@ -76,9 +81,12 @@ class FptrasExecutor : public StrategyExecutor {
     outcome.partial = approx->partial;
     outcome.lower_bound = approx->lower_bound;
     outcome.upper_bound = approx->upper_bound;
+    outcome.stop_reason = approx->stop_reason;
+    outcome.rounds_executed = approx->rounds_executed;
     outcome.completed_runs = approx->completed_runs;
     outcome.total_runs = approx->total_runs;
     outcome.oracle_calls = approx->hom_queries + approx->edgefree_calls;
+    outcome.estimator_calls = approx->edgefree_calls;
     // Surface the prepare/evaluate DP reuse: one bag-join cache serves
     // every DLM oracle call issued against this plan's decomposition.
     outcome.dp_prepared_decides = approx->dp_prepared_decides;
@@ -119,6 +127,7 @@ class AutomataFprasExecutor : public StrategyExecutor {
     outcome.lower_bound = fpras->lower_bound;
     outcome.upper_bound = fpras->upper_bound;
     outcome.oracle_calls = fpras->membership_tests;
+    outcome.estimator_calls = fpras->membership_tests;
     outcome.parallel = fpras->parallel;
     return outcome;
   }
@@ -146,6 +155,11 @@ class SamplerExecutor : public StrategyExecutor {
       opts.approx.dlm.max_oracle_calls =
           std::min(opts.approx.dlm.max_oracle_calls, ctx.max_oracle_calls);
     }
+    opts.approx.dlm.early_stop = ctx.adaptive.early_stop;
+    opts.approx.dlm.min_early_stop_runs = ctx.adaptive.min_early_stop_runs;
+    if (ctx.adaptive.per_call_failure > 0.0) {
+      opts.approx.per_call_failure_override = ctx.adaptive.per_call_failure;
+    }
     const FWidthResult decomposition = InstantiatePlanDecomposition(ctx);
     opts.approx.precomputed_decomposition = &decomposition;
     auto sampler = AnswerSampler::Create(*ctx.query, *ctx.db, opts);
@@ -160,9 +174,12 @@ class SamplerExecutor : public StrategyExecutor {
     outcome.partial = approx->partial;
     outcome.lower_bound = approx->lower_bound;
     outcome.upper_bound = approx->upper_bound;
+    outcome.stop_reason = approx->stop_reason;
+    outcome.rounds_executed = approx->rounds_executed;
     outcome.completed_runs = approx->completed_runs;
     outcome.total_runs = approx->total_runs;
     outcome.oracle_calls = approx->hom_queries + approx->edgefree_calls;
+    outcome.estimator_calls = approx->edgefree_calls;
     outcome.colouring_trials_per_call = approx->colouring_trials_per_call;
     outcome.parallel = approx->parallel;
     return outcome;

@@ -66,6 +66,19 @@ struct ExecContext {
   /// Request-level cap on estimator oracle calls (0 = module default).
   /// Tightens (never widens) the module's own safety valve.
   uint64_t max_oracle_calls = 0;
+  /// The adaptive scheduler's per-execution hints (all inert at their
+  /// defaults, so non-adaptive requests execute bit-identically to the
+  /// pre-scheduler engine).
+  struct AdaptiveHints {
+    /// Arms the estimator's run-boundary CLT/hard-bounds early stop.
+    bool early_stop = false;
+    /// Completed runs before the early-stop rule is consulted.
+    int min_early_stop_runs = 3;
+    /// Colour-coding per-call failure budget predicted from profile
+    /// history (0 = keep the module's worst-case union bound).
+    double per_call_failure = 0.0;
+  };
+  AdaptiveHints adaptive;
 };
 
 /// What every strategy reports back (estimate/exact/converged from the
@@ -73,6 +86,11 @@ struct ExecContext {
 struct ExecOutcome : EstimateOutcome {
   /// Oracle work: hom-oracle calls plus estimator membership tests.
   uint64_t oracle_calls = 0;
+  /// Deterministic estimator probes only (DLM edge-free calls, automata
+  /// membership tests) — excludes the scheduling-dependent hom-query
+  /// tally. The adaptive scheduler's cost model reads ONLY this counter,
+  /// keeping its accuracy decisions lane-count-independent.
+  uint64_t estimator_calls = 0;
   /// Prepared-DP reuse across the DLM oracle calls of this execution
   /// (fptras strategies): trial decisions answered by the trial-reuse DP
   /// and the size of the per-plan bag-join cache they shared. Zero for

@@ -13,6 +13,45 @@
 
 namespace cqcount {
 
+/// Why an estimator stopped scheduling work. kNone covers computations
+/// without a run/round schedule (exact results, trivial instances); every
+/// sampling result carries a typed reason, so callers (and `count --json`
+/// consumers) can distinguish "ran the full worst-case schedule" from the
+/// adaptive scheduler's early termination and from resource stops.
+enum class StopReason : uint8_t {
+  kNone = 0,
+  /// Every scheduled run executed (the non-adaptive default).
+  kFullSchedule,
+  /// CLT early stop: the empirical confidence interval over completed
+  /// counter-seeded runs met the requested (epsilon, delta) target.
+  kConfidence,
+  /// Order-statistic early stop: the hard median bounds over completed
+  /// runs pinched within epsilon, so the remaining runs cannot move the
+  /// answer outside the target interval.
+  kHardBounds,
+  /// The oracle-call cap fired before the target interval (converged is
+  /// false).
+  kBudgetExhausted,
+  /// Cooperative cancellation interrupted the schedule (partial result).
+  kCancelled,
+  /// The wall-clock deadline expired mid-schedule (partial result).
+  kDeadlineExpired,
+};
+
+/// Stable lowercase name, the `stop_reason` enum of the JSON surfaces.
+inline const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone: return "none";
+    case StopReason::kFullSchedule: return "full_schedule";
+    case StopReason::kConfidence: return "confidence";
+    case StopReason::kHardBounds: return "hard_bounds";
+    case StopReason::kBudgetExhausted: return "budget_exhausted";
+    case StopReason::kCancelled: return "cancelled";
+    case StopReason::kDeadlineExpired: return "deadline_expired";
+  }
+  return "none";
+}
+
 /// What every estimate reports: the value and how it was reached.
 struct EstimateOutcome {
   /// The (epsilon, delta)-estimate (exact value when `exact`).
@@ -33,6 +72,12 @@ struct EstimateOutcome {
   /// results carry [estimate, estimate].
   double lower_bound = 0.0;
   double upper_bound = 0.0;
+  /// Why the estimator stopped scheduling work (kNone for computations
+  /// without a run schedule).
+  StopReason stop_reason = StopReason::kNone;
+  /// Adaptive refinement rounds executed, summed over the runs that fed
+  /// the result (0 for exact resolutions).
+  int rounds_executed = 0;
 };
 
 /// Intra-query parallelism observability (informational: the numbers

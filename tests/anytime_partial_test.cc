@@ -117,5 +117,74 @@ TEST_P(AnytimePartialTest, PartialIntervalContainsFullEstimate) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AnytimePartialTest, ::testing::Range(0, 50));
 
+// The same property with the CLT early stop armed: cancellation landing
+// BEFORE the stop rule fires must still produce the hard order-statistic
+// interval, and that interval must contain the uninterrupted adaptive
+// estimate. This is sound because MedianOrderBounds over k completed
+// runs bounds the median of EVERY prefix extending them — the adaptive
+// answer (a prefix median at the stop point) as much as the full
+// schedule's median.
+TEST_P(AnytimePartialTest, PartialIntervalContainsAdaptiveEstimate) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 101 + 7);
+  RandomQueryOptions qopts;
+  qopts.min_vars = 2;
+  qopts.max_vars = 4;
+  qopts.forced_num_free = 2;
+  Query q = RandomQuery(rng, qopts);
+  Database db = RandomDatabaseFor(q, 8, 0.5, rng);
+
+  DlmOptions base = BaseOptions(static_cast<uint64_t>(GetParam()));
+  base.early_stop = true;
+  BruteForceEdgeFreeOracle oracle(q, db);
+  auto adaptive = DlmCountEdges({8, 8}, oracle, base);
+  ASSERT_TRUE(adaptive.ok()) << adaptive.status().ToString();
+  if (adaptive->exact) return;  // No run boundaries to cut at.
+  const int stop_runs = adaptive->completed_runs;
+  ASSERT_GE(stop_runs, 1);
+
+  const std::vector<int> cuts = {0, 1, stop_runs - 2, stop_runs - 1,
+                                 stop_runs};
+  for (int cut : cuts) {
+    if (cut < 0) continue;
+    CancelToken token;
+    ResourceGovernor governor(token, 0);
+    DlmOptions opts = base;
+    opts.governor = &governor;
+    failpoint::Config config;
+    config.skip = static_cast<uint64_t>(cut);
+    config.max_fires = 1;
+    config.on_fire = [token] { token.Cancel(); };
+    failpoint::ScopedFailpoint fp("dlm.run_boundary", config);
+    BruteForceEdgeFreeOracle fresh(q, db);
+    auto result = DlmCountEdges({8, 8}, fresh, opts);
+    ASSERT_TRUE(result.ok()) << result.status().ToString() << " cut=" << cut;
+    if (cut >= stop_runs) {
+      // The adaptive run stopped before the failpoint could fire: the
+      // uninterrupted adaptive answer, bit for bit, stop reason intact.
+      EXPECT_FALSE(result->partial) << "cut=" << cut;
+      EXPECT_DOUBLE_EQ(result->estimate, adaptive->estimate)
+          << "cut=" << cut;
+      EXPECT_EQ(result->stop_reason, adaptive->stop_reason) << "cut=" << cut;
+      continue;
+    }
+    // Cancellation at a run boundary the adaptive run actually reaches:
+    // the governor check precedes the stop rule, so the typed first
+    // cause is the cancellation even at the boundary where the stop
+    // rule would have fired.
+    EXPECT_TRUE(result->partial) << "cut=" << cut;
+    EXPECT_EQ(result->stop_reason, StopReason::kCancelled)
+        << "cut=" << cut << ": " << StopReasonName(result->stop_reason);
+    EXPECT_EQ(result->completed_runs, cut + 1) << "cut=" << cut;
+    EXPECT_TRUE(std::isfinite(result->lower_bound)) << "cut=" << cut;
+    EXPECT_TRUE(std::isfinite(result->upper_bound)) << "cut=" << cut;
+    EXPECT_LE(result->lower_bound, result->estimate) << "cut=" << cut;
+    EXPECT_GE(result->upper_bound, result->estimate) << "cut=" << cut;
+    EXPECT_LE(result->lower_bound, adaptive->estimate)
+        << "cut=" << cut << " query=" << q.ToString();
+    EXPECT_GE(result->upper_bound, adaptive->estimate)
+        << "cut=" << cut << " query=" << q.ToString();
+  }
+}
+
 }  // namespace
 }  // namespace cqcount

@@ -359,6 +359,76 @@ TEST_F(GovernanceTest, RandomCancelPointsKeepAnytimeInvariants) {
   }
 }
 
+TEST_F(GovernanceTest, CancelWinsOverArmedEarlyStop) {
+  // Adaptive scheduling arms the CLT early stop on the same run-boundary
+  // loop the governor checkpoints. A cancellation landing at a boundary
+  // BEFORE the stop rule can fire (min_early_stop_runs = 3, the failpoint
+  // fires after run 1) must still produce the PR-style hard-bounded
+  // partial with "cancelled" as the typed first cause — not an adaptive
+  // stop reason, and not a lost interval.
+  EngineOptions opts;
+  opts.adaptive = true;
+  CountingEngine engine(opts);
+  ASSERT_TRUE(engine.RegisterDatabase("g", CycleDb()).ok());
+  CountRequest request = SamplingRequest();
+
+  failpoint::Config config;
+  config.skip = 1;  // One completed run: below min_early_stop_runs.
+  config.max_fires = 1;
+  config.on_fire = [token = request.cancel_token] { token.Cancel(); };
+  failpoint::ScopedFailpoint fp("dlm.run_boundary", config);
+
+  auto result = engine.Count(request);
+  ASSERT_EQ(failpoint::FireCount("dlm.run_boundary"), 1u)
+      << "query never reached the DLM sampling phase";
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->adaptive);
+  EXPECT_TRUE(result->partial);
+  EXPECT_EQ(result->partial_reason, "cancelled");
+  EXPECT_TRUE(std::isfinite(result->lower_bound));
+  EXPECT_TRUE(std::isfinite(result->upper_bound));
+  EXPECT_LE(result->lower_bound, result->estimate);
+  EXPECT_GE(result->upper_bound, result->estimate);
+  ASSERT_EQ(result->components.size(), 1u);
+  const ComponentResult& component = result->components[0];
+  EXPECT_TRUE(component.partial);
+  EXPECT_EQ(component.stop_reason, StopReason::kCancelled)
+      << StopReasonName(component.stop_reason);
+  EXPECT_GE(component.completed_runs, 1);
+  EXPECT_LT(component.completed_runs, component.total_runs);
+}
+
+TEST_F(GovernanceTest, DeadlineWinsOverArmedEarlyStop) {
+  EngineOptions opts;
+  opts.adaptive = true;
+  CountingEngine engine(opts);
+  ASSERT_TRUE(engine.RegisterDatabase("g", CycleDb()).ok());
+  ManualClock clock(0);
+  CountRequest request = SamplingRequest();
+  request.time_budget_ms = 1000;
+  request.clock = &clock;
+
+  failpoint::Config config;
+  config.skip = 0;  // Expire right after the first run completes.
+  config.max_fires = 1;
+  config.on_fire = [&clock] { clock.Advance(10'000); };
+  failpoint::ScopedFailpoint fp("dlm.run_boundary", config);
+
+  auto result = engine.Count(request);
+  ASSERT_EQ(failpoint::FireCount("dlm.run_boundary"), 1u);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->partial);
+  EXPECT_EQ(result->partial_reason, "deadline_exceeded");
+  EXPECT_TRUE(std::isfinite(result->lower_bound));
+  EXPECT_TRUE(std::isfinite(result->upper_bound));
+  EXPECT_LE(result->lower_bound, result->estimate);
+  EXPECT_GE(result->upper_bound, result->estimate);
+  ASSERT_EQ(result->components.size(), 1u);
+  EXPECT_EQ(result->components[0].stop_reason, StopReason::kDeadlineExpired)
+      << StopReasonName(result->components[0].stop_reason);
+  EXPECT_GE(result->components[0].completed_runs, 1);
+}
+
 TEST_F(GovernanceTest, RegisterDatabaseFailpointInjectsErrors) {
   failpoint::Config config;
   config.inject_error = true;

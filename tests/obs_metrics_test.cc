@@ -165,8 +165,10 @@ TEST(MetricsTest, GlobalRegistryCoversEverySubsystem) {
        {"plan_cache.hits", "plan_cache.misses", "plan_cache.evictions",
         "engine.counts", "executor.tasks_submitted", "executor.queue_depth",
         "dlm.estimates", "dlm.oracle_calls", "dlm.abandoned_waves",
-        "dp.prepared_decides", "cc.hom_queries", "acjr.membership_tests",
-        "sampler.samples"}) {
+        "dp.prepared_decides", "cc.nondet.hom_queries",
+        "acjr.membership_tests", "sampler.samples",
+        "scheduler.budget_splits", "scheduler.early_stops",
+        "dlm.early_stops"}) {
     EXPECT_NE(json.find(std::string("\"") + name + "\""), std::string::npos)
         << "missing metric " << name;
   }

@@ -1,0 +1,355 @@
+// The adaptive accuracy scheduler: cost model, marginal-cost budget
+// splitting, lane gating and the engine-level determinism contract.
+//
+// The load-bearing properties:
+//   - adaptive OFF is byte-for-byte the pre-scheduler engine: estimates
+//     AND oracle-call tallies are invariant to every SchedulerOptions
+//     knob and to the lane count;
+//   - adaptive ON is reproducible: a fixed seed and request sequence
+//     gives bit-identical estimates and oracle calls at 1, 2 and 4
+//     lanes (early-stop decisions are made from merged deterministic
+//     state at run boundaries only);
+//   - the split preserves the product guarantee: counting shares sum to
+//     eps/2, every share keeps its floor, expensive components get
+//     looser targets;
+//   - on warm profiles the scheduler does strictly less oracle work.
+#include "engine/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "obs/profile.h"
+
+namespace cqcount {
+namespace {
+
+QueryPlan EstimatedPlan(double cost) {
+  QueryPlan plan;
+  plan.strategy = Strategy::kFptrasTreewidth;
+  plan.cost_estimate = cost;
+  return plan;
+}
+
+obs::ShapeProfile WarmProfile(int runs, double millis, uint64_t estimator_calls,
+                              uint64_t oracle_calls = 0) {
+  obs::ShapeProfile profile;
+  for (int i = 0; i < runs; ++i) {
+    profile.Observe(millis, oracle_calls ? oracle_calls : estimator_calls,
+                    estimator_calls, 42.0, true);
+  }
+  return profile;
+}
+
+TEST(CostModelTest, ColdShapeUsesPlanEstimate) {
+  AdaptiveScheduler scheduler;
+  CostPrediction cold = scheduler.Predict(EstimatedPlan(5000.0), std::nullopt);
+  EXPECT_EQ(cold.source, CostSource::kPlanEstimate);
+  EXPECT_DOUBLE_EQ(cold.cost_units, 5000.0);
+  EXPECT_EQ(cold.oracle_calls, 0.0);  // Unknown until observed.
+
+  // One observation is below min_profile_runs (2): still cold.
+  CostPrediction one_run =
+      scheduler.Predict(EstimatedPlan(5000.0), WarmProfile(1, 3.0, 900));
+  EXPECT_EQ(one_run.source, CostSource::kPlanEstimate);
+}
+
+TEST(CostModelTest, WarmShapeUsesObservedHistory) {
+  AdaptiveScheduler scheduler;
+  CostPrediction warm =
+      scheduler.Predict(EstimatedPlan(5000.0), WarmProfile(3, 7.0, 900, 1200));
+  EXPECT_EQ(warm.source, CostSource::kObservedProfile);
+  EXPECT_DOUBLE_EQ(warm.cost_units, 900.0);   // Mean estimator calls.
+  EXPECT_DOUBLE_EQ(warm.oracle_calls, 1200.0);
+  EXPECT_DOUBLE_EQ(warm.millis, 7.0);
+}
+
+TEST(BudgetSplitTest, CountingSharesSumToHalfEpsilonWithFloors) {
+  AdaptiveScheduler scheduler;
+  std::vector<SchedulerComponent> components(3);
+  for (auto& c : components) c.estimated = true;
+  components[0].cost.cost_units = 1.0;      // Cheap: tight target.
+  components[1].cost.cost_units = 1000.0;
+  components[2].cost.cost_units = 1e6;      // Expensive: loose target.
+
+  const double epsilon = 0.3;
+  const double delta = 0.06;
+  std::vector<BudgetShare> shares =
+      scheduler.SplitBudgets(epsilon, delta, components);
+  ASSERT_EQ(shares.size(), components.size());
+
+  double sum = 0.0;
+  const double floor = scheduler.options().eps_floor_fraction *
+                       (epsilon / 2.0) / components.size();
+  for (const BudgetShare& share : shares) {
+    sum += share.epsilon;
+    EXPECT_GE(share.epsilon, floor - 1e-12);
+    // Union bound over components is untouched by the reweighting.
+    EXPECT_DOUBLE_EQ(share.delta, delta / components.size());
+  }
+  // prod(1 +- eps_i) stays within (1 +- eps) exactly because the shares
+  // sum to eps/2 (see scheduler.h); the allocation must not leak budget.
+  EXPECT_NEAR(sum, epsilon / 2.0, 1e-12);
+  // Marginal-cost ordering: eps_i grows with cbrt(cost).
+  EXPECT_LT(shares[0].epsilon, shares[1].epsilon);
+  EXPECT_LT(shares[1].epsilon, shares[2].epsilon);
+}
+
+TEST(BudgetSplitTest, SingleCountingComponentKeepsFullEpsilon) {
+  AdaptiveScheduler scheduler;
+  std::vector<SchedulerComponent> components(2);
+  components[0].estimated = true;
+  components[0].cost.cost_units = 100.0;
+  components[1].estimated = false;  // Exact factor: no budget share.
+  std::vector<BudgetShare> shares =
+      scheduler.SplitBudgets(0.25, 0.1, components);
+  // Matches SplitBudget's single-component pass-through: halving would
+  // double the sampling work for nothing.
+  EXPECT_DOUBLE_EQ(shares[0].epsilon, 0.25);
+  EXPECT_DOUBLE_EQ(shares[1].epsilon, 0.0);
+  EXPECT_DOUBLE_EQ(shares[1].delta, 0.0);
+}
+
+TEST(BudgetSplitTest, EvenCostsReduceToEvenSplit) {
+  AdaptiveScheduler scheduler;
+  std::vector<SchedulerComponent> components(4);
+  for (auto& c : components) {
+    c.estimated = true;
+    c.cost.cost_units = 777.0;
+  }
+  std::vector<BudgetShare> shares = scheduler.SplitBudgets(0.4, 0.2, components);
+  for (const BudgetShare& share : shares) {
+    EXPECT_NEAR(share.epsilon, 0.4 / (2.0 * 4.0), 1e-12);
+  }
+}
+
+TEST(LaneGateTest, ObservedWallTimeReplacesStaticCostGate) {
+  AdaptiveScheduler scheduler;
+  CostPrediction fast_warm;
+  fast_warm.source = CostSource::kObservedProfile;
+  fast_warm.millis = 0.5;  // Below min_fanout_millis: fan-out won't pay.
+  CostPrediction slow_warm = fast_warm;
+  slow_warm.millis = 50.0;
+  CostPrediction cheap_cold;  // Plan-estimate fallback: static gate.
+  cheap_cold.cost_units = 10.0;
+  CostPrediction costly_cold;
+  costly_cold.cost_units = 1e12;
+
+  const double static_gate = 1e8;
+  EXPECT_EQ(scheduler.PlanLanes(Strategy::kExact, slow_warm, 4, 4, static_gate),
+            1);
+  EXPECT_EQ(scheduler.PlanLanes(Strategy::kFptrasTreewidth, fast_warm, 4, 4,
+                                static_gate),
+            1);
+  EXPECT_EQ(scheduler.PlanLanes(Strategy::kFptrasTreewidth, slow_warm, 4, 4,
+                                static_gate),
+            4);
+  EXPECT_EQ(scheduler.PlanLanes(Strategy::kFptrasTreewidth, cheap_cold, 4, 4,
+                                static_gate),
+            1);
+  EXPECT_EQ(scheduler.PlanLanes(Strategy::kFptrasTreewidth, costly_cold, 4, 4,
+                                static_gate),
+            4);
+}
+
+TEST(TrialBudgetTest, PerCallFailureScalesWithPredictedCalls) {
+  AdaptiveScheduler scheduler;
+  CostPrediction cold;  // No observed call count: keep the module default.
+  EXPECT_EQ(scheduler.PerCallFailure(0.1, cold), 0.0);
+
+  CostPrediction warm;
+  warm.source = CostSource::kObservedProfile;
+  warm.oracle_calls = 1e4;
+  const double failure = scheduler.PerCallFailure(0.1, warm);
+  // delta / (2 * safety * calls), far below the 1e-3 cap here.
+  EXPECT_DOUBLE_EQ(
+      failure, 0.1 / (2.0 * scheduler.options().trials_safety_factor * 1e4));
+
+  warm.oracle_calls = 1.0;  // Tiny prediction: the cap keeps >= ~7 trials.
+  EXPECT_DOUBLE_EQ(scheduler.PerCallFailure(0.9, warm),
+                   scheduler.options().max_per_call_failure);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level properties.
+
+Database DenseDatabase() {
+  Database db(8);
+  EXPECT_TRUE(db.DeclareRelation("E", 2).ok());
+  for (Value u = 0; u < 8; ++u) {
+    for (Value v = 0; v < 8; ++v) {
+      if ((u * 5 + v * 11 + 3) % 3 != 0) continue;
+      EXPECT_TRUE(db.AddFact("E", {u, v}).ok());
+    }
+  }
+  db.Canonicalize();
+  return db;
+}
+
+const std::vector<std::string>& Queries() {
+  static const std::vector<std::string> queries = {
+      "ans(x, y) :- E(x, y), E(y, z), x != z.",
+      "ans(x, y) :- E(x, y), E(x, z), y != z.",
+      "ans(x, z) :- E(x, y), E(y, z).",
+      "ans(x, y) :- E(x, y), !E(y, x).",
+  };
+  return queries;
+}
+
+struct Observed {
+  double estimate = 0.0;
+  uint64_t oracle_calls = 0;
+
+  bool operator==(const Observed& o) const {
+    return estimate == o.estimate && oracle_calls == o.oracle_calls;
+  }
+};
+
+// Runs every query `reps` times (so adaptive engines cross the
+// min_profile_runs threshold mid-sequence) and returns all observations.
+std::vector<Observed> RunSequence(const EngineOptions& opts,
+                                  const Database& db, int reps) {
+  CountingEngine engine(opts);
+  EXPECT_TRUE(engine.RegisterDatabase("g", db).ok());
+  std::vector<Observed> observed;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const std::string& text : Queries()) {
+      auto result = engine.Count(text, "g");
+      EXPECT_TRUE(result.ok()) << result.status().ToString();
+      if (!result.ok()) continue;
+      EXPECT_EQ(result->adaptive, opts.adaptive);
+      observed.push_back({result->estimate, result->oracle_calls});
+    }
+  }
+  return observed;
+}
+
+EngineOptions BaseOptions(int lanes) {
+  EngineOptions opts;
+  opts.epsilon = 0.3;
+  opts.delta = 0.3;
+  opts.seed = 20220607;
+  opts.num_threads = 4;
+  opts.intra_query_threads = lanes;
+  opts.intra_query_min_cost = 0.0;
+  // The 8-node database is below the planner's brute-force threshold;
+  // force the estimated strategies so these properties exercise the run
+  // schedule (oracle calls, stop reasons) rather than exact enumeration.
+  opts.plan.exact_cost_limit = 0.0;
+  return opts;
+}
+
+// Adaptive OFF must be the pre-scheduler engine exactly: results do not
+// move when scheduler knobs change, and stay lane-invariant (estimates
+// and the deterministic oracle-call accounting both).
+TEST(AdaptiveEngineTest, AdaptiveOffIsUnchangedBySchedulerKnobs) {
+  const Database db = DenseDatabase();
+  std::optional<std::vector<Observed>> reference;
+  for (int lanes : {1, 2, 4}) {
+    for (int variant = 0; variant < 2; ++variant) {
+      EngineOptions opts = BaseOptions(lanes);
+      if (variant == 1) {
+        // Aggressive knobs; with adaptive=false none may matter.
+        opts.scheduler.min_profile_runs = 1;
+        opts.scheduler.trials_safety_factor = 1.0;
+        opts.scheduler.eps_floor_fraction = 0.9;
+        opts.scheduler.min_early_stop_runs = 2;
+      }
+      std::vector<Observed> observed = RunSequence(opts, db, 2);
+      if (!reference.has_value()) {
+        reference = observed;
+        continue;
+      }
+      ASSERT_EQ(observed.size(), reference->size());
+      for (size_t i = 0; i < observed.size(); ++i) {
+        EXPECT_TRUE(observed[i] == (*reference)[i])
+            << "lanes=" << lanes << " variant=" << variant << " call=" << i
+            << ": estimate " << observed[i].estimate << " vs "
+            << (*reference)[i].estimate << ", oracle_calls "
+            << observed[i].oracle_calls << " vs "
+            << (*reference)[i].oracle_calls;
+      }
+    }
+  }
+}
+
+// Adaptive ON: a fixed seed and request sequence is reproducible at any
+// lane count — the early-stop rule reads merged run estimates at run
+// boundaries, never partial lane state.
+TEST(AdaptiveEngineTest, AdaptiveOnReproducibleAcrossLaneCounts) {
+  const Database db = DenseDatabase();
+  std::optional<std::vector<Observed>> reference;
+  for (int lanes : {1, 2, 4}) {
+    EngineOptions opts = BaseOptions(lanes);
+    opts.adaptive = true;
+    std::vector<Observed> observed = RunSequence(opts, db, 3);
+    if (!reference.has_value()) {
+      reference = observed;
+      continue;
+    }
+    ASSERT_EQ(observed.size(), reference->size());
+    for (size_t i = 0; i < observed.size(); ++i) {
+      EXPECT_TRUE(observed[i] == (*reference)[i])
+          << "lanes=" << lanes << " call=" << i << ": estimate "
+          << observed[i].estimate << " vs " << (*reference)[i].estimate
+          << ", oracle_calls " << observed[i].oracle_calls << " vs "
+          << (*reference)[i].oracle_calls;
+    }
+  }
+}
+
+// On a warm profile the adaptive engine must do no more oracle work than
+// the fixed schedule, and strictly less on a multi-run workload (delta
+// 0.1 schedules 13 median runs; the CLT stop typically needs 3).
+TEST(AdaptiveEngineTest, WarmAdaptiveCallsDoLessOracleWork) {
+  const Database db = DenseDatabase();
+  const std::string query = "ans(x, y) :- E(x, y), E(y, z), x != z.";
+
+  auto third_call = [&](bool adaptive) {
+    EngineOptions opts = BaseOptions(1);
+    opts.epsilon = 0.25;
+    opts.delta = 0.1;
+    opts.adaptive = adaptive;
+    CountingEngine engine(opts);
+    EXPECT_TRUE(engine.RegisterDatabase("g", db).ok());
+    for (int warm = 0; warm < 2; ++warm) {
+      EXPECT_TRUE(engine.Count(query, "g").ok());
+    }
+    auto result = engine.Count(query, "g");
+    EXPECT_TRUE(result.ok());
+    return *result;
+  };
+
+  const EngineResult fixed = third_call(false);
+  const EngineResult adaptive = third_call(true);
+  EXPECT_LE(adaptive.oracle_calls, fixed.oracle_calls);
+  ASSERT_EQ(adaptive.components.size(), 1u);
+  ASSERT_EQ(fixed.components.size(), 1u);
+  const ComponentResult& ac = adaptive.components[0];
+  const ComponentResult& fc = fixed.components[0];
+  EXPECT_EQ(ac.cost_source, CostSourceName(CostSource::kObservedProfile));
+  EXPECT_GT(ac.predicted_oracle_calls, 0.0);
+  if (!fc.exact && fc.total_runs > 1) {
+    EXPECT_LT(adaptive.oracle_calls, fixed.oracle_calls)
+        << "warm adaptive run saved nothing on a " << fc.total_runs
+        << "-run schedule";
+    EXPECT_TRUE(ac.stop_reason == StopReason::kConfidence ||
+                ac.stop_reason == StopReason::kHardBounds ||
+                ac.stop_reason == StopReason::kFullSchedule)
+        << StopReasonName(ac.stop_reason);
+  }
+  // The fixed schedule reports its own typed reason when a run schedule
+  // actually executed (exact-phase resolutions have no run structure,
+  // even when a disequality keeps the `exact` flag off).
+  if (fc.total_runs > 0) {
+    EXPECT_TRUE(fc.stop_reason == StopReason::kFullSchedule ||
+                fc.stop_reason == StopReason::kBudgetExhausted)
+        << StopReasonName(fc.stop_reason);
+  }
+}
+
+}  // namespace
+}  // namespace cqcount

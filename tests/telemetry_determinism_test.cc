@@ -4,8 +4,9 @@
 //
 // This is the contract stated in obs/trace.h: spans read clocks, metrics
 // do bulk adds at deterministic boundaries, and neither ever touches RNG
-// state or merge order. (cc.hom_queries is the one documented exception —
-// a scheduling-dependent WORK counter — and is deliberately absent here.)
+// state or merge order. (cc.nondet.hom_queries is the one documented
+// exception — a scheduling-dependent WORK counter, marked by its
+// `.nondet.` name segment — and is deliberately absent here.)
 #include <gtest/gtest.h>
 
 #include <optional>
