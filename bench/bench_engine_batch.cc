@@ -297,6 +297,12 @@ int Run(const std::string& json_path) {
   std::fprintf(out, "  \"bench\": \"engine_batch\",\n");
   std::fprintf(out, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
+  if (std::thread::hardware_concurrency() <= 1) {
+    std::fprintf(out,
+                 "  \"scaling_note\": \"scaling unproven on this runner: "
+                 "1 hardware thread — batch throughput vs thread count "
+                 "measures overhead, not scaling\",\n");
+  }
   std::fprintf(out, "  \"universe\": %u,\n", universe);
   std::fprintf(out, "  \"distinct_queries\": %d,\n",
                static_cast<int>(shapes.size()));

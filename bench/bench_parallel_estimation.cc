@@ -201,6 +201,15 @@ int Run(const std::string& json_path) {
   std::fprintf(out, "  \"smoke\": %s,\n",
                bench::SmokeMode() ? "true" : "false");
   std::fprintf(out, "  \"hardware_threads\": %u,\n", hardware);
+  if (hardware <= 1) {
+    // A single-hardware-thread runner cannot demonstrate wall-clock
+    // scaling at all; say so explicitly rather than letting ~1.0x
+    // speedups read as a parallelism regression.
+    std::fprintf(out,
+                 "  \"scaling_note\": \"scaling unproven on this runner: "
+                 "1 hardware thread — speedup columns measure overhead, "
+                 "not scaling; lanes/tasks columns show the fan-out\",\n");
+  }
   std::fprintf(out, "  \"universe\": %u,\n", universe);
   write_points("six_cycle_fptras_tw", six_cycle);
   write_points("mixed_workload", mixed);

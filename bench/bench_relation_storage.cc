@@ -2,9 +2,11 @@
 //
 // Measures the four substrate operations every estimator leans on —
 // build (stage + canonicalise), full scan, prefix-range descent, and
-// projection — at arities 2..5, and compares against the historical
-// boxed representation (std::vector<Tuple>, one heap allocation per
-// tuple) reimplemented here as the before/after baseline. Writes the
+// projection — at arities 2..5, and compares three backends: the flat
+// in-memory layout, the historical boxed representation
+// (std::vector<Tuple>, one heap allocation per tuple) reimplemented here
+// as the before/after baseline, and the mmap'd columnar segment
+// (relational/segment.h; its build_ms is pack + O(1) open). Writes the
 // measurements as JSON (default BENCH_relation.json, or argv[1]).
 #include <algorithm>
 #include <cstdio>
@@ -13,6 +15,8 @@
 
 #include "bench_util.h"
 #include "relational/relation.h"
+#include "relational/segment.h"
+#include "relational/structure.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -118,6 +122,62 @@ OpTimes MeasureFlat(const std::vector<Tuple>& rows, int arity,
   return times;
 }
 
+// The mmap'd segment backend: build_ms is pack-to-disk plus the O(1)
+// open; the scan/range/project measurements then run over the mapped
+// Relation through the exact same accessors as the flat backend.
+OpTimes MeasureSegment(const std::vector<Tuple>& rows, int arity,
+                       uint64_t* sink) {
+  OpTimes times;
+  Relation staged(arity);
+  for (const Tuple& t : rows) staged.Add(t);
+  staged.Canonicalize();
+  Database db(kUniverse);
+  (void)db.DeclareRelation("R", arity);
+  (void)db.AdoptRelation("R", std::move(staged));
+
+  const std::string path = "/tmp/cqcount_bench_relation.seg";
+  WallTimer timer;
+  if (!WriteSegmentDatabase(db, path).ok()) {
+    std::fprintf(stderr, "segment pack failed\n");
+    std::exit(1);
+  }
+  auto mapped = OpenSegmentDatabase(path);
+  if (!mapped.ok()) {
+    std::fprintf(stderr, "segment open failed: %s\n",
+                 mapped.status().ToString().c_str());
+    std::exit(1);
+  }
+  times.build_ms = timer.Millis();
+  const Relation& rel = mapped->relation("R");
+
+  timer.Reset();
+  uint64_t sum = 0;
+  for (int repeat = 0; repeat < kScanRepeats; ++repeat) {
+    for (TupleView t : rel) sum += t[0];
+  }
+  times.scan_ms = timer.Millis() / kScanRepeats;
+
+  timer.Reset();
+  Rng rng(4);
+  size_t hits = 0;
+  for (int probe = 0; probe < kProbeRepeats; ++probe) {
+    const Value v = static_cast<Value>(rng.UniformInt(kUniverse));
+    const auto [lo, hi] = rel.NarrowRange(0, rel.size(), 0, v);
+    hits += hi - lo;
+  }
+  times.range_ms = timer.Millis();
+
+  timer.Reset();
+  std::vector<int> positions;
+  for (int k = arity - 1; k >= 1; --k) positions.push_back(k);
+  Relation projected = rel.Project(positions);
+  times.project_ms = timer.Millis();
+
+  *sink += sum + hits + projected.size();
+  std::remove(path.c_str());
+  return times;
+}
+
 OpTimes MeasureBoxed(const std::vector<Tuple>& rows, int arity,
                      uint64_t* sink) {
   OpTimes times;
@@ -170,6 +230,7 @@ int Run(const std::string& json_path) {
     int arity;
     OpTimes flat;
     OpTimes boxed;
+    OpTimes segment;
   };
   std::vector<Entry> entries;
   for (int arity = 2; arity <= 5; ++arity) {
@@ -178,6 +239,7 @@ int Run(const std::string& json_path) {
     e.arity = arity;
     e.flat = MeasureFlat(rows, arity, &sink);
     e.boxed = MeasureBoxed(rows, arity, &sink);
+    e.segment = MeasureSegment(rows, arity, &sink);
     entries.push_back(e);
     bench::Row("%6d %8s %12.2f %12.2f %12.2f %12.2f", arity, "flat",
                e.flat.build_ms, e.flat.scan_ms, e.flat.range_ms,
@@ -185,6 +247,9 @@ int Run(const std::string& json_path) {
     bench::Row("%6d %8s %12.2f %12.2f %12.2f %12.2f", arity, "boxed",
                e.boxed.build_ms, e.boxed.scan_ms, e.boxed.range_ms,
                e.boxed.project_ms);
+    bench::Row("%6d %8s %12.2f %12.2f %12.2f %12.2f", arity, "segment",
+               e.segment.build_ms, e.segment.scan_ms, e.segment.range_ms,
+               e.segment.project_ms);
   }
 
   std::FILE* out = std::fopen(json_path.c_str(), "w");
@@ -205,10 +270,13 @@ int Run(const std::string& json_path) {
         "\"flat\": {\"build_ms\": %.2f, \"scan_ms\": %.2f, "
         "\"range_ms\": %.2f, \"project_ms\": %.2f}, "
         "\"boxed\": {\"build_ms\": %.2f, \"scan_ms\": %.2f, "
+        "\"range_ms\": %.2f, \"project_ms\": %.2f}, "
+        "\"segment\": {\"build_ms\": %.2f, \"scan_ms\": %.2f, "
         "\"range_ms\": %.2f, \"project_ms\": %.2f}}%s\n",
         e.arity, e.flat.build_ms, e.flat.scan_ms, e.flat.range_ms,
         e.flat.project_ms, e.boxed.build_ms, e.boxed.scan_ms,
-        e.boxed.range_ms, e.boxed.project_ms,
+        e.boxed.range_ms, e.boxed.project_ms, e.segment.build_ms,
+        e.segment.scan_ms, e.segment.range_ms, e.segment.project_ms,
         i + 1 < entries.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");

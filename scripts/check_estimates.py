@@ -14,6 +14,9 @@ Usage:
   check_estimates.py scheduler <BENCH_scheduler.json>
                                                     adaptive-scheduler bench
                                                     schema + reduction check
+  check_estimates.py storage <BENCH_storage.json>   segment-storage bench
+                                                    schema check + backend/
+                                                    kernel estimate parity
 
 Baseline mode: perf PRs are free to change timings, but the `estimates`
 section of BENCH_fptras.json is produced at FIXED sizes and seeds in
@@ -50,6 +53,9 @@ REQUIRED_METRICS = (
     "scheduler.budget_splits",
     "scheduler.early_stops",
     "scheduler.runs_saved",
+    "storage.segment_opens",
+    "storage.zone_probes",
+    "storage.zone_prunes",
 )
 
 # Metrics with this name segment are documented scheduling-dependent WORK
@@ -370,6 +376,93 @@ def check_scheduler(path):
     return 0
 
 
+def check_storage(path):
+    """Validates BENCH_storage.json: the out-of-core segment bench.
+
+    Schema checks always run. The parity invariant — fixed-seed estimates
+    bitwise-equal across the in-memory backend, the mmap'd segment
+    backend, and the scalar kernel fallback — always runs too, in every
+    mode. The perf floors (10^8-tuple sweep entry, sub-millisecond O(1)
+    open, >= 2x SIMD speedup on the contiguous scan and the semijoin
+    probe at 200k+ rows) apply only to non-smoke recordings: smoke sizes
+    are too small to measure and are flagged in the JSON.
+    """
+    with open(path) as f:
+        data = json.load(f)
+    failures = []
+    if not isinstance(data.get("hardware_threads"), int):
+        failures.append("missing/non-integer 'hardware_threads'")
+    smoke = data.get("smoke")
+    if not isinstance(smoke, bool):
+        failures.append("missing/non-boolean 'smoke'")
+        smoke = True
+    sweep = data.get("open_sweep")
+    if not isinstance(sweep, list) or not sweep:
+        raise SystemExit(f"{path}: no 'open_sweep' array")
+    for e in sweep:
+        for key in ("rows", "file_bytes", "pack_ms", "open_us",
+                    "inmemory_register_ms"):
+            if not isinstance(e.get(key), (int, float)):
+                failures.append(f"open_sweep: missing/non-numeric {key!r}")
+    if not smoke:
+        largest = max(sweep, key=lambda e: e.get("rows", 0))
+        if largest.get("rows", 0) < 10**8:
+            failures.append(
+                f"open_sweep tops out at {largest.get('rows')} rows "
+                f"(the recorded artifact must include a 10^8-tuple "
+                f"database)")
+        if largest.get("open_us", 0) >= 1000.0:
+            failures.append(
+                f"largest open_us {largest.get('open_us')} >= 1000 "
+                f"(segment open must stay O(1): sub-millisecond even at "
+                f"10^8 tuples)")
+    kernels = data.get("kernels")
+    if not isinstance(kernels, list) or not kernels:
+        raise SystemExit(f"{path}: no 'kernels' array")
+    floored = ("linear_lower_bound_stride1", "linear_lower_bound_stride2",
+               "probe_stamps_block")
+    for e in kernels:
+        for key in ("kernel", "rows", "scalar_ms", "simd_ms", "speedup"):
+            if key not in e:
+                failures.append(f"kernels: missing {key!r} in {e}")
+        if (not smoke and e.get("kernel") in floored
+                and e.get("rows", 0) >= 200000
+                and isinstance(e.get("speedup"), (int, float))
+                and e["speedup"] < 2.0):
+            failures.append(
+                f"kernel {e['kernel']} at {e['rows']} rows: speedup "
+                f"{e['speedup']} < 2.0x (SIMD acceptance floor)")
+    estimates = data.get("estimates")
+    if not isinstance(estimates, list) or not estimates:
+        raise SystemExit(f"{path}: no 'estimates' array")
+    for e in estimates:
+        name = e.get("name", "<unnamed>")
+        for key in ("name", "universe", "seed", "epsilon", "delta",
+                    "estimate", "estimate_segment", "estimate_scalar",
+                    "exact", "oracle_calls"):
+            if key not in e:
+                failures.append(f"{name}: missing {key!r}")
+        if e.get("estimate_segment") != e.get("estimate"):
+            failures.append(
+                f"{name}: segment estimate {e.get('estimate_segment')} != "
+                f"in-memory {e.get('estimate')} (backends must be "
+                f"bit-identical)")
+        if e.get("estimate_scalar") != e.get("estimate"):
+            failures.append(
+                f"{name}: scalar-kernel estimate "
+                f"{e.get('estimate_scalar')} != SIMD {e.get('estimate')} "
+                f"(kernel levels must be bit-identical)")
+    if failures:
+        print("storage bench schema check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"storage bench schema check OK ({len(sweep)} sweep sizes, "
+          f"{len(kernels)} kernel rows, {len(estimates)} parity "
+          f"workloads{', smoke' if smoke else ''})")
+    return 0
+
+
 def main():
     if len(sys.argv) in (3, 4) and sys.argv[1] == "stats":
         return check_stats(sys.argv[2],
@@ -380,6 +473,8 @@ def main():
         return check_count_json(sys.argv[2])
     if len(sys.argv) == 3 and sys.argv[1] == "scheduler":
         return check_scheduler(sys.argv[2])
+    if len(sys.argv) == 3 and sys.argv[1] == "storage":
+        return check_storage(sys.argv[2])
     if len(sys.argv) == 3:
         return check_baseline(sys.argv[1], sys.argv[2])
     raise SystemExit(__doc__)

@@ -12,6 +12,7 @@
 #include "obs/trace.h"
 #include "query/parser.h"
 #include "relational/database_io.h"
+#include "relational/segment.h"
 #include "util/failpoint.h"
 #include "util/timer.h"
 
@@ -100,8 +101,12 @@ Status CountingEngine::RegisterDatabase(const std::string& name, Database db) {
   // Canonicalise now, while the database is still exclusively owned:
   // afterwards every const access is genuinely read-only (the flat
   // storage has no lazy-sort mutation), so the shared snapshot is safe
-  // for concurrent batch workers.
+  // for concurrent batch workers. Zone maps are built here too (a no-op
+  // for mmap'd segment relations, which carry theirs from the file), so
+  // both storage backends prune identically and estimates stay
+  // bit-identical between them.
   db.Canonicalize();
+  db.BuildZoneMaps();
   auto shared = std::make_shared<const Database>(std::move(db));
   std::unique_lock<std::shared_mutex> lock(db_mu_);
   RegisteredDatabase& entry = databases_[name];
@@ -114,9 +119,23 @@ Status CountingEngine::RegisterDatabase(const std::string& name, Database db) {
 
 Status CountingEngine::RegisterDatabaseFile(const std::string& name,
                                             const std::string& path) {
-  auto db = ReadDatabaseFile(path);
+  // Segment files mmap in O(1) (no copy, no sort — canonical order and
+  // zone maps are format invariants); text files parse and canonicalise.
+  // Cold-open cost is recorded either way so `stats` shows what
+  // registration paid per backend.
+  static obs::Counter& cold_opens = obs::MetricRegistry::Global().GetCounter(
+      "engine.db_cold_opens", "databases registered from files");
+  static obs::Histogram& cold_open_us =
+      obs::MetricRegistry::Global().GetHistogram(
+          "engine.db_cold_open_us",
+          "file-to-registered latency, microseconds");
+  WallTimer timer;
+  auto db = LoadDatabaseAuto(path);
   if (!db.ok()) return db.status();
-  return RegisterDatabase(name, *std::move(db));
+  Status s = RegisterDatabase(name, *std::move(db));
+  cold_opens.Increment();
+  cold_open_us.Observe(static_cast<uint64_t>(timer.Millis() * 1000.0));
+  return s;
 }
 
 std::vector<std::string> CountingEngine::DatabaseNames() const {

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "hom/bag_solutions.h"
+#include "relational/simd.h"
 #include "util/failpoint.h"
 
 namespace cqcount {
@@ -107,6 +108,8 @@ struct ExistTable {
   std::vector<int> parent_positions;  // Parent-bag columns to probe with.
   std::vector<int> child_positions;   // Child-bag columns projected.
   std::vector<uint64_t> radix;        // Stride per shared column.
+  std::vector<uint32_t> radix32;      // Same strides; key space < 2^21
+                                      // guarantees they fit u32 (SIMD probe).
   std::vector<uint32_t> stamps;
   uint32_t epoch = 0;
   bool oversize = false;
@@ -139,6 +142,7 @@ struct ExistTable {
       fallback.parent_positions = parent_positions;
       return;
     }
+    radix32.assign(radix.begin(), radix.end());
     stamps.assign(static_cast<size_t>(space), 0);
     epoch = 0;
   }
@@ -176,6 +180,16 @@ struct ExistTable {
       code += radix[k] * parent_row[static_cast<size_t>(parent_positions[k])];
     }
     return stamps[static_cast<size_t>(code)] == epoch;
+  }
+
+  // Word-parallel probe of `n` (<= 64) consecutive parent rows laid out
+  // arity-strided at `rows`: bit b of the result is set iff row b's
+  // projection is present. Requires !oversize. Bit order matches row
+  // order, so survivors enumerate identically to the scalar loop.
+  uint64_t ProbeBlock(const Value* rows, size_t width, size_t n) const {
+    return simd::ProbeStampsBlock(stamps.data(), epoch, rows, width,
+                                  parent_positions.data(), radix32.data(),
+                                  parent_positions.size(), n);
   }
 };
 
@@ -851,22 +865,46 @@ bool DecompositionSolver::DecidePrepared(
     FlatTuples& out = trial.trial_survivors[t];
     out.Reset(in.width());
     const std::vector<int>& kids = children_[t];
-    for (size_t i = 0; i < in.size(); ++i) {
-      TupleView row = in[i];
-      if (!PassesFilters(row, trial.filter_scratch)) continue;
-      bool alive = true;
-      for (int c : kids) {
-        const ExistTable& table =
-            sc.dynamic_bag[c] ? trial.trial_tables[c] : sc.static_tables[c];
-        if (!table.ContainsParentRow(row, trial.key_scratch)) {
-          alive = false;
-          break;
+    // Word-parallel semijoin: rows are filtered in 64-row blocks, one
+    // alive-bit per row, each child table ANDing its probe mask in (the
+    // SIMD stamp-probe kernel does 8 rows per step). Bit order preserves
+    // row order, so survivors and the verdict match the row-at-a-time
+    // loop exactly; a block merely probes up to 63 rows past the first
+    // witness before noticing it.
+    const size_t width = static_cast<size_t>(in.width());
+    for (size_t i = 0; i < in.size(); i += 64) {
+      const size_t block = std::min<size_t>(64, in.size() - i);
+      uint64_t alive =
+          block == 64 ? ~uint64_t{0} : (uint64_t{1} << block) - 1;
+      if (!trial.filter_scratch.empty()) {
+        for (size_t b = 0; b < block; ++b) {
+          if (!PassesFilters(in[i + b], trial.filter_scratch)) {
+            alive &= ~(uint64_t{1} << b);
+          }
         }
       }
-      if (!alive) continue;
-      // Existence-only: the first surviving root row is a witness.
+      const Value* rows = in[i].data();
+      for (int c : kids) {
+        if (alive == 0) break;
+        const ExistTable& table =
+            sc.dynamic_bag[c] ? trial.trial_tables[c] : sc.static_tables[c];
+        if (table.oversize) {
+          for (size_t b = 0; b < block; ++b) {
+            if ((alive >> b & 1) != 0 &&
+                !table.ContainsParentRow(in[i + b], trial.key_scratch)) {
+              alive &= ~(uint64_t{1} << b);
+            }
+          }
+        } else {
+          alive &= table.ProbeBlock(rows, width, block);
+        }
+      }
+      if (alive == 0) continue;
+      // Existence-only: any surviving root row is a witness.
       if (is_root) return true;
-      out.PushBack(row);
+      for (size_t b = 0; b < block; ++b) {
+        if ((alive >> b & 1) != 0) out.PushBack(in[i + b]);
+      }
     }
     if (is_root || out.empty()) return false;
 

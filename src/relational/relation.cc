@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "relational/simd.h"
+
 namespace cqcount {
 namespace {
 
@@ -21,6 +23,27 @@ bool IsCanonicalOrder(const std::vector<Value>& data, size_t rows,
 }
 
 }  // namespace
+
+Relation Relation::FromMappedSpan(int arity, size_t rows, const Value* data,
+                                  ZoneMaps zones,
+                                  std::shared_ptr<const void> keepalive) {
+  assert(arity >= 1);
+  Relation r(arity);
+  r.num_rows_ = rows;
+  r.mapped_ = data;
+  r.keepalive_ = std::move(keepalive);
+  r.zones_ = std::move(zones);
+  r.dirty_ = false;  // Canonical order is a segment-format invariant.
+  return r;
+}
+
+void Relation::BuildZoneMaps() {
+  assert(!dirty_ && "BuildZoneMaps on a non-canonical Relation");
+  if (!zones_.empty() || mapped_ != nullptr || num_rows_ == 0 || arity_ == 0) {
+    return;
+  }
+  zones_ = ZoneMaps::Build(base(), arity_, num_rows_);
+}
 
 Relation::Relation(int arity, std::vector<Value> rows) : arity_(arity) {
   assert(arity >= 0);
@@ -100,7 +123,7 @@ ptrdiff_t Relation::IndexOf(const Value* t) const {
   size_t lo = 0, hi = num_rows_;
   while (lo < hi) {
     const size_t mid = lo + (hi - lo) / 2;
-    const int c = CompareValues(data_.data() + mid * arity, t, arity);
+    const int c = CompareValues(base() + mid * arity, t, arity);
     if (c < 0) {
       lo = mid + 1;
     } else if (c > 0) {
@@ -123,7 +146,7 @@ std::pair<size_t, size_t> Relation::PrefixRange(const Value* prefix,
     size_t lo = from, hi = to;
     while (lo < hi) {
       const size_t mid = lo + (hi - lo) / 2;
-      if (CompareValues(data_.data() + mid * arity, prefix, arity) <= 0) {
+      if (CompareValues(base() + mid * arity, prefix, arity) <= 0) {
         lo = mid + 1;
       } else {
         hi = mid;
@@ -135,7 +158,7 @@ std::pair<size_t, size_t> Relation::PrefixRange(const Value* prefix,
   size_t lo = from, hi = to;
   while (lo < hi) {
     const size_t mid = lo + (hi - lo) / 2;
-    if (CompareValues(data_.data() + mid * arity, prefix, k) < 0) {
+    if (CompareValues(base() + mid * arity, prefix, k) < 0) {
       lo = mid + 1;
     } else {
       hi = mid;
@@ -145,7 +168,7 @@ std::pair<size_t, size_t> Relation::PrefixRange(const Value* prefix,
   hi = to;
   while (lo < hi) {
     const size_t mid = lo + (hi - lo) / 2;
-    if (CompareValues(data_.data() + mid * arity, prefix, k) <= 0) {
+    if (CompareValues(base() + mid * arity, prefix, k) <= 0) {
       lo = mid + 1;
     } else {
       hi = mid;
@@ -159,63 +182,43 @@ std::pair<size_t, size_t> Relation::NarrowRange(size_t from, size_t to,
   assert(!dirty_ && "read access to a non-canonical Relation");
   assert(col < static_cast<size_t>(arity_));
   const size_t arity = static_cast<size_t>(arity_);
-  const Value* base = data_.data() + col;
-  // Live join ranges shrink fast; a short linear scan beats the binary
-  // search's branch misses on small ranges.
+  const Value* keys = base() + col;
+  // Live join ranges shrink fast; a short linear scan beats any search's
+  // branch misses on small ranges.
   constexpr size_t kLinearThreshold = 12;
-  size_t lo = from, hi = to;
+  size_t lo = from;
   if (to - from <= kLinearThreshold) {
-    while (lo < to && base[lo * arity] < v) ++lo;
+    while (lo < to && keys[lo * arity] < v) ++lo;
     size_t end = lo;
-    while (end < to && base[end * arity] == v) ++end;
+    while (end < to && keys[end * arity] == v) ++end;
     return {lo, end};
   }
-  while (lo < hi) {
-    const size_t mid = lo + (hi - lo) / 2;
-    if (base[mid * arity] < v) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  const size_t lower = lo;
-  hi = to;
-  while (lo < hi) {
-    const size_t mid = lo + (hi - lo) / 2;
-    if (base[mid * arity] <= v) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  return {lower, lo};
+  // Hybrid galloping search: bisect to a window, vector-scan the rest
+  // (see simd.h). Identical results at every SIMD level.
+  lo = from + simd::LowerBoundStrided(keys + from * arity, arity, to - from, v);
+  if (lo == to || keys[lo * arity] != v) return {lo, lo};
+  const size_t hi =
+      lo + simd::UpperBoundStrided(keys + lo * arity, arity, to - lo, v);
+  return {lo, hi};
 }
 
 size_t Relation::GroupEnd(size_t from, size_t to, size_t col) const {
   assert(!dirty_ && "read access to a non-canonical Relation");
   assert(from < to && col < static_cast<size_t>(arity_));
   const size_t arity = static_cast<size_t>(arity_);
-  const Value* base = data_.data() + col;
-  const Value v = base[from * arity];
+  const Value* keys = base() + col;
+  const Value v = keys[from * arity];
   // Gallop: value runs are short in practice, so probe forward before
-  // falling back to a binary search over the remainder.
+  // falling back to a vectorised upper bound over the remainder.
   size_t end = from + 1;
   size_t step = 1;
-  while (end < to && base[end * arity] == v) {
+  while (end < to && keys[end * arity] == v) {
     end += step;
     step *= 2;
   }
-  size_t lo = end - step / 2;  // Last known-equal position + 1.
-  size_t hi = end < to ? end : to;
-  while (lo < hi) {
-    const size_t mid = lo + (hi - lo) / 2;
-    if (base[mid * arity] <= v) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
+  const size_t lo = end - step / 2;  // Last known-equal position + 1.
+  const size_t hi = end < to ? end : to;
+  return lo + simd::UpperBoundStrided(keys + lo * arity, arity, hi - lo, v);
 }
 
 Relation Relation::Project(const std::vector<int>& positions) const {
@@ -224,7 +227,7 @@ Relation Relation::Project(const std::vector<int>& positions) const {
   out.data_.reserve(num_rows_ * positions.size());
   const size_t arity = static_cast<size_t>(arity_);
   for (size_t i = 0; i < num_rows_; ++i) {
-    const Value* row = data_.data() + i * arity;
+    const Value* row = base() + i * arity;
     Value* dst = out.AppendRow();
     for (size_t j = 0; j < positions.size(); ++j) {
       assert(positions[j] >= 0 && positions[j] < arity_);
@@ -244,7 +247,7 @@ bool Relation::operator==(const Relation& other) const {
   assert(!dirty_ && !other.dirty_ &&
          "comparing non-canonical Relations");
   return arity_ == other.arity_ && num_rows_ == other.num_rows_ &&
-         data_ == other.data_;
+         flat() == other.flat();
 }
 
 }  // namespace cqcount

@@ -16,6 +16,17 @@
 // flat buffer. Views are invalidated by Add/AppendRow/Canonicalize, like
 // vector iterators; materialise with MaterializeTuple when a view must
 // outlive its relation's next mutation.
+//
+// Storage backends
+// ----------------
+// A canonical Relation reads through one base pointer that resolves to
+// either its owned vector or a borrowed memory-mapped span (a segment
+// file's data block, kept alive by a shared handle). Every accessor —
+// flat(), operator[], NarrowRange, IndexOf, .. — goes through base(), so
+// the two backends are observationally identical and engine estimates
+// stay bit-for-bit the same whichever one backs the data. Mapped
+// relations are born canonical and immutable; the mutating stagers
+// (Add/AppendRow) are owned-storage only.
 #ifndef CQCOUNT_RELATIONAL_RELATION_H_
 #define CQCOUNT_RELATIONAL_RELATION_H_
 
@@ -24,8 +35,11 @@
 #include <cstdint>
 #include <initializer_list>
 #include <iterator>
+#include <memory>
 #include <utility>
 #include <vector>
+
+#include "relational/zone_maps.h"
 
 namespace cqcount {
 
@@ -72,6 +86,46 @@ class TupleView {
     const int c = CompareValues(a.data_, b.data_, n);
     if (c != 0) return c < 0;
     return a.size_ < b.size_;
+  }
+
+ private:
+  const Value* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// A borrowed, non-owning view of a whole flat value buffer (the
+/// storage-backend-neutral return type of Relation::flat(): owned vectors
+/// and mmap'd spans read identically through it).
+class ValueSpan {
+ public:
+  using value_type = Value;
+
+  ValueSpan() = default;
+  ValueSpan(const Value* data, size_t size) : data_(data), size_(size) {}
+
+  const Value* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  Value operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+  const Value* begin() const { return data_; }
+  const Value* end() const { return data_ + size_; }
+
+  friend bool operator==(ValueSpan a, ValueSpan b) {
+    if (a.size_ != b.size_) return false;
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (a.data_[i] != b.data_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(ValueSpan a, ValueSpan b) { return !(a == b); }
+  friend bool operator==(ValueSpan a, const std::vector<Value>& b) {
+    return a == ValueSpan(b.data(), b.size());
+  }
+  friend bool operator==(const std::vector<Value>& a, ValueSpan b) {
+    return b == a;
   }
 
  private:
@@ -184,6 +238,38 @@ class Relation {
   /// Adopts `rows.size() / arity` staged rows and canonicalises them.
   Relation(int arity, std::vector<Value> rows);
 
+  /// Adopts a borrowed, already-canonical (sorted, duplicate-free,
+  /// row-major) buffer of `rows` tuples — the mmap'd segment backend.
+  /// `keepalive` pins the mapping (all relations of one segment share
+  /// it); `zones` carries the segment's precomputed zone maps. The
+  /// relation is born canonical and immutable: mutating stagers assert.
+  static Relation FromMappedSpan(int arity, size_t rows, const Value* data,
+                                 ZoneMaps zones,
+                                 std::shared_ptr<const void> keepalive);
+
+  /// True when reads resolve to a borrowed mmap'd span rather than the
+  /// owned vector.
+  bool is_mapped() const { return mapped_ != nullptr; }
+
+  /// The storage base pointer: the owned buffer or the mapped span.
+  /// Requires canonical (owned buffers may reallocate while staging).
+  const Value* base() const {
+    assert(!dirty_ && "read access to a non-canonical Relation");
+    return mapped_ != nullptr ? mapped_ : data_.data();
+  }
+
+  /// Zone maps over this relation's rows, or nullptr when none were
+  /// built/loaded. Present on mapped relations (segments store them) and
+  /// on in-memory relations after BuildZoneMaps().
+  const ZoneMaps* zone_maps() const {
+    return zones_.empty() ? nullptr : &zones_;
+  }
+
+  /// Builds zone maps in place for an in-memory canonical relation (no-op
+  /// when already present, mapped, or empty). Not thread-safe against
+  /// concurrent readers; call once at registration time.
+  void BuildZoneMaps();
+
   int arity() const { return arity_; }
   /// Number of tuples. Before Canonicalize() this counts staged rows,
   /// duplicates included.
@@ -193,6 +279,7 @@ class Relation {
   bool canonical() const { return !dirty_; }
 
   /// Stages a tuple (must have the relation's arity). Invalidates views.
+  /// Owned storage only: mapped relations are immutable.
   void Add(const Tuple& t) {
     assert(t.size() == static_cast<size_t>(arity_));
     AppendSpan(t.data());
@@ -203,13 +290,15 @@ class Relation {
   }
   void Add(std::initializer_list<Value> values) {
     assert(values.size() == static_cast<size_t>(arity_));
+    assert(mapped_ == nullptr && "mutating a mapped Relation");
     data_.insert(data_.end(), values.begin(), values.end());
     ++num_rows_;
     dirty_ = true;
   }
   /// Stages one uninitialised row; write exactly arity() values through
-  /// the returned pointer. Invalidates views.
+  /// the returned pointer. Invalidates views. Owned storage only.
   Value* AppendRow() {
+    assert(mapped_ == nullptr && "mutating a mapped Relation");
     data_.resize(data_.size() + arity_);
     ++num_rows_;
     dirty_ = true;
@@ -243,21 +332,20 @@ class Relation {
 
   /// The i-th tuple in lexicographic order. Requires canonical.
   TupleView operator[](size_t i) const {
-    assert(!dirty_ && "read access to a non-canonical Relation");
     assert(i < num_rows_);
-    return TupleView(data_.data() + i * arity_, arity_);
+    return TupleView(base() + i * arity_, arity_);
   }
 
   /// Value at (row, column) without forming a view. Requires canonical.
   Value At(size_t row, size_t col) const {
-    assert(!dirty_ && row < num_rows_ && col < static_cast<size_t>(arity_));
-    return data_[row * arity_ + col];
+    assert(row < num_rows_ && col < static_cast<size_t>(arity_));
+    return base()[row * arity_ + col];
   }
 
-  /// The raw flat buffer (size() * arity() values, row-major, sorted).
-  const std::vector<Value>& flat() const {
-    assert(!dirty_ && "read access to a non-canonical Relation");
-    return data_;
+  /// The raw flat buffer (size() * arity() values, row-major, sorted) as
+  /// a backend-neutral span: owned vector or mmap'd segment data.
+  ValueSpan flat() const {
+    return ValueSpan(base(), num_rows_ * static_cast<size_t>(arity_));
   }
 
   /// Iteration over tuples as views.
@@ -321,6 +409,7 @@ class Relation {
 
  private:
   void AppendSpan(const Value* values) {
+    assert(mapped_ == nullptr && "mutating a mapped Relation");
     data_.insert(data_.end(), values, values + arity_);
     ++num_rows_;
     dirty_ = true;
@@ -329,7 +418,12 @@ class Relation {
   int arity_ = 0;
   size_t num_rows_ = 0;
   bool dirty_ = false;
-  std::vector<Value> data_;  // num_rows_ * arity_ values, row-major.
+  std::vector<Value> data_;  // Owned backend: rows*arity values, row-major.
+  // Mapped backend: borrowed canonical span + the handle pinning it (one
+  // segment mapping shared by all its relations). Null for owned storage.
+  const Value* mapped_ = nullptr;
+  std::shared_ptr<const void> keepalive_;
+  ZoneMaps zones_;  // Empty unless built (owned) or loaded (segment).
 };
 
 }  // namespace cqcount

@@ -47,6 +47,26 @@ Status Structure::AddFact(const std::string& name, Tuple t) {
   return Status::Ok();
 }
 
+Status Structure::AdoptRelation(const std::string& name, Relation relation) {
+  if (!relation.canonical()) {
+    return Status::FailedPrecondition("adopting a non-canonical relation: " +
+                                      name);
+  }
+  auto it = relations_.find(name);
+  if (it != relations_.end() && it->second.arity() != relation.arity()) {
+    return Status::InvalidArgument("relation redeclared with new arity: " +
+                                   name);
+  }
+  relations_.insert_or_assign(name, std::move(relation));
+  return Status::Ok();
+}
+
+void Structure::BuildZoneMaps() {
+  for (auto& [name, rel] : relations_) {
+    if (rel.canonical()) rel.BuildZoneMaps();
+  }
+}
+
 void Structure::Canonicalize() {
   for (auto& [name, rel] : relations_) rel.Canonicalize();
 }

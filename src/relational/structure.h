@@ -41,6 +41,18 @@ class Structure {
   /// right arity and its values must lie in the universe.
   Status AddFact(const std::string& name, Tuple t);
 
+  /// Installs a fully-built relation under `name` (declaring it if
+  /// needed), replacing any existing rows — the wholesale path used by
+  /// the segment reader to adopt mmap-backed relations and by bulk
+  /// loaders. The relation must be canonical; arity conflicts with a
+  /// prior declaration fail.
+  Status AdoptRelation(const std::string& name, Relation relation);
+
+  /// Builds zone maps on every canonical in-memory relation (mapped
+  /// relations already carry theirs). Idempotent; called by the engine at
+  /// registration so both storage backends prune identically.
+  void BuildZoneMaps();
+
   /// Canonicalises every relation (sort + dedup). Must be called after
   /// the last AddFact and before the structure is read by the query
   /// layers; afterwards all access is read-only and the structure can be

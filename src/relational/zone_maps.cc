@@ -1,0 +1,56 @@
+#include "relational/zone_maps.h"
+
+#include "relational/simd.h"
+
+namespace cqcount {
+
+ZoneMaps ZoneMaps::Build(const Value* base, int arity, size_t rows) {
+  ZoneMaps z;
+  if (arity <= 0 || rows == 0) return z;
+  z.arity_ = arity;
+  z.num_rows_ = rows;
+  z.num_blocks_ = NumBlocks(rows);
+  z.owned_.resize(z.entry_count());
+  const size_t stride = static_cast<size_t>(arity);
+  for (size_t b = 0; b < z.num_blocks_; ++b) {
+    const size_t first = b * kBlockRows;
+    const size_t count =
+        first + kBlockRows <= rows ? kBlockRows : rows - first;
+    for (size_t c = 0; c < stride; ++c) {
+      Value mn = 0, mx = 0;
+      simd::MinMaxStrided(base + first * stride + c, stride, count, &mn, &mx);
+      const size_t at = (b * stride + c) * 2;
+      z.owned_[at] = mn;
+      z.owned_[at + 1] = mx;
+    }
+  }
+  return z;
+}
+
+ZoneMaps ZoneMaps::Borrow(const Value* min_max, int arity, size_t rows) {
+  ZoneMaps z;
+  if (arity <= 0 || rows == 0) return z;
+  z.arity_ = arity;
+  z.num_rows_ = rows;
+  z.num_blocks_ = NumBlocks(rows);
+  z.borrowed_ = min_max;
+  return z;
+}
+
+bool ZoneMaps::MaybeHasValueInRange(int col, Value lo, Value hi) const {
+  if (lo >= hi) return false;
+  if (num_blocks_ == 0) return true;  // No metadata: cannot prove absence.
+  assert(col >= 0 && col < arity_);
+  const Value* e = entries();
+  const size_t stride = static_cast<size_t>(arity_) * 2;
+  const size_t at0 = static_cast<size_t>(col) * 2;
+  for (size_t b = 0; b < num_blocks_; ++b) {
+    const Value mn = e[b * stride + at0];
+    const Value mx = e[b * stride + at0 + 1];
+    // Block range [mn, mx] intersects [lo, hi-1]?
+    if (mn <= hi - 1 && mx >= lo) return true;
+  }
+  return false;
+}
+
+}  // namespace cqcount

@@ -1,0 +1,94 @@
+// Zone maps: per-block, per-column min/max summaries of a canonical
+// relation, the pruning metadata of the columnar storage layer.
+//
+// A relation's rows are cut into fixed-size blocks of kBlockRows tuples
+// (the last block may be short). For block b and column c the zone map
+// records the minimum and maximum value of that column within the block.
+// Because the summary is exact, "no block's [min, max] intersects
+// [lo, hi)" is a sound emptiness proof: the relation has no row whose
+// column c value lies in [lo, hi), so a box-restricted count whose box
+// pins a variable of that column to [lo, hi) is exactly zero and the
+// sampler can skip the whole sub-count.
+//
+// Layout is a flat array so it serialises into segment files unchanged:
+// entry (b, c) occupies min_max[(b*arity + c)*2] (min) and
+// min_max[(b*arity + c)*2 + 1] (max). Zone maps are immutable once built
+// and can either own their buffer (built from an in-memory relation) or
+// borrow it (mmap'd from a segment; the owner keeps the mapping alive).
+#ifndef CQCOUNT_RELATIONAL_ZONE_MAPS_H_
+#define CQCOUNT_RELATIONAL_ZONE_MAPS_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cqcount {
+
+class ZoneMaps {
+ public:
+  using Value = uint32_t;
+
+  /// Rows per zone block. Fixed for the on-disk format (segment headers
+  /// record it so future readers can detect a change).
+  static constexpr size_t kBlockRows = 1024;
+
+  /// Number of blocks covering `rows` rows.
+  static size_t NumBlocks(size_t rows) {
+    return (rows + kBlockRows - 1) / kBlockRows;
+  }
+  /// Flat entry count (Values) for a relation of this shape.
+  static size_t EntryCount(int arity, size_t rows) {
+    return NumBlocks(rows) * static_cast<size_t>(arity) * 2;
+  }
+
+  ZoneMaps() = default;
+
+  /// Builds zone maps by scanning an arity-strided row buffer.
+  static ZoneMaps Build(const Value* base, int arity, size_t rows);
+
+  /// Adopts precomputed entries (EntryCount(arity, rows) Values laid out
+  /// as documented above) without copying; the caller guarantees the
+  /// buffer outlives the ZoneMaps (segment readers hold the mapping).
+  static ZoneMaps Borrow(const Value* min_max, int arity, size_t rows);
+
+  bool empty() const { return num_blocks_ == 0; }
+  int arity() const { return arity_; }
+  size_t num_blocks() const { return num_blocks_; }
+  size_t num_rows() const { return num_rows_; }
+  /// The flat entry buffer (recomputed per call so copies/moves of an
+  /// owning ZoneMaps never dangle).
+  const Value* entries() const {
+    return borrowed_ != nullptr ? borrowed_ : owned_.data();
+  }
+  size_t entry_count() const {
+    return num_blocks_ * static_cast<size_t>(arity_) * 2;
+  }
+
+  /// Min/max of column `col` within block `b`.
+  std::pair<Value, Value> BlockMinMax(size_t b, int col) const {
+    assert(b < num_blocks_ && col >= 0 && col < arity_);
+    const size_t at = (b * static_cast<size_t>(arity_) +
+                       static_cast<size_t>(col)) *
+                      2;
+    return {entries()[at], entries()[at + 1]};
+  }
+
+  /// True unless the zone maps PROVE no row has column `col` in the
+  /// half-open range [lo, hi). False positives are allowed (a block may
+  /// straddle the range without containing a value in it); false
+  /// negatives are not. An empty range never has a witness.
+  bool MaybeHasValueInRange(int col, Value lo, Value hi) const;
+
+ private:
+  int arity_ = 0;
+  size_t num_rows_ = 0;
+  size_t num_blocks_ = 0;
+  const Value* borrowed_ = nullptr;  // Set iff adopting an external buffer.
+  std::vector<Value> owned_;
+};
+
+}  // namespace cqcount
+
+#endif  // CQCOUNT_RELATIONAL_ZONE_MAPS_H_
