@@ -180,7 +180,7 @@ KernelEntry MeasureProbeBlocks(uint64_t rows, int repeats) {
       const size_t n = static_cast<size_t>(
           rows - i < 64 ? rows - i : uint64_t{64});
       sink += __builtin_popcountll(simd::ProbeStampsBlockAt(
-          simd::Level::kScalar, stamps.data(), epoch,
+          simd::Level::kScalar, stamps.data(), stamps.size(), epoch,
           tuples.data() + i * kWidth, kWidth, cols, radix, 2, n));
     }
   }
@@ -191,7 +191,7 @@ KernelEntry MeasureProbeBlocks(uint64_t rows, int repeats) {
       const size_t n = static_cast<size_t>(
           rows - i < 64 ? rows - i : uint64_t{64});
       sink += __builtin_popcountll(simd::ProbeStampsBlockAt(
-          simd::MaxSupportedLevel(), stamps.data(), epoch,
+          simd::MaxSupportedLevel(), stamps.data(), stamps.size(), epoch,
           tuples.data() + i * kWidth, kWidth, cols, radix, 2, n));
     }
   }

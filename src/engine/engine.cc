@@ -133,8 +133,10 @@ Status CountingEngine::RegisterDatabaseFile(const std::string& name,
   auto db = LoadDatabaseAuto(path);
   if (!db.ok()) return db.status();
   Status s = RegisterDatabase(name, *std::move(db));
-  cold_opens.Increment();
-  cold_open_us.Observe(static_cast<uint64_t>(timer.Millis() * 1000.0));
+  if (s.ok()) {  // Count registrations, not failed attempts.
+    cold_opens.Increment();
+    cold_open_us.Observe(static_cast<uint64_t>(timer.Millis() * 1000.0));
+  }
   return s;
 }
 

@@ -165,7 +165,10 @@ struct ExistTable {
       for (size_t k = 0; k < child_positions.size(); ++k) {
         code += radix[k] * row[static_cast<size_t>(child_positions[k])];
       }
-      stamps[static_cast<size_t>(code)] = epoch;
+      // Values are certified < universe at load, which bounds the code
+      // below the table size; if corrupt storage slipped a larger value
+      // through anyway, drop the row rather than write out of bounds.
+      if (code < stamps.size()) stamps[static_cast<size_t>(code)] = epoch;
     }
   }
 
@@ -179,7 +182,10 @@ struct ExistTable {
     for (size_t k = 0; k < parent_positions.size(); ++k) {
       code += radix[k] * parent_row[static_cast<size_t>(parent_positions[k])];
     }
-    return stamps[static_cast<size_t>(code)] == epoch;
+    // Out-of-range codes (corrupt storage only) are misses, matching
+    // Build's drop of such rows and ProbeStampsBlock's mask.
+    return code < stamps.size() &&
+           stamps[static_cast<size_t>(code)] == epoch;
   }
 
   // Word-parallel probe of `n` (<= 64) consecutive parent rows laid out
@@ -187,9 +193,9 @@ struct ExistTable {
   // projection is present. Requires !oversize. Bit order matches row
   // order, so survivors enumerate identically to the scalar loop.
   uint64_t ProbeBlock(const Value* rows, size_t width, size_t n) const {
-    return simd::ProbeStampsBlock(stamps.data(), epoch, rows, width,
-                                  parent_positions.data(), radix32.data(),
-                                  parent_positions.size(), n);
+    return simd::ProbeStampsBlock(stamps.data(), stamps.size(), epoch, rows,
+                                  width, parent_positions.data(),
+                                  radix32.data(), parent_positions.size(), n);
   }
 };
 

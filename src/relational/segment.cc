@@ -52,7 +52,13 @@ struct Trailer {
   uint64_t data_checksum;
   uint64_t dir_checksum;
   char end_magic[8];
-  uint64_t pad0;
+  // Zone blocks get their own ALWAYS-verified checksum (O(blocks) bytes,
+  // so open stays O(1) in data size): the O(1) open certifies every
+  // value against the universe from zone maxima alone, so the zones must
+  // be integrity-checked even when the O(rows) data audit is skipped —
+  // otherwise corrupt zones that understate the data would let
+  // out-of-universe values through to index-by-value sites.
+  uint64_t zone_checksum;
 };
 static_assert(sizeof(Trailer) == 32, "segment trailer must be 32 bytes");
 
@@ -111,7 +117,8 @@ struct SegmentWriter::Impl {
   std::FILE* file = nullptr;
   uint64_t offset = 0;
   uint64_t universe_size = 0;
-  uint64_t data_checksum = kFnvOffset;
+  uint64_t data_checksum = kFnvOffset;  // Data pages only (opt-in audit).
+  uint64_t zone_checksum = kFnvOffset;  // Zone blocks (always verified).
   std::vector<DirEntry> directory;
   std::set<std::string> names;
   bool finished = false;
@@ -254,9 +261,11 @@ Status SegmentWriter::EndRelation() {
   if (!s.ok()) return s;
   const uint64_t zone_offset = im.offset;
   if (!im.zone_entries.empty()) {
-    s = im.WriteRaw(im.zone_entries.data(),
-                    im.zone_entries.size() * sizeof(Value), true);
+    const size_t zone_bytes = im.zone_entries.size() * sizeof(Value);
+    s = im.WriteRaw(im.zone_entries.data(), zone_bytes, false);
     if (!s.ok()) return s;
+    im.zone_checksum =
+        FnvUpdate(im.zone_checksum, im.zone_entries.data(), zone_bytes);
   }
   DirEntry entry{};
   std::memcpy(entry.name, im.rel_name.data(), im.rel_name.size());
@@ -312,6 +321,7 @@ Status SegmentWriter::Finish() {
 
   Trailer trailer{};
   trailer.data_checksum = im.data_checksum;
+  trailer.zone_checksum = im.zone_checksum;
   uint64_t dir_checksum = FnvUpdate(kFnvOffset, &header, sizeof(header));
   dir_checksum = FnvUpdate(dir_checksum, im.directory.data(),
                            im.directory.size() * sizeof(DirEntry));
@@ -406,6 +416,7 @@ StatusOr<std::shared_ptr<const SegmentView>> SegmentView::Open(
   view->universe_size_ = header.universe_size;
   view->relations_.reserve(header.relation_count);
   uint64_t data_checksum = kFnvOffset;
+  uint64_t zone_checksum = kFnvOffset;
   std::set<std::string> seen;
   for (uint32_t i = 0; i < header.relation_count; ++i) {
     DirEntry entry{};
@@ -449,6 +460,24 @@ StatusOr<std::shared_ptr<const SegmentView>> SegmentView::Open(
     rel.zones = zone_values > 0 ? reinterpret_cast<const Value*>(
                                       bytes + entry.zone_offset)
                                 : nullptr;
+    zone_checksum = FnvUpdate(zone_checksum, bytes + entry.zone_offset,
+                              static_cast<size_t>(zone_bytes));
+    if (options.verify_data_checksum) {
+      data_checksum = FnvUpdate(data_checksum, rel.data,
+                                static_cast<size_t>(data_bytes));
+    }
+    view->relations_.push_back(std::move(rel));
+  }
+  // Zone blocks are always verified (O(blocks) — open stays O(1) in data
+  // size) BEFORE they are trusted below: the universe certification
+  // reads zone maxima in place of the O(rows) data pages, so corrupt
+  // zones that understate the data must not pass.
+  if (zone_checksum != trailer.zone_checksum) {
+    return Invalid(path, "zone checksum mismatch");
+  }
+  for (const RelationEntry& rel : view->relations_) {
+    const uint64_t zone_values =
+        ZoneMaps::EntryCount(rel.arity, static_cast<size_t>(rel.rows));
     // Zone maps are exact per-block bounds, so this O(blocks) walk
     // certifies every value is inside the universe without touching the
     // O(rows) data pages.
@@ -457,13 +486,6 @@ StatusOr<std::shared_ptr<const SegmentView>> SegmentView::Open(
         return Invalid(path, "value outside universe in " + rel.name);
       }
     }
-    if (options.verify_data_checksum) {
-      data_checksum = FnvUpdate(data_checksum, rel.data,
-                                static_cast<size_t>(data_bytes));
-      data_checksum = FnvUpdate(data_checksum, bytes + entry.zone_offset,
-                                static_cast<size_t>(zone_bytes));
-    }
-    view->relations_.push_back(std::move(rel));
   }
   if (options.verify_data_checksum &&
       data_checksum != trailer.data_checksum) {

@@ -15,14 +15,17 @@
 //   directory_offset        relation_count * DirEntry (64 B each):
 //                           name, arity, rows, data/zone offsets
 //   tail                    Trailer (32 B): data checksum, directory
-//                           checksum, end magic "CQSEGEND"
+//                           checksum, end magic "CQSEGEND", zone checksum
 //
-// Checksums are FNV-1a 64. Opening verifies the header, directory and
-// trailer (including the directory checksum) but NOT the data checksum —
-// that keeps open O(1) in file size (microseconds for 10^8-tuple files;
-// the OS pages data in on demand). Pass verify_data_checksum to audit the
-// full file. All integers are little-endian host format; the format is
-// an operational cache, not an archival interchange format.
+// Checksums are FNV-1a 64. Opening verifies the header, directory,
+// trailer AND the zone checksum (all O(blocks) bytes) but NOT the data
+// checksum — that keeps open O(1) in file size (microseconds for
+// 10^8-tuple files; the OS pages data in on demand). Zone blocks must be
+// integrity-checked at every open because the O(1) universe
+// certification trusts zone maxima in place of the data pages; the data
+// checksum covers only the O(rows) data pages and is opt-in via
+// verify_data_checksum. All integers are little-endian host format; the
+// format is an operational cache, not an archival interchange format.
 //
 // A SegmentView owns the mapping; OpenSegmentDatabase wraps each
 // relation in a Relation::FromMappedSpan that shares the view, so the

@@ -55,10 +55,11 @@ void ScalarMinMax(const Value* base, size_t stride, size_t n, Value* min_out,
   *max_out = mx;
 }
 
-uint64_t ScalarProbeStampsBlock(const uint32_t* stamps, uint32_t epoch,
-                                const Value* rows, size_t width,
-                                const int* cols, const uint32_t* radix,
-                                size_t ncols, size_t n) {
+uint64_t ScalarProbeStampsBlock(const uint32_t* stamps, size_t space,
+                                uint32_t epoch, const Value* rows,
+                                size_t width, const int* cols,
+                                const uint32_t* radix, size_t ncols,
+                                size_t n) {
   uint64_t hits = 0;
   for (size_t r = 0; r < n; ++r) {
     const Value* row = rows + r * width;
@@ -66,7 +67,10 @@ uint64_t ScalarProbeStampsBlock(const uint32_t* stamps, uint32_t epoch,
     for (size_t k = 0; k < ncols; ++k) {
       code += radix[k] * row[cols[k]];
     }
-    if (stamps[code] == epoch) hits |= uint64_t{1} << r;
+    // Codes at/past the table end (possible only for values that escaped
+    // universe certification, i.e. corrupt storage) are misses, never
+    // out-of-bounds reads.
+    if (code < space && stamps[code] == epoch) hits |= uint64_t{1} << r;
   }
   return hits;
 }
@@ -132,6 +136,10 @@ __attribute__((target("avx2"))) inline __m256i Avx2StrideIndices(
 // relations) deinterleave with two full-bandwidth loads and three
 // shuffles instead of a latency-bound vpgatherdd: pull the even lanes of
 // each 256-bit half into its low 128 bits, then splice the halves.
+// Reads p[0..15], i.e. one Value PAST the 8th key p[14] — when the base
+// is column 1 of the last 8 rows of a buffer that byte is out of bounds,
+// so callers must stop a full group before the end (i + 8 < n) and let
+// the scalar tail finish.
 __attribute__((target("avx2"))) inline __m256i Avx2LoadStride2Keys(
     const Value* p) {
   const __m256i evens = _mm256_setr_epi32(0, 2, 4, 6, 1, 3, 5, 7);
@@ -160,7 +168,10 @@ __attribute__((target("avx2"))) size_t Avx2LinearLowerBound(
       if (lt != 0xFF) return i + static_cast<size_t>(__builtin_ctz(~lt & 0xFF));
     }
   } else if (stride == 2) {
-    for (; i + 8 <= n; i += 8) {
+    // i + 8 < n (strict): the deinterleaving load reads one Value past
+    // the group's last key, so the final 8-key group goes to the scalar
+    // tail instead of overrunning a buffer that ends at that key.
+    for (; i + 8 < n; i += 8) {
       const __m256i keys =
           _mm256_xor_si256(Avx2LoadStride2Keys(base + i * 2), bias);
       const int lt =
@@ -201,7 +212,9 @@ __attribute__((target("avx2"))) size_t Avx2LinearUpperBound(
       if (gt != 0) return i + static_cast<size_t>(__builtin_ctz(gt));
     }
   } else if (stride == 2) {
-    for (; i + 8 <= n; i += 8) {
+    // Strict bound for the same reason as the lower-bound scan: the
+    // deinterleaving load reads one Value past the group's last key.
+    for (; i + 8 < n; i += 8) {
       const __m256i keys =
           _mm256_xor_si256(Avx2LoadStride2Keys(base + i * 2), bias);
       const int gt =
@@ -271,10 +284,16 @@ __attribute__((target("avx2"))) void Avx2MinMax(const Value* base,
 }
 
 __attribute__((target("avx2"))) uint64_t Avx2ProbeStampsBlock(
-    const uint32_t* stamps, uint32_t epoch, const Value* rows, size_t width,
-    const int* cols, const uint32_t* radix, size_t ncols, size_t n) {
+    const uint32_t* stamps, size_t space, uint32_t epoch, const Value* rows,
+    size_t width, const int* cols, const uint32_t* radix, size_t ncols,
+    size_t n) {
+  if (space == 0) return 0;  // Empty table: every probe misses.
   uint64_t hits = 0;
   const __m256i epoch_v = _mm256_set1_epi32(static_cast<int>(epoch));
+  // Out-of-range codes (corrupt storage only) clamp to the last slot for
+  // the gather — keeping every lane's address in bounds — and their
+  // lanes are masked off afterwards, matching the scalar miss semantics.
+  const __m256i last = _mm256_set1_epi32(static_cast<int>(space - 1));
   const int w = static_cast<int>(width);
   const __m256i row_base = _mm256_setr_epi32(0, w, 2 * w, 3 * w, 4 * w, 5 * w,
                                              6 * w, 7 * w);
@@ -289,15 +308,17 @@ __attribute__((target("avx2"))) uint64_t Avx2ProbeStampsBlock(
           codes, _mm256_mullo_epi32(
                      keys, _mm256_set1_epi32(static_cast<int>(radix[k]))));
     }
+    const __m256i clamped = _mm256_min_epu32(codes, last);
+    const __m256i valid = _mm256_cmpeq_epi32(clamped, codes);
     const __m256i marks = _mm256_i32gather_epi32(
-        reinterpret_cast<const int*>(stamps), codes, 4);
-    const int eq = _mm256_movemask_ps(
-        _mm256_castsi256_ps(_mm256_cmpeq_epi32(marks, epoch_v)));
+        reinterpret_cast<const int*>(stamps), clamped, 4);
+    const int eq = _mm256_movemask_ps(_mm256_castsi256_ps(
+        _mm256_and_si256(_mm256_cmpeq_epi32(marks, epoch_v), valid)));
     hits |= static_cast<uint64_t>(eq & 0xFF) << r;
   }
   if (r < n) {
-    hits |= ScalarProbeStampsBlock(stamps, epoch, rows + r * width, width,
-                                   cols, radix, ncols, n - r)
+    hits |= ScalarProbeStampsBlock(stamps, space, epoch, rows + r * width,
+                                   width, cols, radix, ncols, n - r)
             << r;
   }
   return hits;
@@ -445,26 +466,27 @@ void MinMaxStrided(const Value* base, size_t stride, size_t n, Value* min_out,
 }
 
 uint64_t ProbeStampsBlockAt(Level level, const uint32_t* stamps,
-                            uint32_t epoch, const Value* rows, size_t width,
-                            const int* cols, const uint32_t* radix,
-                            size_t ncols, size_t n) {
+                            size_t space, uint32_t epoch, const Value* rows,
+                            size_t width, const int* cols,
+                            const uint32_t* radix, size_t ncols, size_t n) {
 #if CQCOUNT_SIMD_X86
   if (level == Level::kAvx2) {
-    return Avx2ProbeStampsBlock(stamps, epoch, rows, width, cols, radix,
-                                ncols, n);
+    return Avx2ProbeStampsBlock(stamps, space, epoch, rows, width, cols,
+                                radix, ncols, n);
   }
 #else
   (void)level;
 #endif
-  return ScalarProbeStampsBlock(stamps, epoch, rows, width, cols, radix,
-                                ncols, n);
+  return ScalarProbeStampsBlock(stamps, space, epoch, rows, width, cols,
+                                radix, ncols, n);
 }
 
-uint64_t ProbeStampsBlock(const uint32_t* stamps, uint32_t epoch,
-                          const Value* rows, size_t width, const int* cols,
-                          const uint32_t* radix, size_t ncols, size_t n) {
-  return ProbeStampsBlockAt(ActiveLevel(), stamps, epoch, rows, width, cols,
-                            radix, ncols, n);
+uint64_t ProbeStampsBlock(const uint32_t* stamps, size_t space,
+                          uint32_t epoch, const Value* rows, size_t width,
+                          const int* cols, const uint32_t* radix,
+                          size_t ncols, size_t n) {
+  return ProbeStampsBlockAt(ActiveLevel(), stamps, space, epoch, rows, width,
+                            cols, radix, ncols, n);
 }
 
 }  // namespace simd

@@ -81,18 +81,22 @@ void MinMaxStrided(const Value* base, size_t stride, size_t n,
 void MinMaxStridedAt(Level level, const Value* base, size_t stride,
                      size_t n, Value* min_out, Value* max_out);
 
-/// Word-parallel existence probe over an epoch-stamped table: for each
-/// row r in [0, n) (n <= 64) computes the mixed-radix code
+/// Word-parallel existence probe over an epoch-stamped table of `space`
+/// slots: for each row r in [0, n) (n <= 64) computes the mixed-radix
+/// code
 ///   code_r = sum_k radix[k] * rows[r*width + cols[k]]
-/// and sets bit r of the result iff stamps[code_r] == epoch. Every code
-/// must be a valid index into `stamps` (the caller sized the radix).
-uint64_t ProbeStampsBlock(const uint32_t* stamps, uint32_t epoch,
-                          const Value* rows, size_t width, const int* cols,
-                          const uint32_t* radix, size_t ncols, size_t n);
+/// and sets bit r of the result iff code_r < space and
+/// stamps[code_r] == epoch. Codes at/past `space` — only possible when
+/// row values escaped universe certification, i.e. corrupt storage —
+/// are misses at every level, never out-of-bounds accesses.
+uint64_t ProbeStampsBlock(const uint32_t* stamps, size_t space,
+                          uint32_t epoch, const Value* rows, size_t width,
+                          const int* cols, const uint32_t* radix,
+                          size_t ncols, size_t n);
 uint64_t ProbeStampsBlockAt(Level level, const uint32_t* stamps,
-                            uint32_t epoch, const Value* rows, size_t width,
-                            const int* cols, const uint32_t* radix,
-                            size_t ncols, size_t n);
+                            size_t space, uint32_t epoch, const Value* rows,
+                            size_t width, const int* cols,
+                            const uint32_t* radix, size_t ncols, size_t n);
 
 }  // namespace simd
 }  // namespace cqcount

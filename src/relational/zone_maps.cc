@@ -24,6 +24,7 @@ ZoneMaps ZoneMaps::Build(const Value* base, int arity, size_t rows) {
       z.owned_[at + 1] = mx;
     }
   }
+  z.ComputeColumnBounds();
   return z;
 }
 
@@ -34,23 +35,72 @@ ZoneMaps ZoneMaps::Borrow(const Value* min_max, int arity, size_t rows) {
   z.num_rows_ = rows;
   z.num_blocks_ = NumBlocks(rows);
   z.borrowed_ = min_max;
+  z.ComputeColumnBounds();
   return z;
+}
+
+void ZoneMaps::ComputeColumnBounds() {
+  const size_t arity = static_cast<size_t>(arity_);
+  col_min_.assign(arity, 0);
+  col_max_.assign(arity, 0);
+  const Value* e = entries();
+  for (size_t c = 0; c < arity; ++c) {
+    Value mn = e[c * 2], mx = e[c * 2 + 1];
+    for (size_t b = 1; b < num_blocks_; ++b) {
+      const size_t at = (b * arity + c) * 2;
+      if (e[at] < mn) mn = e[at];
+      if (e[at + 1] > mx) mx = e[at + 1];
+    }
+    col_min_[c] = mn;
+    col_max_[c] = mx;
+  }
 }
 
 bool ZoneMaps::MaybeHasValueInRange(int col, Value lo, Value hi) const {
   if (lo >= hi) return false;
   if (num_blocks_ == 0) return true;  // No metadata: cannot prove absence.
   assert(col >= 0 && col < arity_);
+  const size_t c = static_cast<size_t>(col);
+  const Value last = hi - 1;  // Inclusive upper end of the probe range.
+  // Whole-relation bounds decide most probes in O(1): outside the span
+  // is a proof of absence, and the column's min/max are actual row
+  // values, so either endpoint inside [lo, last] is a witness.
+  if (col_min_[c] > last || col_max_[c] < lo) return false;
+  if (col_min_[c] >= lo || col_max_[c] <= last) return true;
+  // Remaining case: the range lies strictly inside the column's span
+  // (col_min < lo <= last < col_max) — only per-block bounds can decide.
   const Value* e = entries();
   const size_t stride = static_cast<size_t>(arity_) * 2;
-  const size_t at0 = static_cast<size_t>(col) * 2;
-  for (size_t b = 0; b < num_blocks_; ++b) {
+  const size_t at0 = c * 2;
+  if (col == 0) {
+    // Canonical (lexicographic) row order sorts column 0, so per-block
+    // [min, max] intervals are non-decreasing: binary-search the first
+    // block whose max reaches lo; the range intersects some block iff it
+    // intersects that one.
+    size_t b_lo = 0, b_hi = num_blocks_;
+    while (b_lo < b_hi) {
+      const size_t mid = b_lo + (b_hi - b_lo) / 2;
+      if (e[mid * stride + at0 + 1] < lo) {
+        b_lo = mid + 1;
+      } else {
+        b_hi = mid;
+      }
+    }
+    return b_lo < num_blocks_ && e[b_lo * stride + at0] <= last;
+  }
+  // Other columns are unsorted: linear walk, capped so one probe never
+  // costs more than the sub-count it tries to skip.
+  const size_t scan =
+      num_blocks_ < kMaxProbeBlocks ? num_blocks_ : kMaxProbeBlocks;
+  for (size_t b = 0; b < scan; ++b) {
     const Value mn = e[b * stride + at0];
     const Value mx = e[b * stride + at0 + 1];
-    // Block range [mn, mx] intersects [lo, hi-1]?
-    if (mn <= hi - 1 && mx >= lo) return true;
+    // Block range [mn, mx] intersects [lo, last]?
+    if (mn <= last && mx >= lo) return true;
   }
-  return false;
+  // Either proved empty (all blocks checked) or gave up at the cap;
+  // giving up must claim a possible witness to stay sound.
+  return scan < num_blocks_;
 }
 
 }  // namespace cqcount

@@ -34,6 +34,15 @@ class ZoneMaps {
   /// record it so future readers can detect a change).
   static constexpr size_t kBlockRows = 1024;
 
+  /// Cap on blocks a single MaybeHasValueInRange probe will walk for a
+  /// non-sorted column before giving up (returning true is always
+  /// sound). Bounds the per-probe cost on huge relations — the sampler
+  /// fires probes twice per descent level, so an O(blocks) walk on a
+  /// 10^8-row relation (~10^5 blocks) would cost more than the
+  /// sub-counts it tries to skip. Column 0 is exempt: canonical order
+  /// makes it binary-searchable.
+  static constexpr size_t kMaxProbeBlocks = 4096;
+
   /// Number of blocks covering `rows` rows.
   static size_t NumBlocks(size_t rows) {
     return (rows + kBlockRows - 1) / kBlockRows;
@@ -79,14 +88,27 @@ class ZoneMaps {
   /// half-open range [lo, hi). False positives are allowed (a block may
   /// straddle the range without containing a value in it); false
   /// negatives are not. An empty range never has a witness.
+  ///
+  /// Cost: O(1) when the whole-relation column bounds decide (the common
+  /// case — the range misses the relation's span entirely or contains
+  /// one of its endpoints), O(log blocks) for column 0 (canonical order
+  /// sorts it, so block intervals binary-search), and a walk capped at
+  /// kMaxProbeBlocks for other columns.
   bool MaybeHasValueInRange(int col, Value lo, Value hi) const;
 
  private:
+  /// Folds per-block entries into whole-relation per-column min/max
+  /// (col_min_/col_max_), the O(1) early-out of every probe. O(blocks),
+  /// run once at Build/Borrow.
+  void ComputeColumnBounds();
+
   int arity_ = 0;
   size_t num_rows_ = 0;
   size_t num_blocks_ = 0;
   const Value* borrowed_ = nullptr;  // Set iff adopting an external buffer.
   std::vector<Value> owned_;
+  std::vector<Value> col_min_;  // Whole-relation bounds, arity_ entries
+  std::vector<Value> col_max_;  // each (empty iff no blocks).
 };
 
 }  // namespace cqcount

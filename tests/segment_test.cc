@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -191,6 +192,31 @@ TEST_F(SegmentTest, RejectsDirectoryCorruption) {
   bytes[dir_guess] ^= 0x5A;
   WriteAll(path, bytes);
   auto view = SegmentView::Open(path);
+  ASSERT_FALSE(view.ok());
+  EXPECT_EQ(view.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SegmentTest, ZoneCorruptionRejectedAtPlainOpen) {
+  // The O(1) open certifies every value against the universe from the
+  // zone maxima alone, so zone blocks must be covered by an
+  // always-verified checksum: a corrupt zone that understates the data
+  // (here: zeroed, so any out-of-universe value would "pass") has to be
+  // rejected WITHOUT the opt-in full data audit.
+  const std::string path = TempPath("zonecorrupt");
+  ASSERT_TRUE(WriteSegmentDatabase(SmallDatabase(), path).ok());
+  std::vector<char> bytes = ReadAll(path);
+  // Locate the first relation's zone block via its directory entry
+  // (directory = 2 entries of 64 B just before the 32 B trailer;
+  // zone_offset is the u64 at byte 56 of an entry).
+  const size_t dir = bytes.size() - 32 - 2 * 64;
+  uint64_t zone_offset = 0;
+  std::memcpy(&zone_offset, bytes.data() + dir + 56, sizeof(zone_offset));
+  ASSERT_LT(zone_offset + 8, bytes.size());
+  // Zero the first column's MAX (bytes 4..7 of the zone block; its min
+  // at bytes 0..3 is already 0) — the certification-relevant bound.
+  for (int b = 4; b < 8; ++b) bytes[zone_offset + b] = 0;
+  WriteAll(path, bytes);
+  auto view = SegmentView::Open(path);  // Plain open, no data audit.
   ASSERT_FALSE(view.ok());
   EXPECT_EQ(view.status().code(), StatusCode::kInvalidArgument);
 }

@@ -159,6 +159,44 @@ TEST(SimdTest, HybridBoundsMatchStdAlgorithms) {
   SetLevelForTesting(before);
 }
 
+TEST(SimdTest, Stride2SecondColumnScanToBufferEndStaysInBounds) {
+  // Regression: the AVX2 stride-2 deinterleaving load reads one Value
+  // past a group's last key, so scanning COLUMN 1 of an arity-2
+  // relation (base = data + 1, stride 2) with a window reaching the
+  // last row used to read 4 bytes past the heap buffer (caught by ASAN;
+  // a segfault when the allocation ended at a page boundary). The
+  // buffers here are exact-size heap allocations so sanitizers see any
+  // recurrence; probe values force full scans to the final key.
+  Rng rng(123);
+  for (size_t n : {size_t{8}, size_t{9}, size_t{16}, size_t{24}, size_t{64},
+                   size_t{96}, size_t{100}}) {
+    std::vector<Value> rows(2 * n);  // n rows, arity 2, nothing after.
+    for (size_t i = 0; i < n; ++i) {
+      rows[i * 2] = static_cast<Value>(rng.UniformInt(1u << 30));  // Garbage.
+      rows[i * 2 + 1] = static_cast<Value>(2 * i);  // Sorted key column.
+    }
+    const Value* base = rows.data() + 1;
+    // Probes past every key (forces the scan to run off the end), at the
+    // last key, and inside the range.
+    for (Value v : {static_cast<Value>(2 * n), static_cast<Value>(2 * n - 2),
+                    static_cast<Value>(n)}) {
+      size_t want_lo = n, want_hi = n;
+      for (size_t i = 0; i < n; ++i) {
+        if (base[i * 2] >= v) { want_lo = i; break; }
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (base[i * 2] > v) { want_hi = i; break; }
+      }
+      for (Level level : SupportedLevels()) {
+        EXPECT_EQ(LinearLowerBoundStridedAt(level, base, 2, n, v), want_lo)
+            << "level=" << LevelName(level) << " n=" << n << " v=" << v;
+        EXPECT_EQ(LinearUpperBoundStridedAt(level, base, 2, n, v), want_hi)
+            << "level=" << LevelName(level) << " n=" << n << " v=" << v;
+      }
+    }
+  }
+}
+
 TEST(SimdTest, MinMaxMatchesReferenceAcrossLevels) {
   Rng rng(4242);
   for (int trial = 0; trial < 100; ++trial) {
@@ -217,12 +255,36 @@ TEST(SimdTest, ProbeStampsBlockMatchesScalarAcrossLevels) {
       if (stamps[code] == epoch) want |= uint64_t{1} << r;
     }
     for (Level level : SupportedLevels()) {
-      EXPECT_EQ(ProbeStampsBlockAt(level, stamps.data(), epoch, rows.data(),
-                                   width, cols.data(), radix.data(), ncols, n),
+      EXPECT_EQ(ProbeStampsBlockAt(level, stamps.data(), stamps.size(), epoch,
+                                   rows.data(), width, cols.data(),
+                                   radix.data(), ncols, n),
                 want)
           << "level=" << LevelName(level) << " n=" << n << " width=" << width
           << " ncols=" << ncols;
     }
+  }
+}
+
+TEST(SimdTest, ProbeStampsBlockTreatsOutOfRangeCodesAsMisses) {
+  // Row values that escaped universe certification (corrupt storage)
+  // can form codes at/past the stamp table end; every level must treat
+  // those as misses — identically — instead of indexing out of bounds.
+  constexpr Value space = 16;
+  std::vector<uint32_t> stamps(space, 7u);  // Every in-range probe hits.
+  const int cols[1] = {0};
+  const uint32_t radix[1] = {1};
+  std::vector<Value> rows = {3,          15,         16,  // First OOR code.
+                             UINT32_MAX, 0,          1000,
+                             8,          space,      4};
+  uint64_t want = 0;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r] < space) want |= uint64_t{1} << r;
+  }
+  for (Level level : SupportedLevels()) {
+    EXPECT_EQ(ProbeStampsBlockAt(level, stamps.data(), space, 7u, rows.data(),
+                                 1, cols, radix, 1, rows.size()),
+              want)
+        << "level=" << LevelName(level);
   }
 }
 

@@ -1,0 +1,147 @@
+// Zone-map probe tests (relational/zone_maps.h): soundness of
+// MaybeHasValueInRange against brute force over the actual rows (a
+// `false` answer must PROVE absence), the column-0 binary search over
+// canonically sorted block intervals, and the capped walk on unsorted
+// columns of huge relations (giving up must return "maybe", never a
+// false emptiness proof).
+#include "relational/zone_maps.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/random.h"
+
+namespace cqcount {
+namespace {
+
+using Value = ZoneMaps::Value;
+
+// Random canonical (lexicographically sorted, duplicate-free) rows.
+std::vector<Value> CanonicalRows(Rng& rng, size_t rows, int arity,
+                                 uint32_t universe) {
+  std::vector<std::vector<Value>> tuples(rows);
+  for (auto& t : tuples) {
+    t.resize(static_cast<size_t>(arity));
+    for (Value& v : t) v = static_cast<Value>(rng.UniformInt(universe));
+  }
+  std::sort(tuples.begin(), tuples.end());
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+  std::vector<Value> flat;
+  flat.reserve(tuples.size() * static_cast<size_t>(arity));
+  for (const auto& t : tuples) flat.insert(flat.end(), t.begin(), t.end());
+  return flat;
+}
+
+TEST(ZoneMapsTest, ProbeNeverProvesAbsenceOfAnExistingValue) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int arity = 1 + static_cast<int>(rng.UniformInt(3));
+    // Several blocks' worth of rows so block boundaries are exercised.
+    const size_t want_rows = 1 + rng.UniformInt(3 * ZoneMaps::kBlockRows);
+    const uint32_t universe = 16 + static_cast<uint32_t>(rng.UniformInt(200));
+    const std::vector<Value> flat =
+        CanonicalRows(rng, want_rows, arity, universe);
+    const size_t rows = flat.size() / static_cast<size_t>(arity);
+    const ZoneMaps zones = ZoneMaps::Build(flat.data(), arity, rows);
+
+    for (int probe = 0; probe < 60; ++probe) {
+      const int col = static_cast<int>(rng.UniformInt(arity));
+      Value lo = static_cast<Value>(rng.UniformInt(universe + 4));
+      Value hi = static_cast<Value>(rng.UniformInt(universe + 4));
+      if (lo > hi) std::swap(lo, hi);
+      bool exists = false;
+      for (size_t r = 0; r < rows && !exists; ++r) {
+        const Value v = flat[r * static_cast<size_t>(arity) +
+                             static_cast<size_t>(col)];
+        exists = v >= lo && v < hi;
+      }
+      if (exists) {
+        EXPECT_TRUE(zones.MaybeHasValueInRange(col, lo, hi))
+            << "col=" << col << " [" << lo << "," << hi << ")";
+      }
+      if (!zones.MaybeHasValueInRange(col, lo, hi)) {
+        EXPECT_FALSE(exists)
+            << "col=" << col << " [" << lo << "," << hi << ")";
+      }
+    }
+  }
+}
+
+TEST(ZoneMapsTest, SortedColumnZeroProvesInterBlockGapsExactly) {
+  // Column 0 of a canonical relation is sorted, so per-block intervals
+  // binary-search. Each block here densely covers [10000b, 10000b+1023],
+  // leaving provably empty inter-block gaps (block granularity cannot
+  // prove gaps WITHIN a block — those legitimately answer "maybe").
+  constexpr size_t kBlocks = 4;
+  const size_t rows = kBlocks * ZoneMaps::kBlockRows;
+  std::vector<Value> flat(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    flat[i] = static_cast<Value>((i / ZoneMaps::kBlockRows) * 10000 +
+                                 (i % ZoneMaps::kBlockRows));
+  }
+  const ZoneMaps zones = ZoneMaps::Build(flat.data(), 1, rows);
+  const Value span = static_cast<Value>(ZoneMaps::kBlockRows);
+  for (size_t b = 0; b < kBlocks; ++b) {
+    const Value base = static_cast<Value>(10000 * b);
+    // First and last value of the block are found.
+    EXPECT_TRUE(zones.MaybeHasValueInRange(0, base, base + 1)) << b;
+    EXPECT_TRUE(zones.MaybeHasValueInRange(0, base + span - 1, base + span))
+        << b;
+    // The gap to the next block is provably empty.
+    if (b + 1 < kBlocks) {
+      EXPECT_FALSE(zones.MaybeHasValueInRange(
+          0, base + span, static_cast<Value>(10000 * (b + 1))))
+          << b;
+    }
+  }
+  // Outside the whole span, and the empty range.
+  const Value top = static_cast<Value>(10000 * (kBlocks - 1)) + span - 1;
+  EXPECT_FALSE(zones.MaybeHasValueInRange(0, top + 1, top + 100));
+  EXPECT_FALSE(zones.MaybeHasValueInRange(0, 5, 5));
+}
+
+TEST(ZoneMapsTest, UnsortedColumnWalkGivesUpSoundlyPastTheCap) {
+  // Synthetic per-block entries via Borrow: arity 2, alternating
+  // column-1 blocks [0,5] / [30,40], so the interior range [10,20) has
+  // no witness but the whole-relation bounds cannot decide. Below the
+  // cap the walk PROVES emptiness; past the cap it must give up with
+  // "maybe" (true) rather than scan O(blocks) per probe.
+  auto make_entries = [](size_t blocks) {
+    std::vector<Value> e(blocks * 2 * 2);
+    for (size_t b = 0; b < blocks; ++b) {
+      // Column 0: sorted, one value per block (b).
+      e[(b * 2 + 0) * 2] = static_cast<Value>(b);
+      e[(b * 2 + 0) * 2 + 1] = static_cast<Value>(b);
+      // Column 1: alternating low/high, never inside [10, 20).
+      e[(b * 2 + 1) * 2] = b % 2 == 0 ? 0u : 30u;
+      e[(b * 2 + 1) * 2 + 1] = b % 2 == 0 ? 5u : 40u;
+    }
+    return e;
+  };
+
+  const size_t small_blocks = 8;
+  const std::vector<Value> small = make_entries(small_blocks);
+  const ZoneMaps small_zones =
+      ZoneMaps::Borrow(small.data(), 2, small_blocks * ZoneMaps::kBlockRows);
+  EXPECT_FALSE(small_zones.MaybeHasValueInRange(1, 10, 20));
+  EXPECT_TRUE(small_zones.MaybeHasValueInRange(1, 4, 12));
+
+  const size_t big_blocks = ZoneMaps::kMaxProbeBlocks + 10;
+  const std::vector<Value> big = make_entries(big_blocks);
+  const ZoneMaps big_zones =
+      ZoneMaps::Borrow(big.data(), 2, big_blocks * ZoneMaps::kBlockRows);
+  // Gave up at the cap: "maybe" is the only sound answer.
+  EXPECT_TRUE(big_zones.MaybeHasValueInRange(1, 10, 20));
+  // Column 0 stays exact at any block count (binary search, no cap).
+  EXPECT_TRUE(big_zones.MaybeHasValueInRange(
+      0, static_cast<Value>(big_blocks / 2), static_cast<Value>(big_blocks)));
+  EXPECT_FALSE(big_zones.MaybeHasValueInRange(
+      0, static_cast<Value>(big_blocks), static_cast<Value>(2 * big_blocks)));
+  // Whole-relation bounds still answer O(1) on either side.
+  EXPECT_FALSE(big_zones.MaybeHasValueInRange(1, 41, 100));
+}
+
+}  // namespace
+}  // namespace cqcount
